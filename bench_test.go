@@ -1,0 +1,300 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§ VIII). Each benchmark runs a miniature of the corresponding
+// experiment (so `go test -bench=.` completes in minutes) and reports the
+// simulated metric the figure plots — throughput in GB/s or speedup —
+// via b.ReportMetric. cmd/pidbench regenerates the full-scale artifacts.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/apps/bfs"
+	"repro/internal/apps/cc"
+	"repro/internal/apps/dlrm"
+	"repro/internal/apps/gnn"
+	"repro/internal/apps/mlp"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/dram"
+	"repro/internal/elem"
+	"repro/internal/multihost"
+)
+
+const benchSize = 16 << 10 // per-PE payload for primitive micro-benches
+
+func reportGBs(b *testing.B, name string, v float64) {
+	b.ReportMetric(v, name)
+}
+
+func runPrim(b *testing.B, prim core.Primitive, lvl core.Level, shape []int, dims string, size int) float64 {
+	b.Helper()
+	var thr float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		thr, _, err = bench.RunPrimitive(bench.PrimSpec{
+			Shape: shape, Dims: dims, RecvPerPE: size, Prim: prim, Level: lvl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return thr
+}
+
+func BenchmarkTable1Support(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.TableI()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Applicability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.TableII()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3Applications(b *testing.B) {
+	e, err := bench.ByID("table3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(bench.Options{W: io.Discard}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 4: baseline application breakdown; reports the communication
+// share of a comm-dominated app (CC).
+func BenchmarkFig4Breakdown(b *testing.B) {
+	g := data.Undirected(data.RMAT(2048, 8192, 12))
+	var share float64
+	for i := 0; i < b.N; i++ {
+		_, prof, err := cc.RunPIM(cc.Config{Graph: g, PEs: 64}, core.Baseline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = float64(prof.CommTotal()) / float64(prof.Total())
+	}
+	reportGBs(b, "comm-share", share)
+}
+
+// Figure 13: per-app breakdown Base vs Ours; reports MLP's RS speedup.
+func BenchmarkFig13AppBreakdown(b *testing.B) {
+	cfg := mlp.Config{Features: 2048, Layers: 3, PEs: 64, Batches: 2, Seed: 4}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		_, base, err := mlp.RunPIM(cfg, core.Baseline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, ours, err := mlp.RunPIM(cfg, core.CM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(base.ByPrimitive[core.ReduceScatter]) / float64(ours.ByPrimitive[core.ReduceScatter])
+	}
+	reportGBs(b, "RS-speedup-x", ratio)
+}
+
+// Figure 14: primitive throughput Base vs PID-Comm on a 2-D hypercube.
+func BenchmarkFig14PrimitiveThroughput(b *testing.B) {
+	for _, prim := range core.Primitives() {
+		b.Run(prim.LongName(), func(b *testing.B) {
+			base := runPrim(b, prim, core.Baseline, []int{16, 16}, "10", benchSize)
+			ours := runPrim(b, prim, core.CM, []int{16, 16}, "10", benchSize)
+			reportGBs(b, "base-GB/s", base)
+			reportGBs(b, "ours-GB/s", ours)
+			reportGBs(b, "speedup-x", ours/base)
+		})
+	}
+}
+
+// Figure 15: application speedup over the conventional baseline (BFS at
+// LJ-like scale, where frontier bitmaps amortize launch overheads).
+func BenchmarkFig15AppSpeedup(b *testing.B) {
+	g := data.RMAT(1<<16, 1<<18, 6)
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		_, base, err := bfs.RunPIM(bfs.Config{Graph: g, PEs: 64}, core.Baseline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, ours, err := bfs.RunPIM(bfs.Config{Graph: g, PEs: 64}, core.CM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = float64(base.Total()) / float64(ours.Total())
+	}
+	reportGBs(b, "speedup-x", sp)
+}
+
+// Figure 16: the ablation — every optimization level of AlltoAll.
+func BenchmarkFig16Ablation(b *testing.B) {
+	for _, lvl := range core.Levels() {
+		b.Run(lvl.String(), func(b *testing.B) {
+			thr := runPrim(b, core.AlltoAll, lvl, []int{16, 16}, "10", benchSize)
+			reportGBs(b, "GB/s", thr)
+		})
+	}
+}
+
+// Figure 17: breakdown categories of ReduceScatter, Base vs Ours;
+// reports the host-memory share each design pays.
+func BenchmarkFig17Breakdown(b *testing.B) {
+	for _, lvl := range []core.Level{core.Baseline, core.IM} {
+		b.Run(lvl.String(), func(b *testing.B) {
+			var bd cost.Breakdown
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, bd, err = bench.RunPrimitive(bench.PrimSpec{
+					Shape: []int{16, 16}, Dims: "10", RecvPerPE: benchSize,
+					Prim: core.ReduceScatter, Level: lvl,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportGBs(b, "hostmem-share", float64(bd.Get(cost.HostMem))/float64(bd.Total()))
+		})
+	}
+}
+
+// Figure 18: data-size sweep for AlltoAll.
+func BenchmarkFig18SizeSweep(b *testing.B) {
+	for _, size := range []int{4 << 10, 16 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			thr := runPrim(b, core.AlltoAll, core.CM, []int{16, 16}, "10", size)
+			reportGBs(b, "GB/s", thr)
+		})
+	}
+}
+
+// Figure 19: PE-count sweep for AllReduce.
+func BenchmarkFig19PESweep(b *testing.B) {
+	for _, pes := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprint(pes), func(b *testing.B) {
+			thr := runPrim(b, core.AllReduce, core.CM, []int{pes}, "1", benchSize)
+			reportGBs(b, "GB/s", thr)
+		})
+	}
+}
+
+// Figure 20: hypercube-shape sweep for AllGather on the x axis.
+func BenchmarkFig20Shapes(b *testing.B) {
+	for _, shape := range [][]int{{8, 64, 2}, {32, 16, 2}, {128, 4, 2}} {
+		b.Run(fmt.Sprintf("%dx%dx%d", shape[0], shape[1], shape[2]), func(b *testing.B) {
+			thr := runPrim(b, core.AllGather, core.CM, shape, "100", benchSize)
+			reportGBs(b, "GB/s", thr)
+		})
+	}
+}
+
+// Figure 21: speedup over the CPU-only system (DLRM).
+func BenchmarkFig21CPUComparison(b *testing.B) {
+	cfg := dlrm.Config{Tables: 8, RowsPerTable: 1024, EmbDim: 16, Batch: 1024,
+		X: 2, Y: 2, Z: 8, TopOut: 32, TopLayers: 2, Batches: 4, Seed: 5}
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		_, cpuT, err := dlrm.RunCPU(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, prof, err := dlrm.RunPIM(cfg, core.CM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = float64(cpuT) / float64(prof.Total())
+	}
+	reportGBs(b, "speedup-x", sp)
+}
+
+// Figure 22: word-width sensitivity of the GNN.
+func BenchmarkFig22WordWidth(b *testing.B) {
+	in := data.GNNInput{Name: "bench", Graph: data.RMAT(1024, 4096, 20), F: 16}
+	for _, et := range []elem.Type{elem.I8, elem.I16, elem.I32} {
+		b.Run(et.String(), func(b *testing.B) {
+			var comm cost.Seconds
+			for i := 0; i < b.N; i++ {
+				cfg := gnn.Config{Input: &in, Rows: 8, Cols: 8, Layers: 2, Elem: et, Seed: 3}
+				_, prof, err := gnn.RunPIM(cfg, gnn.RSAR, core.IM)
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = prof.CommTotal()
+			}
+			reportGBs(b, "comm-ms", float64(comm)*1e3)
+		})
+	}
+}
+
+// Figure 23(a): AllReduce topology comparison.
+func BenchmarkFig23aTopology(b *testing.B) {
+	for _, topo := range []core.Topology{core.TopoHypercube, core.TopoRing, core.TopoTree} {
+		b.Run(topo.String(), func(b *testing.B) {
+			var total cost.Seconds
+			for i := 0; i < b.N; i++ {
+				sys, err := dram.NewSystem(dram.Geometry{Channels: 1, RanksPerChannel: 4, BanksPerChip: 8, MramPerBank: 1 << 17})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hc, err := core.NewHypercube(sys, []int{16, 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm := core.NewComm(hc, cost.DefaultParams())
+				m := 16 * 1024
+				buf := make([]byte, m)
+				for pe := 0; pe < 256; pe++ {
+					comm.SetPEBuffer(pe, 0, buf)
+				}
+				bd, err := comm.AllReduceTopo(topo, "10", 0, 2*m, m, elem.I32, elem.Sum)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = bd.Total()
+			}
+			reportGBs(b, "sim-ms", float64(total)*1e3)
+		})
+	}
+}
+
+// Figure 23(b): multi-host AllReduce.
+func BenchmarkFig23bMultiHost(b *testing.B) {
+	geo := dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 4, MramPerBank: 1 << 15}
+	for _, hosts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%dhosts", hosts), func(b *testing.B) {
+			var netShare float64
+			for i := 0; i < b.N; i++ {
+				cl, err := multihost.New(hosts, geo, cost.DefaultParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				P := cl.PEsPerHost()
+				m := P * 256
+				buf := make([]byte, m)
+				for h := 0; h < hosts; h++ {
+					for p := 0; p < P; p++ {
+						cl.Host(h).SetPEBuffer(p, 0, buf)
+					}
+				}
+				bd, err := cl.AllReduce(0, 2*m, m, elem.I32, elem.Sum, core.CM)
+				if err != nil {
+					b.Fatal(err)
+				}
+				netShare = float64(bd.Get(cost.Network)) / float64(bd.Total())
+			}
+			reportGBs(b, "net-share", netShare)
+		})
+	}
+}

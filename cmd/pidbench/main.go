@@ -1,0 +1,59 @@
+// Command pidbench regenerates the paper's evaluation artifacts: every
+// table and figure of § VIII has a registered experiment (see DESIGN.md's
+// per-experiment index).
+//
+// Usage:
+//
+//	pidbench -list
+//	pidbench -exp fig14
+//	pidbench -exp all [-full]
+//
+// The default scale keeps the whole suite within laptop memory and
+// minutes; -full uses paper-scale payloads (the timing model is linear in
+// payload, so shapes are identical; see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID (e.g. fig14, table1) or 'all'")
+	full := flag.Bool("full", false, "use paper-scale payloads (slower, more memory)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	o := bench.Options{W: os.Stdout, Full: *full}
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(o)
+	} else {
+		var e bench.Experiment
+		e, err = bench.ByID(*exp)
+		if err == nil {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			err = e.Run(o)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pidbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(%s)\n", time.Since(start).Round(time.Millisecond))
+}

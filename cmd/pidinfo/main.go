@@ -1,0 +1,52 @@
+// Command pidinfo prints the simulated system's configuration: the DIMM
+// topology and hypercube mapping, the framework support matrix (Table I),
+// the technique applicability matrix (Table II), and the calibrated cost
+// model parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+)
+
+func main() {
+	mram := flag.Int("mram", 1<<20, "per-bank MRAM bytes")
+	flag.Parse()
+
+	geo := dram.PaperGeometry(*mram)
+	sys, err := dram.NewSystem(geo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pidinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Simulated PIM-enabled DIMM system (paper testbed, § VIII-A)")
+	fmt.Printf("  channels=%d ranks/channel=%d chips/rank=%d banks/chip=%d\n",
+		geo.Channels, geo.RanksPerChannel, dram.ChipsPerRank, geo.BanksPerChip)
+	fmt.Printf("  PEs=%d entangled groups=%d MRAM/bank=%d B\n",
+		geo.NumPEs(), geo.NumGroups(), geo.MramPerBank)
+	id := sys.PEFromLinear(9)
+	fmt.Printf("  example mapping: linear PE 9 -> channel %d rank %d chip %d bank %d\n\n",
+		id.Channel, id.Rank, id.Chip, id.Bank)
+
+	fmt.Println("Table I — comparison against conventional approaches:")
+	fmt.Println(core.TableI())
+	fmt.Println("Table II — applicability of the proposed techniques:")
+	fmt.Println(core.TableII())
+
+	p := cost.DefaultParams()
+	fmt.Println("Cost-model parameters (calibrated, DESIGN.md § 4):")
+	fmt.Printf("  host clock            %.1f GHz\n", p.HostClockHz/1e9)
+	fmt.Printf("  channel bandwidth     %.1f GB/s (x%d channels)\n", p.ChannelBW/1e9, geo.Channels)
+	fmt.Printf("  host memory bandwidth %.1f GB/s\n", p.HostMemBW/1e9)
+	fmt.Printf("  modulation B/cycle    scalar %.1f, local %.1f, SIMD %.1f\n", p.ScalarModBPC, p.LocalModBPC, p.SIMDModBPC)
+	fmt.Printf("  reduction B/cycle     scalar %.1f, local %.1f, vertical-SIMD %.1f\n", p.ScalarRedBPC, p.LocalRedBPC, p.ReduceBPC)
+	fmt.Printf("  domain transfer       %.1f B/cycle\n", p.DTBPC)
+	fmt.Printf("  DPU: MRAM %.0f MB/s, WRAM %.1f GB/s, %d MHz\n", p.DPUMramBW/1e6, p.DPUWramBW/1e9, int(p.DPUInstrHz/1e6))
+	fmt.Printf("  kernel launch         %.0f us, rank-parallel transfers: %v\n", float64(p.KernelLaunch)*1e6, p.RankParallel)
+	fmt.Printf("  network (multi-host)  %.1f Gbps, %.0f us latency\n", p.NetworkBW*8/1e9, float64(p.NetworkLatency)*1e6)
+}

@@ -1,0 +1,95 @@
+// Command pidtrace runs a single collective primitive on the simulated
+// PIM-DIMM system and prints its execution-time breakdown per category —
+// the per-primitive view behind Figure 17. Useful for exploring how the
+// optimization levels change where time goes.
+//
+// Usage:
+//
+//	pidtrace -prim AA -dims 10 -shape 32,32 -size 65536 -level CM
+//	pidtrace -prim RS -dims 1 -shape 1024 -size 262144 -level Base -elem INT8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+func main() {
+	prim := flag.String("prim", "AA", "primitive: AA RS AR AG Sc Ga Re Br")
+	dims := flag.String("dims", "10", "comm-dimensions bitmap (Figure 10)")
+	shape := flag.String("shape", "32,32", "hypercube shape, comma-separated")
+	size := flag.Int("size", 64<<10, "per-PE bytes on the larger side")
+	level := flag.String("level", "CM", "optimization level: Base, PR, IM, CM")
+	elemName := flag.String("elem", "INT32", "element type: INT8 INT16 INT32 INT64")
+	op := flag.String("op", "SUM", "reduction op: SUM MIN MAX OR AND XOR")
+	flag.Parse()
+
+	spec := bench.PrimSpec{RecvPerPE: *size}
+	for _, part := range strings.Split(*shape, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal("bad shape: %v", err)
+		}
+		spec.Shape = append(spec.Shape, v)
+	}
+	spec.Dims = *dims
+
+	ok := false
+	for _, p := range core.Primitives() {
+		if p.String() == *prim {
+			spec.Prim, ok = p, true
+		}
+	}
+	if !ok {
+		fatal("unknown primitive %q", *prim)
+	}
+	levels := map[string]core.Level{"Base": core.Baseline, "PR": core.PR, "IM": core.IM, "CM": core.CM}
+	if spec.Level, ok = levels[*level]; !ok {
+		fatal("unknown level %q", *level)
+	}
+	for _, t := range elem.Types() {
+		if t.String() == *elemName {
+			spec.Elem, ok = t, true
+		}
+	}
+	for _, o := range elem.Ops() {
+		if o.String() == *op {
+			spec.Op = o
+		}
+	}
+
+	thr, bd, stats, err := bench.RunPrimitiveWithStats(spec)
+	if err != nil {
+		fatal("%v", err)
+	}
+	eff := core.EffectiveLevel(spec.Prim, spec.Level)
+	fmt.Printf("%s on %v dims=%s, %d B/PE, level %v (effective %v)\n",
+		spec.Prim.LongName(), spec.Shape, spec.Dims, spec.RecvPerPE, spec.Level, eff)
+	fmt.Printf("throughput: %.2f GB/s   simulated time: %.3f ms\n\n", thr, float64(bd.Total())*1e3)
+	fmt.Printf("%-16s %12s %7s\n", "category", "time (ms)", "share")
+	for _, c := range cost.Categories() {
+		t := bd.Get(c)
+		if t == 0 {
+			continue
+		}
+		fmt.Printf("%-16s %12.4f %6.1f%%\n", c, float64(t)*1e3, 100*float64(t)/float64(bd.Total()))
+	}
+	fmt.Printf("\nbus traffic: %d bursts, %.2f MiB total", stats.Bursts, float64(stats.TotalBytes())/(1<<20))
+	for ch, b := range stats.BytesPerChannel {
+		fmt.Printf("  ch%d=%.2fMiB", ch, float64(b)/(1<<20))
+	}
+	fmt.Println()
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pidtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "PID-Comm: A Fast
+// and Flexible Collective Communication Framework for Commodity
+// Processing-in-DIMM Devices" (ISCA 2024), including the UPMEM-like
+// PIM-DIMM substrate it runs on.
+//
+// Start with the README, the public API in package pidcomm, and
+// cmd/pidbench for regenerating the paper's tables and figures. The root
+// package exists to host bench_test.go, which exposes one testing.B
+// benchmark per paper artifact.
+package repro

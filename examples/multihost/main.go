@@ -1,0 +1,45 @@
+// Multi-host example (§ IX-A, Figure 23(b)): two hosts, each driving its
+// own channel of PIM-enabled DIMMs, cooperate over a 10 Gbps link. A
+// global AllReduce sends only locally-reduced data across the wire, so
+// the network share stays small; a global AlltoAll must move (H-1)/H of
+// all data and pays much more.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+	"repro/internal/multihost"
+)
+
+func main() {
+	geo := dram.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 8, MramPerBank: 1 << 18}
+	for _, hosts := range []int{1, 2, 4} {
+		cl, err := multihost.New(hosts, geo, cost.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		P := cl.PEsPerHost()
+		m := P * 512
+		rng := rand.New(rand.NewSource(11))
+		buf := make([]byte, m)
+		for h := 0; h < hosts; h++ {
+			for p := 0; p < P; p++ {
+				rng.Read(buf)
+				cl.Host(h).SetPEBuffer(p, 0, buf)
+			}
+		}
+		bd, err := cl.AllReduce(0, 2*m, m, elem.I32, elem.Sum, core.CM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d host(s) x %d PEs: AllReduce %7.3f ms (network %5.1f%%)\n",
+			hosts, P, float64(bd.Total())*1e3,
+			100*float64(bd.Get(cost.Network))/float64(bd.Total()))
+	}
+}

@@ -1,0 +1,171 @@
+// Package appcore provides shared infrastructure for the five benchmark
+// applications (§ VII): per-primitive execution profiles (the stacked
+// bars of Figures 4 and 13), PE-count-to-geometry mapping following the
+// paper's channel scaling rule, and the CPU-only roofline model used by
+// the Figure 21 comparison.
+package appcore
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+)
+
+// Profile splits an application run's simulated time into kernel compute
+// and per-primitive communication, matching the paper's app breakdowns.
+type Profile struct {
+	// KernelTime is DPU application compute (including its launch
+	// overhead).
+	KernelTime cost.Seconds
+	// ByPrimitive is total time per collective primitive.
+	ByPrimitive map[core.Primitive]cost.Seconds
+	// CommBreakdown aggregates the per-category breakdown of all
+	// communication calls (for the Figure 4 pies).
+	CommBreakdown cost.Breakdown
+}
+
+// Total returns kernel + communication time.
+func (p *Profile) Total() cost.Seconds { return p.KernelTime + p.CommTotal() }
+
+// CommTotal returns the summed communication time.
+func (p *Profile) CommTotal() cost.Seconds {
+	var t cost.Seconds
+	for _, v := range p.ByPrimitive {
+		t += v
+	}
+	return t
+}
+
+// String renders the profile as a single line.
+func (p *Profile) String() string {
+	s := fmt.Sprintf("total %.4gs (kernel %.4gs", float64(p.Total()), float64(p.KernelTime))
+	for _, prim := range core.Primitives() {
+		if t, ok := p.ByPrimitive[prim]; ok && t > 0 {
+			s += fmt.Sprintf(", %v %.4gs", prim, float64(t))
+		}
+	}
+	return s + ")"
+}
+
+// Tracker wraps a Comm and attributes simulated time to profile buckets.
+type Tracker struct {
+	C    *core.Comm
+	Prof Profile
+}
+
+// NewTracker creates a tracker for the comm context.
+func NewTracker(c *core.Comm) *Tracker {
+	return &Tracker{C: c, Prof: Profile{ByPrimitive: make(map[core.Primitive]cost.Seconds)}}
+}
+
+// Kernel runs f (which launches app kernels on t.C's engine) and
+// attributes the elapsed simulated time to KernelTime.
+func (t *Tracker) Kernel(f func()) {
+	before := t.C.Meter().Snapshot()
+	f()
+	t.Prof.KernelTime += t.C.Meter().Snapshot().Sub(before).Total()
+}
+
+// Comm records a collective call's breakdown under its primitive.
+func (t *Tracker) Comm(p core.Primitive, bd cost.Breakdown, err error) error {
+	if err != nil {
+		return err
+	}
+	t.Prof.ByPrimitive[p] += bd.Total()
+	t.Prof.CommBreakdown = t.Prof.CommBreakdown.Add(bd)
+	return nil
+}
+
+// GeoForPEs returns the DIMM geometry the paper uses for a given PE count
+// (§ VIII-E: up to 256 PEs on one channel, then more channels): PE counts
+// must be n = channels * ranks * 8 chips * banks with ranks, banks <= the
+// paper's 4 and 8.
+func GeoForPEs(n, mramPerBank int) (dram.Geometry, error) {
+	if n <= 0 || n%8 != 0 {
+		return dram.Geometry{}, fmt.Errorf("appcore: PE count %d must be a positive multiple of 8", n)
+	}
+	g := dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 1, MramPerBank: mramPerBank}
+	rem := n / 8 // chips are fixed at 8
+	for _, scale := range []struct {
+		field *int
+		max   int
+	}{{&g.BanksPerChip, 8}, {&g.RanksPerChannel, 4}} {
+		for *scale.field < scale.max && rem%2 == 0 {
+			*scale.field *= 2
+			rem /= 2
+		}
+	}
+	g.Channels = rem
+	if g.NumPEs() != n {
+		return dram.Geometry{}, fmt.Errorf("appcore: cannot realize %d PEs", n)
+	}
+	return g, nil
+}
+
+// CPUModel is the roofline model for the CPU-only baselines of § VIII-G:
+// a Xeon Gold 5215-class host. Streaming kernels are bounded by memory
+// bandwidth or integer throughput; graph traversal and embedding lookups
+// are bounded by memory latency. The latency-bound rates are calibrated
+// to paper-scale datasets (LiveJournal, Criteo), where working sets far
+// exceed the caches — see DESIGN.md's substitution table.
+type CPUModel struct {
+	// MemBW is achievable memory bandwidth for the streaming integer
+	// kernels (bytes/s; naive-but-parallel code, not peak STREAM).
+	MemBW float64
+	// IntOps is sustained integer op throughput (ops/s, all cores).
+	IntOps float64
+	// GraphTEPS is traversed edges per second for irregular graph codes
+	// (BFS/CC at LiveJournal scale: random accesses miss all caches).
+	GraphTEPS float64
+	// LookupsPerSec is embedding-row fetch throughput at Criteo scale
+	// (TLB + DRAM latency per row).
+	LookupsPerSec float64
+}
+
+// DefaultCPU returns the calibrated Xeon Gold 5215-class model.
+func DefaultCPU() CPUModel {
+	return CPUModel{MemBW: 25e9, IntOps: 40e9, GraphTEPS: 15e6, LookupsPerSec: 2.5e6}
+}
+
+// Time returns the roofline time for a phase touching the given bytes and
+// executing the given scalar-equivalent integer ops: the max of the
+// bandwidth and compute terms.
+func (m CPUModel) Time(bytes, ops int64) cost.Seconds {
+	bw := float64(bytes) / m.MemBW
+	cp := float64(ops) / m.IntOps
+	if bw > cp {
+		return cost.Seconds(bw)
+	}
+	return cost.Seconds(cp)
+}
+
+// GraphTime returns the latency-bound time for traversing the given
+// number of edges.
+func (m CPUModel) GraphTime(edges int64) cost.Seconds {
+	return cost.Seconds(float64(edges) / m.GraphTEPS)
+}
+
+// LookupTime returns the latency-bound time for the given number of
+// embedding-row fetches.
+func (m CPUModel) LookupTime(rows int64) cost.Seconds {
+	return cost.Seconds(float64(rows) / m.LookupsPerSec)
+}
+
+// NewComm builds a system, hypercube and comm for an app config.
+func NewComm(shape []int, pes, mramPerBank int, params cost.Params) (*core.Comm, error) {
+	geo, err := GeoForPEs(pes, mramPerBank)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := dram.NewSystem(geo)
+	if err != nil {
+		return nil, err
+	}
+	hc, err := core.NewHypercube(sys, shape)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewComm(hc, params), nil
+}

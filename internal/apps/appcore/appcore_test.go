@@ -1,0 +1,199 @@
+package appcore
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/dpu"
+)
+
+func TestGeoForPEs(t *testing.T) {
+	cases := []struct {
+		n        int
+		channels int
+		ok       bool
+	}{
+		{8, 1, true},    // 1 bank
+		{64, 1, true},   // 8 banks
+		{128, 1, true},  // 2 ranks
+		{256, 1, true},  // full channel
+		{512, 2, true},  // 2 channels
+		{1024, 4, true}, // paper system
+		{24, 3, true},   // 3 channels of 8 (non-pow2 channel count)
+		{0, 0, false},
+		{12, 0, false},
+		{-8, 0, false},
+	}
+	for _, c := range cases {
+		g, err := GeoForPEs(c.n, 4096)
+		if (err == nil) != c.ok {
+			t.Errorf("GeoForPEs(%d): err=%v, want ok=%v", c.n, err, c.ok)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if g.NumPEs() != c.n {
+			t.Errorf("GeoForPEs(%d) has %d PEs", c.n, g.NumPEs())
+		}
+		if g.Channels != c.channels {
+			t.Errorf("GeoForPEs(%d) channels = %d, want %d", c.n, g.Channels, c.channels)
+		}
+		if g.RanksPerChannel > 4 || g.BanksPerChip > 8 {
+			t.Errorf("GeoForPEs(%d) exceeds paper limits: %+v", c.n, g)
+		}
+	}
+}
+
+func TestGeoForPEsScalesBanksBeforeRanks(t *testing.T) {
+	g, err := GeoForPEs(32, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BanksPerChip != 4 || g.RanksPerChannel != 1 {
+		t.Errorf("32 PEs should fill banks first: %+v", g)
+	}
+}
+
+func TestPartitionCSRRoundTrip(t *testing.T) {
+	g := data.RMAT(256, 1024, 3)
+	for _, n := range []int{4, 16, 64} {
+		bufs, size, err := PartitionCSR(g, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bufs) != n {
+			t.Fatalf("got %d buffers", len(bufs))
+		}
+		owned := g.V / n
+		for p, buf := range bufs {
+			if len(buf) != size || size%8 != 0 {
+				t.Fatalf("buffer %d has size %d (common %d)", p, len(buf), size)
+			}
+			sg := NewSubgraphReader(buf, owned)
+			for i := 0; i < owned; i++ {
+				v := p*owned + i
+				if got, want := sg.Degree(i), g.OutDegree(v); got != want {
+					t.Fatalf("PE %d vertex %d degree %d, want %d", p, v, got, want)
+				}
+				for j, w := range g.Neighbors(v) {
+					if sg.Neighbor(i, j) != w {
+						t.Fatalf("PE %d vertex %d neighbor %d mismatch", p, v, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionCSRRejectsBadSplit(t *testing.T) {
+	g := data.RMAT(256, 512, 3)
+	if _, _, err := PartitionCSR(g, 7); err == nil {
+		t.Error("7-way split of 256 vertices accepted")
+	}
+}
+
+func TestCPUModelRoofline(t *testing.T) {
+	m := CPUModel{MemBW: 10, IntOps: 100, GraphTEPS: 5, LookupsPerSec: 2}
+	if got := m.Time(100, 100); float64(got) != 10 {
+		t.Errorf("memory-bound time = %v, want 10", got)
+	}
+	if got := m.Time(1, 1000); float64(got) != 10 {
+		t.Errorf("compute-bound time = %v, want 10", got)
+	}
+	if got := m.GraphTime(50); float64(got) != 10 {
+		t.Errorf("graph time = %v, want 10", got)
+	}
+	if got := m.LookupTime(20); float64(got) != 10 {
+		t.Errorf("lookup time = %v, want 10", got)
+	}
+}
+
+func TestDefaultCPUIsSane(t *testing.T) {
+	m := DefaultCPU()
+	if m.MemBW <= 0 || m.IntOps <= 0 || m.GraphTEPS <= 0 || m.LookupsPerSec <= 0 {
+		t.Error("non-positive CPU parameter")
+	}
+	// Streaming must be far faster than latency-bound accesses.
+	if m.MemBW/8 <= m.GraphTEPS {
+		t.Error("graph traversal should be latency-bound, not bandwidth-bound")
+	}
+}
+
+func TestTrackerAttribution(t *testing.T) {
+	comm, err := NewComm([]int{16}, 16, 4096, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(comm)
+	tr.Kernel(func() {
+		comm.Engine().Launch(dpu.LaunchSpec{PEs: []int{0, 1}, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+			ctx.Exec(1000)
+		})
+	})
+	if tr.Prof.KernelTime <= 0 {
+		t.Error("kernel time not tracked")
+	}
+	bufs := [][]byte{make([]byte, 16*8)}
+	bd, err := comm.Scatter("1", bufs, 0, 8, core.IM)
+	if err := tr.Comm(core.Scatter, bd, err); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Prof.ByPrimitive[core.Scatter] <= 0 {
+		t.Error("scatter time not tracked")
+	}
+	if tr.Prof.Total() != tr.Prof.KernelTime+tr.Prof.CommTotal() {
+		t.Error("profile total inconsistent")
+	}
+	if s := tr.Prof.String(); !strings.Contains(s, "kernel") || !strings.Contains(s, "Sc") {
+		t.Errorf("profile string %q missing parts", s)
+	}
+}
+
+func TestTrackerPropagatesErrors(t *testing.T) {
+	comm, _ := NewComm([]int{16}, 16, 4096, cost.DefaultParams())
+	tr := NewTracker(comm)
+	_, bd, err := comm.Gather("bad-dims", 0, 8, core.IM)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if tr.Comm(core.Gather, bd, err) == nil {
+		t.Error("tracker swallowed error")
+	}
+}
+
+func TestNewCommValidation(t *testing.T) {
+	if _, err := NewComm([]int{10}, 10, 4096, cost.DefaultParams()); err == nil {
+		t.Error("bad PE count accepted")
+	}
+	if _, err := NewComm([]int{32}, 64, 4096, cost.DefaultParams()); err == nil {
+		t.Error("shape/PE mismatch accepted")
+	}
+}
+
+// Property: PartitionCSR conserves the edge multiset.
+func TestPartitionCSRConservesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := data.Uniform(128, 512, seed)
+		bufs, _, err := PartitionCSR(g, 8)
+		if err != nil {
+			return false
+		}
+		total := 0
+		owned := g.V / 8
+		for _, buf := range bufs {
+			sg := NewSubgraphReader(buf, owned)
+			for i := 0; i < owned; i++ {
+				total += sg.Degree(i)
+			}
+		}
+		return total == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package appcore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// PartitionCSR splits a graph into per-PE subgraphs by contiguous vertex
+// ranges (PE p owns vertices [p*V/n, (p+1)*V/n)) and serializes each as
+//
+//	[rowptr: (ownedV+1) x u32, local offsets][cols: edges x u32]
+//
+// padded with zeros to a common 8-byte-aligned size, ready for Scatter.
+// It returns the per-PE buffers and the common buffer size.
+func PartitionCSR(g *data.Graph, n int) ([][]byte, int, error) {
+	if g.V%n != 0 {
+		return nil, 0, fmt.Errorf("appcore: %d vertices not divisible by %d PEs", g.V, n)
+	}
+	owned := g.V / n
+	maxSz := 0
+	sizes := make([]int, n)
+	for p := 0; p < n; p++ {
+		edges := int(g.RowPtr[(p+1)*owned] - g.RowPtr[p*owned])
+		sizes[p] = 4*(owned+1) + 4*edges
+		if sizes[p] > maxSz {
+			maxSz = sizes[p]
+		}
+	}
+	maxSz = (maxSz + 7) &^ 7
+	bufs := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		buf := make([]byte, maxSz)
+		base := g.RowPtr[p*owned]
+		for i := 0; i <= owned; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(g.RowPtr[p*owned+i]-base))
+		}
+		for i, c := range g.Col[base:g.RowPtr[(p+1)*owned]] {
+			binary.LittleEndian.PutUint32(buf[4*(owned+1)+4*i:], uint32(c))
+		}
+		bufs[p] = buf
+	}
+	return bufs, maxSz, nil
+}
+
+// SubgraphReader decodes a PartitionCSR buffer inside a DPU kernel.
+// The caller supplies the raw bytes read from MRAM.
+type SubgraphReader struct {
+	owned int
+	buf   []byte
+}
+
+// NewSubgraphReader wraps a serialized subgraph with ownedV vertices.
+func NewSubgraphReader(buf []byte, ownedV int) *SubgraphReader {
+	return &SubgraphReader{owned: ownedV, buf: buf}
+}
+
+// Degree returns local vertex i's edge count.
+func (r *SubgraphReader) Degree(i int) int {
+	return int(r.rowptr(i+1) - r.rowptr(i))
+}
+
+// Neighbor returns the j-th neighbor (global vertex ID) of local vertex i.
+func (r *SubgraphReader) Neighbor(i, j int) int32 {
+	off := 4*(r.owned+1) + 4*(int(r.rowptr(i))+j)
+	return int32(binary.LittleEndian.Uint32(r.buf[off:]))
+}
+
+func (r *SubgraphReader) rowptr(i int) uint32 {
+	return binary.LittleEndian.Uint32(r.buf[4*i:])
+}

@@ -1,0 +1,267 @@
+// Package bfs implements the breadth-first search benchmark (§ VII-C):
+// vertices are range-partitioned across the PEs; every iteration each PE
+// expands the global frontier over its owned vertices' edges into a
+// next-frontier bitmap, and the bitmaps are combined with an OR AllReduce
+// (1-D hypercube, Table III). Distances live with the owning PEs and are
+// gathered at the end.
+package bfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/apps/appcore"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/dpu"
+	"repro/internal/elem"
+)
+
+// Config sizes the BFS benchmark.
+type Config struct {
+	// GraphName selects the dataset: "LJ" or "LG" (Table III).
+	GraphName string
+	// Graph optionally overrides the named dataset.
+	Graph *data.Graph
+	// PEs is the PE count; must divide the vertex count.
+	PEs int
+	// Source is the BFS root vertex.
+	Source int
+}
+
+// DefaultConfig returns the reproduction-scale configuration.
+func DefaultConfig() Config { return Config{GraphName: "LG", PEs: 128, Source: 0} }
+
+func (c Config) graph() *data.Graph {
+	if c.Graph != nil {
+		return c.Graph
+	}
+	return data.GraphByName(c.GraphName)
+}
+
+// RunPIM executes BFS on the simulated PIM system. It returns per-vertex
+// distances (-1 for unreachable) and the execution profile.
+func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
+	g := cfg.graph()
+	N := cfg.PEs
+	if g.V%N != 0 {
+		return nil, nil, fmt.Errorf("bfs: %d vertices not divisible by %d PEs", g.V, N)
+	}
+	if cfg.Source < 0 || cfg.Source >= g.V {
+		return nil, nil, fmt.Errorf("bfs: source %d out of range", cfg.Source)
+	}
+	owned := g.V / N
+
+	// Bitmap region: padded up to a multiple of 8*N bytes so the OR
+	// AllReduce's blocks stay 8-byte aligned for any PE count (zero
+	// padding is neutral for OR).
+	fB := g.V / 8
+	if fB < 8*N {
+		fB = 8 * N
+	}
+	fB = (fB + 8*N - 1) / (8 * N) * (8 * N)
+	distB := (owned*4 + 7) &^ 7
+
+	adjBufs, adjSz, err := appcore.PartitionCSR(g, N)
+	if err != nil {
+		return nil, nil, err
+	}
+	// MRAM layout per PE.
+	adjOff := 0
+	frontOff := adjOff + adjSz   // current frontier (global bitmap)
+	nextPartOff := frontOff + fB // this PE's next-frontier contribution
+	nextOff := nextPartOff + fB  // OR-AllReduced next frontier
+	visitedOff := nextOff + fB   // global visited bitmap (locally maintained)
+	distOff := visitedOff + fB   // distances of owned vertices
+	flagOff := distOff + distB   // "frontier non-empty" flag
+	mram := nextPow2(flagOff + 8)
+
+	comm, err := appcore.NewComm([]int{N}, N, mram, cost.DefaultParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := appcore.NewTracker(comm)
+
+	// Distribute the graph; broadcast the initial frontier/visited state.
+	scat := make([][]byte, 1)
+	scat[0] = concat(adjBufs)
+	bd, err := comm.Scatter("1", scat, adjOff, adjSz, lvl)
+	if err := tr.Comm(core.Scatter, bd, err); err != nil {
+		return nil, nil, err
+	}
+	init := make([]byte, fB)
+	init[cfg.Source/8] |= 1 << (cfg.Source % 8)
+	bd, err = comm.Broadcast("1", [][]byte{init}, frontOff, lvl)
+	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
+		return nil, nil, err
+	}
+	bd, err = comm.Broadcast("1", [][]byte{init}, visitedOff, lvl)
+	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
+		return nil, nil, err
+	}
+
+	pes := make([]int, N)
+	for i := range pes {
+		pes[i] = i
+	}
+	// Initialize distances: 0 for the source's owner, -1 elsewhere.
+	tr.Kernel(func() {
+		comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+			dist := make([]byte, distB)
+			unreached := int32(-1)
+			for i := 0; i < owned; i++ {
+				binary.LittleEndian.PutUint32(dist[4*i:], uint32(unreached))
+			}
+			if cfg.Source/owned == ctx.PE {
+				binary.LittleEndian.PutUint32(dist[4*(cfg.Source%owned):], 0)
+			}
+			ctx.WriteMram(distOff, dist)
+			ctx.Exec(int64(owned))
+		})
+	})
+
+	for level := int32(1); level <= int32(g.V); level++ {
+		// Expansion kernel: scan owned vertices in the frontier, mark
+		// unvisited neighbors in the partial next bitmap.
+		tr.Kernel(func() {
+			comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+				front := make([]byte, fB)
+				ctx.ReadMram(frontOff, front)
+				visited := make([]byte, fB)
+				ctx.ReadMram(visitedOff, visited)
+				adj := make([]byte, adjSz)
+				ctx.ReadMram(adjOff, adj)
+				sg := appcore.NewSubgraphReader(adj, owned)
+				next := make([]byte, fB)
+				var instr int64
+				base := ctx.PE * owned
+				for i := 0; i < owned; i++ {
+					v := base + i
+					if front[v/8]&(1<<(v%8)) == 0 {
+						continue
+					}
+					deg := sg.Degree(i)
+					for j := 0; j < deg; j++ {
+						w := sg.Neighbor(i, j)
+						if visited[w/8]&(1<<(w%8)) == 0 {
+							next[w/8] |= 1 << (w % 8)
+						}
+					}
+					instr += int64(deg) * 3
+				}
+				ctx.WriteMram(nextPartOff, next)
+				ctx.Exec(instr + int64(owned)/8 + 1)
+			})
+		})
+		// Combine the partial frontiers: OR AllReduce (§ VII-C).
+		bd, err := comm.AllReduce("1", nextPartOff, nextOff, fB, elem.I8, elem.Or, lvl)
+		if err := tr.Comm(core.AllReduce, bd, err); err != nil {
+			return nil, nil, err
+		}
+		// Update kernel: fold the new frontier into visited and distances,
+		// promote it to the current frontier, report emptiness.
+		lv := level
+		tr.Kernel(func() {
+			comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+				next := make([]byte, fB)
+				ctx.ReadMram(nextOff, next)
+				visited := make([]byte, fB)
+				ctx.ReadMram(visitedOff, visited)
+				dist := make([]byte, distB)
+				ctx.ReadMram(distOff, dist)
+				var any byte
+				base := ctx.PE * owned
+				for b := 0; b < fB; b++ {
+					if next[b] != 0 {
+						any = 1
+					}
+					visited[b] |= next[b]
+				}
+				for i := 0; i < owned; i++ {
+					v := base + i
+					if next[v/8]&(1<<(v%8)) != 0 {
+						binary.LittleEndian.PutUint32(dist[4*i:], uint32(lv))
+					}
+				}
+				ctx.WriteMram(visitedOff, visited)
+				ctx.WriteMram(distOff, dist)
+				ctx.WriteMram(frontOff, next)
+				flag := make([]byte, 8)
+				flag[0] = any
+				ctx.WriteMram(flagOff, flag)
+				ctx.Exec(int64(fB/8 + owned))
+			})
+		})
+		// Host checks termination via a small Gather of the flags.
+		flags, fbd, err := comm.Gather("1", flagOff, 8, lvl)
+		if err := tr.Comm(core.Gather, fbd, err); err != nil {
+			return nil, nil, err
+		}
+		if flags[0][0] == 0 { // all PEs computed the same global flag
+			break
+		}
+	}
+	// Collect distances from the owning PEs.
+	bufs, gbd, err := comm.Gather("1", distOff, distB, lvl)
+	if err := tr.Comm(core.Gather, gbd, err); err != nil {
+		return nil, nil, err
+	}
+	dist := make([]int32, g.V)
+	for p := 0; p < N; p++ {
+		for i := 0; i < owned; i++ {
+			dist[p*owned+i] = int32(binary.LittleEndian.Uint32(bufs[0][p*distB+4*i:]))
+		}
+	}
+	return dist, &tr.Prof, nil
+}
+
+// RunCPU computes reference distances and the roofline time for the
+// CPU-only baseline.
+func RunCPU(cfg Config) ([]int32, cost.Seconds, error) {
+	g := cfg.graph()
+	if cfg.Source < 0 || cfg.Source >= g.V {
+		return nil, 0, fmt.Errorf("bfs: source %d out of range", cfg.Source)
+	}
+	dist := make([]int32, g.V)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[cfg.Source] = 0
+	queue := []int32{int32(cfg.Source)}
+	var touchedEdges int64
+	for len(queue) > 0 {
+		var nextQ []int32
+		for _, v := range queue {
+			for _, w := range g.Neighbors(int(v)) {
+				touchedEdges++
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					nextQ = append(nextQ, w)
+				}
+			}
+		}
+		queue = nextQ
+	}
+	cpu := appcore.DefaultCPU()
+	// BFS on CPUs is memory-latency bound: every traversed edge is a
+	// random access (calibrated at LiveJournal scale).
+	t := cpu.GraphTime(touchedEdges) + cpu.Time(int64(g.V)*8, int64(g.V))
+	return dist, t, nil
+}
+
+func concat(bufs [][]byte) []byte {
+	var out []byte
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

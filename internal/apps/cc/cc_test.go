@@ -1,0 +1,110 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// testCfg uses 64 PEs on one channel: the smallest configuration in the
+// paper's operating regime (>= 64 PEs per channel, where PE-assisted
+// reordering's MRAM traffic is cheaper than the per-PE bus share).
+func testCfg() Config {
+	return Config{Graph: data.Undirected(data.RMAT(2048, 8192, 12)), PEs: 64}
+}
+
+func TestPIMMatchesCPU(t *testing.T) {
+	cfg := testCfg()
+	want, _, err := RunCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []core.Level{core.Baseline, core.CM} {
+		got, prof, err := RunPIM(cfg, lvl)
+		if err != nil {
+			t.Fatalf("%v: %v", lvl, err)
+		}
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("%v: label[%d] = %d, want %d", lvl, v, got[v], want[v])
+			}
+		}
+		if prof.ByPrimitive[core.AllReduce] <= 0 {
+			t.Errorf("%v: CC must use AllReduce", lvl)
+		}
+	}
+}
+
+func TestLabelsAreComponentMinima(t *testing.T) {
+	cfg := testCfg()
+	labels, _, err := RunPIM(cfg, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.graph()
+	// Every edge connects vertices with equal labels; every label is <=
+	// its vertex id; every label names a vertex labeled with itself.
+	for v := 0; v < g.V; v++ {
+		if labels[v] > int32(v) {
+			t.Fatalf("label[%d] = %d exceeds id", v, labels[v])
+		}
+		if labels[labels[v]] != labels[v] {
+			t.Fatalf("label root %d not self-labeled", labels[v])
+		}
+		for _, w := range g.Neighbors(v) {
+			if labels[v] != labels[w] {
+				t.Fatalf("edge (%d,%d) crosses labels %d/%d", v, w, labels[v], labels[w])
+			}
+		}
+	}
+}
+
+func TestIsolatedVerticesKeepOwnLabel(t *testing.T) {
+	cfg := testCfg()
+	labels, _, err := RunPIM(cfg, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.graph()
+	for v := 0; v < g.V; v++ {
+		if g.OutDegree(v) == 0 && labels[v] != int32(v) {
+			t.Fatalf("isolated vertex %d has label %d", v, labels[v])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := testCfg()
+	cfg.PEs = 24 // does not divide 512
+	if _, _, err := RunPIM(cfg, core.CM); err == nil {
+		t.Error("bad PE count accepted")
+	}
+}
+
+func TestCommDominatesCC(t *testing.T) {
+	// CC is the most communication-dominated benchmark (Figure 13).
+	_, prof, err := RunPIM(testCfg(), core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(prof.CommTotal()) / float64(prof.Total())
+	if frac < 0.5 {
+		t.Errorf("CC baseline comm fraction %.2f, want >= 0.5", frac)
+	}
+}
+
+func TestOptimizedBeatsBaselineComm(t *testing.T) {
+	cfg := testCfg()
+	_, base, err := RunPIM(cfg, core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := RunPIM(cfg, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.CommTotal() >= base.CommTotal() {
+		t.Errorf("optimized comm (%v) should beat baseline (%v)", opt.CommTotal(), base.CommTotal())
+	}
+}

@@ -1,0 +1,437 @@
+// Package dlrm implements the deep-learning recommendation model
+// benchmark (§ VII-A, Figure 11). The embedding tables are split three
+// ways and mapped onto a 3-D hypercube: embedding columns across x,
+// table rows across y, and tables across z. Each batch flows through:
+//
+//  1. Scatter: lookup indices to their home PEs.
+//  2. AlltoAll over xyz: requests travel to every PE holding a shard
+//     that may serve them (all x column slices, all y row shards of the
+//     table's z owner).
+//  3. Lookup kernel: owning row shards emit embedding slices, others
+//     zeros.
+//  4. ReduceScatter along y: row-wise parallelism — summing the aligned
+//     response slots completes every embedding slice and scatters the
+//     batch across y.
+//  5. AlltoAll over xz: relocates all column slices and table shards of
+//     each sample to its final PE for the top MLP.
+//  6. Top-MLP kernel, then Gather of the per-sample outputs.
+//
+// Slot positions are arranged so a sample's global index equals its
+// response-slot index, which makes steps 4-5 zero-copy on the PEs.
+// Integer arithmetic is bit-exact against the CPU reference.
+package dlrm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps/appcore"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/dpu"
+	"repro/internal/elem"
+)
+
+// Config sizes the DLRM benchmark.
+type Config struct {
+	// Tables, RowsPerTable, EmbDim shape the embedding tables (paper:
+	// Criteo with embedding dimensions 16 and 32).
+	Tables, RowsPerTable, EmbDim int
+	// Batch is the number of samples per run.
+	Batch int
+	// X, Y, Z are the hypercube dimensions: embedding columns split
+	// across X, table rows across Y, tables across Z (Figure 11).
+	X, Y, Z int
+	// TopOut is the top-MLP hidden/output width per sample.
+	TopOut int
+	// TopLayers is the top-MLP depth: one input layer (T*D -> TopOut)
+	// plus TopLayers-1 hidden layers (TopOut -> TopOut). The paper's DLRM
+	// carries multi-layer top/bottom MLPs, which keeps its communication
+	// share the smallest of the benchmarks (Figure 13).
+	TopLayers int
+	// Batches is how many click batches are served per embedding-table
+	// distribution (recommendation serving amortizes the one-time table
+	// Scatter; 0 means 1).
+	Batches int
+	// Seed makes tables, clicks and weights deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the reproduction-scale configuration.
+func DefaultConfig() Config {
+	return Config{Tables: 16, RowsPerTable: 8192, EmbDim: 32, Batch: 4096,
+		X: 4, Y: 4, Z: 16, TopOut: 64, TopLayers: 3, Seed: 1}
+}
+
+// Validate checks the divisibility constraints of the 3-D split.
+func (c Config) Validate() error {
+	n := c.X * c.Y * c.Z
+	switch {
+	case c.Tables <= 0 || c.RowsPerTable <= 0 || c.EmbDim <= 0 || c.Batch <= 0 || c.TopOut <= 0:
+		return fmt.Errorf("dlrm: non-positive config")
+	case c.Tables%c.Z != 0:
+		return fmt.Errorf("dlrm: %d tables not divisible by Z=%d", c.Tables, c.Z)
+	case c.RowsPerTable%c.Y != 0:
+		return fmt.Errorf("dlrm: %d rows not divisible by Y=%d", c.RowsPerTable, c.Y)
+	case c.EmbDim%c.X != 0 || (c.EmbDim/c.X*4)%8 != 0:
+		return fmt.Errorf("dlrm: emb dim %d not cleanly split by X=%d", c.EmbDim, c.X)
+	case c.Batch%n != 0:
+		return fmt.Errorf("dlrm: batch %d not divisible by %d PEs", c.Batch, n)
+	case c.TopLayers <= 0:
+		return fmt.Errorf("dlrm: TopLayers must be positive")
+	}
+	return nil
+}
+
+func (c Config) clicks(batch int) *data.ClickLog {
+	return data.Clicks(c.Tables, c.RowsPerTable, c.Batch, c.Seed*31+int64(batch))
+}
+
+func (c Config) batches() int {
+	if c.Batches <= 0 {
+		return 1
+	}
+	return c.Batches
+}
+
+func (c Config) embeddings() []int32 {
+	rng := rand.New(rand.NewSource(c.Seed * 77))
+	e := make([]int32, c.Tables*c.RowsPerTable*c.EmbDim)
+	for i := range e {
+		e[i] = int32(rng.Intn(15)) - 7
+	}
+	return e
+}
+
+// topWeights returns the concatenated top-MLP weights: the input layer
+// (TopOut x T*D, in assembled-vector order) followed by TopLayers-1
+// hidden layers (TopOut x TopOut each).
+func (c Config) topWeights() []int32 {
+	rng := rand.New(rand.NewSource(c.Seed * 131))
+	w := make([]int32, c.TopOut*c.Tables*c.EmbDim+(c.TopLayers-1)*c.TopOut*c.TopOut)
+	for i := range w {
+		w[i] = int32(rng.Intn(7)) - 3
+	}
+	return w
+}
+
+// topMLP runs the shared top-MLP pipeline on one assembled sample vector;
+// identical code serves the DPU kernel and the CPU reference, keeping the
+// integer results bit-exact.
+func (c Config) topMLP(w []int32, vec []int64) []int32 {
+	vecLen := c.Tables * c.EmbDim
+	cur := make([]int64, c.TopOut)
+	for o := 0; o < c.TopOut; o++ {
+		var acc int64
+		for j := 0; j < vecLen; j++ {
+			acc += int64(w[o*vecLen+j]) * vec[j]
+		}
+		cur[o] = int64(activation(acc))
+	}
+	base := c.TopOut * vecLen
+	for l := 1; l < c.TopLayers; l++ {
+		next := make([]int64, c.TopOut)
+		for o := 0; o < c.TopOut; o++ {
+			var acc int64
+			for j := 0; j < c.TopOut; j++ {
+				acc += int64(w[base+(l-1)*c.TopOut*c.TopOut+o*c.TopOut+j]) * cur[j]
+			}
+			next[o] = int64(activation(acc))
+		}
+		cur = next
+	}
+	out := make([]int32, c.TopOut)
+	for o, v := range cur {
+		out[o] = int32(v)
+	}
+	return out
+}
+
+func activation(v int64) int32 {
+	v >>= 4
+	if v > 1<<30 {
+		v = 1 << 30
+	}
+	if v < -(1 << 30) {
+		v = -(1 << 30)
+	}
+	return int32(v)
+}
+
+// assembledIndex maps (x, z, tIdx, col) to the position of that value in
+// a sample's assembled top-MLP input vector (the AlltoAll arrival order).
+func (c Config) assembledIndex(x, z, tIdx, col int) int {
+	dx := c.EmbDim / c.X
+	tz := c.Tables / c.Z
+	rank := x + c.X*z
+	return rank*(tz*dx) + tIdx*dx + col
+}
+
+// RunPIM executes DLRM on the simulated PIM system and returns the
+// per-sample top-MLP outputs (Batch x TopOut) plus the profile.
+func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	X, Y, Z := cfg.X, cfg.Y, cfg.Z
+	N := X * Y * Z
+	B := cfg.Batch
+	T, Rr, D := cfg.Tables, cfg.RowsPerTable, cfg.EmbDim
+	Tz := T / Z     // tables per z shard
+	Ry := Rr / Y    // rows per y shard
+	Dx := D / X     // embedding columns per x slice
+	perPE := B / N  // samples homed per PE
+	Q := perPE * Tz // requests per (source, destination) pair
+	Bd := B / N     // samples per final PE
+
+	reqEntry := 8 // [u32 row][u32 tLocal]
+	idxB := alignUp(perPE * T * 4)
+	reqB := N * Q * reqEntry // AlltoAll(xyz) buffers
+	respB := N * Q * Dx * 4  // lookup responses
+	rsB := respB / Y         // ReduceScatter slice
+	aaB := rsB               // AlltoAll(xz) result (same volume)
+	embB := alignUp(Tz * Ry * Dx * 4)
+	wB := alignUp((cfg.TopOut*T*D + (cfg.TopLayers-1)*cfg.TopOut*cfg.TopOut) * 4)
+	outB := alignUp(Bd * cfg.TopOut * 4)
+
+	idxOff := 0
+	reqOff := idxOff + idxB
+	req2Off := reqOff + reqB // AA dst
+	respOff := req2Off + reqB
+	rsOff := respOff + respB
+	aaOff := rsOff + alignUp(rsB)
+	embOff := aaOff + alignUp(aaB)
+	wOff := embOff + embB
+	outOff := wOff + wB
+	mram := nextPow2(outOff + outB)
+
+	comm, err := appcore.NewComm([]int{X, Y, Z}, N, mram, cost.DefaultParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := appcore.NewTracker(comm)
+	emb := cfg.embeddings()
+
+	// Scatter embedding shards: PE (x,y,z) owns tables of shard z, rows
+	// of shard y, columns of slice x.
+	embBuf := make([]byte, N*embB)
+	for pe := 0; pe < N; pe++ {
+		x, y, z := pe%X, pe/X%Y, pe/(X*Y)
+		for tl := 0; tl < Tz; tl++ {
+			for r := 0; r < Ry; r++ {
+				for cidx := 0; cidx < Dx; cidx++ {
+					v := emb[((z*Tz+tl)*Rr+(y*Ry+r))*D+x*Dx+cidx]
+					binary.LittleEndian.PutUint32(embBuf[pe*embB+((tl*Ry+r)*Dx+cidx)*4:], uint32(v))
+				}
+			}
+		}
+	}
+	bd, err := comm.Scatter("111", [][]byte{embBuf}, embOff, embB, lvl)
+	if err := tr.Comm(core.Scatter, bd, err); err != nil {
+		return nil, nil, err
+	}
+	// Broadcast the top-MLP weights (already in assembled-vector order).
+	bd, err = comm.Broadcast("111", [][]byte{i32bytes(cfg.topWeights())}, wOff, lvl)
+	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
+		return nil, nil, err
+	}
+
+	pes := make([]int, N)
+	for i := range pes {
+		pes[i] = i
+	}
+	var final []int32
+	for batch := 0; batch < cfg.batches(); batch++ {
+		clicks := cfg.clicks(batch)
+		// Scatter lookup indices to home PEs (sample s lives on PE s/perPE).
+		idxBuf := make([]byte, N*idxB)
+		for s := 0; s < B; s++ {
+			p := s / perPE
+			ls := s % perPE
+			for t := 0; t < T; t++ {
+				binary.LittleEndian.PutUint32(idxBuf[p*idxB+(ls*T+t)*4:], uint32(clicks.Index(s, t)))
+			}
+		}
+		bd, err := comm.Scatter("111", [][]byte{idxBuf}, idxOff, idxB, lvl)
+		if err := tr.Comm(core.Scatter, bd, err); err != nil {
+			return nil, nil, err
+		}
+		// Request-build kernel: for every destination PE q = (qx,qy,qz), the
+		// block holds this PE's requests whose table belongs to shard qz —
+		// identical for all (qx,qy), which is what aligns the response slots
+		// across the y axis.
+		tr.Kernel(func() {
+			comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+				idx := make([]byte, idxB)
+				ctx.ReadMram(idxOff, idx)
+				req := make([]byte, reqB)
+				for q := 0; q < N; q++ {
+					qz := q / (X * Y)
+					for ls := 0; ls < perPE; ls++ {
+						for tl := 0; tl < Tz; tl++ {
+							t := qz*Tz + tl
+							row := binary.LittleEndian.Uint32(idx[(ls*T+t)*4:])
+							off := q*Q*reqEntry + (ls*Tz+tl)*reqEntry
+							binary.LittleEndian.PutUint32(req[off:], row)
+							binary.LittleEndian.PutUint32(req[off+4:], uint32(tl))
+						}
+					}
+				}
+				ctx.WriteMram(reqOff, req)
+				ctx.Exec(int64(N * Q * 4))
+			})
+		})
+		// AlltoAll over all three dimensions distributes the requests.
+		bd, err = comm.AlltoAll("111", reqOff, req2Off, reqB, lvl)
+		if err := tr.Comm(core.AlltoAll, bd, err); err != nil {
+			return nil, nil, err
+		}
+		// Lookup kernel: owning y shards emit embedding column slices.
+		tr.Kernel(func() {
+			comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+				y := ctx.PE / X % Y
+				req := make([]byte, reqB)
+				ctx.ReadMram(req2Off, req)
+				embS := make([]byte, embB)
+				ctx.ReadMram(embOff, embS)
+				resp := make([]byte, respB)
+				var hits int64
+				for slot := 0; slot < N*Q; slot++ {
+					row := int(binary.LittleEndian.Uint32(req[slot*reqEntry:]))
+					tl := int(binary.LittleEndian.Uint32(req[slot*reqEntry+4:]))
+					if row/Ry != y {
+						continue // zeros already in place
+					}
+					hits++
+					rl := row % Ry
+					src := (tl*Ry + rl) * Dx * 4
+					copy(resp[slot*Dx*4:(slot+1)*Dx*4], embS[src:src+Dx*4])
+				}
+				ctx.WriteMram(respOff, resp)
+				ctx.Exec(int64(N*Q)*2 + hits*int64(Dx))
+			})
+		})
+		// ReduceScatter along y completes the embedding slices (§ VII-A).
+		bd, err = comm.ReduceScatter("010", respOff, rsOff, respB, elem.I32, elem.Sum, lvl)
+		if err := tr.Comm(core.ReduceScatter, bd, err); err != nil {
+			return nil, nil, err
+		}
+		// AlltoAll over the xz-plane relocates every sample's column slices
+		// and table shards to its final PE. The ReduceScatter output is
+		// already in destination-block order (samples ascending), so it is
+		// the AlltoAll source as-is.
+		bd, err = comm.AlltoAll("101", rsOff, aaOff, aaB, lvl)
+		if err := tr.Comm(core.AlltoAll, bd, err); err != nil {
+			return nil, nil, err
+		}
+		// Top-MLP kernel over each final PE's Bd samples.
+		blockB := aaB / (X * Z) // one (x,z) source block
+		perSampleB := Tz * Dx * 4
+		tr.Kernel(func() {
+			comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+				aa := make([]byte, aaB)
+				ctx.ReadMram(aaOff, aa)
+				w := make([]byte, wB)
+				ctx.ReadMram(wOff, w)
+				out := make([]byte, outB)
+				vecLen := T * D
+				ws := make([]int32, wB/4)
+				for i := range ws {
+					ws[i] = int32(binary.LittleEndian.Uint32(w[4*i:]))
+				}
+				for b := 0; b < Bd; b++ {
+					// Assemble the input vector from the arrival blocks.
+					vec := make([]int64, vecLen)
+					for rnk := 0; rnk < X*Z; rnk++ {
+						base := rnk*blockB + b*perSampleB
+						for i := 0; i < Tz*Dx; i++ {
+							vec[rnk*Tz*Dx+i] = int64(int32(binary.LittleEndian.Uint32(aa[base+4*i:])))
+						}
+					}
+					res := cfg.topMLP(ws, vec)
+					for o, v := range res {
+						binary.LittleEndian.PutUint32(out[(b*cfg.TopOut+o)*4:], uint32(v))
+					}
+				}
+				ctx.WriteMram(outOff, out)
+				ctx.Exec(int64(Bd*cfg.TopOut*(vecLen+(cfg.TopLayers-1)*cfg.TopOut)) * 3)
+			})
+		})
+		// Gather the per-sample outputs and reorder by global sample ID.
+		bufs, gbd, err := comm.Gather("111", outOff, outB, lvl)
+		if err := tr.Comm(core.Gather, gbd, err); err != nil {
+			return nil, nil, err
+		}
+		out := make([]int32, B*cfg.TopOut)
+		for s := 0; s < B; s++ {
+			y := s / (B / Y)
+			q := s % (B / Y)
+			d := q / Bd
+			b := q % Bd
+			fx, fz := d%X, d/X
+			pe := fx + X*(y+Y*fz)
+			for o := 0; o < cfg.TopOut; o++ {
+				out[s*cfg.TopOut+o] = int32(binary.LittleEndian.Uint32(bufs[0][pe*outB+(b*cfg.TopOut+o)*4:]))
+			}
+		}
+		final = out
+	}
+	return final, &tr.Prof, nil
+}
+
+// RunCPU computes the identical model on the CPU-only baseline.
+func RunCPU(cfg Config) ([]int32, cost.Seconds, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	emb := cfg.embeddings()
+	w := cfg.topWeights()
+	T, Rr, D := cfg.Tables, cfg.RowsPerTable, cfg.EmbDim
+	Tz := T / cfg.Z
+	Dx := D / cfg.X
+	vecLen := T * D
+	out := make([]int32, cfg.Batch*cfg.TopOut)
+	var cpuTotal cost.Seconds
+	for batch := 0; batch < cfg.batches(); batch++ {
+		clicks := cfg.clicks(batch)
+		for s := 0; s < cfg.Batch; s++ {
+			vec := make([]int64, vecLen)
+			for t := 0; t < T; t++ {
+				row := int(clicks.Index(s, t))
+				z, tl := t/Tz, t%Tz
+				for c := 0; c < D; c++ {
+					x, cl := c/Dx, c%Dx
+					vec[cfg.assembledIndex(x, z, tl, cl)] = int64(emb[(t*Rr+row)*D+c])
+				}
+			}
+			copy(out[s*cfg.TopOut:], cfg.topMLP(w, vec))
+		}
+		cpu := appcore.DefaultCPU()
+		// Embedding fetches are latency-bound at Criteo scale; the top MLP is
+		// a streaming integer kernel.
+		mlpOps := int64(cfg.Batch) * int64(cfg.TopOut) * int64(vecLen+(cfg.TopLayers-1)*cfg.TopOut) * 2
+		cpuTotal += cpu.LookupTime(int64(cfg.Batch)*int64(T)) +
+			cpu.Time(int64(cfg.Batch*vecLen*4), mlpOps)
+	}
+	return out, cpuTotal, nil
+}
+
+func i32bytes(v []int32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+func alignUp(n int) int { return (n + 7) &^ 7 }
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,135 @@
+package dlrm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testCfg() Config {
+	return Config{Tables: 8, RowsPerTable: 512, EmbDim: 16, Batch: 256,
+		X: 2, Y: 2, Z: 4, TopOut: 8, TopLayers: 2, Seed: 5}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Tables = 6 },         // not divisible by Z
+		func(c *Config) { c.RowsPerTable = 513 }, // not divisible by Y
+		func(c *Config) { c.EmbDim = 18 },        // not divisible by X cleanly
+		func(c *Config) { c.Batch = 100 },        // not divisible by PEs
+		func(c *Config) { c.TopOut = 0 },
+	}
+	for i, mut := range cases {
+		cfg := testCfg()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPIMMatchesCPU(t *testing.T) {
+	cfg := testCfg()
+	want, _, err := RunCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []core.Level{core.Baseline, core.CM} {
+		got, prof, err := RunPIM(cfg, lvl)
+		if err != nil {
+			t.Fatalf("%v: %v", lvl, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: out[%d] = %d, want %d", lvl, i, got[i], want[i])
+			}
+		}
+		// Table III: DLRM uses Sc, Ga, Br(weights), AA, RS.
+		for _, p := range []core.Primitive{core.Scatter, core.Gather, core.Broadcast, core.AlltoAll, core.ReduceScatter} {
+			if prof.ByPrimitive[p] <= 0 {
+				t.Errorf("%v: missing %v in profile", lvl, p)
+			}
+		}
+	}
+}
+
+func TestEmbDim32(t *testing.T) {
+	cfg := testCfg()
+	cfg.EmbDim = 32 // the paper's second configuration
+	want, _, err := RunCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RunPIM(cfg, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOptimizedBeatsBaselineComm(t *testing.T) {
+	// 64 PEs on one channel with a non-trivial batch: the smallest
+	// configuration inside the paper's operating regime.
+	cfg := Config{Tables: 16, RowsPerTable: 1024, EmbDim: 16, Batch: 2048,
+		X: 2, Y: 2, Z: 16, TopOut: 8, TopLayers: 2, Seed: 5}
+	_, base, err := RunPIM(cfg, core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := RunPIM(cfg, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.ByPrimitive[core.AlltoAll] >= base.ByPrimitive[core.AlltoAll] {
+		t.Errorf("optimized AA (%v) should beat baseline (%v)",
+			opt.ByPrimitive[core.AlltoAll], base.ByPrimitive[core.AlltoAll])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _, err := RunPIM(testCfg(), core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := RunPIM(testCfg(), core.CM)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestBatchesAmortizeTableScatter(t *testing.T) {
+	cfg := testCfg()
+	cfg.Batches = 2
+	want, _, err := RunCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, prof2, err := RunPIM(cfg, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("batched output[%d] mismatch", i)
+		}
+	}
+	// Two amortized batches cost less than two full runs.
+	cfg.Batches = 1
+	_, prof1, err := RunPIM(cfg, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(prof2.Total()) >= 2*float64(prof1.Total()) {
+		t.Errorf("2 amortized batches (%v) should cost less than 2 full runs (%v)",
+			prof2.Total(), 2*prof1.Total())
+	}
+}

@@ -1,0 +1,268 @@
+// Package mlp implements the multi-layer perceptron benchmark (§ VII-E):
+// a quantized integer feedforward network whose weight matrices are
+// column-partitioned across the PEs. Each layer computes per-PE partial
+// output vectors from the PE's weight columns and input slice, then
+// ReduceScatters the partials so every PE holds its slice of the layer
+// output — the next layer's input (1-D hypercube, Table III).
+package mlp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps/appcore"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dpu"
+	"repro/internal/elem"
+)
+
+// Config sizes the MLP benchmark.
+type Config struct {
+	// Features is the layer width F (paper: 16k and 32k; reproduction
+	// default 2048).
+	Features int
+	// Layers is the layer count (paper: 5).
+	Layers int
+	// PEs is the number of processing elements.
+	PEs int
+	// Batches is how many inputs are pushed through the network per
+	// weight distribution (inference serving amortizes the one-time
+	// weight Scatter; 0 means 1).
+	Batches int
+	// Seed makes weights and inputs deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the reproduction-scale configuration.
+func DefaultConfig() Config {
+	return Config{Features: 2048, Layers: 5, PEs: 256, Seed: 1}
+}
+
+// Validate checks divisibility constraints.
+func (c Config) Validate() error {
+	if c.Features <= 0 || c.Layers <= 0 || c.PEs <= 0 {
+		return fmt.Errorf("mlp: non-positive config")
+	}
+	if c.Features%c.PEs != 0 {
+		return fmt.Errorf("mlp: features %d must divide by PEs %d", c.Features, c.PEs)
+	}
+	if (c.Features/c.PEs*4)%8 != 0 {
+		return fmt.Errorf("mlp: per-PE slice %dB must be 8-byte aligned", c.Features/c.PEs*4)
+	}
+	return nil
+}
+
+// activation is the quantized nonlinearity applied after every layer:
+// arithmetic shift then clamp to int8 range, keeping values bounded across
+// layers (and bit-exact between CPU and PIM).
+func activation(v int64) int32 {
+	v >>= 6
+	if v > 127 {
+		v = 127
+	}
+	if v < -128 {
+		v = -128
+	}
+	return int32(v)
+}
+
+// genWeights produces layer l's FxF weight matrix entries in [-3,3].
+func genWeights(cfg Config, l int) []int32 {
+	rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(l)))
+	w := make([]int32, cfg.Features*cfg.Features)
+	for i := range w {
+		w[i] = int32(rng.Intn(7)) - 3
+	}
+	return w
+}
+
+func genInput(cfg Config, batch int) []int32 {
+	rng := rand.New(rand.NewSource(cfg.Seed*7777 + int64(batch)))
+	x := make([]int32, cfg.Features)
+	for i := range x {
+		x[i] = int32(rng.Intn(7)) - 3
+	}
+	return x
+}
+
+func (c Config) batches() int {
+	if c.Batches <= 0 {
+		return 1
+	}
+	return c.Batches
+}
+
+func i32bytes(v []int32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+func bytesI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// RunPIM executes the MLP on the simulated PIM system at the given
+// optimization level and returns the output vector and profile.
+func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	F, N, L := cfg.Features, cfg.PEs, cfg.Layers
+	cols := F / N      // weight columns per PE
+	sliceB := cols * 4 // input/output slice bytes per PE
+	wPerLayerB := F * cols * 4
+
+	// MRAM layout per PE: [weights L layers][x slice][partial vector].
+	wOff := 0
+	xOff := wOff + L*wPerLayerB
+	partOff := xOff + sliceB
+	outOff := partOff + F*4
+	mram := nextPow2(outOff + sliceB)
+
+	comm, err := appcore.NewComm([]int{N}, N, mram, cost.DefaultParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := appcore.NewTracker(comm)
+
+	// Distribute weights (one Scatter per layer) and the input slices.
+	for l := 0; l < L; l++ {
+		w := genWeights(cfg, l)
+		buf := make([]byte, N*wPerLayerB)
+		for p := 0; p < N; p++ {
+			// PE p holds columns [p*cols, (p+1)*cols), row-major F x cols.
+			for r := 0; r < F; r++ {
+				for j := 0; j < cols; j++ {
+					binary.LittleEndian.PutUint32(buf[p*wPerLayerB+(r*cols+j)*4:], uint32(w[r*F+p*cols+j]))
+				}
+			}
+		}
+		bd, err := comm.Scatter("1", [][]byte{buf}, wOff+l*wPerLayerB, wPerLayerB, lvl)
+		if err := tr.Comm(core.Scatter, bd, err); err != nil {
+			return nil, nil, err
+		}
+	}
+	pes := make([]int, N)
+	for i := range pes {
+		pes[i] = i
+	}
+	var final []int32
+	for batch := 0; batch < cfg.batches(); batch++ {
+		x := genInput(cfg, batch)
+		bd, err := comm.Scatter("1", [][]byte{i32bytes(x)}, xOff, sliceB, lvl)
+		if err := tr.Comm(core.Scatter, bd, err); err != nil {
+			return nil, nil, err
+		}
+		final, err = mlpForward(cfg, comm, tr, pes, lvl, wOff, xOff, partOff, outOff, sliceB, wPerLayerB)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return final, &tr.Prof, nil
+}
+
+// mlpForward runs one input through all layers and gathers the output.
+func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int, lvl core.Level,
+	wOff, xOff, partOff, outOff, sliceB, wPerLayerB int) ([]int32, error) {
+	F, N, L := cfg.Features, cfg.PEs, cfg.Layers
+	cols := F / N
+	for l := 0; l < L; l++ {
+		layerW := wOff + l*wPerLayerB
+		tr.Kernel(func() {
+			comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+				// Partial GeMV: part[r] = sum_j W[r][j] * x[j] over this
+				// PE's columns, computed fully in the simulator.
+				xb := make([]byte, sliceB)
+				ctx.ReadMram(xOff, xb)
+				xs := bytesI32(xb)
+				part := make([]byte, F*4)
+				row := make([]byte, cols*4)
+				for r := 0; r < F; r++ {
+					ctx.ReadMram(layerW+r*cols*4, row)
+					var acc int32
+					for j := 0; j < cols; j++ {
+						acc += int32(binary.LittleEndian.Uint32(row[4*j:])) * xs[j]
+					}
+					binary.LittleEndian.PutUint32(part[4*r:], uint32(acc))
+				}
+				ctx.WriteMram(partOff, part)
+				ctx.Exec(int64(F * cols * 3)) // ~3 instructions per MAC
+			})
+		})
+		// ReduceScatter the partials; each PE receives its slice of the
+		// layer output (§ VII-E).
+		bd, err := comm.ReduceScatter("1", partOff, outOff, F*4, elem.I32, elem.Sum, lvl)
+		if err := tr.Comm(core.ReduceScatter, bd, err); err != nil {
+			return nil, err
+		}
+		// Activation kernel: quantize the slice in place into xOff.
+		tr.Kernel(func() {
+			comm.Engine().Launch(dpu.LaunchSpec{PEs: pes, Category: cost.Kernel}, comm.Meter(), func(ctx *dpu.Ctx) {
+				b := make([]byte, sliceB)
+				ctx.ReadMram(outOff, b)
+				vs := bytesI32(b)
+				for i, v := range vs {
+					binary.LittleEndian.PutUint32(b[4*i:], uint32(activation(int64(v))))
+				}
+				ctx.WriteMram(xOff, b)
+				ctx.Exec(int64(cols * 4))
+			})
+		})
+	}
+	// Gather the final slices.
+	bufs, gbd, err := comm.Gather("1", xOff, sliceB, lvl)
+	if err := tr.Comm(core.Gather, gbd, err); err != nil {
+		return nil, err
+	}
+	return bytesI32(bufs[0]), nil
+}
+
+// RunCPU computes the identical MLP on the CPU-only model, returning the
+// output and the roofline time.
+func RunCPU(cfg Config) ([]int32, cost.Seconds, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	F, L := cfg.Features, cfg.Layers
+	cpu := appcore.DefaultCPU()
+	var total cost.Seconds
+	var x []int32
+	weights := make([][]int32, L)
+	for l := range weights {
+		weights[l] = genWeights(cfg, l)
+	}
+	for batch := 0; batch < cfg.batches(); batch++ {
+		x = genInput(cfg, batch)
+		for l := 0; l < L; l++ {
+			w := weights[l]
+			y := make([]int32, F)
+			for r := 0; r < F; r++ {
+				var acc int64
+				for j := 0; j < F; j++ {
+					acc += int64(w[r*F+j]) * int64(x[j])
+				}
+				y[r] = activation(acc)
+			}
+			x = y
+			total += cpu.Time(int64(F*F*4), int64(F*F*2))
+		}
+	}
+	return x, total, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,148 @@
+package mlp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testCfg() Config {
+	return Config{Features: 1024, Layers: 3, PEs: 64, Seed: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg()
+	bad.Features = 500 // not divisible by 64
+	if err := bad.Validate(); err == nil {
+		t.Error("bad feature count accepted")
+	}
+	bad = testCfg()
+	bad.PEs = 256 // slice = 4 elements = 16 bytes: aligned
+	if err := bad.Validate(); err != nil {
+		t.Errorf("256 PEs should be valid: %v", err)
+	}
+	bad.PEs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero PEs accepted")
+	}
+}
+
+func TestPIMMatchesCPUAllLevels(t *testing.T) {
+	cfg := testCfg()
+	want, _, err := RunCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []core.Level{core.Baseline, core.IM} {
+		got, prof, err := RunPIM(cfg, lvl)
+		if err != nil {
+			t.Fatalf("%v: %v", lvl, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: length %d != %d", lvl, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: output[%d] = %d, want %d", lvl, i, got[i], want[i])
+			}
+		}
+		if prof.KernelTime <= 0 || prof.CommTotal() <= 0 {
+			t.Errorf("%v: empty profile %v", lvl, prof)
+		}
+	}
+}
+
+func TestProfileHasExpectedPrimitives(t *testing.T) {
+	_, prof, err := RunPIM(testCfg(), core.IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III: MLP uses Scatter, Gather(/retrieval) and ReduceScatter.
+	for _, p := range []core.Primitive{core.Scatter, core.Gather, core.ReduceScatter} {
+		if prof.ByPrimitive[p] <= 0 {
+			t.Errorf("missing %v time in profile", p)
+		}
+	}
+	if prof.ByPrimitive[core.AlltoAll] != 0 {
+		t.Error("MLP should not use AlltoAll")
+	}
+}
+
+func TestOptimizedCommBeatsBaseline(t *testing.T) {
+	cfg := testCfg()
+	_, base, err := RunPIM(cfg, core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := RunPIM(cfg, core.IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.ByPrimitive[core.ReduceScatter] >= base.ByPrimitive[core.ReduceScatter] {
+		t.Errorf("optimized RS (%v) should beat baseline (%v)",
+			opt.ByPrimitive[core.ReduceScatter], base.ByPrimitive[core.ReduceScatter])
+	}
+	// Kernel time is level-independent.
+	diff := float64(opt.KernelTime-base.KernelTime) / float64(base.KernelTime)
+	if diff > 0.01 || diff < -0.01 {
+		t.Errorf("kernel time should not depend on level: %v vs %v", opt.KernelTime, base.KernelTime)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, _, _ := RunPIM(testCfg(), core.IM)
+	b, _, _ := RunPIM(testCfg(), core.IM)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic output")
+		}
+	}
+}
+
+func TestBatchesAmortizeWeightScatter(t *testing.T) {
+	cfg := testCfg()
+	want, _, err := RunCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-batch runs must still match the CPU reference (last batch).
+	cfg.Batches = 3
+	wantB, _, err := RunCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, prof1, err := RunPIM(cfg, core.IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != wantB[i] {
+			t.Fatalf("batched output[%d] mismatch", i)
+		}
+	}
+	// Different batches see different inputs.
+	same := true
+	for i := range got {
+		if got[i] != want[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("batch 2 produced batch 0's output")
+	}
+	// Per-batch cost must be cheaper than 3 single-batch runs (weights
+	// scattered once).
+	cfg.Batches = 1
+	_, prof3, err := RunPIM(cfg, core.IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(prof1.Total()) >= 3*float64(prof3.Total()) {
+		t.Errorf("3 amortized batches (%v) should cost less than 3 full runs (%v)",
+			prof1.Total(), 3*prof3.Total())
+	}
+}

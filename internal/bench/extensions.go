@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// Extension experiments beyond the paper's figures: the design-choice
+// ablations DESIGN.md § 6 calls out, and the § IX-B hardware what-ifs.
+
+// runPrimWithParams is RunPrimitive with a custom cost model.
+func runPrimWithParams(shape []int, dims string, size int, prim core.Primitive, lvl core.Level, params cost.Params) (float64, cost.Breakdown, error) {
+	n := 1
+	for _, l := range shape {
+		n *= l
+	}
+	mram := 1
+	for mram < 4*size+64 {
+		mram *= 2
+	}
+	geo, err := geoForPEsFlexible(n, mram)
+	if err != nil {
+		return 0, cost.Breakdown{}, err
+	}
+	sys, err := dram.NewSystem(geo)
+	if err != nil {
+		return 0, cost.Breakdown{}, err
+	}
+	hc, err := core.NewHypercube(sys, shape)
+	if err != nil {
+		return 0, cost.Breakdown{}, err
+	}
+	comm := core.NewComm(hc, params)
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, size)
+	for pe := 0; pe < n; pe++ {
+		rng.Read(buf)
+		comm.SetPEBuffer(pe, 0, buf)
+	}
+	var bd cost.Breakdown
+	switch prim {
+	case core.AlltoAll:
+		bd, err = comm.AlltoAll(dims, 0, 2*size, size, lvl)
+	case core.ReduceScatter:
+		bd, err = comm.ReduceScatter(dims, 0, 2*size, size, elem.I32, elem.Sum, lvl)
+	case core.AllReduce:
+		bd, err = comm.AllReduce(dims, 0, 2*size, size, elem.I32, elem.Sum, lvl)
+	case core.AllGather:
+		s := size / nGroupSize(comm, dims)
+		bd, err = comm.AllGather(dims, 0, 2*s, s, lvl)
+	default:
+		return 0, cost.Breakdown{}, fmt.Errorf("bench: extension runner supports AA/RS/AR/AG, got %v", prim)
+	}
+	if err != nil {
+		return 0, cost.Breakdown{}, err
+	}
+	return gbps(int64(size)*int64(n), float64(bd.Total())), bd, nil
+}
+
+func nGroupSize(c *core.Comm, dims string) int {
+	groups, err := c.Hypercube().Groups(dims)
+	if err != nil || len(groups) == 0 {
+		return 1
+	}
+	return len(groups[0])
+}
+
+func init() {
+	register("ext-dsa", "Extension (§ IX-B): DSA offload of host-side modulation (what-if)", func(o Options) error {
+		size := sizeFor(o, 64<<10, 1<<20)
+		t := newTable("Primitive", "PID-Comm GB/s", "+DSA GB/s", "Gain")
+		dsa := cost.DefaultParams()
+		dsa.DSAOffload = true
+		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
+			base, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, cost.DefaultParams())
+			if err != nil {
+				return err
+			}
+			with, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, dsa)
+			if err != nil {
+				return err
+			}
+			t.add(prim.LongName(), fmt.Sprintf("%.2f", base), fmt.Sprintf("%.2f", with), fmt.Sprintf("%.2fx", with/base))
+		}
+		t.write(o.W)
+		return nil
+	})
+
+	register("ext-rank", "Ablation: rank-parallel vs serialized transfers", func(o Options) error {
+		size := sizeFor(o, 64<<10, 1<<20)
+		t := newTable("Primitive", "Rank-parallel GB/s", "Serialized GB/s", "Loss")
+		serial := cost.DefaultParams()
+		serial.RankParallel = false
+		for _, prim := range []core.Primitive{core.AlltoAll, core.AllGather} {
+			par, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, cost.DefaultParams())
+			if err != nil {
+				return err
+			}
+			ser, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, serial)
+			if err != nil {
+				return err
+			}
+			t.add(prim.LongName(), fmt.Sprintf("%.2f", par), fmt.Sprintf("%.2f", ser), fmt.Sprintf("%.2fx", par/ser))
+		}
+		t.write(o.W)
+		return nil
+	})
+
+	register("ext-launch", "Ablation: kernel-launch overhead sensitivity (small payloads)", func(o Options) error {
+		t := newTable("Launch(us)", "AA 4KiB/PE GB/s", "AA 64KiB/PE GB/s")
+		for _, launch := range []float64{5e-6, 20e-6, 80e-6} {
+			p := cost.DefaultParams()
+			p.KernelLaunch = cost.Seconds(launch)
+			small, _, err := runPrimWithParams([]int{32, 32}, "10", 4<<10, core.AlltoAll, core.CM, p)
+			if err != nil {
+				return err
+			}
+			large, _, err := runPrimWithParams([]int{32, 32}, "10", 64<<10, core.AlltoAll, core.CM, p)
+			if err != nil {
+				return err
+			}
+			t.add(fmt.Sprintf("%.0f", launch*1e6), fmt.Sprintf("%.2f", small), fmt.Sprintf("%.2f", large))
+		}
+		t.write(o.W)
+		return nil
+	})
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+	"repro/internal/multihost"
+)
+
+func init() {
+	register("fig23b", "AllReduce and AlltoAll on a multi-host environment (1/2/4 hosts)", func(o Options) error {
+		perPE := sizeFor(o, 16<<10, 128<<10) // paper: 2 MB per PE
+		t := newTable("Primitive", "Hosts", "Base(ms)", "PID-Comm(ms)", "Net share (ours)")
+		for _, aa := range []bool{false, true} {
+			name := "AllReduce"
+			if aa {
+				name = "AlltoAll"
+			}
+			for _, hosts := range []int{1, 2, 4} {
+				var times [2]cost.Breakdown
+				for i, lvl := range []core.Level{core.Baseline, core.CM} {
+					// 256 PEs per host (one four-rank channel), § IX-A.
+					geo := dram.Geometry{Channels: 1, RanksPerChannel: 4, BanksPerChip: 8,
+						MramPerBank: mramFor(3 * perPE * max(1, hosts))}
+					cl, err := multihost.New(hosts, geo, cost.DefaultParams())
+					if err != nil {
+						return err
+					}
+					P := cl.PEsPerHost()
+					var m int
+					if aa {
+						m = hosts * P * (perPE / (hosts * P) / 8 * 8)
+						if m == 0 {
+							m = hosts * P * 8
+						}
+					} else {
+						m = perPE / (8 * P) * (8 * P)
+						if m == 0 {
+							m = 8 * P
+						}
+					}
+					rng := rand.New(rand.NewSource(5))
+					buf := make([]byte, m)
+					for h := 0; h < hosts; h++ {
+						for p := 0; p < P; p++ {
+							rng.Read(buf)
+							cl.Host(h).SetPEBuffer(p, 0, buf)
+						}
+					}
+					var bd cost.Breakdown
+					if aa {
+						bd, err = cl.AlltoAll(0, 2*m, m/(hosts*P), lvl)
+					} else {
+						bd, err = cl.AllReduce(0, 2*m, m, elem.I32, elem.Sum, lvl)
+					}
+					if err != nil {
+						return err
+					}
+					times[i] = bd
+				}
+				netShare := float64(times[1].Get(cost.Network)) / float64(times[1].Total())
+				t.add(name, fmt.Sprint(hosts),
+					fmt.Sprintf("%.3f", float64(times[0].Total())*1e3),
+					fmt.Sprintf("%.3f", float64(times[1].Total())*1e3),
+					fmt.Sprintf("%.0f%%", 100*netShare))
+			}
+		}
+		t.write(o.W)
+		return nil
+	})
+}
+
+func mramFor(n int) int {
+	p := 1 << 12
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,360 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+	"repro/internal/host"
+)
+
+// PrimSpec describes one primitive measurement.
+type PrimSpec struct {
+	// Shape is the hypercube; PEs = product.
+	Shape []int
+	// Dims is the communication-dimension bitmap.
+	Dims string
+	// RecvPerPE is the per-PE payload on the larger side of the
+	// communication (the paper's throughput denominator basis, § VIII-B).
+	RecvPerPE int
+	// Prim, Level select what to run.
+	Prim  core.Primitive
+	Level core.Level
+	// Elem/Op apply to the reducing primitives.
+	Elem elem.Type
+	Op   elem.Op
+}
+
+// RunPrimitive executes one primitive on a fresh system and returns the
+// throughput (GB/s, larger-side bytes over simulated seconds, § VIII-B)
+// and the cost breakdown.
+func RunPrimitive(spec PrimSpec) (float64, cost.Breakdown, error) {
+	thr, bd, _, err := RunPrimitiveWithStats(spec)
+	return thr, bd, err
+}
+
+// RunPrimitiveWithStats additionally returns the host's cumulative bus
+// traffic statistics (cmd/pidtrace prints them).
+func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferStats, error) {
+	n := 1
+	for _, l := range spec.Shape {
+		n *= l
+	}
+	if spec.Elem == 0 && spec.Op == 0 {
+		spec.Elem, spec.Op = elem.I32, elem.Sum
+	}
+	comm, err := newPrimComm(spec.Shape, n, spec.RecvPerPE)
+	if err != nil {
+		return 0, cost.Breakdown{}, host.XferStats{}, err
+	}
+	p := comm.Hypercube()
+	groups, err := p.Groups(spec.Dims)
+	if err != nil {
+		return 0, cost.Breakdown{}, host.XferStats{}, err
+	}
+	gsize := len(groups[0])
+	m := spec.RecvPerPE
+	fill := func(bytesPerPE int) {
+		rng := rand.New(rand.NewSource(7))
+		buf := make([]byte, bytesPerPE)
+		for pe := 0; pe < n; pe++ {
+			rng.Read(buf)
+			comm.SetPEBuffer(pe, 0, buf)
+		}
+	}
+	hostBufs := func(perGroup int) [][]byte {
+		rng := rand.New(rand.NewSource(9))
+		out := make([][]byte, len(groups))
+		for g := range out {
+			out[g] = make([]byte, perGroup)
+			rng.Read(out[g])
+		}
+		return out
+	}
+
+	var bd cost.Breakdown
+	var bytes int64
+	switch spec.Prim {
+	case core.AlltoAll:
+		fill(m)
+		bd, err = comm.AlltoAll(spec.Dims, 0, 2*m, m, spec.Level)
+		bytes = int64(m) * int64(n)
+	case core.ReduceScatter:
+		fill(m)
+		bd, err = comm.ReduceScatter(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		bytes = int64(m) * int64(n) // before reduction
+	case core.AllReduce:
+		fill(m)
+		bd, err = comm.AllReduce(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		bytes = int64(m) * int64(n)
+	case core.AllGather:
+		s := m / gsize
+		fill(s)
+		bd, err = comm.AllGather(spec.Dims, 0, 2*s, s, spec.Level)
+		bytes = int64(s) * int64(gsize) * int64(n) // output side
+	case core.Scatter:
+		bd, err = comm.Scatter(spec.Dims, hostBufs(gsize*m), 0, m, spec.Level)
+		bytes = int64(m) * int64(n)
+	case core.Gather:
+		fill(m)
+		_, bd, err = comm.Gather(spec.Dims, 0, m, spec.Level)
+		bytes = int64(m) * int64(n)
+	case core.Reduce:
+		fill(m)
+		_, bd, err = comm.Reduce(spec.Dims, 0, m, spec.Elem, spec.Op, spec.Level)
+		bytes = int64(m) * int64(n)
+	case core.Broadcast:
+		bd, err = comm.Broadcast(spec.Dims, hostBufs(m), 0, spec.Level)
+		bytes = int64(m) * int64(n) // received side
+	default:
+		return 0, cost.Breakdown{}, host.XferStats{}, fmt.Errorf("bench: unknown primitive %v", spec.Prim)
+	}
+	if err != nil {
+		return 0, cost.Breakdown{}, host.XferStats{}, err
+	}
+	return gbps(bytes, float64(bd.Total())), bd, comm.Host().Stats(), nil
+}
+
+func newPrimComm(shape []int, n, recvPerPE int) (*core.Comm, error) {
+	mram := 1
+	for mram < 4*recvPerPE+64 {
+		mram *= 2
+	}
+	geo, err := geoForPEsFlexible(n, mram)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := dram.NewSystem(geo)
+	if err != nil {
+		return nil, err
+	}
+	hc, err := core.NewHypercube(sys, shape)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewComm(hc, cost.DefaultParams()), nil
+}
+
+// geoForPEsFlexible mirrors appcore.GeoForPEs (kept local to avoid an
+// import cycle when apps use bench helpers in the future).
+func geoForPEsFlexible(n, mram int) (dram.Geometry, error) {
+	if n <= 0 || n%8 != 0 {
+		return dram.Geometry{}, fmt.Errorf("bench: PE count %d must be a multiple of 8", n)
+	}
+	g := dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 1, MramPerBank: mram}
+	rem := n / 8
+	for g.BanksPerChip < 8 && rem%2 == 0 {
+		g.BanksPerChip *= 2
+		rem /= 2
+	}
+	for g.RanksPerChannel < 4 && rem%2 == 0 {
+		g.RanksPerChannel *= 2
+		rem /= 2
+	}
+	g.Channels = rem
+	if g.NumPEs() != n {
+		return dram.Geometry{}, fmt.Errorf("bench: cannot realize %d PEs", n)
+	}
+	return g, nil
+}
+
+// fig14 recvPerPE: small 64 KiB, full 1 MiB.
+func sizeFor(o Options, small, full int) int {
+	if o.Full {
+		return full
+	}
+	return small
+}
+
+func init() {
+	register("fig14", "Throughput of the eight supported primitives, 2D (32,32), Base vs PID-Comm", func(o Options) error {
+		size := sizeFor(o, 64<<10, 1<<20)
+		t := newTable("Primitive", "Base GB/s", "PID-Comm GB/s", "Speedup")
+		var ratios []float64
+		for _, prim := range core.Primitives() {
+			spec := PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim}
+			spec.Level = core.Baseline
+			base, _, err := RunPrimitive(spec)
+			if err != nil {
+				return err
+			}
+			spec.Level = core.CM
+			ours, _, err := RunPrimitive(spec)
+			if err != nil {
+				return err
+			}
+			t.add(prim.LongName(), fmt.Sprintf("%.2f", base), fmt.Sprintf("%.2f", ours), fmt.Sprintf("%.2fx", ours/base))
+			ratios = append(ratios, ours/base)
+		}
+		t.add("Geomean", "", "", fmt.Sprintf("%.2fx", geomean(ratios)))
+		t.write(o.W)
+		return nil
+	})
+
+	register("fig16", "Ablation study: Base / +PR / +IM / +CM for AA, RS, AR, AG", func(o Options) error {
+		size := sizeFor(o, 64<<10, 1<<20)
+		t := newTable("Primitive", "Base", "+PR", "+IM", "+CM", "(GB/s)")
+		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
+			row := []string{prim.LongName()}
+			for _, lvl := range core.Levels() {
+				if !core.TechniqueApplies(prim, lvl) && lvl != core.Baseline {
+					if core.EffectiveLevel(prim, lvl) != lvl {
+						row = append(row, "-")
+						continue
+					}
+				}
+				thr, _, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl})
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.2f", thr))
+			}
+			t.add(row...)
+		}
+		t.write(o.W)
+		return nil
+	})
+
+	register("fig17", "Execution-time breakdown of AA, RS, AR, AG: Base vs PID-Comm", func(o Options) error {
+		size := sizeFor(o, 64<<10, 8<<20) // paper: 8 MB per PE
+		t := newTable("Primitive", "Design", "Total(ms)", "DT", "HostMod", "HostMem", "PEMem", "PEMod", "Other")
+		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
+			for _, lvl := range []core.Level{core.Baseline, core.CM} {
+				_, bd, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl})
+				if err != nil {
+					return err
+				}
+				name := "Base"
+				if lvl != core.Baseline {
+					name = "PID-Comm"
+				}
+				ms := func(c cost.Category) string { return fmt.Sprintf("%.3f", float64(bd.Get(c))*1e3) }
+				t.add(prim.LongName(), name, fmt.Sprintf("%.3f", float64(bd.Total())*1e3),
+					ms(cost.DomainTransfer), ms(cost.HostMod), ms(cost.HostMem), ms(cost.PEMem),
+					ms(cost.PEMod), ms(cost.Other))
+			}
+		}
+		t.write(o.W)
+		return nil
+	})
+
+	register("fig18", "Primitive throughput vs data size (1D and 2D)", func(o Options) error {
+		sizes := []int{16 << 10, 64 << 10, 256 << 10}
+		if o.Full {
+			sizes = []int{128 << 10, 512 << 10, 2 << 20, 8 << 20}
+		}
+		t := newTable("Config", "Primitive", "Size/PE", "Base GB/s", "PID-Comm GB/s")
+		for _, cfg := range []struct {
+			name  string
+			shape []int
+			dims  string
+		}{
+			{"1D", []int{1024}, "1"},
+			{"2D", []int{32, 32}, "10"},
+		} {
+			for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
+				for _, size := range sizes {
+					base, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.Baseline})
+					if err != nil {
+						return err
+					}
+					ours, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.CM})
+					if err != nil {
+						return err
+					}
+					t.add(cfg.name, prim.String(), fmt.Sprintf("%dK", size>>10),
+						fmt.Sprintf("%.2f", base), fmt.Sprintf("%.2f", ours))
+				}
+			}
+		}
+		t.write(o.W)
+		return nil
+	})
+
+	register("fig19", "Primitive throughput vs number of PEs (64..1024)", func(o Options) error {
+		size := sizeFor(o, 32<<10, 512<<10)
+		pes := []int{64, 128, 256, 512, 1024}
+		t := newTable("Config", "Primitive", "PEs", "Base GB/s", "PID-Comm GB/s")
+		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
+			for _, n := range pes {
+				// 1D and square-ish 2D.
+				shapes := [][]int{{n}, {32, n / 32}}
+				dims := []string{"1", "10"}
+				if n < 64 || n/32 < 2 {
+					shapes = shapes[:1]
+					dims = dims[:1]
+				}
+				for i, shape := range shapes {
+					base, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.Baseline})
+					if err != nil {
+						return err
+					}
+					ours, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.CM})
+					if err != nil {
+						return err
+					}
+					name := "1D"
+					if i == 1 {
+						name = "2D"
+					}
+					t.add(name, prim.String(), fmt.Sprint(n), fmt.Sprintf("%.2f", base), fmt.Sprintf("%.2f", ours))
+				}
+			}
+		}
+		t.write(o.W)
+		return nil
+	})
+
+	register("fig20", "PID-Comm throughput on 3D hypercube shapes", func(o Options) error {
+		size := sizeFor(o, 32<<10, 512<<10)
+		shapes := [][]int{{8, 64, 2}, {16, 32, 2}, {32, 16, 2}, {64, 8, 2}, {128, 4, 2},
+			{8, 32, 4}, {16, 16, 4}, {32, 8, 4}, {64, 4, 4}, {128, 2, 4}}
+		t := newTable("Shape", "AA", "RS", "AR", "AG", "(PID-Comm GB/s, x-axis comm)")
+		for _, shape := range shapes {
+			row := []string{fmt.Sprintf("%v", shape)}
+			for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
+				thr, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: "100", RecvPerPE: size, Prim: prim, Level: core.CM})
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.2f", thr))
+			}
+			t.add(row...)
+		}
+		t.write(o.W)
+		return nil
+	})
+
+	register("fig23a", "AllReduce on hierarchy-aware topologies: hypercube vs ring vs tree", func(o Options) error {
+		size := sizeFor(o, 64<<10, 2<<20)
+		commFor := func() (*core.Comm, error) { return newPrimComm([]int{32, 32}, 1024, size) }
+		t := newTable("Topology", "Throughput GB/s", "Slowdown vs hypercube")
+		var hyper float64
+		for _, topo := range []core.Topology{core.TopoHypercube, core.TopoRing, core.TopoTree} {
+			comm, err := commFor()
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(3))
+			buf := make([]byte, size)
+			for pe := 0; pe < 1024; pe++ {
+				rng.Read(buf)
+				comm.SetPEBuffer(pe, 0, buf)
+			}
+			bd, err := comm.AllReduceTopo(topo, "10", 0, 2*size, size, elem.I32, elem.Sum)
+			if err != nil {
+				return err
+			}
+			thr := gbps(int64(size)*1024, float64(bd.Total()))
+			if topo == core.TopoHypercube {
+				hyper = thr
+			}
+			t.add(topo.String(), fmt.Sprintf("%.2f", thr), fmt.Sprintf("%.2fx", hyper/thr))
+		}
+		t.write(o.W)
+		return nil
+	})
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/dpu"
+	"repro/internal/dram"
+	"repro/internal/elem"
+	"repro/internal/host"
+)
+
+// Comm executes PID-Comm collectives on a hypercube. It owns a host model
+// (whose meter accumulates all communication costs) and a DPU engine for
+// the PE-side reorder kernels.
+type Comm struct {
+	hc  *Hypercube
+	h   *host.Host
+	eng *dpu.Engine
+
+	// plans caches group plans per dims string; applications alternate
+	// between a few dims selections every layer (Algorithm 1).
+	plans map[string]*plan
+}
+
+// NewComm creates a communication context for the hypercube with the
+// given cost parameters.
+func NewComm(hc *Hypercube, params cost.Params) *Comm {
+	return &Comm{
+		hc:    hc,
+		h:     host.New(hc.sys, params),
+		eng:   dpu.NewEngine(hc.sys, params),
+		plans: make(map[string]*plan),
+	}
+}
+
+// Hypercube returns the comm's hypercube manager.
+func (c *Comm) Hypercube() *Hypercube { return c.hc }
+
+// Meter returns the meter accumulating all communication costs.
+func (c *Comm) Meter() *cost.Meter { return c.h.Meter() }
+
+// Host returns the underlying host model (shared with applications that
+// also issue their own transfers).
+func (c *Comm) Host() *host.Host { return c.h }
+
+// Engine returns the DPU engine (shared with application kernels).
+func (c *Comm) Engine() *dpu.Engine { return c.eng }
+
+func (c *Comm) plan(dims string) (*plan, error) {
+	if p, ok := c.plans[dims]; ok {
+		return p, nil
+	}
+	p, err := c.hc.buildPlan(dims)
+	if err != nil {
+		return nil, err
+	}
+	c.plans[dims] = p
+	return p, nil
+}
+
+// SetPEBuffer writes raw bytes directly into a PE's MRAM (no cost):
+// test/application setup helper representing data the PE itself produced.
+func (c *Comm) SetPEBuffer(pe, off int, data []byte) {
+	m := c.hc.sys.BankBytes(pe)
+	if off < 0 || off+len(data) > len(m) {
+		panic(fmt.Sprintf("core: PE %d buffer [%d,%d) out of MRAM range %d", pe, off, off+len(data), len(m)))
+	}
+	copy(m[off:], data)
+}
+
+// GetPEBuffer reads raw bytes directly from a PE's MRAM (no cost).
+func (c *Comm) GetPEBuffer(pe, off, n int) []byte {
+	m := c.hc.sys.BankBytes(pe)
+	if off < 0 || off+n > len(m) {
+		panic(fmt.Sprintf("core: PE %d buffer [%d,%d) out of MRAM range %d", pe, off, off+n, len(m)))
+	}
+	out := make([]byte, n)
+	copy(out, m[off:])
+	return out
+}
+
+// checkRegion validates an MRAM region common to all PEs.
+func (c *Comm) checkRegion(off, n int) error {
+	if off < 0 || n < 0 || off+n > c.hc.sys.MramSize() {
+		return fmt.Errorf("core: region [%d,%d) exceeds MRAM size %d", off, off+n, c.hc.sys.MramSize())
+	}
+	if off%dram.BankBurstBytes != 0 {
+		return fmt.Errorf("core: offset %d not %d-byte aligned", off, dram.BankBurstBytes)
+	}
+	if n%dram.BankBurstBytes != 0 {
+		return fmt.Errorf("core: size %d not a multiple of %d", n, dram.BankBurstBytes)
+	}
+	return nil
+}
+
+// blockSize computes and validates the per-block size s = bytesPerPE / n
+// for block-structured primitives.
+func blockSize(bytesPerPE, n int) (int, error) {
+	if bytesPerPE%n != 0 {
+		return 0, fmt.Errorf("core: %d bytes/PE not divisible by group size %d", bytesPerPE, n)
+	}
+	s := bytesPerPE / n
+	if s%dram.BankBurstBytes != 0 {
+		return 0, fmt.Errorf("core: block size %d not a multiple of %d", s, dram.BankBurstBytes)
+	}
+	return s, nil
+}
+
+func checkElem(t elem.Type, op elem.Op) error {
+	if t.Size() <= 0 || t.Size() > 8 {
+		return fmt.Errorf("core: unsupported element type %v", t)
+	}
+	_ = op.Identity(t) // panics on unknown op
+	return nil
+}
+
+// overlap reports whether [aOff,aOff+aLen) and [bOff,bOff+bLen) intersect.
+func overlap(aOff, aLen, bOff, bLen int) bool {
+	return aOff < bOff+bLen && bOff < aOff+aLen
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/dpu"
+	"repro/internal/dram"
+	"repro/internal/elem"
+	"repro/internal/vec"
+)
+
+// column holds one 64-byte burst per entangled group, all at the same
+// per-bank MRAM offset — the unit the optimized engine streams. Registers
+// are in PIM byte order unless stated otherwise.
+type column []vec.Reg
+
+// readColumn reads the burst at offset off from every entangled group.
+// Must run inside a transfer epoch.
+func (c *Comm) readColumn(off int) column {
+	nEG := c.hc.sys.Geometry().NumGroups()
+	col := make(column, nEG)
+	for g := 0; g < nEG; g++ {
+		col[g] = c.h.ReadBurst(g, off)
+	}
+	return col
+}
+
+// writeColumn writes one burst per entangled group at offset off.
+func (c *Comm) writeColumn(off int, col column) {
+	for g, r := range col {
+		c.h.WriteBurst(g, off, r)
+	}
+}
+
+// moveElem copies the PIM-domain element of lane src in sr into lane dst
+// of dr: bank c's element occupies byte c of every aligned 8-byte word.
+func moveElem(dr *vec.Reg, dst int, sr *vec.Reg, src int) {
+	for w := 0; w < vec.Lanes; w++ {
+		dr[8*w+dst] = sr[8*w+src]
+	}
+}
+
+// shiftColumn moves every lane's element to the PE holding rank
+// (rank+shift) mod n of the same communication group — the multi-instance
+// lane rotation at the heart of the optimized engine. Because every PE
+// belongs to exactly one group, the result is a full permutation of the
+// column, whether groups subdivide an entangled group, span several, or
+// stride across them (Figure 9 general cases).
+func (c *Comm) shiftColumn(p *plan, col column, shift int) column {
+	out := make(column, len(col))
+	for g := range col {
+		for chip := 0; chip < dram.ChipsPerRank; chip++ {
+			pe := g*dram.ChipsPerRank + chip
+			grp := p.groupOf[pe]
+			dstRank := (int(p.rankOf[pe]) + shift) % p.n
+			if dstRank < 0 {
+				dstRank += p.n
+			}
+			dstPE := p.groups[grp][dstRank]
+			moveElem(&out[dstPE/dram.ChipsPerRank], dstPE%dram.ChipsPerRank, &col[g], chip)
+		}
+	}
+	return out
+}
+
+// transposeColumn converts every register between PIM and host byte order
+// (functional only; the caller charges DT or nothing per level).
+func transposeColumn(col column) column {
+	out := make(column, len(col))
+	var u vec.Unit // scratch unit; cost charged explicitly by callers
+	for g, r := range col {
+		out[g] = u.Transpose8x8(r)
+	}
+	return out
+}
+
+// reduceColumnInto accumulates src into acc elementwise (host byte order:
+// each lane is a whole element, so vertical SIMD ops apply; § V-B2).
+func reduceColumnInto(t elem.Type, op elem.Op, acc, src column) {
+	var u vec.Unit
+	for g := range acc {
+		acc[g] = u.Reduce(t, op, acc[g], src[g])
+	}
+}
+
+// identityColumn returns a column of reduction identities.
+func identityColumn(t elem.Type, op elem.Op, nEG int) column {
+	var u vec.Unit
+	id := u.FillIdentity(t, op)
+	col := make(column, nEG)
+	for g := range col {
+		col[g] = id
+	}
+	return col
+}
+
+// columnBytes is the data volume of one column, for charge computations.
+func (c *Comm) columnBytes() int64 {
+	return int64(c.hc.sys.Geometry().NumGroups()) * dram.BurstBytes
+}
+
+// chargeShift charges one lane-shift pass over a column. Under
+// cross-domain modulation (cm) the shift is a single fused byte-rotate per
+// register; otherwise it is transpose + word shift + transpose, whose
+// transposes are charged as domain transfer (they are the in-register form
+// of DT).
+func (c *Comm) chargeShift(cm bool) {
+	n := c.columnBytes()
+	c.h.ChargeSIMD(n)
+	if !cm {
+		c.h.ChargeDT(2 * n)
+	}
+}
+
+// launchRotateBlocks runs the PE-assisted reordering kernel (§ V-A1) on
+// every PE: each PE's region [off, off+n*s) is treated as n blocks of s
+// bytes and left-rotated by rot(rank) blocks: new block l = old block
+// (l + rot) mod n. The kernel streams MRAM through WRAM-sized chunks;
+// the paper's incremental shifting touches each byte once in and once out,
+// which is what the accounting reflects.
+func (c *Comm) launchRotateBlocks(p *plan, off, n, s int, rot func(rank int) int) {
+	pes := make([]int, len(p.rankOf))
+	ranks := make([]int, len(p.rankOf))
+	for pe := range pes {
+		pes[pe] = pe
+		ranks[pe] = int(p.rankOf[pe])
+	}
+	c.eng.Launch(dpu.LaunchSpec{
+		PEs:        pes,
+		GroupRanks: ranks,
+		Category:   cost.PEMod,
+	}, c.h.Meter(), func(ctx *dpu.Ctx) {
+		r := rot(ctx.GroupRank) % n
+		if r < 0 {
+			r += n
+		}
+		if r == 0 {
+			return // nothing to move; kernel exits immediately
+		}
+		m := n * s
+		// Read the full region through WRAM-sized chunks into a rotation
+		// pipeline, then write each block to its rotated position. The
+		// temp models the double-buffered WRAM streaming of the real
+		// kernel; MRAM traffic (the dominant cost) is fully accounted.
+		tmp := make([]byte, m)
+		chunk := len(ctx.Wram()) / 2
+		for o := 0; o < m; o += chunk {
+			end := o + chunk
+			if end > m {
+				end = m
+			}
+			ctx.ReadMram(off+o, tmp[o:end])
+		}
+		for l := 0; l < n; l++ {
+			srcBlock := (l + r) % n
+			for o := 0; o < s; o += chunk {
+				end := o + chunk
+				if end > s {
+					end = s
+				}
+				ctx.WriteMram(off+l*s+o, tmp[srcBlock*s+o:srcBlock*s+end])
+			}
+		}
+		ctx.Exec(int64(m / 4)) // address arithmetic, ~1 instr per 4 bytes
+	})
+}
+
+// allEGs returns [0..numGroups) for bulk transfers covering the machine.
+func (c *Comm) allEGs() []int {
+	out := make([]int, c.hc.sys.Geometry().NumGroups())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

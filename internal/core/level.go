@@ -1,0 +1,180 @@
+package core
+
+import "fmt"
+
+// Level selects how much of PID-Comm's optimization stack a collective
+// uses. Levels are cumulative (§ V-A takes "three progressive steps from
+// the baseline"): each level includes all techniques of the previous one.
+// Not every technique applies to every primitive (Table II); requesting a
+// level beyond what a primitive supports uses the highest applicable one
+// (see EffectiveLevel).
+type Level int
+
+const (
+	// Baseline is the conventional design (Figure 3a / Figure 7a):
+	// UPMEM-SDK-style bulk transfers with automatic domain transfer,
+	// global data modulation in host memory by the host alone.
+	Baseline Level = iota
+	// PR adds PE-assisted reordering (§ V-A1): PEs locally pre/post-
+	// reorder their data so the host's modulation becomes local and
+	// cache-friendly.
+	PR
+	// IM adds in-register modulation (§ V-A2): the host-side modulation
+	// working set fits vector registers, so staging in host memory is
+	// eliminated entirely.
+	IM
+	// CM adds cross-domain modulation (§ V-A3): for primitives without
+	// host arithmetic the domain transfers fuse with the word shifts into
+	// single byte-level shifts, eliminating DT.
+	CM
+)
+
+// Levels lists all levels in ascending order.
+func Levels() []Level { return []Level{Baseline, PR, IM, CM} }
+
+// String returns the label used in the ablation study (Figure 16).
+func (l Level) String() string {
+	switch l {
+	case Baseline:
+		return "Base"
+	case PR:
+		return "+PR"
+	case IM:
+		return "+IM"
+	case CM:
+		return "+CM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Primitive identifies one of the eight collective communication
+// primitives (Figure 2).
+type Primitive int
+
+const (
+	// AlltoAll: block j of rank i ends as block i of rank j.
+	AlltoAll Primitive = iota
+	// ReduceScatter: block p, reduced elementwise over all ranks, ends on
+	// rank p.
+	ReduceScatter
+	// AllReduce: every rank ends with the full elementwise reduction.
+	AllReduce
+	// AllGather: every rank ends with the concatenation of all ranks'
+	// buffers.
+	AllGather
+	// Scatter: the host (root) sends block p to rank p.
+	Scatter
+	// Gather: the host (root) receives all ranks' buffers concatenated.
+	Gather
+	// Reduce: the host (root) receives the full elementwise reduction.
+	Reduce
+	// Broadcast: every rank receives a copy of the host's buffer.
+	Broadcast
+)
+
+// Primitives lists all primitives in the paper's column order (Table I).
+func Primitives() []Primitive {
+	return []Primitive{AlltoAll, ReduceScatter, AllReduce, AllGather, Scatter, Gather, Reduce, Broadcast}
+}
+
+// String returns the paper's abbreviation.
+func (p Primitive) String() string {
+	switch p {
+	case AlltoAll:
+		return "AA"
+	case ReduceScatter:
+		return "RS"
+	case AllReduce:
+		return "AR"
+	case AllGather:
+		return "AG"
+	case Scatter:
+		return "Sc"
+	case Gather:
+		return "Ga"
+	case Reduce:
+		return "Re"
+	case Broadcast:
+		return "Br"
+	default:
+		return fmt.Sprintf("Primitive(%d)", int(p))
+	}
+}
+
+// LongName returns the full primitive name.
+func (p Primitive) LongName() string {
+	switch p {
+	case AlltoAll:
+		return "AlltoAll"
+	case ReduceScatter:
+		return "ReduceScatter"
+	case AllReduce:
+		return "AllReduce"
+	case AllGather:
+		return "AllGather"
+	case Scatter:
+		return "Scatter"
+	case Gather:
+		return "Gather"
+	case Reduce:
+		return "Reduce"
+	case Broadcast:
+		return "Broadcast"
+	default:
+		return p.String()
+	}
+}
+
+// TechniqueApplies reports whether optimization level l introduces a new
+// technique for primitive p — the applicability matrix of Table II.
+//
+//	PE-assisted reordering:  AA RS AR AG Re
+//	In-register modulation:  AA RS AR AG Sc Ga Re
+//	Cross-domain modulation: AA AG
+//
+// Broadcast is already optimal in the native driver (§ VIII-B) and gains
+// nothing from any technique.
+func TechniqueApplies(p Primitive, l Level) bool {
+	switch l {
+	case Baseline:
+		return true
+	case PR:
+		switch p {
+		case AlltoAll, ReduceScatter, AllReduce, AllGather, Reduce:
+			return true
+		}
+		return false
+	case IM:
+		switch p {
+		case AlltoAll, ReduceScatter, AllReduce, AllGather, Scatter, Gather, Reduce:
+			return true
+		}
+		return false
+	case CM:
+		switch p {
+		case AlltoAll, AllGather:
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// EffectiveLevel returns the level actually used when level l is requested
+// for primitive p: the highest applicable level not exceeding l. A
+// primitive skips levels whose technique it has no use for (e.g. Scatter
+// has no PE-side data to pre-reorder, so its stack is Baseline then IM).
+func EffectiveLevel(p Primitive, l Level) Level {
+	eff := Baseline
+	for _, cand := range Levels() {
+		if cand == Baseline || cand > l {
+			continue
+		}
+		if TechniqueApplies(p, cand) {
+			eff = cand
+		}
+	}
+	return eff
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// AlltoAll is an involution: applying it twice restores the original
+// placement (dst[j][i] = src[i][j] twice over). This exercises the
+// full pipeline — including the destructive in-place pre-rotation —
+// because the second call consumes the first call's output.
+func TestAlltoAllInvolution(t *testing.T) {
+	for _, lvl := range Levels() {
+		c := testSystem(t, geo64, []int{8, 8})
+		p, _ := c.plan("10")
+		m := p.n * 24
+		in := fillSrc(c, 0, m, 55)
+		if _, err := c.AlltoAll("10", 0, 2*m, m, lvl); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AlltoAll("10", 2*m, 4*m, m, lvl); err != nil {
+			t.Fatal(err)
+		}
+		for pe := 0; pe < 64; pe++ {
+			if !bytes.Equal(c.GetPEBuffer(pe, 4*m, m), in[pe]) {
+				t.Fatalf("%v: double AlltoAll != identity at PE %d", lvl, pe)
+			}
+		}
+	}
+}
+
+// Broadcast then Gather returns n copies of each group's payload.
+func TestBroadcastGatherRoundTrip(t *testing.T) {
+	c := testSystem(t, geo64, []int{4, 16})
+	p, _ := c.plan("01")
+	s := 48
+	rng := rand.New(rand.NewSource(2))
+	bufs := make([][]byte, len(p.groups))
+	for g := range bufs {
+		bufs[g] = make([]byte, s)
+		rng.Read(bufs[g])
+	}
+	if _, err := c.Broadcast("01", bufs, 0, CM); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Gather("01", 0, s, IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range bufs {
+		for r := 0; r < p.n; r++ {
+			if !bytes.Equal(got[g][r*s:(r+1)*s], bufs[g]) {
+				t.Fatalf("group %d rank %d does not hold the broadcast payload", g, r)
+			}
+		}
+	}
+}
+
+// Reduce must equal the elementwise fold of Gather's result.
+func TestReduceEqualsFoldedGather(t *testing.T) {
+	c := testSystem(t, geo64, []int{4, 2, 8})
+	p, _ := c.plan("101")
+	s := 8
+	m := p.n * s
+	fillSrc(c, 0, m, 71)
+	gathered, _, err := c.Gather("101", 0, m, IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, _, err := c.Reduce("101", 0, m, elem.I32, elem.Sum, IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range reduced {
+		want := make([]byte, m)
+		elem.Fill(elem.I32, want, 0)
+		for r := 0; r < p.n; r++ {
+			elem.ReduceInto(elem.I32, elem.Sum, want, gathered[g][r*m:(r+1)*m])
+		}
+		if !bytes.Equal(reduced[g], want) {
+			t.Fatalf("group %d: Reduce != fold(Gather)", g)
+		}
+	}
+}
+
+// AllReduce equals ReduceScatter followed by AllGather (the composition
+// PID-Comm fuses, § V-B3).
+func TestAllReduceEqualsRSThenAG(t *testing.T) {
+	mk := func() (*Comm, int) {
+		c := testSystem(t, geo64, []int{8, 8})
+		p, _ := c.plan("01")
+		return c, p.n
+	}
+	c1, n := mk()
+	s := 16
+	m := n * s
+	in := fillSrc(c1, 0, m, 88)
+	if _, err := c1.AllReduce("01", 0, 2*m, m, elem.I32, elem.Sum, IM); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := mk()
+	for pe := range in {
+		c2.SetPEBuffer(pe, 0, in[pe])
+	}
+	if _, err := c2.ReduceScatter("01", 0, 2*m, m, elem.I32, elem.Sum, IM); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.AllGather("01", 2*m, 4*m, s, IM); err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 64; pe++ {
+		if !bytes.Equal(c1.GetPEBuffer(pe, 2*m, m), c2.GetPEBuffer(pe, 4*m, m)) {
+			t.Fatalf("AR != RS+AG at PE %d", pe)
+		}
+	}
+}
+
+// Randomized property check over shapes, dims, block sizes and levels:
+// AlltoAll always matches the reference model.
+func TestAlltoAllQuickProperty(t *testing.T) {
+	shapes := []struct {
+		shape []int
+		dims  []string
+	}{
+		{[]int{64}, []string{"1"}},
+		{[]int{8, 8}, []string{"10", "01", "11"}},
+		{[]int{4, 16}, []string{"10", "01"}},
+		{[]int{2, 4, 8}, []string{"100", "010", "001", "110", "011", "101"}},
+	}
+	f := func(pick, dimPick, sizePick uint8, seed int64) bool {
+		sc := shapes[int(pick)%len(shapes)]
+		dims := sc.dims[int(dimPick)%len(sc.dims)]
+		lvl := Levels()[int(seed&3)]
+		c := testSystem(t, geo64, sc.shape)
+		p, err := c.plan(dims)
+		if err != nil {
+			return false
+		}
+		s := 8 * (1 + int(sizePick)%3)
+		m := p.n * s
+		in := fillSrc(c, 0, m, seed)
+		if _, err := c.AlltoAll(dims, 0, 2*m, m, lvl); err != nil {
+			return false
+		}
+		for _, grp := range p.groups {
+			want := RefAlltoAll(groupInputs(in, grp), s)
+			for j, pe := range grp {
+				if !bytes.Equal(c.GetPEBuffer(pe, 2*m, m), want[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Randomized property: ReduceScatter matches the reference for every
+// type/op pairing.
+func TestReduceScatterQuickProperty(t *testing.T) {
+	f := func(typPick, opPick, lvlPick uint8, seed int64) bool {
+		typ := elem.Types()[int(typPick)%4]
+		op := elem.Ops()[int(opPick)%6]
+		lvl := []Level{Baseline, PR, IM}[int(lvlPick)%3]
+		c := testSystem(t, geo64, []int{8, 8})
+		p, _ := c.plan("10")
+		s := 16
+		m := p.n * s
+		in := fillSrc(c, 0, m, seed)
+		if _, err := c.ReduceScatter("10", 0, 2*m, m, typ, op, lvl); err != nil {
+			return false
+		}
+		for _, grp := range p.groups {
+			want := RefReduceScatter(typ, op, groupInputs(in, grp), s)
+			for j, pe := range grp {
+				if !bytes.Equal(c.GetPEBuffer(pe, 2*m, s), want[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Multi-instance invocations on different dims must compose: running an
+// x-axis collective then a y-axis collective is the 2-D decomposition
+// apps use (Algorithm 1).
+func TestAlternatingDimsComposition(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	px, _ := c.plan("10")
+	py, _ := c.plan("01")
+	s := 8
+	m := 8 * s
+	in := fillSrc(c, 0, m, 13)
+
+	// RS along x, then AG along y on the results.
+	if _, err := c.ReduceScatter("10", 0, 2*m, m, elem.I32, elem.Sum, IM); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllGather("01", 2*m, 4*m, s, IM); err != nil {
+		t.Fatal(err)
+	}
+	// Expected: per x-group RS result, then per y-group concatenation.
+	rsOut := make([][]byte, 64)
+	for _, grp := range px.groups {
+		want := RefReduceScatter(elem.I32, elem.Sum, groupInputs(in, grp), s)
+		for j, pe := range grp {
+			rsOut[pe] = want[j]
+		}
+	}
+	for _, grp := range py.groups {
+		want := RefAllGather(groupInputs(rsOut, grp))
+		for j, pe := range grp {
+			if !bytes.Equal(c.GetPEBuffer(pe, 4*m, 8*s), want[j]) {
+				t.Fatalf("composition mismatch at PE %d", pe)
+			}
+		}
+	}
+}
+
+// The DSA-offload what-if (§ IX-B) must speed up the optimized paths and
+// leave results untouched.
+func TestDSAOffloadSpeedsUpWithoutChangingResults(t *testing.T) {
+	run := func(dsa bool) ([]byte, float64) {
+		sys, err := dram.NewSystem(dram.Geometry{Channels: 1, RanksPerChannel: 4, BanksPerChip: 8, MramPerBank: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, err := NewHypercube(sys, []int{16, 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := cost.DefaultParams()
+		params.DSAOffload = dsa
+		c := NewComm(hc, params)
+		m := 16 * 1024
+		fillSrcComm(c, 0, m, 3)
+		bd, err := c.ReduceScatter("10", 0, 2*m, m, elem.I32, elem.Sum, IM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		for pe := 0; pe < 256; pe++ {
+			all = append(all, c.GetPEBuffer(pe, 2*m, 1024)...)
+		}
+		return all, float64(bd.Total())
+	}
+	plain, tPlain := run(false)
+	dsa, tDSA := run(true)
+	if !bytes.Equal(plain, dsa) {
+		t.Fatal("DSA offload changed functional results")
+	}
+	if tDSA >= tPlain {
+		t.Errorf("DSA offload did not speed up: %v vs %v", tDSA, tPlain)
+	}
+}
+
+func fillSrcComm(c *Comm, off, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n)
+	for pe := 0; pe < c.Hypercube().System().Geometry().NumPEs(); pe++ {
+		rng.Read(buf)
+		c.SetPEBuffer(pe, off, buf)
+	}
+}

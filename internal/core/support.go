@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Framework identifies a communication framework compared in Table I.
+type Framework int
+
+const (
+	// UPMEMSDK is the vendor SDK (§ III-A): rooted host transfers only.
+	UPMEMSDK Framework = iota
+	// SimplePIM is the framework of Chen et al. (Table I row 2).
+	SimplePIM
+	// PIDComm is this library.
+	PIDComm
+)
+
+// String returns the row label used in Table I.
+func (f Framework) String() string {
+	switch f {
+	case UPMEMSDK:
+		return "UPMEM SDK"
+	case SimplePIM:
+		return "SimplePIM"
+	case PIDComm:
+		return "PID-Comm"
+	default:
+		return fmt.Sprintf("Framework(%d)", int(f))
+	}
+}
+
+// Supports reports whether the framework provides the primitive
+// (Table I's "Supported Primitives" columns).
+func (f Framework) Supports(p Primitive) bool {
+	switch f {
+	case UPMEMSDK:
+		// Rooted host<->PE copies only: Scatter, Gather, Broadcast.
+		return p == Scatter || p == Gather || p == Broadcast
+	case SimplePIM:
+		// AllReduce, AllGather plus the rooted copies (Table I).
+		switch p {
+		case AllReduce, AllGather, Scatter, Gather, Broadcast:
+			return true
+		}
+		return false
+	case PIDComm:
+		return true
+	default:
+		return false
+	}
+}
+
+// MultiInstance reports whether the framework supports multi-instance
+// communication over hypercube dimensions (Table I column 1).
+func (f Framework) MultiInstance() bool { return f == PIDComm }
+
+// Optimized reports whether the framework's implementations are optimized
+// for the DIMM hierarchy (Table I column 2).
+func (f Framework) Optimized() bool { return f == PIDComm }
+
+// TableI renders the comparison matrix of Table I.
+func TableI() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-15s %-13s", "Framework", "Multi-Instance", "Performance")
+	for _, p := range Primitives() {
+		fmt.Fprintf(&sb, " %-3s", p)
+	}
+	sb.WriteByte('\n')
+	for _, f := range []Framework{UPMEMSDK, SimplePIM, PIDComm} {
+		mi, opt := "Not Supported", "Not Optimized"
+		if f.MultiInstance() {
+			mi = "Supported"
+		}
+		if f.Optimized() {
+			opt = "Optimized"
+		}
+		fmt.Fprintf(&sb, "%-12s %-15s %-13s", f, mi, opt)
+		for _, p := range Primitives() {
+			mark := " "
+			if f.Supports(p) {
+				mark = "v"
+			}
+			fmt.Fprintf(&sb, " %-3s", mark)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TableII renders the technique-applicability matrix of Table II.
+func TableII() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-26s", "Technique")
+	for _, p := range Primitives() {
+		fmt.Fprintf(&sb, " %-3s", p)
+	}
+	sb.WriteByte('\n')
+	rows := []struct {
+		name string
+		lvl  Level
+	}{
+		{"PE-assisted reordering", PR},
+		{"In-register modulation", IM},
+		{"Cross-domain modulation", CM},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-26s", r.name)
+		for _, p := range Primitives() {
+			mark := " "
+			if TechniqueApplies(p, r.lvl) {
+				mark = "v"
+			}
+			fmt.Fprintf(&sb, " %-3s", mark)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

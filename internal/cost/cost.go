@@ -1,0 +1,234 @@
+// Package cost provides the timing model for the simulated PIM-enabled
+// DIMM system and the accounting meter that produces the per-category
+// execution-time breakdowns reported in the paper (Figures 4 and 17).
+//
+// The model is deliberately parametric: the paper's claims are about the
+// shape of results (which design wins, by what factor, where crossovers
+// fall), and those shapes are determined by bandwidth and throughput
+// ratios, not absolute hardware speeds. All parameters live in Params and
+// are documented with the real-hardware values they approximate.
+//
+// The meter accumulates simulated seconds. It never influences functional
+// data movement; the simulator moves real bytes and reports costs here.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category classifies where simulated time is spent. The set mirrors the
+// breakdown categories of Figure 17 (Domain Transfer, Host-side Modulation,
+// Host Mem Access, PE Mem Access, PE-side Modulation, Other) plus Kernel and
+// Network used by the application studies (Figures 4, 13, 21, 23b).
+type Category int
+
+const (
+	// DomainTransfer is host-side 8x8 byte transposition between the PIM
+	// byte domain and the host byte domain (§ II-B).
+	DomainTransfer Category = iota
+	// HostMod is host-side data modulation (rearrangement, shifts,
+	// reductions) whether in memory or in vector registers.
+	HostMod
+	// HostMem is host main-memory traffic for staging buffers.
+	HostMem
+	// PEMem is data movement between the host and the DIMM banks over the
+	// external bus (CPU-DPU and DPU-CPU transfers), bounded by channel
+	// bandwidth.
+	PEMem
+	// PEMod is PE-side modulation: the reorder kernels of PE-assisted
+	// reordering running on the DPUs.
+	PEMod
+	// Kernel is application compute on the DPUs (SpGEMM, GeMM, ...).
+	Kernel
+	// Network is inter-host communication in the multi-host study.
+	Network
+	// Other covers kernel-launch and synchronization overheads.
+	Other
+
+	numCategories
+)
+
+// String returns the short label used in breakdown tables.
+func (c Category) String() string {
+	switch c {
+	case DomainTransfer:
+		return "DomainTransfer"
+	case HostMod:
+		return "HostMod"
+	case HostMem:
+		return "HostMem"
+	case PEMem:
+		return "PEMem"
+	case PEMod:
+		return "PEMod"
+	case Kernel:
+		return "Kernel"
+	case Network:
+		return "Network"
+	case Other:
+		return "Other"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Seconds is simulated wall-clock time.
+type Seconds float64
+
+// Meter accumulates simulated time per category. The zero value is ready to
+// use. Meter is not safe for concurrent use; parallel actors (e.g. PEs)
+// accumulate locally and merge via MaxPar/Add.
+type Meter struct {
+	byCat [numCategories]Seconds
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Add accrues t seconds to category c.
+func (m *Meter) Add(c Category, t Seconds) {
+	if t < 0 {
+		panic(fmt.Sprintf("cost: negative time %v for %v", t, c))
+	}
+	m.byCat[c] += t
+}
+
+// AddBytes accrues bytes/bw seconds to category c. bw is in bytes/second.
+func (m *Meter) AddBytes(c Category, bytes int64, bw float64) {
+	if bw <= 0 {
+		panic(fmt.Sprintf("cost: non-positive bandwidth %v for %v", bw, c))
+	}
+	m.Add(c, Seconds(float64(bytes)/bw))
+}
+
+// Get returns the accumulated time in category c.
+func (m *Meter) Get(c Category) Seconds { return m.byCat[c] }
+
+// Total returns the sum over all categories.
+func (m *Meter) Total() Seconds {
+	var t Seconds
+	for _, v := range m.byCat {
+		t += v
+	}
+	return t
+}
+
+// Merge adds every category of other into m.
+func (m *Meter) Merge(other *Meter) {
+	for i, v := range other.byCat {
+		m.byCat[i] += v
+	}
+}
+
+// MergeMax merges other into m taking, per category, the maximum of the two.
+// It models perfectly overlapped parallel actors (e.g. the per-rank transfer
+// engines, or the DPUs running a kernel): the slowest actor determines the
+// elapsed time.
+func (m *Meter) MergeMax(other *Meter) {
+	for i, v := range other.byCat {
+		if v > m.byCat[i] {
+			m.byCat[i] = v
+		}
+	}
+}
+
+// Scale multiplies every category by f (used to model partial overlap).
+func (m *Meter) Scale(f float64) {
+	if f < 0 {
+		panic("cost: negative scale")
+	}
+	for i := range m.byCat {
+		m.byCat[i] *= Seconds(f)
+	}
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { m.byCat = [numCategories]Seconds{} }
+
+// Snapshot returns a copy of the meter's current state.
+func (m *Meter) Snapshot() Breakdown {
+	return Breakdown{byCat: m.byCat}
+}
+
+// Breakdown is an immutable snapshot of a Meter, used for reporting.
+type Breakdown struct {
+	byCat [numCategories]Seconds
+}
+
+// Get returns the time in category c.
+func (b Breakdown) Get(c Category) Seconds { return b.byCat[c] }
+
+// Total returns the total time.
+func (b Breakdown) Total() Seconds {
+	var t Seconds
+	for _, v := range b.byCat {
+		t += v
+	}
+	return t
+}
+
+// Sub returns b - earlier per category, clamping small negatives from
+// floating-point noise to zero. It is used to isolate one phase's cost.
+func (b Breakdown) Sub(earlier Breakdown) Breakdown {
+	var out Breakdown
+	for i := range b.byCat {
+		d := b.byCat[i] - earlier.byCat[i]
+		if d < 0 {
+			d = 0
+		}
+		out.byCat[i] = d
+	}
+	return out
+}
+
+// Add returns b + other per category.
+func (b Breakdown) Add(other Breakdown) Breakdown {
+	var out Breakdown
+	for i := range b.byCat {
+		out.byCat[i] = b.byCat[i] + other.byCat[i]
+	}
+	return out
+}
+
+// CommTotal returns the time spent on communication categories (everything
+// except application Kernel time).
+func (b Breakdown) CommTotal() Seconds {
+	return b.Total() - b.byCat[Kernel]
+}
+
+// String renders the breakdown as "total (cat=t, ...)" listing non-zero
+// categories in descending order of contribution.
+func (b Breakdown) String() string {
+	type entry struct {
+		c Category
+		t Seconds
+	}
+	var entries []entry
+	for i, v := range b.byCat {
+		if v > 0 {
+			entries = append(entries, entry{Category(i), v})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].t > entries[j].t })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.6gs (", float64(b.Total()))
+	for i, e := range entries {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%.3g", e.c, float64(e.t))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

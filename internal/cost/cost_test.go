@@ -1,0 +1,229 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterAddAndTotal(t *testing.T) {
+	m := NewMeter()
+	m.Add(HostMod, 1.5)
+	m.Add(HostMem, 0.5)
+	m.Add(HostMod, 0.5)
+	if got := m.Get(HostMod); got != 2.0 {
+		t.Errorf("Get(HostMod) = %v, want 2.0", got)
+	}
+	if got := m.Total(); got != 2.5 {
+		t.Errorf("Total() = %v, want 2.5", got)
+	}
+}
+
+func TestMeterAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative time")
+		}
+	}()
+	NewMeter().Add(HostMod, -1)
+}
+
+func TestMeterAddBytes(t *testing.T) {
+	m := NewMeter()
+	m.AddBytes(PEMem, 1000, 500)
+	if got := m.Get(PEMem); math.Abs(float64(got)-2.0) > 1e-12 {
+		t.Errorf("AddBytes: got %v, want 2.0", got)
+	}
+}
+
+func TestMeterAddBytesBadBW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero bandwidth")
+		}
+	}()
+	NewMeter().AddBytes(PEMem, 1, 0)
+}
+
+func TestMeterMerge(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Add(DomainTransfer, 1)
+	b.Add(DomainTransfer, 2)
+	b.Add(Kernel, 3)
+	a.Merge(b)
+	if a.Get(DomainTransfer) != 3 || a.Get(Kernel) != 3 {
+		t.Errorf("Merge: got DT=%v Kernel=%v", a.Get(DomainTransfer), a.Get(Kernel))
+	}
+}
+
+func TestMeterMergeMax(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Add(PEMod, 5)
+	a.Add(Kernel, 1)
+	b.Add(PEMod, 3)
+	b.Add(Kernel, 4)
+	a.MergeMax(b)
+	if a.Get(PEMod) != 5 || a.Get(Kernel) != 4 {
+		t.Errorf("MergeMax: got PEMod=%v Kernel=%v, want 5, 4", a.Get(PEMod), a.Get(Kernel))
+	}
+}
+
+func TestMeterScaleAndReset(t *testing.T) {
+	m := NewMeter()
+	m.Add(Other, 2)
+	m.Scale(0.5)
+	if m.Get(Other) != 1 {
+		t.Errorf("Scale: got %v, want 1", m.Get(Other))
+	}
+	m.Reset()
+	if m.Total() != 0 {
+		t.Errorf("Reset: total %v, want 0", m.Total())
+	}
+}
+
+func TestBreakdownSubClampsToZero(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Add(HostMem, 1)
+	b.Add(HostMem, 2)
+	d := a.Snapshot().Sub(b.Snapshot())
+	if d.Get(HostMem) != 0 {
+		t.Errorf("Sub clamp: got %v, want 0", d.Get(HostMem))
+	}
+}
+
+func TestBreakdownSubIsolatesPhase(t *testing.T) {
+	m := NewMeter()
+	m.Add(HostMod, 1)
+	before := m.Snapshot()
+	m.Add(HostMod, 2)
+	m.Add(PEMem, 4)
+	phase := m.Snapshot().Sub(before)
+	if phase.Get(HostMod) != 2 || phase.Get(PEMem) != 4 {
+		t.Errorf("phase = %v", phase)
+	}
+}
+
+func TestBreakdownCommTotal(t *testing.T) {
+	m := NewMeter()
+	m.Add(Kernel, 10)
+	m.Add(PEMem, 2)
+	m.Add(DomainTransfer, 3)
+	if got := m.Snapshot().CommTotal(); got != 5 {
+		t.Errorf("CommTotal = %v, want 5", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	m := NewMeter()
+	m.Add(PEMem, 2)
+	m.Add(DomainTransfer, 1)
+	s := m.Snapshot().String()
+	if !strings.Contains(s, "PEMem") || !strings.Contains(s, "DomainTransfer") {
+		t.Errorf("String() = %q, missing categories", s)
+	}
+	// Larger contributor listed first.
+	if strings.Index(s, "PEMem") > strings.Index(s, "DomainTransfer") {
+		t.Errorf("String() = %q, want descending order", s)
+	}
+}
+
+func TestCategoriesAndStrings(t *testing.T) {
+	cats := Categories()
+	if len(cats) != int(numCategories) {
+		t.Fatalf("Categories() returned %d, want %d", len(cats), numCategories)
+	}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "Category(") {
+			t.Errorf("category %d has bad label %q", c, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate label %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Category(99).String(); !strings.HasPrefix(got, "Category(") {
+		t.Errorf("unknown category label %q", got)
+	}
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestParamsValidateCatchesBadFields(t *testing.T) {
+	p := DefaultParams()
+	p.ChannelBW = 0
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("expected error for zero ChannelBW")
+	}
+	if !strings.Contains(err.Error(), "ChannelBW") {
+		t.Errorf("error %q does not name field", err)
+	}
+}
+
+func TestParamsHostBytesAt(t *testing.T) {
+	p := DefaultParams()
+	p.HostClockHz = 1e9
+	got := p.HostBytesAt(2e9, 2.0)
+	if math.Abs(float64(got)-1.0) > 1e-12 {
+		t.Errorf("HostBytesAt = %v, want 1.0", got)
+	}
+}
+
+func TestParamsDPUInstrTime(t *testing.T) {
+	p := DefaultParams()
+	p.DPUInstrHz = 100e6
+	if got := p.DPUInstrTime(100e6); math.Abs(float64(got)-1.0) > 1e-12 {
+		t.Errorf("DPUInstrTime = %v, want 1.0", got)
+	}
+}
+
+// Property: Merge is commutative and MergeMax is idempotent.
+func TestMergeProperties(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint16) bool {
+		m1, m2 := NewMeter(), NewMeter()
+		m1.Add(HostMod, Seconds(a1))
+		m1.Add(PEMem, Seconds(a2))
+		m2.Add(HostMod, Seconds(b1))
+		m2.Add(PEMem, Seconds(b2))
+
+		x := NewMeter()
+		x.Merge(m1)
+		x.Merge(m2)
+		y := NewMeter()
+		y.Merge(m2)
+		y.Merge(m1)
+		if x.Total() != y.Total() {
+			return false
+		}
+		// MergeMax idempotence.
+		z := NewMeter()
+		z.Merge(m1)
+		z.MergeMax(m1)
+		return z.Get(HostMod) == m1.Get(HostMod) && z.Get(PEMem) == m1.Get(PEMem)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Breakdown.Add and Meter.Merge agree.
+func TestBreakdownAddMatchesMerge(t *testing.T) {
+	f := func(a, b uint16) bool {
+		m1, m2 := NewMeter(), NewMeter()
+		m1.Add(Network, Seconds(a))
+		m2.Add(Network, Seconds(b))
+		sum := m1.Snapshot().Add(m2.Snapshot())
+		m1.Merge(m2)
+		return sum.Get(Network) == m1.Get(Network)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATBasicProperties(t *testing.T) {
+	g := RMAT(1024, 4096, 1)
+	if g.V != 1024 {
+		t.Errorf("V = %d", g.V)
+	}
+	if g.NumEdges() != 4096 {
+		t.Errorf("E = %d", g.NumEdges())
+	}
+	if int(g.RowPtr[g.V]) != g.NumEdges() {
+		t.Error("CSR rowptr does not cover all edges")
+	}
+	for v := 0; v < g.V; v++ {
+		prev := int32(-1)
+		for _, w := range g.Neighbors(v) {
+			if w < 0 || int(w) >= g.V {
+				t.Fatalf("edge target %d out of range", w)
+			}
+			if w <= prev {
+				t.Fatalf("adjacency of %d not sorted/deduped", v)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(256, 1024, 7)
+	b := RMAT(256, 1024, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+	c := RMAT(256, 1024, 8)
+	same := true
+	for i := range a.Col {
+		if a.Col[i] != c.Col[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical graphs")
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	g := RMAT(4096, 1<<15, 3)
+	u := Uniform(4096, 1<<15, 3)
+	maxDeg := func(g *Graph) int {
+		m := 0
+		for v := 0; v < g.V; v++ {
+			if d := g.OutDegree(v); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDeg(g) <= 2*maxDeg(u) {
+		t.Errorf("RMAT max degree %d not much larger than uniform %d", maxDeg(g), maxDeg(u))
+	}
+}
+
+func TestRMATRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMAT(1000, 100, 1)
+}
+
+func TestUndirectedIsSymmetric(t *testing.T) {
+	g := Undirected(RMAT(512, 2048, 5))
+	adj := make(map[[2]int32]bool)
+	for v := 0; v < g.V; v++ {
+		for _, w := range g.Neighbors(v) {
+			adj[[2]int32{int32(v), w}] = true
+		}
+	}
+	for k := range adj {
+		if !adj[[2]int32{k[1], k[0]}] {
+			t.Fatalf("edge %v has no mirror", k)
+		}
+	}
+}
+
+func TestGraphByName(t *testing.T) {
+	for _, name := range []string{"LJ", "LG"} {
+		g := GraphByName(name)
+		if g.V == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	lj, lg := GraphByName("LJ"), GraphByName("LG")
+	if lj.V <= lg.V {
+		t.Error("LJ should be larger than LG")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown graph name accepted")
+		}
+	}()
+	GraphByName("nope")
+}
+
+func TestGNNByName(t *testing.T) {
+	pm, rd := GNNByName("PM"), GNNByName("RD")
+	if pm.F >= rd.F {
+		t.Error("RD should have wider features than PM")
+	}
+	densPM := float64(pm.Graph.NumEdges()) / float64(pm.Graph.V)
+	densRD := float64(rd.Graph.NumEdges()) / float64(rd.Graph.V)
+	if densRD <= densPM {
+		t.Error("RD should be denser than PM")
+	}
+}
+
+func TestFeaturesDeterministicBounded(t *testing.T) {
+	a := Features(64, 16, 9)
+	b := Features(64, 16, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic features")
+		}
+		if a[i] < -3 || a[i] > 3 {
+			t.Fatalf("feature %d out of bounds", a[i])
+		}
+	}
+}
+
+func TestClicksShapeAndSkew(t *testing.T) {
+	log := Clicks(8, 4096, 1024, 11)
+	if len(log.Indices) != 8*1024 {
+		t.Fatalf("indices len %d", len(log.Indices))
+	}
+	counts := make(map[int32]int)
+	for _, ix := range log.Indices {
+		if ix < 0 || int(ix) >= 4096 {
+			t.Fatalf("index %d out of range", ix)
+		}
+		counts[ix]++
+	}
+	// Zipf: the most popular row should appear far above the mean.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(len(log.Indices)) / float64(len(counts))
+	if float64(max) < 4*mean {
+		t.Errorf("click skew too flat: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestClickIndexAccessor(t *testing.T) {
+	log := Clicks(4, 128, 16, 2)
+	f := func(s, tb uint8) bool {
+		sample := int(s) % 16
+		table := int(tb) % 4
+		return log.Index(sample, table) == log.Indices[sample*4+table]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

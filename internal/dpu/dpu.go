@@ -1,0 +1,196 @@
+// Package dpu models the in-DIMM processing elements (DPUs) attached to
+// each memory bank (§ II-A): a PE can stream its own bank's MRAM through
+// a small WRAM scratchpad and execute simple integer instructions, with
+// no path to any other PE. Kernels are Go functions run against the real
+// simulated MRAM bytes; the engine executes them in parallel across PEs
+// and charges the cost model with the slowest PE's modeled time (all PEs
+// run concurrently on hardware) plus the host-side launch overhead.
+package dpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+)
+
+// WramBytes is the per-DPU scratchpad size (UPMEM: 64 KiB).
+const WramBytes = 64 * 1024
+
+// SaturatingTasklets is the number of hardware threads needed to fill the
+// DPU's 14-stage pipeline (UPMEM guidance: >= 11 tasklets for ~1 IPC).
+const SaturatingTasklets = 11
+
+// Ctx is a kernel's view of one PE. Kernels access MRAM only through
+// ReadMram/WriteMram (modeling the DMA engine) and account compute with
+// Exec. Ctx is not safe for concurrent use; each PE gets its own.
+type Ctx struct {
+	// PE is the linear PE index.
+	PE int
+	// GroupRank is a kernel argument: the PE's rank within the current
+	// communication group (set by the launcher; -1 if not applicable).
+	GroupRank int
+
+	mram      []byte
+	wram      []byte
+	instr     int64
+	mramBytes int64
+}
+
+// Wram returns the PE's scratchpad. Contents are undefined at kernel entry.
+func (c *Ctx) Wram() []byte { return c.wram }
+
+// ReadMram copies len(dst) bytes from MRAM offset off into dst (a WRAM
+// buffer in the hardware model) and accounts the DMA traffic.
+func (c *Ctx) ReadMram(off int, dst []byte) {
+	if off < 0 || off+len(dst) > len(c.mram) {
+		panic(fmt.Sprintf("dpu: PE %d MRAM read [%d,%d) out of range %d", c.PE, off, off+len(dst), len(c.mram)))
+	}
+	copy(dst, c.mram[off:])
+	c.mramBytes += int64(len(dst))
+}
+
+// WriteMram copies src to MRAM offset off and accounts the DMA traffic.
+func (c *Ctx) WriteMram(off int, src []byte) {
+	if off < 0 || off+len(src) > len(c.mram) {
+		panic(fmt.Sprintf("dpu: PE %d MRAM write [%d,%d) out of range %d", c.PE, off, off+len(src), len(c.mram)))
+	}
+	copy(c.mram[off:], src)
+	c.mramBytes += int64(len(src))
+}
+
+// MramSize returns the PE's MRAM capacity.
+func (c *Ctx) MramSize() int { return len(c.mram) }
+
+// Exec accounts n retired DPU instructions.
+func (c *Ctx) Exec(n int64) {
+	if n < 0 {
+		panic("dpu: negative instruction count")
+	}
+	c.instr += n
+}
+
+// Stats returns the accounted instruction count and MRAM traffic.
+func (c *Ctx) Stats() (instr, mramBytes int64) { return c.instr, c.mramBytes }
+
+// Kernel is a function executed on one PE.
+type Kernel func(*Ctx)
+
+// Engine launches kernels on the PEs of a dram.System.
+type Engine struct {
+	sys    *dram.System
+	params cost.Params
+
+	mu    sync.Mutex
+	wrams [][]byte // reusable scratchpads
+}
+
+// NewEngine returns an engine for the given system and cost parameters.
+func NewEngine(sys *dram.System, params cost.Params) *Engine {
+	return &Engine{sys: sys, params: params}
+}
+
+// System returns the underlying memory system.
+func (e *Engine) System() *dram.System { return e.sys }
+
+// Params returns the engine's cost parameters.
+func (e *Engine) Params() cost.Params { return e.params }
+
+func (e *Engine) getWram() []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.wrams); n > 0 {
+		w := e.wrams[n-1]
+		e.wrams = e.wrams[:n-1]
+		return w
+	}
+	return make([]byte, WramBytes)
+}
+
+func (e *Engine) putWram(w []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wrams = append(e.wrams, w)
+}
+
+// LaunchSpec configures a kernel launch.
+type LaunchSpec struct {
+	// PEs are the linear PE indices to run on.
+	PEs []int
+	// GroupRanks optionally assigns Ctx.GroupRank per PE (same length as
+	// PEs); if nil, GroupRank is -1.
+	GroupRanks []int
+	// Tasklets is the number of tasklets the kernel spawns per DPU
+	// (defaults to SaturatingTasklets if zero).
+	Tasklets int
+	// Category is the meter category for PE execution time (PEMod for
+	// reorder kernels, Kernel for application compute).
+	Category cost.Category
+}
+
+// Launch runs the kernel on every PE in spec (concurrently, bounded by
+// GOMAXPROCS), then charges meter with the modeled elapsed time: the
+// maximum per-PE time across PEs (hardware PEs run in parallel) in
+// spec.Category, plus the kernel-launch overhead in Other.
+//
+// Per-PE modeled time is max(instruction time, MRAM DMA time): with enough
+// tasklets the DPU overlaps DMA of some tasklets with compute of others;
+// with few tasklets the pipeline stalls, modeled by scaling instruction
+// throughput by Tasklets/SaturatingTasklets.
+func (e *Engine) Launch(spec LaunchSpec, meter *cost.Meter, k Kernel) {
+	if len(spec.PEs) == 0 {
+		return
+	}
+	if spec.GroupRanks != nil && len(spec.GroupRanks) != len(spec.PEs) {
+		panic("dpu: GroupRanks length mismatch")
+	}
+	tasklets := spec.Tasklets
+	if tasklets <= 0 {
+		tasklets = SaturatingTasklets
+	}
+	ipc := float64(tasklets) / SaturatingTasklets
+	if ipc > 1 {
+		ipc = 1
+	}
+
+	times := make([]cost.Seconds, len(spec.PEs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pe := range spec.PEs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, pe int) {
+			defer func() { <-sem; wg.Done() }()
+			ctx := &Ctx{
+				PE:        pe,
+				GroupRank: -1,
+				mram:      e.sys.BankBytes(pe),
+				wram:      e.getWram(),
+			}
+			if spec.GroupRanks != nil {
+				ctx.GroupRank = spec.GroupRanks[i]
+			}
+			k(ctx)
+			instrT := cost.Seconds(float64(ctx.instr) / (e.params.DPUInstrHz * ipc))
+			dmaT := cost.Seconds(float64(ctx.mramBytes) / e.params.DPUMramBW)
+			if dmaT > instrT {
+				times[i] = dmaT
+			} else {
+				times[i] = instrT
+			}
+			e.putWram(ctx.wram)
+		}(i, pe)
+	}
+	wg.Wait()
+
+	var maxT cost.Seconds
+	for _, t := range times {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	meter.Add(spec.Category, maxT)
+	meter.Add(cost.Other, e.params.KernelLaunch)
+}

@@ -1,0 +1,183 @@
+package dpu
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	sys, err := dram.NewSystem(dram.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(sys, cost.DefaultParams())
+}
+
+func TestKernelReadsAndWritesMram(t *testing.T) {
+	e := testEngine(t)
+	// Pre-fill PE 0's MRAM directly.
+	m := e.System().BankBytes(0)
+	for i := 0; i < 16; i++ {
+		m[i] = byte(i + 1)
+	}
+	meter := cost.NewMeter()
+	e.Launch(LaunchSpec{PEs: []int{0}, Category: cost.Kernel}, meter, func(c *Ctx) {
+		buf := c.Wram()[:16]
+		c.ReadMram(0, buf)
+		for i := range buf {
+			buf[i] *= 2
+		}
+		c.Exec(16)
+		c.WriteMram(16, buf)
+	})
+	for i := 0; i < 16; i++ {
+		if m[16+i] != byte(2*(i+1)) {
+			t.Fatalf("mram[%d] = %d, want %d", 16+i, m[16+i], 2*(i+1))
+		}
+	}
+	if meter.Get(cost.Kernel) <= 0 {
+		t.Error("no kernel time accounted")
+	}
+	if meter.Get(cost.Other) != cost.DefaultParams().KernelLaunch {
+		t.Error("launch overhead not accounted")
+	}
+}
+
+func TestLaunchRunsAllPEs(t *testing.T) {
+	e := testEngine(t)
+	n := e.System().Geometry().NumPEs()
+	pes := make([]int, n)
+	for i := range pes {
+		pes[i] = i
+	}
+	var count int64
+	meter := cost.NewMeter()
+	e.Launch(LaunchSpec{PEs: pes, Category: cost.Kernel}, meter, func(c *Ctx) {
+		atomic.AddInt64(&count, 1)
+		c.Exec(100)
+	})
+	if count != int64(n) {
+		t.Errorf("kernel ran on %d PEs, want %d", count, n)
+	}
+}
+
+func TestLaunchTimeIsMaxNotSum(t *testing.T) {
+	e := testEngine(t)
+	meter := cost.NewMeter()
+	// Two PEs, one does 10x the work; elapsed should equal the slow one.
+	e.Launch(LaunchSpec{PEs: []int{0, 1}, Category: cost.Kernel}, meter, func(c *Ctx) {
+		if c.PE == 0 {
+			c.Exec(1000)
+		} else {
+			c.Exec(10000)
+		}
+	})
+	want := cost.DefaultParams().DPUInstrTime(10000)
+	if got := meter.Get(cost.Kernel); math.Abs(float64(got-want)) > 1e-12 {
+		t.Errorf("kernel time %v, want %v (max of PEs)", got, want)
+	}
+}
+
+func TestFewTaskletsSlowDown(t *testing.T) {
+	e := testEngine(t)
+	run := func(tasklets int) cost.Seconds {
+		m := cost.NewMeter()
+		e.Launch(LaunchSpec{PEs: []int{0}, Tasklets: tasklets, Category: cost.Kernel}, m, func(c *Ctx) {
+			c.Exec(11000)
+		})
+		return m.Get(cost.Kernel)
+	}
+	one := run(1)
+	full := run(SaturatingTasklets)
+	if one <= full {
+		t.Errorf("1 tasklet (%v) should be slower than %d tasklets (%v)", one, SaturatingTasklets, full)
+	}
+	if ratio := float64(one) / float64(full); math.Abs(ratio-11) > 0.01 {
+		t.Errorf("slowdown ratio %v, want ~11", ratio)
+	}
+	// More than saturating tasklets does not speed up further.
+	if extra := run(24); extra != full {
+		t.Errorf("24 tasklets (%v) should equal %d tasklets (%v)", extra, SaturatingTasklets, full)
+	}
+}
+
+func TestDMABoundKernel(t *testing.T) {
+	e := testEngine(t)
+	meter := cost.NewMeter()
+	e.Launch(LaunchSpec{PEs: []int{0}, Category: cost.PEMod}, meter, func(c *Ctx) {
+		buf := c.Wram()[:1024]
+		for i := 0; i < 4; i++ {
+			c.ReadMram(0, buf)
+		}
+		c.Exec(1) // negligible compute
+	})
+	want := cost.Seconds(4096 / cost.DefaultParams().DPUMramBW)
+	if got := meter.Get(cost.PEMod); math.Abs(float64(got-want)) > 1e-12 {
+		t.Errorf("DMA-bound time %v, want %v", got, want)
+	}
+}
+
+func TestGroupRanks(t *testing.T) {
+	e := testEngine(t)
+	got := make([]int32, 3)
+	meter := cost.NewMeter()
+	e.Launch(LaunchSpec{PEs: []int{4, 5, 6}, GroupRanks: []int{2, 0, 1}, Category: cost.PEMod}, meter, func(c *Ctx) {
+		atomic.StoreInt32(&got[c.PE-4], int32(c.GroupRank))
+	})
+	if got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("GroupRanks = %v", got)
+	}
+}
+
+func TestGroupRankDefaultsToMinusOne(t *testing.T) {
+	e := testEngine(t)
+	var got int32
+	e.Launch(LaunchSpec{PEs: []int{0}, Category: cost.PEMod}, cost.NewMeter(), func(c *Ctx) {
+		atomic.StoreInt32(&got, int32(c.GroupRank))
+	})
+	if got != -1 {
+		t.Errorf("default GroupRank = %d, want -1", got)
+	}
+}
+
+func TestMramOutOfRangePanics(t *testing.T) {
+	e := testEngine(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	// Launch catches nothing; the panic propagates through the goroutine...
+	// run the kernel body inline to keep the panic on this goroutine.
+	ctx := &Ctx{PE: 0, mram: e.System().BankBytes(0), wram: make([]byte, WramBytes)}
+	ctx.ReadMram(4090, make([]byte, 100))
+}
+
+func TestLaunchEmptyPEsIsNoOp(t *testing.T) {
+	e := testEngine(t)
+	meter := cost.NewMeter()
+	e.Launch(LaunchSpec{Category: cost.Kernel}, meter, func(c *Ctx) { t.Error("kernel ran") })
+	if meter.Total() != 0 {
+		t.Error("empty launch accrued time")
+	}
+}
+
+func TestWramReuseDoesNotLeakBetweenPEs(t *testing.T) {
+	e := testEngine(t)
+	// First launch dirties WRAM.
+	e.Launch(LaunchSpec{PEs: []int{0}, Category: cost.Kernel}, cost.NewMeter(), func(c *Ctx) {
+		c.Wram()[0] = 0xFF
+	})
+	// Kernels must not rely on WRAM contents; the engine documents them as
+	// undefined. This test just checks the scratchpad has full size.
+	e.Launch(LaunchSpec{PEs: []int{1}, Category: cost.Kernel}, cost.NewMeter(), func(c *Ctx) {
+		if len(c.Wram()) != WramBytes {
+			t.Errorf("wram size %d", len(c.Wram()))
+		}
+	})
+}

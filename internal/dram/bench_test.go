@@ -1,0 +1,29 @@
+package dram
+
+import "testing"
+
+// Micro-benchmarks of the burst striping layer.
+
+func BenchmarkWriteBurst(b *testing.B) {
+	s, err := NewSystem(Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 8, MramPerBank: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf [BurstBytes]byte
+	b.SetBytes(BurstBytes)
+	for i := 0; i < b.N; i++ {
+		s.WriteBurst(i%8, (i%512)*8, &buf)
+	}
+}
+
+func BenchmarkReadBurst(b *testing.B) {
+	s, err := NewSystem(Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 8, MramPerBank: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf [BurstBytes]byte
+	b.SetBytes(BurstBytes)
+	for i := 0; i < b.N; i++ {
+		s.ReadBurst(i%8, (i%512)*8, &buf)
+	}
+}

@@ -1,0 +1,209 @@
+// Package dram simulates the memory side of a commodity PIM-enabled DIMM
+// system (UPMEM-like, § II-A, Figure 1).
+//
+// The hierarchy is channel -> rank -> chip -> bank. The 8 chips of a rank
+// share the 64-bit channel bus, 8 bits each, and operate in unison: a
+// 64-byte DDR4 burst addressed to bank b of a rank is striped byte-wise
+// across bank b of all 8 chips. The set of banks {bank b of chips 0..7}
+// is an entangled group; its 8 banks (and the PEs attached to them) must
+// be accessed together to draw full bus bandwidth.
+//
+// The package stores real bytes in per-bank MRAM arrays and implements the
+// physical striping exactly: burst byte i lands in chip i%8 at local
+// offset base+i/8. Everything above (domain transfer, collectives) builds
+// on this layout, so data placement bugs surface as data corruption in
+// tests rather than as silent cost-model drift.
+package dram
+
+import "fmt"
+
+// ChipsPerRank is fixed by the DDR4 x8 DIMM organization: 8 chips with
+// 8-bit buses concatenate into the 64-bit channel bus.
+const ChipsPerRank = 8
+
+// BurstBytes is the DDR4 burst granularity: 8 beats x 64 bits = 64 bytes.
+// It is also the entangled-group access unit (8 bytes per bank).
+const BurstBytes = 64
+
+// BankBurstBytes is each bank's share of a burst.
+const BankBurstBytes = BurstBytes / ChipsPerRank
+
+// Geometry describes a PIM-enabled DIMM system.
+type Geometry struct {
+	// Channels is the number of memory channels (paper system: 4).
+	Channels int
+	// RanksPerChannel is the number of ranks per channel (paper: 4).
+	RanksPerChannel int
+	// BanksPerChip is the number of banks (= PEs) per chip (paper: 8).
+	BanksPerChip int
+	// MramPerBank is the per-bank MRAM capacity in bytes (UPMEM: 64 MiB;
+	// tests use small values).
+	MramPerBank int
+}
+
+// Validate checks the geometry for physical plausibility.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("dram: Channels must be positive, got %d", g.Channels)
+	case g.RanksPerChannel <= 0 || g.RanksPerChannel&(g.RanksPerChannel-1) != 0:
+		return fmt.Errorf("dram: RanksPerChannel must be a positive power of two, got %d", g.RanksPerChannel)
+	case g.BanksPerChip <= 0 || g.BanksPerChip&(g.BanksPerChip-1) != 0:
+		return fmt.Errorf("dram: BanksPerChip must be a positive power of two, got %d", g.BanksPerChip)
+	case g.MramPerBank <= 0 || g.MramPerBank%BankBurstBytes != 0:
+		return fmt.Errorf("dram: MramPerBank must be a positive multiple of %d, got %d", BankBurstBytes, g.MramPerBank)
+	}
+	return nil
+}
+
+// NumPEs returns the total number of PEs (= banks) in the system.
+func (g Geometry) NumPEs() int {
+	return g.Channels * g.RanksPerChannel * ChipsPerRank * g.BanksPerChip
+}
+
+// NumGroups returns the number of entangled groups.
+func (g Geometry) NumGroups() int { return g.NumPEs() / ChipsPerRank }
+
+// GroupsPerRank returns entangled groups per rank (= banks per chip).
+func (g Geometry) GroupsPerRank() int { return g.BanksPerChip }
+
+// PaperGeometry returns the paper's testbed: 4 channels x 4 ranks x 8 chips
+// x 8 banks = 1024 PEs, with mramPerBank bytes of MRAM each.
+func PaperGeometry(mramPerBank int) Geometry {
+	return Geometry{Channels: 4, RanksPerChannel: 4, BanksPerChip: 8, MramPerBank: mramPerBank}
+}
+
+// PEID identifies a PE by its physical coordinates.
+type PEID struct {
+	Channel, Rank, Chip, Bank int
+}
+
+// System is a simulated PIM-DIMM memory system holding real bytes.
+type System struct {
+	geo Geometry
+	// mram[linear PE index] is that bank's MRAM.
+	mram [][]byte
+}
+
+// NewSystem allocates a system with the given geometry.
+func NewSystem(geo Geometry) (*System, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{geo: geo, mram: make([][]byte, geo.NumPEs())}
+	for i := range s.mram {
+		s.mram[i] = make([]byte, geo.MramPerBank)
+	}
+	return s, nil
+}
+
+// Geometry returns the system geometry.
+func (s *System) Geometry() Geometry { return s.geo }
+
+// LinearPE converts physical coordinates to the linear PE index in
+// chip -> bank -> rank -> channel order (chip varies fastest). This order
+// makes each entangled group a contiguous run of 8 PEs, which is the basis
+// of the hypercube mapping (§ IV-C, Figure 6).
+func (s *System) LinearPE(id PEID) int {
+	g := s.geo
+	if id.Channel < 0 || id.Channel >= g.Channels ||
+		id.Rank < 0 || id.Rank >= g.RanksPerChannel ||
+		id.Chip < 0 || id.Chip >= ChipsPerRank ||
+		id.Bank < 0 || id.Bank >= g.BanksPerChip {
+		panic(fmt.Sprintf("dram: PE %+v out of range for %+v", id, g))
+	}
+	return id.Chip + ChipsPerRank*(id.Bank+g.BanksPerChip*(id.Rank+g.RanksPerChannel*id.Channel))
+}
+
+// PEFromLinear is the inverse of LinearPE.
+func (s *System) PEFromLinear(idx int) PEID {
+	g := s.geo
+	if idx < 0 || idx >= g.NumPEs() {
+		panic(fmt.Sprintf("dram: linear PE %d out of range", idx))
+	}
+	chip := idx % ChipsPerRank
+	idx /= ChipsPerRank
+	bank := idx % g.BanksPerChip
+	idx /= g.BanksPerChip
+	rank := idx % g.RanksPerChannel
+	channel := idx / g.RanksPerChannel
+	return PEID{Channel: channel, Rank: rank, Chip: chip, Bank: bank}
+}
+
+// GroupOf returns the entangled-group index of a linear PE and the PE's
+// chip position within the group. Group k contains linear PEs
+// [8k, 8k+8); all share (channel, rank, bank) and differ in chip.
+func (s *System) GroupOf(linearPE int) (group, chip int) {
+	return linearPE / ChipsPerRank, linearPE % ChipsPerRank
+}
+
+// GroupPEs returns the linear PE indices of entangled group g in chip order.
+func (s *System) GroupPEs(group int) []int {
+	if group < 0 || group >= s.geo.NumGroups() {
+		panic(fmt.Sprintf("dram: group %d out of range", group))
+	}
+	out := make([]int, ChipsPerRank)
+	for c := range out {
+		out[c] = group*ChipsPerRank + c
+	}
+	return out
+}
+
+// RankOfGroup returns the (channel, rank) that entangled group g lives in.
+// Transfers to groups in different ranks can proceed in parallel
+// (rank-level parallelism); groups in the same rank share the bus timing.
+func (s *System) RankOfGroup(group int) (channel, rank int) {
+	id := s.PEFromLinear(group * ChipsPerRank)
+	return id.Channel, id.Rank
+}
+
+// MramSize returns the per-bank MRAM size.
+func (s *System) MramSize() int { return s.geo.MramPerBank }
+
+func (s *System) checkBurst(group, offset int) {
+	if group < 0 || group >= s.geo.NumGroups() {
+		panic(fmt.Sprintf("dram: group %d out of range", group))
+	}
+	if offset < 0 || offset%BankBurstBytes != 0 || offset+BankBurstBytes > s.geo.MramPerBank {
+		panic(fmt.Sprintf("dram: burst offset %d invalid (mram %d)", offset, s.geo.MramPerBank))
+	}
+}
+
+// ReadBurst reads one 64-byte burst from entangled group g at per-bank
+// offset off (must be 8-byte aligned): the returned buffer interleaves the
+// 8 banks byte-wise, exactly as the bytes appear on the channel bus. That
+// is, out[i] = bank(i%8).mram[off + i/8].
+func (s *System) ReadBurst(group, off int, out *[BurstBytes]byte) {
+	s.checkBurst(group, off)
+	base := group * ChipsPerRank
+	for c := 0; c < ChipsPerRank; c++ {
+		m := s.mram[base+c]
+		for w := 0; w < BankBurstBytes; w++ {
+			out[8*w+c] = m[off+w]
+		}
+	}
+}
+
+// WriteBurst writes one 64-byte burst to entangled group g at per-bank
+// offset off, striping bytes exactly as the memory controller does:
+// bank(i%8).mram[off + i/8] = in[i].
+func (s *System) WriteBurst(group, off int, in *[BurstBytes]byte) {
+	s.checkBurst(group, off)
+	base := group * ChipsPerRank
+	for c := 0; c < ChipsPerRank; c++ {
+		m := s.mram[base+c]
+		for w := 0; w < BankBurstBytes; w++ {
+			m[off+w] = in[8*w+c]
+		}
+	}
+}
+
+// BankBytes exposes the raw MRAM of a PE for the DPU simulator (the PE can
+// access its own bank directly, at MRAM bandwidth, without striping --
+// that path never crosses the channel bus).
+func (s *System) BankBytes(linearPE int) []byte {
+	if linearPE < 0 || linearPE >= s.geo.NumPEs() {
+		panic(fmt.Sprintf("dram: PE %d out of range", linearPE))
+	}
+	return s.mram[linearPE]
+}

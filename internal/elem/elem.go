@@ -1,0 +1,206 @@
+// Package elem defines the element data types and reduction operators
+// supported by PID-Comm's arithmetic primitives (§ V-C "Data types"):
+// signed integers of 8/16/32/64 bits with SUM/MIN/MAX/OR/AND/XOR
+// reductions, encoded little-endian in the simulated memories.
+package elem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Type is an element data type.
+type Type int
+
+const (
+	// I8 is an 8-bit signed integer. Notably, 8-bit elements can be
+	// interpreted by the host without domain transfer (§ V-C), which
+	// enables cross-domain modulation even for reducing primitives.
+	I8 Type = iota
+	// I16 is a 16-bit signed integer.
+	I16
+	// I32 is a 32-bit signed integer.
+	I32
+	// I64 is a 64-bit signed integer.
+	I64
+)
+
+// Types lists all supported element types.
+func Types() []Type { return []Type{I8, I16, I32, I64} }
+
+// Size returns the element size in bytes.
+func (t Type) Size() int {
+	switch t {
+	case I8:
+		return 1
+	case I16:
+		return 2
+	case I32:
+		return 4
+	case I64:
+		return 8
+	default:
+		panic(fmt.Sprintf("elem: unknown type %d", int(t)))
+	}
+}
+
+// String returns the conventional name (INT8, ...).
+func (t Type) String() string {
+	switch t {
+	case I8:
+		return "INT8"
+	case I16:
+		return "INT16"
+	case I32:
+		return "INT32"
+	case I64:
+		return "INT64"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// Sum adds elements (wrapping two's-complement).
+	Sum Op = iota
+	// Min takes the signed minimum (used by Connected Components).
+	Min
+	// Max takes the signed maximum.
+	Max
+	// Or is bitwise OR (used by BFS frontier updates).
+	Or
+	// And is bitwise AND.
+	And
+	// Xor is bitwise XOR.
+	Xor
+)
+
+// Ops lists all supported reduction operators.
+func Ops() []Op { return []Op{Sum, Min, Max, Or, And, Xor} }
+
+// String returns the conventional name (SUM, ...).
+func (o Op) String() string {
+	switch o {
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Or:
+		return "OR"
+	case And:
+		return "AND"
+	case Xor:
+		return "XOR"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Load reads the element at byte offset off of buf as a signed value
+// widened to int64.
+func Load(t Type, buf []byte, off int) int64 {
+	switch t {
+	case I8:
+		return int64(int8(buf[off]))
+	case I16:
+		return int64(int16(binary.LittleEndian.Uint16(buf[off:])))
+	case I32:
+		return int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+	case I64:
+		return int64(binary.LittleEndian.Uint64(buf[off:]))
+	default:
+		panic(fmt.Sprintf("elem: unknown type %d", int(t)))
+	}
+}
+
+// Store writes v (truncated to the type's width) at byte offset off of buf.
+func Store(t Type, buf []byte, off int, v int64) {
+	switch t {
+	case I8:
+		buf[off] = byte(v)
+	case I16:
+		binary.LittleEndian.PutUint16(buf[off:], uint16(v))
+	case I32:
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+	case I64:
+		binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+	default:
+		panic(fmt.Sprintf("elem: unknown type %d", int(t)))
+	}
+}
+
+// Combine applies the operator to two values already widened to int64.
+// For Sum the result wraps at the target width only when stored.
+func (o Op) Combine(a, b int64) int64 {
+	switch o {
+	case Sum:
+		return a + b
+	case Min:
+		if b < a {
+			return b
+		}
+		return a
+	case Max:
+		if b > a {
+			return b
+		}
+		return a
+	case Or:
+		return a | b
+	case And:
+		return a & b
+	case Xor:
+		return a ^ b
+	default:
+		panic(fmt.Sprintf("elem: unknown op %d", int(o)))
+	}
+}
+
+// Identity returns the operator's identity element for type t.
+func (o Op) Identity(t Type) int64 {
+	bits := uint(t.Size() * 8)
+	switch o {
+	case Sum, Or, Xor:
+		return 0
+	case And:
+		return -1 // all ones at any width
+	case Min:
+		// Maximum representable signed value at this width.
+		return int64(1)<<(bits-1) - 1
+	case Max:
+		// Minimum representable signed value at this width.
+		return -(int64(1) << (bits - 1))
+	default:
+		panic(fmt.Sprintf("elem: unknown op %d", int(o)))
+	}
+}
+
+// ReduceInto combines src into dst elementwise: dst[i] = op(dst[i], src[i])
+// for len(dst)/t.Size() elements. len(dst) must equal len(src) and be a
+// multiple of the element size.
+func ReduceInto(t Type, o Op, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("elem: length mismatch %d != %d", len(dst), len(src)))
+	}
+	sz := t.Size()
+	if len(dst)%sz != 0 {
+		panic(fmt.Sprintf("elem: length %d not a multiple of element size %d", len(dst), sz))
+	}
+	for off := 0; off < len(dst); off += sz {
+		v := o.Combine(Load(t, dst, off), Load(t, src, off))
+		Store(t, dst, off, v)
+	}
+}
+
+// Fill writes v into every element of buf.
+func Fill(t Type, buf []byte, v int64) {
+	sz := t.Size()
+	for off := 0; off+sz <= len(buf); off += sz {
+		Store(t, buf, off, v)
+	}
+}

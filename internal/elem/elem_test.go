@@ -1,0 +1,160 @@
+package elem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizes(t *testing.T) {
+	want := map[Type]int{I8: 1, I16: 2, I32: 4, I64: 8}
+	for ty, sz := range want {
+		if ty.Size() != sz {
+			t.Errorf("%v.Size() = %d, want %d", ty, ty.Size(), sz)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if I8.String() != "INT8" || I64.String() != "INT64" {
+		t.Error("type names wrong")
+	}
+	if Sum.String() != "SUM" || Xor.String() != "XOR" {
+		t.Error("op names wrong")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	f := func(v int64, off uint8) bool {
+		buf := make([]byte, 64)
+		for _, ty := range Types() {
+			o := int(off) % (64 - 8)
+			Store(ty, buf, o, v)
+			got := Load(ty, buf, o)
+			// The round trip truncates to the type's width and
+			// sign-extends back.
+			bits := uint(ty.Size() * 8)
+			want := v << (64 - bits) >> (64 - bits)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineSemantics(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, w int64
+	}{
+		{Sum, 3, 4, 7},
+		{Min, -5, 2, -5},
+		{Max, -5, 2, 2},
+		{Or, 0b0101, 0b0011, 0b0111},
+		{And, 0b0101, 0b0011, 0b0001},
+		{Xor, 0b0101, 0b0011, 0b0110},
+	}
+	for _, c := range cases {
+		if got := c.op.Combine(c.a, c.b); got != c.w {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+// Every operator must be commutative and associative at every width —
+// the property that makes multi-instance reductions order-independent.
+func TestOpsCommutativeAssociativeProperty(t *testing.T) {
+	for _, op := range Ops() {
+		for _, ty := range Types() {
+			op, ty := op, ty
+			f := func(a, b, c int64) bool {
+				buf := make([]byte, 8)
+				norm := func(v int64) int64 {
+					Store(ty, buf, 0, v)
+					return Load(ty, buf, 0)
+				}
+				a, b, c = norm(a), norm(b), norm(c)
+				comm := norm(op.Combine(a, b)) == norm(op.Combine(b, a))
+				asc := norm(op.Combine(norm(op.Combine(a, b)), c)) ==
+					norm(op.Combine(a, norm(op.Combine(b, c))))
+				return comm && asc
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Errorf("%v/%v: %v", op, ty, err)
+			}
+		}
+	}
+}
+
+// Identity elements must be neutral at the stored width.
+func TestIdentityNeutralProperty(t *testing.T) {
+	for _, op := range Ops() {
+		for _, ty := range Types() {
+			op, ty := op, ty
+			f := func(v int64) bool {
+				buf := make([]byte, 8)
+				Store(ty, buf, 0, v)
+				v = Load(ty, buf, 0)
+				got := op.Combine(op.Identity(ty), v)
+				Store(ty, buf, 0, got)
+				return Load(ty, buf, 0) == v
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Errorf("%v/%v identity not neutral: %v", op, ty, err)
+			}
+		}
+	}
+}
+
+func TestReduceInto(t *testing.T) {
+	dst := make([]byte, 8)
+	src := make([]byte, 8)
+	Fill(I16, dst, 10)
+	Fill(I16, src, -3)
+	ReduceInto(I16, Sum, dst, src)
+	for off := 0; off < 8; off += 2 {
+		if got := Load(I16, dst, off); got != 7 {
+			t.Fatalf("dst[%d] = %d, want 7", off, got)
+		}
+	}
+}
+
+func TestReduceIntoPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ReduceInto(I32, Sum, make([]byte, 8), make([]byte, 4)) }, // length mismatch
+		func() { ReduceInto(I32, Sum, make([]byte, 6), make([]byte, 6)) }, // not multiple of size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFillPartialTail(t *testing.T) {
+	buf := make([]byte, 10) // not a multiple of 4
+	Fill(I32, buf, -1)
+	if Load(I32, buf, 0) != -1 || Load(I32, buf, 4) != -1 {
+		t.Error("fill missed aligned elements")
+	}
+	if buf[8] != 0 || buf[9] != 0 {
+		t.Error("fill wrote past the last whole element")
+	}
+}
+
+func TestSumWrapsAtWidth(t *testing.T) {
+	buf := make([]byte, 2)
+	Store(I16, buf, 0, 32767)
+	v := Sum.Combine(Load(I16, buf, 0), 1)
+	Store(I16, buf, 0, v)
+	if got := Load(I16, buf, 0); got != -32768 {
+		t.Errorf("I16 wrap: got %d", got)
+	}
+}

@@ -1,0 +1,265 @@
+// Package host models the host CPU side of the PIM-DIMM system: the
+// staging memory, the AVX-512 vector unit, the driver's domain-transfer
+// engine, and the burst-level transfer engine between host and entangled
+// groups (with rank-level parallelism).
+//
+// All functional data movement is real: bursts move actual bytes between
+// the simulated bank MRAMs and host buffers/registers. Costs are charged
+// to a cost.Meter in the categories of the paper's breakdowns. Transfer
+// time over the external bus is accounted per "epoch" (BeginXfer/EndXfer)
+// so that channels transfer in parallel, as on real hardware.
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/vec"
+)
+
+// Host is the simulated host CPU attached to a dram.System.
+type Host struct {
+	sys    *dram.System
+	params cost.Params
+	meter  *cost.Meter
+	vu     vec.Unit
+
+	epochDepth int
+	chanBytes  []int64          // per-channel bytes this epoch
+	rankBytes  map[[2]int]int64 // per-(channel,rank) bytes this epoch
+
+	// Cumulative transfer statistics (see stats.go).
+	totalBursts int64
+	totalByChan []int64
+}
+
+// New returns a host for the given system with a fresh meter.
+func New(sys *dram.System, params cost.Params) *Host {
+	return &Host{
+		sys:         sys,
+		params:      params,
+		meter:       cost.NewMeter(),
+		chanBytes:   make([]int64, sys.Geometry().Channels),
+		rankBytes:   make(map[[2]int]int64),
+		totalByChan: make([]int64, sys.Geometry().Channels),
+	}
+}
+
+// System returns the attached memory system.
+func (h *Host) System() *dram.System { return h.sys }
+
+// Params returns the cost parameters.
+func (h *Host) Params() cost.Params { return h.params }
+
+// Meter returns the host's cost meter.
+func (h *Host) Meter() *cost.Meter { return h.meter }
+
+// VecUnit returns the host's vector unit (shared instruction counter).
+func (h *Host) VecUnit() *vec.Unit { return &h.vu }
+
+// BeginXfer opens a transfer epoch: burst traffic is tallied per channel
+// and charged at EndXfer with channels running in parallel. Epochs nest;
+// only the outermost EndXfer charges.
+func (h *Host) BeginXfer() { h.epochDepth++ }
+
+// EndXfer closes the epoch and charges PEMem with the bus time: the
+// maximum per-channel time, where a channel's time is its byte count over
+// the channel bandwidth. Without rank parallelism, transfers to the ranks
+// of a channel serialize with per-rank turnaround, halving effective
+// bandwidth (the UPMEM driver's rank-interleaved transfers avoid this).
+func (h *Host) EndXfer() {
+	if h.epochDepth <= 0 {
+		panic("host: EndXfer without BeginXfer")
+	}
+	h.epochDepth--
+	if h.epochDepth > 0 {
+		return
+	}
+	bw := h.params.ChannelBW
+	if !h.params.RankParallel {
+		bw /= 2
+	}
+	var maxT cost.Seconds
+	for _, b := range h.chanBytes {
+		t := cost.Seconds(float64(b) / bw)
+		if t > maxT {
+			maxT = t
+		}
+	}
+	h.meter.Add(cost.PEMem, maxT)
+	for i := range h.chanBytes {
+		h.chanBytes[i] = 0
+	}
+	for k := range h.rankBytes {
+		delete(h.rankBytes, k)
+	}
+}
+
+func (h *Host) tallyBurst(group int) {
+	ch, rk := h.sys.RankOfGroup(group)
+	h.chanBytes[ch] += dram.BurstBytes
+	h.rankBytes[[2]int{ch, rk}] += dram.BurstBytes
+	h.totalBursts++
+	h.totalByChan[ch] += dram.BurstBytes
+}
+
+// ReadBurst reads one 64-byte burst from the entangled group into a vector
+// register, in PIM byte order (as on the bus). Must be inside an epoch.
+func (h *Host) ReadBurst(group, off int) vec.Reg {
+	if h.epochDepth == 0 {
+		panic("host: ReadBurst outside transfer epoch")
+	}
+	var buf [dram.BurstBytes]byte
+	h.sys.ReadBurst(group, off, &buf)
+	h.tallyBurst(group)
+	var r vec.Reg
+	copy(r[:], buf[:])
+	return r
+}
+
+// WriteBurst writes a register to the entangled group as one burst.
+func (h *Host) WriteBurst(group, off int, r vec.Reg) {
+	if h.epochDepth == 0 {
+		panic("host: WriteBurst outside transfer epoch")
+	}
+	var buf [dram.BurstBytes]byte
+	copy(buf[:], r[:])
+	h.sys.WriteBurst(group, off, &buf)
+	h.tallyBurst(group)
+}
+
+// dsa returns the throughput multiplier for host-side transform work:
+// 1 normally, DSAFactor under the § IX-B DSA-offload what-if.
+func (h *Host) dsa() float64 {
+	if h.params.DSAOffload {
+		return h.params.DSAFactor
+	}
+	return 1
+}
+
+// ChargeDT charges domain-transfer compute for n bytes.
+func (h *Host) ChargeDT(n int64) {
+	h.meter.Add(cost.DomainTransfer, h.params.HostBytesAt(n, h.params.DTBPC*h.dsa()))
+}
+
+// ChargeScalarMod charges baseline global modulation (scalar, cache-
+// hostile) for n bytes.
+func (h *Host) ChargeScalarMod(n int64) {
+	h.meter.Add(cost.HostMod, h.params.HostBytesAt(n, h.params.ScalarModBPC*h.dsa()))
+}
+
+// ChargeLocalMod charges cache-friendly local modulation (post PE-assisted
+// reordering) for n bytes.
+func (h *Host) ChargeLocalMod(n int64) {
+	h.meter.Add(cost.HostMod, h.params.HostBytesAt(n, h.params.LocalModBPC*h.dsa()))
+}
+
+// ChargeSIMD charges in-register modulation (shuffles/rotates) for n bytes.
+func (h *Host) ChargeSIMD(n int64) {
+	h.meter.Add(cost.HostMod, h.params.HostBytesAt(n, h.params.SIMDModBPC*h.dsa()))
+}
+
+// ChargeReduce charges vertical SIMD reduction for n bytes of input.
+func (h *Host) ChargeReduce(n int64) {
+	h.meter.Add(cost.HostMod, h.params.HostBytesAt(n, h.params.ReduceBPC*h.dsa()))
+}
+
+// ChargeScalarReduce charges the baseline's scalar reduction loops over
+// staged data for n input bytes.
+func (h *Host) ChargeScalarReduce(n int64) {
+	h.meter.Add(cost.HostMod, h.params.HostBytesAt(n, h.params.ScalarRedBPC*h.dsa()))
+}
+
+// ChargeLocalReduce charges reductions over PE-pre-reordered
+// (cache-local) data for n input bytes.
+func (h *Host) ChargeLocalReduce(n int64) {
+	h.meter.Add(cost.HostMod, h.params.HostBytesAt(n, h.params.LocalRedBPC*h.dsa()))
+}
+
+// ChargeHostMem charges host main-memory traffic for n bytes.
+func (h *Host) ChargeHostMem(n int64) {
+	h.meter.AddBytes(cost.HostMem, n, h.params.HostMemBW)
+}
+
+// ChargeSync charges a fixed host-side synchronization/launch overhead.
+func (h *Host) ChargeSync() {
+	h.meter.Add(cost.Other, h.params.KernelLaunch)
+}
+
+// DomainTransfer applies the driver's domain transfer in place: each
+// aligned 64-byte block is 8x8 byte-transposed (§ II-B), converting
+// between PIM byte order and host byte order. It charges DT compute.
+// len(buf) must be a multiple of 64.
+func (h *Host) DomainTransfer(buf []byte) {
+	if len(buf)%dram.BurstBytes != 0 {
+		panic(fmt.Sprintf("host: DT length %d not a multiple of %d", len(buf), dram.BurstBytes))
+	}
+	for off := 0; off < len(buf); off += dram.BurstBytes {
+		r := h.vu.Load(buf[off:])
+		r = h.vu.Transpose8x8(r)
+		h.vu.Store(buf[off:], r)
+	}
+	h.ChargeDT(int64(len(buf)))
+}
+
+// BulkRead is the conventional (UPMEM-SDK-style) retrieval path used by
+// the baseline design: it reads perPE bytes starting at MRAM offset off
+// from every PE of every listed group, applies the driver's automatic
+// domain transfer, stores the result into a host staging buffer, and
+// charges bus, DT and host-memory costs. The staging layout is PE-major:
+// the bytes of the i-th PE (groups in the given order, chips in order
+// within each group) occupy buf[i*perPE : (i+1)*perPE].
+func (h *Host) BulkRead(groups []int, off, perPE int) []byte {
+	if perPE%dram.BankBurstBytes != 0 {
+		panic(fmt.Sprintf("host: perPE %d not burst-aligned", perPE))
+	}
+	buf := make([]byte, len(groups)*dram.ChipsPerRank*perPE)
+	h.BeginXfer()
+	for gi, g := range groups {
+		for b := 0; b < perPE; b += dram.BankBurstBytes {
+			r := h.ReadBurst(g, off+b)
+			r = h.vu.Transpose8x8(r) // DT: lane c = PE c's 8 bytes
+			for c := 0; c < dram.ChipsPerRank; c++ {
+				pe := gi*dram.ChipsPerRank + c
+				copy(buf[pe*perPE+b:], r.Lane(c))
+			}
+		}
+	}
+	h.EndXfer()
+	h.ChargeDT(int64(len(buf)))
+	h.ChargeHostMem(int64(len(buf))) // staging store
+	return buf
+}
+
+// BulkWrite is the inverse of BulkRead: it scatters a PE-major host buffer
+// back to the PEs' MRAM at offset off, applying domain transfer, and
+// charges host-memory (staging read), DT and bus costs.
+func (h *Host) BulkWrite(groups []int, off int, buf []byte) {
+	n := len(groups) * dram.ChipsPerRank
+	if n == 0 {
+		return
+	}
+	if len(buf)%n != 0 {
+		panic(fmt.Sprintf("host: buffer %d not divisible by %d PEs", len(buf), n))
+	}
+	perPE := len(buf) / n
+	if perPE%dram.BankBurstBytes != 0 {
+		panic(fmt.Sprintf("host: perPE %d not burst-aligned", perPE))
+	}
+	h.ChargeHostMem(int64(len(buf))) // staging read
+	h.ChargeDT(int64(len(buf)))
+	h.BeginXfer()
+	for gi, g := range groups {
+		for b := 0; b < perPE; b += dram.BankBurstBytes {
+			var r vec.Reg
+			for c := 0; c < dram.ChipsPerRank; c++ {
+				pe := gi*dram.ChipsPerRank + c
+				r.SetLane(c, buf[pe*perPE+b:])
+			}
+			r = h.vu.Transpose8x8(r) // back to PIM byte order
+			h.WriteBurst(g, off+b, r)
+		}
+	}
+	h.EndXfer()
+}

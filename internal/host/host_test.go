@@ -1,0 +1,285 @@
+package host
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/vec"
+)
+
+func testHost(t *testing.T) *Host {
+	t.Helper()
+	sys, err := dram.NewSystem(dram.Geometry{Channels: 2, RanksPerChannel: 2, BanksPerChip: 2, MramPerBank: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sys, cost.DefaultParams())
+}
+
+func TestReadWriteBurstRoundTrip(t *testing.T) {
+	h := testHost(t)
+	var r vec.Reg
+	for i := range r {
+		r[i] = byte(i ^ 0x5A)
+	}
+	h.BeginXfer()
+	h.WriteBurst(1, 64, r)
+	got := h.ReadBurst(1, 64)
+	h.EndXfer()
+	if got != r {
+		t.Fatal("burst round trip mismatch")
+	}
+	if h.Meter().Get(cost.PEMem) <= 0 {
+		t.Error("no bus time charged")
+	}
+}
+
+func TestBurstOutsideEpochPanics(t *testing.T) {
+	h := testHost(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.ReadBurst(0, 0)
+}
+
+func TestEndXferWithoutBeginPanics(t *testing.T) {
+	h := testHost(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.EndXfer()
+}
+
+func TestChannelsTransferInParallel(t *testing.T) {
+	h := testHost(t)
+	geo := h.System().Geometry()
+	groupsPerChannel := geo.NumGroups() / geo.Channels
+
+	// Same byte volume: all on channel 0 vs spread over both channels.
+	timeFor := func(groups []int) cost.Seconds {
+		hh := New(h.System(), h.Params())
+		hh.BeginXfer()
+		for _, g := range groups {
+			hh.WriteBurst(g, 0, vec.Reg{})
+			hh.WriteBurst(g, 0, vec.Reg{})
+		}
+		hh.EndXfer()
+		return hh.Meter().Get(cost.PEMem)
+	}
+	sameChannel := timeFor([]int{0, 1, 2, 3})                              // all channel 0
+	spread := timeFor([]int{0, 1, groupsPerChannel, groupsPerChannel + 1}) // 2+2
+	if math.Abs(float64(sameChannel)/float64(spread)-2.0) > 1e-9 {
+		t.Errorf("same-channel %v vs spread %v: want 2x", sameChannel, spread)
+	}
+}
+
+func TestRankParallelAblation(t *testing.T) {
+	h := testHost(t)
+	p := h.Params()
+	p.RankParallel = false
+	slow := New(h.System(), p)
+
+	run := func(hh *Host) cost.Seconds {
+		hh.BeginXfer()
+		hh.WriteBurst(0, 0, vec.Reg{})
+		hh.EndXfer()
+		return hh.Meter().Get(cost.PEMem)
+	}
+	if fast, s := run(h), run(slow); s <= fast {
+		t.Errorf("serialized ranks (%v) should be slower than parallel (%v)", s, fast)
+	}
+}
+
+func TestNestedEpochsChargeOnce(t *testing.T) {
+	h := testHost(t)
+	h.BeginXfer()
+	h.BeginXfer()
+	h.WriteBurst(0, 0, vec.Reg{})
+	h.EndXfer()
+	mid := h.Meter().Get(cost.PEMem)
+	if mid != 0 {
+		t.Error("inner EndXfer charged early")
+	}
+	h.EndXfer()
+	if h.Meter().Get(cost.PEMem) <= 0 {
+		t.Error("outer EndXfer did not charge")
+	}
+}
+
+func TestDomainTransferIsInvolution(t *testing.T) {
+	h := testHost(t)
+	buf := make([]byte, 256)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(buf)
+	orig := append([]byte(nil), buf...)
+	h.DomainTransfer(buf)
+	if bytes.Equal(buf, orig) {
+		t.Error("DT did not change buffer")
+	}
+	h.DomainTransfer(buf)
+	if !bytes.Equal(buf, orig) {
+		t.Error("DT twice != identity")
+	}
+	if h.Meter().Get(cost.DomainTransfer) <= 0 {
+		t.Error("DT not charged")
+	}
+}
+
+func TestDomainTransferAlignmentPanics(t *testing.T) {
+	h := testHost(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.DomainTransfer(make([]byte, 100))
+}
+
+// The critical domain-transfer semantics (§ II-B): writing a domain-
+// transferred host buffer as bursts puts each full 8-byte element into a
+// single bank.
+func TestDTThenWritePlacesElementsInBanks(t *testing.T) {
+	h := testHost(t)
+	// Host-domain data: 8 elements of 8 bytes; element e = [e0 e1 ... e7]
+	// with value byte e in all positions, distinguishable per element.
+	hostData := make([]byte, 64)
+	for e := 0; e < 8; e++ {
+		for b := 0; b < 8; b++ {
+			hostData[8*e+b] = byte(16*e + b)
+		}
+	}
+	dt := append([]byte(nil), hostData...)
+	h.DomainTransfer(dt)
+	var r vec.Reg
+	copy(r[:], dt)
+	h.BeginXfer()
+	h.WriteBurst(0, 0, r)
+	h.EndXfer()
+	// Bank c must now hold element c contiguously.
+	for c := 0; c < dram.ChipsPerRank; c++ {
+		bank := h.System().BankBytes(0*dram.ChipsPerRank + c)[:8]
+		want := hostData[8*c : 8*c+8]
+		if !bytes.Equal(bank, want) {
+			t.Fatalf("bank %d holds %v, want element %d = %v", c, bank, c, want)
+		}
+	}
+}
+
+func TestBulkReadWriteRoundTrip(t *testing.T) {
+	h := testHost(t)
+	groups := []int{0, 3}
+	perPE := 64
+	data := make([]byte, len(groups)*dram.ChipsPerRank*perPE)
+	rng := rand.New(rand.NewSource(11))
+	rng.Read(data)
+
+	h.BulkWrite(groups, 128, data)
+	got := h.BulkRead(groups, 128, perPE)
+	if !bytes.Equal(got, data) {
+		t.Fatal("bulk round trip mismatch")
+	}
+	// All cost categories of the conventional path must be charged.
+	for _, c := range []cost.Category{cost.PEMem, cost.DomainTransfer, cost.HostMem} {
+		if h.Meter().Get(c) <= 0 {
+			t.Errorf("category %v not charged", c)
+		}
+	}
+}
+
+func TestBulkWritePerPELayout(t *testing.T) {
+	h := testHost(t)
+	perPE := 8
+	n := dram.ChipsPerRank
+	data := make([]byte, n*perPE)
+	for pe := 0; pe < n; pe++ {
+		for i := 0; i < perPE; i++ {
+			data[pe*perPE+i] = byte(pe*10 + i)
+		}
+	}
+	h.BulkWrite([]int{0}, 0, data)
+	// PE c (chip c of group 0) must hold its own 8 bytes contiguously.
+	for c := 0; c < n; c++ {
+		bank := h.System().BankBytes(c)[:perPE]
+		if !bytes.Equal(bank, data[c*perPE:(c+1)*perPE]) {
+			t.Fatalf("PE %d holds %v, want %v", c, bank, data[c*perPE:(c+1)*perPE])
+		}
+	}
+}
+
+func TestBulkAlignmentPanics(t *testing.T) {
+	h := testHost(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.BulkRead([]int{0}, 0, 12)
+}
+
+func TestChargeHelpers(t *testing.T) {
+	h := testHost(t)
+	h.ChargeDT(1000)
+	h.ChargeScalarMod(1000)
+	h.ChargeLocalMod(1000)
+	h.ChargeSIMD(1000)
+	h.ChargeReduce(1000)
+	h.ChargeHostMem(1000)
+	h.ChargeSync()
+	if h.Meter().Get(cost.DomainTransfer) <= 0 ||
+		h.Meter().Get(cost.HostMod) <= 0 ||
+		h.Meter().Get(cost.HostMem) <= 0 ||
+		h.Meter().Get(cost.Other) <= 0 {
+		t.Error("charge helpers missed a category")
+	}
+	// Scalar modulation must be slower than local, which is slower than SIMD.
+	p := h.Params()
+	if !(p.ScalarModBPC < p.LocalModBPC && p.LocalModBPC < p.SIMDModBPC) {
+		t.Error("modulation throughput ordering violated in defaults")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := testHost(t)
+	if h.Stats().TotalBytes() != 0 || h.Stats().Bursts != 0 {
+		t.Error("fresh host has traffic")
+	}
+	h.BeginXfer()
+	h.WriteBurst(0, 0, vec.Reg{})
+	h.WriteBurst(0, 8, vec.Reg{})
+	_ = h.ReadBurst(0, 0)
+	h.EndXfer()
+	st := h.Stats()
+	if st.Bursts != 3 {
+		t.Errorf("bursts = %d, want 3", st.Bursts)
+	}
+	if st.TotalBytes() != 3*dram.BurstBytes {
+		t.Errorf("bytes = %d, want %d", st.TotalBytes(), 3*dram.BurstBytes)
+	}
+	// Stats snapshots are independent copies.
+	st.BytesPerChannel[0] = 999
+	if h.Stats().BytesPerChannel[0] == 999 {
+		t.Error("Stats exposed internal slice")
+	}
+}
+
+// The optimized AlltoAll engine must move exactly what it claims: a
+// traffic-accounting cross-check at the transfer layer.
+func TestStatsMatchExpectedTraffic(t *testing.T) {
+	h := testHost(t)
+	perPE := 128
+	groups := []int{0, 1}
+	data := make([]byte, len(groups)*dram.ChipsPerRank*perPE)
+	h.BulkWrite(groups, 0, data)
+	want := int64(len(data))
+	if got := h.Stats().TotalBytes(); got != want {
+		t.Errorf("bulk write moved %d bytes, want %d", got, want)
+	}
+}

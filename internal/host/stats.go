@@ -1,0 +1,29 @@
+package host
+
+// XferStats summarizes the cumulative bus traffic a host has issued:
+// useful for verifying that an implementation moves the bytes it claims
+// (cmd/pidtrace prints it) and for asserting traffic in tests.
+type XferStats struct {
+	// Bursts is the total number of 64-byte bursts transferred.
+	Bursts int64
+	// BytesPerChannel is the cumulative traffic per channel.
+	BytesPerChannel []int64
+}
+
+// TotalBytes returns the overall bus traffic.
+func (s XferStats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.BytesPerChannel {
+		t += b
+	}
+	return t
+}
+
+// Stats returns a snapshot of the host's cumulative transfer statistics.
+func (h *Host) Stats() XferStats {
+	out := XferStats{
+		Bursts:          h.totalBursts,
+		BytesPerChannel: append([]int64(nil), h.totalByChan...),
+	}
+	return out
+}

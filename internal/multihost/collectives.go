@@ -1,0 +1,86 @@
+package multihost
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+// ReduceScatter performs a global ReduceScatter over all hosts' PEs:
+// every PE contributes H*P blocks (global-rank order, blockBytes each);
+// block g, reduced elementwise over every PE in the cluster, ends on
+// global PE g (= host g/P, local PE g%P).
+//
+// Flow (§ IX-A: "data are sent after reduction"): each host locally
+// Reduces the full buffer, the hosts ring-reduce-scatter the per-host
+// portions over the network ((H-1)/H of one reduced copy), and each host
+// Scatters its final portion to its PEs.
+func (cl *Cluster) ReduceScatter(srcOff, dstOff, blockBytes int, t elem.Type, op elem.Op, lvl core.Level) (cost.Breakdown, error) {
+	before := cl.Breakdown()
+	H := len(cl.hosts)
+	P := cl.PEsPerHost()
+	m := H * P * blockBytes
+	hostPart := P * blockBytes
+
+	partials := make([][]byte, H)
+	for h, comm := range cl.hosts {
+		bufs, _, err := comm.Reduce("1", srcOff, m, t, op, lvl)
+		if err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost ReduceScatter host %d: %w", h, err)
+		}
+		partials[h] = bufs[0]
+	}
+	// Network reduce-scatter among hosts: H-1 overlapped rounds, each
+	// moving one host portion per host.
+	for r := 0; r < H-1; r++ {
+		cl.chargeNet(int64(hostPart))
+	}
+	global := core.RefReduce(t, op, partials)
+	for h, comm := range cl.hosts {
+		// Host h owns global blocks [h*P, (h+1)*P): block h*P+p to PE p.
+		if _, err := comm.Scatter("1", [][]byte{global[h*hostPart : (h+1)*hostPart]}, dstOff, blockBytes, lvl); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost ReduceScatter host %d: %w", h, err)
+		}
+	}
+	return cl.Breakdown().Sub(before), nil
+}
+
+// AllGather performs a global AllGather over all hosts' PEs: every PE
+// contributes bytesPerPE bytes and ends with the concatenation of every
+// PE's buffer in global-rank order (H*P*bytesPerPE bytes at dstOff).
+//
+// Flow (§ IX-A: "data are sent before duplication"): each host locally
+// Gathers its PEs' buffers, the hosts all-gather the per-host portions
+// over the network, and each host Broadcasts the assembled buffer to its
+// PEs (the duplication happens after the wire).
+func (cl *Cluster) AllGather(srcOff, dstOff, bytesPerPE int, lvl core.Level) (cost.Breakdown, error) {
+	before := cl.Breakdown()
+	H := len(cl.hosts)
+	P := cl.PEsPerHost()
+	hostPart := P * bytesPerPE
+
+	parts := make([][]byte, H)
+	for h, comm := range cl.hosts {
+		bufs, _, err := comm.Gather("1", srcOff, bytesPerPE, lvl)
+		if err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost AllGather host %d: %w", h, err)
+		}
+		parts[h] = bufs[0]
+	}
+	// Network all-gather: H-1 overlapped rounds of one portion per host.
+	for r := 0; r < H-1; r++ {
+		cl.chargeNet(int64(hostPart))
+	}
+	assembled := make([]byte, 0, H*hostPart)
+	for _, p := range parts {
+		assembled = append(assembled, p...)
+	}
+	for h, comm := range cl.hosts {
+		if _, err := comm.Broadcast("1", [][]byte{assembled}, dstOff, lvl); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost AllGather host %d: %w", h, err)
+		}
+	}
+	return cl.Breakdown().Sub(before), nil
+}

@@ -1,0 +1,83 @@
+package multihost
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+func TestGlobalReduceScatter(t *testing.T) {
+	for _, hosts := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dhosts", hosts), func(t *testing.T) {
+			cl := newCluster(t, hosts)
+			P := cl.PEsPerHost()
+			blk := 8
+			m := hosts * P * blk
+			in := fill(cl, 0, m, 41)
+			if _, err := cl.ReduceScatter(0, 2*m, blk, elem.I32, elem.Sum, core.IM); err != nil {
+				t.Fatal(err)
+			}
+			want := core.RefReduceScatter(elem.I32, elem.Sum, in, blk)
+			for h := 0; h < hosts; h++ {
+				for p := 0; p < P; p++ {
+					got := cl.Host(h).GetPEBuffer(p, 2*m, blk)
+					if !bytes.Equal(got, want[h*P+p]) {
+						t.Fatalf("host %d PE %d mismatch", h, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGlobalAllGather(t *testing.T) {
+	for _, hosts := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dhosts", hosts), func(t *testing.T) {
+			cl := newCluster(t, hosts)
+			P := cl.PEsPerHost()
+			s := 16
+			in := fill(cl, 0, s, 43)
+			if _, err := cl.AllGather(0, 256, s, core.CM); err != nil {
+				t.Fatal(err)
+			}
+			want := core.RefAllGather(in)
+			for h := 0; h < hosts; h++ {
+				for p := 0; p < P; p++ {
+					got := cl.Host(h).GetPEBuffer(p, 256, hosts*P*s)
+					if !bytes.Equal(got, want[h*P+p]) {
+						t.Fatalf("host %d PE %d mismatch", h, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// § IX-A trends: RS sends data after reduction, AG before duplication —
+// both keep the network share far below AlltoAll's.
+func TestReducedTrafficTrends(t *testing.T) {
+	cl := newCluster(t, 2)
+	P := cl.PEsPerHost()
+	blk := 64
+	m := 2 * P * blk
+	fill(cl, 0, m, 5)
+	rsBD, err := cl.ReduceScatter(0, 2*m, blk, elem.I32, elem.Sum, core.IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2 := newCluster(t, 2)
+	fill(cl2, 0, m, 5)
+	aaBD, err := cl2.AlltoAll(0, 2*m, blk, core.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsNet := float64(rsBD.Get(cost.Network))
+	aaNet := float64(aaBD.Get(cost.Network))
+	if rsNet >= aaNet {
+		t.Errorf("RS network time %v should be below AlltoAll's %v", rsNet, aaNet)
+	}
+}

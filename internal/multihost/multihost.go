@@ -1,0 +1,171 @@
+// Package multihost implements the hierarchical multi-host extension of
+// PID-Comm (§ IX-A, Figure 23(b)): several hosts, each driving its own
+// channel(s) of PIM-enabled DIMMs, cooperate through an MPI-like network.
+// Each host first runs a local PID-Comm collective, then the hosts run a
+// global collective over the network, then results are redistributed to
+// the PEs — mirroring typical hierarchical distributed systems.
+//
+// The network is modeled with latency and bandwidth (the paper controls
+// MPI bandwidth to 10 Gbps high-speed Ethernet); transfers between
+// distinct host pairs overlap, as MPI point-to-points do.
+package multihost
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// Cluster is a set of hosts, each owning an identical PIM subsystem.
+type Cluster struct {
+	hosts  []*core.Comm
+	params cost.Params
+	// netMeter accrues network time (the critical path across steps).
+	netMeter *cost.Meter
+}
+
+// New builds a cluster of numHosts hosts, each with its own system of the
+// given per-host geometry and a 1-D hypercube over its PEs.
+func New(numHosts int, geo dram.Geometry, params cost.Params) (*Cluster, error) {
+	if numHosts <= 0 {
+		return nil, fmt.Errorf("multihost: need at least one host, got %d", numHosts)
+	}
+	cl := &Cluster{params: params, netMeter: cost.NewMeter()}
+	for i := 0; i < numHosts; i++ {
+		sys, err := dram.NewSystem(geo)
+		if err != nil {
+			return nil, err
+		}
+		hc, err := core.NewHypercube(sys, []int{geo.NumPEs()})
+		if err != nil {
+			return nil, err
+		}
+		cl.hosts = append(cl.hosts, core.NewComm(hc, params))
+	}
+	return cl, nil
+}
+
+// NumHosts returns the number of hosts.
+func (cl *Cluster) NumHosts() int { return len(cl.hosts) }
+
+// Host returns host h's communication context.
+func (cl *Cluster) Host(h int) *core.Comm { return cl.hosts[h] }
+
+// PEsPerHost returns the PE count per host.
+func (cl *Cluster) PEsPerHost() int {
+	return cl.hosts[0].Hypercube().System().Geometry().NumPEs()
+}
+
+// chargeNet charges one network exchange step where every host sends
+// bytesPerHost bytes; pairwise transfers overlap, so elapsed time is one
+// host's traffic over the link bandwidth plus latency.
+func (cl *Cluster) chargeNet(bytesPerHost int64) {
+	cl.netMeter.Add(cost.Network, cl.params.NetworkLatency)
+	cl.netMeter.AddBytes(cost.Network, bytesPerHost, cl.params.NetworkBW)
+}
+
+// Breakdown returns the cluster's cost snapshot: the slowest host's local
+// time (hosts run concurrently) plus the network time.
+func (cl *Cluster) Breakdown() cost.Breakdown {
+	agg := cost.NewMeter()
+	for _, h := range cl.hosts {
+		agg.MergeMax(h.Meter())
+	}
+	agg.Merge(cl.netMeter)
+	return agg.Snapshot()
+}
+
+// AllReduce performs a global AllReduce over all hosts' PEs: every PE
+// ends with the elementwise reduction of every PE's buffer in the whole
+// cluster. Flow (§ IX-A): local Reduce to each host (1/P of the data
+// crosses the network, P = PEs/host), ring AllReduce among hosts over
+// MPI, local Broadcast.
+func (cl *Cluster) AllReduce(srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl core.Level) (cost.Breakdown, error) {
+	before := cl.Breakdown()
+	dims := "1"
+	partials := make([][]byte, len(cl.hosts))
+	for h, comm := range cl.hosts {
+		bufs, _, err := comm.Reduce(dims, srcOff, bytesPerPE, t, op, lvl)
+		if err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost AllReduce host %d: %w", h, err)
+		}
+		partials[h] = bufs[0] // 1-D hypercube: single group
+	}
+	// Inter-host ring AllReduce on the reduced buffers: 2(H-1) steps each
+	// moving bytesPerPE/H per host.
+	if len(cl.hosts) > 1 {
+		h := len(cl.hosts)
+		steps := 2 * (h - 1)
+		for i := 0; i < steps; i++ {
+			cl.chargeNet(int64(bytesPerPE / h))
+		}
+	}
+	global := core.RefReduce(t, op, partials)
+	for h, comm := range cl.hosts {
+		if _, err := comm.Broadcast(dims, [][]byte{global}, dstOff, lvl); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost AllReduce host %d: %w", h, err)
+		}
+	}
+	return cl.Breakdown().Sub(before), nil
+}
+
+// AlltoAll performs a global AlltoAll over all hosts' PEs. Every PE's
+// buffer holds one block per global PE (H*P blocks of blockBytes); block
+// q of global PE p ends as block p of global PE q, where global PE index
+// is host*P + localPE.
+//
+// Flow: the intra-host portion is one local PID-Comm AlltoAll (the
+// contiguous region of blocks destined to the local host); each remote
+// portion is Gathered, exchanged over the network ((H-1)/H of all data),
+// transposed on the receiving host, and Scattered into place.
+func (cl *Cluster) AlltoAll(srcOff, dstOff, blockBytes int, lvl core.Level) (cost.Breakdown, error) {
+	before := cl.Breakdown()
+	H := len(cl.hosts)
+	P := cl.PEsPerHost()
+	dims := "1"
+	hostPart := P * blockBytes // bytes destined to one host, per PE
+
+	// Intra-host: local AlltoAll on the region of locally-destined blocks.
+	for h, comm := range cl.hosts {
+		if _, err := comm.AlltoAll(dims, srcOff+h*hostPart, dstOff+h*hostPart, hostPart, lvl); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll host %d: %w", h, err)
+		}
+	}
+	// Cross-host exchange cost: H-1 overlapped rounds in which every host
+	// sends one remote portion (P*hostPart bytes) — the (H-1)/H traffic
+	// scaling of § IX-A.
+	for r := 0; r < H-1; r++ {
+		cl.chargeNet(int64(P * hostPart))
+	}
+	// Cross-host data movement: gather each remote portion, exchange,
+	// transpose, scatter.
+	for src := 0; src < H; src++ {
+		for dst := 0; dst < H; dst++ {
+			if src == dst {
+				continue
+			}
+			bufs, _, err := cl.hosts[src].Gather(dims, srcOff+dst*hostPart, hostPart, lvl)
+			if err != nil {
+				return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll gather %d->%d: %w", src, dst, err)
+			}
+			payload := bufs[0] // [src local p][dst local p'] blocks
+			// Receiving host transposes [src p][dst p'] -> [dst p'][src p]
+			// and scatters so block from (src,p) lands at dst slot.
+			re := make([]byte, len(payload))
+			for p := 0; p < P; p++ {
+				for q := 0; q < P; q++ {
+					copy(re[q*P*blockBytes+p*blockBytes:q*P*blockBytes+(p+1)*blockBytes],
+						payload[p*P*blockBytes+q*blockBytes:p*P*blockBytes+(q+1)*blockBytes])
+				}
+			}
+			cl.hosts[dst].Host().ChargeLocalMod(int64(len(re)))
+			if _, err := cl.hosts[dst].Scatter(dims, [][]byte{re}, dstOff+src*hostPart, P*blockBytes, lvl); err != nil {
+				return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll scatter %d->%d: %w", src, dst, err)
+			}
+		}
+	}
+	return cl.Breakdown().Sub(before), nil
+}

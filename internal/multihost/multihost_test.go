@@ -1,0 +1,173 @@
+package multihost
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+var testGeo = dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 14} // 16 PEs/host
+
+func newCluster(t *testing.T, hosts int) *Cluster {
+	t.Helper()
+	cl, err := New(hosts, testGeo, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// fill writes per-global-PE data and returns it indexed by global PE.
+func fill(cl *Cluster, off, n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	P := cl.PEsPerHost()
+	out := make([][]byte, cl.NumHosts()*P)
+	for h := 0; h < cl.NumHosts(); h++ {
+		for p := 0; p < P; p++ {
+			b := make([]byte, n)
+			rng.Read(b)
+			cl.Host(h).SetPEBuffer(p, off, b)
+			out[h*P+p] = b
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, testGeo, cost.DefaultParams()); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, err := New(2, dram.Geometry{}, cost.DefaultParams()); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestAllReduceCorrectAcrossHosts(t *testing.T) {
+	for _, hosts := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dhosts", hosts), func(t *testing.T) {
+			cl := newCluster(t, hosts)
+			P := cl.PEsPerHost()
+			m := P * 8
+			in := fill(cl, 0, m, 17)
+			if _, err := cl.AllReduce(0, 2*m, m, elem.I32, elem.Sum, core.CM); err != nil {
+				t.Fatal(err)
+			}
+			want := core.RefReduce(elem.I32, elem.Sum, in)
+			for h := 0; h < hosts; h++ {
+				for p := 0; p < P; p++ {
+					got := cl.Host(h).GetPEBuffer(p, 2*m, m)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("host %d PE %d mismatch", h, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoAllCorrectAcrossHosts(t *testing.T) {
+	for _, hosts := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dhosts", hosts), func(t *testing.T) {
+			cl := newCluster(t, hosts)
+			P := cl.PEsPerHost()
+			s := 8
+			total := hosts * P
+			m := total * s
+			in := fill(cl, 0, m, 23)
+			if _, err := cl.AlltoAll(0, 2*m, s, core.CM); err != nil {
+				t.Fatal(err)
+			}
+			want := core.RefAlltoAll(in, s)
+			for h := 0; h < hosts; h++ {
+				for p := 0; p < P; p++ {
+					got := cl.Host(h).GetPEBuffer(p, 2*m, m)
+					if !bytes.Equal(got, want[h*P+p]) {
+						t.Fatalf("host %d PE %d mismatch", h, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Figure 23(b) shapes: network overhead grows with host count; AllReduce's
+// network share is far smaller than AlltoAll's (reduced data crosses the
+// wire); PID-Comm stays ahead of the baseline.
+func TestFigure23bShapes(t *testing.T) {
+	// Sizes large enough that bandwidth terms dominate latency and launch
+	// overheads (the regime of Figure 23(b): 2 MB per PE on real hardware).
+	// 128 PEs per host on one channel approximates the paper's 256-PE
+	// hosts' bus-share-per-PE regime.
+	bigGeo := dram.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 8, MramPerBank: 1 << 19}
+	run := func(hosts int, lvl core.Level, aa bool) cost.Breakdown {
+		cl, err := New(hosts, bigGeo, cost.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		P := cl.PEsPerHost()
+		var m int
+		if aa {
+			m = hosts * P * 512 // 512 B blocks per global PE
+		} else {
+			m = P * 1024
+		}
+		fill(cl, 0, m, 3)
+		var bd cost.Breakdown
+		if aa {
+			bd, err = cl.AlltoAll(0, 2*m, 512, lvl)
+		} else {
+			bd, err = cl.AllReduce(0, 2*m, m, elem.I32, elem.Sum, lvl)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bd
+	}
+	// Network time grows with hosts.
+	ar2 := run(2, core.CM, false)
+	ar4 := run(4, core.CM, false)
+	if !(ar4.Get(cost.Network) > ar2.Get(cost.Network)) {
+		t.Error("AllReduce network time should grow with hosts")
+	}
+	if run(1, core.CM, false).Get(cost.Network) != 0 {
+		t.Error("single host should have no network time")
+	}
+	// AlltoAll's network fraction exceeds AllReduce's.
+	aa2 := run(2, core.CM, true)
+	arFrac := float64(ar2.Get(cost.Network)) / float64(ar2.Total())
+	aaFrac := float64(aa2.Get(cost.Network)) / float64(aa2.Total())
+	if aaFrac <= arFrac {
+		t.Errorf("AlltoAll net fraction %.3f should exceed AllReduce's %.3f", aaFrac, arFrac)
+	}
+	// PID-Comm beats the baseline in the multi-host setting too.
+	if base := run(2, core.Baseline, true); base.Total() <= aa2.Total() {
+		t.Errorf("baseline multihost AlltoAll (%v) should be slower than PID-Comm (%v)",
+			base.Total(), aa2.Total())
+	}
+}
+
+func TestBreakdownTakesSlowestHost(t *testing.T) {
+	cl := newCluster(t, 2)
+	// Host 0 does work; host 1 idles. Cluster time = host 0's.
+	P := cl.PEsPerHost()
+	m := P * 8
+	rng := rand.New(rand.NewSource(1))
+	for p := 0; p < P; p++ {
+		b := make([]byte, m)
+		rng.Read(b)
+		cl.Host(0).SetPEBuffer(p, 0, b)
+	}
+	if _, err := cl.Host(0).AlltoAll("1", 0, 2*m, m, core.CM); err != nil {
+		t.Fatal(err)
+	}
+	bd := cl.Breakdown()
+	if bd.Total() != cl.Host(0).Meter().Snapshot().Total() {
+		t.Error("cluster breakdown should equal the busiest host's meter")
+	}
+}

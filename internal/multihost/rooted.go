@@ -1,0 +1,115 @@
+package multihost
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+// The rooted primitives in a multi-host cluster follow the same
+// hierarchical pattern as the symmetric ones (§ IX-A): one designated
+// root host talks to the others over the network, and each host uses the
+// local PID-Comm primitive for its own PEs.
+
+// Broadcast sends buf from the root host to every PE in the cluster at
+// dstOff.
+func (cl *Cluster) Broadcast(root int, buf []byte, dstOff int, lvl core.Level) (cost.Breakdown, error) {
+	if err := cl.checkRoot(root); err != nil {
+		return cost.Breakdown{}, fmt.Errorf("multihost Broadcast: %w", err)
+	}
+	before := cl.Breakdown()
+	// Root ships the payload to the other hosts (overlapped fan-out
+	// rounds: ceil(log2 H) with a binomial tree).
+	for r := 1; r < len(cl.hosts); r *= 2 {
+		cl.chargeNet(int64(len(buf)))
+	}
+	for h, comm := range cl.hosts {
+		if _, err := comm.Broadcast("1", [][]byte{buf}, dstOff, lvl); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost Broadcast host %d: %w", h, err)
+		}
+	}
+	return cl.Breakdown().Sub(before), nil
+}
+
+// Scatter sends block g of buf to global PE g (host g/P, local g%P);
+// each PE receives blockBytes at dstOff. buf must hold H*P blocks.
+func (cl *Cluster) Scatter(root int, buf []byte, dstOff, blockBytes int, lvl core.Level) (cost.Breakdown, error) {
+	if err := cl.checkRoot(root); err != nil {
+		return cost.Breakdown{}, fmt.Errorf("multihost Scatter: %w", err)
+	}
+	H := len(cl.hosts)
+	P := cl.PEsPerHost()
+	if len(buf) != H*P*blockBytes {
+		return cost.Breakdown{}, fmt.Errorf("multihost Scatter: buffer %d bytes, want %d", len(buf), H*P*blockBytes)
+	}
+	before := cl.Breakdown()
+	hostPart := P * blockBytes
+	// Root ships each non-root host its portion (pipelined rounds).
+	for h := 0; h < H; h++ {
+		if h != root {
+			cl.chargeNet(int64(hostPart))
+		}
+	}
+	for h, comm := range cl.hosts {
+		part := buf[h*hostPart : (h+1)*hostPart]
+		if _, err := comm.Scatter("1", [][]byte{part}, dstOff, blockBytes, lvl); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("multihost Scatter host %d: %w", h, err)
+		}
+	}
+	return cl.Breakdown().Sub(before), nil
+}
+
+// Gather collects bytesPerPE bytes from every PE (global-rank order) to
+// the root host.
+func (cl *Cluster) Gather(root int, srcOff, bytesPerPE int, lvl core.Level) ([]byte, cost.Breakdown, error) {
+	if err := cl.checkRoot(root); err != nil {
+		return nil, cost.Breakdown{}, fmt.Errorf("multihost Gather: %w", err)
+	}
+	before := cl.Breakdown()
+	H := len(cl.hosts)
+	P := cl.PEsPerHost()
+	out := make([]byte, 0, H*P*bytesPerPE)
+	for h, comm := range cl.hosts {
+		bufs, _, err := comm.Gather("1", srcOff, bytesPerPE, lvl)
+		if err != nil {
+			return nil, cost.Breakdown{}, fmt.Errorf("multihost Gather host %d: %w", h, err)
+		}
+		if h != root {
+			cl.chargeNet(int64(len(bufs[0])))
+		}
+		out = append(out, bufs[0]...)
+	}
+	return out, cl.Breakdown().Sub(before), nil
+}
+
+// Reduce returns the elementwise reduction of every PE's bytesPerPE
+// buffer to the root host ("data are sent after being reduced": only one
+// reduced copy per non-root host crosses the network).
+func (cl *Cluster) Reduce(root int, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl core.Level) ([]byte, cost.Breakdown, error) {
+	if err := cl.checkRoot(root); err != nil {
+		return nil, cost.Breakdown{}, fmt.Errorf("multihost Reduce: %w", err)
+	}
+	before := cl.Breakdown()
+	partials := make([][]byte, len(cl.hosts))
+	for h, comm := range cl.hosts {
+		bufs, _, err := comm.Reduce("1", srcOff, bytesPerPE, t, op, lvl)
+		if err != nil {
+			return nil, cost.Breakdown{}, fmt.Errorf("multihost Reduce host %d: %w", h, err)
+		}
+		if h != root {
+			cl.chargeNet(int64(len(bufs[0])))
+		}
+		partials[h] = bufs[0]
+	}
+	out := core.RefReduce(t, op, partials)
+	return out, cl.Breakdown().Sub(before), nil
+}
+
+func (cl *Cluster) checkRoot(root int) error {
+	if root < 0 || root >= len(cl.hosts) {
+		return fmt.Errorf("root host %d out of range [0,%d)", root, len(cl.hosts))
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package multihost
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+func TestRootedBroadcast(t *testing.T) {
+	cl := newCluster(t, 3)
+	buf := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(buf)
+	if _, err := cl.Broadcast(0, buf, 128, core.CM); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 3; h++ {
+		for p := 0; p < cl.PEsPerHost(); p++ {
+			if !bytes.Equal(cl.Host(h).GetPEBuffer(p, 128, 64), buf) {
+				t.Fatalf("host %d PE %d missing payload", h, p)
+			}
+		}
+	}
+}
+
+func TestRootedScatterGatherRoundTrip(t *testing.T) {
+	cl := newCluster(t, 2)
+	P := cl.PEsPerHost()
+	blk := 16
+	buf := make([]byte, 2*P*blk)
+	rand.New(rand.NewSource(2)).Read(buf)
+	if _, err := cl.Scatter(0, buf, 0, blk, core.IM); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cl.Gather(0, 0, blk, core.IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("scatter/gather round trip mismatch")
+	}
+}
+
+func TestRootedReduce(t *testing.T) {
+	cl := newCluster(t, 4)
+	P := cl.PEsPerHost()
+	m := P * 8
+	in := fill(cl, 0, m, 9)
+	got, bd, err := cl.Reduce(0, 0, m, elem.I32, elem.Sum, core.IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, core.RefReduce(elem.I32, elem.Sum, in)) {
+		t.Fatal("reduce mismatch")
+	}
+	// Only reduced copies cross the wire: 3 host portions of m bytes.
+	if bd.Get(cost.Network) <= 0 {
+		t.Error("no network time charged")
+	}
+}
+
+func TestRootedValidation(t *testing.T) {
+	cl := newCluster(t, 2)
+	if _, err := cl.Broadcast(5, make([]byte, 8), 0, core.IM); err == nil {
+		t.Error("bad root accepted")
+	}
+	if _, err := cl.Scatter(0, make([]byte, 3), 0, 8, core.IM); err == nil {
+		t.Error("bad buffer size accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package vec
+
+import (
+	"testing"
+
+	"repro/internal/elem"
+)
+
+// Micro-benchmarks of the simulated vector unit: these measure the
+// simulator's wall-clock cost per operation (not modeled time), which
+// bounds how fast the streaming engine can run large payloads.
+
+func BenchmarkRotBanks(b *testing.B) {
+	var u Unit
+	r := seqReg()
+	b.SetBytes(RegBytes)
+	for i := 0; i < b.N; i++ {
+		r = u.RotBanks(r, 8, 3)
+	}
+	sinkReg = r
+}
+
+func BenchmarkTranspose8x8(b *testing.B) {
+	var u Unit
+	r := seqReg()
+	b.SetBytes(RegBytes)
+	for i := 0; i < b.N; i++ {
+		r = u.Transpose8x8(r)
+	}
+	sinkReg = r
+}
+
+func BenchmarkReduceI32Sum(b *testing.B) {
+	var u Unit
+	var x, y Reg
+	elem.Fill(elem.I32, x[:], 3)
+	elem.Fill(elem.I32, y[:], 4)
+	b.SetBytes(RegBytes)
+	for i := 0; i < b.N; i++ {
+		x = u.Reduce(elem.I32, elem.Sum, x, y)
+	}
+	sinkReg = x
+}
+
+var sinkReg Reg

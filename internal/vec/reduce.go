@@ -1,0 +1,28 @@
+package vec
+
+import "repro/internal/elem"
+
+// Reduce performs a vertical (lane-parallel) elementwise reduction of two
+// registers: out = op(a, b) per element of type t. This is the single-SIMD-
+// instruction vertical reduction that in-register modulation relies on
+// (§ V-B2): elements to be combined are placed in different registers but
+// identical slots, so one instruction reduces a whole burst.
+func (u *Unit) Reduce(t elem.Type, op elem.Op, a, b Reg) Reg {
+	var out Reg
+	sz := t.Size()
+	for off := 0; off < RegBytes; off += sz {
+		v := op.Combine(elem.Load(t, a[:], off), elem.Load(t, b[:], off))
+		elem.Store(t, out[:], off, v)
+	}
+	u.retire(1)
+	return out
+}
+
+// FillIdentity returns a register whose every element of type t is the
+// identity of op. One instruction (set/broadcast).
+func (u *Unit) FillIdentity(t elem.Type, op elem.Op) Reg {
+	var out Reg
+	elem.Fill(t, out[:], op.Identity(t))
+	u.retire(1)
+	return out
+}

@@ -1,0 +1,137 @@
+// Package pidcomm is the public API of the PID-Comm reproduction: a fast
+// and flexible collective communication framework for (simulated)
+// commodity processing-in-DIMM devices, after Noh, Hong et al., ISCA 2024.
+//
+// PID-Comm abstracts the PEs of a PIM-enabled DIMM system as a virtual
+// hypercube and provides eight multi-instance collective communication
+// primitives over user-selected dimensions, each in a conventional
+// host-mediated version and in PID-Comm's optimized version (PE-assisted
+// reordering, in-register modulation, cross-domain modulation).
+//
+// A minimal session mirrors Figure 10 of the paper:
+//
+//	sys, _ := pidcomm.NewSystem(pidcomm.PaperSystem(1 << 20))
+//	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{32, 32})
+//	comm := mgr.Comm()
+//	// ... place per-PE data ...
+//	bd, _ := comm.ReduceScatter("01", srcOff, dstOff, n, pidcomm.I32, pidcomm.Sum, pidcomm.CM)
+//	fmt.Println("simulated time:", bd.Total())
+//
+// The heavy lifting lives in internal/core (collectives), internal/dram,
+// internal/dpu, internal/host (the PIM-DIMM substrate) and internal/cost
+// (the calibrated timing model); this package re-exports the stable
+// surface.
+package pidcomm
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// Re-exported element types (§ V-C).
+const (
+	I8  = elem.I8
+	I16 = elem.I16
+	I32 = elem.I32
+	I64 = elem.I64
+)
+
+// Re-exported reduction operators.
+const (
+	Sum = elem.Sum
+	Min = elem.Min
+	Max = elem.Max
+	Or  = elem.Or
+	And = elem.And
+	Xor = elem.Xor
+)
+
+// Re-exported optimization levels (§ V-A).
+const (
+	Baseline = core.Baseline
+	PR       = core.PR
+	IM       = core.IM
+	CM       = core.CM
+)
+
+// Geometry describes the simulated DIMM system.
+type Geometry = dram.Geometry
+
+// Breakdown is a per-category simulated-time snapshot.
+type Breakdown = cost.Breakdown
+
+// Params is the hardware timing model.
+type Params = cost.Params
+
+// Level selects how much of the optimization stack a collective uses.
+type Level = core.Level
+
+// ElemType is an element data type.
+type ElemType = elem.Type
+
+// ReduceOp is a reduction operator.
+type ReduceOp = elem.Op
+
+// System is a simulated PIM-enabled DIMM memory system.
+type System = dram.System
+
+// Comm executes collectives; see the methods on core.Comm: AlltoAll,
+// ReduceScatter, AllReduce, AllGather, Scatter, Gather, Reduce,
+// Broadcast, AllReduceTopo.
+type Comm = core.Comm
+
+// DefaultParams returns the calibrated timing parameters (DESIGN.md § 4).
+func DefaultParams() Params { return cost.DefaultParams() }
+
+// PaperSystem returns the paper's testbed geometry — 4 channels x 4 ranks
+// x 8 chips x 8 banks = 1024 PEs — with the given per-bank MRAM bytes.
+func PaperSystem(mramPerBank int) Geometry { return dram.PaperGeometry(mramPerBank) }
+
+// NewSystem allocates a simulated system.
+func NewSystem(geo Geometry) (*System, error) { return dram.NewSystem(geo) }
+
+// HypercubeManager owns the virtual-hypercube abstraction (§ IV): the
+// user-defined shape, the mapping to physical PEs, and the communication
+// contexts created from it.
+type HypercubeManager struct {
+	hc     *core.Hypercube
+	params Params
+}
+
+// NewHypercubeManager validates the shape (every dimension a power of two
+// except the last; product equal to the PE count) and builds the manager
+// with default cost parameters.
+func NewHypercubeManager(sys *System, shape []int) (*HypercubeManager, error) {
+	hc, err := core.NewHypercube(sys, shape)
+	if err != nil {
+		return nil, err
+	}
+	return &HypercubeManager{hc: hc, params: cost.DefaultParams()}, nil
+}
+
+// SetParams overrides the timing model for subsequently created Comms.
+func (m *HypercubeManager) SetParams(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.params = p
+	return nil
+}
+
+// Shape returns the hypercube shape.
+func (m *HypercubeManager) Shape() []int { return m.hc.Shape() }
+
+// Groups returns the communication groups (PE lists in rank order) the
+// dims selection produces — the cube slices of § IV-B2.
+func (m *HypercubeManager) Groups(dims string) ([][]int, error) { return m.hc.Groups(dims) }
+
+// Comm creates a communication context with a fresh cost meter.
+func (m *HypercubeManager) Comm() *Comm { return core.NewComm(m.hc, m.params) }
+
+// DimsString builds a comm-dimensions bitmap, e.g. DimsString(3, 0, 2) ==
+// "101" selecting the x and z axes of a 3-D hypercube.
+func DimsString(numDims int, selected ...int) string {
+	return core.DimsString(numDims, selected...)
+}
