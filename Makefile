@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench-smoke
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast sanity pass over the evaluation harness on the cost-only backend.
+bench-smoke:
+	$(GO) run ./cmd/pidbench -exp fig14 -backend=cost

@@ -25,8 +25,19 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment ID (e.g. fig14, table1) or 'all'")
 	full := flag.Bool("full", false, "use paper-scale payloads (slower, more memory)")
+	backend := flag.String("backend", "functional", "execution backend for primitive experiments: 'functional' (moves real bytes) or 'cost' (cost-only; identical tables, orders of magnitude faster — application experiments always run functionally)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
+
+	var costOnly bool
+	switch *backend {
+	case "functional":
+	case "cost":
+		costOnly = true
+	default:
+		fmt.Fprintf(os.Stderr, "pidbench: unknown backend %q (want 'functional' or 'cost')\n", *backend)
+		os.Exit(2)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Available experiments:")
@@ -38,7 +49,7 @@ func main() {
 		}
 		return
 	}
-	o := bench.Options{W: os.Stdout, Full: *full}
+	o := bench.Options{W: os.Stdout, Full: *full, CostOnly: costOnly}
 	start := time.Now()
 	var err error
 	if *exp == "all" {

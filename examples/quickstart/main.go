@@ -53,6 +53,22 @@ func main() {
 		fmt.Printf("  %-5v %8.1f us  (%s)\n", lvl, float64(bd.Total())*1e6, bd)
 	}
 
+	// The Auto pseudo-level resolves to the cheapest applicable level via
+	// a cost-only dry run (cached per call signature).
+	{
+		comm := mgr.Comm()
+		fill(comm)
+		bd, err := comm.AlltoAll("10", 0, 2*m, m, pidcomm.Auto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		picked, err := comm.AutoLevel(pidcomm.AlltoAll, "10", m, pidcomm.I32, pidcomm.Sum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Auto  %8.1f us  (picked %v)\n", float64(bd.Total())*1e6, picked)
+	}
+
 	// Semantics check through the reference model.
 	comm := mgr.Comm()
 	all := fill(comm)

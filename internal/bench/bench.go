@@ -19,6 +19,11 @@ type Options struct {
 	// the whole suite within laptop memory/minutes (the timing model is
 	// linear in payload, so shapes are preserved; see EXPERIMENTS.md).
 	Full bool
+	// CostOnly runs experiments on the cost-only backend: identical
+	// tables (the cost model is shared bit-for-bit with the functional
+	// backend) at a fraction of the wall-clock and memory, since no MRAM
+	// is allocated and no bytes move. Use for Full-scale sweeps.
+	CostOnly bool
 }
 
 // Experiment is one reproducible table or figure.

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
-	"repro/internal/dram"
 	"repro/internal/elem"
 )
 
@@ -14,7 +13,7 @@ import (
 // ablations DESIGN.md § 6 calls out, and the § IX-B hardware what-ifs.
 
 // runPrimWithParams is RunPrimitive with a custom cost model.
-func runPrimWithParams(shape []int, dims string, size int, prim core.Primitive, lvl core.Level, params cost.Params) (float64, cost.Breakdown, error) {
+func runPrimWithParams(shape []int, dims string, size int, prim core.Primitive, lvl core.Level, params cost.Params, costOnly bool) (float64, cost.Breakdown, error) {
 	n := 1
 	for _, l := range shape {
 		n *= l
@@ -27,20 +26,17 @@ func runPrimWithParams(shape []int, dims string, size int, prim core.Primitive, 
 	if err != nil {
 		return 0, cost.Breakdown{}, err
 	}
-	sys, err := dram.NewSystem(geo)
+	comm, err := newCommOn(geo, shape, params, costOnly)
 	if err != nil {
 		return 0, cost.Breakdown{}, err
 	}
-	hc, err := core.NewHypercube(sys, shape)
-	if err != nil {
-		return 0, cost.Breakdown{}, err
-	}
-	comm := core.NewComm(hc, params)
-	rng := rand.New(rand.NewSource(7))
-	buf := make([]byte, size)
-	for pe := 0; pe < n; pe++ {
-		rng.Read(buf)
-		comm.SetPEBuffer(pe, 0, buf)
+	if !costOnly {
+		rng := rand.New(rand.NewSource(7))
+		buf := make([]byte, size)
+		for pe := 0; pe < n; pe++ {
+			rng.Read(buf)
+			comm.SetPEBuffer(pe, 0, buf)
+		}
 	}
 	var bd cost.Breakdown
 	switch prim {
@@ -77,11 +73,11 @@ func init() {
 		dsa := cost.DefaultParams()
 		dsa.DSAOffload = true
 		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
-			base, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, cost.DefaultParams())
+			base, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, cost.DefaultParams(), o.CostOnly)
 			if err != nil {
 				return err
 			}
-			with, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, dsa)
+			with, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, dsa, o.CostOnly)
 			if err != nil {
 				return err
 			}
@@ -97,11 +93,11 @@ func init() {
 		serial := cost.DefaultParams()
 		serial.RankParallel = false
 		for _, prim := range []core.Primitive{core.AlltoAll, core.AllGather} {
-			par, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, cost.DefaultParams())
+			par, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, cost.DefaultParams(), o.CostOnly)
 			if err != nil {
 				return err
 			}
-			ser, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, serial)
+			ser, _, err := runPrimWithParams([]int{32, 32}, "10", size, prim, core.CM, serial, o.CostOnly)
 			if err != nil {
 				return err
 			}
@@ -116,11 +112,11 @@ func init() {
 		for _, launch := range []float64{5e-6, 20e-6, 80e-6} {
 			p := cost.DefaultParams()
 			p.KernelLaunch = cost.Seconds(launch)
-			small, _, err := runPrimWithParams([]int{32, 32}, "10", 4<<10, core.AlltoAll, core.CM, p)
+			small, _, err := runPrimWithParams([]int{32, 32}, "10", 4<<10, core.AlltoAll, core.CM, p, o.CostOnly)
 			if err != nil {
 				return err
 			}
-			large, _, err := runPrimWithParams([]int{32, 32}, "10", 64<<10, core.AlltoAll, core.CM, p)
+			large, _, err := runPrimWithParams([]int{32, 32}, "10", 64<<10, core.AlltoAll, core.CM, p, o.CostOnly)
 			if err != nil {
 				return err
 			}

@@ -26,7 +26,13 @@ func init() {
 					// 256 PEs per host (one four-rank channel), § IX-A.
 					geo := dram.Geometry{Channels: 1, RanksPerChannel: 4, BanksPerChip: 8,
 						MramPerBank: mramFor(3 * perPE * max(1, hosts))}
-					cl, err := multihost.New(hosts, geo, cost.DefaultParams())
+					var cl *multihost.Cluster
+					var err error
+					if o.CostOnly {
+						cl, err = multihost.NewCostOnly(hosts, geo, cost.DefaultParams())
+					} else {
+						cl, err = multihost.New(hosts, geo, cost.DefaultParams())
+					}
 					if err != nil {
 						return err
 					}
@@ -43,12 +49,14 @@ func init() {
 							m = 8 * P
 						}
 					}
-					rng := rand.New(rand.NewSource(5))
-					buf := make([]byte, m)
-					for h := 0; h < hosts; h++ {
-						for p := 0; p < P; p++ {
-							rng.Read(buf)
-							cl.Host(h).SetPEBuffer(p, 0, buf)
+					if !o.CostOnly {
+						rng := rand.New(rand.NewSource(5))
+						buf := make([]byte, m)
+						for h := 0; h < hosts; h++ {
+							for p := 0; p < P; p++ {
+								rng.Read(buf)
+								cl.Host(h).SetPEBuffer(p, 0, buf)
+							}
 						}
 					}
 					var bd cost.Breakdown

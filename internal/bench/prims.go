@@ -26,6 +26,10 @@ type PrimSpec struct {
 	// Elem/Op apply to the reducing primitives.
 	Elem elem.Type
 	Op   elem.Op
+	// CostOnly runs on the cost-only backend over a phantom system: the
+	// throughput and breakdown are identical (the cost model is shared
+	// bit-for-bit), but no MRAM is allocated and no data moves.
+	CostOnly bool
 }
 
 // RunPrimitive executes one primitive on a fresh system and returns the
@@ -46,7 +50,7 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 	if spec.Elem == 0 && spec.Op == 0 {
 		spec.Elem, spec.Op = elem.I32, elem.Sum
 	}
-	comm, err := newPrimComm(spec.Shape, n, spec.RecvPerPE)
+	comm, err := newPrimComm(spec.Shape, n, spec.RecvPerPE, spec.CostOnly)
 	if err != nil {
 		return 0, cost.Breakdown{}, host.XferStats{}, err
 	}
@@ -58,6 +62,9 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 	gsize := len(groups[0])
 	m := spec.RecvPerPE
 	fill := func(bytesPerPE int) {
+		if spec.CostOnly {
+			return // phantom system: no MRAM to fill, data is irrelevant to cost
+		}
 		rng := rand.New(rand.NewSource(7))
 		buf := make([]byte, bytesPerPE)
 		for pe := 0; pe < n; pe++ {
@@ -70,7 +77,9 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 		out := make([][]byte, len(groups))
 		for g := range out {
 			out[g] = make([]byte, perGroup)
-			rng.Read(out[g])
+			if !spec.CostOnly { // cost backend never reads host buffers
+				rng.Read(out[g])
+			}
 		}
 		return out
 	}
@@ -96,7 +105,11 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 		bd, err = comm.AllGather(spec.Dims, 0, 2*s, s, spec.Level)
 		bytes = int64(s) * int64(gsize) * int64(n) // output side
 	case core.Scatter:
-		bd, err = comm.Scatter(spec.Dims, hostBufs(gsize*m), 0, m, spec.Level)
+		var bufs [][]byte
+		if !spec.CostOnly { // cost backend accepts nil: sizes are implied
+			bufs = hostBufs(gsize * m)
+		}
+		bd, err = comm.Scatter(spec.Dims, bufs, 0, m, spec.Level)
 		bytes = int64(m) * int64(n)
 	case core.Gather:
 		fill(m)
@@ -118,7 +131,7 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 	return gbps(bytes, float64(bd.Total())), bd, comm.Host().Stats(), nil
 }
 
-func newPrimComm(shape []int, n, recvPerPE int) (*core.Comm, error) {
+func newPrimComm(shape []int, n, recvPerPE int, costOnly bool) (*core.Comm, error) {
 	mram := 1
 	for mram < 4*recvPerPE+64 {
 		mram *= 2
@@ -127,7 +140,22 @@ func newPrimComm(shape []int, n, recvPerPE int) (*core.Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := dram.NewSystem(geo)
+	return newCommOn(geo, shape, cost.DefaultParams(), costOnly)
+}
+
+// newCommOn builds a comm for the geometry/shape on the requested
+// backend: functional over a real system, or cost-only over a phantom
+// (no-MRAM) system. The single construction path for all bench runners.
+func newCommOn(geo dram.Geometry, shape []int, params cost.Params, costOnly bool) (*core.Comm, error) {
+	var sys *dram.System
+	var err error
+	backend := core.FunctionalBackend()
+	if costOnly {
+		sys, err = dram.NewPhantomSystem(geo)
+		backend = core.CostBackend()
+	} else {
+		sys, err = dram.NewSystem(geo)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +163,7 @@ func newPrimComm(shape []int, n, recvPerPE int) (*core.Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewComm(hc, cost.DefaultParams()), nil
+	return core.NewCommWithBackend(hc, params, backend), nil
 }
 
 // geoForPEsFlexible mirrors appcore.GeoForPEs (kept local to avoid an
@@ -175,7 +203,7 @@ func init() {
 		t := newTable("Primitive", "Base GB/s", "PID-Comm GB/s", "Speedup")
 		var ratios []float64
 		for _, prim := range core.Primitives() {
-			spec := PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim}
+			spec := PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, CostOnly: o.CostOnly}
 			spec.Level = core.Baseline
 			base, _, err := RunPrimitive(spec)
 			if err != nil {
@@ -206,7 +234,7 @@ func init() {
 						continue
 					}
 				}
-				thr, _, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl})
+				thr, _, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl, CostOnly: o.CostOnly})
 				if err != nil {
 					return err
 				}
@@ -223,7 +251,7 @@ func init() {
 		t := newTable("Primitive", "Design", "Total(ms)", "DT", "HostMod", "HostMem", "PEMem", "PEMod", "Other")
 		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
 			for _, lvl := range []core.Level{core.Baseline, core.CM} {
-				_, bd, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl})
+				_, bd, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl, CostOnly: o.CostOnly})
 				if err != nil {
 					return err
 				}
@@ -257,11 +285,11 @@ func init() {
 		} {
 			for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
 				for _, size := range sizes {
-					base, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.Baseline})
+					base, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.Baseline, CostOnly: o.CostOnly})
 					if err != nil {
 						return err
 					}
-					ours, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.CM})
+					ours, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly})
 					if err != nil {
 						return err
 					}
@@ -288,11 +316,11 @@ func init() {
 					dims = dims[:1]
 				}
 				for i, shape := range shapes {
-					base, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.Baseline})
+					base, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.Baseline, CostOnly: o.CostOnly})
 					if err != nil {
 						return err
 					}
-					ours, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.CM})
+					ours, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly})
 					if err != nil {
 						return err
 					}
@@ -316,7 +344,7 @@ func init() {
 		for _, shape := range shapes {
 			row := []string{fmt.Sprintf("%v", shape)}
 			for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
-				thr, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: "100", RecvPerPE: size, Prim: prim, Level: core.CM})
+				thr, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: "100", RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly})
 				if err != nil {
 					return err
 				}
@@ -330,7 +358,7 @@ func init() {
 
 	register("fig23a", "AllReduce on hierarchy-aware topologies: hypercube vs ring vs tree", func(o Options) error {
 		size := sizeFor(o, 64<<10, 2<<20)
-		commFor := func() (*core.Comm, error) { return newPrimComm([]int{32, 32}, 1024, size) }
+		commFor := func() (*core.Comm, error) { return newPrimComm([]int{32, 32}, 1024, size, o.CostOnly) }
 		t := newTable("Topology", "Throughput GB/s", "Slowdown vs hypercube")
 		var hyper float64
 		for _, topo := range []core.Topology{core.TopoHypercube, core.TopoRing, core.TopoTree} {
@@ -338,11 +366,13 @@ func init() {
 			if err != nil {
 				return err
 			}
-			rng := rand.New(rand.NewSource(3))
-			buf := make([]byte, size)
-			for pe := 0; pe < 1024; pe++ {
-				rng.Read(buf)
-				comm.SetPEBuffer(pe, 0, buf)
+			if !o.CostOnly {
+				rng := rand.New(rand.NewSource(3))
+				buf := make([]byte, size)
+				for pe := 0; pe < 1024; pe++ {
+					rng.Read(buf)
+					comm.SetPEBuffer(pe, 0, buf)
+				}
 			}
 			bd, err := comm.AllReduceTopo(topo, "10", 0, 2*size, size, elem.I32, elem.Sum)
 			if err != nil {

@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
-	"repro/internal/dram"
-	"repro/internal/vec"
 )
 
 // AllGather concatenates all ranks' buffers onto every rank (Figure
@@ -26,105 +24,20 @@ func (c *Comm) AllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl Level)
 	if overlap(srcOff, s, dstOff, p.n*s) {
 		return cost.Breakdown{}, fmt.Errorf("AllGather: src and dst regions overlap")
 	}
+	if lvl == Auto {
+		if lvl, err = c.AutoLevel(AllGather, dims, bytesPerPE, 0, 0); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("AllGather: %w", err)
+		}
+	}
 	before := c.h.Meter().Snapshot()
-	switch EffectiveLevel(AllGather, lvl) {
-	case Baseline:
-		c.allGatherBulk(p, srcOff, dstOff, s, false)
-	case PR:
-		c.allGatherBulk(p, srcOff, dstOff, s, true)
-	default: // IM or CM
-		c.allGatherStream(p, srcOff, dstOff, s, EffectiveLevel(AllGather, lvl) == CM)
-	}
+	c.execute(c.lowerAllGather(p, srcOff, dstOff, s, EffectiveLevel(AllGather, lvl)))
 	return c.h.Meter().Snapshot().Sub(before), nil
-}
-
-// allGatherBulk is the conventional path. When the hypercube selection
-// forms a single group, the baseline exploits the driver's fast broadcast
-// (§ VIII-E: "the baseline relies on the fast broadcast function, which
-// cannot be utilized for 2D settings"): the gathered buffer is identical
-// for every PE, so it needs one domain transfer total. Otherwise every
-// group replicates in host memory.
-func (c *Comm) allGatherBulk(p *plan, srcOff, dstOff, s int, pr bool) {
-	n := p.n
-	stag := c.h.BulkRead(c.allEGs(), srcOff, s)
-	out := make([]byte, len(p.rankOf)*n*s)
-	for _, grp := range p.groups {
-		for _, dstPE := range grp {
-			for i, srcPE := range grp {
-				copy(out[dstPE*n*s+i*s:dstPE*n*s+i*s+s], stag[srcPE*s:(srcPE+1)*s])
-			}
-		}
-	}
-	if len(p.groups) == 1 {
-		// Broadcast path: assemble once (n*s bytes), DT once, then the
-		// writes are pure bus traffic. Model by refunding nothing but
-		// charging only the single-copy modulation.
-		c.h.ChargeLocalMod(int64(n * s))
-		c.broadcastWrite(p, dstOff, out)
-	} else {
-		// Replication is sequential copying (memcpy class) regardless of
-		// PR; PE-assisted reordering only removes the per-rank layout
-		// bookkeeping, which is negligible here.
-		_ = pr
-		c.h.ChargeSIMD(int64(len(out)))
-		c.h.BulkWrite(c.allEGs(), dstOff, out)
-	}
-	c.h.ChargeSync()
-}
-
-// broadcastWrite writes a prebuilt PE-major buffer whose content is
-// identical for every PE using the driver's broadcast: one DT for the
-// payload, bus traffic for every copy, no per-PE host-memory staging.
-func (c *Comm) broadcastWrite(p *plan, dstOff int, out []byte) {
-	perPE := len(out) / len(p.rankOf)
-	c.h.ChargeDT(int64(perPE)) // DT once, reused for all PEs
-	c.h.ChargeHostMem(int64(perPE))
-	c.h.BeginXfer()
-	nEG := c.hc.sys.Geometry().NumGroups()
-	var u vec.Unit
-	for e := 0; e < perPE; e += 8 {
-		for g := 0; g < nEG; g++ {
-			var r vec.Reg
-			for chip := 0; chip < dram.ChipsPerRank; chip++ {
-				pe := g*dram.ChipsPerRank + chip
-				r.SetLane(chip, out[pe*perPE+e:])
-			}
-			c.h.WriteBurst(g, dstOff+e, u.Transpose8x8(r))
-		}
-		c.h.ChargeSIMD(c.columnBytes())
-	}
-	c.h.EndXfer()
-}
-
-// allGatherStream is the optimized path (Figure 8(a)): read each element
-// column once, write it n times with incremental lane shifts (byte-level
-// fused shifts under CM), then PEs fix the block order locally.
-func (c *Comm) allGatherStream(p *plan, srcOff, dstOff, s int, cm bool) {
-	n := p.n
-	c.h.BeginXfer()
-	for e := 0; e < s; e += 8 {
-		col := c.readColumn(srcOff + e)
-		if !cm {
-			c.h.ChargeDT(c.columnBytes()) // one inbound transpose per read
-		}
-		for k := 0; k < n; k++ {
-			shifted := c.shiftColumn(p, col, k)
-			c.h.ChargeSIMD(c.columnBytes())
-			if !cm {
-				c.h.ChargeDT(c.columnBytes()) // outbound transpose per write
-			}
-			w := (n - k) % n
-			c.writeColumn(dstOff+w*s+e, shifted)
-		}
-	}
-	c.h.EndXfer()
-	c.launchRotateBlocks(p, dstOff, n, s, func(rank int) int { return -rank })
-	c.h.ChargeSync()
 }
 
 // Gather returns each group's concatenated buffers to the host (§ V-B4:
 // AllGather's read step followed by domain transfer). The result has one
-// n*bytesPerPE buffer per group, blocks in rank order.
+// n*bytesPerPE buffer per group, blocks in rank order (nil on a
+// cost-only backend).
 func (c *Comm) Gather(dims string, srcOff, bytesPerPE int, lvl Level) ([][]byte, cost.Breakdown, error) {
 	p, err := c.plan(dims)
 	if err != nil {
@@ -134,37 +47,14 @@ func (c *Comm) Gather(dims string, srcOff, bytesPerPE int, lvl Level) ([][]byte,
 	if err := c.checkRegion(srcOff, s); err != nil {
 		return nil, cost.Breakdown{}, fmt.Errorf("Gather: %w", err)
 	}
+	if lvl == Auto {
+		if lvl, err = c.AutoLevel(Gather, dims, bytesPerPE, 0, 0); err != nil {
+			return nil, cost.Breakdown{}, fmt.Errorf("Gather: %w", err)
+		}
+	}
 	before := c.h.Meter().Snapshot()
 	var out [][]byte
-	if EffectiveLevel(Gather, lvl) == Baseline {
-		stag := c.h.BulkRead(c.allEGs(), srcOff, s)
-		out = make([][]byte, len(p.groups))
-		for g, grp := range p.groups {
-			out[g] = make([]byte, p.n*s)
-			for i, pe := range grp {
-				copy(out[g][i*s:], stag[pe*s:(pe+1)*s])
-			}
-		}
-		c.h.ChargeHostMem(int64(len(stag))) // copy out of staging
-	} else { // IM: stream straight into the user buffers
-		out = make([][]byte, len(p.groups))
-		for g := range out {
-			out[g] = make([]byte, p.n*s)
-		}
-		c.h.BeginXfer()
-		for e := 0; e < s; e += 8 {
-			col := transposeColumn(c.readColumn(srcOff + e))
-			c.h.ChargeDT(c.columnBytes())
-			for g, grp := range p.groups {
-				for i, pe := range grp {
-					copy(out[g][i*s+e:i*s+e+8], col[pe/dram.ChipsPerRank].Lane(pe%dram.ChipsPerRank))
-				}
-			}
-		}
-		c.h.EndXfer()
-		c.h.ChargeHostMem(int64(len(p.groups) * p.n * s))
-	}
-	c.h.ChargeSync()
+	c.execute(c.lowerGather(p, srcOff, s, EffectiveLevel(Gather, lvl), &out))
 	return out, c.h.Meter().Snapshot().Sub(before), nil
 }
 
@@ -191,25 +81,8 @@ func (c *Comm) Broadcast(dims string, bufs [][]byte, dstOff int, lvl Level) (cos
 	if err := c.checkRegion(dstOff, s); err != nil {
 		return cost.Breakdown{}, fmt.Errorf("Broadcast: %w", err)
 	}
-	before := c.h.Meter().Snapshot()
 	_ = lvl // single implementation; see doc comment
-	c.h.ChargeHostMem(int64(len(p.groups) * s))
-	c.h.ChargeDT(int64(len(p.groups) * s)) // DT once per payload
-	c.h.BeginXfer()
-	nEG := c.hc.sys.Geometry().NumGroups()
-	var u vec.Unit
-	for e := 0; e < s; e += 8 {
-		for g := 0; g < nEG; g++ {
-			var r vec.Reg
-			for chip := 0; chip < dram.ChipsPerRank; chip++ {
-				pe := g*dram.ChipsPerRank + chip
-				r.SetLane(chip, bufs[p.groupOf[pe]][e:])
-			}
-			c.h.WriteBurst(g, dstOff+e, u.Transpose8x8(r))
-		}
-		c.h.ChargeSIMD(c.columnBytes())
-	}
-	c.h.EndXfer()
-	c.h.ChargeSync()
+	before := c.h.Meter().Snapshot()
+	c.execute(c.lowerBroadcast(p, bufs, dstOff, s))
 	return c.h.Meter().Snapshot().Sub(before), nil
 }

@@ -9,11 +9,12 @@ import (
 
 // AllReduce leaves the full elementwise reduction of every group's
 // buffers on every member (Figure 8(c)). The optimized levels consume
-// the source region (PE-assisted pre-reordering happens in place). PID-Comm implements it as a
-// seamless fusion of ReduceScatter and AllGather that never reroutes
-// through host memory (§ V-B3), unlike the naive RS+AG composition of
-// CPU/GPU libraries. Each PE contributes and receives bytesPerPE bytes,
-// which must be divisible by the group size in 8-byte blocks.
+// the source region (PE-assisted pre-reordering happens in place).
+// PID-Comm implements it as a seamless fusion of ReduceScatter and
+// AllGather that never reroutes through host memory (§ V-B3), unlike the
+// naive RS+AG composition of CPU/GPU libraries. Each PE contributes and
+// receives bytesPerPE bytes, which must be divisible by the group size
+// in 8-byte blocks.
 func (c *Comm) AllReduce(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (cost.Breakdown, error) {
 	p, s, err := c.prepBlocks(dims, srcOff, dstOff, bytesPerPE)
 	if err != nil {
@@ -22,96 +23,12 @@ func (c *Comm) AllReduce(dims string, srcOff, dstOff, bytesPerPE int, t elem.Typ
 	if err := checkElem(t, op); err != nil {
 		return cost.Breakdown{}, fmt.Errorf("AllReduce: %w", err)
 	}
+	if lvl == Auto {
+		if lvl, err = c.AutoLevel(AllReduce, dims, bytesPerPE, t, op); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("AllReduce: %w", err)
+		}
+	}
 	before := c.h.Meter().Snapshot()
-	switch EffectiveLevel(AllReduce, lvl) {
-	case Baseline:
-		c.allReduceBulk(p, srcOff, dstOff, s, t, op, false)
-	case PR:
-		c.allReduceBulk(p, srcOff, dstOff, s, t, op, true)
-	default: // IM
-		c.allReduceStream(p, srcOff, dstOff, s, t, op)
-	}
+	c.execute(c.lowerAllReduce(p, srcOff, dstOff, s, t, op, EffectiveLevel(AllReduce, lvl)))
 	return c.h.Meter().Snapshot().Sub(before), nil
-}
-
-// allReduceBulk is the conventional path: reduce in host memory, then
-// replicate the reduced vector to every member.
-func (c *Comm) allReduceBulk(p *plan, srcOff, dstOff, s int, t elem.Type, op elem.Op, pr bool) {
-	n := p.n
-	m := n * s
-	if pr {
-		c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	}
-	stag := c.h.BulkRead(c.allEGs(), srcOff, m)
-	out := make([]byte, len(stag))
-	for _, grp := range p.groups {
-		red := make([]byte, m)
-		elem.Fill(t, red, op.Identity(t))
-		for i, srcPE := range grp {
-			src := stag[srcPE*m : (srcPE+1)*m]
-			if pr {
-				for k := 0; k < n; k++ {
-					blk := (k + i) % n
-					elem.ReduceInto(t, op, red[blk*s:blk*s+s], src[k*s:k*s+s])
-				}
-			} else {
-				elem.ReduceInto(t, op, red, src)
-			}
-		}
-		for _, dstPE := range grp {
-			copy(out[dstPE*m:(dstPE+1)*m], red)
-		}
-	}
-	// Reduction pass over all input plus a memcpy-class replication pass
-	// over all output.
-	if pr {
-		c.h.ChargeLocalReduce(int64(len(stag)))
-	} else {
-		c.h.ChargeScalarReduce(int64(len(stag)))
-	}
-	c.h.ChargeSIMD(int64(len(stag)))
-	c.h.BulkWrite(c.allEGs(), dstOff, out)
-	c.h.ChargeSync()
-}
-
-// allReduceStream fuses the streaming ReduceScatter with the AllGather
-// writes: per element column, reduce the n slot bursts into an
-// accumulator register, domain-transfer it back once, then write it n
-// times with incremental shifts (Figure 8(c) steps 7-9). The PEs then fix
-// block order locally. Host memory is never touched. 8-bit elements skip
-// the domain transfers (§ V-C).
-func (c *Comm) allReduceStream(p *plan, srcOff, dstOff, s int, t elem.Type, op elem.Op) {
-	n := p.n
-	noDT := t == elem.I8
-	c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	c.h.BeginXfer()
-	nEG := c.hc.sys.Geometry().NumGroups()
-	for e := 0; e < s; e += 8 {
-		acc := identityColumn(t, op, nEG) // host byte order
-		for k := 0; k < n; k++ {
-			col := c.readColumn(srcOff + k*s + e)
-			col = c.shiftColumn(p, col, k)
-			c.h.ChargeSIMD(c.columnBytes())
-			if !noDT {
-				c.h.ChargeDT(c.columnBytes())
-			}
-			reduceColumnInto(t, op, acc, transposeColumn(col))
-			c.h.ChargeReduce(c.columnBytes())
-		}
-		// One DT back to PIM domain serves all n outbound writes, whose
-		// shifts are pure redistribution (byte-level rotates).
-		accPim := transposeColumn(acc)
-		if !noDT {
-			c.h.ChargeDT(c.columnBytes())
-		}
-		for k := 0; k < n; k++ {
-			shifted := c.shiftColumn(p, accPim, k)
-			c.h.ChargeSIMD(c.columnBytes())
-			w := (n - k) % n
-			c.writeColumn(dstOff+w*s+e, shifted)
-		}
-	}
-	c.h.EndXfer()
-	c.launchRotateBlocks(p, dstOff, n, s, func(rank int) int { return -rank })
-	c.h.ChargeSync()
 }

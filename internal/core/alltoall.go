@@ -21,15 +21,13 @@ func (c *Comm) AlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) 
 	if err != nil {
 		return cost.Breakdown{}, fmt.Errorf("AlltoAll: %w", err)
 	}
-	before := c.h.Meter().Snapshot()
-	switch EffectiveLevel(AlltoAll, lvl) {
-	case Baseline:
-		c.alltoallBulk(p, srcOff, dstOff, s, false)
-	case PR:
-		c.alltoallBulk(p, srcOff, dstOff, s, true)
-	default: // IM or CM
-		c.alltoallStream(p, srcOff, dstOff, s, EffectiveLevel(AlltoAll, lvl) == CM)
+	if lvl == Auto {
+		if lvl, err = c.AutoLevel(AlltoAll, dims, bytesPerPE, 0, 0); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("AlltoAll: %w", err)
+		}
 	}
+	before := c.h.Meter().Snapshot()
+	c.execute(c.lowerAlltoAll(p, srcOff, dstOff, s, EffectiveLevel(AlltoAll, lvl)))
 	return c.h.Meter().Snapshot().Sub(before), nil
 }
 
@@ -54,70 +52,4 @@ func (c *Comm) prepBlocks(dims string, srcOff, dstOff, bytesPerPE int) (*plan, i
 		return nil, 0, err
 	}
 	return p, s, nil
-}
-
-// alltoallBulk is the conventional host-memory path: bulk read with DT,
-// global (Baseline) or local (PR) data modulation in host memory, bulk
-// write with DT. With PR, the PEs pre- and post-rotate their blocks so
-// the host's movements become register-local and cache-friendly.
-func (c *Comm) alltoallBulk(p *plan, srcOff, dstOff, s int, pr bool) {
-	n := p.n
-	m := n * s
-	if pr {
-		c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	}
-	stag := c.h.BulkRead(c.allEGs(), srcOff, m)
-	out := make([]byte, len(stag))
-	if pr {
-		// Data is pre-rotated: slot k of rank i holds block (i+k)%n. The
-		// host applies the local phase-B movement: slot k of rank i goes
-		// to slot (n-k)%n of rank (i+k)%n.
-		for _, grp := range p.groups {
-			for i, srcPE := range grp {
-				for k := 0; k < n; k++ {
-					j := (i + k) % n
-					w := (n - k) % n
-					copy(out[grp[j]*m+w*s:grp[j]*m+w*s+s], stag[srcPE*m+k*s:srcPE*m+k*s+s])
-				}
-			}
-		}
-		c.h.ChargeLocalMod(int64(len(stag)))
-	} else {
-		// Direct semantics: dst[j] block i = src[i] block j.
-		for _, grp := range p.groups {
-			for i, srcPE := range grp {
-				for j, dstPE := range grp {
-					copy(out[dstPE*m+i*s:dstPE*m+i*s+s], stag[srcPE*m+j*s:srcPE*m+j*s+s])
-				}
-			}
-		}
-		c.h.ChargeScalarMod(int64(len(stag)))
-	}
-	c.h.BulkWrite(c.allEGs(), dstOff, out)
-	if pr {
-		c.launchRotateBlocks(p, dstOff, n, s, func(rank int) int { return -rank })
-	}
-	c.h.ChargeSync()
-}
-
-// alltoallStream is the optimized path (Figure 7(c)/(d)): PE-assisted
-// pre-rotation, host streaming one burst column at a time with in-register
-// lane shifts (fused into byte-level shifts under cross-domain
-// modulation), PE-assisted post-rotation. Host memory is never touched.
-func (c *Comm) alltoallStream(p *plan, srcOff, dstOff, s int, cm bool) {
-	n := p.n
-	c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	c.h.BeginXfer()
-	for k := 0; k < n; k++ {
-		w := (n - k) % n
-		for e := 0; e < s; e += 8 {
-			col := c.readColumn(srcOff + k*s + e)
-			col = c.shiftColumn(p, col, k)
-			c.chargeShift(cm)
-			c.writeColumn(dstOff+w*s+e, col)
-		}
-	}
-	c.h.EndXfer()
-	c.launchRotateBlocks(p, dstOff, n, s, func(rank int) int { return -rank })
-	c.h.ChargeSync()
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+// The level autotuner: a collective called with the Auto pseudo-level is
+// dry-run on the cost-only backend at every distinct effective level,
+// the cheapest level wins, and the decision is cached per call signature
+// (primitive, dims, payload bytes, element type, operator). Because the
+// cost-only backend reproduces the functional breakdowns exactly, the
+// picked level is the one the functional run would have measured as
+// cheapest — at microseconds of dry-run cost instead of a full byte-
+// accurate execution per candidate.
+
+// autoKey identifies one AutoLevel decision. Offsets are excluded: the
+// cost model depends only on shapes and sizes.
+type autoKey struct {
+	prim     Primitive
+	dims     string
+	bytes    int
+	elemType elem.Type
+	op       elem.Op
+}
+
+// shadowComm returns the comm's cost-only twin (sharing the hypercube
+// and cost parameters but with its own meter), creating it on first use.
+func (c *Comm) shadowComm() *Comm {
+	if c.shadow == nil {
+		c.shadow = NewCostComm(c.hc, c.h.Params())
+	}
+	return c.shadow
+}
+
+// autoPick evaluates run at every distinct effective level for the
+// key's primitive on the cost-only shadow and returns the cheapest. Ties
+// go to the lower level.
+func (c *Comm) autoPick(key autoKey, run func(sh *Comm, lvl Level) error) (Level, error) {
+	if lvl, ok := c.autoCache[key]; ok {
+		return lvl, nil
+	}
+	sh := c.shadowComm()
+	best, bestT := Baseline, cost.Seconds(-1)
+	seen := make(map[Level]bool)
+	for _, l := range Levels() {
+		eff := EffectiveLevel(key.prim, l)
+		if seen[eff] {
+			continue
+		}
+		seen[eff] = true
+		before := sh.h.Meter().Snapshot()
+		if err := run(sh, eff); err != nil {
+			return 0, err
+		}
+		if d := sh.h.Meter().Snapshot().Sub(before).Total(); bestT < 0 || d < bestT {
+			best, bestT = eff, d
+		}
+	}
+	c.autoCache[key] = best
+	return best, nil
+}
+
+// AutoLevel returns the optimization level Auto would choose for the
+// given call signature: the level whose cost-only dry run is cheapest.
+// bytesPerPE has the same meaning as in the corresponding collective
+// (for AllGather it is the per-PE contribution; for Scatter the per-PE
+// destination size). t and op are ignored for non-reducing primitives.
+// The decision is cached on the Comm, so repeated Auto calls with the
+// same signature resolve in a map lookup.
+func (c *Comm) AutoLevel(prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op) (Level, error) {
+	if prim == Broadcast {
+		// Single implementation at every level (§ VIII-B).
+		return Baseline, nil
+	}
+	key := autoKey{prim: prim, dims: dims, bytes: bytesPerPE}
+	switch prim {
+	case ReduceScatter, AllReduce, Reduce:
+		key.elemType, key.op = t, op
+	}
+	lvl, err := c.autoPick(key, func(sh *Comm, l Level) error {
+		return autoDryRun(sh, prim, dims, bytesPerPE, t, op, l)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("AutoLevel(%v): %w", prim, err)
+	}
+	return lvl, nil
+}
+
+// autoDryRun invokes one primitive on the cost-only shadow with
+// canonical offsets (source at 0, destination immediately after the
+// source region). The shadow shares the caller's system geometry, so a
+// signature that fits the caller's MRAM fits here too.
+func autoDryRun(sh *Comm, prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) error {
+	m := bytesPerPE
+	var err error
+	switch prim {
+	case AlltoAll:
+		_, err = sh.AlltoAll(dims, 0, m, m, lvl)
+	case ReduceScatter:
+		_, err = sh.ReduceScatter(dims, 0, m, m, t, op, lvl)
+	case AllReduce:
+		_, err = sh.AllReduce(dims, 0, m, m, t, op, lvl)
+	case AllGather:
+		_, err = sh.AllGather(dims, 0, m, m, lvl)
+	case Scatter:
+		_, err = sh.Scatter(dims, nil, 0, m, lvl) // nil bufs: cost-only sizes are implied
+	case Gather:
+		_, _, err = sh.Gather(dims, 0, m, lvl)
+	case Reduce:
+		_, _, err = sh.Reduce(dims, 0, m, t, op, lvl)
+	default:
+		err = fmt.Errorf("core: no dry run for primitive %v", prim)
+	}
+	return err
+}

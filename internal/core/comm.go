@@ -12,27 +12,55 @@ import (
 
 // Comm executes PID-Comm collectives on a hypercube. It owns a host model
 // (whose meter accumulates all communication costs) and a DPU engine for
-// the PE-side reorder kernels.
+// the PE-side reorder kernels. Every collective lowers to a Schedule
+// (schedule.go) run by the single executor (exec.go) against the comm's
+// Backend.
 type Comm struct {
-	hc  *Hypercube
-	h   *host.Host
-	eng *dpu.Engine
+	hc      *Hypercube
+	h       *host.Host
+	eng     *dpu.Engine
+	backend Backend
 
 	// plans caches group plans per dims string; applications alternate
 	// between a few dims selections every layer (Algorithm 1).
 	plans map[string]*plan
+
+	// autoCache holds AutoLevel decisions per call signature; shadow is
+	// the lazily-created cost-only twin the dry runs execute on.
+	autoCache map[autoKey]Level
+	shadow    *Comm
 }
 
 // NewComm creates a communication context for the hypercube with the
-// given cost parameters.
+// given cost parameters and the byte-accurate functional backend.
 func NewComm(hc *Hypercube, params cost.Params) *Comm {
+	return NewCommWithBackend(hc, params, FunctionalBackend())
+}
+
+// NewCostComm creates a cost-only communication context: collectives
+// charge the meter exactly as NewComm's would, but move no bytes — the
+// hypercube's system may be a dram phantom with no MRAM at all. Rooted
+// primitives return nil result buffers, and Scatter accepts nil host
+// buffers (sizes are implied by the call).
+func NewCostComm(hc *Hypercube, params cost.Params) *Comm {
+	return NewCommWithBackend(hc, params, CostBackend())
+}
+
+// NewCommWithBackend creates a communication context on an explicit
+// backend.
+func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
 	return &Comm{
-		hc:    hc,
-		h:     host.New(hc.sys, params),
-		eng:   dpu.NewEngine(hc.sys, params),
-		plans: make(map[string]*plan),
+		hc:        hc,
+		h:         host.New(hc.sys, params),
+		eng:       dpu.NewEngine(hc.sys, params),
+		backend:   b,
+		plans:     make(map[string]*plan),
+		autoCache: make(map[autoKey]Level),
 	}
 }
+
+// Backend returns the comm's execution backend.
+func (c *Comm) Backend() Backend { return c.backend }
 
 // Hypercube returns the comm's hypercube manager.
 func (c *Comm) Hypercube() *Hypercube { return c.hc }

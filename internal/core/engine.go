@@ -98,19 +98,6 @@ func (c *Comm) columnBytes() int64 {
 	return int64(c.hc.sys.Geometry().NumGroups()) * dram.BurstBytes
 }
 
-// chargeShift charges one lane-shift pass over a column. Under
-// cross-domain modulation (cm) the shift is a single fused byte-rotate per
-// register; otherwise it is transpose + word shift + transpose, whose
-// transposes are charged as domain transfer (they are the in-register form
-// of DT).
-func (c *Comm) chargeShift(cm bool) {
-	n := c.columnBytes()
-	c.h.ChargeSIMD(n)
-	if !cm {
-		c.h.ChargeDT(2 * n)
-	}
-}
-
 // launchRotateBlocks runs the PE-assisted reordering kernel (§ V-A1) on
 // every PE: each PE's region [off, off+n*s) is treated as n blocks of s
 // bytes and left-rotated by rot(rank) blocks: new block l = old block
@@ -118,12 +105,7 @@ func (c *Comm) chargeShift(cm bool) {
 // the paper's incremental shifting touches each byte once in and once out,
 // which is what the accounting reflects.
 func (c *Comm) launchRotateBlocks(p *plan, off, n, s int, rot func(rank int) int) {
-	pes := make([]int, len(p.rankOf))
-	ranks := make([]int, len(p.rankOf))
-	for pe := range pes {
-		pes[pe] = pe
-		ranks[pe] = int(p.rankOf[pe])
-	}
+	pes, ranks := p.launchLists()
 	c.eng.Launch(dpu.LaunchSpec{
 		PEs:        pes,
 		GroupRanks: ranks,

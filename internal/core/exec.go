@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/dpu"
+)
+
+// Backend executes schedule steps against the simulated substrate. Two
+// implementations exist:
+//
+//   - the functional backend moves real bytes through the simulated bank
+//     MRAMs and host registers (semantics verified against the reference
+//     model by the core tests), and
+//   - the cost-only backend skips all data movement and only drives the
+//     cost.Meter, reproducing the functional backend's breakdown
+//     bit-for-bit at a tiny fraction of the work — the engine for
+//     paper-scale sweeps and AutoLevel dry runs.
+//
+// Step charges declared in the schedule are applied by the shared
+// executor for both backends, so the backends can only diverge on bus
+// tallies and DPU-kernel accounting; exec_test.go pins those equal too.
+type Backend interface {
+	// Name identifies the backend ("functional" or "cost").
+	Name() string
+	// Functional reports whether the backend moves real bytes. When
+	// false, rooted primitives return nil result buffers and host input
+	// buffers are never dereferenced (only their sizes are validated).
+	Functional() bool
+
+	rotateBlocks(c *Comm, st *StepRotateBlocks)
+	bulk(c *Comm, st *StepBulk)
+	columnStream(c *Comm, st *StepColumnStream)
+}
+
+// FunctionalBackend returns the byte-accurate backend (the default).
+func FunctionalBackend() Backend { return functionalBackend{} }
+
+// CostBackend returns the cost-only backend.
+func CostBackend() Backend { return costBackend{} }
+
+// execute runs a lowered schedule on the comm's backend. This is the
+// single execution loop every collective goes through.
+func (c *Comm) execute(sched *Schedule) {
+	for _, st := range sched.Steps {
+		switch s := st.(type) {
+		case *StepRotateBlocks:
+			c.backend.rotateBlocks(c, s)
+		case *StepBulk:
+			c.backend.bulk(c, s)
+		case *StepColumnStream:
+			c.backend.columnStream(c, s)
+		case *StepHostCompute:
+			if s.Run != nil && c.backend.Functional() {
+				s.Run()
+			}
+			c.applyCharges(s.Charges)
+		case *StepSync:
+			c.h.ChargeSync()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Functional backend
+// ---------------------------------------------------------------------
+
+type functionalBackend struct{}
+
+func (functionalBackend) Name() string     { return "functional" }
+func (functionalBackend) Functional() bool { return true }
+
+func (functionalBackend) rotateBlocks(c *Comm, st *StepRotateBlocks) {
+	c.launchRotateBlocks(st.p, st.Off, st.N, st.S, st.Rot)
+}
+
+func (functionalBackend) bulk(c *Comm, st *StepBulk) {
+	var stag []byte
+	if st.Read {
+		stag = c.h.BulkRead(c.allEGs(), st.ReadOff, st.ReadPerPE)
+	}
+	out := stag
+	if st.Modulate != nil {
+		out = st.Modulate(stag)
+	}
+	c.applyCharges(st.Charges)
+	if st.Write {
+		c.h.BulkWrite(c.allEGs(), st.WriteOff, out)
+	}
+}
+
+func (functionalBackend) columnStream(c *Comm, st *StepColumnStream) {
+	c.h.BeginXfer()
+	if st.Body != nil {
+		st.Body()
+	}
+	c.h.EndXfer()
+	c.applyCharges(st.Charges)
+}
+
+// ---------------------------------------------------------------------
+// Cost-only backend
+// ---------------------------------------------------------------------
+
+type costBackend struct{}
+
+func (costBackend) Name() string     { return "cost" }
+func (costBackend) Functional() bool { return false }
+
+func (costBackend) rotateBlocks(c *Comm, st *StepRotateBlocks) {
+	// Analytic accounting of the rotate-blocks kernel: a PE whose
+	// rotation is zero exits immediately; every other PE streams the
+	// whole region in and out (2*N*S bytes of MRAM DMA) and spends ~1
+	// instruction per 4 bytes on address arithmetic — exactly what the
+	// functional kernel reports per PE.
+	pes, ranks := st.p.launchLists()
+	m := st.N * st.S
+	c.eng.LaunchCharges(dpu.LaunchSpec{
+		PEs:        pes,
+		GroupRanks: ranks,
+		Category:   cost.PEMod,
+	}, c.h.Meter(), func(_, rank int) (instr, mramBytes int64) {
+		r := st.Rot(rank) % st.N
+		if r < 0 {
+			r += st.N
+		}
+		if r == 0 {
+			return 0, 0
+		}
+		return int64(m / 4), int64(2 * m)
+	})
+}
+
+func (costBackend) bulk(c *Comm, st *StepBulk) {
+	if st.Read {
+		c.h.ChargeBulkRead(c.allEGs(), st.ReadPerPE)
+	}
+	c.applyCharges(st.Charges)
+	if st.Write {
+		c.h.ChargeBulkWrite(c.allEGs(), st.WritePerPE)
+	}
+}
+
+func (costBackend) columnStream(c *Comm, st *StepColumnStream) {
+	c.h.BeginXfer()
+	if ops := st.Reads + st.Writes; ops > 0 {
+		nEG := c.hc.sys.Geometry().NumGroups()
+		for g := 0; g < nEG; g++ {
+			c.h.TallyBursts(g, ops)
+		}
+	}
+	c.h.EndXfer()
+	c.applyCharges(st.Charges)
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// costSystem builds a cost-only comm on a phantom system (no MRAM is
+// allocated, and any byte access panics — proving the cost backend never
+// touches data).
+func costSystem(t *testing.T, geo dram.Geometry, shape []int) *Comm {
+	t.Helper()
+	sys, err := dram.NewPhantomSystem(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := NewHypercube(sys, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCostComm(hc, cost.DefaultParams())
+}
+
+// diffBreakdowns returns a description of the first differing category,
+// or "" if the breakdowns are bit-identical.
+func diffBreakdowns(a, b cost.Breakdown) string {
+	for _, cat := range cost.Categories() {
+		if a.Get(cat) != b.Get(cat) {
+			return fmt.Sprintf("%v: functional=%v cost=%v", cat, a.Get(cat), b.Get(cat))
+		}
+	}
+	return ""
+}
+
+// runOnBackend executes one primitive call on the given comm and returns
+// its breakdown. For the functional comm, PE source regions are filled
+// with deterministic data first; the cost comm runs the identical call
+// signature with no data.
+func runOnBackend(t *testing.T, c *Comm, prim Primitive, dims string, lvl Level) cost.Breakdown {
+	t.Helper()
+	p, err := c.plan(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	functional := c.Backend().Functional()
+	s := 16
+	m := p.n * s
+	fill := func(n int) {
+		if functional {
+			fillSrcComm(c, 0, n, 11)
+		}
+	}
+	hostBufs := func(perGroup int) [][]byte {
+		bufs := make([][]byte, len(p.groups))
+		rng := rand.New(rand.NewSource(6))
+		for g := range bufs {
+			bufs[g] = make([]byte, perGroup)
+			if functional {
+				rng.Read(bufs[g])
+			}
+		}
+		return bufs
+	}
+	var bd cost.Breakdown
+	switch prim {
+	case AlltoAll:
+		fill(m)
+		bd, err = c.AlltoAll(dims, 0, 2*m, m, lvl)
+	case ReduceScatter:
+		fill(m)
+		bd, err = c.ReduceScatter(dims, 0, 2*m, m, elem.I32, elem.Sum, lvl)
+	case AllReduce:
+		fill(m)
+		bd, err = c.AllReduce(dims, 0, 2*m, m, elem.I32, elem.Sum, lvl)
+	case AllGather:
+		fill(s)
+		bd, err = c.AllGather(dims, 0, 2*s, s, lvl)
+	case Scatter:
+		bd, err = c.Scatter(dims, hostBufs(p.n*s), 0, s, lvl)
+	case Gather:
+		fill(s)
+		_, bd, err = c.Gather(dims, 0, s, lvl)
+	case Reduce:
+		fill(m)
+		_, bd, err = c.Reduce(dims, 0, m, elem.I32, elem.Sum, lvl)
+	case Broadcast:
+		bd, err = c.Broadcast(dims, hostBufs(s), 0, lvl)
+	default:
+		t.Fatalf("unknown primitive %v", prim)
+	}
+	if err != nil {
+		t.Fatalf("%v/%v on %s backend: %v", prim, lvl, c.Backend().Name(), err)
+	}
+	return bd
+}
+
+// TestCostBackendMatchesFunctional pins the refactor's core guarantee:
+// for every primitive x level x a set of irregular hypercube shapes, the
+// cost-only backend's breakdown — computed on a phantom system with no
+// MRAM — is bit-identical to the functional backend's, and so are the
+// cumulative bus-transfer statistics.
+func TestCostBackendMatchesFunctional(t *testing.T) {
+	shapes := []caseSpec{
+		{"2D-x", geo64, []int{8, 8}, "10"},
+		{"2D-subEG-y", geo64, []int{4, 16}, "01"},
+		{"3D-xz", geo64, []int{4, 2, 8}, "101"},
+		{"nonpow2-strided", geo24, []int{4, 6}, "01"},
+	}
+	for _, tc := range shapes {
+		for _, prim := range Primitives() {
+			for _, lvl := range Levels() {
+				t.Run(fmt.Sprintf("%s/%v/%v", tc.name, prim, lvl), func(t *testing.T) {
+					fc := testSystem(t, tc.geo, tc.shape)
+					cc := costSystem(t, tc.geo, tc.shape)
+					fbd := runOnBackend(t, fc, prim, tc.dims, lvl)
+					cbd := runOnBackend(t, cc, prim, tc.dims, lvl)
+					if d := diffBreakdowns(fbd, cbd); d != "" {
+						t.Errorf("breakdown mismatch: %s", d)
+					}
+					fs, cs := fc.Host().Stats(), cc.Host().Stats()
+					if fs.Bursts != cs.Bursts || fs.TotalBytes() != cs.TotalBytes() {
+						t.Errorf("bus stats mismatch: functional %d bursts/%d B, cost %d bursts/%d B",
+							fs.Bursts, fs.TotalBytes(), cs.Bursts, cs.TotalBytes())
+					}
+				})
+			}
+		}
+	}
+}
+
+// The cost backend must accept nil Scatter buffers (sizes are implied),
+// which is what AutoLevel dry runs rely on.
+func TestCostBackendScatterNilBufs(t *testing.T) {
+	cc := costSystem(t, geo64, []int{8, 8})
+	fc := testSystem(t, geo64, []int{8, 8})
+	p, _ := fc.plan("10")
+	s := 16
+	bufs := make([][]byte, len(p.groups))
+	for g := range bufs {
+		bufs[g] = make([]byte, p.n*s)
+	}
+	for _, lvl := range []Level{Baseline, IM} {
+		want, err := fc.Scatter("10", bufs, 0, s, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cc.Scatter("10", nil, 0, s, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffBreakdowns(want, got); d != "" {
+			t.Errorf("%v: %s", lvl, d)
+		}
+	}
+	// The functional backend must still reject nil buffers.
+	if _, err := fc.Scatter("10", nil, 0, s, IM); err == nil {
+		t.Error("functional Scatter accepted nil buffers")
+	}
+}
+
+// AllReduceTopo's structural comparators must also run cost-only.
+func TestCostBackendTopoComparators(t *testing.T) {
+	for _, topo := range []Topology{TopoHypercube, TopoRing, TopoTree} {
+		fc := testSystem(t, geo64, []int{8, 8})
+		cc := costSystem(t, geo64, []int{8, 8})
+		m := 8 * 16
+		fillSrcComm(fc, 0, m, 21)
+		want, err := fc.AllReduceTopo(topo, "10", 0, 2*m, m, elem.I32, elem.Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cc.AllReduceTopo(topo, "10", 0, 2*m, m, elem.I32, elem.Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffBreakdowns(want, got); d != "" {
+			t.Errorf("%v: %s", topo, d)
+		}
+	}
+}

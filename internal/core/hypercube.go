@@ -180,6 +180,19 @@ func (hc *Hypercube) buildPlan(dims string) (*plan, error) {
 	return p, nil
 }
 
+// launchLists returns the full-machine PE list and per-PE group ranks
+// for a kernel launch over every PE — shared by the functional launcher
+// and the cost backend's analytic accounting so the two can't drift.
+func (p *plan) launchLists() (pes, ranks []int) {
+	pes = make([]int, len(p.rankOf))
+	ranks = make([]int, len(p.rankOf))
+	for pe := range pes {
+		pes[pe] = pe
+		ranks[pe] = int(p.rankOf[pe])
+	}
+	return pes, ranks
+}
+
 // Groups returns, for the dims selection, the communication groups as
 // ordered PE lists (rank order within each group). The group order is the
 // flattened order of the unselected dimensions (lowest fastest); this is

@@ -29,12 +29,23 @@ const (
 	CM
 )
 
-// Levels lists all levels in ascending order.
+// Auto is a pseudo-level: a collective called with Auto dry-runs every
+// applicable level on the cost-only backend, picks the cheapest for the
+// (primitive, dims, payload, element type) signature, caches the
+// decision on the Comm, and executes with it. See Comm.AutoLevel.
+//
+// Auto is resolved to a concrete level at every collective entry point;
+// it must never reach EffectiveLevel or a schedule builder.
+const Auto Level = -1
+
+// Levels lists all concrete levels in ascending order (Auto excluded).
 func Levels() []Level { return []Level{Baseline, PR, IM, CM} }
 
 // String returns the label used in the ablation study (Figure 16).
 func (l Level) String() string {
 	switch l {
+	case Auto:
+		return "Auto"
 	case Baseline:
 		return "Base"
 	case PR:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -263,6 +264,91 @@ func TestDSAOffloadSpeedsUpWithoutChangingResults(t *testing.T) {
 	}
 	if tDSA >= tPlain {
 		t.Errorf("DSA offload did not speed up: %v vs %v", tDSA, tPlain)
+	}
+}
+
+// AutoLevel property: the auto-picked level is never costlier than any
+// fixed level for the same call, across primitives, shapes and element
+// types — on the cost model that both backends share bit-for-bit.
+func TestAutoLevelNeverCostlier(t *testing.T) {
+	type combo struct {
+		prim  Primitive
+		shape []int
+		dims  string
+		et    elem.Type
+		op    elem.Op
+	}
+	combos := []combo{
+		{AlltoAll, []int{8, 8}, "10", elem.I32, elem.Sum},
+		{AlltoAll, []int{4, 2, 8}, "101", elem.I32, elem.Sum},
+		{ReduceScatter, []int{8, 8}, "01", elem.I8, elem.Max},
+		{AllReduce, []int{4, 16}, "01", elem.I32, elem.Sum},
+		{AllGather, []int{8, 8}, "10", elem.I32, elem.Sum},
+		{Scatter, []int{8, 8}, "10", elem.I32, elem.Sum},
+		{Gather, []int{64}, "1", elem.I32, elem.Sum},
+		{Reduce, []int{8, 8}, "11", elem.I16, elem.Min},
+	}
+	for _, cb := range combos {
+		for _, blocks := range []int{1, 8} {
+			c := testSystem(t, geo64, cb.shape)
+			p, err := c.plan(cb.dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bytesPerPE := p.n * 8 * blocks // always block-divisible
+			t.Run(fmt.Sprintf("%v/%s/%d", cb.prim, cb.dims, bytesPerPE), func(t *testing.T) {
+				auto, err := c.AutoLevel(cb.prim, cb.dims, bytesPerPE, cb.et, cb.op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Measure every fixed level on a fresh cost-only comm and
+				// check the auto pick against the minimum.
+				fixed := func(lvl Level) cost.Seconds {
+					cc := NewCostComm(c.Hypercube(), cost.DefaultParams())
+					if err := autoDryRun(cc, cb.prim, cb.dims, bytesPerPE, cb.et, cb.op, lvl); err != nil {
+						t.Fatal(err)
+					}
+					return cc.Meter().Total()
+				}
+				autoT := fixed(auto)
+				for _, lvl := range Levels() {
+					if got := fixed(lvl); autoT > got {
+						t.Errorf("auto level %v costs %v, but %v costs %v", auto, autoT, lvl, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Collectives must accept the Auto sentinel directly and produce results
+// identical to the concrete level AutoLevel reports.
+func TestAutoSentinelMatchesFixedLevel(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	m := 8 * 32
+	in := fillSrc(c, 0, m, 31)
+	if _, err := c.AlltoAll("10", 0, 2*m, m, Auto); err != nil {
+		t.Fatal(err)
+	}
+	picked, err := c.AutoLevel(AlltoAll, "10", m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testSystem(t, geo64, []int{8, 8})
+	for pe, b := range in {
+		ref.SetPEBuffer(pe, 0, b)
+	}
+	if _, err := ref.AlltoAll("10", 0, 2*m, m, picked); err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 64; pe++ {
+		if !bytes.Equal(c.GetPEBuffer(pe, 2*m, m), ref.GetPEBuffer(pe, 2*m, m)) {
+			t.Fatalf("Auto result differs from fixed level %v at PE %d", picked, pe)
+		}
+	}
+	// The decision must be cached: a second resolution hits the map.
+	if again, _ := c.AutoLevel(AlltoAll, "10", m, 0, 0); again != picked {
+		t.Errorf("cached AutoLevel changed: %v then %v", picked, again)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
-	"repro/internal/dram"
 	"repro/internal/elem"
 )
 
@@ -18,15 +17,13 @@ func (c *Comm) ReduceScatter(dims string, srcOff, dstOff, bytesPerPE int, t elem
 	if err != nil {
 		return cost.Breakdown{}, fmt.Errorf("ReduceScatter: %w", err)
 	}
-	before := c.h.Meter().Snapshot()
-	switch EffectiveLevel(ReduceScatter, lvl) {
-	case Baseline:
-		c.reduceScatterBulk(p, srcOff, dstOff, s, t, op, false)
-	case PR:
-		c.reduceScatterBulk(p, srcOff, dstOff, s, t, op, true)
-	default: // IM
-		c.reduceScatterStream(p, srcOff, dstOff, s, t, op)
+	if lvl == Auto {
+		if lvl, err = c.AutoLevel(ReduceScatter, dims, bytesPerPE, t, op); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("ReduceScatter: %w", err)
+		}
 	}
+	before := c.h.Meter().Snapshot()
+	c.execute(c.lowerReduceScatter(p, srcOff, dstOff, s, t, op, EffectiveLevel(ReduceScatter, lvl)))
 	return c.h.Meter().Snapshot().Sub(before), nil
 }
 
@@ -54,76 +51,10 @@ func (c *Comm) prepReduceArgs(dims string, srcOff, dstOff, bytesPerPE int, t ele
 	return p, s, nil
 }
 
-// reduceScatterBulk is the conventional path: everything to host memory,
-// reduce there (globally for Baseline, locally over pre-rotated blocks
-// for PR), write the s-byte results back.
-func (c *Comm) reduceScatterBulk(p *plan, srcOff, dstOff, s int, t elem.Type, op elem.Op, pr bool) {
-	n := p.n
-	m := n * s
-	if pr {
-		c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	}
-	stag := c.h.BulkRead(c.allEGs(), srcOff, m)
-	out := make([]byte, len(p.rankOf)*s)
-	for _, grp := range p.groups {
-		for pIdx, dstPE := range grp {
-			blk := out[dstPE*s : (dstPE+1)*s]
-			elem.Fill(t, blk, op.Identity(t))
-			for i, srcPE := range grp {
-				// Without PR, block p sits at slot p; with PR, rank i
-				// pre-rotated left by i so block p is at slot (p-i)%n.
-				slot := pIdx
-				if pr {
-					slot = ((pIdx-i)%n + n) % n
-				}
-				elem.ReduceInto(t, op, blk, stag[srcPE*m+slot*s:srcPE*m+slot*s+s])
-			}
-		}
-	}
-	if pr {
-		c.h.ChargeLocalReduce(int64(len(stag)))
-	} else {
-		c.h.ChargeScalarReduce(int64(len(stag)))
-	}
-	c.h.BulkWrite(c.allEGs(), dstOff, out)
-	c.h.ChargeSync()
-}
-
-// reduceScatterStream is the optimized path (§ V-B2): PE pre-rotation
-// aligns destinations, then for every element column the host streams the
-// n slot bursts, lane-shifts so lane = destination, domain-transfers, and
-// vertically reduces in registers — never touching host memory. 8-bit
-// elements skip the domain transfers entirely (§ V-C).
-func (c *Comm) reduceScatterStream(p *plan, srcOff, dstOff, s int, t elem.Type, op elem.Op) {
-	n := p.n
-	noDT := t == elem.I8 // host can interpret 8-bit data in PIM domain
-	c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	c.h.BeginXfer()
-	nEG := c.hc.sys.Geometry().NumGroups()
-	for e := 0; e < s; e += 8 {
-		acc := identityColumn(t, op, nEG) // host byte order
-		for k := 0; k < n; k++ {
-			col := c.readColumn(srcOff + k*s + e)
-			col = c.shiftColumn(p, col, k) // lane = destination rank
-			c.h.ChargeSIMD(c.columnBytes())
-			if !noDT {
-				c.h.ChargeDT(c.columnBytes())
-			}
-			reduceColumnInto(t, op, acc, transposeColumn(col))
-			c.h.ChargeReduce(c.columnBytes())
-		}
-		if !noDT {
-			c.h.ChargeDT(c.columnBytes())
-		}
-		c.writeColumn(dstOff+e, transposeColumn(acc))
-	}
-	c.h.EndXfer()
-	c.h.ChargeSync()
-}
-
 // Reduce is the first half of ReduceScatter (§ V-B4): the host (root)
 // receives each group's full elementwise reduction. It returns one
-// bytesPerPE-sized buffer per communication group, in group order.
+// bytesPerPE-sized buffer per communication group, in group order (nil
+// on a cost-only backend).
 func (c *Comm) Reduce(dims string, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) ([][]byte, cost.Breakdown, error) {
 	p, err := c.plan(dims)
 	if err != nil {
@@ -139,85 +70,13 @@ func (c *Comm) Reduce(dims string, srcOff, bytesPerPE int, t elem.Type, op elem.
 	if err != nil {
 		return nil, cost.Breakdown{}, fmt.Errorf("Reduce: %w", err)
 	}
+	if lvl == Auto {
+		if lvl, err = c.AutoLevel(Reduce, dims, bytesPerPE, t, op); err != nil {
+			return nil, cost.Breakdown{}, fmt.Errorf("Reduce: %w", err)
+		}
+	}
 	before := c.h.Meter().Snapshot()
 	var out [][]byte
-	switch EffectiveLevel(Reduce, lvl) {
-	case Baseline:
-		out = c.reduceBulk(p, srcOff, s, t, op, false)
-	case PR:
-		out = c.reduceBulk(p, srcOff, s, t, op, true)
-	default: // IM
-		out = c.reduceStream(p, srcOff, s, t, op)
-	}
+	c.execute(c.lowerReduce(p, srcOff, s, t, op, EffectiveLevel(Reduce, lvl), &out))
 	return out, c.h.Meter().Snapshot().Sub(before), nil
-}
-
-func (c *Comm) reduceBulk(p *plan, srcOff, s int, t elem.Type, op elem.Op, pr bool) [][]byte {
-	n := p.n
-	m := n * s
-	if pr {
-		c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	}
-	stag := c.h.BulkRead(c.allEGs(), srcOff, m)
-	out := make([][]byte, len(p.groups))
-	for g, grp := range p.groups {
-		out[g] = make([]byte, m)
-		elem.Fill(t, out[g], op.Identity(t))
-		for i, srcPE := range grp {
-			src := stag[srcPE*m : (srcPE+1)*m]
-			if pr {
-				// Undo the rotation block-wise while reducing.
-				for k := 0; k < n; k++ {
-					blk := (k + i) % n
-					elem.ReduceInto(t, op, out[g][blk*s:blk*s+s], src[k*s:k*s+s])
-				}
-			} else {
-				elem.ReduceInto(t, op, out[g], src)
-			}
-		}
-	}
-	if pr {
-		c.h.ChargeLocalReduce(int64(len(stag)))
-	} else {
-		c.h.ChargeScalarReduce(int64(len(stag)))
-	}
-	c.h.ChargeHostMem(int64(len(p.groups) * m)) // result store
-	c.h.ChargeSync()
-	return out
-}
-
-func (c *Comm) reduceStream(p *plan, srcOff, s int, t elem.Type, op elem.Op) [][]byte {
-	n := p.n
-	noDT := t == elem.I8
-	c.launchRotateBlocks(p, srcOff, n, s, func(rank int) int { return rank })
-	out := make([][]byte, len(p.groups))
-	for g := range out {
-		out[g] = make([]byte, n*s)
-	}
-	c.h.BeginXfer()
-	nEG := c.hc.sys.Geometry().NumGroups()
-	for e := 0; e < s; e += 8 {
-		acc := identityColumn(t, op, nEG)
-		for k := 0; k < n; k++ {
-			col := c.readColumn(srcOff + k*s + e)
-			col = c.shiftColumn(p, col, k)
-			c.h.ChargeSIMD(c.columnBytes())
-			if !noDT {
-				c.h.ChargeDT(c.columnBytes())
-			}
-			reduceColumnInto(t, op, acc, transposeColumn(col))
-			c.h.ChargeReduce(c.columnBytes())
-		}
-		// acc lane (rank j) = reduced block j, element column e: store to
-		// the per-group host result buffers.
-		for g, grp := range p.groups {
-			for j, pe := range grp {
-				copy(out[g][j*s+e:j*s+e+8], acc[pe/dram.ChipsPerRank].Lane(pe%dram.ChipsPerRank))
-			}
-		}
-	}
-	c.h.EndXfer()
-	c.h.ChargeHostMem(int64(len(p.groups) * n * s)) // result store
-	c.h.ChargeSync()
-	return out
 }

@@ -5,13 +5,13 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/dram"
-	"repro/internal/vec"
 )
 
 // Scatter sends block p of each group's host buffer to the group's rank p
 // (§ V-B4: the second half of ReduceScatter). bufs has one buffer per
 // group (group order), each n*bytesPerPE bytes; every PE receives
-// bytesPerPE bytes at dstOff.
+// bytesPerPE bytes at dstOff. On a cost-only backend bufs may be nil:
+// buffer sizes are implied by the call signature and no data is read.
 func (c *Comm) Scatter(dims string, bufs [][]byte, dstOff, bytesPerPE int, lvl Level) (cost.Breakdown, error) {
 	p, err := c.plan(dims)
 	if err != nil {
@@ -24,45 +24,24 @@ func (c *Comm) Scatter(dims string, bufs [][]byte, dstOff, bytesPerPE int, lvl L
 	if err := c.checkRegion(dstOff, s); err != nil {
 		return cost.Breakdown{}, fmt.Errorf("Scatter: %w", err)
 	}
-	if len(bufs) != len(p.groups) {
-		return cost.Breakdown{}, fmt.Errorf("Scatter: %d buffers for %d groups", len(bufs), len(p.groups))
+	if bufs == nil && !c.backend.Functional() {
+		// Cost-only dry run: sizes are fully determined by the plan.
+	} else {
+		if len(bufs) != len(p.groups) {
+			return cost.Breakdown{}, fmt.Errorf("Scatter: %d buffers for %d groups", len(bufs), len(p.groups))
+		}
+		for g, b := range bufs {
+			if len(b) != p.n*s {
+				return cost.Breakdown{}, fmt.Errorf("Scatter: buffer %d has %d bytes, want %d", g, len(b), p.n*s)
+			}
+		}
 	}
-	for g, b := range bufs {
-		if len(b) != p.n*s {
-			return cost.Breakdown{}, fmt.Errorf("Scatter: buffer %d has %d bytes, want %d", g, len(b), p.n*s)
+	if lvl == Auto {
+		if lvl, err = c.AutoLevel(Scatter, dims, bytesPerPE, 0, 0); err != nil {
+			return cost.Breakdown{}, fmt.Errorf("Scatter: %w", err)
 		}
 	}
 	before := c.h.Meter().Snapshot()
-	if EffectiveLevel(Scatter, lvl) == Baseline {
-		// Conventional: assemble a PE-major staging buffer, then bulk
-		// write with DT.
-		stag := make([]byte, len(p.rankOf)*s)
-		for g, grp := range p.groups {
-			for i, pe := range grp {
-				copy(stag[pe*s:(pe+1)*s], bufs[g][i*s:(i+1)*s])
-			}
-		}
-		c.h.ChargeHostMem(int64(len(stag))) // staging assembly
-		c.h.BulkWrite(c.allEGs(), dstOff, stag)
-	} else { // IM: stream user buffers straight into bursts
-		c.h.BeginXfer()
-		nEG := c.hc.sys.Geometry().NumGroups()
-		var u vec.Unit
-		for e := 0; e < s; e += 8 {
-			for g := 0; g < nEG; g++ {
-				var r vec.Reg
-				for chip := 0; chip < dram.ChipsPerRank; chip++ {
-					pe := g*dram.ChipsPerRank + chip
-					r.SetLane(chip, bufs[p.groupOf[pe]][int(p.rankOf[pe])*s+e:])
-				}
-				c.h.WriteBurst(g, dstOff+e, u.Transpose8x8(r))
-			}
-			c.h.ChargeSIMD(c.columnBytes())
-			c.h.ChargeDT(c.columnBytes())
-		}
-		c.h.EndXfer()
-		c.h.ChargeHostMem(int64(len(p.groups) * p.n * s)) // user-buffer reads
-	}
-	c.h.ChargeSync()
+	c.execute(c.lowerScatter(p, bufs, dstOff, s, EffectiveLevel(Scatter, lvl)))
 	return c.h.Meter().Snapshot().Sub(before), nil
 }

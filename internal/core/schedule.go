@@ -1,0 +1,741 @@
+package core
+
+import (
+	"repro/internal/dram"
+	"repro/internal/elem"
+	"repro/internal/vec"
+)
+
+// This file defines the schedule IR every collective lowers to, plus the
+// per-primitive lowering rules. A Schedule is an ordered list of typed
+// steps; internal/core/exec.go holds the single executor that runs a
+// schedule against a pluggable Backend (functional or cost-only).
+//
+// Design contract: a step carries BOTH the declarative description the
+// cost-only backend needs (byte counts, column-transfer counts, charge
+// lists) AND the functional closures that move real bytes. The executor
+// applies the declarative charges for every backend, so the two backends
+// charge identical amounts by construction; only bus-burst tallies and
+// DPU-kernel accounting are computed twice (real vs. analytic), and the
+// cross-backend equivalence test in exec_test.go pins them equal.
+
+// ChargeKind classifies one host-side compute/memory charge of a step.
+// Each kind maps to exactly one host.Host charge method.
+type ChargeKind int
+
+const (
+	// ChargeDT is domain-transfer compute (8x8 byte transposes).
+	ChargeDT ChargeKind = iota
+	// ChargeScalarMod is the baseline's cache-hostile global modulation.
+	ChargeScalarMod
+	// ChargeLocalMod is cache-friendly local modulation (post-PR).
+	ChargeLocalMod
+	// ChargeSIMD is in-register modulation (shuffles/rotates/memcpy class).
+	ChargeSIMD
+	// ChargeReduce is vertical SIMD reduction.
+	ChargeReduce
+	// ChargeScalarReduce is the baseline's scalar reduction loops.
+	ChargeScalarReduce
+	// ChargeLocalReduce is reduction over PE-pre-reordered data.
+	ChargeLocalReduce
+	// ChargeHostMem is host main-memory traffic.
+	ChargeHostMem
+)
+
+// Charge is one (kind, byte count) host charge.
+type Charge struct {
+	Kind  ChargeKind
+	Bytes int64
+}
+
+// applyCharge dispatches one charge to the host cost model.
+func (c *Comm) applyCharge(ch Charge) {
+	switch ch.Kind {
+	case ChargeDT:
+		c.h.ChargeDT(ch.Bytes)
+	case ChargeScalarMod:
+		c.h.ChargeScalarMod(ch.Bytes)
+	case ChargeLocalMod:
+		c.h.ChargeLocalMod(ch.Bytes)
+	case ChargeSIMD:
+		c.h.ChargeSIMD(ch.Bytes)
+	case ChargeReduce:
+		c.h.ChargeReduce(ch.Bytes)
+	case ChargeScalarReduce:
+		c.h.ChargeScalarReduce(ch.Bytes)
+	case ChargeLocalReduce:
+		c.h.ChargeLocalReduce(ch.Bytes)
+	case ChargeHostMem:
+		c.h.ChargeHostMem(ch.Bytes)
+	}
+}
+
+func (c *Comm) applyCharges(charges []Charge) {
+	for _, ch := range charges {
+		c.applyCharge(ch)
+	}
+}
+
+// Step is one typed operation of a lowered collective.
+type Step interface{ stepName() string }
+
+// StepRotateBlocks runs the PE-assisted reordering kernel (§ V-A1):
+// every PE's region [Off, Off+N*S) is treated as N blocks of S bytes and
+// left-rotated by Rot(rank) blocks. The cost-only backend reproduces the
+// kernel's MRAM/instruction accounting analytically.
+type StepRotateBlocks struct {
+	p    *plan
+	Off  int
+	N, S int
+	Rot  func(rank int) int
+}
+
+func (*StepRotateBlocks) stepName() string { return "RotateBlocks" }
+
+// StepBulk is one conventional host-memory phase: an optional staged
+// BulkRead, host-side modulation over the staging buffer, an optional
+// BulkWrite. Rooted primitives that keep results on the host set
+// Write=false and let Modulate capture its output.
+type StepBulk struct {
+	Read      bool
+	ReadOff   int
+	ReadPerPE int
+
+	Write      bool
+	WriteOff   int
+	WritePerPE int
+
+	// Charges are the modulation/reduction/staging charges applied
+	// between the read and the write (order within the step does not
+	// affect the per-category breakdown).
+	Charges []Charge
+
+	// Modulate consumes the staging buffer (nil when Read is false) and
+	// returns the PE-major buffer to write (ignored when Write is
+	// false). Only the functional backend calls it; nil means identity.
+	Modulate func(stag []byte) []byte
+}
+
+func (*StepBulk) stepName() string { return "Bulk" }
+
+// StepColumnStream is one streaming transfer epoch of the optimized
+// engine: burst columns move between host registers and every entangled
+// group, with in-register shifts/transposes/reductions. Reads and Writes
+// count column transfers (each touches every entangled group once — one
+// burst per group), which is all the cost-only backend needs to
+// reproduce the bus accounting. Body performs the real data movement and
+// is called by the functional backend only, inside the epoch.
+type StepColumnStream struct {
+	Reads, Writes int64
+	Charges       []Charge
+	Body          func()
+}
+
+func (*StepColumnStream) stepName() string { return "ColumnStream" }
+
+// StepHostCompute is host-only work with no PE traffic: assembling or
+// storing rooted buffers, driver-side domain transfers of broadcast
+// payloads. Run (optional) is functional-only.
+type StepHostCompute struct {
+	Charges []Charge
+	Run     func()
+}
+
+func (*StepHostCompute) stepName() string { return "HostCompute" }
+
+// StepSync charges the fixed host synchronization/launch overhead that
+// ends every collective.
+type StepSync struct{}
+
+func (*StepSync) stepName() string { return "Sync" }
+
+// Schedule is the IR of one collective call.
+type Schedule struct {
+	Name  string
+	Steps []Step
+}
+
+func (s *Schedule) add(st Step) { s.Steps = append(s.Steps, st) }
+
+// rotFwd/rotBwd are the standard pre/post rotation amounts of the
+// PE-assisted reordering passes.
+func rotFwd(rank int) int { return rank }
+func rotBwd(rank int) int { return -rank }
+
+// numPEBytes is the total byte count of a perPE-sized region over every
+// PE — the size of a full staging buffer.
+func (c *Comm) numPEBytes(perPE int) int64 {
+	return int64(c.hc.sys.Geometry().NumPEs()) * int64(perPE)
+}
+
+// ---------------------------------------------------------------------
+// AlltoAll (Figure 7)
+// ---------------------------------------------------------------------
+
+// lowerAlltoAll lowers one AlltoAll call. lvl must be a concrete
+// effective level.
+func (c *Comm) lowerAlltoAll(p *plan, srcOff, dstOff, s int, lvl Level) *Schedule {
+	n := p.n
+	m := n * s
+	sched := &Schedule{Name: "AlltoAll/" + lvl.String()}
+	switch lvl {
+	case Baseline, PR:
+		pr := lvl == PR
+		if pr {
+			sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		}
+		modKind := ChargeScalarMod
+		if pr {
+			modKind = ChargeLocalMod
+		}
+		sched.add(&StepBulk{
+			Read: true, ReadOff: srcOff, ReadPerPE: m,
+			Write: true, WriteOff: dstOff, WritePerPE: m,
+			Charges: []Charge{{modKind, c.numPEBytes(m)}},
+			Modulate: func(stag []byte) []byte {
+				out := make([]byte, len(stag))
+				if pr {
+					// Data is pre-rotated: slot k of rank i holds block
+					// (i+k)%n. The host applies the local phase-B
+					// movement: slot k of rank i goes to slot (n-k)%n of
+					// rank (i+k)%n.
+					for _, grp := range p.groups {
+						for i, srcPE := range grp {
+							for k := 0; k < n; k++ {
+								j := (i + k) % n
+								w := (n - k) % n
+								copy(out[grp[j]*m+w*s:grp[j]*m+w*s+s], stag[srcPE*m+k*s:srcPE*m+k*s+s])
+							}
+						}
+					}
+				} else {
+					// Direct semantics: dst[j] block i = src[i] block j.
+					for _, grp := range p.groups {
+						for i, srcPE := range grp {
+							for j, dstPE := range grp {
+								copy(out[dstPE*m+i*s:dstPE*m+i*s+s], stag[srcPE*m+j*s:srcPE*m+j*s+s])
+							}
+						}
+					}
+				}
+				return out
+			},
+		})
+		if pr {
+			sched.add(&StepRotateBlocks{p: p, Off: dstOff, N: n, S: s, Rot: rotBwd})
+		}
+	default: // IM or CM
+		cm := lvl == CM
+		cols := int64(n) * int64(s/8)
+		colB := c.columnBytes()
+		charges := []Charge{{ChargeSIMD, cols * colB}}
+		if !cm {
+			// Without cross-domain modulation every shift is transpose +
+			// word shift + transpose; the transposes are the in-register
+			// form of DT.
+			charges = append(charges, Charge{ChargeDT, 2 * cols * colB})
+		}
+		sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		sched.add(&StepColumnStream{
+			Reads: cols, Writes: cols,
+			Charges: charges,
+			Body: func() {
+				for k := 0; k < n; k++ {
+					w := (n - k) % n
+					for e := 0; e < s; e += 8 {
+						col := c.readColumn(srcOff + k*s + e)
+						col = c.shiftColumn(p, col, k)
+						c.writeColumn(dstOff+w*s+e, col)
+					}
+				}
+			},
+		})
+		sched.add(&StepRotateBlocks{p: p, Off: dstOff, N: n, S: s, Rot: rotBwd})
+	}
+	sched.add(&StepSync{})
+	return sched
+}
+
+// ---------------------------------------------------------------------
+// ReduceScatter and Reduce (Figure 8(b), § V-B2/B4)
+// ---------------------------------------------------------------------
+
+func (c *Comm) lowerReduceScatter(p *plan, srcOff, dstOff, s int, t elem.Type, op elem.Op, lvl Level) *Schedule {
+	n := p.n
+	m := n * s
+	sched := &Schedule{Name: "ReduceScatter/" + lvl.String()}
+	switch lvl {
+	case Baseline, PR:
+		pr := lvl == PR
+		if pr {
+			sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		}
+		redKind := ChargeScalarReduce
+		if pr {
+			redKind = ChargeLocalReduce
+		}
+		sched.add(&StepBulk{
+			Read: true, ReadOff: srcOff, ReadPerPE: m,
+			Write: true, WriteOff: dstOff, WritePerPE: s,
+			Charges: []Charge{{redKind, c.numPEBytes(m)}},
+			Modulate: func(stag []byte) []byte {
+				out := make([]byte, len(p.rankOf)*s)
+				for _, grp := range p.groups {
+					for pIdx, dstPE := range grp {
+						blk := out[dstPE*s : (dstPE+1)*s]
+						elem.Fill(t, blk, op.Identity(t))
+						for i, srcPE := range grp {
+							// Without PR, block p sits at slot p; with PR,
+							// rank i pre-rotated left by i so block p is at
+							// slot (p-i)%n.
+							slot := pIdx
+							if pr {
+								slot = ((pIdx-i)%n + n) % n
+							}
+							elem.ReduceInto(t, op, blk, stag[srcPE*m+slot*s:srcPE*m+slot*s+s])
+						}
+					}
+				}
+				return out
+			},
+		})
+	default: // IM
+		noDT := t == elem.I8 // host can interpret 8-bit data in PIM domain
+		iters := int64(s / 8)
+		colB := c.columnBytes()
+		charges := []Charge{
+			{ChargeSIMD, int64(n) * iters * colB},
+			{ChargeReduce, int64(n) * iters * colB},
+		}
+		if !noDT {
+			charges = append(charges, Charge{ChargeDT, int64(n+1) * iters * colB})
+		}
+		sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		sched.add(&StepColumnStream{
+			Reads: int64(n) * iters, Writes: iters,
+			Charges: charges,
+			Body: func() {
+				nEG := c.hc.sys.Geometry().NumGroups()
+				for e := 0; e < s; e += 8 {
+					acc := identityColumn(t, op, nEG) // host byte order
+					for k := 0; k < n; k++ {
+						col := c.readColumn(srcOff + k*s + e)
+						col = c.shiftColumn(p, col, k) // lane = destination rank
+						reduceColumnInto(t, op, acc, transposeColumn(col))
+					}
+					c.writeColumn(dstOff+e, transposeColumn(acc))
+				}
+			},
+		})
+	}
+	sched.add(&StepSync{})
+	return sched
+}
+
+// lowerReduce lowers the rooted Reduce. out receives the per-group host
+// results; the functional backend fills it, the cost-only backend leaves
+// it nil.
+func (c *Comm) lowerReduce(p *plan, srcOff, s int, t elem.Type, op elem.Op, lvl Level, out *[][]byte) *Schedule {
+	n := p.n
+	m := n * s
+	sched := &Schedule{Name: "Reduce/" + lvl.String()}
+	switch lvl {
+	case Baseline, PR:
+		pr := lvl == PR
+		if pr {
+			sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		}
+		redKind := ChargeScalarReduce
+		if pr {
+			redKind = ChargeLocalReduce
+		}
+		sched.add(&StepBulk{
+			Read: true, ReadOff: srcOff, ReadPerPE: m,
+			Charges: []Charge{
+				{redKind, c.numPEBytes(m)},
+				{ChargeHostMem, int64(len(p.groups)) * int64(m)}, // result store
+			},
+			Modulate: func(stag []byte) []byte {
+				res := make([][]byte, len(p.groups))
+				for g, grp := range p.groups {
+					res[g] = make([]byte, m)
+					elem.Fill(t, res[g], op.Identity(t))
+					for i, srcPE := range grp {
+						src := stag[srcPE*m : (srcPE+1)*m]
+						if pr {
+							// Undo the rotation block-wise while reducing.
+							for k := 0; k < n; k++ {
+								blk := (k + i) % n
+								elem.ReduceInto(t, op, res[g][blk*s:blk*s+s], src[k*s:k*s+s])
+							}
+						} else {
+							elem.ReduceInto(t, op, res[g], src)
+						}
+					}
+				}
+				*out = res
+				return nil
+			},
+		})
+	default: // IM
+		noDT := t == elem.I8
+		iters := int64(s / 8)
+		colB := c.columnBytes()
+		charges := []Charge{
+			{ChargeSIMD, int64(n) * iters * colB},
+			{ChargeReduce, int64(n) * iters * colB},
+		}
+		if !noDT {
+			charges = append(charges, Charge{ChargeDT, int64(n) * iters * colB})
+		}
+		charges = append(charges, Charge{ChargeHostMem, int64(len(p.groups)) * int64(m)}) // result store
+		sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		sched.add(&StepColumnStream{
+			Reads:   int64(n) * iters,
+			Charges: charges,
+			Body: func() {
+				res := make([][]byte, len(p.groups))
+				for g := range res {
+					res[g] = make([]byte, m)
+				}
+				nEG := c.hc.sys.Geometry().NumGroups()
+				for e := 0; e < s; e += 8 {
+					acc := identityColumn(t, op, nEG)
+					for k := 0; k < n; k++ {
+						col := c.readColumn(srcOff + k*s + e)
+						col = c.shiftColumn(p, col, k)
+						reduceColumnInto(t, op, acc, transposeColumn(col))
+					}
+					// acc lane (rank j) = reduced block j, element column
+					// e: store to the per-group host result buffers.
+					for g, grp := range p.groups {
+						for j, pe := range grp {
+							copy(res[g][j*s+e:j*s+e+8], acc[pe/dram.ChipsPerRank].Lane(pe%dram.ChipsPerRank))
+						}
+					}
+				}
+				*out = res
+			},
+		})
+	}
+	sched.add(&StepSync{})
+	return sched
+}
+
+// ---------------------------------------------------------------------
+// AllReduce (Figure 8(c), § V-B3)
+// ---------------------------------------------------------------------
+
+func (c *Comm) lowerAllReduce(p *plan, srcOff, dstOff, s int, t elem.Type, op elem.Op, lvl Level) *Schedule {
+	n := p.n
+	m := n * s
+	sched := &Schedule{Name: "AllReduce/" + lvl.String()}
+	switch lvl {
+	case Baseline, PR:
+		pr := lvl == PR
+		if pr {
+			sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		}
+		redKind := ChargeScalarReduce
+		if pr {
+			redKind = ChargeLocalReduce
+		}
+		sched.add(&StepBulk{
+			Read: true, ReadOff: srcOff, ReadPerPE: m,
+			Write: true, WriteOff: dstOff, WritePerPE: m,
+			// Reduction pass over all input plus a memcpy-class
+			// replication pass over all output.
+			Charges: []Charge{
+				{redKind, c.numPEBytes(m)},
+				{ChargeSIMD, c.numPEBytes(m)},
+			},
+			Modulate: func(stag []byte) []byte {
+				out := make([]byte, len(stag))
+				for _, grp := range p.groups {
+					red := make([]byte, m)
+					elem.Fill(t, red, op.Identity(t))
+					for i, srcPE := range grp {
+						src := stag[srcPE*m : (srcPE+1)*m]
+						if pr {
+							for k := 0; k < n; k++ {
+								blk := (k + i) % n
+								elem.ReduceInto(t, op, red[blk*s:blk*s+s], src[k*s:k*s+s])
+							}
+						} else {
+							elem.ReduceInto(t, op, red, src)
+						}
+					}
+					for _, dstPE := range grp {
+						copy(out[dstPE*m:(dstPE+1)*m], red)
+					}
+				}
+				return out
+			},
+		})
+	default: // IM
+		// Fused streaming ReduceScatter + AllGather: per element column,
+		// reduce the n slot bursts into an accumulator, domain-transfer
+		// back once, write it n times with incremental shifts; the PEs
+		// then fix block order locally. Host memory is never touched.
+		noDT := t == elem.I8
+		iters := int64(s / 8)
+		colB := c.columnBytes()
+		charges := []Charge{
+			{ChargeSIMD, 2 * int64(n) * iters * colB},
+			{ChargeReduce, int64(n) * iters * colB},
+		}
+		if !noDT {
+			charges = append(charges, Charge{ChargeDT, int64(n+1) * iters * colB})
+		}
+		sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
+		sched.add(&StepColumnStream{
+			Reads: int64(n) * iters, Writes: int64(n) * iters,
+			Charges: charges,
+			Body: func() {
+				nEG := c.hc.sys.Geometry().NumGroups()
+				for e := 0; e < s; e += 8 {
+					acc := identityColumn(t, op, nEG) // host byte order
+					for k := 0; k < n; k++ {
+						col := c.readColumn(srcOff + k*s + e)
+						col = c.shiftColumn(p, col, k)
+						reduceColumnInto(t, op, acc, transposeColumn(col))
+					}
+					// One DT back to PIM domain serves all n outbound
+					// writes, whose shifts are pure redistribution.
+					accPim := transposeColumn(acc)
+					for k := 0; k < n; k++ {
+						shifted := c.shiftColumn(p, accPim, k)
+						w := (n - k) % n
+						c.writeColumn(dstOff+w*s+e, shifted)
+					}
+				}
+			},
+		})
+		sched.add(&StepRotateBlocks{p: p, Off: dstOff, N: n, S: s, Rot: rotBwd})
+	}
+	sched.add(&StepSync{})
+	return sched
+}
+
+// ---------------------------------------------------------------------
+// AllGather and Gather (Figure 8(a), § V-B1/B4)
+// ---------------------------------------------------------------------
+
+func (c *Comm) lowerAllGather(p *plan, srcOff, dstOff, s int, lvl Level) *Schedule {
+	n := p.n
+	sched := &Schedule{Name: "AllGather/" + lvl.String()}
+	colB := c.columnBytes()
+	switch lvl {
+	case Baseline, PR:
+		// Conventional path; PE-assisted reordering only removes
+		// per-rank layout bookkeeping here, which is negligible, so
+		// Baseline and PR share the lowering.
+		gatherPEMajor := func(stag []byte) []byte {
+			out := make([]byte, len(p.rankOf)*n*s)
+			for _, grp := range p.groups {
+				for _, dstPE := range grp {
+					for i, srcPE := range grp {
+						copy(out[dstPE*n*s+i*s:dstPE*n*s+i*s+s], stag[srcPE*s:(srcPE+1)*s])
+					}
+				}
+			}
+			return out
+		}
+		if len(p.groups) == 1 {
+			// Single group: the gathered buffer is identical for every
+			// PE, so the driver's fast broadcast applies — one domain
+			// transfer total (§ VIII-E).
+			var out []byte
+			sched.add(&StepBulk{
+				Read: true, ReadOff: srcOff, ReadPerPE: s,
+				Charges: []Charge{{ChargeLocalMod, int64(n * s)}},
+				Modulate: func(stag []byte) []byte {
+					out = gatherPEMajor(stag)
+					return nil
+				},
+			})
+			perPE := n * s
+			sched.add(&StepHostCompute{
+				Charges: []Charge{
+					{ChargeDT, int64(perPE)}, // DT once, reused for all PEs
+					{ChargeHostMem, int64(perPE)},
+				},
+			})
+			sched.add(&StepColumnStream{
+				Writes:  int64(perPE / 8),
+				Charges: []Charge{{ChargeSIMD, int64(perPE/8) * colB}},
+				Body:    func() { c.broadcastColumns(dstOff, perPE, func(pe, e int) []byte { return out[pe*perPE+e:] }) },
+			})
+		} else {
+			sched.add(&StepBulk{
+				Read: true, ReadOff: srcOff, ReadPerPE: s,
+				Write: true, WriteOff: dstOff, WritePerPE: n * s,
+				// Replication is sequential copying (memcpy class).
+				Charges:  []Charge{{ChargeSIMD, c.numPEBytes(n * s)}},
+				Modulate: gatherPEMajor,
+			})
+		}
+	default: // IM or CM
+		cm := lvl == CM
+		iters := int64(s / 8)
+		charges := []Charge{{ChargeSIMD, int64(n) * iters * colB}}
+		if !cm {
+			// One inbound transpose per read, one outbound per write.
+			charges = append(charges, Charge{ChargeDT, int64(n+1) * iters * colB})
+		}
+		sched.add(&StepColumnStream{
+			Reads: iters, Writes: int64(n) * iters,
+			Charges: charges,
+			Body: func() {
+				for e := 0; e < s; e += 8 {
+					col := c.readColumn(srcOff + e)
+					for k := 0; k < n; k++ {
+						shifted := c.shiftColumn(p, col, k)
+						w := (n - k) % n
+						c.writeColumn(dstOff+w*s+e, shifted)
+					}
+				}
+			},
+		})
+		sched.add(&StepRotateBlocks{p: p, Off: dstOff, N: n, S: s, Rot: rotBwd})
+	}
+	sched.add(&StepSync{})
+	return sched
+}
+
+func (c *Comm) lowerGather(p *plan, srcOff, s int, lvl Level, out *[][]byte) *Schedule {
+	n := p.n
+	sched := &Schedule{Name: "Gather/" + lvl.String()}
+	if lvl == Baseline {
+		sched.add(&StepBulk{
+			Read: true, ReadOff: srcOff, ReadPerPE: s,
+			Charges: []Charge{{ChargeHostMem, c.numPEBytes(s)}}, // copy out of staging
+			Modulate: func(stag []byte) []byte {
+				res := make([][]byte, len(p.groups))
+				for g, grp := range p.groups {
+					res[g] = make([]byte, n*s)
+					for i, pe := range grp {
+						copy(res[g][i*s:], stag[pe*s:(pe+1)*s])
+					}
+				}
+				*out = res
+				return nil
+			},
+		})
+	} else { // IM: stream straight into the user buffers
+		iters := int64(s / 8)
+		colB := c.columnBytes()
+		sched.add(&StepColumnStream{
+			Reads: iters,
+			Charges: []Charge{
+				{ChargeDT, iters * colB},
+				{ChargeHostMem, int64(len(p.groups)) * int64(n*s)},
+			},
+			Body: func() {
+				res := make([][]byte, len(p.groups))
+				for g := range res {
+					res[g] = make([]byte, n*s)
+				}
+				for e := 0; e < s; e += 8 {
+					col := transposeColumn(c.readColumn(srcOff + e))
+					for g, grp := range p.groups {
+						for i, pe := range grp {
+							copy(res[g][i*s+e:i*s+e+8], col[pe/dram.ChipsPerRank].Lane(pe%dram.ChipsPerRank))
+						}
+					}
+				}
+				*out = res
+			},
+		})
+	}
+	sched.add(&StepSync{})
+	return sched
+}
+
+// ---------------------------------------------------------------------
+// Scatter and Broadcast (§ V-B4, § VIII-B)
+// ---------------------------------------------------------------------
+
+func (c *Comm) lowerScatter(p *plan, bufs [][]byte, dstOff, s int, lvl Level) *Schedule {
+	n := p.n
+	sched := &Schedule{Name: "Scatter/" + lvl.String()}
+	if lvl == Baseline {
+		// Conventional: assemble a PE-major staging buffer, then bulk
+		// write with DT.
+		sched.add(&StepBulk{
+			Write: true, WriteOff: dstOff, WritePerPE: s,
+			Charges: []Charge{{ChargeHostMem, c.numPEBytes(s)}}, // staging assembly
+			Modulate: func([]byte) []byte {
+				stag := make([]byte, len(p.rankOf)*s)
+				for g, grp := range p.groups {
+					for i, pe := range grp {
+						copy(stag[pe*s:(pe+1)*s], bufs[g][i*s:(i+1)*s])
+					}
+				}
+				return stag
+			},
+		})
+	} else { // IM: stream user buffers straight into bursts
+		iters := int64(s / 8)
+		colB := c.columnBytes()
+		sched.add(&StepColumnStream{
+			Writes: iters,
+			Charges: []Charge{
+				{ChargeSIMD, iters * colB},
+				{ChargeDT, iters * colB},
+				{ChargeHostMem, int64(len(p.groups)) * int64(n*s)}, // user-buffer reads
+			},
+			Body: func() {
+				c.broadcastColumns(dstOff, s, func(pe, e int) []byte {
+					return bufs[p.groupOf[pe]][int(p.rankOf[pe])*s+e:]
+				})
+			},
+		})
+	}
+	sched.add(&StepSync{})
+	return sched
+}
+
+func (c *Comm) lowerBroadcast(p *plan, bufs [][]byte, dstOff, s int) *Schedule {
+	// The native driver path is already near-optimal (§ VIII-B): one
+	// domain transfer per payload serves all PEs, so all optimization
+	// levels share this lowering.
+	sched := &Schedule{Name: "Broadcast"}
+	iters := int64(s / 8)
+	sched.add(&StepHostCompute{
+		Charges: []Charge{
+			{ChargeHostMem, int64(len(p.groups)) * int64(s)},
+			{ChargeDT, int64(len(p.groups)) * int64(s)}, // DT once per payload
+		},
+	})
+	sched.add(&StepColumnStream{
+		Writes:  iters,
+		Charges: []Charge{{ChargeSIMD, iters * c.columnBytes()}},
+		Body: func() {
+			c.broadcastColumns(dstOff, s, func(pe, e int) []byte {
+				return bufs[p.groupOf[pe]][e:]
+			})
+		},
+	})
+	sched.add(&StepSync{})
+	return sched
+}
+
+// broadcastColumns streams host-side bytes into every PE's region
+// [dstOff, dstOff+perPE): for each element column it assembles one
+// register per entangled group from lane(pe, e) and writes it in PIM
+// byte order. Shared by the Scatter/Broadcast/single-group-AllGather
+// write paths.
+func (c *Comm) broadcastColumns(dstOff, perPE int, lane func(pe, e int) []byte) {
+	nEG := c.hc.sys.Geometry().NumGroups()
+	var u vec.Unit
+	for e := 0; e < perPE; e += 8 {
+		for g := 0; g < nEG; g++ {
+			var r vec.Reg
+			for chip := 0; chip < dram.ChipsPerRank; chip++ {
+				r.SetLane(chip, lane(g*dram.ChipsPerRank+chip, e))
+			}
+			c.h.WriteBurst(g, dstOff+e, u.Transpose8x8(r))
+		}
+	}
+}

@@ -65,16 +65,20 @@ func (c *Comm) AllReduceTopo(topo Topology, dims string, srcOff, dstOff, bytesPe
 	}
 	before := c.h.Meter().Snapshot()
 
-	// Functional result: same as any AllReduce.
+	// Functional result: same as any AllReduce. (Cost-only backends skip
+	// the data movement; the structural cost model below is backend-
+	// independent.)
 	m := p.n * s
-	for _, grp := range p.groups {
-		in := make([][]byte, len(grp))
-		for i, pe := range grp {
-			in[i] = c.GetPEBuffer(pe, srcOff, m)
-		}
-		out := RefAllReduce(t, op, in)
-		for i, pe := range grp {
-			c.SetPEBuffer(pe, dstOff, out[i])
+	if c.backend.Functional() {
+		for _, grp := range p.groups {
+			in := make([][]byte, len(grp))
+			for i, pe := range grp {
+				in[i] = c.GetPEBuffer(pe, srcOff, m)
+			}
+			out := RefAllReduce(t, op, in)
+			for i, pe := range grp {
+				c.SetPEBuffer(pe, dstOff, out[i])
+			}
 		}
 	}
 

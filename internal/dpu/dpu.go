@@ -146,14 +146,7 @@ func (e *Engine) Launch(spec LaunchSpec, meter *cost.Meter, k Kernel) {
 	if spec.GroupRanks != nil && len(spec.GroupRanks) != len(spec.PEs) {
 		panic("dpu: GroupRanks length mismatch")
 	}
-	tasklets := spec.Tasklets
-	if tasklets <= 0 {
-		tasklets = SaturatingTasklets
-	}
-	ipc := float64(tasklets) / SaturatingTasklets
-	if ipc > 1 {
-		ipc = 1
-	}
+	ipc := spec.ipc()
 
 	times := make([]cost.Seconds, len(spec.PEs))
 	var wg sync.WaitGroup
@@ -173,13 +166,7 @@ func (e *Engine) Launch(spec LaunchSpec, meter *cost.Meter, k Kernel) {
 				ctx.GroupRank = spec.GroupRanks[i]
 			}
 			k(ctx)
-			instrT := cost.Seconds(float64(ctx.instr) / (e.params.DPUInstrHz * ipc))
-			dmaT := cost.Seconds(float64(ctx.mramBytes) / e.params.DPUMramBW)
-			if dmaT > instrT {
-				times[i] = dmaT
-			} else {
-				times[i] = instrT
-			}
+			times[i] = e.peTime(ctx.instr, ctx.mramBytes, ipc)
 			e.putWram(ctx.wram)
 		}(i, pe)
 	}
@@ -188,6 +175,60 @@ func (e *Engine) Launch(spec LaunchSpec, meter *cost.Meter, k Kernel) {
 	var maxT cost.Seconds
 	for _, t := range times {
 		if t > maxT {
+			maxT = t
+		}
+	}
+	meter.Add(spec.Category, maxT)
+	meter.Add(cost.Other, e.params.KernelLaunch)
+}
+
+func (s LaunchSpec) ipc() float64 {
+	tasklets := s.Tasklets
+	if tasklets <= 0 {
+		tasklets = SaturatingTasklets
+	}
+	ipc := float64(tasklets) / SaturatingTasklets
+	if ipc > 1 {
+		ipc = 1
+	}
+	return ipc
+}
+
+// peTime converts one PE's accounted work to its modeled elapsed time:
+// max(instruction time, MRAM DMA time), the overlap model documented on
+// Launch. Shared by Launch and LaunchCharges so both compute identical
+// floating-point results.
+func (e *Engine) peTime(instr, mramBytes int64, ipc float64) cost.Seconds {
+	instrT := cost.Seconds(float64(instr) / (e.params.DPUInstrHz * ipc))
+	dmaT := cost.Seconds(float64(mramBytes) / e.params.DPUMramBW)
+	if dmaT > instrT {
+		return dmaT
+	}
+	return instrT
+}
+
+// LaunchCharges charges the meter for a launch whose per-PE work is known
+// analytically, without running a kernel or touching MRAM. account
+// returns the instruction count and MRAM DMA traffic a Launch-executed
+// kernel would have reported for the PE; the time arithmetic is shared
+// with Launch, so a cost-only execution reproduces the functional meter
+// bit-for-bit. This is the DPU-side seam of the cost-only backend.
+func (e *Engine) LaunchCharges(spec LaunchSpec, meter *cost.Meter, account func(pe, groupRank int) (instr, mramBytes int64)) {
+	if len(spec.PEs) == 0 {
+		return
+	}
+	if spec.GroupRanks != nil && len(spec.GroupRanks) != len(spec.PEs) {
+		panic("dpu: GroupRanks length mismatch")
+	}
+	ipc := spec.ipc()
+	var maxT cost.Seconds
+	for i, pe := range spec.PEs {
+		rank := -1
+		if spec.GroupRanks != nil {
+			rank = spec.GroupRanks[i]
+		}
+		instr, mramBytes := account(pe, rank)
+		if t := e.peTime(instr, mramBytes, ipc); t > maxT {
 			maxT = t
 		}
 	}

@@ -78,11 +78,18 @@ type PEID struct {
 	Channel, Rank, Chip, Bank int
 }
 
-// System is a simulated PIM-DIMM memory system holding real bytes.
+// System is a simulated PIM-DIMM memory system holding real bytes — or,
+// in phantom mode, only the geometry: a phantom system answers every
+// size/topology query but backs no MRAM, so cost-only analyses can model
+// paper-scale machines without allocating gigabytes. Any attempt to move
+// actual bytes through a phantom system panics, which is what guarantees
+// a cost-only backend really never touches data.
 type System struct {
 	geo Geometry
-	// mram[linear PE index] is that bank's MRAM.
+	// mram[linear PE index] is that bank's MRAM; nil in phantom mode.
 	mram [][]byte
+	// phantom marks a geometry-only system.
+	phantom bool
 }
 
 // NewSystem allocates a system with the given geometry.
@@ -95,6 +102,26 @@ func NewSystem(geo Geometry) (*System, error) {
 		s.mram[i] = make([]byte, geo.MramPerBank)
 	}
 	return s, nil
+}
+
+// NewPhantomSystem validates the geometry and returns a system with no
+// backing MRAM. It is the substrate for cost-only execution: region
+// checks, group enumeration and bus accounting all work, but ReadBurst,
+// WriteBurst and BankBytes panic.
+func NewPhantomSystem(geo Geometry) (*System, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{geo: geo, phantom: true}, nil
+}
+
+// Phantom reports whether the system backs no MRAM.
+func (s *System) Phantom() bool { return s.phantom }
+
+func (s *System) checkBacked(op string) {
+	if s.phantom {
+		panic(fmt.Sprintf("dram: %s on a phantom (cost-only) system", op))
+	}
 }
 
 // Geometry returns the system geometry.
@@ -174,6 +201,7 @@ func (s *System) checkBurst(group, offset int) {
 // 8 banks byte-wise, exactly as the bytes appear on the channel bus. That
 // is, out[i] = bank(i%8).mram[off + i/8].
 func (s *System) ReadBurst(group, off int, out *[BurstBytes]byte) {
+	s.checkBacked("ReadBurst")
 	s.checkBurst(group, off)
 	base := group * ChipsPerRank
 	for c := 0; c < ChipsPerRank; c++ {
@@ -188,6 +216,7 @@ func (s *System) ReadBurst(group, off int, out *[BurstBytes]byte) {
 // offset off, striping bytes exactly as the memory controller does:
 // bank(i%8).mram[off + i/8] = in[i].
 func (s *System) WriteBurst(group, off int, in *[BurstBytes]byte) {
+	s.checkBacked("WriteBurst")
 	s.checkBurst(group, off)
 	base := group * ChipsPerRank
 	for c := 0; c < ChipsPerRank; c++ {
@@ -202,6 +231,7 @@ func (s *System) WriteBurst(group, off int, in *[BurstBytes]byte) {
 // access its own bank directly, at MRAM bandwidth, without striping --
 // that path never crosses the channel bus).
 func (s *System) BankBytes(linearPE int) []byte {
+	s.checkBacked("BankBytes")
 	if linearPE < 0 || linearPE >= s.geo.NumPEs() {
 		panic(fmt.Sprintf("dram: PE %d out of range", linearPE))
 	}

@@ -96,12 +96,24 @@ func (h *Host) EndXfer() {
 	}
 }
 
-func (h *Host) tallyBurst(group int) {
+func (h *Host) tallyBurst(group int) { h.TallyBursts(group, 1) }
+
+// TallyBursts accounts count 64-byte bursts to/from the entangled group
+// without moving any bytes: the cost-only backend's replacement for
+// ReadBurst/WriteBurst. The epoch and statistics bookkeeping is shared
+// with the functional path, so per-channel totals — and therefore the
+// PEMem time charged at EndXfer — are identical. Must run inside a
+// transfer epoch.
+func (h *Host) TallyBursts(group int, count int64) {
+	if h.epochDepth == 0 {
+		panic("host: TallyBursts outside transfer epoch")
+	}
+	bytes := count * dram.BurstBytes
 	ch, rk := h.sys.RankOfGroup(group)
-	h.chanBytes[ch] += dram.BurstBytes
-	h.rankBytes[[2]int{ch, rk}] += dram.BurstBytes
-	h.totalBursts++
-	h.totalByChan[ch] += dram.BurstBytes
+	h.chanBytes[ch] += bytes
+	h.rankBytes[[2]int{ch, rk}] += bytes
+	h.totalBursts += count
+	h.totalByChan[ch] += bytes
 }
 
 // ReadBurst reads one 64-byte burst from the entangled group into a vector
@@ -260,6 +272,41 @@ func (h *Host) BulkWrite(groups []int, off int, buf []byte) {
 			r = h.vu.Transpose8x8(r) // back to PIM byte order
 			h.WriteBurst(g, off+b, r)
 		}
+	}
+	h.EndXfer()
+}
+
+// ChargeBulkRead accounts a BulkRead of perPE bytes per PE from every
+// listed group without moving data: same bus epoch, DT and staging
+// charges in the same order, so the resulting meter and transfer
+// statistics match BulkRead exactly.
+func (h *Host) ChargeBulkRead(groups []int, perPE int) {
+	if perPE%dram.BankBurstBytes != 0 {
+		panic(fmt.Sprintf("host: perPE %d not burst-aligned", perPE))
+	}
+	total := int64(len(groups)) * dram.ChipsPerRank * int64(perPE)
+	h.BeginXfer()
+	for _, g := range groups {
+		h.TallyBursts(g, int64(perPE/dram.BankBurstBytes))
+	}
+	h.EndXfer()
+	h.ChargeDT(total)
+	h.ChargeHostMem(total) // staging store
+}
+
+// ChargeBulkWrite accounts a BulkWrite of perPE bytes per PE to every
+// listed group without moving data; the charge sequence mirrors
+// BulkWrite exactly.
+func (h *Host) ChargeBulkWrite(groups []int, perPE int) {
+	if perPE%dram.BankBurstBytes != 0 {
+		panic(fmt.Sprintf("host: perPE %d not burst-aligned", perPE))
+	}
+	total := int64(len(groups)) * dram.ChipsPerRank * int64(perPE)
+	h.ChargeHostMem(total) // staging read
+	h.ChargeDT(total)
+	h.BeginXfer()
+	for _, g := range groups {
+		h.TallyBursts(g, int64(perPE/dram.BankBurstBytes))
 	}
 	h.EndXfer()
 }

@@ -30,17 +30,27 @@ func (cl *Cluster) ReduceScatter(srcOff, dstOff, blockBytes int, t elem.Type, op
 		if err != nil {
 			return cost.Breakdown{}, fmt.Errorf("multihost ReduceScatter host %d: %w", h, err)
 		}
-		partials[h] = bufs[0]
+		if cl.Functional() {
+			partials[h] = bufs[0]
+		}
 	}
 	// Network reduce-scatter among hosts: H-1 overlapped rounds, each
 	// moving one host portion per host.
 	for r := 0; r < H-1; r++ {
 		cl.chargeNet(int64(hostPart))
 	}
-	global := core.RefReduce(t, op, partials)
+	// Cost-only clusters have nil partials; Scatter then runs buffer-less.
+	var global []byte
+	if cl.Functional() {
+		global = core.RefReduce(t, op, partials)
+	}
 	for h, comm := range cl.hosts {
 		// Host h owns global blocks [h*P, (h+1)*P): block h*P+p to PE p.
-		if _, err := comm.Scatter("1", [][]byte{global[h*hostPart : (h+1)*hostPart]}, dstOff, blockBytes, lvl); err != nil {
+		var bufs [][]byte
+		if cl.Functional() {
+			bufs = [][]byte{global[h*hostPart : (h+1)*hostPart]}
+		}
+		if _, err := comm.Scatter("1", bufs, dstOff, blockBytes, lvl); err != nil {
 			return cost.Breakdown{}, fmt.Errorf("multihost ReduceScatter host %d: %w", h, err)
 		}
 	}
@@ -67,15 +77,22 @@ func (cl *Cluster) AllGather(srcOff, dstOff, bytesPerPE int, lvl core.Level) (co
 		if err != nil {
 			return cost.Breakdown{}, fmt.Errorf("multihost AllGather host %d: %w", h, err)
 		}
-		parts[h] = bufs[0]
+		if cl.Functional() {
+			parts[h] = bufs[0]
+		}
 	}
 	// Network all-gather: H-1 overlapped rounds of one portion per host.
 	for r := 0; r < H-1; r++ {
 		cl.chargeNet(int64(hostPart))
 	}
-	assembled := make([]byte, 0, H*hostPart)
-	for _, p := range parts {
-		assembled = append(assembled, p...)
+	// Cost-only: parts are nil, so broadcast a correctly-sized zero
+	// payload (never read by the backend).
+	assembled := cl.zero(H * hostPart)
+	if cl.Functional() {
+		assembled = make([]byte, 0, H*hostPart)
+		for _, p := range parts {
+			assembled = append(assembled, p...)
+		}
 	}
 	for h, comm := range cl.hosts {
 		if _, err := comm.Broadcast("1", [][]byte{assembled}, dstOff, lvl); err != nil {

@@ -25,17 +25,53 @@ type Cluster struct {
 	params cost.Params
 	// netMeter accrues network time (the critical path across steps).
 	netMeter *cost.Meter
+	// costOnly marks a cluster whose hosts run the cost-only backend:
+	// collectives charge identical costs but move no data and return nil
+	// result buffers.
+	costOnly bool
+	// scratch is a reusable zero buffer handed to size-validated host
+	// payload parameters (Broadcast) in cost-only mode, so sweeps don't
+	// re-allocate O(data) per call.
+	scratch []byte
+}
+
+// zero returns an n-byte all-zero buffer, growing a shared scratch
+// allocation. Cost-only collectives never read or write it; it exists
+// only to satisfy payload-size validation.
+func (cl *Cluster) zero(n int) []byte {
+	if len(cl.scratch) < n {
+		cl.scratch = make([]byte, n)
+	}
+	return cl.scratch[:n]
 }
 
 // New builds a cluster of numHosts hosts, each with its own system of the
 // given per-host geometry and a 1-D hypercube over its PEs.
 func New(numHosts int, geo dram.Geometry, params cost.Params) (*Cluster, error) {
+	return build(numHosts, geo, params, false)
+}
+
+// NewCostOnly builds a cluster on the cost-only backend over phantom
+// systems: no MRAM is allocated, no bytes move, and every collective's
+// breakdown matches the functional cluster's bit-for-bit. Rooted results
+// and gathered buffers are nil.
+func NewCostOnly(numHosts int, geo dram.Geometry, params cost.Params) (*Cluster, error) {
+	return build(numHosts, geo, params, true)
+}
+
+func build(numHosts int, geo dram.Geometry, params cost.Params, costOnly bool) (*Cluster, error) {
 	if numHosts <= 0 {
 		return nil, fmt.Errorf("multihost: need at least one host, got %d", numHosts)
 	}
-	cl := &Cluster{params: params, netMeter: cost.NewMeter()}
+	cl := &Cluster{params: params, netMeter: cost.NewMeter(), costOnly: costOnly}
 	for i := 0; i < numHosts; i++ {
-		sys, err := dram.NewSystem(geo)
+		var sys *dram.System
+		var err error
+		if costOnly {
+			sys, err = dram.NewPhantomSystem(geo)
+		} else {
+			sys, err = dram.NewSystem(geo)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -43,10 +79,17 @@ func New(numHosts int, geo dram.Geometry, params cost.Params) (*Cluster, error) 
 		if err != nil {
 			return nil, err
 		}
-		cl.hosts = append(cl.hosts, core.NewComm(hc, params))
+		if costOnly {
+			cl.hosts = append(cl.hosts, core.NewCostComm(hc, params))
+		} else {
+			cl.hosts = append(cl.hosts, core.NewComm(hc, params))
+		}
 	}
 	return cl, nil
 }
+
+// Functional reports whether the cluster moves real bytes.
+func (cl *Cluster) Functional() bool { return !cl.costOnly }
 
 // NumHosts returns the number of hosts.
 func (cl *Cluster) NumHosts() int { return len(cl.hosts) }
@@ -92,7 +135,9 @@ func (cl *Cluster) AllReduce(srcOff, dstOff, bytesPerPE int, t elem.Type, op ele
 		if err != nil {
 			return cost.Breakdown{}, fmt.Errorf("multihost AllReduce host %d: %w", h, err)
 		}
-		partials[h] = bufs[0] // 1-D hypercube: single group
+		if cl.Functional() {
+			partials[h] = bufs[0] // 1-D hypercube: single group
+		}
 	}
 	// Inter-host ring AllReduce on the reduced buffers: 2(H-1) steps each
 	// moving bytesPerPE/H per host.
@@ -103,7 +148,12 @@ func (cl *Cluster) AllReduce(srcOff, dstOff, bytesPerPE int, t elem.Type, op ele
 			cl.chargeNet(int64(bytesPerPE / h))
 		}
 	}
-	global := core.RefReduce(t, op, partials)
+	// In cost-only mode the per-host partials are nil; broadcast a
+	// correctly-sized zero payload (never read by the backend).
+	global := cl.zero(bytesPerPE)
+	if cl.Functional() {
+		global = core.RefReduce(t, op, partials)
+	}
 	for h, comm := range cl.hosts {
 		if _, err := comm.Broadcast(dims, [][]byte{global}, dstOff, lvl); err != nil {
 			return cost.Breakdown{}, fmt.Errorf("multihost AllReduce host %d: %w", h, err)
@@ -141,7 +191,9 @@ func (cl *Cluster) AlltoAll(srcOff, dstOff, blockBytes int, lvl core.Level) (cos
 		cl.chargeNet(int64(P * hostPart))
 	}
 	// Cross-host data movement: gather each remote portion, exchange,
-	// transpose, scatter.
+	// transpose, scatter. In cost-only mode the gathered payload is nil,
+	// the transpose is skipped (its time is the LocalMod charge below)
+	// and Scatter runs buffer-less.
 	for src := 0; src < H; src++ {
 		for dst := 0; dst < H; dst++ {
 			if src == dst {
@@ -151,18 +203,22 @@ func (cl *Cluster) AlltoAll(srcOff, dstOff, blockBytes int, lvl core.Level) (cos
 			if err != nil {
 				return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll gather %d->%d: %w", src, dst, err)
 			}
-			payload := bufs[0] // [src local p][dst local p'] blocks
-			// Receiving host transposes [src p][dst p'] -> [dst p'][src p]
-			// and scatters so block from (src,p) lands at dst slot.
-			re := make([]byte, len(payload))
-			for p := 0; p < P; p++ {
-				for q := 0; q < P; q++ {
-					copy(re[q*P*blockBytes+p*blockBytes:q*P*blockBytes+(p+1)*blockBytes],
-						payload[p*P*blockBytes+q*blockBytes:p*P*blockBytes+(q+1)*blockBytes])
+			var scatterBufs [][]byte
+			if cl.Functional() {
+				payload := bufs[0] // [src local p][dst local p'] blocks
+				// Receiving host transposes [src p][dst p'] -> [dst p'][src p]
+				// and scatters so block from (src,p) lands at dst slot.
+				re := make([]byte, len(payload))
+				for p := 0; p < P; p++ {
+					for q := 0; q < P; q++ {
+						copy(re[q*P*blockBytes+p*blockBytes:q*P*blockBytes+(p+1)*blockBytes],
+							payload[p*P*blockBytes+q*blockBytes:p*P*blockBytes+(q+1)*blockBytes])
+					}
 				}
+				scatterBufs = [][]byte{re}
 			}
-			cl.hosts[dst].Host().ChargeLocalMod(int64(len(re)))
-			if _, err := cl.hosts[dst].Scatter(dims, [][]byte{re}, dstOff+src*hostPart, P*blockBytes, lvl); err != nil {
+			cl.hosts[dst].Host().ChargeLocalMod(int64(P) * int64(hostPart))
+			if _, err := cl.hosts[dst].Scatter(dims, scatterBufs, dstOff+src*hostPart, P*blockBytes, lvl); err != nil {
 				return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll scatter %d->%d: %w", src, dst, err)
 			}
 		}

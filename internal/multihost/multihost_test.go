@@ -171,3 +171,70 @@ func TestBreakdownTakesSlowestHost(t *testing.T) {
 		t.Error("cluster breakdown should equal the busiest host's meter")
 	}
 }
+
+// A cost-only cluster (phantom systems, no data) must charge exactly
+// what the functional cluster charges, for every cluster collective.
+func TestCostOnlyClusterMatchesFunctional(t *testing.T) {
+	for _, hosts := range []int{1, 2} {
+		fc := newCluster(t, hosts)
+		cc, err := NewCostOnly(hosts, testGeo, cost.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.Functional() {
+			t.Fatal("NewCostOnly built a functional cluster")
+		}
+		P := fc.PEsPerHost()
+		m := P * 8
+		rootBuf := make([]byte, hosts*P*8)
+
+		type step struct {
+			name string
+			run  func(cl *Cluster) (cost.Breakdown, error)
+		}
+		steps := []step{
+			{"AllReduce", func(cl *Cluster) (cost.Breakdown, error) {
+				return cl.AllReduce(0, 2*m, m, elem.I32, elem.Sum, core.CM)
+			}},
+			{"ReduceScatter", func(cl *Cluster) (cost.Breakdown, error) {
+				gm := hosts * P * 8 // 8-byte blocks, one per global PE
+				return cl.ReduceScatter(0, 2*gm, 8, elem.I32, elem.Sum, core.IM)
+			}},
+			{"AllGather", func(cl *Cluster) (cost.Breakdown, error) {
+				return cl.AllGather(0, 2*m, 8, core.IM)
+			}},
+			{"AlltoAll", func(cl *Cluster) (cost.Breakdown, error) {
+				gm := hosts * P * 8
+				return cl.AlltoAll(0, 2*gm, 8, core.CM)
+			}},
+			{"Broadcast", func(cl *Cluster) (cost.Breakdown, error) {
+				return cl.Broadcast(0, rootBuf[:m], 0, core.Baseline)
+			}},
+			{"Scatter", func(cl *Cluster) (cost.Breakdown, error) {
+				return cl.Scatter(0, rootBuf, 0, 8, core.IM)
+			}},
+			{"Gather", func(cl *Cluster) (cost.Breakdown, error) {
+				_, bd, err := cl.Gather(0, 0, 8, core.IM)
+				return bd, err
+			}},
+			{"Reduce", func(cl *Cluster) (cost.Breakdown, error) {
+				_, bd, err := cl.Reduce(0, 0, m, elem.I32, elem.Sum, core.IM)
+				return bd, err
+			}},
+		}
+		for _, s := range steps {
+			fill(fc, 0, m, 9)
+			want, err := s.run(fc)
+			if err != nil {
+				t.Fatalf("%s functional (%d hosts): %v", s.name, hosts, err)
+			}
+			got, err := s.run(cc)
+			if err != nil {
+				t.Fatalf("%s cost-only (%d hosts): %v", s.name, hosts, err)
+			}
+			if want != got {
+				t.Errorf("%s (%d hosts): functional %v, cost-only %v", s.name, hosts, want, got)
+			}
+		}
+	}
+}

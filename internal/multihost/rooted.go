@@ -77,9 +77,14 @@ func (cl *Cluster) Gather(root int, srcOff, bytesPerPE int, lvl core.Level) ([]b
 			return nil, cost.Breakdown{}, fmt.Errorf("multihost Gather host %d: %w", h, err)
 		}
 		if h != root {
-			cl.chargeNet(int64(len(bufs[0])))
+			cl.chargeNet(int64(P) * int64(bytesPerPE))
 		}
-		out = append(out, bufs[0]...)
+		if cl.Functional() {
+			out = append(out, bufs[0]...)
+		}
+	}
+	if !cl.Functional() {
+		out = nil
 	}
 	return out, cl.Breakdown().Sub(before), nil
 }
@@ -99,11 +104,16 @@ func (cl *Cluster) Reduce(root int, srcOff, bytesPerPE int, t elem.Type, op elem
 			return nil, cost.Breakdown{}, fmt.Errorf("multihost Reduce host %d: %w", h, err)
 		}
 		if h != root {
-			cl.chargeNet(int64(len(bufs[0])))
+			cl.chargeNet(int64(bytesPerPE))
 		}
-		partials[h] = bufs[0]
+		if cl.Functional() {
+			partials[h] = bufs[0]
+		}
 	}
-	out := core.RefReduce(t, op, partials)
+	var out []byte
+	if cl.Functional() {
+		out = core.RefReduce(t, op, partials)
+	}
 	return out, cl.Breakdown().Sub(before), nil
 }
 

@@ -48,13 +48,37 @@ const (
 	Xor = elem.Xor
 )
 
-// Re-exported optimization levels (§ V-A).
+// Re-exported optimization levels (§ V-A). Auto is the autotuner
+// pseudo-level: the collective dry-runs every applicable level on the
+// cost-only backend, picks the cheapest for the call signature, caches
+// the decision on the Comm and executes with it (see Comm.AutoLevel).
 const (
 	Baseline = core.Baseline
 	PR       = core.PR
 	IM       = core.IM
 	CM       = core.CM
+	Auto     = core.Auto
 )
+
+// Primitive identifies one of the eight collectives (for AutoLevel).
+type Primitive = core.Primitive
+
+// Re-exported primitive identifiers.
+const (
+	AlltoAll      = core.AlltoAll
+	ReduceScatter = core.ReduceScatter
+	AllReduce     = core.AllReduce
+	AllGather     = core.AllGather
+	Scatter       = core.Scatter
+	Gather        = core.Gather
+	Reduce        = core.Reduce
+	Broadcast     = core.Broadcast
+)
+
+// Backend executes collective schedules; see Comm.Backend,
+// HypercubeManager.Comm (functional) and HypercubeManager.CostComm
+// (cost-only).
+type Backend = core.Backend
 
 // Geometry describes the simulated DIMM system.
 type Geometry = dram.Geometry
@@ -127,8 +151,22 @@ func (m *HypercubeManager) Shape() []int { return m.hc.Shape() }
 // dims selection produces — the cube slices of § IV-B2.
 func (m *HypercubeManager) Groups(dims string) ([][]int, error) { return m.hc.Groups(dims) }
 
-// Comm creates a communication context with a fresh cost meter.
+// Comm creates a communication context with a fresh cost meter, on the
+// byte-accurate functional backend.
 func (m *HypercubeManager) Comm() *Comm { return core.NewComm(m.hc, m.params) }
+
+// CostComm creates a cost-only communication context: every collective
+// charges the meter exactly as a functional Comm would (the breakdowns
+// are bit-identical) but moves no bytes, making paper-scale sweeps and
+// what-if studies orders of magnitude cheaper. Rooted primitives return
+// nil result buffers. Combine with NewPhantomSystem to avoid allocating
+// MRAM entirely.
+func (m *HypercubeManager) CostComm() *Comm { return core.NewCostComm(m.hc, m.params) }
+
+// NewPhantomSystem allocates a geometry-only system with no backing
+// MRAM, for use with CostComm: topology and size queries work, but any
+// attempt to move real bytes panics.
+func NewPhantomSystem(geo Geometry) (*System, error) { return dram.NewPhantomSystem(geo) }
 
 // DimsString builds a comm-dimensions bitmap, e.g. DimsString(3, 0, 2) ==
 // "101" selecting the x and z axes of a 3-D hypercube.

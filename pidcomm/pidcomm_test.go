@@ -79,6 +79,61 @@ func TestDimsString(t *testing.T) {
 	}
 }
 
+// The cost-only surface: a phantom system plus CostComm must reproduce
+// the functional Comm's breakdown exactly, and the Auto pseudo-level
+// must resolve and run through the facade.
+func TestCostCommAndAutoThroughFacade(t *testing.T) {
+	geo := pidcomm.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14}
+	shape := []int{8, 8}
+	const m = 8 * 32
+
+	sys, err := pidcomm.NewSystem(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, _ := pidcomm.NewHypercubeManager(sys, shape)
+	comm := mgr.Comm()
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]byte, m)
+	for pe := 0; pe < 64; pe++ {
+		rng.Read(buf)
+		comm.SetPEBuffer(pe, 0, buf)
+	}
+	want, err := comm.AlltoAll("10", 0, 2*m, m, pidcomm.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phantom, err := pidcomm.NewPhantomSystem(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmgr, _ := pidcomm.NewHypercubeManager(phantom, shape)
+	cc := cmgr.CostComm()
+	if cc.Backend().Functional() {
+		t.Fatal("CostComm returned a functional backend")
+	}
+	got, err := cc.AlltoAll("10", 0, 2*m, m, pidcomm.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Errorf("cost breakdown differs: functional %v, cost %v", want, got)
+	}
+
+	// Auto on the public surface: resolves to a concrete level and runs.
+	lvl, err := cc.AutoLevel(pidcomm.AlltoAll, "10", m, pidcomm.I32, pidcomm.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl == pidcomm.Auto {
+		t.Error("AutoLevel returned the Auto sentinel")
+	}
+	if _, err := comm.AlltoAll("10", 2*m, 4*m, m, pidcomm.Auto); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReduceScatterThroughFacade(t *testing.T) {
 	sys, _ := pidcomm.NewSystem(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 12,
