@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke
+.PHONY: check fmt vet build test race bench-smoke
 
 check: fmt vet build test
 
@@ -16,6 +16,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector: exercises the concurrent-Comm
+# stress test and the shared-engine launch test.
+race:
+	$(GO) test -race ./...
 
 # Fast sanity pass over the evaluation harness on the cost-only backend.
 bench-smoke:

@@ -26,6 +26,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment ID (e.g. fig14, table1) or 'all'")
 	full := flag.Bool("full", false, "use paper-scale payloads (slower, more memory)")
 	backend := flag.String("backend", "functional", "execution backend for primitive experiments: 'functional' (moves real bytes) or 'cost' (cost-only; identical tables, orders of magnitude faster — application experiments always run functionally)")
+	replay := flag.Int("replay", 0, "run the plan-cache replay experiment with N iterations per mode (cold compile-each-call vs cached CompiledPlan replay)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
@@ -37,6 +38,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pidbench: unknown backend %q (want 'functional' or 'cost')\n", *backend)
 		os.Exit(2)
+	}
+
+	if *replay > 0 {
+		fmt.Printf("=== replay: plan-cache throughput, %d iterations per mode ===\n", *replay)
+		start := time.Now()
+		if err := bench.RunReplay(bench.Options{W: os.Stdout, Full: *full, CostOnly: true}, *replay); err != nil {
+			fmt.Fprintln(os.Stderr, "pidbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(%s)\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	if *list || *exp == "" {

@@ -1,8 +1,11 @@
 // Command pidfuzz performs randomized differential testing of the
 // collective library: it generates random system geometries, hypercube
 // shapes, dimension selections, payload sizes, element types, reduction
-// operators and optimization levels, runs every primitive, and compares
-// the resulting bytes against the independent reference model.
+// operators and optimization levels (including Auto), runs every
+// primitive, and compares the resulting bytes against the independent
+// reference model. The scenario generator and checker live in
+// internal/fuzz, which also runs a small deterministic slice of this
+// loop as an in-process CI smoke test.
 //
 // This is the heavyweight companion of the package tests: run it for as
 // many iterations as you like (it reports the first divergence found).
@@ -11,216 +14,24 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/dram"
-	"repro/internal/elem"
+	"repro/internal/fuzz"
 )
-
-type scenario struct {
-	geo   dram.Geometry
-	shape []int
-	dims  string
-	s     int // block bytes
-	lvl   core.Level
-	typ   elem.Type
-	op    elem.Op
-}
-
-func randomScenario(rng *rand.Rand) scenario {
-	geos := []dram.Geometry{
-		{Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 14}, // 16 PEs
-		{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14}, // 64 PEs
-		{Channels: 2, RanksPerChannel: 1, BanksPerChip: 4, MramPerBank: 1 << 14}, // 64 PEs
-		{Channels: 3, RanksPerChannel: 1, BanksPerChip: 1, MramPerBank: 1 << 14}, // 24 PEs
-	}
-	geo := geos[rng.Intn(len(geos))]
-	n := geo.NumPEs()
-
-	// Random shape: factor n into 1-3 dimensions (power-of-two except
-	// possibly last).
-	var shape []int
-	rem := n
-	for len(shape) < 2 && rem > 1 {
-		// Pick a power-of-two factor of rem.
-		var opts []int
-		for f := 2; f <= rem; f *= 2 {
-			if rem%f == 0 {
-				opts = append(opts, f)
-			}
-		}
-		if len(opts) == 0 || rng.Intn(3) == 0 {
-			break
-		}
-		f := opts[rng.Intn(len(opts))]
-		shape = append(shape, f)
-		rem /= f
-	}
-	shape = append(shape, rem) // last dim may be non-power-of-two
-	if len(shape) == 1 && shape[0] == 1 {
-		shape = []int{n}
-	}
-
-	// Random non-empty dims selection.
-	dims := make([]byte, len(shape))
-	any := false
-	for i := range dims {
-		if rng.Intn(2) == 0 {
-			dims[i] = '0'
-		} else {
-			dims[i] = '1'
-			any = true
-		}
-	}
-	if !any {
-		dims[rng.Intn(len(dims))] = '1'
-	}
-
-	return scenario{
-		geo:   geo,
-		shape: shape,
-		dims:  string(dims),
-		s:     8 * (1 + rng.Intn(4)),
-		lvl:   core.Levels()[rng.Intn(4)],
-		typ:   elem.Types()[rng.Intn(4)],
-		op:    elem.Ops()[rng.Intn(6)],
-	}
-}
-
-// checkScenario runs every primitive under the scenario and returns an
-// error naming the first divergence.
-func checkScenario(sc scenario, rng *rand.Rand) error {
-	sys, err := dram.NewSystem(sc.geo)
-	if err != nil {
-		return err
-	}
-	hc, err := core.NewHypercube(sys, sc.shape)
-	if err != nil {
-		return err
-	}
-	mk := func() (*core.Comm, [][]byte, [][]int, int) {
-		c := core.NewComm(hc, cost.DefaultParams())
-		groups, err := hc.Groups(sc.dims)
-		if err != nil {
-			panic(err)
-		}
-		n := len(groups[0])
-		m := n * sc.s
-		in := make([][]byte, sc.geo.NumPEs())
-		for pe := range in {
-			in[pe] = make([]byte, m)
-			rng.Read(in[pe])
-			c.SetPEBuffer(pe, 0, in[pe])
-		}
-		return c, in, groups, m
-	}
-	sel := func(in [][]byte, grp []int) [][]byte {
-		out := make([][]byte, len(grp))
-		for i, pe := range grp {
-			out[i] = in[pe]
-		}
-		return out
-	}
-
-	// AlltoAll.
-	c, in, groups, m := mk()
-	if _, err := c.AlltoAll(sc.dims, 0, 2*m, m, sc.lvl); err != nil {
-		return fmt.Errorf("AlltoAll: %w", err)
-	}
-	for _, grp := range groups {
-		want := core.RefAlltoAll(sel(in, grp), sc.s)
-		for j, pe := range grp {
-			if !bytes.Equal(c.GetPEBuffer(pe, 2*m, m), want[j]) {
-				return fmt.Errorf("AlltoAll diverges at PE %d (%+v)", pe, sc)
-			}
-		}
-	}
-	// ReduceScatter.
-	c, in, groups, m = mk()
-	if _, err := c.ReduceScatter(sc.dims, 0, 2*m, m, sc.typ, sc.op, sc.lvl); err != nil {
-		return fmt.Errorf("ReduceScatter: %w", err)
-	}
-	for _, grp := range groups {
-		want := core.RefReduceScatter(sc.typ, sc.op, sel(in, grp), sc.s)
-		for j, pe := range grp {
-			if !bytes.Equal(c.GetPEBuffer(pe, 2*m, sc.s), want[j]) {
-				return fmt.Errorf("ReduceScatter diverges at PE %d (%+v)", pe, sc)
-			}
-		}
-	}
-	// AllReduce.
-	c, in, groups, m = mk()
-	if _, err := c.AllReduce(sc.dims, 0, 2*m, m, sc.typ, sc.op, sc.lvl); err != nil {
-		return fmt.Errorf("AllReduce: %w", err)
-	}
-	for _, grp := range groups {
-		want := core.RefAllReduce(sc.typ, sc.op, sel(in, grp))
-		for j, pe := range grp {
-			if !bytes.Equal(c.GetPEBuffer(pe, 2*m, m), want[j]) {
-				return fmt.Errorf("AllReduce diverges at PE %d (%+v)", pe, sc)
-			}
-		}
-	}
-	// AllGather (input s per PE).
-	c, in, groups, _ = mk()
-	n := len(groups[0])
-	if _, err := c.AllGather(sc.dims, 0, m, sc.s, sc.lvl); err != nil {
-		return fmt.Errorf("AllGather: %w", err)
-	}
-	for _, grp := range groups {
-		heads := make([][]byte, len(grp))
-		for i, pe := range grp {
-			heads[i] = in[pe][:sc.s]
-		}
-		want := core.RefAllGather(heads)
-		for j, pe := range grp {
-			if !bytes.Equal(c.GetPEBuffer(pe, m, n*sc.s), want[j]) {
-				return fmt.Errorf("AllGather diverges at PE %d (%+v)", pe, sc)
-			}
-		}
-	}
-	// Gather + Reduce round trips (host-rooted).
-	c, in, groups, m = mk()
-	got, _, err := c.Gather(sc.dims, 0, sc.s, sc.lvl)
-	if err != nil {
-		return fmt.Errorf("Gather: %w", err)
-	}
-	for g, grp := range groups {
-		heads := make([][]byte, len(grp))
-		for i, pe := range grp {
-			heads[i] = in[pe][:sc.s]
-		}
-		if !bytes.Equal(got[g], core.RefGather(heads)) {
-			return fmt.Errorf("Gather diverges at group %d (%+v)", g, sc)
-		}
-	}
-	red, _, err := c.Reduce(sc.dims, 0, m, sc.typ, sc.op, sc.lvl)
-	if err != nil {
-		return fmt.Errorf("Reduce: %w", err)
-	}
-	for g, grp := range groups {
-		if !bytes.Equal(red[g], core.RefReduce(sc.typ, sc.op, sel(in, grp))) {
-			return fmt.Errorf("Reduce diverges at group %d (%+v)", g, sc)
-		}
-	}
-	return nil
-}
 
 func main() {
 	n := flag.Int("n", 100, "number of random scenarios")
 	seed := flag.Int64("seed", 1, "random seed")
+	noAuto := flag.Bool("no-auto", false, "exclude the Auto pseudo-level from the draw pool")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
 	for i := 0; i < *n; i++ {
-		sc := randomScenario(rng)
-		if err := checkScenario(sc, rng); err != nil {
+		sc := fuzz.Random(rng, !*noAuto)
+		if err := sc.Check(rng); err != nil {
 			fmt.Fprintf(os.Stderr, "pidfuzz: scenario %d FAILED: %v\n", i, err)
 			os.Exit(1)
 		}

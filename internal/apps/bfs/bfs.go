@@ -121,6 +121,16 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 		})
 	})
 
+	// Every traversal level replays the same frontier AllReduce and
+	// termination-flag Gather; compile them once and replay.
+	frontierAR, err := comm.CompileAllReduce("1", nextPartOff, nextOff, fB, elem.I8, elem.Or, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
+	flagGather, err := comm.CompileGather("1", flagOff, 8, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
 	for level := int32(1); level <= int32(g.V); level++ {
 		// Expansion kernel: scan owned vertices in the frontier, mark
 		// unvisited neighbors in the partial next bitmap.
@@ -155,7 +165,7 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 			})
 		})
 		// Combine the partial frontiers: OR AllReduce (§ VII-C).
-		bd, err := comm.AllReduce("1", nextPartOff, nextOff, fB, elem.I8, elem.Or, lvl)
+		bd, err := frontierAR.Run()
 		if err := tr.Comm(core.AllReduce, bd, err); err != nil {
 			return nil, nil, err
 		}
@@ -194,11 +204,11 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 			})
 		})
 		// Host checks termination via a small Gather of the flags.
-		flags, fbd, err := comm.Gather("1", flagOff, 8, lvl)
+		fbd, err := flagGather.Run()
 		if err := tr.Comm(core.Gather, fbd, err); err != nil {
 			return nil, nil, err
 		}
-		if flags[0][0] == 0 { // all PEs computed the same global flag
+		if flagGather.Results()[0][0] == 0 { // all PEs computed the same global flag
 			break
 		}
 	}

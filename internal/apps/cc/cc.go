@@ -104,6 +104,16 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	for i := range pes {
 		pes[i] = i
 	}
+	// Every label-propagation round replays the same candidate AllReduce
+	// and termination-flag Gather; compile them once and replay.
+	candAR, err := comm.CompileAllReduce("1", candOff, newOff, lB, elem.I32, elem.Min, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
+	flagGather, err := comm.CompileGather("1", flagOff, 8, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
 	for iter := 0; iter < g.V; iter++ {
 		// Push kernel: candidates start as the current labels; each owned
 		// vertex pushes its label to its neighbors (min).
@@ -144,7 +154,7 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 			})
 		})
 		// Combine candidate labels across PEs: MIN AllReduce (§ VII-D).
-		bd, err := comm.AllReduce("1", candOff, newOff, lB, elem.I32, elem.Min, lvl)
+		bd, err := candAR.Run()
 		if err := tr.Comm(core.AllReduce, bd, err); err != nil {
 			return nil, nil, err
 		}
@@ -171,11 +181,11 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 				ctx.Exec(int64(g.V))
 			})
 		})
-		flags, fbd, err := comm.Gather("1", flagOff, 8, lvl)
+		fbd, err := flagGather.Run()
 		if err := tr.Comm(core.Gather, fbd, err); err != nil {
 			return nil, nil, err
 		}
-		if flags[0][0] == 0 {
+		if flagGather.Results()[0][0] == 0 {
 			break
 		}
 	}

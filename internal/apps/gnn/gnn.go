@@ -306,9 +306,34 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 		ctx.Exec(int64(sub*F*F) * 3)
 	}
 
+	// The layer loop replays the same collective signatures every layer,
+	// so compile them once. The weight Broadcast binds wBuf, refilled in
+	// place with each layer's packed weights.
+	wBuf := packT(T, make([]int64, F*F))
+	wBcast, err := comm.CompileBroadcast("11", [][]byte{wBuf}, wOff, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rsPlan, arPlan, agPlan *core.CompiledPlan
+	if variant == RSAR {
+		if rsPlan, err = comm.CompileReduceScatter("10", p1Off, iOff, p1B, T, elem.Sum, lvl); err != nil {
+			return nil, nil, err
+		}
+		if arPlan, err = comm.CompileAllReduce("01", candOff, xOff, stripB, T, elem.Sum, lvl); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		if arPlan, err = comm.CompileAllReduce("10", p1Off, iOff, p1B, T, elem.Sum, lvl); err != nil {
+			return nil, nil, err
+		}
+		if agPlan, err = comm.CompileAllGather("01", xsubOff, xOff, subB, lvl); err != nil {
+			return nil, nil, err
+		}
+	}
 	for l := 0; l < cfg.Layers; l++ {
 		w := genWeights(cfg, l, F)
-		bd, err := comm.Broadcast("11", [][]byte{packT(T, w)}, wOff, lvl)
+		copy(wBuf, packT(T, w))
+		bd, err := wBcast.Run()
 		if err := tr.Comm(core.Broadcast, bd, err); err != nil {
 			return nil, nil, err
 		}
@@ -339,7 +364,7 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 		})
 		if variant == RSAR {
 			// ReduceScatter the partial aggregations along x.
-			bd, err := comm.ReduceScatter("10", p1Off, iOff, p1B, T, elem.Sum, lvl)
+			bd, err := rsPlan.Run()
 			if err := tr.Comm(core.ReduceScatter, bd, err); err != nil {
 				return nil, nil, err
 			}
@@ -352,13 +377,13 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 			})
 			// AllReduce the padded strips along y: summing the disjoint
 			// slots concatenates them — every PE gets the full new strip.
-			bd, err = comm.AllReduce("01", candOff, xOff, stripB, T, elem.Sum, lvl)
+			bd, err = arPlan.Run()
 			if err := tr.Comm(core.AllReduce, bd, err); err != nil {
 				return nil, nil, err
 			}
 		} else {
 			// AllReduce the partial aggregations along x (full strips).
-			bd, err := comm.AllReduce("10", p1Off, iOff, p1B, T, elem.Sum, lvl)
+			bd, err := arPlan.Run()
 			if err := tr.Comm(core.AllReduce, bd, err); err != nil {
 				return nil, nil, err
 			}
@@ -371,7 +396,7 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 				})
 			})
 			// AllGather the sub-blocks along y into the new strips.
-			bd, err = comm.AllGather("01", xsubOff, xOff, subB, lvl)
+			bd, err = agPlan.Run()
 			if err := tr.Comm(core.AllGather, bd, err); err != nil {
 				return nil, nil, err
 			}

@@ -155,14 +155,31 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	for i := range pes {
 		pes[i] = i
 	}
+	// Inference serving replays the same collective signatures every
+	// batch and layer, so compile them once and replay: the input
+	// Scatter (bound to xBuf, refilled in place per batch), the
+	// per-layer ReduceScatter, and the final Gather.
+	xBuf := make([]byte, N*sliceB)
+	xPlan, err := comm.CompileScatter("1", [][]byte{xBuf}, xOff, sliceB, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
+	rsPlan, err := comm.CompileReduceScatter("1", partOff, outOff, F*4, elem.I32, elem.Sum, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
+	gaPlan, err := comm.CompileGather("1", xOff, sliceB, lvl)
+	if err != nil {
+		return nil, nil, err
+	}
 	var final []int32
 	for batch := 0; batch < cfg.batches(); batch++ {
-		x := genInput(cfg, batch)
-		bd, err := comm.Scatter("1", [][]byte{i32bytes(x)}, xOff, sliceB, lvl)
+		copy(xBuf, i32bytes(genInput(cfg, batch)))
+		bd, err := xPlan.Run()
 		if err := tr.Comm(core.Scatter, bd, err); err != nil {
 			return nil, nil, err
 		}
-		final, err = mlpForward(cfg, comm, tr, pes, lvl, wOff, xOff, partOff, outOff, sliceB, wPerLayerB)
+		final, err = mlpForward(cfg, comm, tr, pes, rsPlan, gaPlan, wOff, xOff, partOff, outOff, sliceB)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -170,11 +187,13 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	return final, &tr.Prof, nil
 }
 
-// mlpForward runs one input through all layers and gathers the output.
-func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int, lvl core.Level,
-	wOff, xOff, partOff, outOff, sliceB, wPerLayerB int) ([]int32, error) {
+// mlpForward runs one input through all layers and gathers the output,
+// replaying the precompiled per-layer plans.
+func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int,
+	rsPlan, gaPlan *core.CompiledPlan, wOff, xOff, partOff, outOff, sliceB int) ([]int32, error) {
 	F, N, L := cfg.Features, cfg.PEs, cfg.Layers
 	cols := F / N
+	wPerLayerB := F * cols * 4
 	for l := 0; l < L; l++ {
 		layerW := wOff + l*wPerLayerB
 		tr.Kernel(func() {
@@ -200,7 +219,7 @@ func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int, lvl
 		})
 		// ReduceScatter the partials; each PE receives its slice of the
 		// layer output (§ VII-E).
-		bd, err := comm.ReduceScatter("1", partOff, outOff, F*4, elem.I32, elem.Sum, lvl)
+		bd, err := rsPlan.Run()
 		if err := tr.Comm(core.ReduceScatter, bd, err); err != nil {
 			return nil, err
 		}
@@ -219,11 +238,11 @@ func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int, lvl
 		})
 	}
 	// Gather the final slices.
-	bufs, gbd, err := comm.Gather("1", xOff, sliceB, lvl)
+	gbd, err := gaPlan.Run()
 	if err := tr.Comm(core.Gather, gbd, err); err != nil {
 		return nil, err
 	}
-	return bytesI32(bufs[0]), nil
+	return bytesI32(gaPlan.Results()[0]), nil
 }
 
 // RunCPU computes the identical MLP on the CPU-only model, returning the

@@ -203,3 +203,20 @@ func TestRunAllWritesHeaders(t *testing.T) {
 		t.Error("missing content")
 	}
 }
+
+// The plan-cache acceptance bar: on the paper-scale 1024-PE cost-only
+// config, cached CompiledPlan replay must beat compile-each-call by at
+// least 5x (measured headroom is 1-2 orders of magnitude, so this bound
+// is robust to CI noise).
+func TestReplaySpeedupAtLeast5x(t *testing.T) {
+	results, err := MeasureReplay(1<<20, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("%v: cold %.0f/s, cached %.0f/s (%.1fx)", r.Prim, r.ColdPerSec, r.CachedPerSec, r.Speedup)
+		if r.Speedup < 5 {
+			t.Errorf("%v: cached replay only %.1fx faster than compile-each-call (want >= 5x)", r.Prim, r.Speedup)
+		}
+	}
+}

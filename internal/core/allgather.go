@@ -1,88 +1,48 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/cost"
 )
 
 // AllGather concatenates all ranks' buffers onto every rank (Figure
 // 8(a)). Each PE contributes bytesPerPE bytes at srcOff and receives
 // n*bytesPerPE bytes at dstOff.
+//
+// This is a thin wrapper over CompileAllGather + Run; repeated calls
+// with the same signature replay the cached CompiledPlan.
 func (c *Comm) AllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (cost.Breakdown, error) {
-	p, err := c.plan(dims)
+	cp, err := c.CompileAllGather(dims, srcOff, dstOff, bytesPerPE, lvl)
 	if err != nil {
-		return cost.Breakdown{}, fmt.Errorf("AllGather: %w", err)
+		return cost.Breakdown{}, err
 	}
-	s := bytesPerPE
-	if err := c.checkRegion(srcOff, s); err != nil {
-		return cost.Breakdown{}, fmt.Errorf("AllGather: %w", err)
-	}
-	if err := c.checkRegion(dstOff, p.n*s); err != nil {
-		return cost.Breakdown{}, fmt.Errorf("AllGather: %w", err)
-	}
-	if overlap(srcOff, s, dstOff, p.n*s) {
-		return cost.Breakdown{}, fmt.Errorf("AllGather: src and dst regions overlap")
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(AllGather, dims, bytesPerPE, 0, 0); err != nil {
-			return cost.Breakdown{}, fmt.Errorf("AllGather: %w", err)
-		}
-	}
-	before := c.h.Meter().Snapshot()
-	c.execute(c.lowerAllGather(p, srcOff, dstOff, s, EffectiveLevel(AllGather, lvl)))
-	return c.h.Meter().Snapshot().Sub(before), nil
+	return cp.Run()
 }
 
 // Gather returns each group's concatenated buffers to the host (§ V-B4:
 // AllGather's read step followed by domain transfer). The result has one
 // n*bytesPerPE buffer per group, blocks in rank order (nil on a
 // cost-only backend).
+//
+// This is a thin wrapper over CompileGather + Run.
 func (c *Comm) Gather(dims string, srcOff, bytesPerPE int, lvl Level) ([][]byte, cost.Breakdown, error) {
-	p, err := c.plan(dims)
+	cp, err := c.CompileGather(dims, srcOff, bytesPerPE, lvl)
 	if err != nil {
-		return nil, cost.Breakdown{}, fmt.Errorf("Gather: %w", err)
+		return nil, cost.Breakdown{}, err
 	}
-	s := bytesPerPE
-	if err := c.checkRegion(srcOff, s); err != nil {
-		return nil, cost.Breakdown{}, fmt.Errorf("Gather: %w", err)
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(Gather, dims, bytesPerPE, 0, 0); err != nil {
-			return nil, cost.Breakdown{}, fmt.Errorf("Gather: %w", err)
-		}
-	}
-	before := c.h.Meter().Snapshot()
-	var out [][]byte
-	c.execute(c.lowerGather(p, srcOff, s, EffectiveLevel(Gather, lvl), &out))
-	return out, c.h.Meter().Snapshot().Sub(before), nil
+	out, bd := cp.run()
+	return out, bd, nil
 }
 
 // Broadcast sends bufs[g] (one per communication group, in group order)
 // to every PE of group g at dstOff. The native driver path is already
 // near-optimal (§ VIII-B): one domain transfer per payload serves all
 // PEs, so all optimization levels share this implementation.
+//
+// This is a thin wrapper over CompileBroadcast + Run.
 func (c *Comm) Broadcast(dims string, bufs [][]byte, dstOff int, lvl Level) (cost.Breakdown, error) {
-	p, err := c.plan(dims)
+	cp, err := c.CompileBroadcast(dims, bufs, dstOff, lvl)
 	if err != nil {
-		return cost.Breakdown{}, fmt.Errorf("Broadcast: %w", err)
+		return cost.Breakdown{}, err
 	}
-	if len(bufs) != len(p.groups) {
-		return cost.Breakdown{}, fmt.Errorf("Broadcast: %d buffers for %d groups", len(bufs), len(p.groups))
-	}
-	s := -1
-	for g, b := range bufs {
-		if s == -1 {
-			s = len(b)
-		} else if len(b) != s {
-			return cost.Breakdown{}, fmt.Errorf("Broadcast: buffer %d has %d bytes, want %d", g, len(b), s)
-		}
-	}
-	if err := c.checkRegion(dstOff, s); err != nil {
-		return cost.Breakdown{}, fmt.Errorf("Broadcast: %w", err)
-	}
-	_ = lvl // single implementation; see doc comment
-	before := c.h.Meter().Snapshot()
-	c.execute(c.lowerBroadcast(p, bufs, dstOff, s))
-	return c.h.Meter().Snapshot().Sub(before), nil
+	return cp.Run()
 }

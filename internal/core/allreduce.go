@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/cost"
 	"repro/internal/elem"
 )
@@ -15,20 +13,13 @@ import (
 // naive RS+AG composition of CPU/GPU libraries. Each PE contributes and
 // receives bytesPerPE bytes, which must be divisible by the group size
 // in 8-byte blocks.
+//
+// This is a thin wrapper over CompileAllReduce + Run; repeated calls
+// with the same signature replay the cached CompiledPlan.
 func (c *Comm) AllReduce(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (cost.Breakdown, error) {
-	p, s, err := c.prepBlocks(dims, srcOff, dstOff, bytesPerPE)
+	cp, err := c.CompileAllReduce(dims, srcOff, dstOff, bytesPerPE, t, op, lvl)
 	if err != nil {
-		return cost.Breakdown{}, fmt.Errorf("AllReduce: %w", err)
+		return cost.Breakdown{}, err
 	}
-	if err := checkElem(t, op); err != nil {
-		return cost.Breakdown{}, fmt.Errorf("AllReduce: %w", err)
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(AllReduce, dims, bytesPerPE, t, op); err != nil {
-			return cost.Breakdown{}, fmt.Errorf("AllReduce: %w", err)
-		}
-	}
-	before := c.h.Meter().Snapshot()
-	c.execute(c.lowerAllReduce(p, srcOff, dstOff, s, t, op, EffectiveLevel(AllReduce, lvl)))
-	return c.h.Meter().Snapshot().Sub(before), nil
+	return cp.Run()
 }

@@ -10,29 +10,30 @@ import (
 // (Figure 7): within each communication group of n PEs, block j of rank
 // i's buffer ends as block i of rank j's buffer. Each PE's source region
 // is [srcOff, srcOff+bytesPerPE) and destination [dstOff, dstOff+
-// bytesPerPE); the regions must not overlap and bytesPerPE must be
-// divisible by n with 8-byte-aligned blocks.
+// bytesPerPE); bytesPerPE must be divisible by n with 8-byte-aligned
+// blocks. The regions must either coincide exactly (srcOff == dstOff: an
+// in-place AlltoAll, supported by the staged Baseline/PR paths only) or
+// not overlap at all.
 //
 // Like the real library, the optimized levels consume the source region:
 // PE-assisted reordering rotates the source blocks in MRAM before the
 // host streams them (§ V-A1), and nothing restores the original order.
+//
+// This is a thin wrapper over CompileAlltoAll + Run; repeated calls with
+// the same signature replay the cached CompiledPlan.
 func (c *Comm) AlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (cost.Breakdown, error) {
-	p, s, err := c.prepBlocks(dims, srcOff, dstOff, bytesPerPE)
+	cp, err := c.CompileAlltoAll(dims, srcOff, dstOff, bytesPerPE, lvl)
 	if err != nil {
-		return cost.Breakdown{}, fmt.Errorf("AlltoAll: %w", err)
+		return cost.Breakdown{}, err
 	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(AlltoAll, dims, bytesPerPE, 0, 0); err != nil {
-			return cost.Breakdown{}, fmt.Errorf("AlltoAll: %w", err)
-		}
-	}
-	before := c.h.Meter().Snapshot()
-	c.execute(c.lowerAlltoAll(p, srcOff, dstOff, s, EffectiveLevel(AlltoAll, lvl)))
-	return c.h.Meter().Snapshot().Sub(before), nil
+	return cp.Run()
 }
 
 // prepBlocks validates a block-structured collective's arguments.
-func (c *Comm) prepBlocks(dims string, srcOff, dstOff, bytesPerPE int) (*plan, int, error) {
+// allowInPlace permits srcOff == dstOff (partial overlap is always an
+// error); level applicability of in-place calls is checked separately by
+// checkInPlace.
+func (c *Comm) prepBlocks(dims string, srcOff, dstOff, bytesPerPE int, allowInPlace bool) (*plan, int, error) {
 	p, err := c.plan(dims)
 	if err != nil {
 		return nil, 0, err
@@ -43,7 +44,7 @@ func (c *Comm) prepBlocks(dims string, srcOff, dstOff, bytesPerPE int) (*plan, i
 	if err := c.checkRegion(dstOff, bytesPerPE); err != nil {
 		return nil, 0, err
 	}
-	if overlap(srcOff, bytesPerPE, dstOff, bytesPerPE) {
+	if overlap(srcOff, bytesPerPE, dstOff, bytesPerPE) && !(allowInPlace && srcOff == dstOff) {
 		return nil, 0, fmt.Errorf("core: src [%d,%d) and dst [%d,%d) overlap",
 			srcOff, srcOff+bytesPerPE, dstOff, dstOff+bytesPerPE)
 	}

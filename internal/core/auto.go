@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cost"
@@ -16,18 +17,21 @@ import (
 // cheapest — at microseconds of dry-run cost instead of a full byte-
 // accurate execution per candidate.
 
-// autoKey identifies one AutoLevel decision. Offsets are excluded: the
-// cost model depends only on shapes and sizes.
+// autoKey identifies one AutoLevel decision. Offsets are excluded (the
+// cost model depends only on shapes and sizes) except for the in-place
+// bit, which changes which levels apply.
 type autoKey struct {
 	prim     Primitive
 	dims     string
 	bytes    int
 	elemType elem.Type
 	op       elem.Op
+	inPlace  bool
 }
 
 // shadowComm returns the comm's cost-only twin (sharing the hypercube
 // and cost parameters but with its own meter), creating it on first use.
+// Callers must hold autoMu.
 func (c *Comm) shadowComm() *Comm {
 	if c.shadow == nil {
 		c.shadow = NewCostComm(c.hc, c.h.Params())
@@ -37,27 +41,38 @@ func (c *Comm) shadowComm() *Comm {
 
 // autoPick evaluates run at every distinct effective level for the
 // key's primitive on the cost-only shadow and returns the cheapest. Ties
-// go to the lower level.
-func (c *Comm) autoPick(key autoKey, run func(sh *Comm, lvl Level) error) (Level, error) {
+// go to the lower level. A candidate level whose dry run fails is
+// inapplicable to this signature (e.g. the streaming levels cannot run
+// an in-place AlltoAll) and is skipped; autoPick errors only when no
+// level applies at all.
+func (c *Comm) autoPick(key autoKey, run func(sh *Comm, lvl Level) (cost.Breakdown, error)) (Level, error) {
+	c.autoMu.Lock()
+	defer c.autoMu.Unlock()
 	if lvl, ok := c.autoCache[key]; ok {
 		return lvl, nil
 	}
 	sh := c.shadowComm()
 	best, bestT := Baseline, cost.Seconds(-1)
 	seen := make(map[Level]bool)
+	var fails []error
 	for _, l := range Levels() {
 		eff := EffectiveLevel(key.prim, l)
 		if seen[eff] {
 			continue
 		}
 		seen[eff] = true
-		before := sh.h.Meter().Snapshot()
-		if err := run(sh, eff); err != nil {
-			return 0, err
+		bd, err := run(sh, eff)
+		if err != nil {
+			fails = append(fails, err)
+			continue
 		}
-		if d := sh.h.Meter().Snapshot().Sub(before).Total(); bestT < 0 || d < bestT {
+		// Strict less on an ascending scan keeps the lowest level on ties.
+		if d := bd.Total(); bestT < 0 || d < bestT {
 			best, bestT = eff, d
 		}
+	}
+	if bestT < 0 {
+		return 0, fmt.Errorf("core: no optimization level applies: %w", errors.Join(fails...))
 	}
 	c.autoCache[key] = best
 	return best, nil
@@ -71,17 +86,23 @@ func (c *Comm) autoPick(key autoKey, run func(sh *Comm, lvl Level) error) (Level
 // The decision is cached on the Comm, so repeated Auto calls with the
 // same signature resolve in a map lookup.
 func (c *Comm) AutoLevel(prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op) (Level, error) {
+	return c.autoLevel(prim, dims, bytesPerPE, t, op, false)
+}
+
+// autoLevel is AutoLevel plus the in-place bit of the originating call
+// (an in-place AlltoAll restricts the applicable levels).
+func (c *Comm) autoLevel(prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, inPlace bool) (Level, error) {
 	if prim == Broadcast {
 		// Single implementation at every level (§ VIII-B).
 		return Baseline, nil
 	}
-	key := autoKey{prim: prim, dims: dims, bytes: bytesPerPE}
+	key := autoKey{prim: prim, dims: dims, bytes: bytesPerPE, inPlace: inPlace}
 	switch prim {
 	case ReduceScatter, AllReduce, Reduce:
 		key.elemType, key.op = t, op
 	}
-	lvl, err := c.autoPick(key, func(sh *Comm, l Level) error {
-		return autoDryRun(sh, prim, dims, bytesPerPE, t, op, l)
+	lvl, err := c.autoPick(key, func(sh *Comm, l Level) (cost.Breakdown, error) {
+		return autoDryRun(sh, prim, dims, bytesPerPE, t, op, l, inPlace)
 	})
 	if err != nil {
 		return 0, fmt.Errorf("AutoLevel(%v): %w", prim, err)
@@ -91,28 +112,34 @@ func (c *Comm) AutoLevel(prim Primitive, dims string, bytesPerPE int, t elem.Typ
 
 // autoDryRun invokes one primitive on the cost-only shadow with
 // canonical offsets (source at 0, destination immediately after the
-// source region). The shadow shares the caller's system geometry, so a
-// signature that fits the caller's MRAM fits here too.
-func autoDryRun(sh *Comm, prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) error {
+// source region — or coinciding with it for an in-place signature). The
+// shadow shares the caller's system geometry, so a signature that fits
+// the caller's MRAM fits here too.
+func autoDryRun(sh *Comm, prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, lvl Level, inPlace bool) (cost.Breakdown, error) {
 	m := bytesPerPE
+	dst := m
+	if inPlace {
+		dst = 0
+	}
+	var bd cost.Breakdown
 	var err error
 	switch prim {
 	case AlltoAll:
-		_, err = sh.AlltoAll(dims, 0, m, m, lvl)
+		bd, err = sh.AlltoAll(dims, 0, dst, m, lvl)
 	case ReduceScatter:
-		_, err = sh.ReduceScatter(dims, 0, m, m, t, op, lvl)
+		bd, err = sh.ReduceScatter(dims, 0, m, m, t, op, lvl)
 	case AllReduce:
-		_, err = sh.AllReduce(dims, 0, m, m, t, op, lvl)
+		bd, err = sh.AllReduce(dims, 0, m, m, t, op, lvl)
 	case AllGather:
-		_, err = sh.AllGather(dims, 0, m, m, lvl)
+		bd, err = sh.AllGather(dims, 0, m, m, lvl)
 	case Scatter:
-		_, err = sh.Scatter(dims, nil, 0, m, lvl) // nil bufs: cost-only sizes are implied
+		bd, err = sh.Scatter(dims, nil, 0, m, lvl) // nil bufs: cost-only sizes are implied
 	case Gather:
-		_, _, err = sh.Gather(dims, 0, m, lvl)
+		_, bd, err = sh.Gather(dims, 0, m, lvl)
 	case Reduce:
-		_, _, err = sh.Reduce(dims, 0, m, t, op, lvl)
+		_, bd, err = sh.Reduce(dims, 0, m, t, op, lvl)
 	default:
 		err = fmt.Errorf("core: no dry run for primitive %v", prim)
 	}
-	return err
+	return bd, err
 }

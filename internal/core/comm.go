@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/dpu"
@@ -13,22 +14,43 @@ import (
 // Comm executes PID-Comm collectives on a hypercube. It owns a host model
 // (whose meter accumulates all communication costs) and a DPU engine for
 // the PE-side reorder kernels. Every collective lowers to a Schedule
-// (schedule.go) run by the single executor (exec.go) against the comm's
-// Backend.
+// (schedule.go) compiled into a CompiledPlan (plan.go) and run by the
+// single executor (exec.go) against the comm's Backend.
+//
+// Comm is safe for concurrent use: independent collectives may be issued
+// from multiple goroutines. Executions serialize on one mutex — the
+// simulated substrate models a single machine whose bus and driver the
+// host drives, so collectives interleave at call granularity, exactly as
+// a driver-level lock would enforce on real hardware. Callers remain
+// responsible for data disjointness: two concurrent collectives (or app
+// kernels) touching overlapping MRAM regions race semantically even
+// though each executes atomically.
 type Comm struct {
 	hc      *Hypercube
 	h       *host.Host
 	eng     *dpu.Engine
 	backend Backend
 
-	// plans caches group plans per dims string; applications alternate
-	// between a few dims selections every layer (Algorithm 1).
-	plans map[string]*plan
+	// execMu serializes schedule execution and all direct access to the
+	// host model (its meter epoch state and transfer statistics).
+	execMu sync.Mutex
 
-	// autoCache holds AutoLevel decisions per call signature; shadow is
-	// the lazily-created cost-only twin the dry runs execute on.
+	// planMu guards plans, the cached group plans per dims string;
+	// applications alternate between a few dims selections every layer
+	// (Algorithm 1).
+	planMu sync.Mutex
+	plans  map[string]*plan
+
+	// autoMu guards the AutoLevel decision cache and the lazily-created
+	// cost-only shadow comm the dry runs execute on (auto.go).
+	autoMu    sync.Mutex
 	autoCache map[autoKey]Level
 	shadow    *Comm
+
+	// compMu guards the compiled-plan and charge-trace caches (plan.go).
+	compMu   sync.Mutex
+	compiled map[planKey]*CompiledPlan
+	traces   map[planKey]*chargeTrace
 }
 
 // NewComm creates a communication context for the hypercube with the
@@ -56,6 +78,8 @@ func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
 		backend:   b,
 		plans:     make(map[string]*plan),
 		autoCache: make(map[autoKey]Level),
+		compiled:  make(map[planKey]*CompiledPlan),
+		traces:    make(map[planKey]*chargeTrace),
 	}
 }
 
@@ -76,6 +100,8 @@ func (c *Comm) Host() *host.Host { return c.h }
 func (c *Comm) Engine() *dpu.Engine { return c.eng }
 
 func (c *Comm) plan(dims string) (*plan, error) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
 	if p, ok := c.plans[dims]; ok {
 		return p, nil
 	}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/dpu"
 	"repro/internal/dram"
 	"repro/internal/elem"
+	"repro/internal/host"
 	"repro/internal/vec"
 )
 
@@ -98,19 +99,31 @@ func (c *Comm) columnBytes() int64 {
 	return int64(c.hc.sys.Geometry().NumGroups()) * dram.BurstBytes
 }
 
+// rotateBlocksWork returns the per-PE accounted work of a non-trivial
+// rotate-blocks pass over an m-byte region: one full streaming pass in
+// and out of MRAM (2*m bytes of DMA) and ~1 instruction per 4 bytes of
+// address arithmetic, rounded UP to whole instructions. The helper is
+// shared by the functional kernel and the cost backend's analytic
+// accounting so the two cannot drift — in particular on regions whose
+// byte count is not a multiple of 4, where truncating division would
+// undercount on one side only.
+func rotateBlocksWork(m int) (instr, mramBytes int64) {
+	return int64((m + 3) / 4), int64(2 * m)
+}
+
 // launchRotateBlocks runs the PE-assisted reordering kernel (§ V-A1) on
 // every PE: each PE's region [off, off+n*s) is treated as n blocks of s
 // bytes and left-rotated by rot(rank) blocks: new block l = old block
 // (l + rot) mod n. The kernel streams MRAM through WRAM-sized chunks;
 // the paper's incremental shifting touches each byte once in and once out,
-// which is what the accounting reflects.
-func (c *Comm) launchRotateBlocks(p *plan, off, n, s int, rot func(rank int) int) {
+// which is what the accounting reflects. h receives the launch charges.
+func (c *Comm) launchRotateBlocks(h *host.Host, p *plan, off, n, s int, rot func(rank int) int) {
 	pes, ranks := p.launchLists()
 	c.eng.Launch(dpu.LaunchSpec{
 		PEs:        pes,
 		GroupRanks: ranks,
 		Category:   cost.PEMod,
-	}, c.h.Meter(), func(ctx *dpu.Ctx) {
+	}, h.Meter(), func(ctx *dpu.Ctx) {
 		r := rot(ctx.GroupRank) % n
 		if r < 0 {
 			r += n
@@ -142,7 +155,8 @@ func (c *Comm) launchRotateBlocks(p *plan, off, n, s int, rot func(rank int) int
 				ctx.WriteMram(off+l*s+o, tmp[srcBlock*s+o:srcBlock*s+end])
 			}
 		}
-		ctx.Exec(int64(m / 4)) // address arithmetic, ~1 instr per 4 bytes
+		instr, _ := rotateBlocksWork(m) // address arithmetic; DMA accounted above
+		ctx.Exec(instr)
 	})
 }
 

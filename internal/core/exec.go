@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cost"
 	"repro/internal/dpu"
+	"repro/internal/host"
 )
 
 // Backend executes schedule steps against the simulated substrate. Two
@@ -27,9 +28,14 @@ type Backend interface {
 	// buffers are never dereferenced (only their sizes are validated).
 	Functional() bool
 
-	rotateBlocks(c *Comm, st *StepRotateBlocks)
-	bulk(c *Comm, st *StepBulk)
-	columnStream(c *Comm, st *StepColumnStream)
+	// Step handlers receive the host the execution accounts against: the
+	// comm's own host normally, or a scratch host while a compilation
+	// traces a schedule's charges (plan.go). Functional execution always
+	// runs on the comm's own host — the step closures move bytes through
+	// it directly.
+	rotateBlocks(c *Comm, h *host.Host, st *StepRotateBlocks)
+	bulk(c *Comm, h *host.Host, st *StepBulk)
+	columnStream(c *Comm, h *host.Host, st *StepColumnStream)
 }
 
 // FunctionalBackend returns the byte-accurate backend (the default).
@@ -38,24 +44,28 @@ func FunctionalBackend() Backend { return functionalBackend{} }
 // CostBackend returns the cost-only backend.
 func CostBackend() Backend { return costBackend{} }
 
-// execute runs a lowered schedule on the comm's backend. This is the
-// single execution loop every collective goes through.
-func (c *Comm) execute(sched *Schedule) {
+// execute runs a lowered schedule on the comm's backend against the
+// comm's own host. Callers must hold execMu.
+func (c *Comm) execute(sched *Schedule) { c.executeOn(c.backend, c.h, sched) }
+
+// executeOn is the single execution loop every collective goes through:
+// it runs sched's steps on backend b, accounting against host h.
+func (c *Comm) executeOn(b Backend, h *host.Host, sched *Schedule) {
 	for _, st := range sched.Steps {
 		switch s := st.(type) {
 		case *StepRotateBlocks:
-			c.backend.rotateBlocks(c, s)
+			b.rotateBlocks(c, h, s)
 		case *StepBulk:
-			c.backend.bulk(c, s)
+			b.bulk(c, h, s)
 		case *StepColumnStream:
-			c.backend.columnStream(c, s)
+			b.columnStream(c, h, s)
 		case *StepHostCompute:
-			if s.Run != nil && c.backend.Functional() {
+			if s.Run != nil && b.Functional() {
 				s.Run()
 			}
-			c.applyCharges(s.Charges)
+			applyCharges(h, s.Charges)
 		case *StepSync:
-			c.h.ChargeSync()
+			h.ChargeSync()
 		}
 	}
 }
@@ -69,32 +79,32 @@ type functionalBackend struct{}
 func (functionalBackend) Name() string     { return "functional" }
 func (functionalBackend) Functional() bool { return true }
 
-func (functionalBackend) rotateBlocks(c *Comm, st *StepRotateBlocks) {
-	c.launchRotateBlocks(st.p, st.Off, st.N, st.S, st.Rot)
+func (functionalBackend) rotateBlocks(c *Comm, h *host.Host, st *StepRotateBlocks) {
+	c.launchRotateBlocks(h, st.p, st.Off, st.N, st.S, st.Rot)
 }
 
-func (functionalBackend) bulk(c *Comm, st *StepBulk) {
+func (functionalBackend) bulk(c *Comm, h *host.Host, st *StepBulk) {
 	var stag []byte
 	if st.Read {
-		stag = c.h.BulkRead(c.allEGs(), st.ReadOff, st.ReadPerPE)
+		stag = h.BulkRead(c.allEGs(), st.ReadOff, st.ReadPerPE)
 	}
 	out := stag
 	if st.Modulate != nil {
 		out = st.Modulate(stag)
 	}
-	c.applyCharges(st.Charges)
+	applyCharges(h, st.Charges)
 	if st.Write {
-		c.h.BulkWrite(c.allEGs(), st.WriteOff, out)
+		h.BulkWrite(c.allEGs(), st.WriteOff, out)
 	}
 }
 
-func (functionalBackend) columnStream(c *Comm, st *StepColumnStream) {
-	c.h.BeginXfer()
+func (functionalBackend) columnStream(c *Comm, h *host.Host, st *StepColumnStream) {
+	h.BeginXfer()
 	if st.Body != nil {
 		st.Body()
 	}
-	c.h.EndXfer()
-	c.applyCharges(st.Charges)
+	h.EndXfer()
+	applyCharges(h, st.Charges)
 }
 
 // ---------------------------------------------------------------------
@@ -106,19 +116,19 @@ type costBackend struct{}
 func (costBackend) Name() string     { return "cost" }
 func (costBackend) Functional() bool { return false }
 
-func (costBackend) rotateBlocks(c *Comm, st *StepRotateBlocks) {
+func (costBackend) rotateBlocks(c *Comm, h *host.Host, st *StepRotateBlocks) {
 	// Analytic accounting of the rotate-blocks kernel: a PE whose
-	// rotation is zero exits immediately; every other PE streams the
-	// whole region in and out (2*N*S bytes of MRAM DMA) and spends ~1
-	// instruction per 4 bytes on address arithmetic — exactly what the
-	// functional kernel reports per PE.
+	// rotation is zero exits immediately; every other PE does the work
+	// rotateBlocksWork describes — exactly what the functional kernel
+	// reports per PE (the helper is shared so the backends cannot drift,
+	// including the instruction rounding for odd region sizes).
 	pes, ranks := st.p.launchLists()
 	m := st.N * st.S
 	c.eng.LaunchCharges(dpu.LaunchSpec{
 		PEs:        pes,
 		GroupRanks: ranks,
 		Category:   cost.PEMod,
-	}, c.h.Meter(), func(_, rank int) (instr, mramBytes int64) {
+	}, h.Meter(), func(_, rank int) (instr, mramBytes int64) {
 		r := st.Rot(rank) % st.N
 		if r < 0 {
 			r += st.N
@@ -126,28 +136,28 @@ func (costBackend) rotateBlocks(c *Comm, st *StepRotateBlocks) {
 		if r == 0 {
 			return 0, 0
 		}
-		return int64(m / 4), int64(2 * m)
+		return rotateBlocksWork(m)
 	})
 }
 
-func (costBackend) bulk(c *Comm, st *StepBulk) {
+func (costBackend) bulk(c *Comm, h *host.Host, st *StepBulk) {
 	if st.Read {
-		c.h.ChargeBulkRead(c.allEGs(), st.ReadPerPE)
+		h.ChargeBulkRead(c.allEGs(), st.ReadPerPE)
 	}
-	c.applyCharges(st.Charges)
+	applyCharges(h, st.Charges)
 	if st.Write {
-		c.h.ChargeBulkWrite(c.allEGs(), st.WritePerPE)
+		h.ChargeBulkWrite(c.allEGs(), st.WritePerPE)
 	}
 }
 
-func (costBackend) columnStream(c *Comm, st *StepColumnStream) {
-	c.h.BeginXfer()
+func (costBackend) columnStream(c *Comm, h *host.Host, st *StepColumnStream) {
+	h.BeginXfer()
 	if ops := st.Reads + st.Writes; ops > 0 {
 		nEG := c.hc.sys.Geometry().NumGroups()
 		for g := 0; g < nEG; g++ {
-			c.h.TallyBursts(g, ops)
+			h.TallyBursts(g, ops)
 		}
 	}
-	c.h.EndXfer()
-	c.applyCharges(st.Charges)
+	h.EndXfer()
+	applyCharges(h, st.Charges)
 }

@@ -41,14 +41,13 @@ func diffBreakdowns(a, b cost.Breakdown) string {
 // its breakdown. For the functional comm, PE source regions are filled
 // with deterministic data first; the cost comm runs the identical call
 // signature with no data.
-func runOnBackend(t *testing.T, c *Comm, prim Primitive, dims string, lvl Level) cost.Breakdown {
+func runOnBackend(t *testing.T, c *Comm, prim Primitive, dims string, lvl Level, s int) cost.Breakdown {
 	t.Helper()
 	p, err := c.plan(dims)
 	if err != nil {
 		t.Fatal(err)
 	}
 	functional := c.Backend().Functional()
-	s := 16
 	m := p.n * s
 	fill := func(n int) {
 		if functional {
@@ -100,10 +99,12 @@ func runOnBackend(t *testing.T, c *Comm, prim Primitive, dims string, lvl Level)
 }
 
 // TestCostBackendMatchesFunctional pins the refactor's core guarantee:
-// for every primitive x level x a set of irregular hypercube shapes, the
-// cost-only backend's breakdown — computed on a phantom system with no
-// MRAM — is bit-identical to the functional backend's, and so are the
-// cumulative bus-transfer statistics.
+// for every primitive x level x a set of irregular hypercube shapes x
+// block sizes (including odd multiples of the burst grain, which pin the
+// shared rotate-blocks instruction rounding), the cost-only backend's
+// breakdown — computed on a phantom system with no MRAM — is
+// bit-identical to the functional backend's, and so are the cumulative
+// bus-transfer statistics.
 func TestCostBackendMatchesFunctional(t *testing.T) {
 	shapes := []caseSpec{
 		{"2D-x", geo64, []int{8, 8}, "10"},
@@ -114,20 +115,22 @@ func TestCostBackendMatchesFunctional(t *testing.T) {
 	for _, tc := range shapes {
 		for _, prim := range Primitives() {
 			for _, lvl := range Levels() {
-				t.Run(fmt.Sprintf("%s/%v/%v", tc.name, prim, lvl), func(t *testing.T) {
-					fc := testSystem(t, tc.geo, tc.shape)
-					cc := costSystem(t, tc.geo, tc.shape)
-					fbd := runOnBackend(t, fc, prim, tc.dims, lvl)
-					cbd := runOnBackend(t, cc, prim, tc.dims, lvl)
-					if d := diffBreakdowns(fbd, cbd); d != "" {
-						t.Errorf("breakdown mismatch: %s", d)
-					}
-					fs, cs := fc.Host().Stats(), cc.Host().Stats()
-					if fs.Bursts != cs.Bursts || fs.TotalBytes() != cs.TotalBytes() {
-						t.Errorf("bus stats mismatch: functional %d bursts/%d B, cost %d bursts/%d B",
-							fs.Bursts, fs.TotalBytes(), cs.Bursts, cs.TotalBytes())
-					}
-				})
+				for _, s := range []int{16, 24, 40} {
+					t.Run(fmt.Sprintf("%s/%v/%v/s%d", tc.name, prim, lvl, s), func(t *testing.T) {
+						fc := testSystem(t, tc.geo, tc.shape)
+						cc := costSystem(t, tc.geo, tc.shape)
+						fbd := runOnBackend(t, fc, prim, tc.dims, lvl, s)
+						cbd := runOnBackend(t, cc, prim, tc.dims, lvl, s)
+						if d := diffBreakdowns(fbd, cbd); d != "" {
+							t.Errorf("breakdown mismatch: %s", d)
+						}
+						fs, cs := fc.Host().Stats(), cc.Host().Stats()
+						if fs.Bursts != cs.Bursts || fs.TotalBytes() != cs.TotalBytes() {
+							t.Errorf("bus stats mismatch: functional %d bursts/%d B, cost %d bursts/%d B",
+								fs.Bursts, fs.TotalBytes(), cs.Bursts, cs.TotalBytes())
+						}
+					})
+				}
 			}
 		}
 	}

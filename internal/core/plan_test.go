@@ -1,0 +1,417 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+// TestCompiledReplayMatchesOneShot pins the plan/execute split's core
+// guarantee on both backends: a cached CompiledPlan replay produces cost
+// breakdowns byte-identical to the one-shot collective path, call by
+// call, and (functionally) moves the same bytes.
+func TestCompiledReplayMatchesOneShot(t *testing.T) {
+	for _, costOnly := range []bool{false, true} {
+		name := "functional"
+		if costOnly {
+			name = "cost"
+		}
+		t.Run(name, func(t *testing.T) {
+			mk := func() *Comm {
+				if costOnly {
+					return costSystem(t, geo64, []int{8, 8})
+				}
+				return testSystem(t, geo64, []int{8, 8})
+			}
+			c1, c2 := mk(), mk()
+			s := 16
+			p, err := c1.plan("10")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := p.n * s
+
+			// Compile once on c2; c1 uses the one-shot entry points.
+			aa, err := c2.CompileAlltoAll("10", 0, 2*m, m, CM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := c2.CompileReduceScatter("10", 4*m, 6*m, m, elem.I32, elem.Sum, IM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ga, err := c2.CompileGather("10", 0, s, IM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for iter := 0; iter < 3; iter++ {
+				seed := int64(100 + iter)
+				if !costOnly {
+					fillSrcComm(c1, 0, m, seed)
+					fillSrcComm(c2, 0, m, seed)
+					fillSrcComm(c1, 4*m, m, seed+1)
+					fillSrcComm(c2, 4*m, m, seed+1)
+				}
+				bd1, err := c1.AlltoAll("10", 0, 2*m, m, CM)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bd2, err := aa.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := diffBreakdowns(bd1, bd2); d != "" {
+					t.Fatalf("iter %d AlltoAll: one-shot vs replay: %s", iter, d)
+				}
+				bd1, err = c1.ReduceScatter("10", 4*m, 6*m, m, elem.I32, elem.Sum, IM)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bd2, err = rs.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if d := diffBreakdowns(bd1, bd2); d != "" {
+					t.Fatalf("iter %d ReduceScatter: one-shot vs replay: %s", iter, d)
+				}
+				out1, bd1, err := c1.Gather("10", 0, s, IM)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bd2, err = ga.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if d := diffBreakdowns(bd1, bd2); d != "" {
+					t.Fatalf("iter %d Gather: one-shot vs replay: %s", iter, d)
+				}
+				out2 := ga.Results()
+				if len(out1) != len(out2) {
+					t.Fatalf("iter %d Gather: %d vs %d result groups", iter, len(out1), len(out2))
+				}
+				for g := range out1 {
+					if !bytes.Equal(out1[g], out2[g]) {
+						t.Fatalf("iter %d Gather: group %d results differ", iter, g)
+					}
+				}
+			}
+			// The cumulative meters and bus statistics must also agree
+			// bit-for-bit: replay applies the same additions in the same
+			// order as the one-shot path.
+			if d := diffBreakdowns(c1.Meter().Snapshot(), c2.Meter().Snapshot()); d != "" {
+				t.Fatalf("cumulative meters diverge: %s", d)
+			}
+			s1, s2 := c1.Host().Stats(), c2.Host().Stats()
+			if s1.Bursts != s2.Bursts || s1.TotalBytes() != s2.TotalBytes() {
+				t.Fatalf("bus stats diverge: %d bursts/%d B vs %d bursts/%d B",
+					s1.Bursts, s1.TotalBytes(), s2.Bursts, s2.TotalBytes())
+			}
+			if !costOnly {
+				for pe := 0; pe < 64; pe++ {
+					if !bytes.Equal(c1.GetPEBuffer(pe, 2*m, m), c2.GetPEBuffer(pe, 2*m, m)) {
+						t.Fatalf("PE %d AlltoAll bytes diverge", pe)
+					}
+					if !bytes.Equal(c1.GetPEBuffer(pe, 6*m, s), c2.GetPEBuffer(pe, 6*m, s)) {
+						t.Fatalf("PE %d ReduceScatter bytes diverge", pe)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Host-input plans bind their buffers at compile time; replays read the
+// buffers' current contents.
+func TestCompiledScatterRereadsBuffers(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	ref := testSystem(t, geo64, []int{8, 8})
+	p, _ := c.plan("10")
+	s := 16
+	bufs := make([][]byte, len(p.groups))
+	for g := range bufs {
+		bufs[g] = make([]byte, p.n*s)
+	}
+	cp, err := c.CompileScatter("10", bufs, 0, s, IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 2; iter++ {
+		for g := range bufs {
+			rng.Read(bufs[g]) // refill in place between runs
+		}
+		if _, err := cp.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Scatter("10", bufs, 0, s, IM); err != nil {
+			t.Fatal(err)
+		}
+		for pe := 0; pe < 64; pe++ {
+			if !bytes.Equal(c.GetPEBuffer(pe, 0, s), ref.GetPEBuffer(pe, 0, s)) {
+				t.Fatalf("iter %d: replayed Scatter diverges at PE %d", iter, pe)
+			}
+		}
+	}
+}
+
+// Repeated compiles of one signature must hit the cache; ClearPlanCache
+// must drop it. Cost() previews exactly what one Run charges.
+func TestPlanCacheAndCostPreview(t *testing.T) {
+	c := costSystem(t, geo64, []int{8, 8})
+	m := 8 * 16
+	cp1, err := c.CompileAlltoAll("10", 0, 2*m, m, CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := c.CompileAlltoAll("10", 0, 2*m, m, CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp1 != cp2 {
+		t.Error("repeated compile did not hit the plan cache")
+	}
+	// Requesting a level that degrades to the same effective level shares
+	// the plan too.
+	if cp3, _ := c.CompileAlltoAll("10", 0, 2*m, m, CM); cp3 != cp1 {
+		t.Error("effective-level alias missed the cache")
+	}
+	c.ClearPlanCache()
+	cp4, err := c.CompileAlltoAll("10", 0, 2*m, m, CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp4 == cp1 {
+		t.Error("ClearPlanCache did not drop the plan")
+	}
+	bd, err := cp4.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffBreakdowns(cp4.Cost(), bd); d != "" {
+		t.Errorf("Cost() preview differs from Run(): %s", d)
+	}
+	if cp4.Primitive() != AlltoAll || cp4.Level() != CM {
+		t.Errorf("plan metadata: got %v/%v", cp4.Primitive(), cp4.Level())
+	}
+}
+
+// In-place AlltoAll (src == dst) works on the staged bulk paths and
+// matches the reference model; the streaming levels reject it; partial
+// overlap stays an error everywhere.
+func TestInPlaceAlltoAll(t *testing.T) {
+	s := 24
+	for _, lvl := range []Level{Baseline, PR} {
+		c := testSystem(t, geo64, []int{8, 8})
+		p, _ := c.plan("10")
+		m := p.n * s
+		in := fillSrc(c, 0, m, 91)
+		if _, err := c.AlltoAll("10", 0, 0, m, lvl); err != nil {
+			t.Fatalf("%v in-place: %v", lvl, err)
+		}
+		for _, grp := range p.groups {
+			want := RefAlltoAll(groupInputs(in, grp), s)
+			for j, pe := range grp {
+				if !bytes.Equal(c.GetPEBuffer(pe, 0, m), want[j]) {
+					t.Fatalf("%v in-place diverges at PE %d", lvl, pe)
+				}
+			}
+		}
+	}
+	c := testSystem(t, geo64, []int{8, 8})
+	m := 8 * s
+	for _, lvl := range []Level{IM, CM} {
+		if _, err := c.AlltoAll("10", 0, 0, m, lvl); err == nil {
+			t.Errorf("%v accepted an in-place AlltoAll", lvl)
+		}
+	}
+	if _, err := c.AlltoAll("10", 0, m/2, m, Baseline); err == nil {
+		t.Error("partially overlapping regions accepted")
+	}
+}
+
+// Regression for the AutoLevel abort-on-inapplicable-level bug: on an
+// in-place AlltoAll signature the streaming candidates (IM/CM) are
+// inapplicable and their dry runs fail. Auto must skip them and pick the
+// cheapest applicable level instead of aborting the whole decision.
+func TestAutoLevelSkipsInapplicableLevels(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	p, _ := c.plan("10")
+	m := p.n * 16
+	in := fillSrc(c, 0, m, 47)
+	if _, err := c.AlltoAll("10", 0, 0, m, Auto); err != nil {
+		t.Fatalf("Auto in-place AlltoAll aborted: %v", err)
+	}
+	picked, ok := c.autoCache[autoKey{prim: AlltoAll, dims: "10", bytes: m, inPlace: true}]
+	if !ok {
+		t.Fatal("no cached in-place Auto decision")
+	}
+	if picked >= IM {
+		t.Fatalf("Auto picked inapplicable level %v for an in-place call", picked)
+	}
+	for _, grp := range p.groups {
+		want := RefAlltoAll(groupInputs(in, grp), 16)
+		for j, pe := range grp {
+			if !bytes.Equal(c.GetPEBuffer(pe, 0, m), want[j]) {
+				t.Fatalf("Auto in-place result diverges at PE %d", pe)
+			}
+		}
+	}
+	// The same signature out of place must still be free to pick a
+	// streaming level (separate cache entries).
+	lvl, err := c.AutoLevel(AlltoAll, "10", m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != EffectiveLevel(AlltoAll, lvl) {
+		t.Fatalf("AutoLevel returned non-effective level %v", lvl)
+	}
+}
+
+// autoPick mechanism: individual failures are skipped, ties go to the
+// lowest level, and only all-fail aborts.
+func TestAutoPickSkipAndTieRules(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	flat := cost.NewMeter()
+	flat.Add(cost.PEMem, 1)
+	equal := flat.Snapshot()
+
+	// All candidates equally cheap: the lowest level wins the tie.
+	lvl, err := c.autoPick(autoKey{prim: AlltoAll, dims: "t1", bytes: 1}, func(_ *Comm, l Level) (cost.Breakdown, error) {
+		return equal, nil
+	})
+	if err != nil || lvl != Baseline {
+		t.Fatalf("tie: got %v, %v; want Baseline", lvl, err)
+	}
+	// A failing candidate is skipped, even if it would have been first.
+	lvl, err = c.autoPick(autoKey{prim: AlltoAll, dims: "t2", bytes: 1}, func(_ *Comm, l Level) (cost.Breakdown, error) {
+		if l == Baseline || l == PR {
+			return cost.Breakdown{}, fmt.Errorf("inapplicable at %v", l)
+		}
+		return equal, nil
+	})
+	if err != nil || lvl != IM {
+		t.Fatalf("skip: got %v, %v; want IM", lvl, err)
+	}
+	// Every candidate failing aborts with a joined error.
+	if _, err = c.autoPick(autoKey{prim: AlltoAll, dims: "t3", bytes: 1}, func(_ *Comm, l Level) (cost.Breakdown, error) {
+		return cost.Breakdown{}, fmt.Errorf("inapplicable at %v", l)
+	}); err == nil {
+		t.Fatal("all-fail did not abort")
+	}
+}
+
+// TestConcurrentCollectives is the -race stress test of the tentpole:
+// independent collectives issued from multiple goroutines against one
+// functional Comm, on disjoint MRAM slabs, must be safe and correct.
+// One extra goroutine replays a shared compiled Gather plan throughout.
+func TestConcurrentCollectives(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	p, _ := c.plan("10")
+	n := p.n // 8
+	const slab = 2048
+	const iters = 3
+
+	// Slab 0 is reserved for the shared Gather plan's source data.
+	sharedIn := fillSrc(c, 0, 32, 5)
+	gatherPlan, err := c.CompileGather("10", 0, 32, IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 1; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * slab
+			s := 32
+			m := n * s // 256
+			for iter := 0; iter < iters; iter++ {
+				in := fillSrc(c, base, m, int64(g*100+iter))
+				if _, err := c.AlltoAll("10", base, base+m, m, Auto); err != nil {
+					errs <- err
+					return
+				}
+				for _, grp := range p.groups {
+					want := RefAlltoAll(groupInputs(in, grp), s)
+					for j, pe := range grp {
+						if !bytes.Equal(c.GetPEBuffer(pe, base+m, m), want[j]) {
+							errs <- fmt.Errorf("goroutine %d iter %d: AlltoAll diverges at PE %d", g, iter, pe)
+							return
+						}
+					}
+				}
+				in = fillSrc(c, base+2*m, m, int64(g*200+iter))
+				if _, err := c.ReduceScatter("10", base+2*m, base+3*m, m, elem.I32, elem.Sum, IM); err != nil {
+					errs <- err
+					return
+				}
+				for _, grp := range p.groups {
+					want := RefReduceScatter(elem.I32, elem.Sum, groupInputs(in, grp), s)
+					for j, pe := range grp {
+						if !bytes.Equal(c.GetPEBuffer(pe, base+3*m, s), want[j]) {
+							errs <- fmt.Errorf("goroutine %d iter %d: ReduceScatter diverges at PE %d", g, iter, pe)
+							return
+						}
+					}
+				}
+				// Exercise the shared Auto cache from every goroutine.
+				if _, err := c.AutoLevel(AllReduce, "10", m, elem.I32, elem.Sum); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4*iters; i++ {
+			// Stats and the meter are documented as pollable while
+			// collectives run on other goroutines.
+			if st := c.Host().Stats(); st.TotalBytes() < 0 {
+				errs <- fmt.Errorf("negative cumulative traffic")
+				return
+			}
+			_ = c.Meter().Total()
+			if _, err := gatherPlan.Run(); err != nil {
+				errs <- err
+				return
+			}
+			out := gatherPlan.Results()
+			for _, grp := range p.groups {
+				heads := make([][]byte, len(grp))
+				for i, pe := range grp {
+					heads[i] = sharedIn[pe]
+				}
+				if !bytes.Equal(out[int(p.groupOf[grp[0]])], RefGather(heads)) {
+					errs <- fmt.Errorf("shared Gather replay diverges")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// The rotate-blocks instruction accounting rounds up and is shared by
+// both backends (regression for the m/4 truncation mismatch).
+func TestRotateBlocksWorkRounding(t *testing.T) {
+	for _, tc := range []struct {
+		m     int
+		instr int64
+	}{{0, 0}, {1, 1}, {4, 1}, {6, 2}, {7, 2}, {8, 2}, {24, 6}, {25, 7}} {
+		instr, mram := rotateBlocksWork(tc.m)
+		if instr != tc.instr || mram != int64(2*tc.m) {
+			t.Errorf("rotateBlocksWork(%d) = (%d, %d), want (%d, %d)", tc.m, instr, mram, tc.instr, 2*tc.m)
+		}
+	}
+}

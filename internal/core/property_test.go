@@ -305,7 +305,7 @@ func TestAutoLevelNeverCostlier(t *testing.T) {
 				// check the auto pick against the minimum.
 				fixed := func(lvl Level) cost.Seconds {
 					cc := NewCostComm(c.Hypercube(), cost.DefaultParams())
-					if err := autoDryRun(cc, cb.prim, cb.dims, bytesPerPE, cb.et, cb.op, lvl); err != nil {
+					if _, err := autoDryRun(cc, cb.prim, cb.dims, bytesPerPE, cb.et, cb.op, lvl, false); err != nil {
 						t.Fatal(err)
 					}
 					return cc.Meter().Total()

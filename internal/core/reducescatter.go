@@ -12,19 +12,15 @@ import (
 // contributes bytesPerPE bytes at srcOff (n blocks) and receives
 // bytesPerPE/n bytes at dstOff. The optimized levels consume the source
 // region (PE-assisted pre-reordering happens in place, § V-A1).
+//
+// This is a thin wrapper over CompileReduceScatter + Run; repeated calls
+// with the same signature replay the cached CompiledPlan.
 func (c *Comm) ReduceScatter(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (cost.Breakdown, error) {
-	p, s, err := c.prepReduceArgs(dims, srcOff, dstOff, bytesPerPE, t, op)
+	cp, err := c.CompileReduceScatter(dims, srcOff, dstOff, bytesPerPE, t, op, lvl)
 	if err != nil {
-		return cost.Breakdown{}, fmt.Errorf("ReduceScatter: %w", err)
+		return cost.Breakdown{}, err
 	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(ReduceScatter, dims, bytesPerPE, t, op); err != nil {
-			return cost.Breakdown{}, fmt.Errorf("ReduceScatter: %w", err)
-		}
-	}
-	before := c.h.Meter().Snapshot()
-	c.execute(c.lowerReduceScatter(p, srcOff, dstOff, s, t, op, EffectiveLevel(ReduceScatter, lvl)))
-	return c.h.Meter().Snapshot().Sub(before), nil
+	return cp.Run()
 }
 
 func (c *Comm) prepReduceArgs(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op) (*plan, int, error) {
@@ -55,28 +51,13 @@ func (c *Comm) prepReduceArgs(dims string, srcOff, dstOff, bytesPerPE int, t ele
 // receives each group's full elementwise reduction. It returns one
 // bytesPerPE-sized buffer per communication group, in group order (nil
 // on a cost-only backend).
+//
+// This is a thin wrapper over CompileReduce + Run.
 func (c *Comm) Reduce(dims string, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) ([][]byte, cost.Breakdown, error) {
-	p, err := c.plan(dims)
+	cp, err := c.CompileReduce(dims, srcOff, bytesPerPE, t, op, lvl)
 	if err != nil {
-		return nil, cost.Breakdown{}, fmt.Errorf("Reduce: %w", err)
+		return nil, cost.Breakdown{}, err
 	}
-	if err := checkElem(t, op); err != nil {
-		return nil, cost.Breakdown{}, fmt.Errorf("Reduce: %w", err)
-	}
-	if err := c.checkRegion(srcOff, bytesPerPE); err != nil {
-		return nil, cost.Breakdown{}, fmt.Errorf("Reduce: %w", err)
-	}
-	s, err := blockSize(bytesPerPE, p.n)
-	if err != nil {
-		return nil, cost.Breakdown{}, fmt.Errorf("Reduce: %w", err)
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(Reduce, dims, bytesPerPE, t, op); err != nil {
-			return nil, cost.Breakdown{}, fmt.Errorf("Reduce: %w", err)
-		}
-	}
-	before := c.h.Meter().Snapshot()
-	var out [][]byte
-	c.execute(c.lowerReduce(p, srcOff, s, t, op, EffectiveLevel(Reduce, lvl), &out))
-	return out, c.h.Meter().Snapshot().Sub(before), nil
+	out, bd := cp.run()
+	return out, bd, nil
 }

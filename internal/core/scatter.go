@@ -1,10 +1,7 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/cost"
-	"repro/internal/dram"
 )
 
 // Scatter sends block p of each group's host buffer to the group's rank p
@@ -12,36 +9,14 @@ import (
 // group (group order), each n*bytesPerPE bytes; every PE receives
 // bytesPerPE bytes at dstOff. On a cost-only backend bufs may be nil:
 // buffer sizes are implied by the call signature and no data is read.
+//
+// This is a thin wrapper over CompileScatter + Run; the plan's schedule
+// binds the given buffers, but repeated one-shot calls share the cached
+// charge trace, so only the (cheap) lowering is per-call.
 func (c *Comm) Scatter(dims string, bufs [][]byte, dstOff, bytesPerPE int, lvl Level) (cost.Breakdown, error) {
-	p, err := c.plan(dims)
+	cp, err := c.CompileScatter(dims, bufs, dstOff, bytesPerPE, lvl)
 	if err != nil {
-		return cost.Breakdown{}, fmt.Errorf("Scatter: %w", err)
+		return cost.Breakdown{}, err
 	}
-	s := bytesPerPE
-	if s%dram.BankBurstBytes != 0 {
-		return cost.Breakdown{}, fmt.Errorf("Scatter: bytesPerPE %d not a multiple of %d", s, dram.BankBurstBytes)
-	}
-	if err := c.checkRegion(dstOff, s); err != nil {
-		return cost.Breakdown{}, fmt.Errorf("Scatter: %w", err)
-	}
-	if bufs == nil && !c.backend.Functional() {
-		// Cost-only dry run: sizes are fully determined by the plan.
-	} else {
-		if len(bufs) != len(p.groups) {
-			return cost.Breakdown{}, fmt.Errorf("Scatter: %d buffers for %d groups", len(bufs), len(p.groups))
-		}
-		for g, b := range bufs {
-			if len(b) != p.n*s {
-				return cost.Breakdown{}, fmt.Errorf("Scatter: buffer %d has %d bytes, want %d", g, len(b), p.n*s)
-			}
-		}
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(Scatter, dims, bytesPerPE, 0, 0); err != nil {
-			return cost.Breakdown{}, fmt.Errorf("Scatter: %w", err)
-		}
-	}
-	before := c.h.Meter().Snapshot()
-	c.execute(c.lowerScatter(p, bufs, dstOff, s, EffectiveLevel(Scatter, lvl)))
-	return c.h.Meter().Snapshot().Sub(before), nil
+	return cp.Run()
 }

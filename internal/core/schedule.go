@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/dram"
 	"repro/internal/elem"
+	"repro/internal/host"
 	"repro/internal/vec"
 )
 
@@ -48,31 +49,31 @@ type Charge struct {
 	Bytes int64
 }
 
-// applyCharge dispatches one charge to the host cost model.
-func (c *Comm) applyCharge(ch Charge) {
+// applyCharge dispatches one charge to the given host's cost model.
+func applyCharge(h *host.Host, ch Charge) {
 	switch ch.Kind {
 	case ChargeDT:
-		c.h.ChargeDT(ch.Bytes)
+		h.ChargeDT(ch.Bytes)
 	case ChargeScalarMod:
-		c.h.ChargeScalarMod(ch.Bytes)
+		h.ChargeScalarMod(ch.Bytes)
 	case ChargeLocalMod:
-		c.h.ChargeLocalMod(ch.Bytes)
+		h.ChargeLocalMod(ch.Bytes)
 	case ChargeSIMD:
-		c.h.ChargeSIMD(ch.Bytes)
+		h.ChargeSIMD(ch.Bytes)
 	case ChargeReduce:
-		c.h.ChargeReduce(ch.Bytes)
+		h.ChargeReduce(ch.Bytes)
 	case ChargeScalarReduce:
-		c.h.ChargeScalarReduce(ch.Bytes)
+		h.ChargeScalarReduce(ch.Bytes)
 	case ChargeLocalReduce:
-		c.h.ChargeLocalReduce(ch.Bytes)
+		h.ChargeLocalReduce(ch.Bytes)
 	case ChargeHostMem:
-		c.h.ChargeHostMem(ch.Bytes)
+		h.ChargeHostMem(ch.Bytes)
 	}
 }
 
-func (c *Comm) applyCharges(charges []Charge) {
+func applyCharges(h *host.Host, charges []Charge) {
 	for _, ch := range charges {
-		c.applyCharge(ch)
+		applyCharge(h, ch)
 	}
 }
 

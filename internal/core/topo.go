@@ -56,13 +56,15 @@ func (c *Comm) AllReduceTopo(topo Topology, dims string, srcOff, dstOff, bytesPe
 	if topo == TopoHypercube {
 		return c.AllReduce(dims, srcOff, dstOff, bytesPerPE, t, op, CM)
 	}
-	p, s, err := c.prepBlocks(dims, srcOff, dstOff, bytesPerPE)
+	p, s, err := c.prepBlocks(dims, srcOff, dstOff, bytesPerPE, false)
 	if err != nil {
 		return cost.Breakdown{}, fmt.Errorf("AllReduceTopo(%v): %w", topo, err)
 	}
 	if err := checkElem(t, op); err != nil {
 		return cost.Breakdown{}, fmt.Errorf("AllReduceTopo(%v): %w", topo, err)
 	}
+	c.execMu.Lock()
+	defer c.execMu.Unlock()
 	before := c.h.Meter().Snapshot()
 
 	// Functional result: same as any AllReduce. (Cost-only backends skip

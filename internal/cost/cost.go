@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Category classifies where simulated time is spent. The set mirrors the
@@ -86,22 +87,52 @@ func Categories() []Category {
 // Seconds is simulated wall-clock time.
 type Seconds float64
 
-// Meter accumulates simulated time per category. The zero value is ready to
-// use. Meter is not safe for concurrent use; parallel actors (e.g. PEs)
-// accumulate locally and merge via MaxPar/Add.
+// Meter accumulates simulated time per category. The zero value is ready
+// to use. Meter is safe for concurrent use: independent actors (parallel
+// collectives, application kernel launches) may accrue into one meter,
+// each addition applied atomically. Parallel actors whose times overlap
+// rather than add (e.g. the PEs of one kernel launch) still accumulate
+// locally and merge via MergeMax/Add.
 type Meter struct {
+	mu    sync.Mutex
 	byCat [numCategories]Seconds
+	rec   func(Category, Seconds)
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter { return &Meter{} }
+
+// TraceEntry is one recorded meter addition. A sequence of entries is the
+// unit of the compiled-plan replay path: replaying a trace re-applies the
+// original floating-point additions with the same operands in the same
+// order, so the meter evolves bit-identically to a live execution.
+type TraceEntry struct {
+	Cat Category
+	T   Seconds
+}
+
+// SetRecorder registers f to observe every subsequent Add/AddBytes in
+// call order; nil stops recording. Merge, MergeMax and Scale are NOT
+// recorded — a recorded meter must only be driven through additions
+// (core.traceSchedule asserts this invariant after tracing). f runs with
+// the meter's lock held and must not call back into the meter.
+func (m *Meter) SetRecorder(f func(Category, Seconds)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec = f
+}
 
 // Add accrues t seconds to category c.
 func (m *Meter) Add(c Category, t Seconds) {
 	if t < 0 {
 		panic(fmt.Sprintf("cost: negative time %v for %v", t, c))
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.byCat[c] += t
+	if m.rec != nil {
+		m.rec(c, t)
+	}
 }
 
 // AddBytes accrues bytes/bw seconds to category c. bw is in bytes/second.
@@ -113,10 +144,16 @@ func (m *Meter) AddBytes(c Category, bytes int64, bw float64) {
 }
 
 // Get returns the accumulated time in category c.
-func (m *Meter) Get(c Category) Seconds { return m.byCat[c] }
+func (m *Meter) Get(c Category) Seconds {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byCat[c]
+}
 
 // Total returns the sum over all categories.
 func (m *Meter) Total() Seconds {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var t Seconds
 	for _, v := range m.byCat {
 		t += v
@@ -126,7 +163,10 @@ func (m *Meter) Total() Seconds {
 
 // Merge adds every category of other into m.
 func (m *Meter) Merge(other *Meter) {
-	for i, v := range other.byCat {
+	o := other.Snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, v := range o.byCat {
 		m.byCat[i] += v
 	}
 }
@@ -136,7 +176,10 @@ func (m *Meter) Merge(other *Meter) {
 // engines, or the DPUs running a kernel): the slowest actor determines the
 // elapsed time.
 func (m *Meter) MergeMax(other *Meter) {
-	for i, v := range other.byCat {
+	o := other.Snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, v := range o.byCat {
 		if v > m.byCat[i] {
 			m.byCat[i] = v
 		}
@@ -148,16 +191,24 @@ func (m *Meter) Scale(f float64) {
 	if f < 0 {
 		panic("cost: negative scale")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i := range m.byCat {
 		m.byCat[i] *= Seconds(f)
 	}
 }
 
 // Reset zeroes the meter.
-func (m *Meter) Reset() { m.byCat = [numCategories]Seconds{} }
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byCat = [numCategories]Seconds{}
+}
 
 // Snapshot returns a copy of the meter's current state.
 func (m *Meter) Snapshot() Breakdown {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return Breakdown{byCat: m.byCat}
 }
 

@@ -139,6 +139,14 @@ type LaunchSpec struct {
 // tasklets the DPU overlaps DMA of some tasklets with compute of others;
 // with few tasklets the pipeline stalls, modeled by scaling instruction
 // throughput by Tasklets/SaturatingTasklets.
+//
+// Launch is safe to call concurrently from multiple goroutines on one
+// engine (the Comm's collectives and application kernels share it): the
+// WRAM pool is lock-protected, each launch confines its per-PE times
+// slice to itself (workers' writes are ordered before the final reduce
+// by the WaitGroup), and cost.Meter is internally synchronized. Callers
+// remain responsible for keeping concurrent kernels' MRAM accesses
+// disjoint, as on real hardware.
 func (e *Engine) Launch(spec LaunchSpec, meter *cost.Meter, k Kernel) {
 	if len(spec.PEs) == 0 {
 		return

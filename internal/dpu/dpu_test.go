@@ -2,6 +2,7 @@ package dpu
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -180,4 +181,43 @@ func TestWramReuseDoesNotLeakBetweenPEs(t *testing.T) {
 			t.Errorf("wram size %d", len(c.Wram()))
 		}
 	})
+}
+
+// Concurrent launches on one engine — the pattern a concurrency-safe
+// Comm produces when collectives' reorder kernels and application
+// kernels interleave — must be race-free: the WRAM pool is shared, and
+// all launches charge one meter. Run under -race (make race).
+func TestConcurrentLaunchesShareEngineAndMeter(t *testing.T) {
+	e := testEngine(t)
+	meter := cost.NewMeter()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine owns PEs [16g, 16g+16) and its own MRAM
+			// region, mirroring disjoint concurrent collectives.
+			pes := make([]int, 16)
+			for i := range pes {
+				pes[i] = g*16 + i
+			}
+			for iter := 0; iter < 5; iter++ {
+				e.Launch(LaunchSpec{PEs: pes, Category: cost.Kernel}, meter, func(c *Ctx) {
+					buf := c.Wram()[:64]
+					for i := range buf {
+						buf[i] = byte(c.PE)
+					}
+					c.WriteMram(0, buf)
+					c.ReadMram(0, buf)
+					c.Exec(64)
+				})
+				e.LaunchCharges(LaunchSpec{PEs: pes, Category: cost.PEMod}, meter,
+					func(pe, _ int) (int64, int64) { return 64, 128 })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if meter.Get(cost.Kernel) <= 0 || meter.Get(cost.PEMod) <= 0 {
+		t.Errorf("concurrent launches accrued no time: %v", meter.Snapshot())
+	}
 }

@@ -1,0 +1,234 @@
+// Package fuzz holds the randomized differential-testing core shared by
+// cmd/pidfuzz (the long-running standalone binary) and the in-process
+// smoke test that runs a small number of scenarios in CI: random system
+// geometries, hypercube shapes, dimension selections, payload sizes,
+// element types, reduction operators and optimization levels (including
+// the Auto pseudo-level), every primitive run and compared against the
+// independent reference model.
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// Scenario is one randomized differential-test configuration.
+type Scenario struct {
+	Geo   dram.Geometry
+	Shape []int
+	Dims  string
+	S     int // block bytes
+	Lvl   core.Level
+	Typ   elem.Type
+	Op    elem.Op
+}
+
+// Random draws a scenario. When includeAuto is set, the Auto pseudo-level
+// is among the optimization-level choices, exercising the autotuner's
+// dry-run/cache path on every primitive.
+func Random(rng *rand.Rand, includeAuto bool) Scenario {
+	geos := []dram.Geometry{
+		{Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 14}, // 16 PEs
+		{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14}, // 64 PEs
+		{Channels: 2, RanksPerChannel: 1, BanksPerChip: 4, MramPerBank: 1 << 14}, // 64 PEs
+		{Channels: 3, RanksPerChannel: 1, BanksPerChip: 1, MramPerBank: 1 << 14}, // 24 PEs
+	}
+	geo := geos[rng.Intn(len(geos))]
+	n := geo.NumPEs()
+
+	// Random shape: factor n into 1-3 dimensions (power-of-two except
+	// possibly last).
+	var shape []int
+	rem := n
+	for len(shape) < 2 && rem > 1 {
+		// Pick a power-of-two factor of rem.
+		var opts []int
+		for f := 2; f <= rem; f *= 2 {
+			if rem%f == 0 {
+				opts = append(opts, f)
+			}
+		}
+		if len(opts) == 0 || rng.Intn(3) == 0 {
+			break
+		}
+		f := opts[rng.Intn(len(opts))]
+		shape = append(shape, f)
+		rem /= f
+	}
+	shape = append(shape, rem) // last dim may be non-power-of-two
+	if len(shape) == 1 && shape[0] == 1 {
+		shape = []int{n}
+	}
+
+	// Random non-empty dims selection.
+	dims := make([]byte, len(shape))
+	any := false
+	for i := range dims {
+		if rng.Intn(2) == 0 {
+			dims[i] = '0'
+		} else {
+			dims[i] = '1'
+			any = true
+		}
+	}
+	if !any {
+		dims[rng.Intn(len(dims))] = '1'
+	}
+
+	levels := core.Levels()
+	if includeAuto {
+		levels = append(levels, core.Auto)
+	}
+	return Scenario{
+		Geo:   geo,
+		Shape: shape,
+		Dims:  string(dims),
+		S:     8 * (1 + rng.Intn(4)),
+		Lvl:   levels[rng.Intn(len(levels))],
+		Typ:   elem.Types()[rng.Intn(4)],
+		Op:    elem.Ops()[rng.Intn(6)],
+	}
+}
+
+// Check runs every primitive under the scenario and returns an error
+// naming the first divergence from the reference model.
+func (sc Scenario) Check(rng *rand.Rand) error {
+	sys, err := dram.NewSystem(sc.Geo)
+	if err != nil {
+		return err
+	}
+	hc, err := core.NewHypercube(sys, sc.Shape)
+	if err != nil {
+		return err
+	}
+	mk := func() (*core.Comm, [][]byte, [][]int, int) {
+		c := core.NewComm(hc, cost.DefaultParams())
+		groups, err := hc.Groups(sc.Dims)
+		if err != nil {
+			panic(err)
+		}
+		n := len(groups[0])
+		m := n * sc.S
+		in := make([][]byte, sc.Geo.NumPEs())
+		for pe := range in {
+			in[pe] = make([]byte, m)
+			rng.Read(in[pe])
+			c.SetPEBuffer(pe, 0, in[pe])
+		}
+		return c, in, groups, m
+	}
+	sel := func(in [][]byte, grp []int) [][]byte {
+		out := make([][]byte, len(grp))
+		for i, pe := range grp {
+			out[i] = in[pe]
+		}
+		return out
+	}
+
+	// AlltoAll.
+	c, in, groups, m := mk()
+	if _, err := c.AlltoAll(sc.Dims, 0, 2*m, m, sc.Lvl); err != nil {
+		return fmt.Errorf("AlltoAll: %w", err)
+	}
+	for _, grp := range groups {
+		want := core.RefAlltoAll(sel(in, grp), sc.S)
+		for j, pe := range grp {
+			if !bytes.Equal(c.GetPEBuffer(pe, 2*m, m), want[j]) {
+				return fmt.Errorf("AlltoAll diverges at PE %d (%+v)", pe, sc)
+			}
+		}
+	}
+	// ReduceScatter.
+	c, in, groups, m = mk()
+	if _, err := c.ReduceScatter(sc.Dims, 0, 2*m, m, sc.Typ, sc.Op, sc.Lvl); err != nil {
+		return fmt.Errorf("ReduceScatter: %w", err)
+	}
+	for _, grp := range groups {
+		want := core.RefReduceScatter(sc.Typ, sc.Op, sel(in, grp), sc.S)
+		for j, pe := range grp {
+			if !bytes.Equal(c.GetPEBuffer(pe, 2*m, sc.S), want[j]) {
+				return fmt.Errorf("ReduceScatter diverges at PE %d (%+v)", pe, sc)
+			}
+		}
+	}
+	// AllReduce.
+	c, in, groups, m = mk()
+	if _, err := c.AllReduce(sc.Dims, 0, 2*m, m, sc.Typ, sc.Op, sc.Lvl); err != nil {
+		return fmt.Errorf("AllReduce: %w", err)
+	}
+	for _, grp := range groups {
+		want := core.RefAllReduce(sc.Typ, sc.Op, sel(in, grp))
+		for j, pe := range grp {
+			if !bytes.Equal(c.GetPEBuffer(pe, 2*m, m), want[j]) {
+				return fmt.Errorf("AllReduce diverges at PE %d (%+v)", pe, sc)
+			}
+		}
+	}
+	// AllGather (input s per PE).
+	c, in, groups, _ = mk()
+	n := len(groups[0])
+	if _, err := c.AllGather(sc.Dims, 0, m, sc.S, sc.Lvl); err != nil {
+		return fmt.Errorf("AllGather: %w", err)
+	}
+	for _, grp := range groups {
+		heads := make([][]byte, len(grp))
+		for i, pe := range grp {
+			heads[i] = in[pe][:sc.S]
+		}
+		want := core.RefAllGather(heads)
+		for j, pe := range grp {
+			if !bytes.Equal(c.GetPEBuffer(pe, m, n*sc.S), want[j]) {
+				return fmt.Errorf("AllGather diverges at PE %d (%+v)", pe, sc)
+			}
+		}
+	}
+	// In-place AlltoAll on the staged path (src == dst); with Auto the
+	// streaming candidates are inapplicable and must be skipped.
+	c, in, groups, m = mk()
+	ipLvl := sc.Lvl
+	if core.EffectiveLevel(core.AlltoAll, ipLvl) >= core.IM {
+		ipLvl = core.Auto
+	}
+	if _, err := c.AlltoAll(sc.Dims, 0, 0, m, ipLvl); err != nil {
+		return fmt.Errorf("in-place AlltoAll: %w", err)
+	}
+	for _, grp := range groups {
+		want := core.RefAlltoAll(sel(in, grp), sc.S)
+		for j, pe := range grp {
+			if !bytes.Equal(c.GetPEBuffer(pe, 0, m), want[j]) {
+				return fmt.Errorf("in-place AlltoAll diverges at PE %d (%+v)", pe, sc)
+			}
+		}
+	}
+	// Gather + Reduce round trips (host-rooted).
+	c, in, groups, m = mk()
+	got, _, err := c.Gather(sc.Dims, 0, sc.S, sc.Lvl)
+	if err != nil {
+		return fmt.Errorf("Gather: %w", err)
+	}
+	for g, grp := range groups {
+		heads := make([][]byte, len(grp))
+		for i, pe := range grp {
+			heads[i] = in[pe][:sc.S]
+		}
+		if !bytes.Equal(got[g], core.RefGather(heads)) {
+			return fmt.Errorf("Gather diverges at group %d (%+v)", g, sc)
+		}
+	}
+	red, _, err := c.Reduce(sc.Dims, 0, m, sc.Typ, sc.Op, sc.Lvl)
+	if err != nil {
+		return fmt.Errorf("Reduce: %w", err)
+	}
+	for g, grp := range groups {
+		if !bytes.Equal(red[g], core.RefReduce(sc.Typ, sc.Op, sel(in, grp))) {
+			return fmt.Errorf("Reduce diverges at group %d (%+v)", g, sc)
+		}
+	}
+	return nil
+}

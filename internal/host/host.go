@@ -12,13 +12,17 @@ package host
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/dram"
 	"repro/internal/vec"
 )
 
-// Host is the simulated host CPU attached to a dram.System.
+// Host is the simulated host CPU attached to a dram.System. Host is
+// single-owner state (core.Comm serializes all executions on it), except
+// for the cumulative transfer statistics and the meter, which may be read
+// concurrently (Stats, Meter) while an execution runs.
 type Host struct {
 	sys    *dram.System
 	params cost.Params
@@ -29,9 +33,10 @@ type Host struct {
 	chanBytes  []int64          // per-channel bytes this epoch
 	rankBytes  map[[2]int]int64 // per-(channel,rank) bytes this epoch
 
-	// Cumulative transfer statistics (see stats.go).
-	totalBursts int64
-	totalByChan []int64
+	// Cumulative transfer statistics (see stats.go). Updated and read
+	// atomically so Stats() can be polled while collectives execute.
+	totalBursts atomic.Int64
+	totalByChan []atomic.Int64
 }
 
 // New returns a host for the given system with a fresh meter.
@@ -42,7 +47,7 @@ func New(sys *dram.System, params cost.Params) *Host {
 		meter:       cost.NewMeter(),
 		chanBytes:   make([]int64, sys.Geometry().Channels),
 		rankBytes:   make(map[[2]int]int64),
-		totalByChan: make([]int64, sys.Geometry().Channels),
+		totalByChan: make([]atomic.Int64, sys.Geometry().Channels),
 	}
 }
 
@@ -112,8 +117,8 @@ func (h *Host) TallyBursts(group int, count int64) {
 	ch, rk := h.sys.RankOfGroup(group)
 	h.chanBytes[ch] += bytes
 	h.rankBytes[[2]int{ch, rk}] += bytes
-	h.totalBursts += count
-	h.totalByChan[ch] += bytes
+	h.totalBursts.Add(count)
+	h.totalByChan[ch].Add(bytes)
 }
 
 // ReadBurst reads one 64-byte burst from the entangled group into a vector

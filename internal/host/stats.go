@@ -20,10 +20,26 @@ func (s XferStats) TotalBytes() int64 {
 }
 
 // Stats returns a snapshot of the host's cumulative transfer statistics.
+// Safe to call while an execution runs on another goroutine (each counter
+// is read atomically; a mid-execution snapshot may straddle a transfer).
 func (h *Host) Stats() XferStats {
 	out := XferStats{
-		Bursts:          h.totalBursts,
-		BytesPerChannel: append([]int64(nil), h.totalByChan...),
+		Bursts:          h.totalBursts.Load(),
+		BytesPerChannel: make([]int64, len(h.totalByChan)),
+	}
+	for ch := range h.totalByChan {
+		out.BytesPerChannel[ch] = h.totalByChan[ch].Load()
 	}
 	return out
+}
+
+// ApplyStats merges a precomputed traffic delta into the cumulative
+// statistics without moving bytes or charging time: the replay half of
+// the compiled-plan path, whose bus time was recorded as a meter trace.
+// The delta must come from a host over the same system geometry.
+func (h *Host) ApplyStats(s XferStats) {
+	h.totalBursts.Add(s.Bursts)
+	for ch, b := range s.BytesPerChannel {
+		h.totalByChan[ch].Add(b)
+	}
 }

@@ -104,7 +104,36 @@ type System = dram.System
 // Comm executes collectives; see the methods on core.Comm: AlltoAll,
 // ReduceScatter, AllReduce, AllGather, Scatter, Gather, Reduce,
 // Broadcast, AllReduceTopo.
+//
+// Comm is safe for concurrent use: independent collectives may be issued
+// from multiple goroutines (executions serialize on the simulated
+// machine, like a driver lock on real hardware); callers keep concurrent
+// calls' MRAM regions disjoint.
+//
+// # Compiled plans
+//
+// Iterative workloads that repeat a collective signature every layer or
+// batch can compile it once and replay it: Compile* methods
+// (CompileAlltoAll, CompileReduceScatter, CompileAllReduce,
+// CompileAllGather, CompileScatter, CompileGather, CompileReduce,
+// CompileBroadcast) return a CompiledPlan whose Run replays the
+// validated, lowered, charge-precomputed schedule:
+//
+//	plan, _ := comm.CompileReduceScatter("01", src, dst, n, pidcomm.I32, pidcomm.Sum, pidcomm.Auto)
+//	for layer := 0; layer < L; layer++ {
+//	    bd, _ := plan.Run() // identical cost/result to the one-shot call
+//	}
+//
+// The one-shot collectives are thin wrappers over the same machinery
+// with a plan cache keyed by the call signature, so repeated one-shot
+// calls amortize too. On the cost-only backend a cached replay applies a
+// precomputed charge trace — orders of magnitude faster than
+// compile-each-call (see `pidbench -replay`) and bit-identical to it.
 type Comm = core.Comm
+
+// CompiledPlan is a collective compiled once — validated, Auto-resolved,
+// lowered to schedule IR, charges precomputed — for repeated Run calls.
+type CompiledPlan = core.CompiledPlan
 
 // DefaultParams returns the calibrated timing parameters (DESIGN.md § 4).
 func DefaultParams() Params { return cost.DefaultParams() }
