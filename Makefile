@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke
+.PHONY: check fmt vet build test race bench-smoke checkdocs docs
 
-check: fmt vet build test
+check: fmt vet build test checkdocs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,3 +25,18 @@ race:
 # Fast sanity pass over the evaluation harness on the cost-only backend.
 bench-smoke:
 	$(GO) run ./cmd/pidbench -exp fig14 -backend=cost
+
+# Documentation gate: every package must carry package-level
+# documentation (docs_test.go enforces it); `check` runs vet separately.
+checkdocs:
+	$(GO) test -run TestPackageDocs .
+
+# Serve godoc locally if the godoc tool is installed; otherwise print
+# every package's documentation with go doc.
+docs:
+	@if command -v godoc >/dev/null 2>&1; then \
+		echo "serving http://localhost:6060/pkg/repro/"; godoc -http=:6060; \
+	else \
+		echo "godoc not installed (go install golang.org/x/tools/cmd/godoc@latest); printing package docs:"; \
+		for p in $$($(GO) list ./...); do echo; echo "=== $$p"; $(GO) doc $$p; done; \
+	fi

@@ -6,11 +6,16 @@
 //
 //	pidbench -list
 //	pidbench -exp fig14
-//	pidbench -exp all [-full]
+//	pidbench -exp async -backend=cost
+//	pidbench -exp all [-full] [-backend=cost] [-async]
 //
 // The default scale keeps the whole suite within laptop memory and
 // minutes; -full uses paper-scale payloads (the timing model is linear in
-// payload, so shapes are identical; see EXPERIMENTS.md).
+// payload, so shapes are identical; see EXPERIMENTS.md). -backend=cost
+// runs the primitive experiments on the cost-only backend (identical
+// tables, orders of magnitude faster); -async routes primitive
+// measurements through the Submit/Future API (identical tables — the
+// "async" experiment measures the overlap speedup itself).
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment ID (e.g. fig14, table1) or 'all'")
 	full := flag.Bool("full", false, "use paper-scale payloads (slower, more memory)")
 	backend := flag.String("backend", "functional", "execution backend for primitive experiments: 'functional' (moves real bytes) or 'cost' (cost-only; identical tables, orders of magnitude faster — application experiments always run functionally)")
+	async := flag.Bool("async", false, "route primitive measurements through the Submit/Future async API (identical tables; validates the async path). The 'async' experiment measures the overlap speedup itself")
 	replay := flag.Int("replay", 0, "run the plan-cache replay experiment with N iterations per mode (cold compile-each-call vs cached CompiledPlan replay)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
@@ -61,7 +67,7 @@ func main() {
 		}
 		return
 	}
-	o := bench.Options{W: os.Stdout, Full: *full, CostOnly: costOnly}
+	o := bench.Options{W: os.Stdout, Full: *full, CostOnly: costOnly, Async: *async}
 	start := time.Now()
 	var err error
 	if *exp == "all" {

@@ -1,7 +1,10 @@
 // Command pidinfo prints the simulated system's configuration: the DIMM
 // topology and hypercube mapping, the framework support matrix (Table I),
 // the technique applicability matrix (Table II), and the calibrated cost
-// model parameters.
+// model parameters. With -plancache it additionally runs a representative
+// compile/replay workload on a cost-only comm and prints the
+// compiled-plan cache statistics (hit/miss counters, cached entries,
+// charge-trace memory).
 package main
 
 import (
@@ -12,11 +15,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dram"
+	"repro/internal/elem"
 )
 
 func main() {
 	mram := flag.Int("mram", 1<<20, "per-bank MRAM bytes")
+	plancache := flag.Bool("plancache", false, "run a representative compile/replay workload and print plan-cache statistics")
 	flag.Parse()
+
+	if *plancache {
+		if err := printPlanCache(*mram); err != nil {
+			fmt.Fprintln(os.Stderr, "pidinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	geo := dram.PaperGeometry(*mram)
 	sys, err := dram.NewSystem(geo)
@@ -49,4 +62,49 @@ func main() {
 	fmt.Printf("  DPU: MRAM %.0f MB/s, WRAM %.1f GB/s, %d MHz\n", p.DPUMramBW/1e6, p.DPUWramBW/1e9, int(p.DPUInstrHz/1e6))
 	fmt.Printf("  kernel launch         %.0f us, rank-parallel transfers: %v\n", float64(p.KernelLaunch)*1e6, p.RankParallel)
 	fmt.Printf("  network (multi-host)  %.1f Gbps, %.0f us latency\n", p.NetworkBW*8/1e9, float64(p.NetworkLatency)*1e6)
+}
+
+// printPlanCache compiles and replays a few representative collectives on
+// a cost-only comm over the paper geometry (phantom MRAM) and prints the
+// plan-cache statistics: compulsory misses on first compile, hits on
+// every replay, and the cached charge traces' memory footprint.
+func printPlanCache(mram int) error {
+	sys, err := dram.NewPhantomSystem(dram.PaperGeometry(mram))
+	if err != nil {
+		return err
+	}
+	hc, err := core.NewHypercube(sys, []int{32, 32})
+	if err != nil {
+		return err
+	}
+	comm := core.NewCostComm(hc, cost.DefaultParams())
+	m := 64 << 10
+	if 4*m > mram {
+		m = mram / 4
+	}
+	run := func() error {
+		if _, err := comm.AlltoAll("10", 0, 2*m, m, core.CM); err != nil {
+			return err
+		}
+		if _, err := comm.ReduceScatter("10", 0, 2*m, m, elem.I32, elem.Sum, core.IM); err != nil {
+			return err
+		}
+		if _, err := comm.AllReduce("10", 0, 2*m, m, elem.I32, elem.Sum, core.IM); err != nil {
+			return err
+		}
+		return nil
+	}
+	const replays = 16
+	for i := 0; i < replays; i++ {
+		if err := run(); err != nil {
+			return err
+		}
+	}
+	st := comm.PlanCacheStats()
+	fmt.Println("Compiled-plan cache (3 signatures, 1 compile +", replays-1, "replays each):")
+	fmt.Printf("  plan lookups          %d hits / %d misses\n", st.PlanHits, st.PlanMisses)
+	fmt.Printf("  charge-trace lookups  %d hits / %d misses\n", st.TraceHits, st.TraceMisses)
+	fmt.Printf("  cached entries        %d plans, %d traces\n", st.CachedPlans, st.CachedTraces)
+	fmt.Printf("  trace memory          %d entries, ~%d B\n", st.TraceEntries, st.TraceBytes)
+	return nil
 }

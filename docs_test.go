@@ -1,0 +1,66 @@
+package repro
+
+// The documentation gate: CI fails if any package loses its package-level
+// documentation. Run directly via `make checkdocs`.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs walks every package directory in the module and
+// requires at least one non-test file carrying a package doc comment.
+func TestPackageDocs(t *testing.T) {
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	var undocumented []string
+	for dir, files := range dirs {
+		documented := false
+		for _, f := range files {
+			af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Errorf("%s: %v", f, err)
+				continue
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			undocumented = append(undocumented, dir)
+		}
+	}
+
+	if len(dirs) < 20 {
+		t.Fatalf("doc gate only found %d packages — the walk is broken", len(dirs))
+	}
+	for _, dir := range undocumented {
+		t.Errorf("package %s has no package-level documentation (add a doc comment or a doc.go)", dir)
+	}
+}

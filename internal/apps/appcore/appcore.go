@@ -24,6 +24,11 @@ type Profile struct {
 	// CommBreakdown aggregates the per-category breakdown of all
 	// communication calls (for the Figure 4 pies).
 	CommBreakdown cost.Breakdown
+	// Elapsed is the overlap-aware elapsed simulated time (Comm.Elapsed
+	// at the end of the run): at most Total, lower when asynchronously
+	// submitted collectives overlapped on the timeline. Zero if the app
+	// predates Tracker.Finish.
+	Elapsed cost.Seconds
 }
 
 // Total returns kernel + communication time.
@@ -61,11 +66,17 @@ func NewTracker(c *core.Comm) *Tracker {
 }
 
 // Kernel runs f (which launches app kernels on t.C's engine) and
-// attributes the elapsed simulated time to KernelTime.
+// attributes the elapsed simulated time to KernelTime. Kernel is a
+// barrier: it flushes the comm's submission queue first (kernels touch
+// MRAM the in-flight collectives may be producing) and extends the
+// elapsed-time timeline with the kernel's cost.
 func (t *Tracker) Kernel(f func()) {
+	t.C.Flush()
 	before := t.C.Meter().Snapshot()
 	f()
-	t.Prof.KernelTime += t.C.Meter().Snapshot().Sub(before).Total()
+	bd := t.C.Meter().Snapshot().Sub(before)
+	t.Prof.KernelTime += bd.Total()
+	t.C.ExtendElapsed(bd)
 }
 
 // Comm records a collective call's breakdown under its primitive.
@@ -76,6 +87,27 @@ func (t *Tracker) Comm(p core.Primitive, bd cost.Breakdown, err error) error {
 	t.Prof.ByPrimitive[p] += bd.Total()
 	t.Prof.CommBreakdown = t.Prof.CommBreakdown.Add(bd)
 	return nil
+}
+
+// CommFuture waits for an asynchronously submitted collective and records
+// its breakdown under p. err is the Submit error, letting call sites stay
+// single-line: tr.CommFuture(p, comm.SubmitX(...)).
+func (t *Tracker) CommFuture(p core.Primitive, f *core.Future, err error) error {
+	if err != nil {
+		return err
+	}
+	bd, werr := f.Wait()
+	if werr != nil {
+		return werr
+	}
+	return t.Comm(p, bd, nil)
+}
+
+// Finish flushes the comm and records the overlap-aware elapsed time in
+// the profile. Call it once, after the run's last collective.
+func (t *Tracker) Finish() {
+	t.C.Flush()
+	t.Prof.Elapsed = t.C.Elapsed()
 }
 
 // GeoForPEs returns the DIMM geometry the paper uses for a given PE count

@@ -266,10 +266,13 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var final []int32
+	var gatherF *core.Future // previous batch's output Gather, possibly in flight
 	for batch := 0; batch < cfg.batches(); batch++ {
 		clicks := cfg.clicks(batch)
 		// Scatter lookup indices to home PEs (sample s lives on PE s/perPE).
+		// Refilling idxBuf is safe: the previous index Scatter completed
+		// before the previous batch's request kernel ran (Tracker.Kernel
+		// flushes the queue), and the in-flight Gather never reads it.
 		for s := 0; s < B; s++ {
 			p := s / perPE
 			ls := s % perPE
@@ -277,8 +280,16 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 				binary.LittleEndian.PutUint32(idxBuf[p*idxB+(ls*T+t)*4:], uint32(clicks.Index(s, t)))
 			}
 		}
-		bd, err := idxPlan.Run()
-		if err := tr.Comm(core.Scatter, bd, err); err != nil {
+		// Submit the index Scatter asynchronously: its MRAM footprint is
+		// disjoint from the previous batch's output Gather, so the two
+		// overlap on the elapsed-time timeline (serving pipelining).
+		idxF := idxPlan.Submit()
+		if gatherF != nil {
+			if err := tr.CommFuture(core.Gather, gatherF, nil); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := tr.CommFuture(core.Scatter, idxF, nil); err != nil {
 			return nil, nil, err
 		}
 		// Request-build kernel: for every destination PE q = (qx,qy,qz), the
@@ -307,8 +318,7 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 			})
 		})
 		// AlltoAll over all three dimensions distributes the requests.
-		bd, err = reqAA.Run()
-		if err := tr.Comm(core.AlltoAll, bd, err); err != nil {
+		if err := tr.CommFuture(core.AlltoAll, reqAA.Submit(), nil); err != nil {
 			return nil, nil, err
 		}
 		// Lookup kernel: owning y shards emit embedding column slices.
@@ -336,17 +346,19 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 				ctx.Exec(int64(N*Q)*2 + hits*int64(Dx))
 			})
 		})
-		// ReduceScatter along y completes the embedding slices (§ VII-A).
-		bd, err = respRS.Run()
-		if err := tr.Comm(core.ReduceScatter, bd, err); err != nil {
+		// ReduceScatter along y completes the embedding slices (§ VII-A),
+		// then AlltoAll over the xz-plane relocates every sample's column
+		// slices and table shards to its final PE. The ReduceScatter output
+		// is already in destination-block order (samples ascending), so it
+		// is the AlltoAll source as-is. Both are submitted back-to-back:
+		// the AlltoAll reads the region the ReduceScatter writes (a RAW
+		// hazard), so the queue orders them.
+		rsF := respRS.Submit()
+		aaF := xzAA.Submit()
+		if err := tr.CommFuture(core.ReduceScatter, rsF, nil); err != nil {
 			return nil, nil, err
 		}
-		// AlltoAll over the xz-plane relocates every sample's column slices
-		// and table shards to its final PE. The ReduceScatter output is
-		// already in destination-block order (samples ascending), so it is
-		// the AlltoAll source as-is.
-		bd, err = xzAA.Run()
-		if err := tr.Comm(core.AlltoAll, bd, err); err != nil {
+		if err := tr.CommFuture(core.AlltoAll, aaF, nil); err != nil {
 			return nil, nil, err
 		}
 		// Top-MLP kernel over each final PE's Bd samples.
@@ -382,26 +394,30 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 				ctx.Exec(int64(Bd*cfg.TopOut*(vecLen+(cfg.TopLayers-1)*cfg.TopOut)) * 3)
 			})
 		})
-		// Gather the per-sample outputs and reorder by global sample ID.
-		gbd, err := outGather.Run()
-		if err := tr.Comm(core.Gather, gbd, err); err != nil {
-			return nil, nil, err
-		}
-		bufs := outGather.Results()
-		out := make([]int32, B*cfg.TopOut)
-		for s := 0; s < B; s++ {
-			y := s / (B / Y)
-			q := s % (B / Y)
-			d := q / Bd
-			b := q % Bd
-			fx, fz := d%X, d/X
-			pe := fx + X*(y+Y*fz)
-			for o := 0; o < cfg.TopOut; o++ {
-				out[s*cfg.TopOut+o] = int32(binary.LittleEndian.Uint32(bufs[0][pe*outB+(b*cfg.TopOut+o)*4:]))
-			}
-		}
-		final = out
+		// Submit the per-sample output Gather; the next batch's index
+		// Scatter overlaps it (disjoint regions), and the future owns its
+		// result buffers, so the pipeline never clobbers them.
+		gatherF = outGather.Submit()
 	}
+	if err := tr.CommFuture(core.Gather, gatherF, nil); err != nil {
+		return nil, nil, err
+	}
+	// Reorder the last batch's outputs by global sample ID (earlier
+	// batches' outputs are superseded, matching the CPU reference).
+	bufs := gatherF.Results()
+	final := make([]int32, B*cfg.TopOut)
+	for s := 0; s < B; s++ {
+		y := s / (B / Y)
+		q := s % (B / Y)
+		d := q / Bd
+		b := q % Bd
+		fx, fz := d%X, d/X
+		pe := fx + X*(y+Y*fz)
+		for o := 0; o < cfg.TopOut; o++ {
+			final[s*cfg.TopOut+o] = int32(binary.LittleEndian.Uint32(bufs[0][pe*outB+(b*cfg.TopOut+o)*4:]))
+		}
+	}
+	tr.Finish()
 	return final, &tr.Prof, nil
 }
 

@@ -330,11 +330,24 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 			return nil, nil, err
 		}
 	}
+	var pendF *core.Future // previous layer's y-axis collective, possibly in flight
+	var pendPrim core.Primitive
 	for l := 0; l < cfg.Layers; l++ {
 		w := genWeights(cfg, l, F)
+		// Refilling wBuf is safe: the previous Broadcast was waited before
+		// the previous layer's aggregation kernel ran.
 		copy(wBuf, packT(T, w))
-		bd, err := wBcast.Run()
-		if err := tr.Comm(core.Broadcast, bd, err); err != nil {
+		// The weight Broadcast (writes wOff) is independent of the previous
+		// layer's y-axis collective (writes xOff), so the two overlap on
+		// the elapsed-time timeline.
+		wF := wBcast.Submit()
+		if pendF != nil {
+			if err := tr.CommFuture(pendPrim, pendF, nil); err != nil {
+				return nil, nil, err
+			}
+			pendF = nil
+		}
+		if err := tr.CommFuture(core.Broadcast, wF, nil); err != nil {
 			return nil, nil, err
 		}
 		// Aggregation kernel: P1 = A_tile x X_strip (SpGEMM).
@@ -364,8 +377,7 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 		})
 		if variant == RSAR {
 			// ReduceScatter the partial aggregations along x.
-			bd, err := rsPlan.Run()
-			if err := tr.Comm(core.ReduceScatter, bd, err); err != nil {
+			if err := tr.CommFuture(core.ReduceScatter, rsPlan.Submit(), nil); err != nil {
 				return nil, nil, err
 			}
 			// Combination kernel on the received sub-block, placed into a
@@ -377,14 +389,11 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 			})
 			// AllReduce the padded strips along y: summing the disjoint
 			// slots concatenates them — every PE gets the full new strip.
-			bd, err = arPlan.Run()
-			if err := tr.Comm(core.AllReduce, bd, err); err != nil {
-				return nil, nil, err
-			}
+			// Left in flight so the next layer's weight Broadcast overlaps.
+			pendF, pendPrim = arPlan.Submit(), core.AllReduce
 		} else {
 			// AllReduce the partial aggregations along x (full strips).
-			bd, err := arPlan.Run()
-			if err := tr.Comm(core.AllReduce, bd, err); err != nil {
+			if err := tr.CommFuture(core.AllReduce, arPlan.Submit(), nil); err != nil {
 				return nil, nil, err
 			}
 			// Combination on this PE's designated sub-block only (the j-th
@@ -395,11 +404,14 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 					gemm(ctx, iOff+(ctx.PE%C)*subB, xsubOff, false)
 				})
 			})
-			// AllGather the sub-blocks along y into the new strips.
-			bd, err = agPlan.Run()
-			if err := tr.Comm(core.AllGather, bd, err); err != nil {
-				return nil, nil, err
-			}
+			// AllGather the sub-blocks along y into the new strips; left in
+			// flight like the RS&AR AllReduce above.
+			pendF, pendPrim = agPlan.Submit(), core.AllGather
+		}
+	}
+	if pendF != nil {
+		if err := tr.CommFuture(pendPrim, pendF, nil); err != nil {
+			return nil, nil, err
 		}
 	}
 	// Retrieve: each PE stages its unique sub-strip; host reassembles.
@@ -412,10 +424,12 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 			ctx.Exec(int64(sub))
 		})
 	})
-	bufs, gbd, err := comm.Gather("11", xsubOff, subB, lvl)
-	if err := tr.Comm(core.Gather, gbd, err); err != nil {
+	gaF, err := comm.SubmitGather("11", xsubOff, subB, lvl)
+	if err := tr.CommFuture(core.Gather, gaF, err); err != nil {
 		return nil, nil, err
 	}
+	bufs := gaF.Results()
+	tr.Finish()
 	out := make([]int64, V*F)
 	for i := 0; i < R; i++ {
 		for j := 0; j < C; j++ {

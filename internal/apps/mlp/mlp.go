@@ -172,25 +172,44 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var final []int32
+	var gaF *core.Future // previous batch's output Gather, possibly in flight
 	for batch := 0; batch < cfg.batches(); batch++ {
+		// Refilling xBuf is safe: the previous input Scatter executed
+		// before the previous batch's first layer kernel, and the
+		// in-flight Gather reads MRAM, not this host buffer.
 		copy(xBuf, i32bytes(genInput(cfg, batch)))
-		bd, err := xPlan.Run()
-		if err := tr.Comm(core.Scatter, bd, err); err != nil {
+		// The input Scatter writes xOff, which the in-flight Gather reads:
+		// a WAR hazard the submission queue orders — the Scatter executes
+		// only after the Gather completes, without an explicit wait.
+		xF := xPlan.Submit()
+		if gaF != nil {
+			if err := tr.CommFuture(core.Gather, gaF, nil); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := tr.CommFuture(core.Scatter, xF, nil); err != nil {
 			return nil, nil, err
 		}
-		final, err = mlpForward(cfg, comm, tr, pes, rsPlan, gaPlan, wOff, xOff, partOff, outOff, sliceB)
+		var err error
+		gaF, err = mlpForward(cfg, comm, tr, pes, rsPlan, gaPlan, wOff, xOff, partOff, outOff, sliceB)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
+	if err := tr.CommFuture(core.Gather, gaF, nil); err != nil {
+		return nil, nil, err
+	}
+	final := bytesI32(gaF.Results()[0])
+	tr.Finish()
 	return final, &tr.Prof, nil
 }
 
-// mlpForward runs one input through all layers and gathers the output,
-// replaying the precompiled per-layer plans.
+// mlpForward runs one input through all layers, submitting the per-layer
+// collectives asynchronously, and returns the future of the final output
+// Gather (not yet waited, so the next batch's input Scatter can overlap
+// it on the submission queue).
 func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int,
-	rsPlan, gaPlan *core.CompiledPlan, wOff, xOff, partOff, outOff, sliceB int) ([]int32, error) {
+	rsPlan, gaPlan *core.CompiledPlan, wOff, xOff, partOff, outOff, sliceB int) (*core.Future, error) {
 	F, N, L := cfg.Features, cfg.PEs, cfg.Layers
 	cols := F / N
 	wPerLayerB := F * cols * 4
@@ -218,9 +237,9 @@ func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int,
 			})
 		})
 		// ReduceScatter the partials; each PE receives its slice of the
-		// layer output (§ VII-E).
-		bd, err := rsPlan.Run()
-		if err := tr.Comm(core.ReduceScatter, bd, err); err != nil {
+		// layer output (§ VII-E). Submitted asynchronously; the activation
+		// kernel below is a barrier (Tracker.Kernel flushes).
+		if err := tr.CommFuture(core.ReduceScatter, rsPlan.Submit(), nil); err != nil {
 			return nil, err
 		}
 		// Activation kernel: quantize the slice in place into xOff.
@@ -237,12 +256,9 @@ func mlpForward(cfg Config, comm *core.Comm, tr *appcore.Tracker, pes []int,
 			})
 		})
 	}
-	// Gather the final slices.
-	gbd, err := gaPlan.Run()
-	if err := tr.Comm(core.Gather, gbd, err); err != nil {
-		return nil, err
-	}
-	return bytesI32(gaPlan.Results()[0]), nil
+	// Submit the final-slice Gather; the caller waits on (or pipelines
+	// past) the returned future.
+	return gaPlan.Submit(), nil
 }
 
 // RunCPU computes the identical MLP on the CPU-only model, returning the

@@ -1,7 +1,3 @@
-// Package bench is the evaluation harness: one registered experiment per
-// table and figure of the paper's evaluation (§ VIII), each regenerating
-// the corresponding rows/series on the simulated system. Use
-// cmd/pidbench to run them from the command line.
 package bench
 
 import (
@@ -24,6 +20,12 @@ type Options struct {
 	// backend) at a fraction of the wall-clock and memory, since no MRAM
 	// is allocated and no bytes move. Use for Full-scale sweeps.
 	CostOnly bool
+	// Async routes every primitive measurement through the asynchronous
+	// Submit/Future API instead of the blocking calls: the tables are
+	// identical (a lone submitted plan charges exactly what a serial run
+	// does), validating the async path across the whole suite. The
+	// dedicated "async" experiment measures the overlap itself.
+	Async bool
 }
 
 // Experiment is one reproducible table or figure.

@@ -204,6 +204,62 @@ func TestRunAllWritesHeaders(t *testing.T) {
 	}
 }
 
+// The async acceptance bar: on the paper-scale 1024-PE cost-only config,
+// overlapping a DLRM-style pattern of independent collectives must beat
+// serial replay by at least 1.3x, at every pipeline depth including the
+// minimal two-collective pattern, and async elapsed may never exceed
+// serial elapsed.
+func TestAsyncOverlapAtLeast1_3x(t *testing.T) {
+	results, err := MeasureAsyncOverlap(64<<10, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("depth %d: serial %.3fms, async %.3fms (%.2fx)",
+			r.Batches, float64(r.SerialElapsed)*1e3, float64(r.AsyncElapsed)*1e3, r.Speedup)
+		if r.AsyncElapsed > r.SerialElapsed {
+			t.Errorf("depth %d: async elapsed %v exceeds serial %v", r.Batches, r.AsyncElapsed, r.SerialElapsed)
+		}
+		if r.Speedup < 1.3 {
+			t.Errorf("depth %d: overlap speedup %.2fx below the 1.3x bar", r.Batches, r.Speedup)
+		}
+	}
+}
+
+func TestAsyncExperimentRegistered(t *testing.T) {
+	e, err := ByID("async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{W: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Overlap speedup") {
+		t.Error("async experiment produced no speedup column")
+	}
+}
+
+// The -async mode must not change any measurement: one plan alone on the
+// submission queue charges exactly what a serial run charges.
+func TestAsyncPrimitiveTablesIdentical(t *testing.T) {
+	for _, prim := range core.Primitives() {
+		spec := PrimSpec{Shape: []int{8, 8}, Dims: "10", RecvPerPE: 512, Prim: prim, Level: core.CM, CostOnly: true}
+		_, bd, err := RunPrimitive(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", prim, err)
+		}
+		spec.Async = true
+		_, abd, err := RunPrimitive(spec)
+		if err != nil {
+			t.Fatalf("%v async: %v", prim, err)
+		}
+		if bd != abd {
+			t.Errorf("%v: async breakdown diverges from serial:\n serial %v\n async  %v", prim, bd, abd)
+		}
+	}
+}
+
 // The plan-cache acceptance bar: on the paper-scale 1024-PE cost-only
 // config, cached CompiledPlan replay must beat compile-each-call by at
 // least 5x (measured headroom is 1-2 orders of magnitude, so this bound

@@ -1,0 +1,38 @@
+// Package bench is the evaluation harness: one registered experiment per
+// table and figure of the paper's evaluation (§ VIII), each regenerating
+// the corresponding rows/series on the simulated system, plus the
+// harness-native experiments (plan-cache replay throughput, async
+// overlap). Use cmd/pidbench to run them from the command line.
+//
+// # Structure
+//
+//   - Experiment couples an ID (the -exp flag value, e.g. "fig14",
+//     "table1", "async") with a Run function writing an aligned text
+//     table; experiments self-register in init and are enumerated by
+//     Experiments / looked up by ByID.
+//   - Options selects scale and engine: Full switches to paper-scale
+//     payloads (the timing model is linear in payload, so the default
+//     small scale preserves every shape), CostOnly runs the primitive
+//     experiments on the cost-only backend over phantom (no-MRAM)
+//     systems — identical tables, orders of magnitude faster — and Async
+//     routes primitive measurements through the Submit/Future API.
+//   - PrimSpec / RunPrimitive (prims.go) is the single primitive-
+//     measurement path all figure experiments share; apps.go wires the
+//     five application benchmarks (Table III) through internal/apps.
+//
+// # Harness-native experiments
+//
+//   - "replay" (replay.go): cold compile-each-call vs cached
+//     CompiledPlan replay throughput at the 1024-PE paper scale.
+//   - "async" (async.go): serial replay vs asynchronous submission of a
+//     DLRM-style pipeline of independent collectives, reporting the
+//     overlap speedup of the elapsed-time timeline.
+//
+// # Paper map
+//
+//	table1..3       support matrices and app configurations
+//	fig4, fig13     application time breakdowns
+//	fig14..20       primitive throughput studies (§ VIII-B..F)
+//	fig21, fig22    CPU comparison, element-width sensitivity
+//	fig23a, fig23b  topology and multi-host studies (§ VIII-H, § IX-A)
+package bench

@@ -30,6 +30,10 @@ type PrimSpec struct {
 	// throughput and breakdown are identical (the cost model is shared
 	// bit-for-bit), but no MRAM is allocated and no data moves.
 	CostOnly bool
+	// Async executes the primitive through Submit + Future.Wait instead
+	// of the blocking call; the measurement is identical (one plan alone
+	// on the queue charges what a serial run charges).
+	Async bool
 }
 
 // RunPrimitive executes one primitive on a fresh system and returns the
@@ -85,45 +89,81 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 	}
 
 	var bd cost.Breakdown
+	var fut *core.Future
 	var bytes int64
 	switch spec.Prim {
 	case core.AlltoAll:
 		fill(m)
-		bd, err = comm.AlltoAll(spec.Dims, 0, 2*m, m, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitAlltoAll(spec.Dims, 0, 2*m, m, spec.Level)
+		} else {
+			bd, err = comm.AlltoAll(spec.Dims, 0, 2*m, m, spec.Level)
+		}
 		bytes = int64(m) * int64(n)
 	case core.ReduceScatter:
 		fill(m)
-		bd, err = comm.ReduceScatter(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitReduceScatter(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		} else {
+			bd, err = comm.ReduceScatter(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		}
 		bytes = int64(m) * int64(n) // before reduction
 	case core.AllReduce:
 		fill(m)
-		bd, err = comm.AllReduce(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitAllReduce(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		} else {
+			bd, err = comm.AllReduce(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+		}
 		bytes = int64(m) * int64(n)
 	case core.AllGather:
 		s := m / gsize
 		fill(s)
-		bd, err = comm.AllGather(spec.Dims, 0, 2*s, s, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitAllGather(spec.Dims, 0, 2*s, s, spec.Level)
+		} else {
+			bd, err = comm.AllGather(spec.Dims, 0, 2*s, s, spec.Level)
+		}
 		bytes = int64(s) * int64(gsize) * int64(n) // output side
 	case core.Scatter:
 		var bufs [][]byte
 		if !spec.CostOnly { // cost backend accepts nil: sizes are implied
 			bufs = hostBufs(gsize * m)
 		}
-		bd, err = comm.Scatter(spec.Dims, bufs, 0, m, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitScatter(spec.Dims, bufs, 0, m, spec.Level)
+		} else {
+			bd, err = comm.Scatter(spec.Dims, bufs, 0, m, spec.Level)
+		}
 		bytes = int64(m) * int64(n)
 	case core.Gather:
 		fill(m)
-		_, bd, err = comm.Gather(spec.Dims, 0, m, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitGather(spec.Dims, 0, m, spec.Level)
+		} else {
+			_, bd, err = comm.Gather(spec.Dims, 0, m, spec.Level)
+		}
 		bytes = int64(m) * int64(n)
 	case core.Reduce:
 		fill(m)
-		_, bd, err = comm.Reduce(spec.Dims, 0, m, spec.Elem, spec.Op, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitReduce(spec.Dims, 0, m, spec.Elem, spec.Op, spec.Level)
+		} else {
+			_, bd, err = comm.Reduce(spec.Dims, 0, m, spec.Elem, spec.Op, spec.Level)
+		}
 		bytes = int64(m) * int64(n)
 	case core.Broadcast:
-		bd, err = comm.Broadcast(spec.Dims, hostBufs(m), 0, spec.Level)
+		if spec.Async {
+			fut, err = comm.SubmitBroadcast(spec.Dims, hostBufs(m), 0, spec.Level)
+		} else {
+			bd, err = comm.Broadcast(spec.Dims, hostBufs(m), 0, spec.Level)
+		}
 		bytes = int64(m) * int64(n) // received side
 	default:
 		return 0, cost.Breakdown{}, host.XferStats{}, fmt.Errorf("bench: unknown primitive %v", spec.Prim)
+	}
+	if err == nil && fut != nil {
+		bd, err = fut.Wait()
 	}
 	if err != nil {
 		return 0, cost.Breakdown{}, host.XferStats{}, err
@@ -203,7 +243,7 @@ func init() {
 		t := newTable("Primitive", "Base GB/s", "PID-Comm GB/s", "Speedup")
 		var ratios []float64
 		for _, prim := range core.Primitives() {
-			spec := PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, CostOnly: o.CostOnly}
+			spec := PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, CostOnly: o.CostOnly, Async: o.Async}
 			spec.Level = core.Baseline
 			base, _, err := RunPrimitive(spec)
 			if err != nil {
@@ -234,7 +274,7 @@ func init() {
 						continue
 					}
 				}
-				thr, _, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl, CostOnly: o.CostOnly})
+				thr, _, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl, CostOnly: o.CostOnly, Async: o.Async})
 				if err != nil {
 					return err
 				}
@@ -251,7 +291,7 @@ func init() {
 		t := newTable("Primitive", "Design", "Total(ms)", "DT", "HostMod", "HostMem", "PEMem", "PEMod", "Other")
 		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
 			for _, lvl := range []core.Level{core.Baseline, core.CM} {
-				_, bd, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl, CostOnly: o.CostOnly})
+				_, bd, err := RunPrimitive(PrimSpec{Shape: []int{32, 32}, Dims: "10", RecvPerPE: size, Prim: prim, Level: lvl, CostOnly: o.CostOnly, Async: o.Async})
 				if err != nil {
 					return err
 				}
@@ -285,11 +325,11 @@ func init() {
 		} {
 			for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
 				for _, size := range sizes {
-					base, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.Baseline, CostOnly: o.CostOnly})
+					base, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.Baseline, CostOnly: o.CostOnly, Async: o.Async})
 					if err != nil {
 						return err
 					}
-					ours, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly})
+					ours, _, err := RunPrimitive(PrimSpec{Shape: cfg.shape, Dims: cfg.dims, RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly, Async: o.Async})
 					if err != nil {
 						return err
 					}
@@ -316,11 +356,11 @@ func init() {
 					dims = dims[:1]
 				}
 				for i, shape := range shapes {
-					base, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.Baseline, CostOnly: o.CostOnly})
+					base, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.Baseline, CostOnly: o.CostOnly, Async: o.Async})
 					if err != nil {
 						return err
 					}
-					ours, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly})
+					ours, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: dims[i], RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly, Async: o.Async})
 					if err != nil {
 						return err
 					}
@@ -344,7 +384,7 @@ func init() {
 		for _, shape := range shapes {
 			row := []string{fmt.Sprintf("%v", shape)}
 			for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
-				thr, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: "100", RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly})
+				thr, _, err := RunPrimitive(PrimSpec{Shape: shape, Dims: "100", RecvPerPE: size, Prim: prim, Level: core.CM, CostOnly: o.CostOnly, Async: o.Async})
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/elem"
+)
+
+// This file implements asynchronous plan execution: Submit enqueues a
+// compiled plan on its Comm's submission queue and returns a Future; a
+// per-Comm worker drains the queue in submission order. Execution of the
+// schedule itself still serializes on the Comm (one simulated machine),
+// but the *accounted elapsed time* no longer does: each plan is placed on
+// the Comm's three-lane cost.Timeline, where plans with disjoint MRAM
+// footprints overlap — one plan's PE-side reorder kernels and another's
+// bus epochs occupy different lanes and run concurrently in simulated
+// time, which is the overlap PID-Comm's speedup comes from. Plans whose
+// footprints carry a data hazard (RAW, WAR or WAW on any per-PE region)
+// are ordered: the dependent plan starts no earlier than its latest
+// conflicting predecessor finishes.
+//
+// The work accounting is unchanged: the meter accrues exactly the charges
+// a serial replay would, in the same order (the queue is FIFO), so async
+// and serial execution produce bit-identical meters and — on the
+// functional backend — bit-identical MRAM contents. Only Comm.Elapsed,
+// the makespan of the timeline, shows the overlap.
+
+// MaxPendingPlans bounds the per-Comm submission queue: Submit blocks
+// once this many plans are in flight, providing backpressure to
+// serving-style producers.
+const MaxPendingPlans = 1024
+
+// span is one per-PE MRAM byte range [off, off+n) a plan touches. All PEs
+// of a Comm use the same offsets, so one span describes the whole
+// machine's footprint for that range.
+type span struct{ off, n int }
+
+func anyOverlap(as, bs []span) bool {
+	for _, a := range as {
+		for _, b := range bs {
+			if overlap(a.off, a.n, b.off, b.n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// planRegions is a compiled plan's per-PE MRAM footprint, used for hazard
+// detection between submitted plans. A source region the optimized levels
+// consume (PE-assisted reordering rotates it in place) counts as written:
+// a write subsumes a read for hazard purposes.
+type planRegions struct{ reads, writes []span }
+
+func (r *planRegions) read(off, n int)  { r.reads = append(r.reads, span{off, n}) }
+func (r *planRegions) write(off, n int) { r.writes = append(r.writes, span{off, n}) }
+
+// srcRegion records the source region: written when the effective level
+// rotates it in place (consuming it), read otherwise.
+func (r *planRegions) srcRegion(off, n int, consumed bool) {
+	if consumed {
+		r.write(off, n)
+	} else {
+		r.read(off, n)
+	}
+}
+
+// conflicts reports whether two footprints carry a data hazard: a RAW,
+// WAR or WAW dependence on any region.
+func (r planRegions) conflicts(o planRegions) bool {
+	return anyOverlap(r.writes, o.writes) ||
+		anyOverlap(r.writes, o.reads) ||
+		anyOverlap(r.reads, o.writes)
+}
+
+// placedPlan is one timeline placement still visible for hazard checks:
+// later submissions conflicting with its footprint start after end.
+type placedPlan struct {
+	regs planRegions
+	end  cost.Seconds
+}
+
+// Future is the handle of one submitted plan execution. All accessors
+// except Done block until the execution completes. A Future is safe for
+// concurrent use; its results never change once set.
+type Future struct {
+	cp   *CompiledPlan
+	done chan struct{}
+
+	// Set exactly once before done is closed.
+	bd         cost.Breakdown
+	out        [][]byte
+	err        error
+	start, end cost.Seconds
+}
+
+// Done reports without blocking whether the execution has completed.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the execution completes and returns its cost
+// breakdown (what this run charged the meter) and error. Wait may be
+// called any number of times and from multiple goroutines.
+func (f *Future) Wait() (cost.Breakdown, error) {
+	<-f.done
+	return f.bd, f.err
+}
+
+// Err blocks until the execution completes and returns its error, if any.
+// A plan that fails mid-schedule surfaces its error here (and via Wait)
+// exactly once per Future; later submissions on the same Comm are
+// unaffected.
+func (f *Future) Err() error {
+	<-f.done
+	return f.err
+}
+
+// Cost blocks until the execution completes and returns the breakdown it
+// charged. Unlike CompiledPlan.Cost (the predicted per-run cost), this is
+// the measured charge of this particular run.
+func (f *Future) Cost() cost.Breakdown {
+	<-f.done
+	return f.bd
+}
+
+// Results blocks until the execution completes and returns the rooted
+// result buffers (Gather/Reduce plans on a functional backend; nil
+// otherwise). Unlike CompiledPlan.Results, the returned buffers belong to
+// this run and stay valid even after the plan runs again.
+func (f *Future) Results() [][]byte {
+	<-f.done
+	return f.out
+}
+
+// Window blocks until the execution completes and returns the plan's
+// interval [start, end) on the Comm's elapsed-time timeline. Dependent
+// plans have non-overlapping windows in hazard order; independent plans'
+// windows may overlap.
+func (f *Future) Window() (start, end cost.Seconds) {
+	<-f.done
+	return f.start, f.end
+}
+
+// Plan returns the compiled plan this future executes.
+func (f *Future) Plan() *CompiledPlan { return f.cp }
+
+// Submit enqueues one replay of the plan on its Comm's submission queue
+// and returns immediately with a Future (blocking only if MaxPendingPlans
+// are already in flight). Plans execute in submission order; the elapsed-
+// time timeline overlaps plans with disjoint MRAM footprints and orders
+// plans with data hazards (see Comm.Elapsed).
+//
+// Host-input plans (Scatter, Broadcast) read their bound buffers when the
+// plan *executes*, not when it is submitted: do not refill the buffers
+// until the future completes.
+func (cp *CompiledPlan) Submit() *Future { return cp.c.submit(cp) }
+
+// submit enqueues a plan execution, starting the worker if idle.
+func (c *Comm) submit(cp *CompiledPlan) *Future {
+	f := &Future{cp: cp, done: make(chan struct{})}
+	c.asyncSlots <- struct{}{} // acquire a queue slot (backpressure)
+	c.asyncMu.Lock()
+	c.asyncPending++
+	c.asyncQ = append(c.asyncQ, f)
+	if !c.asyncRunning {
+		c.asyncRunning = true
+		go c.asyncLoop()
+	}
+	c.asyncMu.Unlock()
+	return f
+}
+
+// asyncLoop is the per-Comm queue worker: it drains the queue in FIFO
+// order and exits when empty (a later Submit starts a fresh one).
+func (c *Comm) asyncLoop() {
+	for {
+		c.asyncMu.Lock()
+		if len(c.asyncQ) == 0 {
+			c.asyncRunning = false
+			c.asyncMu.Unlock()
+			return
+		}
+		f := c.asyncQ[0]
+		c.asyncQ[0] = nil
+		c.asyncQ = c.asyncQ[1:]
+		c.asyncMu.Unlock()
+		c.runSubmitted(f)
+	}
+}
+
+// runSubmitted executes one queued future and completes it. Completion —
+// publishing the results, closing done, decrementing the pending count
+// and releasing the queue slot — happens exactly once per future on every
+// path, success or failure: a mid-schedule backend error is captured into
+// f.err by execSubmitted's recover and takes the same single completion
+// path, so a failing plan can neither complete twice (close of a closed
+// channel panics) nor leak or double-release its queue slot.
+func (c *Comm) runSubmitted(f *Future) {
+	f.bd, f.out, f.start, f.end, f.err = c.execSubmitted(f.cp)
+	close(f.done)
+	c.asyncMu.Lock()
+	c.asyncPending--
+	c.asyncCond.Broadcast()
+	c.asyncMu.Unlock()
+	<-c.asyncSlots // release the queue slot
+}
+
+// execSubmitted places one plan on the timeline (hazard-ordered, overlap-
+// aware) and executes it under the execution lock. A panic from the
+// backend mid-schedule is converted into the returned error; the plan's
+// timeline window remains booked (its partial charges remain on the
+// meter) and dependents stay ordered after it.
+func (c *Comm) execSubmitted(cp *CompiledPlan) (bd cost.Breakdown, out [][]byte, start, end cost.Seconds, err error) {
+	c.execMu.Lock()
+	defer c.execMu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: %s failed mid-schedule: %v", cp.sched.Name, r)
+		}
+	}()
+
+	// Scan the frontier for hazards, pruning entries that finished at or
+	// before the barrier — they can never delay a new plan (earliest
+	// starts at asyncBase), so dropping them keeps the frontier bounded
+	// by the work in flight even in flows that never call Flush.
+	earliest := c.asyncBase
+	live := c.frontier[:0]
+	for _, pl := range c.frontier {
+		if pl.end <= c.asyncBase {
+			continue
+		}
+		live = append(live, pl)
+		if pl.end > earliest && cp.regs.conflicts(pl.regs) {
+			earliest = pl.end
+		}
+	}
+	// Flows that never flush would still accumulate entries (asyncBase
+	// never advances): past maxFrontier, retire the oldest entries by
+	// conservatively raising the barrier to their latest finish. That
+	// only restricts where later plans may start — ordering is preserved
+	// and placement stays within the serial bound.
+	const maxFrontier = 256
+	if len(live) > maxFrontier {
+		drop := len(live) - maxFrontier
+		for _, pl := range live[:drop] {
+			if pl.end > c.asyncBase {
+				c.asyncBase = pl.end
+			}
+		}
+		c.tl.SetFloor(c.asyncBase)
+		live = append(live[:0], live[drop:]...)
+		if earliest < c.asyncBase {
+			earliest = c.asyncBase
+		}
+	}
+	c.frontier = live
+	start, end = c.tl.Place(earliest, cp.tr.segs)
+	c.frontier = append(c.frontier, placedPlan{regs: cp.regs, end: end})
+
+	out, bd = c.runScheduleLocked(cp)
+	return bd, out, start, end, nil
+}
+
+// placeSerialLocked appends segs to the timeline as a barrier placement
+// and advances the submission barrier and the timeline's pruning floor —
+// the one way every serial path (Run, AllReduceTopo, ExtendElapsed,
+// Flush) closes the overlap window. Callers hold execMu.
+func (c *Comm) placeSerialLocked(segs []cost.Segment) {
+	c.tl.PlaceSerial(segs)
+	c.asyncBase = c.tl.Elapsed()
+	c.tl.SetFloor(c.asyncBase)
+}
+
+// Flush blocks until every plan submitted so far has completed, then
+// closes the overlap window: plans submitted afterwards start no earlier
+// than the current elapsed time. Use it as a barrier before touching MRAM
+// directly (SetPEBuffer/GetPEBuffer, application kernels) while
+// submissions may be in flight.
+func (c *Comm) Flush() {
+	c.asyncMu.Lock()
+	for c.asyncPending > 0 {
+		c.asyncCond.Wait()
+	}
+	c.asyncMu.Unlock()
+	c.execMu.Lock()
+	c.placeSerialLocked(nil)
+	c.frontier = c.frontier[:0]
+	c.execMu.Unlock()
+}
+
+// Elapsed returns the overlap-aware simulated elapsed time of everything
+// executed on this Comm so far: serial runs append to the timeline,
+// submitted plans overlap where their MRAM footprints allow. For fully
+// serial workloads Elapsed equals the meter total; with async submission
+// it is lower by exactly the overlap won.
+func (c *Comm) Elapsed() cost.Seconds {
+	c.execMu.Lock()
+	defer c.execMu.Unlock()
+	return c.tl.Elapsed()
+}
+
+// ExtendElapsed places b's per-lane time after everything currently on
+// the timeline — a barrier. It accounts work charged outside the
+// collective engine (application kernel launches, host pre/post-
+// processing) on the elapsed-time clock; the meter is not touched.
+func (c *Comm) ExtendElapsed(b cost.Breakdown) {
+	segs := b.Segments()
+	c.execMu.Lock()
+	defer c.execMu.Unlock()
+	c.placeSerialLocked(segs)
+}
+
+// ---------------------------------------------------------------------
+// Submit entry points (one per primitive): Compile* + Submit.
+// ---------------------------------------------------------------------
+
+// SubmitAlltoAll compiles (or fetches the cached plan for) an AlltoAll
+// call and submits one asynchronous execution. See Comm.AlltoAll for call
+// semantics and CompiledPlan.Submit for queue semantics.
+func (c *Comm) SubmitAlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*Future, error) {
+	cp, err := c.CompileAlltoAll(dims, srcOff, dstOff, bytesPerPE, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// SubmitReduceScatter compiles a ReduceScatter call and submits one
+// asynchronous execution.
+func (c *Comm) SubmitReduceScatter(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*Future, error) {
+	cp, err := c.CompileReduceScatter(dims, srcOff, dstOff, bytesPerPE, t, op, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// SubmitAllReduce compiles an AllReduce call and submits one asynchronous
+// execution.
+func (c *Comm) SubmitAllReduce(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*Future, error) {
+	cp, err := c.CompileAllReduce(dims, srcOff, dstOff, bytesPerPE, t, op, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// SubmitAllGather compiles an AllGather call and submits one asynchronous
+// execution.
+func (c *Comm) SubmitAllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*Future, error) {
+	cp, err := c.CompileAllGather(dims, srcOff, dstOff, bytesPerPE, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// SubmitScatter compiles a Scatter call bound to bufs and submits one
+// asynchronous execution. The buffers are read when the plan executes:
+// do not refill them until the future completes.
+func (c *Comm) SubmitScatter(dims string, bufs [][]byte, dstOff, bytesPerPE int, lvl Level) (*Future, error) {
+	cp, err := c.CompileScatter(dims, bufs, dstOff, bytesPerPE, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// SubmitGather compiles a rooted Gather and submits one asynchronous
+// execution; the future's Results hold the per-group buffers.
+func (c *Comm) SubmitGather(dims string, srcOff, bytesPerPE int, lvl Level) (*Future, error) {
+	cp, err := c.CompileGather(dims, srcOff, bytesPerPE, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// SubmitReduce compiles a rooted Reduce and submits one asynchronous
+// execution; the future's Results hold the per-group buffers.
+func (c *Comm) SubmitReduce(dims string, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*Future, error) {
+	cp, err := c.CompileReduce(dims, srcOff, bytesPerPE, t, op, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// SubmitBroadcast compiles a Broadcast bound to bufs and submits one
+// asynchronous execution. The buffers are read when the plan executes.
+func (c *Comm) SubmitBroadcast(dims string, bufs [][]byte, dstOff int, lvl Level) (*Future, error) {
+	cp, err := c.CompileBroadcast(dims, bufs, dstOff, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}

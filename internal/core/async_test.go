@@ -1,0 +1,493 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// asyncTestComm builds a small functional comm: 32 PEs (1 ch x 1 rank x
+// 4 banks), 1-D hypercube, plenty of MRAM.
+func asyncTestComm(t *testing.T, costOnly bool) *Comm {
+	t.Helper()
+	geo := dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 4, MramPerBank: 1 << 16}
+	var sys *dram.System
+	var err error
+	if costOnly {
+		sys, err = dram.NewPhantomSystem(geo)
+	} else {
+		sys, err = dram.NewSystem(geo)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := NewHypercube(sys, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costOnly {
+		return NewCostComm(hc, cost.DefaultParams())
+	}
+	return NewComm(hc, cost.DefaultParams())
+}
+
+func fillPEs(c *Comm, off, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n)
+	for pe := 0; pe < len(c.hc.rankedPEs("1")); pe++ {
+		rng.Read(buf)
+		c.SetPEBuffer(pe, off, buf)
+	}
+}
+
+// rankedPEs is a tiny test helper: the PE count of the comm.
+func (hc *Hypercube) rankedPEs(string) []int {
+	n := hc.sys.Geometry().NumPEs()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestAsyncMatchesSerialBitIdentical submits the same mixed sequence of
+// dependent and independent plans that a serial comm replays, and checks
+// meter, bus statistics and MRAM contents are bit-identical, while the
+// async elapsed time never exceeds the serial elapsed time.
+func TestAsyncMatchesSerialBitIdentical(t *testing.T) {
+	const m = 32 * 8 // bytesPerPE (n=32 groups of 32)
+	serial := asyncTestComm(t, false)
+	async := asyncTestComm(t, false)
+	for _, c := range []*Comm{serial, async} {
+		fillPEs(c, 0, 8*m, 42)
+	}
+
+	type call struct {
+		prim            Primitive
+		src, dst, bytes int
+		lvl             Level
+	}
+	// A DLRM-ish pipeline: independent pairs plus a dependent chain
+	// (AlltoAll writes 3m, ReduceScatter then consumes 3m).
+	seq := []call{
+		{AlltoAll, 0, 1 * m, m, CM},
+		{AllReduce, 4 * m, 5 * m, m, IM},           // independent of the first
+		{AlltoAll, 2 * m, 3 * m, m, PR},            // independent
+		{ReduceScatter, 3 * m, 6 * m, m, IM},       // RAW on 3m
+		{AllGather, 6*m + m/32, 7 * m, m / 32, IM}, // WAR-free read near 6m... independent region
+	}
+
+	run := func(c *Comm, asyncMode bool) []*Future {
+		var fs []*Future
+		for _, cl := range seq {
+			var f *Future
+			var err error
+			switch cl.prim {
+			case AlltoAll:
+				if asyncMode {
+					f, err = c.SubmitAlltoAll("1", cl.src, cl.dst, cl.bytes, cl.lvl)
+				} else {
+					_, err = c.AlltoAll("1", cl.src, cl.dst, cl.bytes, cl.lvl)
+				}
+			case AllReduce:
+				if asyncMode {
+					f, err = c.SubmitAllReduce("1", cl.src, cl.dst, cl.bytes, elem.I32, elem.Sum, cl.lvl)
+				} else {
+					_, err = c.AllReduce("1", cl.src, cl.dst, cl.bytes, elem.I32, elem.Sum, cl.lvl)
+				}
+			case ReduceScatter:
+				if asyncMode {
+					f, err = c.SubmitReduceScatter("1", cl.src, cl.dst, cl.bytes, elem.I32, elem.Sum, cl.lvl)
+				} else {
+					_, err = c.ReduceScatter("1", cl.src, cl.dst, cl.bytes, elem.I32, elem.Sum, cl.lvl)
+				}
+			case AllGather:
+				if asyncMode {
+					f, err = c.SubmitAllGather("1", cl.src, cl.dst, cl.bytes, cl.lvl)
+				} else {
+					_, err = c.AllGather("1", cl.src, cl.dst, cl.bytes, cl.lvl)
+				}
+			}
+			if err != nil {
+				t.Fatalf("%v: %v", cl.prim, err)
+			}
+			if f != nil {
+				fs = append(fs, f)
+			}
+		}
+		return fs
+	}
+
+	run(serial, false)
+	fs := run(async, true)
+	async.Flush()
+	for i, f := range fs {
+		if err := f.Err(); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+
+	if s, a := serial.Meter().Snapshot(), async.Meter().Snapshot(); s != a {
+		t.Fatalf("meters diverge:\n serial %v\n async  %v", s, a)
+	}
+	if s, a := serial.Host().Stats(), async.Host().Stats(); s.Bursts != a.Bursts {
+		t.Fatalf("bus statistics diverge: %d vs %d bursts", s.Bursts, a.Bursts)
+	}
+	for pe := 0; pe < 32; pe++ {
+		if !bytes.Equal(serial.GetPEBuffer(pe, 0, 8*m), async.GetPEBuffer(pe, 0, 8*m)) {
+			t.Fatalf("PE %d MRAM diverges between serial and async execution", pe)
+		}
+	}
+	sEl, aEl := serial.Elapsed(), async.Elapsed()
+	if aEl > sEl+1e-15 {
+		t.Fatalf("async elapsed %v exceeds serial %v", aEl, sEl)
+	}
+	if aEl >= sEl {
+		t.Fatalf("async elapsed %v shows no overlap vs serial %v (independent plans in sequence)", aEl, sEl)
+	}
+}
+
+// TestAsyncHazardOrdering checks that dependent plans' timeline windows
+// do not overlap (RAW chain) while independent plans' windows do.
+func TestAsyncHazardOrdering(t *testing.T) {
+	const m = 32 * 8
+	c := asyncTestComm(t, true)
+
+	// Writer -> reader chain on the same region: must serialize.
+	w, err := c.SubmitAlltoAll("1", 0, m, m, Baseline) // writes [m,2m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.SubmitAllGather("1", m, 4*m, m/32, IM) // reads [m, m+m/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent plan: may overlap the writer.
+	ind, err := c.SubmitAllReduce("1", 8*m, 9*m, m, elem.I32, elem.Sum, IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+
+	_, wEnd := w.Window()
+	rStart, _ := r.Window()
+	if rStart < wEnd {
+		t.Fatalf("dependent reader starts at %v before writer ends at %v", rStart, wEnd)
+	}
+	iStart, _ := ind.Window()
+	if iStart >= wEnd {
+		t.Fatalf("independent plan start %v does not overlap writer window ending %v", iStart, wEnd)
+	}
+}
+
+// TestAsyncConcurrentSubmitStress hammers Submit from many goroutines
+// (run under -race): each goroutine owns a disjoint MRAM region and
+// alternates two plans on it. Total meter time must equal the sum of all
+// futures' breakdowns, and elapsed must not exceed the serial sum.
+func TestAsyncConcurrentSubmitStress(t *testing.T) {
+	const m = 32 * 8
+	c := asyncTestComm(t, true)
+	const workers = 8
+	const itersPerWorker = 20
+
+	var mu sync.Mutex
+	var want cost.Breakdown
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * 4 * m
+			var fs []*Future
+			for i := 0; i < itersPerWorker; i++ {
+				f, err := c.SubmitAlltoAll("1", base, base+m, m, CM)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				fs = append(fs, f)
+				f2, err := c.SubmitAllReduce("1", base+2*m, base+3*m, m, elem.I32, elem.Sum, IM)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				fs = append(fs, f2)
+			}
+			var sum cost.Breakdown
+			for _, f := range fs {
+				bd, err := f.Wait()
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				sum = sum.Add(bd)
+			}
+			mu.Lock()
+			want = want.Add(sum)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	c.Flush()
+
+	got := c.Meter().Snapshot()
+	if diff := got.Total() - want.Total(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("meter total %v != sum of future breakdowns %v", got.Total(), want.Total())
+	}
+	if el := c.Elapsed(); el > got.Total()+1e-12 {
+		t.Fatalf("elapsed %v exceeds total work %v", el, got.Total())
+	}
+}
+
+// TestAsyncCostNeverAboveSerial is the async cost property test over
+// random independent/dependent plan mixes on the cost backend: the async
+// elapsed time never exceeds the serial replay's, and the meters stay
+// bit-identical.
+func TestAsyncCostNeverAboveSerial(t *testing.T) {
+	const m = 32 * 8
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		serial := asyncTestComm(t, true)
+		async := asyncTestComm(t, true)
+		nCalls := 2 + rng.Intn(6)
+		type planned struct{ s, a *CompiledPlan }
+		var plans []planned
+		for i := 0; i < nCalls; i++ {
+			// Random regions over 8 slots of size 2m; random levels.
+			src := rng.Intn(8) * 2 * m
+			dst := rng.Intn(8) * 2 * m
+			if src == dst {
+				dst = (src + 2*m) % (16 * m)
+			}
+			lvl := Levels()[rng.Intn(4)]
+			sp, err := serial.CompileAlltoAll("1", src, dst, m, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ap, err := async.CompileAlltoAll("1", src, dst, m, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans = append(plans, planned{sp, ap})
+		}
+		for _, p := range plans {
+			if _, err := p.s.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var fs []*Future
+		for _, p := range plans {
+			fs = append(fs, p.a.Submit())
+		}
+		async.Flush()
+		for _, f := range fs {
+			if err := f.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s, a := serial.Meter().Snapshot(), async.Meter().Snapshot(); s != a {
+			t.Fatalf("trial %d: meters diverge", trial)
+		}
+		if sEl, aEl := serial.Elapsed(), async.Elapsed(); aEl > sEl+1e-15 {
+			t.Fatalf("trial %d: async elapsed %v > serial %v", trial, aEl, sEl)
+		}
+	}
+}
+
+// failingPlan hand-builds a plan whose functional execution panics
+// mid-schedule (after the charge trace was captured cleanly), modeling a
+// backend error inside a schedule step.
+func failingPlan(c *Comm) *CompiledPlan {
+	sched := &Schedule{Name: "test/failing"}
+	sched.add(&StepHostCompute{
+		Charges: []Charge{{ChargeHostMem, 64}},
+		Run:     func() { panic("injected backend failure") },
+	})
+	sched.add(&StepSync{})
+	cp := &CompiledPlan{c: c, key: planKey{prim: Broadcast, dims: "1"}, sched: sched}
+	cp.tr = c.traceSchedule(sched)
+	return cp
+}
+
+// TestFutureErrSurfacesBackendErrorExactlyOnce is the regression test for
+// the queue-slot double-release bug: a plan failing mid-schedule must
+// surface its error on exactly its own Future (idempotently), leave other
+// futures untouched, keep the queue draining, and neither leak nor
+// double-release queue slots.
+func TestFutureErrSurfacesBackendErrorExactlyOnce(t *testing.T) {
+	const m = 32 * 8
+	c := asyncTestComm(t, false)
+	fillPEs(c, 0, 4*m, 7)
+
+	ok1, err := c.SubmitAlltoAll("1", 0, m, m, CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := failingPlan(c).Submit()
+	bad2 := failingPlan(c).Submit()
+	ok2, err := c.SubmitAlltoAll("1", 2*m, 3*m, m, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+
+	if err := ok1.Err(); err != nil {
+		t.Fatalf("healthy future 1 got error: %v", err)
+	}
+	if err := ok2.Err(); err != nil {
+		t.Fatalf("healthy future after failures got error: %v", err)
+	}
+	for i, f := range []*Future{bad, bad2} {
+		e1 := f.Err()
+		if e1 == nil {
+			t.Fatalf("failing future %d: no error surfaced", i)
+		}
+		if _, e2 := f.Wait(); e2 != e1 {
+			t.Fatalf("failing future %d: error not stable across calls: %v vs %v", i, e1, e2)
+		}
+	}
+
+	// Slot accounting: after the queue drained, every slot must have been
+	// released exactly once — the semaphore is empty again, and the comm
+	// still accepts a full MaxPendingPlans burst without blocking.
+	if n := len(c.asyncSlots); n != 0 {
+		t.Fatalf("%d queue slots leaked after failures", n)
+	}
+	var fs []*Future
+	for i := 0; i < 32; i++ {
+		f, err := c.SubmitAlltoAll("1", 0, m, m, CM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = append(fs, f)
+	}
+	c.Flush()
+	for _, f := range fs {
+		if err := f.Err(); err != nil {
+			t.Fatalf("post-failure submission failed: %v", err)
+		}
+	}
+	if n := len(c.asyncSlots); n != 0 {
+		t.Fatalf("%d queue slots outstanding after drain", n)
+	}
+}
+
+// TestSerialRunIsBarrier checks that a serial Run after submissions
+// appends to the timeline (no overlap with in-flight plans) and that
+// submissions after a Flush do not backfill earlier gaps.
+func TestSerialRunIsBarrier(t *testing.T) {
+	const m = 32 * 8
+	c := asyncTestComm(t, true)
+	f, err := c.SubmitAlltoAll("1", 0, m, m, CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllReduce("1", 2*m, 3*m, m, elem.I32, elem.Sum, IM); err != nil {
+		t.Fatal(err)
+	}
+	_, fEnd := f.Window()
+	el := c.Elapsed()
+	if el <= fEnd {
+		t.Fatalf("serial run did not extend the timeline: elapsed %v, future end %v", el, fEnd)
+	}
+	// Post-flush submissions start at or after the barrier.
+	f2, err := c.SubmitAlltoAll("1", 4*m, 5*m, m, CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if s, _ := f2.Window(); s < el {
+		t.Fatalf("post-barrier submission backfilled: start %v < barrier %v", s, el)
+	}
+}
+
+// TestPlanCacheStats pins the instrumentation: hits/misses and memory
+// accounting across compiles, one-shot replays and ClearPlanCache.
+func TestPlanCacheStats(t *testing.T) {
+	const m = 32 * 8
+	c := asyncTestComm(t, true)
+	if st := c.PlanCacheStats(); st != (PlanCacheStats{}) {
+		t.Fatalf("fresh comm has non-zero cache stats: %+v", st)
+	}
+	if _, err := c.AlltoAll("1", 0, m, m, CM); err != nil {
+		t.Fatal(err)
+	}
+	st := c.PlanCacheStats()
+	if st.PlanMisses != 1 || st.PlanHits != 0 || st.TraceMisses != 1 {
+		t.Fatalf("after first call: %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.AlltoAll("1", 0, m, m, CM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = c.PlanCacheStats()
+	if st.PlanHits != 3 || st.PlanMisses != 1 {
+		t.Fatalf("after replays: %+v", st)
+	}
+	if st.CachedPlans != 1 || st.CachedTraces != 1 {
+		t.Fatalf("cache sizes: %+v", st)
+	}
+	if st.TraceEntries == 0 || st.TraceBytes == 0 {
+		t.Fatalf("no trace memory accounted: %+v", st)
+	}
+	// Host-input plans miss the plan cache but hit the trace cache.
+	bufs := [][]byte{nil}
+	_ = bufs
+	if _, err := c.Scatter("1", nil, 4*m, m/32, IM); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Scatter("1", nil, 4*m, m/32, IM); err != nil {
+		t.Fatal(err)
+	}
+	st = c.PlanCacheStats()
+	if st.TraceHits != 3+1 || st.TraceMisses != 2 {
+		t.Fatalf("host-input trace sharing: %+v", st)
+	}
+	c.ClearPlanCache()
+	st = c.PlanCacheStats()
+	if st.CachedPlans != 0 || st.CachedTraces != 0 || st.TraceBytes != 0 {
+		t.Fatalf("clear did not drop entries: %+v", st)
+	}
+	if st.PlanHits != 3 {
+		t.Fatalf("clear dropped cumulative counters: %+v", st)
+	}
+}
+
+// TestSubmitRootedResults checks a submitted Gather's results are owned
+// by the future and survive later runs of the same plan.
+func TestSubmitRootedResults(t *testing.T) {
+	const s = 64
+	c := asyncTestComm(t, false)
+	fillPEs(c, 0, s, 5)
+	f, err := c.SubmitGather("1", 0, s, IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := f.Results()
+	if len(bufs) != 1 || len(bufs[0]) != 32*s {
+		t.Fatalf("gather results shape: %d groups", len(bufs))
+	}
+	snapshot := append([]byte(nil), bufs[0]...)
+	// Overwrite MRAM and rerun: the future's buffers must not change.
+	fillPEs(c, 0, s, 6)
+	if _, _, err := c.Gather("1", 0, s, IM); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshot, bufs[0]) {
+		t.Fatal("future results were clobbered by a later run")
+	}
+}
+
+func ExampleFuture_Window() {
+	// Windows order by hazards; see TestAsyncHazardOrdering for the
+	// assertions. This example exists to anchor the godoc.
+	fmt.Println("dependent plans execute in submission order")
+	// Output: dependent plans execute in submission order
+}

@@ -25,6 +25,13 @@ import (
 // responsible for data disjointness: two concurrent collectives (or app
 // kernels) touching overlapping MRAM regions race semantically even
 // though each executes atomically.
+//
+// Asynchronous execution (async.go): Submit* methods enqueue compiled
+// plans on a per-Comm submission queue and return Futures; independent
+// plans overlap on the elapsed-time timeline (Elapsed), hazardous plans
+// are ordered by their MRAM footprints, and Flush is the barrier. Serial
+// runs and direct MRAM access (SetPEBuffer/GetPEBuffer) should only
+// happen with no submissions in flight — serial Run flushes implicitly.
 type Comm struct {
 	hc      *Hypercube
 	h       *host.Host
@@ -47,10 +54,30 @@ type Comm struct {
 	autoCache map[autoKey]Level
 	shadow    *Comm
 
-	// compMu guards the compiled-plan and charge-trace caches (plan.go).
+	// compMu guards the compiled-plan and charge-trace caches (plan.go)
+	// and their hit/miss counters.
 	compMu   sync.Mutex
 	compiled map[planKey]*CompiledPlan
 	traces   map[planKey]*chargeTrace
+	cacheSt  PlanCacheStats
+
+	// tl is the overlap-aware elapsed-time timeline; asyncBase is the
+	// barrier behind which new submissions may not start, and frontier
+	// holds the placements still visible for hazard checks. All three are
+	// guarded by execMu (async.go).
+	tl        cost.Timeline
+	asyncBase cost.Seconds
+	frontier  []placedPlan
+
+	// asyncMu guards the submission queue and worker state; asyncCond
+	// signals queue drain to Flush. asyncSlots is the queue-slot
+	// semaphore bounding in-flight submissions at MaxPendingPlans.
+	asyncMu      sync.Mutex
+	asyncCond    *sync.Cond
+	asyncQ       []*Future
+	asyncRunning bool
+	asyncPending int
+	asyncSlots   chan struct{}
 }
 
 // NewComm creates a communication context for the hypercube with the
@@ -71,16 +98,19 @@ func NewCostComm(hc *Hypercube, params cost.Params) *Comm {
 // NewCommWithBackend creates a communication context on an explicit
 // backend.
 func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
-	return &Comm{
-		hc:        hc,
-		h:         host.New(hc.sys, params),
-		eng:       dpu.NewEngine(hc.sys, params),
-		backend:   b,
-		plans:     make(map[string]*plan),
-		autoCache: make(map[autoKey]Level),
-		compiled:  make(map[planKey]*CompiledPlan),
-		traces:    make(map[planKey]*chargeTrace),
+	c := &Comm{
+		hc:         hc,
+		h:          host.New(hc.sys, params),
+		eng:        dpu.NewEngine(hc.sys, params),
+		backend:    b,
+		plans:      make(map[string]*plan),
+		autoCache:  make(map[autoKey]Level),
+		compiled:   make(map[planKey]*CompiledPlan),
+		traces:     make(map[planKey]*chargeTrace),
+		asyncSlots: make(chan struct{}, MaxPendingPlans),
 	}
+	c.asyncCond = sync.NewCond(&c.asyncMu)
+	return c
 }
 
 // Backend returns the comm's execution backend.

@@ -1,0 +1,65 @@
+// Package core implements PID-Comm: the virtual-hypercube communication
+// model (§ IV) and the optimized multi-instance collective communication
+// library (§ V) for the simulated PIM-enabled DIMM system.
+//
+// # Role
+//
+// core is the engine of the reproduction. It provides the eight
+// collective primitives of Figure 2 (AlltoAll, ReduceScatter, AllReduce,
+// AllGather, Scatter, Gather, Reduce, Broadcast) at four cumulative
+// optimization levels — Baseline, +PE-assisted reordering (PR, § V-A1),
+// +in-register modulation (IM, § V-A2), +cross-domain modulation (CM,
+// § V-A3) — over user-selected hypercube dimensions. Every functional
+// execution moves real bytes through the simulated banks and registers
+// and must produce bit-identical results; tests verify all levels against
+// an independent reference model (reference.go).
+//
+// # Pipeline
+//
+// A collective call flows through four stages: validate, lower to the
+// schedule IR, compile to a plan, execute.
+//
+//   - Hypercube (hypercube.go) holds the virtual shape of § IV-B and
+//     produces communication groups (the cube slices of Figure 5) from a
+//     dims bitmap.
+//   - Schedule (schedule.go) is the typed IR every collective lowers to:
+//     StepRotateBlocks (the PE-assisted reorder kernel), StepBulk (a
+//     conventional staged host pass), StepColumnStream (one streaming
+//     epoch of the optimized engine), StepHostCompute and StepSync. Each
+//     step carries both the functional closures that move bytes and the
+//     declarative charge counts the cost-only backend needs.
+//   - Backend (exec.go) executes steps: the functional backend moves real
+//     bytes; the cost-only backend charges the identical cost (pinned
+//     bit-for-bit by exec_test.go) while moving nothing — the engine for
+//     paper-scale sweeps and AutoLevel dry runs.
+//   - CompiledPlan (plan.go) is the plan/execute split: a call signature
+//     compiled once (validation, Auto resolution, lowering, charge
+//     precomputation) and replayed many times, with a per-Comm cache
+//     (PlanCacheStats instruments it).
+//   - Level autotuning (auto.go): passing Auto dry-runs every applicable
+//     level on a cached cost-only shadow comm and picks the cheapest for
+//     the call signature.
+//
+// # Asynchronous execution
+//
+// Submit (async.go) enqueues a plan on the Comm's submission queue and
+// returns a Future. Plans execute in submission order — results are
+// bit-identical to serial replay — but elapsed-time accounting is
+// overlap-aware: each plan is placed on a three-lane cost.Timeline (host
+// CPU, external bus, PE array), plans with disjoint MRAM footprints
+// overlap, and plans with data hazards (RAW/WAR/WAW on a per-PE region)
+// are ordered. Comm.Elapsed reports the makespan; Comm.Flush is the
+// barrier. The bench "async" experiment measures the overlap speedup on
+// a DLRM-style pipeline.
+//
+// # Paper map
+//
+//	Figure 2      Primitive (level.go)
+//	Figures 5, 6  Hypercube, Groups (hypercube.go)
+//	Figure 7      lowerAlltoAll (schedule.go)
+//	Figure 8      lowerReduceScatter / lowerAllReduce / lowerAllGather
+//	Figure 9      shiftColumn (engine.go)
+//	Table I, II   support.go (TableI, TableII, TechniqueApplies)
+//	§ V-A1        launchRotateBlocks (engine.go)
+//	§ VIII-H      AllReduceTopo (topo.go)
+package core

@@ -1,13 +1,3 @@
-// Package core implements PID-Comm: the virtual-hypercube communication
-// model (§ IV) and the optimized multi-instance collective communication
-// library (§ V) for the simulated PIM-enabled DIMM system.
-//
-// The package provides the eight collective primitives of Figure 2 at four
-// cumulative optimization levels (Baseline, +PE-assisted reordering,
-// +in-register modulation, +cross-domain modulation). Every level moves
-// real bytes through the simulated banks and registers and must produce
-// bit-identical results; tests verify all levels against an independent
-// reference model.
 package core
 
 import (

@@ -49,6 +49,16 @@ type chargeTrace struct {
 	adds  []cost.TraceEntry
 	stats host.XferStats
 	total cost.Breakdown
+	// segs is the trace coalesced into timeline lane segments, the unit
+	// of overlap-aware elapsed-time placement (async.go).
+	segs []cost.Segment
+}
+
+// memBytes approximates the trace's cached memory footprint.
+func (tr *chargeTrace) memBytes() int64 {
+	const traceEntryBytes = 16 // Category + Seconds
+	const segmentBytes = 16    // Lane + Seconds
+	return int64(len(tr.adds))*traceEntryBytes + int64(len(tr.segs))*segmentBytes
 }
 
 // CompiledPlan is a collective lowered once to its IR Schedule plus
@@ -66,6 +76,9 @@ type CompiledPlan struct {
 	key   planKey
 	sched *Schedule
 	tr    *chargeTrace
+	// regs is the plan's per-PE MRAM footprint, used for hazard
+	// detection between asynchronously submitted plans (async.go).
+	regs planRegions
 
 	// out is the rooted-result slot the schedule's closures write into
 	// during a functional execution; lastOut is what Results returns.
@@ -105,11 +118,26 @@ func (cp *CompiledPlan) Results() [][]byte {
 }
 
 // run executes one replay under the comm's execution lock and returns
-// the rooted results (if any) and the call's breakdown.
+// the rooted results (if any) and the call's breakdown. Serial runs are
+// barriers with respect to submitted plans: run waits for the submission
+// queue to drain, then appends its lane segments to the elapsed-time
+// timeline (no overlap).
 func (cp *CompiledPlan) run() ([][]byte, cost.Breakdown) {
 	c := cp.c
+	c.Flush()
 	c.execMu.Lock()
 	defer c.execMu.Unlock()
+	c.placeSerialLocked(cp.tr.segs)
+	return c.runScheduleLocked(cp)
+}
+
+// runScheduleLocked executes one replay of cp on the comm's backend —
+// the full schedule on the functional backend, the precomputed charge
+// trace on the cost-only backend — publishes the rooted results, and
+// returns them with the run's breakdown. The single execution block
+// shared by the serial (run) and asynchronous (execSubmitted) paths, so
+// the two cannot drift apart in accounting. Callers hold execMu.
+func (c *Comm) runScheduleLocked(cp *CompiledPlan) ([][]byte, cost.Breakdown) {
 	before := c.h.Meter().Snapshot()
 	if c.backend.Functional() {
 		cp.out = nil
@@ -151,6 +179,7 @@ func (c *Comm) traceSchedule(sched *Schedule) *chargeTrace {
 	if check.Snapshot() != tr.total {
 		panic(fmt.Sprintf("core: charge trace of %s does not reproduce its meter (an execution path bypassed Add?)", sched.Name))
 	}
+	tr.segs = cost.SegmentsOf(tr.adds)
 	return tr
 }
 
@@ -162,20 +191,26 @@ func hostInput(p Primitive) bool { return p == Scatter || p == Broadcast }
 // miss. Host-input primitives are compiled fresh every call — their
 // schedules capture the caller's buffer slices — but share the cached
 // charge trace, which depends only on the call shape; everything else is
-// cached whole, so a repeated signature is a map lookup.
-func (c *Comm) compiledPlan(key planKey, lower func(cp *CompiledPlan) *Schedule) *CompiledPlan {
+// cached whole, so a repeated signature is a map lookup. regs is the
+// plan's MRAM footprint for async hazard detection.
+func (c *Comm) compiledPlan(key planKey, regs planRegions, lower func(cp *CompiledPlan) *Schedule) *CompiledPlan {
 	c.compMu.Lock()
 	defer c.compMu.Unlock()
 	if !hostInput(key.prim) {
 		if cp, ok := c.compiled[key]; ok {
+			c.cacheSt.PlanHits++
+			c.cacheSt.TraceHits++
 			return cp
 		}
 	}
-	cp := &CompiledPlan{c: c, key: key}
+	c.cacheSt.PlanMisses++
+	cp := &CompiledPlan{c: c, key: key, regs: regs}
 	cp.sched = lower(cp)
 	if tr, ok := c.traces[key]; ok {
+		c.cacheSt.TraceHits++
 		cp.tr = tr
 	} else {
+		c.cacheSt.TraceMisses++
 		cp.tr = c.traceSchedule(cp.sched)
 		c.traces[key] = cp.tr
 	}
@@ -185,10 +220,48 @@ func (c *Comm) compiledPlan(key planKey, lower func(cp *CompiledPlan) *Schedule)
 	return cp
 }
 
+// PlanCacheStats reports the compiled-plan cache's behavior and memory
+// footprint (cmd/pidinfo surfaces it). Hit/miss counters are cumulative
+// over the Comm's lifetime — ClearPlanCache drops the cached entries but
+// keeps the counters.
+type PlanCacheStats struct {
+	// PlanHits and PlanMisses count whole-plan cache lookups. A miss
+	// pays validation, lowering, and (unless the trace is shared) charge
+	// tracing. Host-input primitives (Scatter, Broadcast) always miss —
+	// their schedules bind caller buffers — but still share traces.
+	PlanHits, PlanMisses uint64
+	// TraceHits and TraceMisses count charge-trace lookups; a trace
+	// depends only on the call shape, so host-input plans hit here even
+	// though they miss the plan cache.
+	TraceHits, TraceMisses uint64
+	// CachedPlans and CachedTraces are the live entry counts.
+	CachedPlans, CachedTraces int
+	// TraceEntries is the total recorded meter additions across cached
+	// traces; TraceBytes approximates their memory footprint.
+	TraceEntries int64
+	TraceBytes   int64
+}
+
+// PlanCacheStats returns a snapshot of the compiled-plan cache counters
+// and memory accounting.
+func (c *Comm) PlanCacheStats() PlanCacheStats {
+	c.compMu.Lock()
+	defer c.compMu.Unlock()
+	st := c.cacheSt
+	st.CachedPlans = len(c.compiled)
+	st.CachedTraces = len(c.traces)
+	for _, tr := range c.traces {
+		st.TraceEntries += int64(len(tr.adds))
+		st.TraceBytes += tr.memBytes()
+	}
+	return st
+}
+
 // ClearPlanCache drops every compiled plan and charge trace. Plans
 // already handed out remain valid; the next Compile* of each signature
 // pays the full lowering+tracing cost again (the bench replay experiment
-// uses this to measure the cold path).
+// uses this to measure the cold path). Cumulative hit/miss counters are
+// preserved.
 func (c *Comm) ClearPlanCache() {
 	c.compMu.Lock()
 	defer c.compMu.Unlock()
@@ -236,7 +309,10 @@ func (c *Comm) CompileAlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl 
 		return nil, fmt.Errorf("AlltoAll: %w", err)
 	}
 	key := planKey{prim: AlltoAll, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, lvl: eff}
-	return c.compiledPlan(key, func(*CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
+	regs.write(dstOff, bytesPerPE)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
 		return c.lowerAlltoAll(p, srcOff, dstOff, s, eff)
 	}), nil
 }
@@ -254,7 +330,10 @@ func (c *Comm) CompileReduceScatter(dims string, srcOff, dstOff, bytesPerPE int,
 	}
 	eff := EffectiveLevel(ReduceScatter, lvl)
 	key := planKey{prim: ReduceScatter, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, elemType: t, op: op, lvl: eff}
-	return c.compiledPlan(key, func(*CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
+	regs.write(dstOff, s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
 		return c.lowerReduceScatter(p, srcOff, dstOff, s, t, op, eff)
 	}), nil
 }
@@ -275,7 +354,10 @@ func (c *Comm) CompileAllReduce(dims string, srcOff, dstOff, bytesPerPE int, t e
 	}
 	eff := EffectiveLevel(AllReduce, lvl)
 	key := planKey{prim: AllReduce, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, elemType: t, op: op, lvl: eff}
-	return c.compiledPlan(key, func(*CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
+	regs.write(dstOff, bytesPerPE)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
 		return c.lowerAllReduce(p, srcOff, dstOff, s, t, op, eff)
 	}), nil
 }
@@ -303,7 +385,10 @@ func (c *Comm) CompileAllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl
 	}
 	eff := EffectiveLevel(AllGather, lvl)
 	key := planKey{prim: AllGather, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, lvl: eff}
-	return c.compiledPlan(key, func(*CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.read(srcOff, s)
+	regs.write(dstOff, p.n*s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
 		return c.lowerAllGather(p, srcOff, dstOff, s, eff)
 	}), nil
 }
@@ -326,7 +411,9 @@ func (c *Comm) CompileGather(dims string, srcOff, bytesPerPE int, lvl Level) (*C
 	}
 	eff := EffectiveLevel(Gather, lvl)
 	key := planKey{prim: Gather, dims: dims, srcOff: srcOff, bytes: bytesPerPE, lvl: eff}
-	return c.compiledPlan(key, func(cp *CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.read(srcOff, s)
+	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
 		return c.lowerGather(p, srcOff, s, eff, &cp.out)
 	}), nil
 }
@@ -355,7 +442,9 @@ func (c *Comm) CompileReduce(dims string, srcOff, bytesPerPE int, t elem.Type, o
 	}
 	eff := EffectiveLevel(Reduce, lvl)
 	key := planKey{prim: Reduce, dims: dims, srcOff: srcOff, bytes: bytesPerPE, elemType: t, op: op, lvl: eff}
-	return c.compiledPlan(key, func(cp *CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
+	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
 		return c.lowerReduce(p, srcOff, s, t, op, eff, &cp.out)
 	}), nil
 }
@@ -394,7 +483,9 @@ func (c *Comm) CompileScatter(dims string, bufs [][]byte, dstOff, bytesPerPE int
 	}
 	eff := EffectiveLevel(Scatter, lvl)
 	key := planKey{prim: Scatter, dims: dims, dstOff: dstOff, bytes: bytesPerPE, lvl: eff}
-	return c.compiledPlan(key, func(*CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.write(dstOff, s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
 		return c.lowerScatter(p, bufs, dstOff, s, eff)
 	}), nil
 }
@@ -423,7 +514,9 @@ func (c *Comm) CompileBroadcast(dims string, bufs [][]byte, dstOff int, lvl Leve
 	}
 	_ = lvl // single implementation at every level (§ VIII-B)
 	key := planKey{prim: Broadcast, dims: dims, dstOff: dstOff, bytes: s, lvl: Baseline}
-	return c.compiledPlan(key, func(*CompiledPlan) *Schedule {
+	var regs planRegions
+	regs.write(dstOff, s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
 		return c.lowerBroadcast(p, bufs, dstOff, s)
 	}), nil
 }

@@ -63,6 +63,7 @@ func (c *Comm) AllReduceTopo(topo Topology, dims string, srcOff, dstOff, bytesPe
 	if err := checkElem(t, op); err != nil {
 		return cost.Breakdown{}, fmt.Errorf("AllReduceTopo(%v): %w", topo, err)
 	}
+	c.Flush() // serial execution is a barrier w.r.t. submitted plans
 	c.execMu.Lock()
 	defer c.execMu.Unlock()
 	before := c.h.Meter().Snapshot()
@@ -147,5 +148,9 @@ func (c *Comm) AllReduceTopo(topo Topology, dims string, srcOff, dstOff, bytesPe
 	default:
 		return cost.Breakdown{}, fmt.Errorf("AllReduceTopo: unknown topology %v", topo)
 	}
-	return c.h.Meter().Snapshot().Sub(before), nil
+	bd := c.h.Meter().Snapshot().Sub(before)
+	// Topology comparators execute outside the plan machinery; keep the
+	// elapsed-time timeline coherent by appending their cost serially.
+	c.placeSerialLocked(bd.Segments())
+	return bd, nil
 }

@@ -1,15 +1,3 @@
-// Package cost provides the timing model for the simulated PIM-enabled
-// DIMM system and the accounting meter that produces the per-category
-// execution-time breakdowns reported in the paper (Figures 4 and 17).
-//
-// The model is deliberately parametric: the paper's claims are about the
-// shape of results (which design wins, by what factor, where crossovers
-// fall), and those shapes are determined by bandwidth and throughput
-// ratios, not absolute hardware speeds. All parameters live in Params and
-// are documented with the real-hardware values they approximate.
-//
-// The meter accumulates simulated seconds. It never influences functional
-// data movement; the simulator moves real bytes and reports costs here.
 package cost
 
 import (

@@ -1,0 +1,115 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLaneOf(t *testing.T) {
+	want := map[Category]Lane{
+		DomainTransfer: LaneCPU,
+		HostMod:        LaneCPU,
+		HostMem:        LaneCPU,
+		Other:          LaneCPU,
+		PEMem:          LaneBus,
+		Network:        LaneBus,
+		PEMod:          LanePE,
+		Kernel:         LanePE,
+	}
+	for _, c := range Categories() {
+		if got := LaneOf(c); got != want[c] {
+			t.Errorf("LaneOf(%v) = %v, want %v", c, got, want[c])
+		}
+	}
+}
+
+func TestSegmentsOfCoalesces(t *testing.T) {
+	adds := []TraceEntry{
+		{PEMod, 1}, {Other, 2}, {HostMod, 3}, {PEMem, 4}, {Network, 5}, {Kernel, 0}, {Kernel, 6},
+	}
+	segs := SegmentsOf(adds)
+	want := []Segment{{LanePE, 1}, {LaneCPU, 5}, {LaneBus, 9}, {LanePE, 6}}
+	if len(segs) != len(want) {
+		t.Fatalf("got %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d: got %v, want %v", i, segs[i], want[i])
+		}
+	}
+}
+
+// Two independent plans of shape [PE p][Bus b][PE p] overlap: the second
+// plan's leading PE segment backfills the gap under the first plan's bus
+// epoch.
+func TestTimelineOverlapsIndependentPlans(t *testing.T) {
+	plan := []Segment{{LanePE, 1}, {LaneBus, 4}, {LanePE, 1}}
+	var tl Timeline
+	s1, f1 := tl.Place(0, plan)
+	if s1 != 0 || f1 != 6 {
+		t.Fatalf("first plan: [%v,%v), want [0,6)", s1, f1)
+	}
+	s2, f2 := tl.Place(0, plan)
+	// PE lead-in backfills at t=1, bus queues behind the first epoch.
+	if s2 != 1 {
+		t.Errorf("second plan start = %v, want 1 (backfilled under first bus epoch)", s2)
+	}
+	if f2 >= 12 {
+		t.Errorf("second plan finish = %v, want < 12 (serial)", f2)
+	}
+	if tl.Elapsed() != f2 {
+		t.Errorf("Elapsed = %v, want %v", tl.Elapsed(), f2)
+	}
+}
+
+func TestTimelineSerialIsSum(t *testing.T) {
+	plan := []Segment{{LanePE, 1}, {LaneBus, 4}, {LaneCPU, 2}}
+	var tl Timeline
+	tl.PlaceSerial(plan)
+	tl.PlaceSerial(plan)
+	if got, want := tl.Elapsed(), Seconds(14); got != want {
+		t.Fatalf("serial elapsed = %v, want %v", got, want)
+	}
+}
+
+// Async placement never exceeds serial placement, and a later earliest
+// bound is respected.
+func TestTimelinePlaceNeverExceedsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var plans [][]Segment
+		var serialTotal Seconds
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			var p []Segment
+			for s := 0; s < 1+rng.Intn(5); s++ {
+				seg := Segment{Lane(rng.Intn(int(NumLanes))), Seconds(rng.Float64() * 3)}
+				p = append(p, seg)
+				serialTotal += seg.Dur
+			}
+			plans = append(plans, p)
+		}
+		var tl Timeline
+		for _, p := range plans {
+			if _, f := tl.Place(0, p); f > serialTotal+1e-12 {
+				t.Fatalf("trial %d: finish %v exceeds serial total %v", trial, f, serialTotal)
+			}
+		}
+		if tl.Elapsed() > serialTotal+1e-12 {
+			t.Fatalf("trial %d: makespan %v exceeds serial total %v", trial, tl.Elapsed(), serialTotal)
+		}
+	}
+}
+
+func TestTimelineEarliestBound(t *testing.T) {
+	var tl Timeline
+	tl.Place(0, []Segment{{LaneBus, 5}})
+	s, _ := tl.Place(7, []Segment{{LanePE, 1}})
+	if s != 7 {
+		t.Fatalf("start = %v, want 7 (earliest bound)", s)
+	}
+	tl.Reset()
+	if tl.Elapsed() != 0 {
+		t.Fatalf("Reset did not clear the timeline")
+	}
+}

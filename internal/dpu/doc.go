@@ -1,0 +1,34 @@
+// Package dpu models the in-DIMM processing elements (DPUs) attached to
+// each memory bank (§ II-A): a PE can stream its own bank's MRAM through
+// a small WRAM scratchpad and execute simple integer instructions, with
+// no path to any other PE — the architectural constraint all of
+// PID-Comm's host-mediated communication exists to work around.
+//
+// # Key types
+//
+//   - Ctx is a kernel's view of one PE: ReadMram/WriteMram model the DMA
+//     engine (and account its traffic), Exec accounts retired
+//     instructions, Wram is the 64 KiB scratchpad.
+//   - Kernel is a Go function run against the real simulated MRAM bytes
+//     of one PE; correctness is checked end-to-end by the application
+//     tests (bit-exact against CPU references).
+//   - Engine launches kernels. Launch runs them concurrently across PEs
+//     and charges the cost model with the slowest PE's modeled time (all
+//     PEs run in parallel on hardware) plus the host-side launch
+//     overhead; per-PE time is max(instruction time, MRAM DMA time),
+//     modeling tasklet-level DMA/compute overlap, degraded below
+//     SaturatingTasklets (UPMEM guidance: >= 11 tasklets for ~1 IPC).
+//   - LaunchCharges is the cost-only seam: it charges a launch whose
+//     per-PE work is known analytically, sharing the time arithmetic
+//     with Launch so both backends produce bit-identical meters.
+//
+// Engine.Launch is safe for concurrent use; the Comm's collectives and
+// application kernels share one engine. Callers keep concurrent kernels'
+// MRAM regions disjoint, as on real hardware.
+//
+// # Paper map
+//
+//	§ II-A    the PE/bank/WRAM architecture Ctx models
+//	§ V-A1    the reorder kernels core launches with Category PEMod
+//	§ VII     application kernels (Category Kernel) in internal/apps
+package dpu

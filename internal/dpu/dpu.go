@@ -1,10 +1,3 @@
-// Package dpu models the in-DIMM processing elements (DPUs) attached to
-// each memory bank (§ II-A): a PE can stream its own bank's MRAM through
-// a small WRAM scratchpad and execute simple integer instructions, with
-// no path to any other PE. Kernels are Go functions run against the real
-// simulated MRAM bytes; the engine executes them in parallel across PEs
-// and charges the cost model with the slowest PE's modeled time (all PEs
-// run concurrently on hardware) plus the host-side launch overhead.
 package dpu
 
 import (

@@ -1,0 +1,38 @@
+// Package dram simulates the memory side of a commodity PIM-enabled DIMM
+// system (UPMEM-like, § II-A, Figure 1).
+//
+// # The entangled-group constraint
+//
+// The hierarchy is channel -> rank -> chip -> bank. The 8 chips of a rank
+// share the 64-bit channel bus, 8 bits each, and operate in unison: a
+// 64-byte DDR4 burst addressed to bank b of a rank is striped byte-wise
+// across bank b of all 8 chips. The set of banks {bank b of chips 0..7}
+// is an *entangled group*; its 8 banks (and the PEs attached to them)
+// must be accessed together to draw full bus bandwidth. This striping is
+// also why host and PEs see different byte orders — the domain-transfer
+// problem of § II-B that cross-domain modulation (§ V-A3) attacks.
+//
+// The package stores real bytes in per-bank MRAM arrays and implements
+// the physical striping exactly: burst byte i lands in chip i%8 at local
+// offset base+i/8. Everything above (domain transfer, collectives) builds
+// on this layout, so data placement bugs surface as data corruption in
+// tests rather than as silent cost-model drift.
+//
+// # Key types
+//
+//   - Geometry sizes a system (channels, ranks, banks, MRAM per bank);
+//     PaperGeometry returns the paper's 1024-PE testbed (§ VIII-A).
+//   - System allocates the banks and implements burst striping
+//     (ReadBurst/WriteBurst), PE linearization (PEFromLinear) and the
+//     group-to-rank mapping (RankOfGroup).
+//   - NewPhantomSystem allocates a geometry-only system with no backing
+//     MRAM: topology and size queries work, byte access panics. Combined
+//     with the cost-only backend it makes paper-scale sweeps allocation-
+//     free.
+//
+// # Paper map
+//
+//	Figure 1, § II-A  Geometry, the entangled-group striping
+//	§ II-B            the PIM/host byte-domain split ReadBurst exposes
+//	§ VIII-A          PaperGeometry (4 ch x 4 ranks x 8 chips x 8 banks)
+package dram

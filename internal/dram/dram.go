@@ -1,18 +1,3 @@
-// Package dram simulates the memory side of a commodity PIM-enabled DIMM
-// system (UPMEM-like, § II-A, Figure 1).
-//
-// The hierarchy is channel -> rank -> chip -> bank. The 8 chips of a rank
-// share the 64-bit channel bus, 8 bits each, and operate in unison: a
-// 64-byte DDR4 burst addressed to bank b of a rank is striped byte-wise
-// across bank b of all 8 chips. The set of banks {bank b of chips 0..7}
-// is an entangled group; its 8 banks (and the PEs attached to them) must
-// be accessed together to draw full bus bandwidth.
-//
-// The package stores real bytes in per-bank MRAM arrays and implements the
-// physical striping exactly: burst byte i lands in chip i%8 at local
-// offset base+i/8. Everything above (domain transfer, collectives) builds
-// on this layout, so data placement bugs surface as data corruption in
-// tests rather than as silent cost-model drift.
 package dram
 
 import "fmt"

@@ -1,0 +1,47 @@
+// Package host models the host CPU side of the PIM-DIMM system: the
+// staging memory, the AVX-512 vector unit, the driver's domain-transfer
+// engine, and the burst-level transfer engine between host and entangled
+// groups (with rank-level parallelism).
+//
+// # Role
+//
+// Every byte that moves between PEs moves through the Host — PEs have no
+// interconnect (§ II-A) — so this package is the chokepoint both designs
+// share. All functional data movement is real: bursts move actual bytes
+// between the simulated bank MRAMs and host buffers/registers. Costs are
+// charged to a cost.Meter in the categories of the paper's breakdowns.
+//
+// # Key types and seams
+//
+//   - Host owns the attached dram.System, the cost parameters, and the
+//     meter. Single-owner state (core.Comm serializes executions on it),
+//     except Stats and Meter, which may be polled concurrently.
+//   - Transfer epochs (BeginXfer/EndXfer): burst traffic is tallied per
+//     channel and charged at epoch end as the *maximum* per-channel time
+//     — channels transfer in parallel, as on real hardware; without
+//     RankParallel the effective bandwidth halves (§ VIII ablation).
+//   - ReadBurst/WriteBurst move one 64-byte burst per entangled group in
+//     PIM byte order — the unit the optimized column-streaming engine
+//     consumes (§ V-A2).
+//   - BulkRead/BulkWrite are the conventional UPMEM-SDK-style staged
+//     paths of the baseline design (§ III-A, Figure 3a): bus + automatic
+//     domain transfer + staging-memory traffic.
+//   - DomainTransfer is the driver's 8x8 byte transpose between PIM and
+//     host byte domains (§ II-B, Figure 1).
+//   - Charge* methods map one host-side work class each to the cost
+//     model (scalar/local/SIMD modulation, reductions, staging traffic).
+//   - Cost-only seams: TallyBursts, ChargeBulkRead, ChargeBulkWrite and
+//     ApplyStats account traffic without moving bytes, with charge
+//     sequences that mirror the functional paths exactly — the host-side
+//     half of the cost-only backend's bit-identical guarantee.
+//
+// XferStats (stats.go) summarizes cumulative bus traffic for tests and
+// cmd/pidtrace.
+//
+// # Paper map
+//
+//	Figure 1, § II-B  DomainTransfer
+//	Figure 3a, § III  BulkRead / BulkWrite (baseline staging)
+//	§ V-A2            ReadBurst / WriteBurst (column streaming)
+//	§ VIII-D          Charge{Scalar,Local}Reduce calibration
+package host

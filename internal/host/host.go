@@ -1,13 +1,3 @@
-// Package host models the host CPU side of the PIM-DIMM system: the
-// staging memory, the AVX-512 vector unit, the driver's domain-transfer
-// engine, and the burst-level transfer engine between host and entangled
-// groups (with rank-level parallelism).
-//
-// All functional data movement is real: bursts move actual bytes between
-// the simulated bank MRAMs and host buffers/registers. Costs are charged
-// to a cost.Meter in the categories of the paper's breakdowns. Transfer
-// time over the external bus is accounted per "epoch" (BeginXfer/EndXfer)
-// so that channels transfer in parallel, as on real hardware.
 package host
 
 import (

@@ -129,11 +129,43 @@ type System = dram.System
 // calls amortize too. On the cost-only backend a cached replay applies a
 // precomputed charge trace — orders of magnitude faster than
 // compile-each-call (see `pidbench -replay`) and bit-identical to it.
+//
+// # Asynchronous execution
+//
+// Submit* methods (and CompiledPlan.Submit) enqueue a collective on the
+// Comm's submission queue and return a Future immediately. Plans execute
+// in submission order with identical results to serial replay, but the
+// overlap-aware elapsed time (Comm.Elapsed) lets independent plans —
+// disjoint MRAM footprints — overlap: one plan's PE-side reorder kernels
+// hide under another's bus epochs. Plans with data hazards (RAW/WAR/WAW
+// on a region) are ordered automatically:
+//
+//	f1, _ := comm.SubmitReduceScatter("01", respOff, rsOff, n, pidcomm.I32, pidcomm.Sum, pidcomm.IM)
+//	f2, _ := comm.SubmitAlltoAll("101", rsOff, aaOff, n/ny, pidcomm.Auto) // RAW on rsOff: ordered
+//	bd1, _ := f1.Wait()
+//	bd2, _ := f2.Wait()
+//
+// Comm.Flush is the barrier: call it before touching MRAM directly while
+// submissions may be in flight. See `pidbench -exp async` for the overlap
+// speedup this buys on a DLRM-style pipeline.
 type Comm = core.Comm
 
 // CompiledPlan is a collective compiled once — validated, Auto-resolved,
 // lowered to schedule IR, charges precomputed — for repeated Run calls.
 type CompiledPlan = core.CompiledPlan
+
+// Future is the handle of one asynchronously submitted plan execution;
+// see Comm's Submit* methods and CompiledPlan.Submit. Wait/Err/Cost/
+// Results/Window block until the execution completes; Done polls.
+type Future = core.Future
+
+// PlanCacheStats reports the compiled-plan cache's hit/miss counters and
+// memory accounting (Comm.PlanCacheStats; `pidinfo -plancache`).
+type PlanCacheStats = core.PlanCacheStats
+
+// MaxPendingPlans bounds a Comm's submission queue; Submit blocks once
+// this many plans are in flight.
+const MaxPendingPlans = core.MaxPendingPlans
 
 // DefaultParams returns the calibrated timing parameters (DESIGN.md § 4).
 func DefaultParams() Params { return cost.DefaultParams() }
