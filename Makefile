@@ -25,6 +25,7 @@ race:
 # Fast sanity pass over the evaluation harness on the cost-only backend.
 bench-smoke:
 	$(GO) run ./cmd/pidbench -exp fig14 -backend=cost
+	$(GO) run ./cmd/pidbench -exp multitenant
 
 # Documentation gate: every package must carry package-level
 # documentation (docs_test.go enforces it); `check` runs vet separately.

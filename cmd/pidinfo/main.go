@@ -4,10 +4,13 @@
 // model parameters. With -plancache it additionally runs a representative
 // compile/replay workload on a cost-only comm and prints the
 // compiled-plan cache statistics (hit/miss counters, cached entries,
-// charge-trace memory).
+// charge-trace memory). With -tenants it provisions a representative
+// multi-tenant machine, serves a few requests per tenant and lists every
+// tenant's arena, scheduler weight, quota state and attributed meter.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,15 +19,24 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dram"
 	"repro/internal/elem"
+	"repro/pidcomm"
 )
 
 func main() {
 	mram := flag.Int("mram", 1<<20, "per-bank MRAM bytes")
 	plancache := flag.Bool("plancache", false, "run a representative compile/replay workload and print plan-cache statistics")
+	tenants := flag.Bool("tenants", false, "provision a representative multi-tenant machine and list arenas, weights, quotas and per-tenant meters")
 	flag.Parse()
 
 	if *plancache {
 		if err := printPlanCache(*mram); err != nil {
+			fmt.Fprintln(os.Stderr, "pidinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tenants {
+		if err := printTenants(*mram); err != nil {
 			fmt.Fprintln(os.Stderr, "pidinfo:", err)
 			os.Exit(1)
 		}
@@ -106,5 +118,88 @@ func printPlanCache(mram int) error {
 	fmt.Printf("  charge-trace lookups  %d hits / %d misses\n", st.TraceHits, st.TraceMisses)
 	fmt.Printf("  cached entries        %d plans, %d traces\n", st.CachedPlans, st.CachedTraces)
 	fmt.Printf("  trace memory          %d entries, ~%d B\n", st.TraceEntries, st.TraceBytes)
+	return nil
+}
+
+// printTenants provisions a representative multi-tenant machine over the
+// paper geometry (cost-only, phantom MRAM), serves a few asynchronous
+// requests per tenant and prints the machine's tenant table: arena
+// windows, weighted-fair shares, quota state and per-tenant meters. The
+// quota'd tenant is sized to run out mid-stream, so the listing shows
+// admission control in action.
+func printTenants(mram int) error {
+	mach, err := pidcomm.NewMachine(pidcomm.PaperSystem(mram), []int{32, 32}, pidcomm.CostOnly())
+	if err != nil {
+		return err
+	}
+	m := 16 << 10
+	if 4*m > mram/3 {
+		m = mram / 12
+		m -= m % 512
+	}
+	if m < 512 {
+		return fmt.Errorf("-mram %d too small for the tenant demo (need at least %d B/bank for 3 arenas)", mram, 3*4*512)
+	}
+	aa := pidcomm.Collective{Prim: pidcomm.AlltoAll, Dims: "10",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(m), Level: pidcomm.CM}
+
+	dlrm, err := mach.NewTenant(pidcomm.TenantConfig{Name: "dlrm", ArenaBytes: 4 * m, Weight: 2})
+	if err != nil {
+		return err
+	}
+	// Price one request from its compiled plan (offsets don't affect
+	// cost) so the demo quota can be set to ~2.5 requests.
+	cp, err := dlrm.Compile(aa)
+	if err != nil {
+		return err
+	}
+	per := cp.Cost().Total()
+
+	comms := []*pidcomm.Comm{dlrm}
+	for _, cfg := range []pidcomm.TenantConfig{
+		{Name: "gnn", ArenaBytes: 4 * m, Weight: 1},
+		{Name: "capped", ArenaBytes: 4 * m, Weight: 1, Quota: per * 5 / 2},
+	} {
+		c, err := mach.NewTenant(cfg)
+		if err != nil {
+			return err
+		}
+		comms = append(comms, c)
+	}
+	const requests = 4
+	rejected := map[string]int{}
+	for r := 0; r < requests; r++ {
+		for _, c := range comms {
+			f, err := c.Submit(aa)
+			if err != nil {
+				return err
+			}
+			if werr := f.Err(); werr != nil {
+				if !errors.Is(werr, pidcomm.ErrQuotaExceeded) {
+					return werr
+				}
+				rejected[c.Name()]++
+			}
+		}
+	}
+	mach.Flush()
+
+	fmt.Printf("Multi-tenant machine: %d PEs (32x32), %d B MRAM/bank, %d B free, cost-only\n",
+		mach.NumPEs(), mach.MramPerBank(), mach.FreeArenaBytes())
+	fmt.Printf("%d requests submitted per tenant (%d KiB/PE AlltoAll each)\n\n", requests, m>>10)
+	fmt.Printf("%-8s %-18s %6s %12s %12s %10s %8s\n",
+		"tenant", "arena [base,end)", "weight", "quota (ms)", "admitted(ms)", "meter(ms)", "rejected")
+	for _, ti := range mach.Tenants() {
+		quota := "unlimited"
+		if ti.Quota > 0 {
+			quota = fmt.Sprintf("%.3f", float64(ti.Quota)*1e3)
+		}
+		fmt.Printf("%-8s [%8d,%8d) %6.0f %12s %12.3f %10.3f %8d\n",
+			ti.Name, ti.ArenaBase, ti.ArenaBase+ti.ArenaBytes, ti.Weight,
+			quota, float64(ti.Admitted)*1e3, float64(ti.Meter.Total())*1e3,
+			rejected[ti.Name])
+	}
+	fmt.Printf("\nmachine breakdown (sum of tenant meters): %v\n", mach.Breakdown())
+	fmt.Printf("elapsed (overlap-aware makespan):         %.3f ms\n", float64(mach.Elapsed())*1e3)
 	return nil
 }

@@ -7,12 +7,17 @@
 //
 // The public API is package pidcomm; everything else is internal:
 //
-//	pidcomm             stable surface: systems, hypercube managers,
-//	                    Comm, compiled plans, async futures
-//	internal/core       the engine: hypercube model, schedule IR,
-//	                    functional + cost-only backends, compiled plans,
-//	                    level autotuner, async submission queue
-//	internal/dram       the DIMM hierarchy and entangled-group striping
+//	pidcomm             stable surface: Machine/Tenant sessions, the
+//	                    Collective descriptor with its three entry
+//	                    points (Run/Compile/Submit), compiled plans,
+//	                    async futures
+//	internal/core       the engine: hypercube model, Collective
+//	                    normalization, schedule IR, functional +
+//	                    cost-only backends, compiled plans, level
+//	                    autotuner, tenant arenas + weighted-fair
+//	                    submission scheduling
+//	internal/dram       the DIMM hierarchy, entangled-group striping,
+//	                    per-bank arena carving
 //	internal/host       the host CPU: bulk/staged and burst/streaming
 //	                    transfer paths, domain transfer, charge seams
 //	internal/dpu        the per-bank PEs and the kernel launch engine

@@ -1,7 +1,9 @@
-// Quickstart: create a simulated PIM-enabled DIMM system, define a 2-D
+// Quickstart: build a simulated PIM-enabled DIMM machine, define a 2-D
 // virtual hypercube over its PEs, run one multi-instance AlltoAll along
 // the x axis at every optimization level, and compare the simulated
-// communication times (the Figure 16 ablation in miniature).
+// communication times (the Figure 16 ablation in miniature). Every
+// collective is described by a pidcomm.Collective and executed with
+// Run — the descriptor's zero-value Level is the Auto autotuner.
 package main
 
 import (
@@ -15,25 +17,26 @@ import (
 
 func main() {
 	// One channel, two ranks: 128 PEs with 64 KiB MRAM each.
-	sys, err := pidcomm.NewSystem(pidcomm.Geometry{
+	mach, err := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 2, BanksPerChip: 8, MramPerBank: 64 << 10,
-	})
+	}, []int{16, 8})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mgr, err := pidcomm.NewHypercubeManager(sys, []int{16, 8})
+	comm, err := mach.Comm()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("hypercube %v over %d PEs; dims \"10\" forms %d AlltoAll instances\n",
-		mgr.Shape(), 128, 8)
+		mach.Shape(), mach.NumPEs(), 8)
 
 	const blk = 1024   // bytes per block: the paper's operating regime
 	const m = 16 * blk // 16 ranks per group
 	rng := rand.New(rand.NewSource(42))
 	// fill returns the per-PE inputs it wrote; the optimized collectives
-	// consume the source region (PE-assisted reordering is in place).
-	fill := func(comm *pidcomm.Comm) [][]byte {
+	// consume the source region (PE-assisted reordering is in place), so
+	// every level starts from a fresh fill.
+	fill := func() [][]byte {
 		in := make([][]byte, 128)
 		for pe := range in {
 			in[pe] = make([]byte, m)
@@ -42,27 +45,32 @@ func main() {
 		}
 		return in
 	}
+	aa := pidcomm.Collective{
+		Prim: pidcomm.AlltoAll, Dims: "10",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+	}
 
 	for _, lvl := range []pidcomm.Level{pidcomm.Baseline, pidcomm.PR, pidcomm.IM, pidcomm.CM} {
-		comm := mgr.Comm()
-		fill(comm)
-		bd, err := comm.AlltoAll("10", 0, 2*m, m, lvl)
+		fill()
+		d := aa
+		d.Level = lvl
+		bd, err := comm.Run(d)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-5v %8.1f us  (%s)\n", lvl, float64(bd.Total())*1e6, bd)
 	}
 
-	// The Auto pseudo-level resolves to the cheapest applicable level via
-	// a cost-only dry run (cached per call signature).
+	// The Auto pseudo-level — the descriptor's zero value — resolves to
+	// the cheapest applicable level via a cost-only dry run (cached per
+	// call signature).
 	{
-		comm := mgr.Comm()
-		fill(comm)
-		bd, err := comm.AlltoAll("10", 0, 2*m, m, pidcomm.Auto)
+		fill()
+		bd, err := comm.Run(aa) // Level unset: Auto
 		if err != nil {
 			log.Fatal(err)
 		}
-		picked, err := comm.AutoLevel(pidcomm.AlltoAll, "10", m, pidcomm.I32, pidcomm.Sum)
+		picked, err := comm.AutoLevel(aa)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,12 +78,13 @@ func main() {
 	}
 
 	// Semantics check through the reference model.
-	comm := mgr.Comm()
-	all := fill(comm)
-	if _, err := comm.AlltoAll("10", 0, 2*m, m, pidcomm.CM); err != nil {
+	all := fill()
+	d := aa
+	d.Level = pidcomm.CM
+	if _, err := comm.Run(d); err != nil {
 		log.Fatal(err)
 	}
-	groups, _ := mgr.Groups("10")
+	groups, _ := mach.Groups("10")
 	grp := groups[0]
 	in := make([][]byte, len(grp))
 	for i, pe := range grp {

@@ -139,7 +139,8 @@ func TestTrackerAttribution(t *testing.T) {
 		t.Error("kernel time not tracked")
 	}
 	bufs := [][]byte{make([]byte, 16*8)}
-	bd, err := comm.Scatter("1", bufs, 0, 8, core.IM)
+	bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "1",
+		Hosts: bufs, Dst: core.Span(0, 8), Level: core.IM})
 	if err := tr.Comm(core.Scatter, bd, err); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,8 @@ func TestTrackerAttribution(t *testing.T) {
 func TestTrackerPropagatesErrors(t *testing.T) {
 	comm, _ := NewComm([]int{16}, 16, 4096, cost.DefaultParams())
 	tr := NewTracker(comm)
-	_, bd, err := comm.Gather("bad-dims", 0, 8, core.IM)
+	bd, err := comm.Run(core.Collective{Prim: core.Gather, Dims: "bad-dims",
+		Src: core.Span(0, 8), Level: core.IM})
 	if err == nil {
 		t.Fatal("expected error")
 	}

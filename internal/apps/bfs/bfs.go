@@ -86,17 +86,20 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	// Distribute the graph; broadcast the initial frontier/visited state.
 	scat := make([][]byte, 1)
 	scat[0] = concat(adjBufs)
-	bd, err := comm.Scatter("1", scat, adjOff, adjSz, lvl)
+	bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "1",
+		Hosts: scat, Dst: core.Span(adjOff, adjSz), Level: lvl})
 	if err := tr.Comm(core.Scatter, bd, err); err != nil {
 		return nil, nil, err
 	}
 	init := make([]byte, fB)
 	init[cfg.Source/8] |= 1 << (cfg.Source % 8)
-	bd, err = comm.Broadcast("1", [][]byte{init}, frontOff, lvl)
+	bd, err = comm.Run(core.Collective{Prim: core.Broadcast, Dims: "1",
+		Hosts: [][]byte{init}, Dst: core.At(frontOff), Level: lvl})
 	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
 		return nil, nil, err
 	}
-	bd, err = comm.Broadcast("1", [][]byte{init}, visitedOff, lvl)
+	bd, err = comm.Run(core.Collective{Prim: core.Broadcast, Dims: "1",
+		Hosts: [][]byte{init}, Dst: core.At(visitedOff), Level: lvl})
 	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
 		return nil, nil, err
 	}
@@ -123,11 +126,14 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 
 	// Every traversal level replays the same frontier AllReduce and
 	// termination-flag Gather; compile them once and replay.
-	frontierAR, err := comm.CompileAllReduce("1", nextPartOff, nextOff, fB, elem.I8, elem.Or, lvl)
+	frontierAR, err := comm.Compile(core.Collective{Prim: core.AllReduce, Dims: "1",
+		Src: core.Span(nextPartOff, fB), Dst: core.At(nextOff),
+		Elem: elem.I8, Op: elem.Or, Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	flagGather, err := comm.CompileGather("1", flagOff, 8, lvl)
+	flagGather, err := comm.Compile(core.Collective{Prim: core.Gather, Dims: "1",
+		Src: core.Span(flagOff, 8), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -213,10 +219,16 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 		}
 	}
 	// Collect distances from the owning PEs.
-	bufs, gbd, err := comm.Gather("1", distOff, distB, lvl)
+	distGather, err := comm.Compile(core.Collective{Prim: core.Gather, Dims: "1",
+		Src: core.Span(distOff, distB), Level: lvl})
+	if err != nil {
+		return nil, nil, err
+	}
+	gbd, err := distGather.Run()
 	if err := tr.Comm(core.Gather, gbd, err); err != nil {
 		return nil, nil, err
 	}
+	bufs := distGather.Results()
 	dist := make([]int32, g.V)
 	for p := 0; p < N; p++ {
 		for i := 0; i < owned; i++ {

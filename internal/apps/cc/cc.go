@@ -82,7 +82,8 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	}
 	tr := appcore.NewTracker(comm)
 
-	bd, err := comm.Scatter("1", [][]byte{concat(adjBufs)}, adjOff, adjSz, lvl)
+	bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "1",
+		Hosts: [][]byte{concat(adjBufs)}, Dst: core.Span(adjOff, adjSz), Level: lvl})
 	if err := tr.Comm(core.Scatter, bd, err); err != nil {
 		return nil, nil, err
 	}
@@ -95,7 +96,8 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 		}
 		binary.LittleEndian.PutUint32(init[4*v:], uint32(x))
 	}
-	bd, err = comm.Broadcast("1", [][]byte{init}, labelOff, lvl)
+	bd, err = comm.Run(core.Collective{Prim: core.Broadcast, Dims: "1",
+		Hosts: [][]byte{init}, Dst: core.At(labelOff), Level: lvl})
 	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
 		return nil, nil, err
 	}
@@ -106,11 +108,14 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	}
 	// Every label-propagation round replays the same candidate AllReduce
 	// and termination-flag Gather; compile them once and replay.
-	candAR, err := comm.CompileAllReduce("1", candOff, newOff, lB, elem.I32, elem.Min, lvl)
+	candAR, err := comm.Compile(core.Collective{Prim: core.AllReduce, Dims: "1",
+		Src: core.Span(candOff, lB), Dst: core.At(newOff),
+		Elem: elem.I32, Op: elem.Min, Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	flagGather, err := comm.CompileGather("1", flagOff, 8, lvl)
+	flagGather, err := comm.Compile(core.Collective{Prim: core.Gather, Dims: "1",
+		Src: core.Span(flagOff, 8), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -201,10 +206,16 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 			ctx.Exec(int64(owned))
 		})
 	})
-	bufs, gbd, err := comm.Gather("1", candOff, sliceB, lvl)
+	labelGather, err := comm.Compile(core.Collective{Prim: core.Gather, Dims: "1",
+		Src: core.Span(candOff, sliceB), Level: lvl})
+	if err != nil {
+		return nil, nil, err
+	}
+	gbd, err := labelGather.Run()
 	if err := tr.Comm(core.Gather, gbd, err); err != nil {
 		return nil, nil, err
 	}
+	bufs := labelGather.Results()
 	out := make([]int32, g.V)
 	for p := 0; p < N; p++ {
 		for i := 0; i < owned; i++ {

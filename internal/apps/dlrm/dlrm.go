@@ -228,12 +228,14 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 			}
 		}
 	}
-	bd, err := comm.Scatter("111", [][]byte{embBuf}, embOff, embB, lvl)
+	bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "111",
+		Hosts: [][]byte{embBuf}, Dst: core.Span(embOff, embB), Level: lvl})
 	if err := tr.Comm(core.Scatter, bd, err); err != nil {
 		return nil, nil, err
 	}
 	// Broadcast the top-MLP weights (already in assembled-vector order).
-	bd, err = comm.Broadcast("111", [][]byte{i32bytes(cfg.topWeights())}, wOff, lvl)
+	bd, err = comm.Run(core.Collective{Prim: core.Broadcast, Dims: "111",
+		Hosts: [][]byte{i32bytes(cfg.topWeights())}, Dst: core.At(wOff), Level: lvl})
 	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
 		return nil, nil, err
 	}
@@ -246,23 +248,29 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	// (Figure 11's pipeline), so compile them once and replay. The index
 	// Scatter binds idxBuf, which is refilled in place per batch.
 	idxBuf := make([]byte, N*idxB)
-	idxPlan, err := comm.CompileScatter("111", [][]byte{idxBuf}, idxOff, idxB, lvl)
+	idxPlan, err := comm.Compile(core.Collective{Prim: core.Scatter, Dims: "111",
+		Hosts: [][]byte{idxBuf}, Dst: core.Span(idxOff, idxB), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	reqAA, err := comm.CompileAlltoAll("111", reqOff, req2Off, reqB, lvl)
+	reqAA, err := comm.Compile(core.Collective{Prim: core.AlltoAll, Dims: "111",
+		Src: core.Span(reqOff, reqB), Dst: core.At(req2Off), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	respRS, err := comm.CompileReduceScatter("010", respOff, rsOff, respB, elem.I32, elem.Sum, lvl)
+	respRS, err := comm.Compile(core.Collective{Prim: core.ReduceScatter, Dims: "010",
+		Src: core.Span(respOff, respB), Dst: core.At(rsOff),
+		Elem: elem.I32, Op: elem.Sum, Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	xzAA, err := comm.CompileAlltoAll("101", rsOff, aaOff, aaB, lvl)
+	xzAA, err := comm.Compile(core.Collective{Prim: core.AlltoAll, Dims: "101",
+		Src: core.Span(rsOff, aaB), Dst: core.At(aaOff), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	outGather, err := comm.CompileGather("111", outOff, outB, lvl)
+	outGather, err := comm.Compile(core.Collective{Prim: core.Gather, Dims: "111",
+		Src: core.Span(outOff, outB), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -251,7 +251,8 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 	tr := appcore.NewTracker(comm)
 
 	// Distribute: A tiles and X strips by Scatter, W by Broadcast.
-	bd, err := comm.Scatter("11", [][]byte{concat(tiles)}, adjOff, maxTile, lvl)
+	bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "11",
+		Hosts: [][]byte{concat(tiles)}, Dst: core.Span(adjOff, maxTile), Level: lvl})
 	if err := tr.Comm(core.Scatter, bd, err); err != nil {
 		return nil, nil, err
 	}
@@ -267,7 +268,8 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 			xbufs = append(xbufs, packT(T, strip)...)
 		}
 	}
-	bd, err = comm.Scatter("11", [][]byte{xbufs}, xOff, stripB, lvl)
+	bd, err = comm.Run(core.Collective{Prim: core.Scatter, Dims: "11",
+		Hosts: [][]byte{xbufs}, Dst: core.Span(xOff, stripB), Level: lvl})
 	if err := tr.Comm(core.Scatter, bd, err); err != nil {
 		return nil, nil, err
 	}
@@ -310,23 +312,31 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 	// so compile them once. The weight Broadcast binds wBuf, refilled in
 	// place with each layer's packed weights.
 	wBuf := packT(T, make([]int64, F*F))
-	wBcast, err := comm.CompileBroadcast("11", [][]byte{wBuf}, wOff, lvl)
+	wBcast, err := comm.Compile(core.Collective{Prim: core.Broadcast, Dims: "11",
+		Hosts: [][]byte{wBuf}, Dst: core.At(wOff), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
 	var rsPlan, arPlan, agPlan *core.CompiledPlan
 	if variant == RSAR {
-		if rsPlan, err = comm.CompileReduceScatter("10", p1Off, iOff, p1B, T, elem.Sum, lvl); err != nil {
+		if rsPlan, err = comm.Compile(core.Collective{Prim: core.ReduceScatter, Dims: "10",
+			Src: core.Span(p1Off, p1B), Dst: core.At(iOff),
+			Elem: T, Op: elem.Sum, Level: lvl}); err != nil {
 			return nil, nil, err
 		}
-		if arPlan, err = comm.CompileAllReduce("01", candOff, xOff, stripB, T, elem.Sum, lvl); err != nil {
+		if arPlan, err = comm.Compile(core.Collective{Prim: core.AllReduce, Dims: "01",
+			Src: core.Span(candOff, stripB), Dst: core.At(xOff),
+			Elem: T, Op: elem.Sum, Level: lvl}); err != nil {
 			return nil, nil, err
 		}
 	} else {
-		if arPlan, err = comm.CompileAllReduce("10", p1Off, iOff, p1B, T, elem.Sum, lvl); err != nil {
+		if arPlan, err = comm.Compile(core.Collective{Prim: core.AllReduce, Dims: "10",
+			Src: core.Span(p1Off, p1B), Dst: core.At(iOff),
+			Elem: T, Op: elem.Sum, Level: lvl}); err != nil {
 			return nil, nil, err
 		}
-		if agPlan, err = comm.CompileAllGather("01", xsubOff, xOff, subB, lvl); err != nil {
+		if agPlan, err = comm.Compile(core.Collective{Prim: core.AllGather, Dims: "01",
+			Src: core.Span(xsubOff, subB), Dst: core.At(xOff), Level: lvl}); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -424,7 +434,8 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 			ctx.Exec(int64(sub))
 		})
 	})
-	gaF, err := comm.SubmitGather("11", xsubOff, subB, lvl)
+	gaF, err := comm.Submit(core.Collective{Prim: core.Gather, Dims: "11",
+		Src: core.Span(xsubOff, subB), Level: lvl})
 	if err := tr.CommFuture(core.Gather, gaF, err); err != nil {
 		return nil, nil, err
 	}

@@ -146,7 +146,8 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 				}
 			}
 		}
-		bd, err := comm.Scatter("1", [][]byte{buf}, wOff+l*wPerLayerB, wPerLayerB, lvl)
+		bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "1",
+			Hosts: [][]byte{buf}, Dst: core.Span(wOff+l*wPerLayerB, wPerLayerB), Level: lvl})
 		if err := tr.Comm(core.Scatter, bd, err); err != nil {
 			return nil, nil, err
 		}
@@ -160,15 +161,19 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	// Scatter (bound to xBuf, refilled in place per batch), the
 	// per-layer ReduceScatter, and the final Gather.
 	xBuf := make([]byte, N*sliceB)
-	xPlan, err := comm.CompileScatter("1", [][]byte{xBuf}, xOff, sliceB, lvl)
+	xPlan, err := comm.Compile(core.Collective{Prim: core.Scatter, Dims: "1",
+		Hosts: [][]byte{xBuf}, Dst: core.Span(xOff, sliceB), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	rsPlan, err := comm.CompileReduceScatter("1", partOff, outOff, F*4, elem.I32, elem.Sum, lvl)
+	rsPlan, err := comm.Compile(core.Collective{Prim: core.ReduceScatter, Dims: "1",
+		Src: core.Span(partOff, F*4), Dst: core.At(outOff),
+		Elem: elem.I32, Op: elem.Sum, Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
-	gaPlan, err := comm.CompileGather("1", xOff, sliceB, lvl)
+	gaPlan, err := comm.Compile(core.Collective{Prim: core.Gather, Dims: "1",
+		Src: core.Span(xOff, sliceB), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}

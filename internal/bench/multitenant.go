@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/pidcomm"
+)
+
+// The multi-tenant serving experiment: N tenants share one simulated
+// 1024-PE machine through the Machine/Tenant session API. Each tenant
+// is bound to a disjoint MRAM arena and serves a stream of requests —
+// a DLRM-style AlltoAll/CM + ReduceScatter/IM pair per request — and
+// the experiment compares the makespan of serving the tenants serially
+// (blocking Run, one machine-wide barrier per plan) against submitting
+// every stream asynchronously, where the weighted-fair scheduler
+// interleaves the tenants and the shared three-lane timeline overlaps
+// their disjoint footprints.
+//
+// The per-tenant work is identical in both modes, and each tenant's
+// meter is bit-identical to running its stream alone, so the machine
+// breakdown (the fold of the tenant meters) is equal in both modes;
+// only the elapsed time differs — by exactly the overlap won.
+
+// tenantSpec configures one serving tenant of the experiment.
+type tenantSpec struct {
+	name   string
+	weight float64
+}
+
+// multiTenantMachine builds a cost-only paper-scale machine with one
+// session per spec, each bound to a fresh arena of arenaBytes.
+func multiTenantMachine(specs []tenantSpec, arenaBytes int) (*pidcomm.Machine, []*pidcomm.Comm, error) {
+	mach, err := pidcomm.NewMachine(pidcomm.PaperSystem(len(specs)*arenaBytes), []int{32, 32}, pidcomm.CostOnly())
+	if err != nil {
+		return nil, nil, err
+	}
+	comms := make([]*pidcomm.Comm, len(specs))
+	for i, sp := range specs {
+		comms[i], err = mach.NewTenant(pidcomm.TenantConfig{
+			Name: sp.name, ArenaBytes: arenaBytes, Weight: sp.weight,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return mach, comms, nil
+}
+
+// tenantRequest returns the two descriptors of one serving request,
+// laid out in the tenant's arena: an AlltoAll over [0, 2m) and a
+// ReduceScatter over [2m, 3m+s). The pair is internally independent
+// (footprints disjoint, so the two overlap), while consecutive requests
+// of one tenant chain on their WAW hazards.
+func tenantRequest(m int) [2]pidcomm.Collective {
+	return [2]pidcomm.Collective{
+		{Prim: pidcomm.AlltoAll, Dims: "10",
+			Src: pidcomm.Span(0, m), Dst: pidcomm.At(m), Level: pidcomm.CM},
+		{Prim: pidcomm.ReduceScatter, Dims: "10",
+			Src: pidcomm.Span(2*m, m), Dst: pidcomm.At(3 * m),
+			Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.IM},
+	}
+}
+
+// runMultiTenant measures serial vs weighted-fair makespan for the
+// given tenants, each serving requests request-pairs of m bytes/PE.
+// It returns the two machine breakdowns (for the equality pin) and the
+// two makespans.
+func runMultiTenant(specs []tenantSpec, m, requests int) (serialBD, fairBD pidcomm.Breakdown, serial, fair pidcomm.Seconds, infos []pidcomm.TenantInfo, err error) {
+	arena := 4 * m
+
+	// Serial: every plan runs blocking, a machine-wide barrier each.
+	smach, scomms, err := multiTenantMachine(specs, arena)
+	if err != nil {
+		return
+	}
+	for r := 0; r < requests; r++ {
+		for _, c := range scomms {
+			for _, d := range tenantRequest(m) {
+				if _, err = c.Run(d); err != nil {
+					return
+				}
+			}
+		}
+	}
+	serialBD, serial = smach.Breakdown(), smach.Elapsed()
+
+	// Weighted-fair: every stream submits asynchronously; the scheduler
+	// interleaves tenants by weight and the timeline overlaps their
+	// disjoint arenas.
+	fmach, fcomms, err := multiTenantMachine(specs, arena)
+	if err != nil {
+		return
+	}
+	var futures []*pidcomm.Future
+	for r := 0; r < requests; r++ {
+		for _, c := range fcomms {
+			for _, d := range tenantRequest(m) {
+				f, ferr := c.Submit(d)
+				if ferr != nil {
+					err = ferr
+					return
+				}
+				futures = append(futures, f)
+			}
+		}
+	}
+	for _, f := range futures {
+		if werr := f.Err(); werr != nil {
+			err = werr
+			return
+		}
+	}
+	fmach.Flush()
+	fairBD, fair = fmach.Breakdown(), fmach.Elapsed()
+	infos = fmach.Tenants()
+	return
+}
+
+// writeMultiTenant renders the experiment table.
+func writeMultiTenant(w io.Writer, specs []tenantSpec, m, requests int) error {
+	serialBD, fairBD, serial, fair, infos, err := runMultiTenant(specs, m, requests)
+	if err != nil {
+		return err
+	}
+	t := newTable("Tenant", "Weight", "Arena KiB/PE", "Plans", "Attributed ms")
+	for _, ti := range infos {
+		t.add(ti.Name, fmt.Sprintf("%.0f", ti.Weight),
+			fmt.Sprintf("%d", ti.ArenaBytes>>10),
+			fmt.Sprintf("%d", 2*requests),
+			fmt.Sprintf("%.3f", float64(ti.Meter.Total())*1e3))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\nwork identical across modes: %v\n", serialBD == fairBD)
+	fmt.Fprintf(w, "serial makespan        %8.3f ms\n", float64(serial)*1e3)
+	fmt.Fprintf(w, "weighted-fair makespan %8.3f ms\n", float64(fair)*1e3)
+	fmt.Fprintf(w, "overlap speedup        %8.2fx\n", float64(serial)/float64(fair))
+	return nil
+}
+
+func init() {
+	register("multitenant", "Multi-tenant serving: N tenants sharing 1024 PEs, serial vs weighted-fair makespan", func(o Options) error {
+		// Always cost-only: a capacity study over a phantom system (the
+		// breakdowns are bit-identical to a functional machine).
+		size := sizeFor(o, 16<<10, 256<<10)
+		specs := []tenantSpec{
+			{"dlrm-a", 4},
+			{"dlrm-b", 2},
+			{"gnn", 1},
+			{"mlp", 1},
+		}
+		fmt.Fprintf(o.W, "(4 tenants on 1024 PEs (32x32), %d KiB/PE per request, 8 requests each,"+
+			" cost-only backend; blocking Run vs weighted-fair Submit)\n", size>>10)
+		return writeMultiTenant(o.W, specs, size, 8)
+	})
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The multitenant experiment's headline claims, pinned at reduced
+// scale: the per-tenant work is bit-identical between modes, and the
+// weighted-fair makespan beats serial serving by a real margin.
+func TestMultiTenantFairBeatsSerial(t *testing.T) {
+	specs := []tenantSpec{{"a", 2}, {"b", 1}, {"c", 1}}
+	serialBD, fairBD, serial, fair, infos, err := runMultiTenant(specs, 4<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialBD != fairBD {
+		t.Errorf("work differs between modes: serial %v, fair %v", serialBD, fairBD)
+	}
+	if len(infos) != len(specs) {
+		t.Fatalf("tenant listing has %d rows, want %d", len(infos), len(specs))
+	}
+	if speedup := float64(serial) / float64(fair); speedup < 1.3 {
+		t.Errorf("weighted-fair speedup %.2fx below 1.3x (serial %v, fair %v)", speedup, serial, fair)
+	}
+}
+
+// The registered experiment renders its table without error.
+func TestMultiTenantExperimentRuns(t *testing.T) {
+	e, err := ByID("multitenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(Options{W: &sb}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"work identical across modes: true", "overlap speedup", "dlrm-a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

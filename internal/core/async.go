@@ -85,7 +85,11 @@ type placedPlan struct {
 // except Done block until the execution completes. A Future is safe for
 // concurrent use; its results never change once set.
 type Future struct {
-	cp   *CompiledPlan
+	cp *CompiledPlan
+	// seq is the global submission sequence number, used by the
+	// weighted-fair scheduler to keep hazard-conflicting plans from
+	// different buckets in submission order. Guarded by asyncMu.
+	seq  uint64
 	done chan struct{}
 
 	// Set exactly once before done is closed.
@@ -151,11 +155,37 @@ func (f *Future) Window() (start, end cost.Seconds) {
 // Plan returns the compiled plan this future executes.
 func (f *Future) Plan() *CompiledPlan { return f.cp }
 
+// subQueue is one weighted-fair submission bucket: the default queue of
+// a Comm (weight 1) or one tenant's queue. Within a bucket plans execute
+// in FIFO submission order — which is what preserves the hazard ordering
+// guarantees, since data hazards can only exist within a bucket (tenant
+// arenas are disjoint). Across buckets the worker serves the backlogged
+// bucket with the smallest virtual time: each service advances a
+// bucket's vtime by the plan's predicted cost over the bucket's weight,
+// so over any backlogged interval bucket b receives a
+// weight_b / Σ weights share of the simulated machine (start-time
+// weighted fair queuing). All fields are guarded by the Comm's asyncMu.
+type subQueue struct {
+	q      []*Future
+	weight float64
+	vtime  float64
+	// skip marks the bucket ineligible for the current pick round: its
+	// head conflicts with an earlier-submitted plan of another bucket.
+	// Cleared on every successful pick.
+	skip bool
+}
+
 // Submit enqueues one replay of the plan on its Comm's submission queue
 // and returns immediately with a Future (blocking only if MaxPendingPlans
-// are already in flight). Plans execute in submission order; the elapsed-
-// time timeline overlaps plans with disjoint MRAM footprints and orders
-// plans with data hazards (see Comm.Elapsed).
+// are already in flight). Plans of one bucket (a tenant, or the plain
+// Comm) execute in submission order; across tenants the weighted-fair
+// scheduler interleaves. The elapsed-time timeline overlaps plans with
+// disjoint MRAM footprints and orders plans with data hazards (see
+// Comm.Elapsed).
+//
+// A plan owned by a tenant is admitted against the tenant's quota at
+// submission: a rejected plan returns an already-completed Future whose
+// Err carries the quota error, and nothing is enqueued.
 //
 // Host-input plans (Scatter, Broadcast) read their bound buffers when the
 // plan *executes*, not when it is submitted: do not refill the buffers
@@ -165,10 +195,27 @@ func (cp *CompiledPlan) Submit() *Future { return cp.c.submit(cp) }
 // submit enqueues a plan execution, starting the worker if idle.
 func (c *Comm) submit(cp *CompiledPlan) *Future {
 	f := &Future{cp: cp, done: make(chan struct{})}
+	if err := cp.owner.admit(cp.tr.total.Total()); err != nil {
+		f.err = err
+		close(f.done)
+		return f
+	}
 	c.asyncSlots <- struct{}{} // acquire a queue slot (backpressure)
 	c.asyncMu.Lock()
+	c.seqCounter++
+	f.seq = c.seqCounter
+	q := c.queues[0]
+	if cp.owner != nil {
+		q = cp.owner.sq
+	}
+	if len(q.q) == 0 && q.vtime < c.vclock {
+		// A bucket waking from idle joins at the current virtual clock:
+		// it competes fairly from now on instead of burning accumulated
+		// "credit" in a burst that would starve the busy buckets.
+		q.vtime = c.vclock
+	}
+	q.q = append(q.q, f)
 	c.asyncPending++
-	c.asyncQ = append(c.asyncQ, f)
 	if !c.asyncRunning {
 		c.asyncRunning = true
 		go c.asyncLoop()
@@ -177,19 +224,85 @@ func (c *Comm) submit(cp *CompiledPlan) *Future {
 	return f
 }
 
-// asyncLoop is the per-Comm queue worker: it drains the queue in FIFO
-// order and exits when empty (a later Submit starts a fresh one).
+// pickLocked pops the next future under weighted-fair scheduling: the
+// head of the backlogged bucket with the smallest virtual time (ties to
+// the earliest-created bucket, so a fresh Comm degenerates to plain
+// FIFO). Returns nil when every bucket is empty. Callers hold asyncMu.
+//
+// Hazard safety across buckets: tenant arenas are disjoint, so plans of
+// two *tenants* can never conflict — but the default bucket (plans
+// submitted on the plain Comm) is not arena-bounded and may conflict
+// with a tenant's footprint. A bucket head that conflicts with an
+// earlier-submitted, still-queued plan of another bucket is skipped
+// this round, so conflicting plans always execute in submission order,
+// exactly as the pre-tenancy FIFO did. The head with the globally
+// smallest sequence number is always eligible (nothing earlier is left
+// anywhere), so the scan cannot deadlock.
+func (c *Comm) pickLocked() *Future {
+	backlogged := 0
+	for _, q := range c.queues {
+		if len(q.q) > 0 {
+			backlogged++
+		}
+	}
+	if backlogged == 0 {
+		return nil
+	}
+	for {
+		var best *subQueue
+		for _, q := range c.queues {
+			if len(q.q) == 0 || q.skip {
+				continue
+			}
+			if best == nil || q.vtime < best.vtime {
+				best = q
+			}
+		}
+		f := best.q[0]
+		if backlogged > 1 && c.conflictsEarlierLocked(f, best) {
+			best.skip = true // re-examined next round, after the blocker runs
+			continue
+		}
+		for _, q := range c.queues {
+			q.skip = false
+		}
+		best.q[0] = nil
+		best.q = best.q[1:]
+		c.vclock = best.vtime
+		best.vtime += float64(f.cp.tr.total.Total()) / best.weight
+		return f
+	}
+}
+
+// conflictsEarlierLocked reports whether f must wait for an
+// earlier-submitted plan still queued in a bucket other than own.
+// Callers hold asyncMu.
+func (c *Comm) conflictsEarlierLocked(f *Future, own *subQueue) bool {
+	for _, q := range c.queues {
+		if q == own {
+			continue
+		}
+		for _, o := range q.q {
+			if o.seq < f.seq && f.cp.regs.conflicts(o.cp.regs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// asyncLoop is the per-Comm queue worker: it drains the buckets in
+// weighted-fair order and exits when all are empty (a later Submit
+// starts a fresh one).
 func (c *Comm) asyncLoop() {
 	for {
 		c.asyncMu.Lock()
-		if len(c.asyncQ) == 0 {
+		f := c.pickLocked()
+		if f == nil {
 			c.asyncRunning = false
 			c.asyncMu.Unlock()
 			return
 		}
-		f := c.asyncQ[0]
-		c.asyncQ[0] = nil
-		c.asyncQ = c.asyncQ[1:]
 		c.asyncMu.Unlock()
 		c.runSubmitted(f)
 	}

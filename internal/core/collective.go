@@ -1,0 +1,491 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// This file implements the descriptor-based collective API: one
+// Collective struct describes any of the eight primitives, and exactly
+// three entry points consume it — Compile (plan once), Run (one-shot)
+// and Submit (asynchronous). The 24 positional-argument methods
+// (AlltoAll/CompileAlltoAll/SubmitAlltoAll, ...) are thin shims that
+// build a Collective and call these entry points, so every execution
+// path — one-shot, compiled replay, async, tenant-scoped — funnels
+// through the same normalization and validation.
+//
+// All offsets in a Collective are relative to the arena the call is
+// resolved against: the whole per-PE MRAM for a plain Comm, or the
+// tenant's carved window for a Tenant session (tenant.go). Resolution
+// validates every region against the arena bounds and only then
+// translates to absolute MRAM offsets, which is what guarantees tenants
+// cannot name — let alone alias — MRAM outside their arena.
+
+// Region is a per-PE MRAM byte range handle [Off, Off+Bytes). Offsets
+// are arena-relative (see Collective). For region roles whose size the
+// primitive implies (e.g. an AllGather destination is always n× the
+// source), Bytes may be left zero; a non-zero Bytes must match the
+// implied size exactly, which turns silent footprint mistakes into
+// compile errors.
+type Region struct {
+	Off   int
+	Bytes int
+}
+
+// At returns a Region at off whose size is implied by the primitive.
+func At(off int) Region { return Region{Off: off} }
+
+// Span returns the fully specified Region [off, off+bytes).
+func Span(off, bytes int) Region { return Region{Off: off, Bytes: bytes} }
+
+// Collective describes one collective call. The zero value of every
+// optional field means "default": Level zero is Auto (the autotuner
+// picks the cheapest applicable level), and a Dst/Src region with zero
+// Bytes takes the size the primitive implies.
+//
+// Field use by primitive:
+//
+//	AlltoAll       Src (bytes/PE), Dst (same size)
+//	ReduceScatter  Src (bytes/PE), Dst (Src/n), Elem, Op
+//	AllReduce      Src (bytes/PE), Dst (same size), Elem, Op
+//	AllGather      Src (contribution), Dst (n×Src)
+//	Scatter        Hosts (one buffer per group), Dst (bytes/PE)
+//	Gather         Src (bytes/PE); results via CompiledPlan/Future Results
+//	Reduce         Src (bytes/PE), Elem, Op; results via Results
+//	Broadcast      Hosts (one payload per group), Dst
+//
+// Hosts buffers are bound by reference: a compiled Scatter/Broadcast
+// plan reads their current contents on every Run.
+type Collective struct {
+	// Prim selects the primitive.
+	Prim Primitive
+	// Dims is the communication-dimension bitmap (e.g. "10" for the
+	// x axis of a 2-D hypercube; see DimsString).
+	Dims string
+	// Src is the per-PE source region (unused for Scatter/Broadcast,
+	// whose input is host-side).
+	Src Region
+	// Dst is the per-PE destination region (unused for Gather/Reduce,
+	// whose output is host-side).
+	Dst Region
+	// Elem and Op configure the reducing primitives (ReduceScatter,
+	// AllReduce, Reduce); other primitives ignore them.
+	Elem elem.Type
+	Op   elem.Op
+	// Level selects the optimization level; the zero value is Auto.
+	Level Level
+	// Hosts carries the host-side payloads of Scatter and Broadcast:
+	// one buffer per communication group, in group order. On a
+	// cost-only backend Scatter accepts nil (sizes are implied).
+	Hosts [][]byte
+}
+
+// arena is the per-PE MRAM window a Collective's regions are resolved
+// against. base is BankBurstBytes-aligned, so arena-relative alignment
+// equals absolute alignment.
+type arena struct{ base, size int }
+
+// fullArena is the whole per-PE MRAM: the window of a plain Comm.
+func (c *Comm) fullArena() arena { return arena{0, c.hc.sys.MramSize()} }
+
+// checkArenaRegion validates an arena-relative region common to all PEs.
+func checkArenaRegion(ar arena, off, n int) error {
+	if off < 0 || n < 0 || off+n > ar.size {
+		return fmt.Errorf("core: region [%d,%d) exceeds arena size %d", off, off+n, ar.size)
+	}
+	if off%dram.BankBurstBytes != 0 {
+		return fmt.Errorf("core: offset %d not %d-byte aligned", off, dram.BankBurstBytes)
+	}
+	if n%dram.BankBurstBytes != 0 {
+		return fmt.Errorf("core: size %d not a multiple of %d", n, dram.BankBurstBytes)
+	}
+	return nil
+}
+
+// impliedBytes validates an optional explicit region size against the
+// size the primitive implies for that role.
+func impliedBytes(role string, got, implied int) error {
+	if got != 0 && got != implied {
+		return fmt.Errorf("core: %s region has %d bytes, want %d (or 0 for the implied size)", role, got, implied)
+	}
+	return nil
+}
+
+// Compile compiles the collective described by d — validation, Auto
+// resolution, lowering to schedule IR, charge precomputation — into a
+// CompiledPlan ready for repeated Run/Submit. Repeated Compile calls
+// with an equal descriptor return the cached plan.
+func (c *Comm) Compile(d Collective) (*CompiledPlan, error) {
+	return c.compileIn(c.fullArena(), nil, d)
+}
+
+// Run compiles (or fetches the cached plan for) d and executes one
+// replay, returning the run's cost breakdown. Rooted primitives
+// (Gather, Reduce) leave their results on the plan: use Compile and
+// CompiledPlan.Results to read them.
+func (c *Comm) Run(d Collective) (cost.Breakdown, error) {
+	cp, err := c.Compile(d)
+	if err != nil {
+		return cost.Breakdown{}, err
+	}
+	return cp.Run()
+}
+
+// Submit compiles (or fetches the cached plan for) d and enqueues one
+// asynchronous execution, returning its Future. See CompiledPlan.Submit
+// for queue and hazard-ordering semantics.
+func (c *Comm) Submit(d Collective) (*Future, error) {
+	cp, err := c.Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// AutoLevelOf returns the concrete level the Auto pseudo-level resolves
+// to for descriptor d (whatever d.Level says).
+func (c *Comm) AutoLevelOf(d Collective) (Level, error) {
+	bytesPerPE := d.Src.Bytes
+	if d.Prim == Scatter || d.Prim == Broadcast {
+		bytesPerPE = d.Dst.Bytes
+	}
+	inPlace := d.Prim == AlltoAll && d.Src.Off == d.Dst.Off
+	return c.autoLevel(d.Prim, d.Dims, bytesPerPE, d.Elem, d.Op, inPlace)
+}
+
+// compileIn resolves d against the arena and compiles it; owner is the
+// tenant the resulting plan is charged to (nil for a plain Comm). The
+// single funnel behind Compile/Run/Submit and their positional shims.
+func (c *Comm) compileIn(ar arena, owner *Tenant, d Collective) (cp *CompiledPlan, err error) {
+	defer func() {
+		if err != nil {
+			err = fmt.Errorf("%s: %w", d.Prim.LongName(), err)
+		}
+	}()
+	if d.Hosts != nil && !hostInput(d.Prim) {
+		return nil, fmt.Errorf("core: takes no host payload (Hosts must be nil)")
+	}
+	if hostInput(d.Prim) && d.Src != (Region{}) {
+		return nil, fmt.Errorf("core: input is host-side (Hosts), not a Src region")
+	}
+	if (d.Prim == Gather || d.Prim == Reduce) && d.Dst != (Region{}) {
+		return nil, fmt.Errorf("core: output is host-side (Results), not a Dst region")
+	}
+	switch d.Prim {
+	case AlltoAll:
+		cp, err = c.compileAlltoAll(ar, d)
+	case ReduceScatter:
+		cp, err = c.compileReduceScatter(ar, d)
+	case AllReduce:
+		cp, err = c.compileAllReduce(ar, d)
+	case AllGather:
+		cp, err = c.compileAllGather(ar, d)
+	case Scatter:
+		cp, err = c.compileScatter(ar, d)
+	case Gather:
+		cp, err = c.compileGather(ar, d)
+	case Reduce:
+		cp, err = c.compileReduce(ar, d)
+	case Broadcast:
+		cp, err = c.compileBroadcast(ar, d)
+	default:
+		return nil, fmt.Errorf("core: unknown primitive %v", d.Prim)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := cp.adopt(owner); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// resolveLevel resolves Auto for the descriptor and returns the
+// effective level for its primitive.
+func (c *Comm) resolveLevel(d Collective, bytesPerPE int, inPlace bool) (Level, error) {
+	lvl := d.Level
+	if lvl == Auto {
+		var err error
+		if lvl, err = c.autoLevel(d.Prim, d.Dims, bytesPerPE, d.Elem, d.Op, inPlace); err != nil {
+			return 0, err
+		}
+	}
+	return EffectiveLevel(d.Prim, lvl), nil
+}
+
+func (c *Comm) compileAlltoAll(ar arena, d Collective) (*CompiledPlan, error) {
+	m := d.Src.Bytes
+	if err := impliedBytes("Dst", d.Dst.Bytes, m); err != nil {
+		return nil, err
+	}
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Dst.Off, m); err != nil {
+		return nil, err
+	}
+	inPlace := d.Src.Off == d.Dst.Off
+	if overlap(d.Src.Off, m, d.Dst.Off, m) && !inPlace {
+		return nil, fmt.Errorf("core: src [%d,%d) and dst [%d,%d) overlap",
+			d.Src.Off, d.Src.Off+m, d.Dst.Off, d.Dst.Off+m)
+	}
+	s, err := blockSize(m, p.n)
+	if err != nil {
+		return nil, err
+	}
+	eff, err := c.resolveLevel(d, m, inPlace)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkInPlace(AlltoAll, eff, inPlace); err != nil {
+		return nil, err
+	}
+	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
+	key := planKey{prim: AlltoAll, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, lvl: eff}
+	var regs planRegions
+	regs.srcRegion(srcOff, m, eff >= PR)
+	regs.write(dstOff, m)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+		return c.lowerAlltoAll(p, srcOff, dstOff, s, eff)
+	}), nil
+}
+
+func (c *Comm) compileReduceScatter(ar arena, d Collective) (*CompiledPlan, error) {
+	m := d.Src.Bytes
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkElem(d.Elem, d.Op); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
+		return nil, err
+	}
+	s, err := blockSize(m, p.n)
+	if err != nil {
+		return nil, err
+	}
+	if err := impliedBytes("Dst", d.Dst.Bytes, s); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Dst.Off, s); err != nil {
+		return nil, err
+	}
+	if overlap(d.Src.Off, m, d.Dst.Off, s) {
+		return nil, fmt.Errorf("core: src and dst regions overlap")
+	}
+	eff, err := c.resolveLevel(d, m, false)
+	if err != nil {
+		return nil, err
+	}
+	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
+	key := planKey{prim: ReduceScatter, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
+	var regs planRegions
+	regs.srcRegion(srcOff, m, eff >= PR)
+	regs.write(dstOff, s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+		return c.lowerReduceScatter(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
+	}), nil
+}
+
+func (c *Comm) compileAllReduce(ar arena, d Collective) (*CompiledPlan, error) {
+	m := d.Src.Bytes
+	if err := impliedBytes("Dst", d.Dst.Bytes, m); err != nil {
+		return nil, err
+	}
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkElem(d.Elem, d.Op); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Dst.Off, m); err != nil {
+		return nil, err
+	}
+	if overlap(d.Src.Off, m, d.Dst.Off, m) {
+		return nil, fmt.Errorf("core: src [%d,%d) and dst [%d,%d) overlap",
+			d.Src.Off, d.Src.Off+m, d.Dst.Off, d.Dst.Off+m)
+	}
+	s, err := blockSize(m, p.n)
+	if err != nil {
+		return nil, err
+	}
+	eff, err := c.resolveLevel(d, m, false)
+	if err != nil {
+		return nil, err
+	}
+	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
+	key := planKey{prim: AllReduce, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
+	var regs planRegions
+	regs.srcRegion(srcOff, m, eff >= PR)
+	regs.write(dstOff, m)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+		return c.lowerAllReduce(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
+	}), nil
+}
+
+func (c *Comm) compileAllGather(ar arena, d Collective) (*CompiledPlan, error) {
+	s := d.Src.Bytes
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := impliedBytes("Dst", d.Dst.Bytes, p.n*s); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Src.Off, s); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Dst.Off, p.n*s); err != nil {
+		return nil, err
+	}
+	if overlap(d.Src.Off, s, d.Dst.Off, p.n*s) {
+		return nil, fmt.Errorf("core: src and dst regions overlap")
+	}
+	eff, err := c.resolveLevel(d, s, false)
+	if err != nil {
+		return nil, err
+	}
+	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
+	key := planKey{prim: AllGather, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: s, lvl: eff}
+	var regs planRegions
+	regs.read(srcOff, s)
+	regs.write(dstOff, p.n*s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+		return c.lowerAllGather(p, srcOff, dstOff, s, eff)
+	}), nil
+}
+
+func (c *Comm) compileGather(ar arena, d Collective) (*CompiledPlan, error) {
+	s := d.Src.Bytes
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Src.Off, s); err != nil {
+		return nil, err
+	}
+	eff, err := c.resolveLevel(d, s, false)
+	if err != nil {
+		return nil, err
+	}
+	srcOff := ar.base + d.Src.Off
+	key := planKey{prim: Gather, dims: d.Dims, srcOff: srcOff, bytes: s, lvl: eff}
+	var regs planRegions
+	regs.read(srcOff, s)
+	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
+		return c.lowerGather(p, srcOff, s, eff, &cp.out)
+	}), nil
+}
+
+func (c *Comm) compileReduce(ar arena, d Collective) (*CompiledPlan, error) {
+	m := d.Src.Bytes
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkElem(d.Elem, d.Op); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
+		return nil, err
+	}
+	s, err := blockSize(m, p.n)
+	if err != nil {
+		return nil, err
+	}
+	eff, err := c.resolveLevel(d, m, false)
+	if err != nil {
+		return nil, err
+	}
+	srcOff := ar.base + d.Src.Off
+	key := planKey{prim: Reduce, dims: d.Dims, srcOff: srcOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
+	var regs planRegions
+	regs.srcRegion(srcOff, m, eff >= PR)
+	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
+		return c.lowerReduce(p, srcOff, s, d.Elem, d.Op, eff, &cp.out)
+	}), nil
+}
+
+func (c *Comm) compileScatter(ar arena, d Collective) (*CompiledPlan, error) {
+	s := d.Dst.Bytes
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if s%dram.BankBurstBytes != 0 {
+		return nil, fmt.Errorf("core: Dst bytes %d not a multiple of %d", s, dram.BankBurstBytes)
+	}
+	if err := checkArenaRegion(ar, d.Dst.Off, s); err != nil {
+		return nil, err
+	}
+	bufs := d.Hosts
+	if bufs == nil && !c.backend.Functional() {
+		// Cost-only dry run: sizes are fully determined by the plan.
+	} else {
+		if len(bufs) != len(p.groups) {
+			return nil, fmt.Errorf("core: %d host buffers for %d groups", len(bufs), len(p.groups))
+		}
+		for g, b := range bufs {
+			if len(b) != p.n*s {
+				return nil, fmt.Errorf("core: host buffer %d has %d bytes, want %d", g, len(b), p.n*s)
+			}
+		}
+	}
+	eff, err := c.resolveLevel(d, s, false)
+	if err != nil {
+		return nil, err
+	}
+	dstOff := ar.base + d.Dst.Off
+	key := planKey{prim: Scatter, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: eff}
+	var regs planRegions
+	regs.write(dstOff, s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+		return c.lowerScatter(p, bufs, dstOff, s, eff)
+	}), nil
+}
+
+func (c *Comm) compileBroadcast(ar arena, d Collective) (*CompiledPlan, error) {
+	p, err := c.plan(d.Dims)
+	if err != nil {
+		return nil, err
+	}
+	bufs := d.Hosts
+	if len(bufs) != len(p.groups) {
+		return nil, fmt.Errorf("core: %d host buffers for %d groups", len(bufs), len(p.groups))
+	}
+	s := -1
+	for g, b := range bufs {
+		if s == -1 {
+			s = len(b)
+		} else if len(b) != s {
+			return nil, fmt.Errorf("core: host buffer %d has %d bytes, want %d", g, len(b), s)
+		}
+	}
+	if err := impliedBytes("Dst", d.Dst.Bytes, s); err != nil {
+		return nil, err
+	}
+	if err := checkArenaRegion(ar, d.Dst.Off, s); err != nil {
+		return nil, err
+	}
+	// Broadcast has a single implementation at every level (§ VIII-B).
+	dstOff := ar.base + d.Dst.Off
+	key := planKey{prim: Broadcast, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: Baseline}
+	var regs planRegions
+	regs.write(dstOff, s)
+	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+		return c.lowerBroadcast(p, bufs, dstOff, s)
+	}), nil
+}

@@ -69,15 +69,25 @@ type Comm struct {
 	asyncBase cost.Seconds
 	frontier  []placedPlan
 
-	// asyncMu guards the submission queue and worker state; asyncCond
-	// signals queue drain to Flush. asyncSlots is the queue-slot
-	// semaphore bounding in-flight submissions at MaxPendingPlans.
+	// asyncMu guards the submission queues, the weighted-fair virtual
+	// clock and the worker state; asyncCond signals queue drain to
+	// Flush. asyncSlots is the queue-slot semaphore bounding in-flight
+	// submissions at MaxPendingPlans. queues[0] is the default queue of
+	// plans submitted outside any tenant; every tenant appends its own
+	// (async.go, tenant.go).
 	asyncMu      sync.Mutex
 	asyncCond    *sync.Cond
-	asyncQ       []*Future
+	queues       []*subQueue
+	vclock       float64
+	seqCounter   uint64
 	asyncRunning bool
 	asyncPending int
 	asyncSlots   chan struct{}
+
+	// tenantMu guards the tenant registry, used to keep arenas disjoint
+	// (tenant.go).
+	tenantMu sync.Mutex
+	tenants  []*Tenant
 }
 
 // NewComm creates a communication context for the hypercube with the
@@ -108,6 +118,7 @@ func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
 		compiled:   make(map[planKey]*CompiledPlan),
 		traces:     make(map[planKey]*chargeTrace),
 		asyncSlots: make(chan struct{}, MaxPendingPlans),
+		queues:     []*subQueue{{weight: 1}},
 	}
 	c.asyncCond = sync.NewCond(&c.asyncMu)
 	return c
@@ -164,18 +175,10 @@ func (c *Comm) GetPEBuffer(pe, off, n int) []byte {
 	return out
 }
 
-// checkRegion validates an MRAM region common to all PEs.
+// checkRegion validates an MRAM region common to all PEs against the
+// whole MRAM (the arena of a plain Comm).
 func (c *Comm) checkRegion(off, n int) error {
-	if off < 0 || n < 0 || off+n > c.hc.sys.MramSize() {
-		return fmt.Errorf("core: region [%d,%d) exceeds MRAM size %d", off, off+n, c.hc.sys.MramSize())
-	}
-	if off%dram.BankBurstBytes != 0 {
-		return fmt.Errorf("core: offset %d not %d-byte aligned", off, dram.BankBurstBytes)
-	}
-	if n%dram.BankBurstBytes != 0 {
-		return fmt.Errorf("core: size %d not a multiple of %d", n, dram.BankBurstBytes)
-	}
-	return nil
+	return checkArenaRegion(c.fullArena(), off, n)
 }
 
 // blockSize computes and validates the per-block size s = bytesPerPE / n

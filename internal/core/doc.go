@@ -14,6 +14,16 @@
 // and must produce bit-identical results; tests verify all levels against
 // an independent reference model (reference.go).
 //
+// # The Collective descriptor
+//
+// Every collective call is described by one Collective value
+// (collective.go): primitive, dims bitmap, arena-relative Region
+// handles, element type/operator, level (zero value = Auto) and host
+// payloads. Exactly three entry points consume it — Compile, Run,
+// Submit — and the positional-argument methods (AlltoAll,
+// CompileAlltoAll, SubmitAlltoAll, ...) are thin shims over the same
+// funnel, so every path shares one normalization and validation.
+//
 // # Pipeline
 //
 // A collective call flows through four stages: validate, lower to the
@@ -51,6 +61,19 @@
 // are ordered. Comm.Elapsed reports the makespan; Comm.Flush is the
 // barrier. The bench "async" experiment measures the overlap speedup on
 // a DLRM-style pipeline.
+//
+// # Tenants and weighted-fair scheduling
+//
+// Tenant sessions (tenant.go) let many workloads share one Comm: each
+// tenant owns a disjoint per-PE MRAM arena its descriptors are resolved
+// against, a meter that mirrors every charge of its plans (bit-identical
+// to running alone), a weight, and an optional simulated-time quota
+// enforced at admission. The submission queue becomes per-tenant
+// buckets served by start-time weighted fair queuing (async.go); within
+// a bucket FIFO order — and with it hazard order — is preserved, while
+// across tenants the disjoint arenas guarantee hazard-freedom and the
+// shared timeline overlaps the streams. The bench "multitenant"
+// experiment measures the serving win.
 //
 // # Paper map
 //

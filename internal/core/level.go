@@ -11,10 +11,20 @@ import "fmt"
 type Level int
 
 const (
+	// Auto is a pseudo-level and the Level zero value, so a Collective
+	// descriptor that leaves Level unset is autotuned: the collective
+	// dry-runs every applicable level on the cost-only backend, picks
+	// the cheapest for the (primitive, dims, payload, element type)
+	// signature, caches the decision on the Comm, and executes with it.
+	// See Comm.AutoLevel.
+	//
+	// Auto is resolved to a concrete level at every collective entry
+	// point; it must never reach EffectiveLevel or a schedule builder.
+	Auto Level = iota
 	// Baseline is the conventional design (Figure 3a / Figure 7a):
 	// UPMEM-SDK-style bulk transfers with automatic domain transfer,
 	// global data modulation in host memory by the host alone.
-	Baseline Level = iota
+	Baseline
 	// PR adds PE-assisted reordering (§ V-A1): PEs locally pre/post-
 	// reorder their data so the host's modulation becomes local and
 	// cache-friendly.
@@ -28,15 +38,6 @@ const (
 	// single byte-level shifts, eliminating DT.
 	CM
 )
-
-// Auto is a pseudo-level: a collective called with Auto dry-runs every
-// applicable level on the cost-only backend, picks the cheapest for the
-// (primitive, dims, payload, element type) signature, caches the
-// decision on the Comm, and executes with it. See Comm.AutoLevel.
-//
-// Auto is resolved to a concrete level at every collective entry point;
-// it must never reach EffectiveLevel or a schedule builder.
-const Auto Level = -1
 
 // Levels lists all concrete levels in ascending order (Auto excluded).
 func Levels() []Level { return []Level{Baseline, PR, IM, CM} }

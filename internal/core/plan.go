@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
-	"repro/internal/dram"
 	"repro/internal/elem"
 	"repro/internal/host"
 )
@@ -79,6 +78,11 @@ type CompiledPlan struct {
 	// regs is the plan's per-PE MRAM footprint, used for hazard
 	// detection between asynchronously submitted plans (async.go).
 	regs planRegions
+	// owner is the tenant every run of this plan is attributed to and
+	// admitted against (nil for a plain Comm); owned marks that the
+	// first compile has bound it. Guarded by c.compMu (tenant.go).
+	owner *Tenant
+	owned bool
 
 	// out is the rooted-result slot the schedule's closures write into
 	// during a functional execution; lastOut is what Results returns.
@@ -101,8 +105,13 @@ func (cp *CompiledPlan) Cost() cost.Breakdown { return cp.tr.total }
 // Run executes one replay of the compiled plan and returns its cost
 // breakdown. On the functional backend the schedule executes in full
 // (real bytes move); on the cost-only backend the precomputed charge
-// trace is applied, which is bit-identical to a live execution.
+// trace is applied, which is bit-identical to a live execution. A plan
+// owned by a tenant is admitted against the tenant's quota first and
+// its charges accrue on the tenant's meter.
 func (cp *CompiledPlan) Run() (cost.Breakdown, error) {
+	if err := cp.owner.admit(cp.tr.total.Total()); err != nil {
+		return cost.Breakdown{}, err
+	}
 	_, bd := cp.run()
 	return bd, nil
 }
@@ -138,6 +147,15 @@ func (cp *CompiledPlan) run() ([][]byte, cost.Breakdown) {
 // shared by the serial (run) and asynchronous (execSubmitted) paths, so
 // the two cannot drift apart in accounting. Callers hold execMu.
 func (c *Comm) runScheduleLocked(cp *CompiledPlan) ([][]byte, cost.Breakdown) {
+	if t := cp.owner; t != nil {
+		// Attribute every charge of this run to the owning tenant: the
+		// recorder mirrors each meter addition — same operands, same
+		// order — into the tenant's meter, so a tenant's meter evolves
+		// bit-identically to running its workload alone (tenant.go).
+		m := c.h.Meter()
+		m.SetRecorder(func(cat cost.Category, t2 cost.Seconds) { t.meter.Add(cat, t2) })
+		defer m.SetRecorder(nil)
+	}
 	before := c.h.Meter().Snapshot()
 	if c.backend.Functional() {
 		cp.out = nil
@@ -258,11 +276,17 @@ func (c *Comm) PlanCacheStats() PlanCacheStats {
 }
 
 // ClearPlanCache drops every compiled plan and charge trace. Plans
-// already handed out remain valid; the next Compile* of each signature
+// already handed out remain valid; the next Compile of each signature
 // pays the full lowering+tracing cost again (the bench replay experiment
 // uses this to measure the cold path). Cumulative hit/miss counters are
 // preserved.
+//
+// ClearPlanCache is a barrier: it flushes the submission queue before
+// evicting, so an in-flight asynchronous submission can never observe
+// the cache being swapped out from under the plan it is about to replay
+// (nor race a concurrent Compile repopulating the maps mid-eviction).
 func (c *Comm) ClearPlanCache() {
+	c.Flush()
 	c.compMu.Lock()
 	defer c.compMu.Unlock()
 	c.compiled = make(map[planKey]*CompiledPlan)
@@ -287,236 +311,64 @@ func checkInPlace(prim Primitive, eff Level, inPlace bool) error {
 }
 
 // ---------------------------------------------------------------------
-// Compile entry points (one per primitive)
+// Positional compile shims (one per primitive): each builds a Collective
+// descriptor and funnels into Comm.Compile. New code should use the
+// descriptor directly; these exist so iterative internal callers and the
+// paper-figure harness read like the original library.
 // ---------------------------------------------------------------------
 
 // CompileAlltoAll compiles an AlltoAll call (see Comm.AlltoAll for the
 // call semantics). srcOff == dstOff compiles an in-place AlltoAll, which
 // only the staged levels (Baseline/PR) support.
 func (c *Comm) CompileAlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
-	p, s, err := c.prepBlocks(dims, srcOff, dstOff, bytesPerPE, true)
-	if err != nil {
-		return nil, fmt.Errorf("AlltoAll: %w", err)
-	}
-	inPlace := srcOff == dstOff
-	if lvl == Auto {
-		if lvl, err = c.autoLevel(AlltoAll, dims, bytesPerPE, 0, 0, inPlace); err != nil {
-			return nil, fmt.Errorf("AlltoAll: %w", err)
-		}
-	}
-	eff := EffectiveLevel(AlltoAll, lvl)
-	if err := checkInPlace(AlltoAll, eff, inPlace); err != nil {
-		return nil, fmt.Errorf("AlltoAll: %w", err)
-	}
-	key := planKey{prim: AlltoAll, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, lvl: eff}
-	var regs planRegions
-	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
-	regs.write(dstOff, bytesPerPE)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
-		return c.lowerAlltoAll(p, srcOff, dstOff, s, eff)
-	}), nil
+	return c.Compile(Collective{Prim: AlltoAll, Dims: dims,
+		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Level: lvl})
 }
 
 // CompileReduceScatter compiles a ReduceScatter call.
 func (c *Comm) CompileReduceScatter(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*CompiledPlan, error) {
-	p, s, err := c.prepReduceArgs(dims, srcOff, dstOff, bytesPerPE, t, op)
-	if err != nil {
-		return nil, fmt.Errorf("ReduceScatter: %w", err)
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(ReduceScatter, dims, bytesPerPE, t, op); err != nil {
-			return nil, fmt.Errorf("ReduceScatter: %w", err)
-		}
-	}
-	eff := EffectiveLevel(ReduceScatter, lvl)
-	key := planKey{prim: ReduceScatter, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, elemType: t, op: op, lvl: eff}
-	var regs planRegions
-	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
-	regs.write(dstOff, s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
-		return c.lowerReduceScatter(p, srcOff, dstOff, s, t, op, eff)
-	}), nil
+	return c.Compile(Collective{Prim: ReduceScatter, Dims: dims,
+		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Elem: t, Op: op, Level: lvl})
 }
 
 // CompileAllReduce compiles an AllReduce call.
 func (c *Comm) CompileAllReduce(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*CompiledPlan, error) {
-	p, s, err := c.prepBlocks(dims, srcOff, dstOff, bytesPerPE, false)
-	if err != nil {
-		return nil, fmt.Errorf("AllReduce: %w", err)
-	}
-	if err := checkElem(t, op); err != nil {
-		return nil, fmt.Errorf("AllReduce: %w", err)
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(AllReduce, dims, bytesPerPE, t, op); err != nil {
-			return nil, fmt.Errorf("AllReduce: %w", err)
-		}
-	}
-	eff := EffectiveLevel(AllReduce, lvl)
-	key := planKey{prim: AllReduce, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, elemType: t, op: op, lvl: eff}
-	var regs planRegions
-	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
-	regs.write(dstOff, bytesPerPE)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
-		return c.lowerAllReduce(p, srcOff, dstOff, s, t, op, eff)
-	}), nil
+	return c.Compile(Collective{Prim: AllReduce, Dims: dims,
+		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Elem: t, Op: op, Level: lvl})
 }
 
 // CompileAllGather compiles an AllGather call.
 func (c *Comm) CompileAllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
-	p, err := c.plan(dims)
-	if err != nil {
-		return nil, fmt.Errorf("AllGather: %w", err)
-	}
-	s := bytesPerPE
-	if err := c.checkRegion(srcOff, s); err != nil {
-		return nil, fmt.Errorf("AllGather: %w", err)
-	}
-	if err := c.checkRegion(dstOff, p.n*s); err != nil {
-		return nil, fmt.Errorf("AllGather: %w", err)
-	}
-	if overlap(srcOff, s, dstOff, p.n*s) {
-		return nil, fmt.Errorf("AllGather: src and dst regions overlap")
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(AllGather, dims, bytesPerPE, 0, 0); err != nil {
-			return nil, fmt.Errorf("AllGather: %w", err)
-		}
-	}
-	eff := EffectiveLevel(AllGather, lvl)
-	key := planKey{prim: AllGather, dims: dims, srcOff: srcOff, dstOff: dstOff, bytes: bytesPerPE, lvl: eff}
-	var regs planRegions
-	regs.read(srcOff, s)
-	regs.write(dstOff, p.n*s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
-		return c.lowerAllGather(p, srcOff, dstOff, s, eff)
-	}), nil
+	return c.Compile(Collective{Prim: AllGather, Dims: dims,
+		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Level: lvl})
 }
 
 // CompileGather compiles a rooted Gather; each Run leaves the per-group
 // results in Results.
 func (c *Comm) CompileGather(dims string, srcOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
-	p, err := c.plan(dims)
-	if err != nil {
-		return nil, fmt.Errorf("Gather: %w", err)
-	}
-	s := bytesPerPE
-	if err := c.checkRegion(srcOff, s); err != nil {
-		return nil, fmt.Errorf("Gather: %w", err)
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(Gather, dims, bytesPerPE, 0, 0); err != nil {
-			return nil, fmt.Errorf("Gather: %w", err)
-		}
-	}
-	eff := EffectiveLevel(Gather, lvl)
-	key := planKey{prim: Gather, dims: dims, srcOff: srcOff, bytes: bytesPerPE, lvl: eff}
-	var regs planRegions
-	regs.read(srcOff, s)
-	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
-		return c.lowerGather(p, srcOff, s, eff, &cp.out)
-	}), nil
+	return c.Compile(Collective{Prim: Gather, Dims: dims,
+		Src: Span(srcOff, bytesPerPE), Level: lvl})
 }
 
 // CompileReduce compiles a rooted Reduce; each Run leaves the per-group
 // results in Results.
 func (c *Comm) CompileReduce(dims string, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*CompiledPlan, error) {
-	p, err := c.plan(dims)
-	if err != nil {
-		return nil, fmt.Errorf("Reduce: %w", err)
-	}
-	if err := checkElem(t, op); err != nil {
-		return nil, fmt.Errorf("Reduce: %w", err)
-	}
-	if err := c.checkRegion(srcOff, bytesPerPE); err != nil {
-		return nil, fmt.Errorf("Reduce: %w", err)
-	}
-	s, err := blockSize(bytesPerPE, p.n)
-	if err != nil {
-		return nil, fmt.Errorf("Reduce: %w", err)
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(Reduce, dims, bytesPerPE, t, op); err != nil {
-			return nil, fmt.Errorf("Reduce: %w", err)
-		}
-	}
-	eff := EffectiveLevel(Reduce, lvl)
-	key := planKey{prim: Reduce, dims: dims, srcOff: srcOff, bytes: bytesPerPE, elemType: t, op: op, lvl: eff}
-	var regs planRegions
-	regs.srcRegion(srcOff, bytesPerPE, eff >= PR)
-	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
-		return c.lowerReduce(p, srcOff, s, t, op, eff, &cp.out)
-	}), nil
+	return c.Compile(Collective{Prim: Reduce, Dims: dims,
+		Src: Span(srcOff, bytesPerPE), Elem: t, Op: op, Level: lvl})
 }
 
 // CompileScatter compiles a Scatter call bound to bufs: each Run reads
 // the buffers' current contents, so iterative callers refill the same
 // slices between runs. On a cost-only backend bufs may be nil.
 func (c *Comm) CompileScatter(dims string, bufs [][]byte, dstOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
-	p, err := c.plan(dims)
-	if err != nil {
-		return nil, fmt.Errorf("Scatter: %w", err)
-	}
-	s := bytesPerPE
-	if s%dram.BankBurstBytes != 0 {
-		return nil, fmt.Errorf("Scatter: bytesPerPE %d not a multiple of %d", s, dram.BankBurstBytes)
-	}
-	if err := c.checkRegion(dstOff, s); err != nil {
-		return nil, fmt.Errorf("Scatter: %w", err)
-	}
-	if bufs == nil && !c.backend.Functional() {
-		// Cost-only dry run: sizes are fully determined by the plan.
-	} else {
-		if len(bufs) != len(p.groups) {
-			return nil, fmt.Errorf("Scatter: %d buffers for %d groups", len(bufs), len(p.groups))
-		}
-		for g, b := range bufs {
-			if len(b) != p.n*s {
-				return nil, fmt.Errorf("Scatter: buffer %d has %d bytes, want %d", g, len(b), p.n*s)
-			}
-		}
-	}
-	if lvl == Auto {
-		if lvl, err = c.AutoLevel(Scatter, dims, bytesPerPE, 0, 0); err != nil {
-			return nil, fmt.Errorf("Scatter: %w", err)
-		}
-	}
-	eff := EffectiveLevel(Scatter, lvl)
-	key := planKey{prim: Scatter, dims: dims, dstOff: dstOff, bytes: bytesPerPE, lvl: eff}
-	var regs planRegions
-	regs.write(dstOff, s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
-		return c.lowerScatter(p, bufs, dstOff, s, eff)
-	}), nil
+	return c.Compile(Collective{Prim: Scatter, Dims: dims,
+		Hosts: bufs, Dst: Span(dstOff, bytesPerPE), Level: lvl})
 }
 
 // CompileBroadcast compiles a Broadcast call bound to bufs (one payload
 // per communication group): each Run reads the buffers' current
 // contents.
 func (c *Comm) CompileBroadcast(dims string, bufs [][]byte, dstOff int, lvl Level) (*CompiledPlan, error) {
-	p, err := c.plan(dims)
-	if err != nil {
-		return nil, fmt.Errorf("Broadcast: %w", err)
-	}
-	if len(bufs) != len(p.groups) {
-		return nil, fmt.Errorf("Broadcast: %d buffers for %d groups", len(bufs), len(p.groups))
-	}
-	s := -1
-	for g, b := range bufs {
-		if s == -1 {
-			s = len(b)
-		} else if len(b) != s {
-			return nil, fmt.Errorf("Broadcast: buffer %d has %d bytes, want %d", g, len(b), s)
-		}
-	}
-	if err := c.checkRegion(dstOff, s); err != nil {
-		return nil, fmt.Errorf("Broadcast: %w", err)
-	}
-	_ = lvl // single implementation at every level (§ VIII-B)
-	key := planKey{prim: Broadcast, dims: dims, dstOff: dstOff, bytes: s, lvl: Baseline}
-	var regs planRegions
-	regs.write(dstOff, s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
-		return c.lowerBroadcast(p, bufs, dstOff, s)
-	}), nil
+	return c.Compile(Collective{Prim: Broadcast, Dims: dims,
+		Hosts: bufs, Dst: At(dstOff), Level: lvl})
 }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+)
+
+// This file implements tenant sessions: arena-scoped views of one Comm
+// that let many independent workloads ("models being served") share one
+// simulated machine. A Tenant owns a disjoint window of every PE's MRAM
+// — all of its Collective regions are validated against that window and
+// translated to absolute offsets, so tenants cannot name, let alone
+// alias, each other's footprints — plus its own cost.Meter, a weight in
+// the machine's weighted-fair submission scheduler (async.go), and an
+// optional simulated-time quota.
+//
+// Accounting invariant: every charge a tenant's plan makes on the
+// machine meter is mirrored — same operands, same order — into the
+// tenant's meter (see runScheduleLocked). A tenant's meter is therefore
+// bit-identical to the meter of running that tenant's workload alone on
+// its own machine, and summing all tenant meters reproduces exactly the
+// attributed machine total.
+
+// ErrQuotaExceeded is wrapped by admission errors of a Tenant whose
+// simulated-time quota cannot cover the next plan.
+var ErrQuotaExceeded = errors.New("core: tenant quota exceeded")
+
+// Tenant is one arena-scoped session on a shared Comm. Create tenants
+// with Comm.NewTenant; a Tenant is safe for concurrent use.
+type Tenant struct {
+	c      *Comm
+	name   string
+	ar     arena
+	meter  *cost.Meter
+	weight float64
+	quota  cost.Seconds
+	sq     *subQueue
+
+	// mu guards the admission ledger.
+	mu       sync.Mutex
+	admitted cost.Seconds
+}
+
+// NewTenant registers a tenant session over the per-PE MRAM window
+// [base, base+bytes), which must be BankBurstBytes-aligned and disjoint
+// from every existing tenant's arena. weight is the tenant's share in
+// the weighted-fair submission scheduler (0 means 1); quota, if
+// positive, bounds the total simulated time the tenant may admit
+// (enforced against each plan's predicted cost at Run/Submit).
+func (c *Comm) NewTenant(name string, base, bytes int, weight float64, quota cost.Seconds) (*Tenant, error) {
+	if bytes <= 0 || base < 0 || base+bytes > c.hc.sys.MramSize() {
+		return nil, fmt.Errorf("core: tenant %q arena [%d,%d) exceeds MRAM size %d",
+			name, base, base+bytes, c.hc.sys.MramSize())
+	}
+	if base%dram.BankBurstBytes != 0 || bytes%dram.BankBurstBytes != 0 {
+		return nil, fmt.Errorf("core: tenant %q arena [%d,%d) not %d-byte aligned",
+			name, base, base+bytes, dram.BankBurstBytes)
+	}
+	if weight == 0 {
+		weight = 1
+	}
+	if weight < 0 {
+		return nil, fmt.Errorf("core: tenant %q weight %v must be positive", name, weight)
+	}
+	if quota < 0 {
+		return nil, fmt.Errorf("core: tenant %q quota %v must be non-negative", name, quota)
+	}
+	t := &Tenant{
+		c:      c,
+		name:   name,
+		ar:     arena{base, bytes},
+		meter:  cost.NewMeter(),
+		weight: weight,
+		quota:  quota,
+		sq:     &subQueue{weight: weight},
+	}
+	c.tenantMu.Lock()
+	for _, o := range c.tenants {
+		if overlap(base, bytes, o.ar.base, o.ar.size) {
+			c.tenantMu.Unlock()
+			return nil, fmt.Errorf("core: tenant %q arena [%d,%d) overlaps tenant %q arena [%d,%d)",
+				name, base, base+bytes, o.name, o.ar.base, o.ar.base+o.ar.size)
+		}
+	}
+	c.tenants = append(c.tenants, t)
+	c.tenantMu.Unlock()
+	c.asyncMu.Lock()
+	c.queues = append(c.queues, t.sq)
+	c.asyncMu.Unlock()
+	return t, nil
+}
+
+// Tenants returns the registered tenants in creation order.
+func (c *Comm) Tenants() []*Tenant {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	out := make([]*Tenant, len(c.tenants))
+	copy(out, c.tenants)
+	return out
+}
+
+// Compile compiles d against the tenant's arena: every region must lie
+// within [0, ArenaBytes). The returned plan is owned by the tenant —
+// each Run/Submit is admitted against the quota and attributed to the
+// tenant's meter.
+func (t *Tenant) Compile(d Collective) (*CompiledPlan, error) {
+	return t.c.compileIn(t.ar, t, d)
+}
+
+// Run compiles (or fetches) the plan for d and executes one replay.
+func (t *Tenant) Run(d Collective) (cost.Breakdown, error) {
+	cp, err := t.Compile(d)
+	if err != nil {
+		return cost.Breakdown{}, err
+	}
+	return cp.Run()
+}
+
+// Submit compiles (or fetches) the plan for d and enqueues one
+// asynchronous execution on the tenant's weighted-fair bucket.
+func (t *Tenant) Submit(d Collective) (*Future, error) {
+	cp, err := t.Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// AutoLevelOf returns the concrete level Auto resolves to for d.
+func (t *Tenant) AutoLevelOf(d Collective) (Level, error) { return t.c.AutoLevelOf(d) }
+
+// SetPEBuffer writes raw bytes into the tenant's arena of a PE's MRAM
+// (no cost), off arena-relative. Like Comm.SetPEBuffer it is a setup
+// helper; call Flush first if submissions may be in flight.
+func (t *Tenant) SetPEBuffer(pe, off int, data []byte) {
+	if off < 0 || off+len(data) > t.ar.size {
+		panic(fmt.Sprintf("core: tenant %q buffer [%d,%d) outside arena size %d",
+			t.name, off, off+len(data), t.ar.size))
+	}
+	t.c.SetPEBuffer(pe, t.ar.base+off, data)
+}
+
+// GetPEBuffer reads raw bytes from the tenant's arena of a PE's MRAM
+// (no cost), off arena-relative.
+func (t *Tenant) GetPEBuffer(pe, off, n int) []byte {
+	if off < 0 || n < 0 || off+n > t.ar.size {
+		panic(fmt.Sprintf("core: tenant %q buffer [%d,%d) outside arena size %d",
+			t.name, off, off+n, t.ar.size))
+	}
+	return t.c.GetPEBuffer(pe, t.ar.base+off, n)
+}
+
+// Meter returns the tenant's cost meter: exactly the charges of this
+// tenant's plans, bit-identical to running the same workload alone.
+func (t *Tenant) Meter() *cost.Meter { return t.meter }
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// Weight returns the tenant's weighted-fair scheduler share.
+func (t *Tenant) Weight() float64 { return t.weight }
+
+// Quota returns the tenant's simulated-time budget (0 = unlimited).
+func (t *Tenant) Quota() cost.Seconds { return t.quota }
+
+// Admitted returns the predicted simulated time admitted so far — the
+// quantity the quota is enforced against.
+func (t *Tenant) Admitted() cost.Seconds {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.admitted
+}
+
+// Arena returns the tenant's per-PE MRAM window as (base, bytes).
+func (t *Tenant) Arena() (base, bytes int) { return t.ar.base, t.ar.size }
+
+// Flush blocks until every plan submitted on the shared machine has
+// completed (the machine-wide barrier; see Comm.Flush).
+func (t *Tenant) Flush() { t.c.Flush() }
+
+// Elapsed returns the shared machine's overlap-aware elapsed time.
+func (t *Tenant) Elapsed() cost.Seconds { return t.c.Elapsed() }
+
+// admit charges the tenant's admission ledger with a plan's predicted
+// cost, rejecting with ErrQuotaExceeded if the quota cannot cover it.
+// A nil tenant (plain Comm plans) admits everything.
+func (t *Tenant) admit(c cost.Seconds) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.quota > 0 && t.admitted+c > t.quota {
+		return fmt.Errorf("%w: tenant %q admitted %.6gs + requested %.6gs exceeds quota %.6gs",
+			ErrQuotaExceeded, t.name, float64(t.admitted), float64(c), float64(t.quota))
+	}
+	t.admitted += c
+	return nil
+}
+
+// ownerName labels a plan owner in diagnostics.
+func ownerName(t *Tenant) string {
+	if t == nil {
+		return "the machine"
+	}
+	return fmt.Sprintf("tenant %q", t.name)
+}
+
+// adopt binds the plan to its owner on first compile and verifies the
+// binding on cache hits. Tenants can never collide on a plan key (their
+// arenas are disjoint, and keys carry absolute offsets), so a conflict
+// means a plain-Comm caller and a tenant named the same MRAM — which
+// the tenancy contract forbids.
+func (cp *CompiledPlan) adopt(t *Tenant) error {
+	c := cp.c
+	c.compMu.Lock()
+	defer c.compMu.Unlock()
+	if !cp.owned {
+		cp.owned, cp.owner = true, t
+		return nil
+	}
+	if cp.owner != t {
+		return fmt.Errorf("core: plan %s is owned by %s, not %s",
+			cp.sched.Name, ownerName(cp.owner), ownerName(t))
+	}
+	return nil
+}

@@ -29,6 +29,9 @@
 //     MRAM: topology and size queries work, byte access panics. Combined
 //     with the cost-only backend it makes paper-scale sweeps allocation-
 //     free.
+//   - Arena / CarveArena carve each bank's MRAM into disjoint,
+//     burst-aligned per-tenant windows — the provisioning substrate of
+//     the multi-tenant session layer (core.Tenant, pidcomm.Machine).
 //
 // # Paper map
 //

@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ChipsPerRank is fixed by the DDR4 x8 DIMM organization: 8 chips with
 // 8-bit buses concatenate into the 64-bit channel bus.
@@ -75,6 +78,49 @@ type System struct {
 	mram [][]byte
 	// phantom marks a geometry-only system.
 	phantom bool
+
+	// carveMu guards carved, the high-water mark of the sequential
+	// arena allocator (CarveArena).
+	carveMu sync.Mutex
+	carved  int
+}
+
+// Arena is a per-bank MRAM byte window [Base, Base+Bytes), identical on
+// every PE: the unit of multi-tenant isolation. Arenas are carved
+// sequentially from offset 0 and never reclaimed — tenancy is a
+// provisioning-time decision, like binding DIMM ranks to VMs.
+type Arena struct {
+	Base  int
+	Bytes int
+}
+
+// CarveArena reserves the next bytes of every bank's MRAM (rounded up
+// to BankBurstBytes so arena-relative alignment equals absolute
+// alignment) and returns the carved window. Carving works on phantom
+// systems too — only sizes are tracked.
+func (s *System) CarveArena(bytes int) (Arena, error) {
+	if bytes <= 0 {
+		return Arena{}, fmt.Errorf("dram: arena bytes must be positive, got %d", bytes)
+	}
+	if r := bytes % BankBurstBytes; r != 0 {
+		bytes += BankBurstBytes - r
+	}
+	s.carveMu.Lock()
+	defer s.carveMu.Unlock()
+	if s.carved+bytes > s.geo.MramPerBank {
+		return Arena{}, fmt.Errorf("dram: arena of %d B does not fit: %d of %d B already carved",
+			bytes, s.carved, s.geo.MramPerBank)
+	}
+	a := Arena{Base: s.carved, Bytes: bytes}
+	s.carved += bytes
+	return a, nil
+}
+
+// CarvedBytes returns the per-bank bytes already carved into arenas.
+func (s *System) CarvedBytes() int {
+	s.carveMu.Lock()
+	defer s.carveMu.Unlock()
+	return s.carved
 }
 
 // NewSystem allocates a system with the given geometry.

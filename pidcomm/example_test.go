@@ -6,17 +6,17 @@ import (
 	"repro/pidcomm"
 )
 
-// The Figure 10 session: configure a hypercube, select communication
-// dimensions with a bitmap string, invoke a collective.
+// The Figure 10 session: build a machine over a hypercube, select
+// communication dimensions with a bitmap string, describe a collective
+// and Run it.
 func Example() {
-	sys, _ := pidcomm.NewSystem(pidcomm.Geometry{
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 1, BanksPerChip: 4, MramPerBank: 1 << 12,
-	})
-	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{4, 2, 4}) // Figure 5(a)
-	comm := mgr.Comm()
+	}, []int{4, 2, 4}) // Figure 5(a)
+	comm, _ := mach.Comm()
 
-	groups100, _ := mgr.Groups("100") // x axis: Figure 5(b)
-	groups101, _ := mgr.Groups("101") // x and z axes: Figure 5(c)
+	groups100, _ := mach.Groups("100") // x axis: Figure 5(b)
+	groups101, _ := mach.Groups("101") // x and z axes: Figure 5(c)
 	fmt.Printf("dims 100: %d groups of %d\n", len(groups100), len(groups100[0]))
 	fmt.Printf("dims 101: %d groups of %d\n", len(groups101), len(groups101[0]))
 
@@ -25,7 +25,11 @@ func Example() {
 	for pe := 0; pe < 32; pe++ {
 		comm.SetPEBuffer(pe, 0, make([]byte, m))
 	}
-	bd, err := comm.AlltoAll("100", 0, 2*m, m, pidcomm.CM)
+	bd, err := comm.Run(pidcomm.Collective{
+		Prim: pidcomm.AlltoAll, Dims: "100",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Level: pidcomm.CM,
+	})
 	fmt.Println("err:", err, "simulated time > 0:", bd.Total() > 0)
 	// Output:
 	// dims 100: 8 groups of 4
@@ -35,12 +39,11 @@ func Example() {
 
 // Reduction primitives take an element type and operator; 8-bit elements
 // additionally skip domain transfer (§ V-C).
-func ExampleHypercubeManager_Comm() {
-	sys, _ := pidcomm.NewSystem(pidcomm.Geometry{
+func ExampleComm_Run() {
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 12,
-	})
-	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{16})
-	comm := mgr.Comm()
+	}, []int{16})
+	comm, _ := mach.Comm()
 
 	const m = 16 * 8
 	one := make([]byte, m)
@@ -50,7 +53,11 @@ func ExampleHypercubeManager_Comm() {
 	for pe := 0; pe < 16; pe++ {
 		comm.SetPEBuffer(pe, 0, one)
 	}
-	_, err := comm.AllReduce("1", 0, 2*m, m, pidcomm.I8, pidcomm.Sum, pidcomm.IM)
+	_, err := comm.Run(pidcomm.Collective{
+		Prim: pidcomm.AllReduce, Dims: "1",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Elem: pidcomm.I8, Op: pidcomm.Sum, Level: pidcomm.IM,
+	})
 	fmt.Println("err:", err, "sum of 16 ones:", comm.GetPEBuffer(0, 2*m, 1)[0])
 	// Output:
 	// err: <nil> sum of 16 ones: 16
@@ -69,12 +76,11 @@ func ExampleDimsString() {
 // with disjoint MRAM footprints overlap on the elapsed-time timeline, so
 // the overlap-aware elapsed time is lower than the summed cost of the
 // two plans (the meter itself still accounts every charge identically).
-func ExampleComm_submit() {
-	sys, _ := pidcomm.NewSystem(pidcomm.Geometry{
+func ExampleComm_Submit() {
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 13,
-	})
-	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{16})
-	comm := mgr.Comm()
+	}, []int{16})
+	comm, _ := mach.Comm()
 
 	const m = 16 * 8
 	for pe := 0; pe < 16; pe++ {
@@ -82,8 +88,16 @@ func ExampleComm_submit() {
 	}
 	// Independent regions: the AllReduce's PE-side reordering overlaps
 	// the AlltoAll's bus epochs in simulated time.
-	f1, err1 := comm.SubmitAllReduce("1", 0, 2*m, m, pidcomm.I32, pidcomm.Sum, pidcomm.IM)
-	f2, err2 := comm.SubmitAlltoAll("1", 4*m, 6*m, m, pidcomm.CM)
+	f1, err1 := comm.Submit(pidcomm.Collective{
+		Prim: pidcomm.AllReduce, Dims: "1",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.IM,
+	})
+	f2, err2 := comm.Submit(pidcomm.Collective{
+		Prim: pidcomm.AlltoAll, Dims: "1",
+		Src: pidcomm.Span(4*m, m), Dst: pidcomm.At(6 * m),
+		Level: pidcomm.CM,
+	})
 	if err1 != nil || err2 != nil {
 		fmt.Println("submit failed:", err1, err2)
 		return
@@ -102,18 +116,25 @@ func ExampleComm_submit() {
 // ordered by hazard: the reader's timeline window starts only after the
 // writer's ends, with no explicit synchronization in between.
 func ExampleFuture() {
-	sys, _ := pidcomm.NewSystem(pidcomm.Geometry{
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 13,
-	})
-	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{16})
-	comm := mgr.Comm()
+	}, []int{16})
+	comm, _ := mach.Comm()
 
 	const m = 16 * 8
 	for pe := 0; pe < 16; pe++ {
 		comm.SetPEBuffer(pe, 0, make([]byte, 16*m))
 	}
-	w, _ := comm.SubmitAlltoAll("1", 0, 2*m, m, pidcomm.Baseline) // writes [2m, 3m)
-	r, _ := comm.SubmitAllGather("1", 2*m, 4*m, m/16, pidcomm.IM) // reads  [2m, ...): RAW
+	w, _ := comm.Submit(pidcomm.Collective{ // writes [2m, 3m)
+		Prim: pidcomm.AlltoAll, Dims: "1",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Level: pidcomm.Baseline,
+	})
+	r, _ := comm.Submit(pidcomm.Collective{ // reads [2m, ...): RAW
+		Prim: pidcomm.AllGather, Dims: "1",
+		Src: pidcomm.Span(2*m, m/16), Dst: pidcomm.At(4 * m),
+		Level: pidcomm.IM,
+	})
 	_, wEnd := w.Window()
 	rStart, _ := r.Window()
 	fmt.Println("reader waits for writer:", rStart >= wEnd)
@@ -126,19 +147,22 @@ func ExampleFuture() {
 // Iterative workloads compile a collective once and replay it every
 // layer: the plan carries the validated, lowered schedule plus
 // precomputed charges, and each Run is bit-identical to the one-shot
-// call.
+// call. Leaving Level unset means Auto.
 func ExampleCompiledPlan() {
-	sys, _ := pidcomm.NewSystem(pidcomm.Geometry{
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 12,
-	})
-	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{16})
-	comm := mgr.Comm()
+	}, []int{16})
+	comm, _ := mach.Comm()
 
 	const m = 16 * 8
 	for pe := 0; pe < 16; pe++ {
 		comm.SetPEBuffer(pe, 0, make([]byte, m))
 	}
-	plan, err := comm.CompileAllReduce("1", 0, 2*m, m, pidcomm.I32, pidcomm.Sum, pidcomm.Auto)
+	plan, err := comm.Compile(pidcomm.Collective{
+		Prim: pidcomm.AllReduce, Dims: "1",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Elem: pidcomm.I32, Op: pidcomm.Sum, // Level unset: Auto
+	})
 	if err != nil {
 		fmt.Println("compile:", err)
 		return
@@ -154,4 +178,37 @@ func ExampleCompiledPlan() {
 	// Output:
 	// Cost() predicted the first run: true
 	// Auto resolved to a concrete level: true
+}
+
+// Multi-tenant serving: two models share one machine. Each tenant's
+// regions are arena-relative — both place data "at offset 0" yet touch
+// disjoint MRAM — and each tenant's meter accounts exactly its own
+// plans, summing bit-identically to the machine breakdown.
+func ExampleMachine_NewTenant() {
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
+		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 13,
+	}, []int{16})
+	a, _ := mach.NewTenant(pidcomm.TenantConfig{Name: "dlrm", ArenaBytes: 1 << 12, Weight: 2})
+	b, _ := mach.NewTenant(pidcomm.TenantConfig{Name: "gnn", ArenaBytes: 1 << 12, Weight: 1})
+
+	const m = 16 * 8
+	for pe := 0; pe < 16; pe++ {
+		a.SetPEBuffer(pe, 0, make([]byte, m))
+		b.SetPEBuffer(pe, 0, make([]byte, m))
+	}
+	aa := pidcomm.Collective{Prim: pidcomm.AlltoAll, Dims: "1",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m), Level: pidcomm.CM}
+	fa, _ := a.Submit(aa)
+	fb, _ := b.Submit(aa) // same descriptor, disjoint arena
+	fa.Wait()
+	fb.Wait()
+	mach.Flush()
+
+	sum := a.Meter().Add(b.Meter())
+	fmt.Println("tenant meters sum to the machine breakdown:", sum == mach.Breakdown())
+	fmt.Println("tenants overlap on the shared timeline:",
+		mach.Elapsed() < mach.Breakdown().Total())
+	// Output:
+	// tenant meters sum to the machine breakdown: true
+	// tenants overlap on the shared timeline: true
 }

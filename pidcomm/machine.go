@@ -1,0 +1,301 @@
+package pidcomm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+)
+
+// Machine is one simulated PIM-enabled DIMM system: the DIMM geometry,
+// the virtual hypercube over its PEs, the timing model, the shared
+// elapsed-time timeline and the machine-wide compiled-plan caches.
+// Sessions (Comm) are created with NewTenant or the whole-machine
+// convenience Comm; all sessions share the machine's scheduler and
+// timeline, so a Machine is the unit of capacity while a Comm is the
+// unit of isolation.
+type Machine struct {
+	sys      *dram.System
+	hc       *core.Hypercube
+	cc       *core.Comm
+	costOnly bool
+}
+
+// machineConfig collects NewMachine options.
+type machineConfig struct {
+	params   cost.Params
+	costOnly bool
+}
+
+// MachineOption configures NewMachine.
+type MachineOption func(*machineConfig)
+
+// WithParams overrides the calibrated timing model.
+func WithParams(p Params) MachineOption {
+	return func(mc *machineConfig) { mc.params = p }
+}
+
+// CostOnly builds the machine on the cost-only backend over a phantom
+// (no-MRAM) system: every collective charges exactly what the
+// functional machine would — breakdowns are bit-identical — but no
+// bytes exist or move, making paper-scale capacity studies orders of
+// magnitude cheaper. Rooted primitives return nil result buffers and
+// SetPEBuffer/GetPEBuffer panic.
+func CostOnly() MachineOption {
+	return func(mc *machineConfig) { mc.costOnly = true }
+}
+
+// NewMachine builds a simulated machine with the given DIMM geometry
+// and virtual-hypercube shape (every dimension a power of two except
+// the last; product equal to the PE count).
+func NewMachine(geo Geometry, shape []int, opts ...MachineOption) (*Machine, error) {
+	mc := machineConfig{params: cost.DefaultParams()}
+	for _, o := range opts {
+		o(&mc)
+	}
+	if err := mc.params.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		sys *dram.System
+		err error
+	)
+	if mc.costOnly {
+		sys, err = dram.NewPhantomSystem(geo)
+	} else {
+		sys, err = dram.NewSystem(geo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	hc, err := core.NewHypercube(sys, shape)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{sys: sys, hc: hc, costOnly: mc.costOnly}
+	if mc.costOnly {
+		m.cc = core.NewCostComm(hc, mc.params)
+	} else {
+		m.cc = core.NewComm(hc, mc.params)
+	}
+	return m, nil
+}
+
+// TenantConfig describes one session on a shared machine.
+type TenantConfig struct {
+	// Name labels the tenant in diagnostics and `pidinfo -tenants`.
+	Name string
+	// ArenaBytes is the per-PE MRAM window carved for the tenant
+	// (rounded up to the 8-byte bank-burst granule). Every Region the
+	// tenant names is validated against [0, ArenaBytes).
+	ArenaBytes int
+	// Weight is the tenant's share in the weighted-fair submission
+	// scheduler; 0 means 1.
+	Weight float64
+	// Quota, if positive, bounds the total simulated time the tenant
+	// may admit; a Run/Submit whose predicted cost would exceed it
+	// fails with ErrQuotaExceeded.
+	Quota Seconds
+}
+
+// NewTenant carves a fresh disjoint MRAM arena of cfg.ArenaBytes per PE
+// and returns the session bound to it. Arenas are carved sequentially
+// and never reclaimed; NewTenant fails when the remaining MRAM cannot
+// fit the request.
+func (m *Machine) NewTenant(cfg TenantConfig) (*Comm, error) {
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("tenant-%d", len(m.cc.Tenants()))
+	}
+	// Validate everything core will reject before carving: arenas are
+	// never reclaimed, so a failed registration must not consume MRAM.
+	if cfg.Weight < 0 {
+		return nil, fmt.Errorf("pidcomm: tenant %q weight %v must be positive", name, cfg.Weight)
+	}
+	if cfg.Quota < 0 {
+		return nil, fmt.Errorf("pidcomm: tenant %q quota %v must be non-negative", name, cfg.Quota)
+	}
+	ar, err := m.sys.CarveArena(cfg.ArenaBytes)
+	if err != nil {
+		return nil, fmt.Errorf("pidcomm: tenant %q: %w", name, err)
+	}
+	t, err := m.cc.NewTenant(name, ar.Base, ar.Bytes, cfg.Weight, cfg.Quota)
+	if err != nil {
+		return nil, fmt.Errorf("pidcomm: %w", err)
+	}
+	return &Comm{t: t}, nil
+}
+
+// Comm returns a whole-machine session: a tenant named "machine"
+// covering all MRAM not yet carved. It is the single-workload
+// convenience — quickstart-style programs call it once and never think
+// about tenancy — and composes with NewTenant only in the natural
+// order (carve the tenants first; Comm takes the rest).
+func (m *Machine) Comm() (*Comm, error) {
+	free := m.sys.MramSize() - m.sys.CarvedBytes()
+	if free <= 0 {
+		return nil, fmt.Errorf("pidcomm: no MRAM left to bind a whole-machine session")
+	}
+	return m.NewTenant(TenantConfig{Name: "machine", ArenaBytes: free})
+}
+
+// CostOnly reports whether the machine runs the cost-only backend.
+func (m *Machine) CostOnly() bool { return m.costOnly }
+
+// Shape returns the hypercube shape.
+func (m *Machine) Shape() []int { return m.hc.Shape() }
+
+// NumPEs returns the machine's PE count.
+func (m *Machine) NumPEs() int { return m.sys.Geometry().NumPEs() }
+
+// MramPerBank returns the per-PE MRAM capacity in bytes.
+func (m *Machine) MramPerBank() int { return m.sys.MramSize() }
+
+// FreeArenaBytes returns the per-PE MRAM not yet carved into arenas.
+func (m *Machine) FreeArenaBytes() int { return m.sys.MramSize() - m.sys.CarvedBytes() }
+
+// Groups returns the communication groups (PE lists in rank order) the
+// dims selection produces — the cube slices of § IV-B2.
+func (m *Machine) Groups(dims string) ([][]int, error) { return m.hc.Groups(dims) }
+
+// Breakdown returns the machine-wide attributed cost: the per-category
+// sum of every tenant's meter, folded in tenant-creation order. By
+// construction it equals the sum of the per-tenant meters bit for bit;
+// the tenant-isolation tests additionally pin each tenant's meter to a
+// solo run of the same workload.
+func (m *Machine) Breakdown() Breakdown {
+	var b Breakdown
+	for _, t := range m.cc.Tenants() {
+		b = b.Add(t.Meter().Snapshot())
+	}
+	return b
+}
+
+// Elapsed returns the overlap-aware simulated elapsed time of
+// everything executed on the machine: serial runs append, submitted
+// plans with disjoint footprints overlap. The makespan of the shared
+// timeline.
+func (m *Machine) Elapsed() Seconds { return m.cc.Elapsed() }
+
+// Flush blocks until every plan submitted by any tenant has completed,
+// then closes the overlap window (the machine-wide barrier).
+func (m *Machine) Flush() { m.cc.Flush() }
+
+// PlanCacheStats returns the machine-wide compiled-plan cache counters
+// and memory accounting.
+func (m *Machine) PlanCacheStats() PlanCacheStats { return m.cc.PlanCacheStats() }
+
+// TenantInfo is one row of the machine's tenant listing.
+type TenantInfo struct {
+	// Name is the tenant's label.
+	Name string
+	// ArenaBase and ArenaBytes locate the tenant's per-PE MRAM window.
+	ArenaBase, ArenaBytes int
+	// Weight is the weighted-fair scheduler share.
+	Weight float64
+	// Quota is the simulated-time budget (0 = unlimited); Admitted is
+	// the predicted time admitted against it so far.
+	Quota, Admitted Seconds
+	// Meter is the tenant's attributed cost so far.
+	Meter Breakdown
+}
+
+// Tenants lists every session on the machine in creation order.
+func (m *Machine) Tenants() []TenantInfo {
+	ts := m.cc.Tenants()
+	out := make([]TenantInfo, len(ts))
+	for i, t := range ts {
+		base, bytes := t.Arena()
+		out[i] = TenantInfo{
+			Name:      t.Name(),
+			ArenaBase: base, ArenaBytes: bytes,
+			Weight: t.Weight(),
+			Quota:  t.Quota(), Admitted: t.Admitted(),
+			Meter: t.Meter().Snapshot(),
+		}
+	}
+	return out
+}
+
+// Comm is one session on a Machine: a tenant bound to a disjoint
+// per-PE MRAM arena, with its own meter, scheduler weight and optional
+// quota. The Collective descriptor is the only collective entry path —
+// Run executes one-shot, Compile returns a replayable CompiledPlan,
+// Submit enqueues asynchronously — and every Region in a descriptor is
+// arena-relative, so a session cannot name MRAM outside its window.
+//
+// A Comm is safe for concurrent use; executions serialize on the shared
+// machine while the elapsed-time timeline overlaps independent plans.
+type Comm struct {
+	t *core.Tenant
+}
+
+// Run compiles (or fetches the cached plan for) d and executes one
+// replay, returning the run's cost breakdown. Rooted primitives
+// (Gather, Reduce) leave their results on the plan: use Compile and
+// CompiledPlan.Results to read them.
+func (c *Comm) Run(d Collective) (Breakdown, error) { return c.t.Run(d) }
+
+// Compile compiles d — validation, Auto resolution, lowering to
+// schedule IR, charge precomputation — into a CompiledPlan ready for
+// repeated Run/Submit:
+//
+//	plan, _ := comm.Compile(pidcomm.Collective{...})
+//	for layer := 0; layer < L; layer++ {
+//	    bd, _ := plan.Run() // identical cost/result to a one-shot Run
+//	}
+//
+// Repeated one-shot Runs of an equal descriptor hit the same cache, so
+// they amortize too.
+func (c *Comm) Compile(d Collective) (*CompiledPlan, error) { return c.t.Compile(d) }
+
+// Submit compiles (or fetches the cached plan for) d, enqueues one
+// asynchronous execution on the session's weighted-fair bucket and
+// returns its Future. Plans of one session execute in submission order;
+// plans with data hazards (RAW/WAR/WAW on a region) are ordered, and
+// independent plans — always including other tenants' plans, whose
+// arenas are disjoint — overlap on the shared elapsed-time timeline.
+func (c *Comm) Submit(d Collective) (*Future, error) { return c.t.Submit(d) }
+
+// AutoLevel returns the concrete level the Auto pseudo-level resolves
+// to for descriptor d (whatever d.Level says).
+func (c *Comm) AutoLevel(d Collective) (Level, error) { return c.t.AutoLevelOf(d) }
+
+// SetPEBuffer writes raw bytes directly into the session's arena of a
+// PE's MRAM (no cost): test/application setup representing data the PE
+// itself produced. off is arena-relative. Call Flush first if
+// submissions may be in flight.
+func (c *Comm) SetPEBuffer(pe, off int, data []byte) { c.t.SetPEBuffer(pe, off, data) }
+
+// GetPEBuffer reads raw bytes directly from the session's arena of a
+// PE's MRAM (no cost). off is arena-relative.
+func (c *Comm) GetPEBuffer(pe, off, n int) []byte { return c.t.GetPEBuffer(pe, off, n) }
+
+// Meter returns the session's attributed cost so far: exactly the
+// charges of this session's plans, bit-identical to running the same
+// workload alone on its own machine.
+func (c *Comm) Meter() Breakdown { return c.t.Meter().Snapshot() }
+
+// Flush blocks until every plan submitted on the shared machine has
+// completed — the barrier before touching MRAM directly while
+// submissions may be in flight.
+func (c *Comm) Flush() { c.t.Flush() }
+
+// Elapsed returns the shared machine's overlap-aware elapsed time.
+func (c *Comm) Elapsed() Seconds { return c.t.Elapsed() }
+
+// Name returns the session's tenant name.
+func (c *Comm) Name() string { return c.t.Name() }
+
+// Arena returns the session's per-PE MRAM window as (base, bytes).
+func (c *Comm) Arena() (base, bytes int) { return c.t.Arena() }
+
+// Weight returns the session's weighted-fair scheduler share.
+func (c *Comm) Weight() float64 { return c.t.Weight() }
+
+// Quota returns the session's simulated-time budget (0 = unlimited).
+func (c *Comm) Quota() Seconds { return c.t.Quota() }
+
+// Admitted returns the predicted simulated time admitted so far.
+func (c *Comm) Admitted() Seconds { return c.t.Admitted() }

@@ -8,14 +8,49 @@
 // host-mediated version and in PID-Comm's optimized version (PE-assisted
 // reordering, in-register modulation, cross-domain modulation).
 //
-// A minimal session mirrors Figure 10 of the paper:
+// # Machines, tenants and the Collective descriptor
 //
-//	sys, _ := pidcomm.NewSystem(pidcomm.PaperSystem(1 << 20))
-//	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{32, 32})
-//	comm := mgr.Comm()
-//	// ... place per-PE data ...
-//	bd, _ := comm.ReduceScatter("01", srcOff, dstOff, n, pidcomm.I32, pidcomm.Sum, pidcomm.CM)
+// A Machine owns one simulated system: the DIMM geometry, the virtual
+// hypercube over its PEs, the calibrated timing model, the shared
+// three-lane elapsed-time timeline and the compiled-plan caches.
+// Sessions on the machine are Comms, created with NewTenant (or the
+// whole-machine convenience Comm): each tenant is bound to a disjoint
+// per-PE MRAM arena, meters its own costs, and competes for the machine
+// under a weighted-fair scheduler.
+//
+// Every collective is described by one Collective value and consumed by
+// exactly three entry points — Run (one-shot), Compile (plan once,
+// replay many times) and Submit (asynchronous):
+//
+//	mach, _ := pidcomm.NewMachine(pidcomm.PaperSystem(1<<20), []int{32, 32})
+//	comm, _ := mach.Comm()
+//	// ... place per-PE data with comm.SetPEBuffer ...
+//	bd, _ := comm.Run(pidcomm.Collective{
+//	    Prim: pidcomm.ReduceScatter, Dims: "01",
+//	    Src:  pidcomm.Span(srcOff, bytesPerPE), Dst: pidcomm.At(dstOff),
+//	    Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.CM,
+//	})
 //	fmt.Println("simulated time:", bd.Total())
+//
+// The zero value of every optional Collective field is a sensible
+// default: Level zero is Auto (the autotuner picks the cheapest
+// applicable level) and a destination Region with zero Bytes takes the
+// size the primitive implies.
+//
+// # Multi-tenant serving
+//
+// Several models can share one simulated machine: each NewTenant call
+// carves a disjoint MRAM arena and returns an isolated session. All
+// region handles are arena-relative — a tenant cannot even name MRAM
+// outside its window. Submitted plans from all tenants are placed on
+// the shared timeline by a weighted-fair scheduler, and per-tenant
+// meters sum bit-identically to the machine total:
+//
+//	mach, _ := pidcomm.NewMachine(pidcomm.PaperSystem(64<<20), []int{32, 32})
+//	a, _ := mach.NewTenant(pidcomm.TenantConfig{Name: "dlrm", ArenaBytes: 32 << 20, Weight: 2})
+//	b, _ := mach.NewTenant(pidcomm.TenantConfig{Name: "gnn", ArenaBytes: 16 << 20, Weight: 1})
+//	fa, _ := a.Submit(...)  // overlaps with b's plans on the timeline
+//	fb, _ := b.Submit(...)
 //
 // The heavy lifting lives in internal/core (collectives), internal/dram,
 // internal/dpu, internal/host (the PIM-DIMM substrate) and internal/cost
@@ -49,18 +84,19 @@ const (
 )
 
 // Re-exported optimization levels (§ V-A). Auto is the autotuner
-// pseudo-level: the collective dry-runs every applicable level on the
-// cost-only backend, picks the cheapest for the call signature, caches
-// the decision on the Comm and executes with it (see Comm.AutoLevel).
+// pseudo-level and the Level zero value: a Collective that leaves Level
+// unset dry-runs every applicable level on the cost-only backend, picks
+// the cheapest for the call signature, caches the decision and executes
+// with it (see Comm.AutoLevel).
 const (
+	Auto     = core.Auto
 	Baseline = core.Baseline
 	PR       = core.PR
 	IM       = core.IM
 	CM       = core.CM
-	Auto     = core.Auto
 )
 
-// Primitive identifies one of the eight collectives (for AutoLevel).
+// Primitive identifies one of the eight collectives.
 type Primitive = core.Primitive
 
 // Re-exported primitive identifiers.
@@ -75,16 +111,31 @@ const (
 	Broadcast     = core.Broadcast
 )
 
-// Backend executes collective schedules; see Comm.Backend,
-// HypercubeManager.Comm (functional) and HypercubeManager.CostComm
-// (cost-only).
-type Backend = core.Backend
+// Collective describes one collective call: primitive, dimensions,
+// arena-relative Region handles, element type/operator for the reducing
+// primitives, optimization level (zero = Auto) and host payloads for
+// Scatter/Broadcast. See core.Collective for the per-primitive field
+// table.
+type Collective = core.Collective
+
+// Region is an arena-relative per-PE MRAM byte range [Off, Off+Bytes).
+// Leave Bytes zero where the primitive implies the size.
+type Region = core.Region
+
+// At returns a Region at off whose size the primitive implies.
+func At(off int) Region { return core.At(off) }
+
+// Span returns the fully specified Region [off, off+bytes).
+func Span(off, bytes int) Region { return core.Span(off, bytes) }
 
 // Geometry describes the simulated DIMM system.
 type Geometry = dram.Geometry
 
 // Breakdown is a per-category simulated-time snapshot.
 type Breakdown = cost.Breakdown
+
+// Seconds is simulated wall-clock time.
+type Seconds = cost.Seconds
 
 // Params is the hardware timing model.
 type Params = cost.Params
@@ -98,73 +149,29 @@ type ElemType = elem.Type
 // ReduceOp is a reduction operator.
 type ReduceOp = elem.Op
 
-// System is a simulated PIM-enabled DIMM memory system.
-type System = dram.System
-
-// Comm executes collectives; see the methods on core.Comm: AlltoAll,
-// ReduceScatter, AllReduce, AllGather, Scatter, Gather, Reduce,
-// Broadcast, AllReduceTopo.
-//
-// Comm is safe for concurrent use: independent collectives may be issued
-// from multiple goroutines (executions serialize on the simulated
-// machine, like a driver lock on real hardware); callers keep concurrent
-// calls' MRAM regions disjoint.
-//
-// # Compiled plans
-//
-// Iterative workloads that repeat a collective signature every layer or
-// batch can compile it once and replay it: Compile* methods
-// (CompileAlltoAll, CompileReduceScatter, CompileAllReduce,
-// CompileAllGather, CompileScatter, CompileGather, CompileReduce,
-// CompileBroadcast) return a CompiledPlan whose Run replays the
-// validated, lowered, charge-precomputed schedule:
-//
-//	plan, _ := comm.CompileReduceScatter("01", src, dst, n, pidcomm.I32, pidcomm.Sum, pidcomm.Auto)
-//	for layer := 0; layer < L; layer++ {
-//	    bd, _ := plan.Run() // identical cost/result to the one-shot call
-//	}
-//
-// The one-shot collectives are thin wrappers over the same machinery
-// with a plan cache keyed by the call signature, so repeated one-shot
-// calls amortize too. On the cost-only backend a cached replay applies a
-// precomputed charge trace — orders of magnitude faster than
-// compile-each-call (see `pidbench -replay`) and bit-identical to it.
-//
-// # Asynchronous execution
-//
-// Submit* methods (and CompiledPlan.Submit) enqueue a collective on the
-// Comm's submission queue and return a Future immediately. Plans execute
-// in submission order with identical results to serial replay, but the
-// overlap-aware elapsed time (Comm.Elapsed) lets independent plans —
-// disjoint MRAM footprints — overlap: one plan's PE-side reorder kernels
-// hide under another's bus epochs. Plans with data hazards (RAW/WAR/WAW
-// on a region) are ordered automatically:
-//
-//	f1, _ := comm.SubmitReduceScatter("01", respOff, rsOff, n, pidcomm.I32, pidcomm.Sum, pidcomm.IM)
-//	f2, _ := comm.SubmitAlltoAll("101", rsOff, aaOff, n/ny, pidcomm.Auto) // RAW on rsOff: ordered
-//	bd1, _ := f1.Wait()
-//	bd2, _ := f2.Wait()
-//
-// Comm.Flush is the barrier: call it before touching MRAM directly while
-// submissions may be in flight. See `pidbench -exp async` for the overlap
-// speedup this buys on a DLRM-style pipeline.
-type Comm = core.Comm
-
 // CompiledPlan is a collective compiled once — validated, Auto-resolved,
-// lowered to schedule IR, charges precomputed — for repeated Run calls.
+// lowered to schedule IR, charges precomputed — for repeated Run or
+// Submit calls. Obtain one from Comm.Compile; plans are owned by the
+// session that compiled them (runs are admitted against its quota and
+// metered on its meter).
 type CompiledPlan = core.CompiledPlan
 
 // Future is the handle of one asynchronously submitted plan execution;
-// see Comm's Submit* methods and CompiledPlan.Submit. Wait/Err/Cost/
-// Results/Window block until the execution completes; Done polls.
+// see Comm.Submit and CompiledPlan.Submit. Wait/Err/Cost/Results/Window
+// block until the execution completes; Done polls.
 type Future = core.Future
 
-// PlanCacheStats reports the compiled-plan cache's hit/miss counters and
-// memory accounting (Comm.PlanCacheStats; `pidinfo -plancache`).
+// PlanCacheStats reports the machine-wide compiled-plan cache's hit/miss
+// counters and memory accounting (Machine.PlanCacheStats;
+// `pidinfo -plancache`).
 type PlanCacheStats = core.PlanCacheStats
 
-// MaxPendingPlans bounds a Comm's submission queue; Submit blocks once
-// this many plans are in flight.
+// ErrQuotaExceeded is wrapped by Run/Submit errors of a tenant whose
+// simulated-time quota cannot cover the next plan.
+var ErrQuotaExceeded = core.ErrQuotaExceeded
+
+// MaxPendingPlans bounds a machine's submission queue; Submit blocks
+// once this many plans are in flight.
 const MaxPendingPlans = core.MaxPendingPlans
 
 // DefaultParams returns the calibrated timing parameters (DESIGN.md § 4).
@@ -173,61 +180,6 @@ func DefaultParams() Params { return cost.DefaultParams() }
 // PaperSystem returns the paper's testbed geometry — 4 channels x 4 ranks
 // x 8 chips x 8 banks = 1024 PEs — with the given per-bank MRAM bytes.
 func PaperSystem(mramPerBank int) Geometry { return dram.PaperGeometry(mramPerBank) }
-
-// NewSystem allocates a simulated system.
-func NewSystem(geo Geometry) (*System, error) { return dram.NewSystem(geo) }
-
-// HypercubeManager owns the virtual-hypercube abstraction (§ IV): the
-// user-defined shape, the mapping to physical PEs, and the communication
-// contexts created from it.
-type HypercubeManager struct {
-	hc     *core.Hypercube
-	params Params
-}
-
-// NewHypercubeManager validates the shape (every dimension a power of two
-// except the last; product equal to the PE count) and builds the manager
-// with default cost parameters.
-func NewHypercubeManager(sys *System, shape []int) (*HypercubeManager, error) {
-	hc, err := core.NewHypercube(sys, shape)
-	if err != nil {
-		return nil, err
-	}
-	return &HypercubeManager{hc: hc, params: cost.DefaultParams()}, nil
-}
-
-// SetParams overrides the timing model for subsequently created Comms.
-func (m *HypercubeManager) SetParams(p Params) error {
-	if err := p.Validate(); err != nil {
-		return err
-	}
-	m.params = p
-	return nil
-}
-
-// Shape returns the hypercube shape.
-func (m *HypercubeManager) Shape() []int { return m.hc.Shape() }
-
-// Groups returns the communication groups (PE lists in rank order) the
-// dims selection produces — the cube slices of § IV-B2.
-func (m *HypercubeManager) Groups(dims string) ([][]int, error) { return m.hc.Groups(dims) }
-
-// Comm creates a communication context with a fresh cost meter, on the
-// byte-accurate functional backend.
-func (m *HypercubeManager) Comm() *Comm { return core.NewComm(m.hc, m.params) }
-
-// CostComm creates a cost-only communication context: every collective
-// charges the meter exactly as a functional Comm would (the breakdowns
-// are bit-identical) but moves no bytes, making paper-scale sweeps and
-// what-if studies orders of magnitude cheaper. Rooted primitives return
-// nil result buffers. Combine with NewPhantomSystem to avoid allocating
-// MRAM entirely.
-func (m *HypercubeManager) CostComm() *Comm { return core.NewCostComm(m.hc, m.params) }
-
-// NewPhantomSystem allocates a geometry-only system with no backing
-// MRAM, for use with CostComm: topology and size queries work, but any
-// attempt to move real bytes panics.
-func NewPhantomSystem(geo Geometry) (*System, error) { return dram.NewPhantomSystem(geo) }
 
 // DimsString builds a comm-dimensions bitmap, e.g. DimsString(3, 0, 2) ==
 // "101" selecting the x and z axes of a 3-D hypercube.

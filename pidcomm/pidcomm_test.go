@@ -9,17 +9,16 @@ import (
 )
 
 func TestQuickstartFlow(t *testing.T) {
-	sys, err := pidcomm.NewSystem(pidcomm.Geometry{
+	mach, err := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14,
-	})
+	}, []int{8, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr, err := pidcomm.NewHypercubeManager(sys, []int{8, 8})
+	comm, err := mach.Comm()
 	if err != nil {
 		t.Fatal(err)
 	}
-	comm := mgr.Comm()
 
 	const m = 8 * 32
 	rng := rand.New(rand.NewSource(1))
@@ -29,14 +28,18 @@ func TestQuickstartFlow(t *testing.T) {
 		rng.Read(in[pe])
 		comm.SetPEBuffer(pe, 0, in[pe])
 	}
-	bd, err := comm.AlltoAll("10", 0, 2*m, m, pidcomm.CM)
+	bd, err := comm.Run(pidcomm.Collective{
+		Prim: pidcomm.AlltoAll, Dims: "10",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Level: pidcomm.CM,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if bd.Total() <= 0 {
 		t.Error("no simulated time")
 	}
-	groups, err := mgr.Groups("10")
+	groups, err := mach.Groups("10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +54,10 @@ func TestQuickstartFlow(t *testing.T) {
 			}
 		}
 	}
+	// The session meter accrued exactly the run's charges.
+	if comm.Meter() != bd {
+		t.Errorf("session meter %v != run breakdown %v", comm.Meter(), bd)
+	}
 }
 
 func TestPaperSystemGeometry(t *testing.T) {
@@ -60,15 +67,15 @@ func TestPaperSystemGeometry(t *testing.T) {
 	}
 }
 
-func TestSetParamsValidates(t *testing.T) {
-	sys, _ := pidcomm.NewSystem(pidcomm.PaperSystem(4096))
-	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{1024})
+func TestWithParamsValidates(t *testing.T) {
 	p := pidcomm.DefaultParams()
 	p.ChannelBW = -1
-	if err := mgr.SetParams(p); err == nil {
+	_, err := pidcomm.NewMachine(pidcomm.PaperSystem(4096), []int{1024}, pidcomm.WithParams(p))
+	if err == nil {
 		t.Error("invalid params accepted")
 	}
-	if err := mgr.SetParams(pidcomm.DefaultParams()); err != nil {
+	if _, err := pidcomm.NewMachine(pidcomm.PaperSystem(4096), []int{1024},
+		pidcomm.WithParams(pidcomm.DefaultParams())); err != nil {
 		t.Error(err)
 	}
 }
@@ -79,41 +86,44 @@ func TestDimsString(t *testing.T) {
 	}
 }
 
-// The cost-only surface: a phantom system plus CostComm must reproduce
-// the functional Comm's breakdown exactly, and the Auto pseudo-level
-// must resolve and run through the facade.
-func TestCostCommAndAutoThroughFacade(t *testing.T) {
+// The cost-only surface: a CostOnly machine must reproduce the
+// functional machine's breakdown exactly, and the Auto pseudo-level —
+// the Collective zero value — must resolve and run through the facade.
+func TestCostOnlyMachineAndAuto(t *testing.T) {
 	geo := pidcomm.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14}
 	shape := []int{8, 8}
 	const m = 8 * 32
+	aa := pidcomm.Collective{
+		Prim: pidcomm.AlltoAll, Dims: "10",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Level: pidcomm.CM,
+	}
 
-	sys, err := pidcomm.NewSystem(geo)
+	mach, err := pidcomm.NewMachine(geo, shape)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr, _ := pidcomm.NewHypercubeManager(sys, shape)
-	comm := mgr.Comm()
+	comm, _ := mach.Comm()
 	rng := rand.New(rand.NewSource(2))
 	buf := make([]byte, m)
 	for pe := 0; pe < 64; pe++ {
 		rng.Read(buf)
 		comm.SetPEBuffer(pe, 0, buf)
 	}
-	want, err := comm.AlltoAll("10", 0, 2*m, m, pidcomm.CM)
+	want, err := comm.Run(aa)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	phantom, err := pidcomm.NewPhantomSystem(geo)
+	cmach, err := pidcomm.NewMachine(geo, shape, pidcomm.CostOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmgr, _ := pidcomm.NewHypercubeManager(phantom, shape)
-	cc := cmgr.CostComm()
-	if cc.Backend().Functional() {
-		t.Fatal("CostComm returned a functional backend")
+	if !cmach.CostOnly() {
+		t.Fatal("CostOnly() machine reports functional")
 	}
-	got, err := cc.AlltoAll("10", 0, 2*m, m, pidcomm.CM)
+	cc, _ := cmach.Comm()
+	got, err := cc.Run(aa)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,31 +131,56 @@ func TestCostCommAndAutoThroughFacade(t *testing.T) {
 		t.Errorf("cost breakdown differs: functional %v, cost %v", want, got)
 	}
 
-	// Auto on the public surface: resolves to a concrete level and runs.
-	lvl, err := cc.AutoLevel(pidcomm.AlltoAll, "10", m, pidcomm.I32, pidcomm.Sum)
+	// Auto on the public surface: the zero-value Level resolves to a
+	// concrete level and runs.
+	auto := aa
+	auto.Level = pidcomm.Auto
+	auto.Src, auto.Dst = pidcomm.Span(2*m, m), pidcomm.At(4*m)
+	lvl, err := cc.AutoLevel(auto)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if lvl == pidcomm.Auto {
 		t.Error("AutoLevel returned the Auto sentinel")
 	}
-	if _, err := comm.AlltoAll("10", 2*m, 4*m, m, pidcomm.Auto); err != nil {
+	if _, err := comm.Run(auto); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestReduceScatterThroughFacade(t *testing.T) {
-	sys, _ := pidcomm.NewSystem(pidcomm.Geometry{
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
 		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 12,
-	})
-	mgr, _ := pidcomm.NewHypercubeManager(sys, []int{16})
-	comm := mgr.Comm()
+	}, []int{16})
+	comm, _ := mach.Comm()
 	m := 16 * 8
 	buf := make([]byte, m) // all zeros; sum is zero
 	for pe := 0; pe < 16; pe++ {
 		comm.SetPEBuffer(pe, 0, buf)
 	}
-	if _, err := comm.ReduceScatter("1", 0, 2*m, m, pidcomm.I32, pidcomm.Sum, pidcomm.IM); err != nil {
+	if _, err := comm.Run(pidcomm.Collective{
+		Prim: pidcomm.ReduceScatter, Dims: "1",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+		Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.IM,
+	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// An explicit destination size that disagrees with the implied one is a
+// compile error, not a silent footprint change.
+func TestExplicitRegionSizeChecked(t *testing.T) {
+	mach, _ := pidcomm.NewMachine(pidcomm.Geometry{
+		Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 12,
+	}, []int{16})
+	comm, _ := mach.Comm()
+	const m = 16 * 8
+	_, err := comm.Compile(pidcomm.Collective{
+		Prim: pidcomm.ReduceScatter, Dims: "1",
+		Src: pidcomm.Span(0, m), Dst: pidcomm.Span(2*m, m), // implied is m/16
+		Elem: pidcomm.I32, Op: pidcomm.Sum,
+	})
+	if err == nil {
+		t.Fatal("mismatched Dst.Bytes accepted")
 	}
 }
