@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke checkdocs docs
+.PHONY: check fmt vet build test race bench-smoke bench-json bench-compare fuzz-smoke staticcheck checkdocs docs
 
 check: fmt vet build test checkdocs
 
@@ -24,8 +24,28 @@ race:
 
 # Fast sanity pass over the evaluation harness on the cost-only backend.
 bench-smoke:
-	$(GO) run ./cmd/pidbench -exp fig14 -backend=cost
+	$(GO) run ./cmd/pidbench -exp fig14,fusion -backend=cost
 	$(GO) run ./cmd/pidbench -exp multitenant
+
+# Regenerate the checked-in benchmark baseline (run after an accepted,
+# intentional performance change, and commit the result).
+bench-json:
+	$(GO) run ./cmd/pidbench -exp fig14,async,multitenant,fusion -backend=cost -json > bench_baseline.json
+
+# The CI benchmark-regression gate: recollect the metrics and fail on
+# any >10% cost/makespan regression against bench_baseline.json.
+bench-compare:
+	$(GO) run ./cmd/pidbench -compare bench_baseline.json
+
+# A short randomized differential-testing run (fusion enabled — the
+# default), the same budget CI uses.
+fuzz-smoke:
+	$(GO) run ./cmd/pidfuzz -n 40 -seed 7
+
+# Lint with staticcheck if installed (CI installs it pinned).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 
 # Documentation gate: every package must carry package-level
 # documentation (docs_test.go enforces it); `check` runs vet separately.

@@ -8,6 +8,8 @@
 //	pidbench -exp fig14
 //	pidbench -exp async -backend=cost
 //	pidbench -exp all [-full] [-backend=cost] [-async]
+//	pidbench -exp fig14,async,multitenant,fusion -backend=cost -json
+//	pidbench -compare bench_baseline.json [-threshold 0.10]
 //
 // The default scale keeps the whole suite within laptop memory and
 // minutes; -full uses paper-scale payloads (the timing model is linear in
@@ -15,24 +17,35 @@
 // runs the primitive experiments on the cost-only backend (identical
 // tables, orders of magnitude faster); -async routes primitive
 // measurements through the Submit/Future API (identical tables — the
-// "async" experiment measures the overlap speedup itself).
+// "async" experiment measures the overlap speedup itself). -exp accepts
+// a comma-separated list.
+//
+// -json emits the selected experiments' regression metrics (simulated
+// seconds, cost-only, deterministic) as JSON — the format of the
+// checked-in bench_baseline.json. -compare recollects those metrics and
+// fails (exit 1) on any metric more than -threshold worse than the
+// baseline: the CI benchmark-regression gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment ID (e.g. fig14, table1) or 'all'")
+	exp := flag.String("exp", "", "experiment ID (e.g. fig14, table1), a comma-separated list, or 'all'")
 	full := flag.Bool("full", false, "use paper-scale payloads (slower, more memory)")
 	backend := flag.String("backend", "functional", "execution backend for primitive experiments: 'functional' (moves real bytes) or 'cost' (cost-only; identical tables, orders of magnitude faster — application experiments always run functionally)")
 	async := flag.Bool("async", false, "route primitive measurements through the Submit/Future async API (identical tables; validates the async path). The 'async' experiment measures the overlap speedup itself")
 	replay := flag.Int("replay", 0, "run the plan-cache replay experiment with N iterations per mode (cold compile-each-call vs cached CompiledPlan replay)")
+	jsonOut := flag.Bool("json", false, "emit the selected experiments' regression metrics as JSON instead of tables (cost-only, deterministic)")
+	compare := flag.String("compare", "", "baseline metrics JSON to compare against; exits 1 on >threshold regression")
+	threshold := flag.Float64("threshold", 0.10, "relative regression allowed by -compare (0.10 = 10%)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
@@ -44,6 +57,36 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pidbench: unknown backend %q (want 'functional' or 'cost')\n", *backend)
 		os.Exit(2)
+	}
+
+	ids := strings.FieldsFunc(*exp, func(r rune) bool { return r == ',' })
+
+	if *jsonOut {
+		if len(ids) == 0 {
+			ids = bench.MetricExperimentIDs()
+		}
+		if err := bench.WriteMetricsJSON(os.Stdout, ids); err != nil {
+			fmt.Fprintln(os.Stderr, "pidbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare != "" {
+		f, err := os.Open(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pidbench:", err)
+			os.Exit(1)
+		}
+		baseline, err := bench.ReadMetricsJSON(f)
+		f.Close()
+		if err == nil {
+			err = bench.CompareMetrics(os.Stdout, baseline, ids, *threshold)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pidbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *replay > 0 {
@@ -73,11 +116,18 @@ func main() {
 	if *exp == "all" {
 		err = bench.RunAll(o)
 	} else {
-		var e bench.Experiment
-		e, err = bench.ByID(*exp)
-		if err == nil {
+		for i, id := range ids {
+			var e bench.Experiment
+			if e, err = bench.ByID(id); err != nil {
+				break
+			}
+			if i > 0 {
+				fmt.Println()
+			}
 			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-			err = e.Run(o)
+			if err = e.Run(o); err != nil {
+				break
+			}
 		}
 	}
 	if err != nil {

@@ -3,9 +3,11 @@
 // shapes, dimension selections, payload sizes, element types, reduction
 // operators and optimization levels (including Auto), runs every
 // primitive, and compares the resulting bytes against the independent
-// reference model. The scenario generator and checker live in
-// internal/fuzz, which also runs a small deterministic slice of this
-// loop as an in-process CI smoke test.
+// reference model; each scenario also compiles a fused
+// AlltoAll→ReduceScatter sequence through the schedule-fusion optimizer
+// and diffs it against an unfused execution. The scenario generator and
+// checker live in internal/fuzz, which also runs a small deterministic
+// slice of this loop as an in-process CI smoke test.
 //
 // This is the heavyweight companion of the package tests: run it for as
 // many iterations as you like (it reports the first divergence found).

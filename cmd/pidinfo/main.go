@@ -76,10 +76,18 @@ func main() {
 	fmt.Printf("  network (multi-host)  %.1f Gbps, %.0f us latency\n", p.NetworkBW*8/1e9, float64(p.NetworkLatency)*1e6)
 }
 
-// printPlanCache compiles and replays a few representative collectives on
-// a cost-only comm over the paper geometry (phantom MRAM) and prints the
-// plan-cache statistics: compulsory misses on first compile, hits on
-// every replay, and the cached charge traces' memory footprint.
+// printPlanCache compiles and replays a few representative collectives —
+// including a fused ReduceScatter→AlltoAll sequence — on a cost-only
+// comm over the paper geometry (phantom MRAM), then prints the
+// plan-cache statistics (compulsory misses on first compile, hits on
+// every replay, the cached charge traces' memory footprint) and the
+// fusion statistics alongside them.
+//
+// The representative payload is derived from -mram and normalized to the
+// collectives' 32-block, burst-aligned structure up front, so the
+// listing always reflects a populated cache: earlier versions computed a
+// misaligned payload for odd -mram values, every compile failed, and the
+// command reported statistics with no plan ever compiled.
 func printPlanCache(mram int) error {
 	sys, err := dram.NewPhantomSystem(dram.PaperGeometry(mram))
 	if err != nil {
@@ -91,8 +99,14 @@ func printPlanCache(mram int) error {
 	}
 	comm := core.NewCostComm(hc, cost.DefaultParams())
 	m := 64 << 10
-	if 4*m > mram {
-		m = mram / 4
+	if 5*m > mram {
+		m = mram / 5
+	}
+	// 32 blocks per group at 8-byte burst granularity: m must be a
+	// multiple of 256 (and the regions below stay within MRAM).
+	m -= m % 256
+	if m < 256 {
+		return fmt.Errorf("-mram %d too small for the plan-cache demo (need at least %d B/bank)", mram, 5*256)
 	}
 	run := func() error {
 		if _, err := comm.AlltoAll("10", 0, 2*m, m, core.CM); err != nil {
@@ -106,18 +120,41 @@ func printPlanCache(mram int) error {
 		}
 		return nil
 	}
+	// A fused sequence: the AlltoAll relocates [0,m) into [2m,3m) and the
+	// ReduceScatter consumes it — the pair whose rotate/unrotate steps
+	// the fusion optimizer cancels.
+	seq, err := comm.CompileSequence(
+		core.Collective{Prim: core.AlltoAll, Dims: "10",
+			Src: core.Span(0, m), Dst: core.At(2 * m), Level: core.CM},
+		core.Collective{Prim: core.ReduceScatter, Dims: "10",
+			Src: core.Span(2*m, m), Dst: core.At(4 * m),
+			Elem: elem.I32, Op: elem.Sum, Level: core.IM})
+	if err != nil {
+		return err
+	}
 	const replays = 16
 	for i := 0; i < replays; i++ {
 		if err := run(); err != nil {
 			return err
 		}
+		if _, err := seq.Run(); err != nil {
+			return err
+		}
 	}
 	st := comm.PlanCacheStats()
-	fmt.Println("Compiled-plan cache (3 signatures, 1 compile +", replays-1, "replays each):")
+	fmt.Println("Compiled-plan cache (3 signatures + 1 fused sequence, 1 compile +", replays-1, "replays each):")
 	fmt.Printf("  plan lookups          %d hits / %d misses\n", st.PlanHits, st.PlanMisses)
 	fmt.Printf("  charge-trace lookups  %d hits / %d misses\n", st.TraceHits, st.TraceMisses)
-	fmt.Printf("  cached entries        %d plans, %d traces\n", st.CachedPlans, st.CachedTraces)
+	fmt.Printf("  cached entries        %d plans, %d traces, %d sequences\n", st.CachedPlans, st.CachedTraces, st.CachedSeqs)
 	fmt.Printf("  trace memory          %d entries, ~%d B\n", st.TraceEntries, st.TraceBytes)
+	fs := comm.FusionStats()
+	fmt.Printf("\nSchedule fusion (level %v):\n", comm.Fuse())
+	fmt.Printf("  plans through fuser   %d compiled, %d changed\n", fs.PlansCompiled, fs.PlansFused)
+	fmt.Printf("  rewrites              %d rotates merged, %d elided; %d syncs elided; %d epochs coalesced\n",
+		fs.RotatesMerged, fs.RotatesElided, fs.SyncsElided, fs.EpochsCoalesced)
+	fmt.Printf("  saved per replay set  %d PE-bytes, %d PE-instr, %.3f ms simulated\n",
+		fs.PEBytesSaved, fs.PEInstrSaved, float64(fs.CostSaved)*1e3)
+	fmt.Printf("  RS->AA sequence       %v\n", seq.FusionReport())
 	return nil
 }
 

@@ -103,6 +103,37 @@ func (t *Tracker) CommFuture(p core.Primitive, f *core.Future, err error) error 
 	return t.Comm(p, bd, nil)
 }
 
+// CommSequence waits for a fused multi-collective plan's future and
+// attributes its measured charge across the sequence's member primitives
+// in proportion to their unfused per-run costs (so fusion savings are
+// shared pro rata and the per-primitive profile stays comparable to an
+// unfused run); the aggregate communication breakdown records the full
+// measured charge once. err is the Submit error, as in CommFuture.
+func (t *Tracker) CommSequence(f *core.Future, err error) error {
+	if err != nil {
+		return err
+	}
+	bd, werr := f.Wait()
+	if werr != nil {
+		return werr
+	}
+	cp := f.Plan()
+	members, costs := cp.Members(), cp.MemberCosts()
+	var total float64
+	for _, c := range costs {
+		total += float64(c.Total())
+	}
+	if total <= 0 {
+		t.Prof.ByPrimitive[members[0]] += bd.Total()
+	} else {
+		for i, p := range members {
+			t.Prof.ByPrimitive[p] += cost.Seconds(float64(bd.Total()) * float64(costs[i].Total()) / total)
+		}
+	}
+	t.Prof.CommBreakdown = t.Prof.CommBreakdown.Add(bd)
+	return nil
+}
+
 // Finish flushes the comm and records the overlap-aware elapsed time in
 // the profile. Call it once, after the run's last collective.
 func (t *Tracker) Finish() {

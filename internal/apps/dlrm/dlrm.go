@@ -228,15 +228,19 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 			}
 		}
 	}
-	bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "111",
-		Hosts: [][]byte{embBuf}, Dst: core.Span(embOff, embB), Level: lvl})
-	if err := tr.Comm(core.Scatter, bd, err); err != nil {
+	// The embedding Scatter and the top-MLP weight Broadcast (already in
+	// assembled-vector order) distribute together as one fused sequence:
+	// a single submission whose interior synchronization the fuser
+	// elides.
+	setup, err := comm.CompileSequence(
+		core.Collective{Prim: core.Scatter, Dims: "111",
+			Hosts: [][]byte{embBuf}, Dst: core.Span(embOff, embB), Level: lvl},
+		core.Collective{Prim: core.Broadcast, Dims: "111",
+			Hosts: [][]byte{i32bytes(cfg.topWeights())}, Dst: core.At(wOff), Level: lvl})
+	if err != nil {
 		return nil, nil, err
 	}
-	// Broadcast the top-MLP weights (already in assembled-vector order).
-	bd, err = comm.Run(core.Collective{Prim: core.Broadcast, Dims: "111",
-		Hosts: [][]byte{i32bytes(cfg.topWeights())}, Dst: core.At(wOff), Level: lvl})
-	if err := tr.Comm(core.Broadcast, bd, err); err != nil {
+	if err := tr.CommSequence(setup.Submit(), nil); err != nil {
 		return nil, nil, err
 	}
 
@@ -258,14 +262,18 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	respRS, err := comm.Compile(core.Collective{Prim: core.ReduceScatter, Dims: "010",
-		Src: core.Span(respOff, respB), Dst: core.At(rsOff),
-		Elem: elem.I32, Op: elem.Sum, Level: lvl})
-	if err != nil {
-		return nil, nil, err
-	}
-	xzAA, err := comm.Compile(core.Collective{Prim: core.AlltoAll, Dims: "101",
-		Src: core.Span(rsOff, aaB), Dst: core.At(aaOff), Level: lvl})
+	// Steps 4-5 are a producer-consumer pair with no kernel between: the
+	// y-axis ReduceScatter completes the embedding slices and the
+	// xz-plane AlltoAll relocates them. Compile them through the fuser as
+	// one per-batch sequence — the interior synchronization collapses and
+	// the two stream as one plan (the RAW hazard that used to order the
+	// two submissions is now internal to the schedule).
+	rsAA, err := comm.CompileSequence(
+		core.Collective{Prim: core.ReduceScatter, Dims: "010",
+			Src: core.Span(respOff, respB), Dst: core.At(rsOff),
+			Elem: elem.I32, Op: elem.Sum, Level: lvl},
+		core.Collective{Prim: core.AlltoAll, Dims: "101",
+			Src: core.Span(rsOff, aaB), Dst: core.At(aaOff), Level: lvl})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -358,15 +366,9 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 		// then AlltoAll over the xz-plane relocates every sample's column
 		// slices and table shards to its final PE. The ReduceScatter output
 		// is already in destination-block order (samples ascending), so it
-		// is the AlltoAll source as-is. Both are submitted back-to-back:
-		// the AlltoAll reads the region the ReduceScatter writes (a RAW
-		// hazard), so the queue orders them.
-		rsF := respRS.Submit()
-		aaF := xzAA.Submit()
-		if err := tr.CommFuture(core.ReduceScatter, rsF, nil); err != nil {
-			return nil, nil, err
-		}
-		if err := tr.CommFuture(core.AlltoAll, aaF, nil); err != nil {
+		// is the AlltoAll source as-is — the fused per-batch sequence
+		// compiled above runs both as one plan.
+		if err := tr.CommSequence(rsAA.Submit(), nil); err != nil {
 			return nil, nil, err
 		}
 		// Top-MLP kernel over each final PE's Bd samples.

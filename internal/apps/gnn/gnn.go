@@ -250,12 +250,9 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 	}
 	tr := appcore.NewTracker(comm)
 
-	// Distribute: A tiles and X strips by Scatter, W by Broadcast.
-	bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "11",
-		Hosts: [][]byte{concat(tiles)}, Dst: core.Span(adjOff, maxTile), Level: lvl})
-	if err := tr.Comm(core.Scatter, bd, err); err != nil {
-		return nil, nil, err
-	}
+	// Distribute: A tiles and X strips by Scatter, W by Broadcast. The
+	// two Scatters go through the fuser as one sequence: a single
+	// distribution plan whose interior synchronization is elided.
 	x0 := genFeatures(cfg, V, F)
 	xbufs := make([]byte, 0, N*stripB)
 	for i := 0; i < R; i++ {
@@ -268,9 +265,15 @@ func RunPIM(cfg Config, variant Variant, lvl core.Level) ([]int64, *appcore.Prof
 			xbufs = append(xbufs, packT(T, strip)...)
 		}
 	}
-	bd, err = comm.Run(core.Collective{Prim: core.Scatter, Dims: "11",
-		Hosts: [][]byte{xbufs}, Dst: core.Span(xOff, stripB), Level: lvl})
-	if err := tr.Comm(core.Scatter, bd, err); err != nil {
+	setup, err := comm.CompileSequence(
+		core.Collective{Prim: core.Scatter, Dims: "11",
+			Hosts: [][]byte{concat(tiles)}, Dst: core.Span(adjOff, maxTile), Level: lvl},
+		core.Collective{Prim: core.Scatter, Dims: "11",
+			Hosts: [][]byte{xbufs}, Dst: core.Span(xOff, stripB), Level: lvl})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tr.CommSequence(setup.Submit(), nil); err != nil {
 		return nil, nil, err
 	}
 

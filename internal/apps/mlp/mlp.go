@@ -134,7 +134,10 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 	}
 	tr := appcore.NewTracker(comm)
 
-	// Distribute weights (one Scatter per layer) and the input slices.
+	// Distribute weights: one Scatter per layer, compiled through the
+	// fuser as a single sequence — the L distributions execute as one
+	// plan with one synchronization instead of L.
+	wdist := make([]core.Collective, L)
 	for l := 0; l < L; l++ {
 		w := genWeights(cfg, l)
 		buf := make([]byte, N*wPerLayerB)
@@ -146,11 +149,15 @@ func RunPIM(cfg Config, lvl core.Level) ([]int32, *appcore.Profile, error) {
 				}
 			}
 		}
-		bd, err := comm.Run(core.Collective{Prim: core.Scatter, Dims: "1",
-			Hosts: [][]byte{buf}, Dst: core.Span(wOff+l*wPerLayerB, wPerLayerB), Level: lvl})
-		if err := tr.Comm(core.Scatter, bd, err); err != nil {
-			return nil, nil, err
-		}
+		wdist[l] = core.Collective{Prim: core.Scatter, Dims: "1",
+			Hosts: [][]byte{buf}, Dst: core.Span(wOff+l*wPerLayerB, wPerLayerB), Level: lvl}
+	}
+	wPlan, err := comm.CompileSequence(wdist...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tr.CommSequence(wPlan.Submit(), nil); err != nil {
+		return nil, nil, err
 	}
 	pes := make([]int, N)
 	for i := range pes {

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// This file holds the schedule-fusion experiment: the DLRM serving
+// pipeline of ReduceScatter→AlltoAll pairs (Figure 11's steps 4-5 under
+// software pipelining) compiled once as separate plans and once through
+// the fusion optimizer as a single multi-collective sequence. Per batch
+// k the ReduceScatter (IM) reduces the response buffer A_k into B_k and
+// the AlltoAll (CM) relocates the staged requests C_k into the *next*
+// batch's response buffer A_{k+1} — so across every batch boundary the
+// AlltoAll's trailing unrotate of A_{k+1} and the next ReduceScatter's
+// leading rotate of the same region are an inverse pair the fuser
+// cancels, the interior per-collective synchronizations collapse into
+// one, and the freed-up adjacent column-stream epochs coalesce. The
+// fused plan performs byte-identical communication (pinned by the core
+// fusion property tests) at measurably lower cost; the win is largest
+// for the launch/sync-bound payloads DLRM serving actually ships.
+
+// FusionResult is one row of the fusion experiment.
+type FusionResult struct {
+	// BytesPerPE is the per-PE ReduceScatter/AlltoAll payload.
+	BytesPerPE int
+	// Batches is the pipeline depth (ReduceScatter→AlltoAll pairs).
+	Batches int
+	// Unfused and Fused are the pipeline's per-replay simulated costs.
+	Unfused, Fused cost.Seconds
+	// Speedup is Unfused / Fused.
+	Speedup float64
+	// Report is the fused plan's pass report.
+	Report core.FusionReport
+}
+
+// fusionComm builds a cost-only comm on the paper's 1024-PE machine with
+// enough phantom MRAM for the pipeline's regions at the given fusion
+// level.
+func fusionComm(m, batches int, fuse core.FuseLevel) (*core.Comm, error) {
+	need := (2*batches+1)*m + batches*m // A/C regions plus aligned B slack
+	mram := 1
+	for mram < need+64 {
+		mram *= 2
+	}
+	c, err := newCommOn(dram.PaperGeometry(mram), []int{32, 32}, cost.DefaultParams(), true)
+	if err != nil {
+		return nil, err
+	}
+	c.SetFuse(fuse)
+	return c, nil
+}
+
+// fusionPipeline returns the pipeline's descriptors: per batch a
+// ReduceScatter A_k→B_k and an AlltoAll C_k→A_{k+1}, chained so the
+// rotate/unrotate pairs on the shared A regions cancel under fusion.
+func fusionPipeline(m, batches int) []core.Collective {
+	n := 32 // group size of dims "10" on the 32x32 hypercube
+	s := m / n
+	offA := func(k int) int { return k * m }
+	offC := func(k int) int { return (batches + 1 + k) * m }
+	offB := func(k int) int { return (2*batches+1)*m + k*s }
+	var ds []core.Collective
+	for k := 0; k < batches; k++ {
+		ds = append(ds,
+			core.Collective{Prim: core.ReduceScatter, Dims: "10",
+				Src: core.Span(offA(k), m), Dst: core.At(offB(k)),
+				Elem: elem.I32, Op: elem.Sum, Level: core.IM},
+			core.Collective{Prim: core.AlltoAll, Dims: "10",
+				Src: core.Span(offC(k), m), Dst: core.At(offA(k + 1)), Level: core.CM})
+	}
+	return ds
+}
+
+// MeasureFusion compiles the pipeline unfused and fused at per-PE
+// payload m and the given depth, returning both costs and the fused
+// plan's report. Cost-only backend; the functional byte-equivalence of
+// fused execution is pinned by the core fusion property tests.
+func MeasureFusion(m, batches int) (FusionResult, error) {
+	r := FusionResult{BytesPerPE: m, Batches: batches}
+	ds := fusionPipeline(m, batches)
+
+	off, err := fusionComm(m, batches, core.FuseOff)
+	if err != nil {
+		return r, err
+	}
+	cpOff, err := off.CompileSequence(ds...)
+	if err != nil {
+		return r, err
+	}
+	on, err := fusionComm(m, batches, core.FuseFull)
+	if err != nil {
+		return r, err
+	}
+	cpOn, err := on.CompileSequence(ds...)
+	if err != nil {
+		return r, err
+	}
+	r.Unfused = cpOff.Cost().Total()
+	r.Fused = cpOn.Cost().Total()
+	r.Report = cpOn.FusionReport()
+	if r.Fused > 0 {
+		r.Speedup = float64(r.Unfused) / float64(r.Fused)
+	}
+	return r, nil
+}
+
+// fusionPinPoint is the payload the speedup pin is measured at: the
+// default (small) scale of the experiment, a DLRM-serving-sized slice.
+const fusionPinPoint = 4 << 10
+
+// fusionDepth is the pipeline depth of the experiment.
+const fusionDepth = 8
+
+// RunFusion runs the fusion experiment and writes its table.
+func RunFusion(o Options) error {
+	sizes := []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 64 << 10}
+	if o.Full {
+		sizes = append(sizes, 256<<10)
+	}
+	t := newTable("KiB/PE", "Unfused (ms)", "Fused (ms)", "Speedup", "Rotates elided", "Syncs elided", "Epochs coalesced")
+	var pinned FusionResult
+	for _, m := range sizes {
+		r, err := MeasureFusion(m, fusionDepth)
+		if err != nil {
+			return err
+		}
+		if m == fusionPinPoint {
+			pinned = r
+		}
+		t.add(fmt.Sprintf("%d", m>>10),
+			fmt.Sprintf("%.3f", float64(r.Unfused)*1e3),
+			fmt.Sprintf("%.3f", float64(r.Fused)*1e3),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprint(r.Report.RotatesMerged+r.Report.RotatesElided),
+			fmt.Sprint(r.Report.SyncsElided),
+			fmt.Sprint(r.Report.EpochsCoalesced))
+	}
+	t.write(o.W)
+	fmt.Fprintf(o.W, "\n(DLRM serving pipeline: %d ReduceScatter/IM -> AlltoAll/CM pairs per replay on\n"+
+		" 1024 PEs (32x32), cost-only backend; each AlltoAll feeds the next batch's\n"+
+		" ReduceScatter, so the fuser cancels the rotate/unrotate pair at every batch\n"+
+		" boundary, collapses the interior syncs and coalesces the freed epochs.)\n", fusionDepth)
+	fmt.Fprintf(o.W, "fused schedule: %s\n", pinned.Report)
+	fmt.Fprintf(o.W, "pinned: %.2fx cost improvement at %d KiB/PE (gate: >= 1.15x)\n",
+		pinned.Speedup, fusionPinPoint>>10)
+	return nil
+}
+
+// fusionPinned measures the experiment's pinned configuration — shared
+// by the table, the speedup gate test and the CI metrics.
+func fusionPinned() (FusionResult, error) { return MeasureFusion(fusionPinPoint, fusionDepth) }
+
+func init() {
+	register("fusion", "Schedule fusion: DLRM ReduceScatter->AlltoAll pipeline, unfused vs fused compiled plans", func(o Options) error {
+		return RunFusion(o)
+	})
+}

@@ -36,6 +36,9 @@ func (c *Comm) shadowComm() *Comm {
 	if c.shadow == nil {
 		c.shadow = NewCostComm(c.hc, c.h.Params())
 	}
+	// Dry-run with the parent's fusion level so Auto compares levels on
+	// the schedules the real compile will produce.
+	c.shadow.SetFuse(c.Fuse())
 	return c.shadow
 }
 

@@ -159,48 +159,99 @@ func (c *Comm) AutoLevelOf(d Collective) (Level, error) {
 // compileIn resolves d against the arena and compiles it; owner is the
 // tenant the resulting plan is charged to (nil for a plain Comm). The
 // single funnel behind Compile/Run/Submit and their positional shims.
-func (c *Comm) compileIn(ar arena, owner *Tenant, d Collective) (cp *CompiledPlan, err error) {
+func (c *Comm) compileIn(ar arena, owner *Tenant, d Collective) (*CompiledPlan, error) {
+	spec, err := c.specIn(ar, d)
+	if err != nil {
+		return nil, err
+	}
+	cp := c.compiledPlan(spec)
+	if err := cp.adopt(owner); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// CompileSequence compiles ds as one fused multi-collective plan: the
+// members are validated and lowered in order, their schedules
+// concatenate, and the fusion pipeline (fuse.go) rewrites across the
+// member boundaries — interior synchronizations collapse, an inverse
+// rotate/unrotate pair spanning two members cancels, back-to-back
+// transfer epochs coalesce. The resulting plan Runs/Submits as a single
+// unit whose functional result is byte-identical to running the members
+// serially; with fusion off the sequence executes the members' schedules
+// verbatim. Rooted primitives (Gather, Reduce) cannot join a sequence —
+// their results live on the host; compile them separately.
+func (c *Comm) CompileSequence(ds ...Collective) (*CompiledPlan, error) {
+	return c.compileSequenceIn(c.fullArena(), nil, ds)
+}
+
+// compileSequenceIn is CompileSequence resolved against an arena and an
+// owning tenant — the sequence analogue of compileIn.
+func (c *Comm) compileSequenceIn(ar arena, owner *Tenant, ds []Collective) (*CompiledPlan, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("core: empty collective sequence")
+	}
+	if len(ds) == 1 {
+		return c.compileIn(ar, owner, ds[0])
+	}
+	specs := make([]planSpec, len(ds))
+	for i, d := range ds {
+		if d.Prim == Gather || d.Prim == Reduce {
+			return nil, fmt.Errorf("sequence[%d]: %s: rooted primitives cannot join a fused sequence (their results live on the host); compile them separately",
+				i, d.Prim.LongName())
+		}
+		sp, err := c.specIn(ar, d)
+		if err != nil {
+			return nil, fmt.Errorf("sequence[%d]: %w", i, err)
+		}
+		specs[i] = sp
+	}
+	cp := c.compiledSequence(specs)
+	if err := cp.adopt(owner); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// specIn validates d against the arena, resolves Auto, and returns the
+// plan spec (cache key, MRAM footprint, lowering closure) without
+// compiling anything — the shared front half of compileIn and
+// compileSequenceIn.
+func (c *Comm) specIn(ar arena, d Collective) (spec planSpec, err error) {
 	defer func() {
 		if err != nil {
 			err = fmt.Errorf("%s: %w", d.Prim.LongName(), err)
 		}
 	}()
 	if d.Hosts != nil && !hostInput(d.Prim) {
-		return nil, fmt.Errorf("core: takes no host payload (Hosts must be nil)")
+		return planSpec{}, fmt.Errorf("core: takes no host payload (Hosts must be nil)")
 	}
 	if hostInput(d.Prim) && d.Src != (Region{}) {
-		return nil, fmt.Errorf("core: input is host-side (Hosts), not a Src region")
+		return planSpec{}, fmt.Errorf("core: input is host-side (Hosts), not a Src region")
 	}
 	if (d.Prim == Gather || d.Prim == Reduce) && d.Dst != (Region{}) {
-		return nil, fmt.Errorf("core: output is host-side (Results), not a Dst region")
+		return planSpec{}, fmt.Errorf("core: output is host-side (Results), not a Dst region")
 	}
 	switch d.Prim {
 	case AlltoAll:
-		cp, err = c.compileAlltoAll(ar, d)
+		return c.specAlltoAll(ar, d)
 	case ReduceScatter:
-		cp, err = c.compileReduceScatter(ar, d)
+		return c.specReduceScatter(ar, d)
 	case AllReduce:
-		cp, err = c.compileAllReduce(ar, d)
+		return c.specAllReduce(ar, d)
 	case AllGather:
-		cp, err = c.compileAllGather(ar, d)
+		return c.specAllGather(ar, d)
 	case Scatter:
-		cp, err = c.compileScatter(ar, d)
+		return c.specScatter(ar, d)
 	case Gather:
-		cp, err = c.compileGather(ar, d)
+		return c.specGather(ar, d)
 	case Reduce:
-		cp, err = c.compileReduce(ar, d)
+		return c.specReduce(ar, d)
 	case Broadcast:
-		cp, err = c.compileBroadcast(ar, d)
+		return c.specBroadcast(ar, d)
 	default:
-		return nil, fmt.Errorf("core: unknown primitive %v", d.Prim)
+		return planSpec{}, fmt.Errorf("core: unknown primitive %v", d.Prim)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if err := cp.adopt(owner); err != nil {
-		return nil, err
-	}
-	return cp, nil
 }
 
 // resolveLevel resolves Auto for the descriptor and returns the
@@ -216,276 +267,276 @@ func (c *Comm) resolveLevel(d Collective, bytesPerPE int, inPlace bool) (Level, 
 	return EffectiveLevel(d.Prim, lvl), nil
 }
 
-func (c *Comm) compileAlltoAll(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specAlltoAll(ar arena, d Collective) (planSpec, error) {
 	m := d.Src.Bytes
 	if err := impliedBytes("Dst", d.Dst.Bytes, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Dst.Off, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	inPlace := d.Src.Off == d.Dst.Off
 	if overlap(d.Src.Off, m, d.Dst.Off, m) && !inPlace {
-		return nil, fmt.Errorf("core: src [%d,%d) and dst [%d,%d) overlap",
+		return planSpec{}, fmt.Errorf("core: src [%d,%d) and dst [%d,%d) overlap",
 			d.Src.Off, d.Src.Off+m, d.Dst.Off, d.Dst.Off+m)
 	}
 	s, err := blockSize(m, p.n)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	eff, err := c.resolveLevel(d, m, inPlace)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkInPlace(AlltoAll, eff, inPlace); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
 	key := planKey{prim: AlltoAll, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, lvl: eff}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	regs.write(dstOff, m)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerAlltoAll(p, srcOff, dstOff, s, eff)
-	}), nil
+	}}, nil
 }
 
-func (c *Comm) compileReduceScatter(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specReduceScatter(ar arena, d Collective) (planSpec, error) {
 	m := d.Src.Bytes
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkElem(d.Elem, d.Op); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	s, err := blockSize(m, p.n)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := impliedBytes("Dst", d.Dst.Bytes, s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Dst.Off, s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if overlap(d.Src.Off, m, d.Dst.Off, s) {
-		return nil, fmt.Errorf("core: src and dst regions overlap")
+		return planSpec{}, fmt.Errorf("core: src and dst regions overlap")
 	}
 	eff, err := c.resolveLevel(d, m, false)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
 	key := planKey{prim: ReduceScatter, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	regs.write(dstOff, s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerReduceScatter(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
-	}), nil
+	}}, nil
 }
 
-func (c *Comm) compileAllReduce(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specAllReduce(ar arena, d Collective) (planSpec, error) {
 	m := d.Src.Bytes
 	if err := impliedBytes("Dst", d.Dst.Bytes, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkElem(d.Elem, d.Op); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Dst.Off, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if overlap(d.Src.Off, m, d.Dst.Off, m) {
-		return nil, fmt.Errorf("core: src [%d,%d) and dst [%d,%d) overlap",
+		return planSpec{}, fmt.Errorf("core: src [%d,%d) and dst [%d,%d) overlap",
 			d.Src.Off, d.Src.Off+m, d.Dst.Off, d.Dst.Off+m)
 	}
 	s, err := blockSize(m, p.n)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	eff, err := c.resolveLevel(d, m, false)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
 	key := planKey{prim: AllReduce, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	regs.write(dstOff, m)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerAllReduce(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
-	}), nil
+	}}, nil
 }
 
-func (c *Comm) compileAllGather(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specAllGather(ar arena, d Collective) (planSpec, error) {
 	s := d.Src.Bytes
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := impliedBytes("Dst", d.Dst.Bytes, p.n*s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Src.Off, s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Dst.Off, p.n*s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if overlap(d.Src.Off, s, d.Dst.Off, p.n*s) {
-		return nil, fmt.Errorf("core: src and dst regions overlap")
+		return planSpec{}, fmt.Errorf("core: src and dst regions overlap")
 	}
 	eff, err := c.resolveLevel(d, s, false)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
 	key := planKey{prim: AllGather, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: s, lvl: eff}
 	var regs planRegions
 	regs.read(srcOff, s)
 	regs.write(dstOff, p.n*s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerAllGather(p, srcOff, dstOff, s, eff)
-	}), nil
+	}}, nil
 }
 
-func (c *Comm) compileGather(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specGather(ar arena, d Collective) (planSpec, error) {
 	s := d.Src.Bytes
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Src.Off, s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	eff, err := c.resolveLevel(d, s, false)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	srcOff := ar.base + d.Src.Off
 	key := planKey{prim: Gather, dims: d.Dims, srcOff: srcOff, bytes: s, lvl: eff}
 	var regs planRegions
 	regs.read(srcOff, s)
-	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(cp *CompiledPlan) *Schedule {
 		return c.lowerGather(p, srcOff, s, eff, &cp.out)
-	}), nil
+	}}, nil
 }
 
-func (c *Comm) compileReduce(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specReduce(ar arena, d Collective) (planSpec, error) {
 	m := d.Src.Bytes
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkElem(d.Elem, d.Op); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Src.Off, m); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	s, err := blockSize(m, p.n)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	eff, err := c.resolveLevel(d, m, false)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	srcOff := ar.base + d.Src.Off
 	key := planKey{prim: Reduce, dims: d.Dims, srcOff: srcOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
-	return c.compiledPlan(key, regs, func(cp *CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(cp *CompiledPlan) *Schedule {
 		return c.lowerReduce(p, srcOff, s, d.Elem, d.Op, eff, &cp.out)
-	}), nil
+	}}, nil
 }
 
-func (c *Comm) compileScatter(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specScatter(ar arena, d Collective) (planSpec, error) {
 	s := d.Dst.Bytes
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if s%dram.BankBurstBytes != 0 {
-		return nil, fmt.Errorf("core: Dst bytes %d not a multiple of %d", s, dram.BankBurstBytes)
+		return planSpec{}, fmt.Errorf("core: Dst bytes %d not a multiple of %d", s, dram.BankBurstBytes)
 	}
 	if err := checkArenaRegion(ar, d.Dst.Off, s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	bufs := d.Hosts
 	if bufs == nil && !c.backend.Functional() {
 		// Cost-only dry run: sizes are fully determined by the plan.
 	} else {
 		if len(bufs) != len(p.groups) {
-			return nil, fmt.Errorf("core: %d host buffers for %d groups", len(bufs), len(p.groups))
+			return planSpec{}, fmt.Errorf("core: %d host buffers for %d groups", len(bufs), len(p.groups))
 		}
 		for g, b := range bufs {
 			if len(b) != p.n*s {
-				return nil, fmt.Errorf("core: host buffer %d has %d bytes, want %d", g, len(b), p.n*s)
+				return planSpec{}, fmt.Errorf("core: host buffer %d has %d bytes, want %d", g, len(b), p.n*s)
 			}
 		}
 	}
 	eff, err := c.resolveLevel(d, s, false)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	dstOff := ar.base + d.Dst.Off
 	key := planKey{prim: Scatter, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: eff}
 	var regs planRegions
 	regs.write(dstOff, s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerScatter(p, bufs, dstOff, s, eff)
-	}), nil
+	}}, nil
 }
 
-func (c *Comm) compileBroadcast(ar arena, d Collective) (*CompiledPlan, error) {
+func (c *Comm) specBroadcast(ar arena, d Collective) (planSpec, error) {
 	p, err := c.plan(d.Dims)
 	if err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	bufs := d.Hosts
 	if len(bufs) != len(p.groups) {
-		return nil, fmt.Errorf("core: %d host buffers for %d groups", len(bufs), len(p.groups))
+		return planSpec{}, fmt.Errorf("core: %d host buffers for %d groups", len(bufs), len(p.groups))
 	}
 	s := -1
 	for g, b := range bufs {
 		if s == -1 {
 			s = len(b)
 		} else if len(b) != s {
-			return nil, fmt.Errorf("core: host buffer %d has %d bytes, want %d", g, len(b), s)
+			return planSpec{}, fmt.Errorf("core: host buffer %d has %d bytes, want %d", g, len(b), s)
 		}
 	}
 	if err := impliedBytes("Dst", d.Dst.Bytes, s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	if err := checkArenaRegion(ar, d.Dst.Off, s); err != nil {
-		return nil, err
+		return planSpec{}, err
 	}
 	// Broadcast has a single implementation at every level (§ VIII-B).
 	dstOff := ar.base + d.Dst.Off
 	key := planKey{prim: Broadcast, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: Baseline}
 	var regs planRegions
 	regs.write(dstOff, s)
-	return c.compiledPlan(key, regs, func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerBroadcast(p, bufs, dstOff, s)
-	}), nil
+	}}, nil
 }

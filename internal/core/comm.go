@@ -54,12 +54,16 @@ type Comm struct {
 	autoCache map[autoKey]Level
 	shadow    *Comm
 
-	// compMu guards the compiled-plan and charge-trace caches (plan.go)
-	// and their hit/miss counters.
+	// compMu guards the compiled-plan, sequence and charge-trace caches
+	// (plan.go), their hit/miss counters, the fusion level and the
+	// aggregate fusion statistics.
 	compMu   sync.Mutex
 	compiled map[planKey]*CompiledPlan
 	traces   map[planKey]*chargeTrace
+	seqPlans map[string]*CompiledPlan
 	cacheSt  PlanCacheStats
+	fuse     FuseLevel
+	fuseSt   FusionStats
 
 	// tl is the overlap-aware elapsed-time timeline; asyncBase is the
 	// barrier behind which new submissions may not start, and frontier
@@ -117,6 +121,7 @@ func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
 		autoCache:  make(map[autoKey]Level),
 		compiled:   make(map[planKey]*CompiledPlan),
 		traces:     make(map[planKey]*chargeTrace),
+		seqPlans:   make(map[string]*CompiledPlan),
 		asyncSlots: make(chan struct{}, MaxPendingPlans),
 		queues:     []*subQueue{{weight: 1}},
 	}
@@ -126,6 +131,40 @@ func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
 
 // Backend returns the comm's execution backend.
 func (c *Comm) Backend() Backend { return c.backend }
+
+// SetFuse configures the schedule-fusion level for subsequently compiled
+// plans (fuse.go). The default is FuseFull. The level is part of the
+// plan-cache key, so toggling it never serves a plan fused at another
+// level; plans already handed out keep the level they were compiled at.
+// Cached AutoLevel decisions are dropped on a change — they were made
+// against schedules fused at the old level and the cheapest level may
+// differ at the new one.
+func (c *Comm) SetFuse(f FuseLevel) {
+	c.compMu.Lock()
+	changed := c.fuse.resolved() != f.resolved()
+	c.fuse = f.resolved()
+	c.compMu.Unlock()
+	if changed {
+		c.autoMu.Lock()
+		c.autoCache = make(map[autoKey]Level)
+		c.autoMu.Unlock()
+	}
+}
+
+// Fuse returns the comm's current schedule-fusion level.
+func (c *Comm) Fuse() FuseLevel {
+	c.compMu.Lock()
+	defer c.compMu.Unlock()
+	return c.fuse.resolved()
+}
+
+// FusionStats returns the aggregate fusion activity of every plan
+// compiled on this comm (cumulative; survives ClearPlanCache).
+func (c *Comm) FusionStats() FusionStats {
+	c.compMu.Lock()
+	defer c.compMu.Unlock()
+	return c.fuseSt
+}
 
 // Hypercube returns the comm's hypercube manager.
 func (c *Comm) Hypercube() *Hypercube { return c.hc }

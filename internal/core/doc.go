@@ -46,6 +46,15 @@
 //     compiled once (validation, Auto resolution, lowering, charge
 //     precomputation) and replayed many times, with a per-Comm cache
 //     (PlanCacheStats instruments it).
+//   - Fusion (fuse.go): before tracing, peephole passes rewrite the
+//     lowered schedule — adjacent same-region rotations compose (inverse
+//     pairs cancel), back-to-back streaming epochs coalesce, no-ops and
+//     interior syncs drop. On by default (FuseLevel knob, part of the
+//     plan-cache key); CompileSequence compiles whole multi-collective
+//     pipelines through the fuser, where the cross-collective rewrites
+//     pay off. Fused execution is byte-identical to unfused (pinned by
+//     fuse_test.go and the fuzz harness) — only the charge trace, which
+//     is regenerated from the fused schedule, shrinks.
 //   - Level autotuning (auto.go): passing Auto dry-runs every applicable
 //     level on a cached cost-only shadow comm and picks the cheapest for
 //     the call signature.

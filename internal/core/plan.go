@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/elem"
@@ -29,7 +30,9 @@ import (
 // the bench "replay" experiment).
 
 // planKey identifies one compiled collective on a Comm: the full call
-// signature with Auto already resolved to the effective level.
+// signature with Auto already resolved to the effective level, plus the
+// fusion level the plan was compiled at (a plan fused at one level is
+// never served to a comm configured at another).
 type planKey struct {
 	prim           Primitive
 	dims           string
@@ -38,6 +41,17 @@ type planKey struct {
 	elemType       elem.Type
 	op             elem.Op
 	lvl            Level
+	fused          bool
+}
+
+// planSpec is a validated, Auto-resolved collective ready to lower: the
+// cache key, the MRAM footprint for hazard detection, and the lowering
+// closure. Produced by specIn (collective.go); consumed one-at-a-time by
+// compiledPlan or concatenated by compiledSequence.
+type planSpec struct {
+	key   planKey
+	regs  planRegions
+	lower func(cp *CompiledPlan) *Schedule
 }
 
 // chargeTrace is the precomputed accounting of one schedule: the ordered
@@ -84,6 +98,15 @@ type CompiledPlan struct {
 	owner *Tenant
 	owned bool
 
+	// fusion reports what the fusion pipeline did to the schedule
+	// (zero-valued when the plan was compiled with FuseOff).
+	fusion FusionReport
+	// members and memberCosts describe a CompileSequence plan: the
+	// member primitives in order and each member's unfused per-run cost
+	// (for proportional attribution by profilers). Nil for single plans.
+	members     []Primitive
+	memberCosts []cost.Breakdown
+
 	// out is the rooted-result slot the schedule's closures write into
 	// during a functional execution; lastOut is what Results returns.
 	// Both are guarded by c.execMu.
@@ -101,6 +124,35 @@ func (cp *CompiledPlan) Level() Level { return cp.key.lvl }
 // Cost returns the plan's precomputed per-run cost breakdown — what one
 // Run will charge, available without executing anything.
 func (cp *CompiledPlan) Cost() cost.Breakdown { return cp.tr.total }
+
+// FusionReport returns what the fusion pipeline did to this plan's
+// schedule. For plans compiled with FuseOff the report is zero-valued.
+func (cp *CompiledPlan) FusionReport() FusionReport { return cp.fusion }
+
+// Members returns the plan's member primitives in execution order: the
+// single primitive for an ordinary plan, the sequence members for a
+// CompileSequence plan.
+func (cp *CompiledPlan) Members() []Primitive {
+	if cp.members == nil {
+		return []Primitive{cp.key.prim}
+	}
+	out := make([]Primitive, len(cp.members))
+	copy(out, cp.members)
+	return out
+}
+
+// MemberCosts returns, for a CompileSequence plan, each member's unfused
+// per-run cost breakdown (their sum is the sequence's FusionReport
+// CostBefore); for a single plan it returns the plan's own cost.
+// Profilers use the shares to attribute a fused run across primitives.
+func (cp *CompiledPlan) MemberCosts() []cost.Breakdown {
+	if cp.memberCosts == nil {
+		return []cost.Breakdown{cp.tr.total}
+	}
+	out := make([]cost.Breakdown, len(cp.memberCosts))
+	copy(out, cp.memberCosts)
+	return out
+}
 
 // Run executes one replay of the compiled plan and returns its cost
 // breakdown. On the functional backend the schedule executes in full
@@ -205,15 +257,18 @@ func (c *Comm) traceSchedule(sched *Schedule) *chargeTrace {
 // which a compiled schedule captures by reference.
 func hostInput(p Primitive) bool { return p == Scatter || p == Broadcast }
 
-// compiledPlan returns the plan for key, lowering and tracing on a cache
-// miss. Host-input primitives are compiled fresh every call — their
-// schedules capture the caller's buffer slices — but share the cached
-// charge trace, which depends only on the call shape; everything else is
-// cached whole, so a repeated signature is a map lookup. regs is the
-// plan's MRAM footprint for async hazard detection.
-func (c *Comm) compiledPlan(key planKey, regs planRegions, lower func(cp *CompiledPlan) *Schedule) *CompiledPlan {
+// compiledPlan returns the plan for spec, lowering and tracing on a
+// cache miss. Host-input primitives are compiled fresh every call —
+// their schedules capture the caller's buffer slices — but share the
+// cached charge trace, which depends only on the call shape; everything
+// else is cached whole, so a repeated signature is a map lookup. With
+// fusion enabled the lowered schedule goes through the peephole passes
+// (fuse.go) before tracing, so the cached charge trace is the fused one.
+func (c *Comm) compiledPlan(spec planSpec) *CompiledPlan {
 	c.compMu.Lock()
 	defer c.compMu.Unlock()
+	key := spec.key
+	key.fused = c.fuse.enabled()
 	if !hostInput(key.prim) {
 		if cp, ok := c.compiled[key]; ok {
 			c.cacheSt.PlanHits++
@@ -222,8 +277,9 @@ func (c *Comm) compiledPlan(key planKey, regs planRegions, lower func(cp *Compil
 		}
 	}
 	c.cacheSt.PlanMisses++
-	cp := &CompiledPlan{c: c, key: key, regs: regs}
-	cp.sched = lower(cp)
+	cp := &CompiledPlan{c: c, key: key, regs: spec.regs}
+	cp.sched = spec.lower(cp)
+	cp.fusion = c.fuseLocked(cp.sched)
 	if tr, ok := c.traces[key]; ok {
 		c.cacheSt.TraceHits++
 		cp.tr = tr
@@ -232,8 +288,94 @@ func (c *Comm) compiledPlan(key planKey, regs planRegions, lower func(cp *Compil
 		cp.tr = c.traceSchedule(cp.sched)
 		c.traces[key] = cp.tr
 	}
+	c.finishFusionLocked(cp)
 	if !hostInput(key.prim) {
 		c.compiled[key] = cp
+	}
+	return cp
+}
+
+// fuseLocked applies the fusion pipeline to sched in place (no-op at
+// FuseOff) and returns the pass report with its CostBefore filled in:
+// when a pass changed the schedule, the unfused form is traced first so
+// the report can quote the per-run saving. Callers hold compMu.
+func (c *Comm) fuseLocked(sched *Schedule) FusionReport {
+	if !c.fuse.enabled() {
+		return FusionReport{StepsBefore: len(sched.Steps), StepsAfter: len(sched.Steps)}
+	}
+	fused, rep := fuseSteps(sched.Steps)
+	if rep.Changed() {
+		rep.CostBefore = c.traceSchedule(sched).total
+		sched.Steps = fused
+	}
+	return rep
+}
+
+// finishFusionLocked completes a plan's fusion report once its (fused)
+// charge trace exists and folds it into the comm's aggregate statistics.
+// Callers hold compMu.
+func (c *Comm) finishFusionLocked(cp *CompiledPlan) {
+	cp.fusion.CostAfter = cp.tr.total
+	if !cp.fusion.Changed() {
+		cp.fusion.CostBefore = cp.tr.total
+	}
+	if c.fuse.enabled() {
+		c.fuseSt.add(cp.fusion)
+	}
+}
+
+// compiledSequence compiles a multi-collective sequence: the members'
+// schedules are lowered fresh, concatenated into one schedule, run
+// through the fusion pipeline — which is where cross-collective rewrites
+// (interior sync elision, inverse rotate/unrotate cancellation across
+// plan boundaries, epoch coalescing) happen — and traced as a single
+// plan. Sequences with no host-input member are cached by their member
+// signatures; each member's unfused cost is traced for attribution.
+func (c *Comm) compiledSequence(specs []planSpec) *CompiledPlan {
+	c.compMu.Lock()
+	defer c.compMu.Unlock()
+	cacheable := true
+	var sb strings.Builder
+	for _, sp := range specs {
+		if hostInput(sp.key.prim) {
+			cacheable = false
+		}
+		fmt.Fprintf(&sb, "%+v;", sp.key)
+	}
+	fmt.Fprintf(&sb, "fuse=%v", c.fuse.enabled())
+	seqKey := sb.String()
+	if cacheable {
+		if cp, ok := c.seqPlans[seqKey]; ok {
+			c.cacheSt.PlanHits++
+			c.cacheSt.TraceHits++
+			return cp
+		}
+	}
+	c.cacheSt.PlanMisses++
+	c.cacheSt.TraceMisses++
+
+	cp := &CompiledPlan{c: c, key: specs[0].key}
+	cp.key.fused = c.fuse.enabled()
+	cp.members = make([]Primitive, len(specs))
+	cp.memberCosts = make([]cost.Breakdown, len(specs))
+	sched := &Schedule{}
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		ms := sp.lower(cp)
+		names[i] = ms.Name
+		cp.memberCosts[i] = c.traceSchedule(ms).total
+		cp.members[i] = sp.key.prim
+		sched.Steps = append(sched.Steps, ms.Steps...)
+		cp.regs.reads = append(cp.regs.reads, sp.regs.reads...)
+		cp.regs.writes = append(cp.regs.writes, sp.regs.writes...)
+	}
+	sched.Name = "Seq(" + strings.Join(names, "+") + ")"
+	cp.sched = sched
+	cp.fusion = c.fuseLocked(sched)
+	cp.tr = c.traceSchedule(sched)
+	c.finishFusionLocked(cp)
+	if cacheable {
+		c.seqPlans[seqKey] = cp
 	}
 	return cp
 }
@@ -252,8 +394,9 @@ type PlanCacheStats struct {
 	// depends only on the call shape, so host-input plans hit here even
 	// though they miss the plan cache.
 	TraceHits, TraceMisses uint64
-	// CachedPlans and CachedTraces are the live entry counts.
-	CachedPlans, CachedTraces int
+	// CachedPlans and CachedTraces are the live entry counts;
+	// CachedSeqs counts cached CompileSequence plans.
+	CachedPlans, CachedTraces, CachedSeqs int
 	// TraceEntries is the total recorded meter additions across cached
 	// traces; TraceBytes approximates their memory footprint.
 	TraceEntries int64
@@ -268,9 +411,14 @@ func (c *Comm) PlanCacheStats() PlanCacheStats {
 	st := c.cacheSt
 	st.CachedPlans = len(c.compiled)
 	st.CachedTraces = len(c.traces)
+	st.CachedSeqs = len(c.seqPlans)
 	for _, tr := range c.traces {
 		st.TraceEntries += int64(len(tr.adds))
 		st.TraceBytes += tr.memBytes()
+	}
+	for _, cp := range c.seqPlans {
+		st.TraceEntries += int64(len(cp.tr.adds))
+		st.TraceBytes += cp.tr.memBytes()
 	}
 	return st
 }
@@ -291,6 +439,7 @@ func (c *Comm) ClearPlanCache() {
 	defer c.compMu.Unlock()
 	c.compiled = make(map[planKey]*CompiledPlan)
 	c.traces = make(map[planKey]*chargeTrace)
+	c.seqPlans = make(map[string]*CompiledPlan)
 }
 
 // checkInPlace rejects in-place (srcOff == dstOff) calls at levels whose

@@ -111,6 +111,14 @@ func (t *Tenant) Compile(d Collective) (*CompiledPlan, error) {
 	return t.c.compileIn(t.ar, t, d)
 }
 
+// CompileSequence compiles ds as one fused multi-collective plan
+// against the tenant's arena (see Comm.CompileSequence). The plan is
+// owned by the tenant: runs are admitted against its quota as a unit
+// and attributed to its meter.
+func (t *Tenant) CompileSequence(ds ...Collective) (*CompiledPlan, error) {
+	return t.c.compileSequenceIn(t.ar, t, ds)
+}
+
 // Run compiles (or fetches) the plan for d and executes one replay.
 func (t *Tenant) Run(d Collective) (cost.Breakdown, error) {
 	cp, err := t.Compile(d)

@@ -4,7 +4,11 @@
 // geometries, hypercube shapes, dimension selections, payload sizes,
 // element types, reduction operators and optimization levels (including
 // the Auto pseudo-level), every primitive run and compared against the
-// independent reference model.
+// independent reference model. Every scenario additionally compiles an
+// AlltoAll→ReduceScatter chain through the schedule-fusion optimizer
+// (the default) and diffs the resulting MRAM against an unfused
+// execution, giving the peephole passes randomized coverage on every
+// run.
 package fuzz
 
 import (
@@ -228,6 +232,78 @@ func (sc Scenario) Check(rng *rand.Rand) error {
 	for g, grp := range groups {
 		if !bytes.Equal(red[g], core.RefReduce(sc.Typ, sc.Op, sel(in, grp))) {
 			return fmt.Errorf("Reduce diverges at group %d (%+v)", g, sc)
+		}
+	}
+
+	// Fused-sequence differential: the AlltoAll→ReduceScatter chain
+	// compiled through the fusion optimizer (the default) must leave
+	// every PE's MRAM byte-identical to the same sequence compiled with
+	// fusion off — randomized coverage of the peephole passes, including
+	// the cross-collective rotate/unrotate cancellation the pair
+	// triggers at the rotating levels.
+	if err := sc.checkFusedSequence(hc, rng); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkFusedSequence runs the fused-vs-unfused differential of Check on
+// two fresh systems of the scenario's geometry with identical contents.
+func (sc Scenario) checkFusedSequence(hc *core.Hypercube, rng *rand.Rand) error {
+	groups, err := hc.Groups(sc.Dims)
+	if err != nil {
+		return err
+	}
+	n := len(groups[0])
+	m := n * sc.S
+	mkAt := func(fuse core.FuseLevel) (*core.Comm, error) {
+		sys, err := dram.NewSystem(sc.Geo)
+		if err != nil {
+			return nil, err
+		}
+		h, err := core.NewHypercube(sys, sc.Shape)
+		if err != nil {
+			return nil, err
+		}
+		c := core.NewComm(h, cost.DefaultParams())
+		c.SetFuse(fuse)
+		return c, nil
+	}
+	fused, err := mkAt(core.FuseFull)
+	if err != nil {
+		return err
+	}
+	plain, err := mkAt(core.FuseOff)
+	if err != nil {
+		return err
+	}
+	span := 4*m + sc.S // A=[0,m) B=[2m,3m) C=[4m,4m+s)
+	buf := make([]byte, span)
+	for pe := 0; pe < sc.Geo.NumPEs(); pe++ {
+		rng.Read(buf)
+		fused.SetPEBuffer(pe, 0, buf)
+		plain.SetPEBuffer(pe, 0, buf)
+	}
+	ds := []core.Collective{
+		{Prim: core.AlltoAll, Dims: sc.Dims, Src: core.Span(0, m), Dst: core.At(2 * m), Level: sc.Lvl},
+		{Prim: core.ReduceScatter, Dims: sc.Dims, Src: core.Span(2*m, m), Dst: core.At(4 * m),
+			Elem: sc.Typ, Op: sc.Op, Level: sc.Lvl},
+	}
+	for _, pair := range []struct {
+		c    *core.Comm
+		name string
+	}{{fused, "fused"}, {plain, "unfused"}} {
+		cp, err := pair.c.CompileSequence(ds...)
+		if err != nil {
+			return fmt.Errorf("%s sequence: %w", pair.name, err)
+		}
+		if _, err := cp.Run(); err != nil {
+			return fmt.Errorf("%s sequence run: %w", pair.name, err)
+		}
+	}
+	for pe := 0; pe < sc.Geo.NumPEs(); pe++ {
+		if !bytes.Equal(fused.GetPEBuffer(pe, 0, span), plain.GetPEBuffer(pe, 0, span)) {
+			return fmt.Errorf("fused sequence diverges from unfused at PE %d (%+v)", pe, sc)
 		}
 	}
 	return nil

@@ -26,6 +26,7 @@ type Machine struct {
 type machineConfig struct {
 	params   cost.Params
 	costOnly bool
+	fuse     core.FuseLevel
 }
 
 // MachineOption configures NewMachine.
@@ -44,6 +45,16 @@ func WithParams(p Params) MachineOption {
 // SetPEBuffer/GetPEBuffer panic.
 func CostOnly() MachineOption {
 	return func(mc *machineConfig) { mc.costOnly = true }
+}
+
+// WithFuse sets the machine's schedule-fusion level (default FuseFull).
+// FuseOff compiles every plan exactly as lowered — bit-identical to the
+// pre-fusion engine; FuseFull runs the peephole passes, which is what
+// makes CompileSequence plans collapse their interior synchronizations,
+// cancel inverse rotate/unrotate pairs across member boundaries, and
+// stream back-to-back epochs as one.
+func WithFuse(f FuseLevel) MachineOption {
+	return func(mc *machineConfig) { mc.fuse = f }
 }
 
 // NewMachine builds a simulated machine with the given DIMM geometry
@@ -79,6 +90,7 @@ func NewMachine(geo Geometry, shape []int, opts ...MachineOption) (*Machine, err
 	} else {
 		m.cc = core.NewComm(hc, mc.params)
 	}
+	m.cc.SetFuse(mc.fuse)
 	return m, nil
 }
 
@@ -186,6 +198,13 @@ func (m *Machine) Flush() { m.cc.Flush() }
 // and memory accounting.
 func (m *Machine) PlanCacheStats() PlanCacheStats { return m.cc.PlanCacheStats() }
 
+// Fuse returns the machine's schedule-fusion level.
+func (m *Machine) Fuse() FuseLevel { return m.cc.Fuse() }
+
+// FusionStats returns the aggregate fusion activity of every plan
+// compiled on the machine (cumulative over its lifetime).
+func (m *Machine) FusionStats() FusionStats { return m.cc.FusionStats() }
+
 // TenantInfo is one row of the machine's tenant listing.
 type TenantInfo struct {
 	// Name is the tenant's label.
@@ -249,6 +268,19 @@ func (c *Comm) Run(d Collective) (Breakdown, error) { return c.t.Run(d) }
 // Repeated one-shot Runs of an equal descriptor hit the same cache, so
 // they amortize too.
 func (c *Comm) Compile(d Collective) (*CompiledPlan, error) { return c.t.Compile(d) }
+
+// CompileSequence compiles ds as one fused multi-collective plan: the
+// members lower in order into a single schedule, and the machine's
+// fusion passes rewrite across the member boundaries — interior
+// synchronizations collapse, inverse rotate/unrotate pairs cancel,
+// back-to-back transfer epochs coalesce — so an iterative pipeline
+// (e.g. DLRM's per-batch ReduceScatter→AlltoAll) replays as one denser
+// plan. Functionally byte-identical to running the members serially;
+// CompiledPlan.FusionReport quotes the saving. Rooted primitives
+// (Gather, Reduce) cannot join a sequence.
+func (c *Comm) CompileSequence(ds ...Collective) (*CompiledPlan, error) {
+	return c.t.CompileSequence(ds...)
+}
 
 // Submit compiles (or fetches the cached plan for) d, enqueues one
 // asynchronous execution on the session's weighted-fair bucket and

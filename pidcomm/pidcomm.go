@@ -118,6 +118,31 @@ const (
 // table.
 type Collective = core.Collective
 
+// FuseLevel selects how compilation post-processes lowered schedules
+// with the peephole fusion passes (merge adjacent rotations, coalesce
+// transfer epochs, cancel inverse rotate/unrotate pairs, drop no-ops and
+// interior synchronizations). The default is FuseFull; pass
+// WithFuse(FuseOff) to NewMachine for schedules that execute exactly as
+// lowered.
+type FuseLevel = core.FuseLevel
+
+// Re-exported fusion levels.
+const (
+	FuseDefault = core.FuseDefault
+	FuseOff     = core.FuseOff
+	FuseFull    = core.FuseFull
+)
+
+// FusionReport describes what the fusion pipeline did to one compiled
+// plan (CompiledPlan.FusionReport): step counts, per-pass rewrite
+// counters, the per-PE rotation work removed, and the plan's cost before
+// and after fusion.
+type FusionReport = core.FusionReport
+
+// FusionStats aggregates fusion activity over a machine's lifetime
+// (Machine.FusionStats; `pidinfo -plancache`).
+type FusionStats = core.FusionStats
+
 // Region is an arena-relative per-PE MRAM byte range [Off, Off+Bytes).
 // Leave Bytes zero where the primitive implies the size.
 type Region = core.Region
