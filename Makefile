@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench-json bench-compare fuzz-smoke staticcheck checkdocs docs
+.PHONY: check fmt vet build test race bench-smoke bench-json bench-compare fuzz-smoke profile staticcheck checkdocs docs
 
 check: fmt vet build test checkdocs
 
@@ -18,7 +18,8 @@ test:
 	$(GO) test ./...
 
 # Full suite under the race detector: exercises the concurrent-Comm
-# stress test and the shared-engine launch test.
+# stress test, the shared-engine launch test, and the parallel-executor
+# determinism suite (shard overlap would surface as a data race).
 race:
 	$(GO) test -race ./...
 
@@ -30,7 +31,7 @@ bench-smoke:
 # Regenerate the checked-in benchmark baseline (run after an accepted,
 # intentional performance change, and commit the result).
 bench-json:
-	$(GO) run ./cmd/pidbench -exp fig14,async,multitenant,fusion -backend=cost -json > bench_baseline.json
+	$(GO) run ./cmd/pidbench -exp fig14,async,multitenant,fusion,funcspeed -backend=cost -json > bench_baseline.json
 
 # The CI benchmark-regression gate: recollect the metrics and fail on
 # any >10% cost/makespan regression against bench_baseline.json.
@@ -38,9 +39,16 @@ bench-compare:
 	$(GO) run ./cmd/pidbench -compare bench_baseline.json
 
 # A short randomized differential-testing run (fusion enabled — the
-# default), the same budget CI uses.
+# default), the same budget CI uses. Scenarios also randomize the
+# parallel executor's worker count.
 fuzz-smoke:
-	$(GO) run ./cmd/pidfuzz -n 40 -seed 7
+	$(GO) run ./cmd/pidfuzz -n 200 -seed 7
+
+# Profile the simulator itself: a functional-backend fig14 run with CPU
+# and heap profiles written next to the repo root. Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_space mem.pprof`.
+profile:
+	$(GO) run ./cmd/pidbench -exp fig14,funcspeed -cpuprofile cpu.pprof -memprofile mem.pprof
 
 # Lint with staticcheck if installed (CI installs it pinned).
 staticcheck:

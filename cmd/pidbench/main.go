@@ -7,9 +7,10 @@
 //	pidbench -list
 //	pidbench -exp fig14
 //	pidbench -exp async -backend=cost
-//	pidbench -exp all [-full] [-backend=cost] [-async]
-//	pidbench -exp fig14,async,multitenant,fusion -backend=cost -json
+//	pidbench -exp all [-full] [-backend=cost] [-async] [-workers N]
+//	pidbench -exp fig14,async,multitenant,fusion,funcspeed -backend=cost -json
 //	pidbench -compare bench_baseline.json [-threshold 0.10]
+//	pidbench -exp fig14 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The default scale keeps the whole suite within laptop memory and
 // minutes; -full uses paper-scale payloads (the timing model is linear in
@@ -17,35 +18,47 @@
 // runs the primitive experiments on the cost-only backend (identical
 // tables, orders of magnitude faster); -async routes primitive
 // measurements through the Submit/Future API (identical tables — the
-// "async" experiment measures the overlap speedup itself). -exp accepts
-// a comma-separated list.
+// "async" experiment measures the overlap speedup itself). -workers
+// fixes the functional backend's worker-pool size for every experiment
+// comm (0 = GOMAXPROCS). -exp accepts a comma-separated list.
+//
+// -cpuprofile/-memprofile write pprof profiles of the run (the heap
+// profile is taken at exit), for digging into the simulator's own
+// hotspots: `make profile` wraps a functional fig14 run with both.
 //
 // -json emits the selected experiments' regression metrics (simulated
-// seconds, cost-only, deterministic) as JSON — the format of the
-// checked-in bench_baseline.json. -compare recollects those metrics and
-// fails (exit 1) on any metric more than -threshold worse than the
-// baseline: the CI benchmark-regression gate.
+// seconds — plus funcspeed's wall-clock parallel/serial ratio) as JSON —
+// the format of the checked-in bench_baseline.json. -compare recollects
+// those metrics and fails (exit 1) on any metric more than -threshold
+// worse than the baseline: the CI benchmark-regression gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "", "experiment ID (e.g. fig14, table1), a comma-separated list, or 'all'")
 	full := flag.Bool("full", false, "use paper-scale payloads (slower, more memory)")
 	backend := flag.String("backend", "functional", "execution backend for primitive experiments: 'functional' (moves real bytes) or 'cost' (cost-only; identical tables, orders of magnitude faster — application experiments always run functionally)")
 	async := flag.Bool("async", false, "route primitive measurements through the Submit/Future async API (identical tables; validates the async path). The 'async' experiment measures the overlap speedup itself")
+	workers := flag.Int("workers", 0, "functional-backend worker-pool size for every experiment comm (0 = GOMAXPROCS)")
 	replay := flag.Int("replay", 0, "run the plan-cache replay experiment with N iterations per mode (cold compile-each-call vs cached CompiledPlan replay)")
-	jsonOut := flag.Bool("json", false, "emit the selected experiments' regression metrics as JSON instead of tables (cost-only, deterministic)")
+	jsonOut := flag.Bool("json", false, "emit the selected experiments' regression metrics as JSON instead of tables (deterministic)")
 	compare := flag.String("compare", "", "baseline metrics JSON to compare against; exits 1 on >threshold regression")
 	threshold := flag.Float64("threshold", 0.10, "relative regression allowed by -compare (0.10 = 10%)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
@@ -56,7 +69,38 @@ func main() {
 		costOnly = true
 	default:
 		fmt.Fprintf(os.Stderr, "pidbench: unknown backend %q (want 'functional' or 'cost')\n", *backend)
-		os.Exit(2)
+		return 2
+	}
+	bench.SetExecWorkers(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pidbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pidbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pidbench:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pidbench:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	ids := strings.FieldsFunc(*exp, func(r rune) bool { return r == ',' })
@@ -67,15 +111,15 @@ func main() {
 		}
 		if err := bench.WriteMetricsJSON(os.Stdout, ids); err != nil {
 			fmt.Fprintln(os.Stderr, "pidbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *compare != "" {
 		f, err := os.Open(*compare)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pidbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		baseline, err := bench.ReadMetricsJSON(f)
 		f.Close()
@@ -84,9 +128,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pidbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *replay > 0 {
@@ -94,10 +138,10 @@ func main() {
 		start := time.Now()
 		if err := bench.RunReplay(bench.Options{W: os.Stdout, Full: *full, CostOnly: true}, *replay); err != nil {
 			fmt.Fprintln(os.Stderr, "pidbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\n(%s)\n", time.Since(start).Round(time.Millisecond))
-		return
+		return 0
 	}
 
 	if *list || *exp == "" {
@@ -106,9 +150,9 @@ func main() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 		}
 		if *exp == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 	o := bench.Options{W: os.Stdout, Full: *full, CostOnly: costOnly, Async: *async}
 	start := time.Now()
@@ -132,7 +176,8 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pidbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("\n(%s)\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }

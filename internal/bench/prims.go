@@ -183,6 +183,16 @@ func newPrimComm(shape []int, n, recvPerPE int, costOnly bool) (*core.Comm, erro
 	return newCommOn(geo, shape, cost.DefaultParams(), costOnly)
 }
 
+// execWorkers is the ExecWorkers setting applied to every comm the
+// harness builds (0 = the library's GOMAXPROCS default). Set once at
+// startup by `pidbench -workers`; experiments that sweep the knob
+// themselves (funcspeed) override it per measurement.
+var execWorkers int
+
+// SetExecWorkers sets the functional-backend worker-pool size every
+// subsequently built comm runs at (0 restores the default).
+func SetExecWorkers(n int) { execWorkers = n }
+
 // newCommOn builds a comm for the geometry/shape on the requested
 // backend: functional over a real system, or cost-only over a phantom
 // (no-MRAM) system. The single construction path for all bench runners.
@@ -203,7 +213,11 @@ func newCommOn(geo dram.Geometry, shape []int, params cost.Params, costOnly bool
 	if err != nil {
 		return nil, err
 	}
-	return core.NewCommWithBackend(hc, params, backend), nil
+	c := core.NewCommWithBackend(hc, params, backend)
+	if execWorkers > 0 {
+		c.SetExecWorkers(execWorkers)
+	}
+	return c, nil
 }
 
 // geoForPEsFlexible mirrors appcore.GeoForPEs (kept local to avoid an

@@ -378,6 +378,16 @@ func (c *Comm) execSubmitted(cp *CompiledPlan) (bd cost.Breakdown, out [][]byte,
 	c.frontier = append(c.frontier, placedPlan{regs: cp.regs, end: end})
 
 	out, bd = c.runScheduleLocked(cp)
+	if out != nil {
+		// Detach the rooted results: the schedule writes into the plan's
+		// reused buffers (rootedBufs), but a Future's Results belong to
+		// the future and must survive later runs of the same plan.
+		own := make([][]byte, len(out))
+		for i, b := range out {
+			own[i] = append([]byte(nil), b...)
+		}
+		out = own
+	}
 	return bd, out, start, end, nil
 }
 

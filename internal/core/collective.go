@@ -437,7 +437,7 @@ func (c *Comm) specGather(ar arena, d Collective) (planSpec, error) {
 	var regs planRegions
 	regs.read(srcOff, s)
 	return planSpec{key: key, regs: regs, lower: func(cp *CompiledPlan) *Schedule {
-		return c.lowerGather(p, srcOff, s, eff, &cp.out)
+		return c.lowerGather(p, srcOff, s, eff, cp)
 	}}, nil
 }
 
@@ -466,7 +466,7 @@ func (c *Comm) specReduce(ar arena, d Collective) (planSpec, error) {
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	return planSpec{key: key, regs: regs, lower: func(cp *CompiledPlan) *Schedule {
-		return c.lowerReduce(p, srcOff, s, d.Elem, d.Op, eff, &cp.out)
+		return c.lowerReduce(p, srcOff, s, d.Elem, d.Op, eff, cp)
 	}}, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/cost"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/elem"
 	"repro/internal/host"
+	"repro/internal/par"
 )
 
 // Comm executes PID-Comm collectives on a hypercube. It owns a host model
@@ -92,6 +94,18 @@ type Comm struct {
 	// (tenant.go).
 	tenantMu sync.Mutex
 	tenants  []*Tenant
+
+	// Parallel-execution state, all guarded by execMu (the knob and the
+	// per-shard contexts are only touched while an execution holds the
+	// lock). egs is precomputed at construction and immutable, so the
+	// tracing path (under compMu) may read it too.
+	execWorkers int          // 0 = default (GOMAXPROCS at call time)
+	egs         []int        // [0..numGroups): every entangled group
+	streams     []*streamCtx // per-shard streaming contexts (engine.go)
+	modBuf      []byte       // reusable Modulate output arena (bulkOut)
+	slabs       [][]byte     // per-shard scratch slabs (groupsDoScratch)
+	grun        groupRunner
+	gsrun       groupScratchRunner
 }
 
 // NewComm creates a communication context for the hypercube with the
@@ -124,9 +138,114 @@ func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
 		seqPlans:   make(map[string]*CompiledPlan),
 		asyncSlots: make(chan struct{}, MaxPendingPlans),
 		queues:     []*subQueue{{weight: 1}},
+		egs:        make([]int, hc.sys.Geometry().NumGroups()),
+	}
+	for i := range c.egs {
+		c.egs[i] = i
 	}
 	c.asyncCond = sync.NewCond(&c.asyncMu)
 	return c
+}
+
+// allEGs returns [0..numGroups) for bulk transfers covering the machine.
+// The slice is precomputed and immutable — callers must not modify it.
+func (c *Comm) allEGs() []int { return c.egs }
+
+// SetExecWorkers sets the number of worker shards the functional backend
+// splits schedule-step work across (bulk transfers, streaming epochs,
+// kernel launches). n <= 0 restores the default, GOMAXPROCS. The knob is
+// purely a simulator-throughput control: results, meter charges, bus
+// statistics and MRAM contents are byte-identical at any worker count, so
+// it is NOT part of the plan-cache key — changing it never invalidates
+// compiled plans.
+func (c *Comm) SetExecWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.execMu.Lock()
+	c.execWorkers = n
+	c.h.SetWorkers(c.workers())
+	c.execMu.Unlock()
+}
+
+// ExecWorkers returns the effective worker-shard count.
+func (c *Comm) ExecWorkers() int {
+	c.execMu.Lock()
+	defer c.execMu.Unlock()
+	return c.workers()
+}
+
+// workers resolves the effective worker count. Callers hold execMu.
+func (c *Comm) workers() int {
+	if c.execWorkers > 0 {
+		return c.execWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// groupRunner adapts a per-group closure to par.Runner; the Comm keeps
+// one so staged-path modulation can fan out without allocating a runner
+// per call. Guarded by execMu like all execution state.
+type groupRunner struct{ fn func(g int) }
+
+func (gr *groupRunner) RunShard(_, lo, hi int) {
+	for g := lo; g < hi; g++ {
+		gr.fn(g)
+	}
+}
+
+// groupsDo runs fn(g) for every g in [0, n) sharded across the comm's
+// workers. fn must only write state owned by group g. Callers hold execMu.
+func (c *Comm) groupsDo(n int, fn func(g int)) {
+	c.grun.fn = fn
+	par.Do(c.workers(), n, &c.grun)
+	c.grun.fn = nil
+}
+
+// groupScratchRunner is groupRunner plus a per-shard scratch slab.
+type groupScratchRunner struct {
+	c     *Comm
+	bytes int
+	fn    func(g int, scratch []byte)
+}
+
+func (gr *groupScratchRunner) RunShard(shard, lo, hi int) {
+	s := gr.c.slabs[shard][:gr.bytes]
+	for g := lo; g < hi; g++ {
+		gr.fn(g, s)
+	}
+}
+
+// groupsDoScratch is groupsDo with a bytes-sized scratch slab per shard
+// (reused across runs — the parallel replacement for a per-group make).
+func (c *Comm) groupsDoScratch(n, bytes int, fn func(g int, scratch []byte)) {
+	k := c.workers()
+	if k > n {
+		k = n
+	}
+	for len(c.slabs) < k {
+		c.slabs = append(c.slabs, nil)
+	}
+	for i := 0; i < k; i++ {
+		if cap(c.slabs[i]) < bytes {
+			c.slabs[i] = make([]byte, bytes)
+		}
+	}
+	c.gsrun.c, c.gsrun.bytes, c.gsrun.fn = c, bytes, fn
+	par.Do(c.workers(), n, &c.gsrun)
+	c.gsrun.fn = nil
+}
+
+// bulkOut returns the comm's reusable n-byte modulation-output arena.
+// Every staged (StepBulk) Modulate that fully overwrites its output uses
+// it, so cached replays allocate no fresh buffer per step. At most one
+// Bulk step is in flight at a time (steps execute sequentially), so a
+// single arena suffices. Callers hold execMu.
+func (c *Comm) bulkOut(n int) []byte {
+	if cap(c.modBuf) < n {
+		c.modBuf = make([]byte, n)
+	}
+	return c.modBuf[:n]
 }
 
 // Backend returns the comm's execution backend.

@@ -59,6 +59,25 @@
 //     level on a cached cost-only shadow comm and picks the cheapest for
 //     the call signature.
 //
+// # Parallel functional execution
+//
+// The functional backend shards every schedule step across a worker
+// pool (internal/par): RotateBlocks launches split the PE list,
+// column-stream epochs split their column range onto per-shard
+// streaming contexts (engine.go), and staged bulk passes split their
+// entangled-group list. SetExecWorkers sizes the pool (default
+// GOMAXPROCS; purely a simulator-throughput knob, deliberately NOT part
+// of the plan-cache key). The determinism contract is structural:
+// shards only write disjoint regions, shard-local tallies merge in
+// shard order with order-insensitive folds (integer sums, exact float
+// max), and every meter addition happens on the executing goroutine
+// after the merge — so results, breakdowns, and bus statistics are
+// bit-for-bit identical at any worker count (parallel_test.go pins
+// this, and the fuzz harness randomizes the knob). Replay of a warmed
+// CompiledPlan is also allocation-free on the streaming paths: scratch
+// lives in per-shard arenas, rooted results in plan-owned buffers, and
+// kernels are cached on their steps (TestReplayAllocs*).
+//
 // # Asynchronous execution
 //
 // Submit (async.go) enqueues a plan on the Comm's submission queue and
@@ -92,6 +111,6 @@
 //	Figure 8      lowerReduceScatter / lowerAllReduce / lowerAllGather
 //	Figure 9      shiftColumn (engine.go)
 //	Table I, II   support.go (TableI, TableII, TechniqueApplies)
-//	§ V-A1        launchRotateBlocks (engine.go)
+//	§ V-A1        rotateBlocksKernel (engine.go)
 //	§ VIII-H      AllReduceTopo (topo.go)
 package core

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/cost"
 	"repro/internal/dpu"
 	"repro/internal/dram"
 	"repro/internal/elem"
@@ -14,21 +13,32 @@ import (
 // are in PIM byte order unless stated otherwise.
 type column []vec.Reg
 
-// readColumn reads the burst at offset off from every entangled group.
-// Must run inside a transfer epoch.
-func (c *Comm) readColumn(off int) column {
-	nEG := c.hc.sys.Geometry().NumGroups()
-	col := make(column, nEG)
-	for g := 0; g < nEG; g++ {
-		col[g] = c.h.ReadBurst(g, off)
+// streamCtx is one worker's private streaming context during a parallel
+// ColumnStream epoch: a host shard (private bus tallies and vector unit)
+// plus preallocated column buffers, so the steady-state streaming loops
+// allocate nothing. Contexts are created once per shard slot on the Comm
+// (ensureStreams) and reused across runs; each is owned by exactly one
+// worker for the duration of a par.Do call.
+type streamCtx struct {
+	sh *host.Shard
+	vu vec.Unit // scratch transposes; cost is charged declaratively
+	a  column   // read target
+	b  column   // shift target
+	ac column   // reduction accumulator
+}
+
+// readColumn reads the burst at offset off from every entangled group
+// into dst. Must run inside a transfer epoch.
+func (sc *streamCtx) readColumn(off int, dst column) {
+	for g := range dst {
+		dst[g] = sc.sh.ReadBurst(g, off)
 	}
-	return col
 }
 
 // writeColumn writes one burst per entangled group at offset off.
-func (c *Comm) writeColumn(off int, col column) {
+func (sc *streamCtx) writeColumn(off int, col column) {
 	for g, r := range col {
-		c.h.WriteBurst(g, off, r)
+		sc.sh.WriteBurst(g, off, r)
 	}
 }
 
@@ -40,15 +50,15 @@ func moveElem(dr *vec.Reg, dst int, sr *vec.Reg, src int) {
 	}
 }
 
-// shiftColumn moves every lane's element to the PE holding rank
-// (rank+shift) mod n of the same communication group — the multi-instance
-// lane rotation at the heart of the optimized engine. Because every PE
-// belongs to exactly one group, the result is a full permutation of the
-// column, whether groups subdivide an entangled group, span several, or
-// stride across them (Figure 9 general cases).
-func (c *Comm) shiftColumn(p *plan, col column, shift int) column {
-	out := make(column, len(col))
-	for g := range col {
+// shiftColumn moves every lane's element of src to the PE holding rank
+// (rank+shift) mod n of the same communication group, storing into dst —
+// the multi-instance lane rotation at the heart of the optimized engine.
+// Because every PE belongs to exactly one group, the result is a full
+// permutation of the column, whether groups subdivide an entangled group,
+// span several, or stride across them (Figure 9 general cases). dst must
+// not alias src.
+func (sc *streamCtx) shiftColumn(p *plan, dst, src column, shift int) {
+	for g := range src {
 		for chip := 0; chip < dram.ChipsPerRank; chip++ {
 			pe := g*dram.ChipsPerRank + chip
 			grp := p.groupOf[pe]
@@ -57,41 +67,56 @@ func (c *Comm) shiftColumn(p *plan, col column, shift int) column {
 				dstRank += p.n
 			}
 			dstPE := p.groups[grp][dstRank]
-			moveElem(&out[dstPE/dram.ChipsPerRank], dstPE%dram.ChipsPerRank, &col[g], chip)
+			moveElem(&dst[dstPE/dram.ChipsPerRank], dstPE%dram.ChipsPerRank, &src[g], chip)
 		}
 	}
-	return out
 }
 
-// transposeColumn converts every register between PIM and host byte order
-// (functional only; the caller charges DT or nothing per level).
-func transposeColumn(col column) column {
-	out := make(column, len(col))
-	var u vec.Unit // scratch unit; cost charged explicitly by callers
+// transposeColumn converts every register between PIM and host byte order,
+// in place (functional only; the caller charges DT or nothing per level).
+func (sc *streamCtx) transposeColumn(col column) {
 	for g, r := range col {
-		out[g] = u.Transpose8x8(r)
+		col[g] = sc.vu.Transpose8x8(r)
 	}
-	return out
 }
 
 // reduceColumnInto accumulates src into acc elementwise (host byte order:
 // each lane is a whole element, so vertical SIMD ops apply; § V-B2).
-func reduceColumnInto(t elem.Type, op elem.Op, acc, src column) {
-	var u vec.Unit
+func (sc *streamCtx) reduceColumnInto(t elem.Type, op elem.Op, acc, src column) {
 	for g := range acc {
-		acc[g] = u.Reduce(t, op, acc[g], src[g])
+		acc[g] = sc.vu.Reduce(t, op, acc[g], src[g])
 	}
 }
 
-// identityColumn returns a column of reduction identities.
-func identityColumn(t elem.Type, op elem.Op, nEG int) column {
-	var u vec.Unit
-	id := u.FillIdentity(t, op)
-	col := make(column, nEG)
+// fillIdentity fills col with reduction identities.
+func (sc *streamCtx) fillIdentity(t elem.Type, op elem.Op, col column) {
+	id := sc.vu.FillIdentity(t, op)
 	for g := range col {
 		col[g] = id
 	}
-	return col
+}
+
+// lane returns the 8-byte lane of PE pe within the column (host byte
+// order: lane = the PE's whole element word).
+func (c column) lane(pe int) []byte {
+	return c[pe/dram.ChipsPerRank][(pe%dram.ChipsPerRank)*vec.LaneBytes : (pe%dram.ChipsPerRank+1)*vec.LaneBytes]
+}
+
+// ensureStreams grows the Comm's streaming-context set to k entries.
+// Callers hold execMu; the underlying host Shard slots are shared with
+// the bulk-transfer paths (same shard index -> same worker slot).
+func (c *Comm) ensureStreams(k int) {
+	shards := c.h.Shards(k)
+	nEG := c.hc.sys.Geometry().NumGroups()
+	for len(c.streams) < k {
+		i := len(c.streams)
+		c.streams = append(c.streams, &streamCtx{
+			sh: shards[i],
+			a:  make(column, nEG),
+			b:  make(column, nEG),
+			ac: make(column, nEG),
+		})
+	}
 }
 
 // columnBytes is the data volume of one column, for charge computations.
@@ -111,60 +136,48 @@ func rotateBlocksWork(m int) (instr, mramBytes int64) {
 	return int64((m + 3) / 4), int64(2 * m)
 }
 
-// launchRotateBlocks runs the PE-assisted reordering kernel (§ V-A1) on
-// every PE: each PE's region [off, off+n*s) is treated as n blocks of s
-// bytes and left-rotated by rot(rank) blocks: new block l = old block
-// (l + rot) mod n. The kernel streams MRAM through WRAM-sized chunks;
-// the paper's incremental shifting touches each byte once in and once out,
-// which is what the accounting reflects. h receives the launch charges.
-func (c *Comm) launchRotateBlocks(h *host.Host, p *plan, off, n, s int, rot func(rank int) int) {
-	pes, ranks := p.launchLists()
-	c.eng.Launch(dpu.LaunchSpec{
-		PEs:        pes,
-		GroupRanks: ranks,
-		Category:   cost.PEMod,
-	}, h.Meter(), func(ctx *dpu.Ctx) {
-		r := rot(ctx.GroupRank) % n
+// rotateBlocksKernel builds the PE-assisted reordering kernel (§ V-A1)
+// for a rotation step: each PE's region [Off, Off+N*S) is treated as N
+// blocks of S bytes and left-rotated by Rot(rank) blocks: new block l =
+// old block (l + rot) mod n. The kernel streams MRAM through WRAM-sized
+// chunks; the paper's incremental shifting touches each byte once in and
+// once out, which is what the accounting reflects. The built kernel is
+// cached on the step (functional replays launch it with no per-run
+// closure allocation).
+func rotateBlocksKernel(st *StepRotateBlocks) dpu.Kernel {
+	return func(ctx *dpu.Ctx) {
+		r := st.Rot(ctx.GroupRank) % st.N
 		if r < 0 {
-			r += n
+			r += st.N
 		}
 		if r == 0 {
 			return // nothing to move; kernel exits immediately
 		}
-		m := n * s
+		m := st.N * st.S
 		// Read the full region through WRAM-sized chunks into a rotation
 		// pipeline, then write each block to its rotated position. The
-		// temp models the double-buffered WRAM streaming of the real
-		// kernel; MRAM traffic (the dominant cost) is fully accounted.
-		tmp := make([]byte, m)
+		// scratch slab models the double-buffered WRAM streaming of the
+		// real kernel; MRAM traffic (the dominant cost) is fully accounted.
+		tmp := ctx.Scratch(m)
 		chunk := len(ctx.Wram()) / 2
 		for o := 0; o < m; o += chunk {
 			end := o + chunk
 			if end > m {
 				end = m
 			}
-			ctx.ReadMram(off+o, tmp[o:end])
+			ctx.ReadMram(st.Off+o, tmp[o:end])
 		}
-		for l := 0; l < n; l++ {
-			srcBlock := (l + r) % n
-			for o := 0; o < s; o += chunk {
+		for l := 0; l < st.N; l++ {
+			srcBlock := (l + r) % st.N
+			for o := 0; o < st.S; o += chunk {
 				end := o + chunk
-				if end > s {
-					end = s
+				if end > st.S {
+					end = st.S
 				}
-				ctx.WriteMram(off+l*s+o, tmp[srcBlock*s+o:srcBlock*s+end])
+				ctx.WriteMram(st.Off+l*st.S+o, tmp[srcBlock*st.S+o:srcBlock*st.S+end])
 			}
 		}
 		instr, _ := rotateBlocksWork(m) // address arithmetic; DMA accounted above
 		ctx.Exec(instr)
-	})
-}
-
-// allEGs returns [0..numGroups) for bulk transfers covering the machine.
-func (c *Comm) allEGs() []int {
-	out := make([]int, c.hc.sys.Geometry().NumGroups())
-	for i := range out {
-		out[i] = i
 	}
-	return out
 }

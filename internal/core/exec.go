@@ -4,6 +4,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dpu"
 	"repro/internal/host"
+	"repro/internal/par"
 )
 
 // Backend executes schedule steps against the simulated substrate. Two
@@ -80,7 +81,19 @@ func (functionalBackend) Name() string     { return "functional" }
 func (functionalBackend) Functional() bool { return true }
 
 func (functionalBackend) rotateBlocks(c *Comm, h *host.Host, st *StepRotateBlocks) {
-	c.launchRotateBlocks(h, st.p, st.Off, st.N, st.S, st.Rot)
+	if st.kern == nil {
+		// Built lazily (under execMu) so steps synthesized by the fusion
+		// pipeline (merged rotations) get a kernel too; cached on the
+		// step so replays launch without rebuilding the closure.
+		st.kern = rotateBlocksKernel(st)
+	}
+	pes, ranks := st.p.launchLists()
+	c.eng.Launch(dpu.LaunchSpec{
+		PEs:        pes,
+		GroupRanks: ranks,
+		Category:   cost.PEMod,
+		Workers:    c.workers(),
+	}, h.Meter(), st.kern)
 }
 
 func (functionalBackend) bulk(c *Comm, h *host.Host, st *StepBulk) {
@@ -98,10 +111,31 @@ func (functionalBackend) bulk(c *Comm, h *host.Host, st *StepBulk) {
 	}
 }
 
+// columnStream runs the epoch's segs in order: each seg's setup runs
+// serially, then its column loop is sharded across the worker pool on
+// per-shard streaming contexts, and the shard-local bus tallies merge
+// deterministically before the next seg starts. The inter-seg barrier
+// (par.Do returns only when every shard finished) preserves
+// read-after-write dependencies between segs of fusion-coalesced epochs;
+// everything still happens inside ONE bus epoch, so the charged bus time
+// is identical to the serial engine's.
 func (functionalBackend) columnStream(c *Comm, h *host.Host, st *StepColumnStream) {
+	workers := c.workers()
 	h.BeginXfer()
-	if st.Body != nil {
-		st.Body()
+	for _, sg := range st.segs {
+		if sg.setup != nil {
+			sg.setup()
+		}
+		if sg.body == nil || sg.cols <= 0 {
+			continue
+		}
+		shards := workers
+		if shards > sg.cols {
+			shards = sg.cols
+		}
+		c.ensureStreams(shards)
+		par.Do(workers, sg.cols, sg)
+		h.MergeShards()
 	}
 	h.EndXfer()
 	applyCharges(h, st.Charges)

@@ -217,31 +217,24 @@ func stepIsNoop(st Step) bool {
 	case *StepHostCompute:
 		return len(s.Charges) == 0 && s.Run == nil
 	case *StepColumnStream:
-		return s.Reads == 0 && s.Writes == 0 && len(s.Charges) == 0 && s.Body == nil
+		return s.Reads == 0 && s.Writes == 0 && len(s.Charges) == 0 && len(s.segs) == 0
 	default:
 		return false
 	}
 }
 
 // coalesceEpochs merges two adjacent transfer epochs: tallies and
-// charges concatenate, the bodies chain in original order, so the merged
-// epoch moves exactly the bytes the two moved — in one bus epoch.
+// charges concatenate, and the seg lists chain in original order — the
+// executor runs segs sequentially (with a barrier between them), so the
+// merged epoch moves exactly the bytes the two moved, in one bus epoch,
+// with cross-member read-after-write dependencies intact.
 func coalesceEpochs(a, b *StepColumnStream) *StepColumnStream {
-	merged := &StepColumnStream{
+	return &StepColumnStream{
 		Reads:   a.Reads + b.Reads,
 		Writes:  a.Writes + b.Writes,
 		Charges: append(append([]Charge{}, a.Charges...), b.Charges...),
+		segs:    append(append([]*streamSeg{}, a.segs...), b.segs...),
 	}
-	ba, bb := a.Body, b.Body
-	switch {
-	case ba == nil:
-		merged.Body = bb
-	case bb == nil:
-		merged.Body = ba
-	default:
-		merged.Body = func() { ba(); bb() }
-	}
-	return merged
 }
 
 // fuseSteps runs the peephole passes over steps to a fixpoint and

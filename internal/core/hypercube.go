@@ -123,6 +123,10 @@ type plan struct {
 	groups  [][]int // group index -> rank -> linear PE
 	groupOf []int32 // PE -> group index
 	rankOf  []int32 // PE -> rank within group
+
+	// pes/ranks are the precomputed full-machine kernel-launch lists
+	// (launchLists), immutable after buildPlan.
+	pes, ranks []int
 }
 
 // buildPlan enumerates groups for the dims selection.
@@ -167,21 +171,21 @@ func (hc *Hypercube) buildPlan(dims string) (*plan, error) {
 		p.groupOf[pe] = int32(group)
 		p.rankOf[pe] = int32(rank)
 	}
+	p.pes = make([]int, len(p.rankOf))
+	p.ranks = make([]int, len(p.rankOf))
+	for pe := range p.pes {
+		p.pes[pe] = pe
+		p.ranks[pe] = int(p.rankOf[pe])
+	}
 	return p, nil
 }
 
 // launchLists returns the full-machine PE list and per-PE group ranks
 // for a kernel launch over every PE — shared by the functional launcher
 // and the cost backend's analytic accounting so the two can't drift.
-func (p *plan) launchLists() (pes, ranks []int) {
-	pes = make([]int, len(p.rankOf))
-	ranks = make([]int, len(p.rankOf))
-	for pe := range pes {
-		pes[pe] = pe
-		ranks[pe] = int(p.rankOf[pe])
-	}
-	return pes, ranks
-}
+// The lists are precomputed by buildPlan and immutable; callers must not
+// modify them.
+func (p *plan) launchLists() (pes, ranks []int) { return p.pes, p.ranks }
 
 // Groups returns, for the dims selection, the communication groups as
 // ordered PE lists (rank order within each group). The group order is the

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// This file pins the parallel functional backend's two contracts:
+//
+//   1. Determinism — the worker count is a pure throughput knob. MRAM
+//      contents, rooted results, the cost meter, and the bus statistics
+//      must be bit-for-bit identical at any ExecWorkers setting
+//      (TestParallelDeterminism, also run under -race in CI to catch
+//      shard overlap as a data race).
+//   2. Zero-alloc replay — a warmed CompiledPlan.Run on the functional
+//      backend allocates nothing in steady state on the streaming paths
+//      (TestReplayAllocs*), so replay-heavy workloads never touch the
+//      garbage collector.
+//
+// TestFuncSpeedup is the perf gate for the worker pool itself: >= 5x
+// elapsed speedup at 8 workers on a full-scale functional fig14-shape
+// collective. It needs real cores and skips on small machines; CI runs
+// it where hardware allows, and `pidbench -exp funcspeed` tracks the
+// ratio as a regression metric everywhere.
+
+// execSig is everything observable about an execution that must not
+// depend on the worker count.
+type execSig struct {
+	mram   []byte
+	meter  cost.Breakdown
+	bursts int64
+	chans  []int64
+	rooted []byte
+}
+
+func captureSig(c *Comm, mramBytes int, rooted []byte) execSig {
+	numPE := c.Hypercube().System().Geometry().NumPEs()
+	sig := execSig{meter: c.Meter().Snapshot(), rooted: rooted}
+	for pe := 0; pe < numPE; pe++ {
+		sig.mram = append(sig.mram, c.GetPEBuffer(pe, 0, mramBytes)...)
+	}
+	st := c.Host().Stats()
+	sig.bursts = st.Bursts
+	sig.chans = st.BytesPerChannel
+	return sig
+}
+
+func diffSigs(t *testing.T, want, got execSig, label string) {
+	t.Helper()
+	if !bytes.Equal(got.mram, want.mram) {
+		t.Errorf("%s: MRAM contents differ from workers=1", label)
+	}
+	if !bytes.Equal(got.rooted, want.rooted) {
+		t.Errorf("%s: rooted results differ from workers=1", label)
+	}
+	if got.meter != want.meter {
+		t.Errorf("%s: meter breakdown differs from workers=1:\n  want %v\n  got  %v", label, want.meter, got.meter)
+	}
+	if got.bursts != want.bursts {
+		t.Errorf("%s: burst count %d, workers=1 counted %d", label, got.bursts, want.bursts)
+	}
+	if len(got.chans) != len(want.chans) {
+		t.Fatalf("%s: channel count changed", label)
+	}
+	for ch := range want.chans {
+		if got.chans[ch] != want.chans[ch] {
+			t.Errorf("%s: channel %d traffic %d, workers=1 counted %d", label, ch, got.chans[ch], want.chans[ch])
+		}
+	}
+}
+
+// runParallelWorkload drives every primitive at every functional level
+// the core tests exercise, with deterministic data, and returns the
+// concatenated rooted results. Block sizes are deliberately not multiples
+// of the worker counts under test so shard boundaries fall mid-group.
+func runParallelWorkload(t *testing.T, c *Comm, dims string) []byte {
+	t.Helper()
+	p, err := c.plan(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rooted []byte
+	collect := func(bufs [][]byte) {
+		for _, b := range bufs {
+			rooted = append(rooted, b...)
+		}
+	}
+	s := 16
+	m := p.n * s
+	for i, lvl := range Levels() {
+		fillSrc(c, 0, m, int64(100+i))
+		if _, err := c.AlltoAll(dims, 0, 2*m, m, lvl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, lvl := range []Level{Baseline, PR, IM} {
+		fillSrc(c, 0, m, int64(200+i))
+		if _, err := c.ReduceScatter(dims, 0, 2*m, m, elem.I32, elem.Sum, lvl); err != nil {
+			t.Fatal(err)
+		}
+		fillSrc(c, 0, m, int64(300+i))
+		if _, err := c.AllReduce(dims, 0, 2*m, m, elem.I16, elem.Max, lvl); err != nil {
+			t.Fatal(err)
+		}
+		fillSrc(c, 0, m, int64(400+i))
+		got, _, err := c.Reduce(dims, 0, m, elem.I32, elem.Sum, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(got)
+	}
+	for i, lvl := range Levels() {
+		fillSrc(c, 0, s, int64(500+i))
+		if _, err := c.AllGather(dims, 0, 2*m, s, lvl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, lvl := range []Level{Baseline, IM} {
+		rng := rand.New(rand.NewSource(int64(600 + i)))
+		bufs := make([][]byte, len(p.groups))
+		for g := range bufs {
+			bufs[g] = make([]byte, p.n*s)
+			rng.Read(bufs[g])
+		}
+		if _, err := c.Scatter(dims, bufs, 0, s, lvl); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := c.Gather(dims, 0, s, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(got)
+	}
+	rng := rand.New(rand.NewSource(700))
+	bufs := make([][]byte, len(p.groups))
+	for g := range bufs {
+		bufs[g] = make([]byte, 2*s)
+		rng.Read(bufs[g])
+	}
+	if _, err := c.Broadcast(dims, bufs, 64, IM); err != nil {
+		t.Fatal(err)
+	}
+	return rooted
+}
+
+// TestParallelDeterminism runs the full primitive x level matrix on
+// regular, sub-entangled-group, and irregular (non-power-of-two) shapes
+// at several worker counts and requires byte-identical MRAM, rooted
+// results, meter, and bus statistics. Shard-merge ordering bugs and
+// write overlap both surface here (the latter also as a -race failure).
+func TestParallelDeterminism(t *testing.T) {
+	shapes := []caseSpec{
+		{"2D-x", geo64, []int{8, 8}, "10"},
+		{"2D-subEG-y", geo64, []int{4, 16}, "01"},
+		{"3D-xz", geo64, []int{4, 2, 8}, "101"},
+		{"nonpow2-x", geo24, []int{8, 3}, "10"},
+		{"nonpow2-strided", geo24, []int{4, 6}, "01"},
+	}
+	workerCounts := []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+	for _, tc := range shapes {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref execSig
+			for i, w := range workerCounts {
+				c := testSystem(t, tc.geo, tc.shape)
+				c.SetExecWorkers(w)
+				if got := c.ExecWorkers(); got != w {
+					t.Fatalf("ExecWorkers() = %d after SetExecWorkers(%d)", got, w)
+				}
+				rooted := runParallelWorkload(t, c, tc.dims)
+				sig := captureSig(c, 4096, rooted)
+				if i == 0 {
+					ref = sig
+					continue
+				}
+				diffSigs(t, ref, sig, fmt.Sprintf("workers=%d", w))
+			}
+		})
+	}
+}
+
+func TestSetExecWorkersDefault(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	def := runtime.GOMAXPROCS(0)
+	if got := c.ExecWorkers(); got != def {
+		t.Errorf("default ExecWorkers() = %d, want GOMAXPROCS = %d", got, def)
+	}
+	c.SetExecWorkers(3)
+	if got := c.ExecWorkers(); got != 3 {
+		t.Errorf("ExecWorkers() = %d after SetExecWorkers(3)", got)
+	}
+	if got := c.Host().Workers(); got != 3 {
+		t.Errorf("host Workers() = %d, want 3 (SetExecWorkers must mirror)", got)
+	}
+	c.SetExecWorkers(0)
+	if got := c.ExecWorkers(); got != def {
+		t.Errorf("ExecWorkers() = %d after reset, want %d", got, def)
+	}
+}
+
+// replayAllocs compiles the plan, warms it (arenas, kernels, streaming
+// contexts, timeline capacity), and measures steady-state heap
+// allocations per Run.
+func replayAllocs(t *testing.T, c *Comm, compile func() (*CompiledPlan, error)) float64 {
+	t.Helper()
+	cp, err := compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cp.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testing.AllocsPerRun(20, func() {
+		if _, err := cp.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestReplayAllocsStreaming pins the zero-alloc replay contract: a
+// warmed streaming-path plan (IM/CM lower to rotate + column-stream
+// steps only) allocates nothing per functional Run.
+func TestReplayAllocsStreaming(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	c.SetExecWorkers(1)
+	s := 16
+	m := 8 * s
+	fillSrc(c, 0, m, 9)
+	if n := replayAllocs(t, c, func() (*CompiledPlan, error) {
+		return c.CompileAlltoAll("10", 0, 2*m, m, IM)
+	}); n != 0 {
+		t.Errorf("streaming AlltoAll replay allocates %.1f objects/run, want 0", n)
+	}
+	if n := replayAllocs(t, c, func() (*CompiledPlan, error) {
+		return c.CompileAlltoAll("10", 0, 2*m, m, CM)
+	}); n != 0 {
+		t.Errorf("streaming CM AlltoAll replay allocates %.1f objects/run, want 0", n)
+	}
+}
+
+// TestReplayAllocsRooted: rooted streaming plans reuse their plan-owned
+// result buffers (rootedBufs), so they hit zero too.
+func TestReplayAllocsRooted(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	c.SetExecWorkers(1)
+	s := 16
+	m := 8 * s
+	fillSrc(c, 0, m, 11)
+	if n := replayAllocs(t, c, func() (*CompiledPlan, error) {
+		return c.CompileReduce("10", 0, m, elem.I32, elem.Sum, IM)
+	}); n != 0 {
+		t.Errorf("rooted Reduce replay allocates %.1f objects/run, want 0", n)
+	}
+}
+
+// TestReplayAllocsStaged: the staged bulk paths (Baseline/PR) spend a
+// few closure allocations per Modulate on the group-parallel helpers;
+// they must stay bounded and small, not creep back toward per-byte
+// allocation.
+func TestReplayAllocsStaged(t *testing.T) {
+	c := testSystem(t, geo64, []int{8, 8})
+	c.SetExecWorkers(1)
+	s := 16
+	m := 8 * s
+	fillSrc(c, 0, m, 13)
+	if n := replayAllocs(t, c, func() (*CompiledPlan, error) {
+		return c.CompileAlltoAll("10", 0, 2*m, m, Baseline)
+	}); n > 16 {
+		t.Errorf("staged Baseline AlltoAll replay allocates %.1f objects/run, want <= 16", n)
+	}
+}
+
+// TestFuncSpeedup is the gated perf pin for the worker pool: on a
+// machine with >= 8 cores, a full-scale functional fig14-shape AlltoAll
+// (1024 PEs, 64 KiB/PE, CM) must replay >= 5x faster at 8 workers than
+// at 1. Skipped on smaller machines, where the pool cannot express the
+// parallelism; `pidbench -exp funcspeed` tracks the ratio there.
+func TestFuncSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale speedup measurement skipped in -short")
+	}
+	if n := runtime.NumCPU(); n < 8 {
+		t.Skipf("speedup gate needs >= 8 CPUs to run 8 workers in parallel, have %d", n)
+	}
+	geo := dram.Geometry{Channels: 4, RanksPerChannel: 4, BanksPerChip: 8, MramPerBank: 1 << 18} // 1024 PEs
+	c := testSystem(t, geo, []int{32, 32})
+	m := 64 << 10
+	fillSrc(c, 0, m, 1)
+	cp, err := c.CompileAlltoAll("10", 0, 2*m, m, CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(workers int) time.Duration {
+		c.SetExecWorkers(workers)
+		if _, err := cp.Run(); err != nil { // warm at this worker count
+			t.Fatal(err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if _, err := cp.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(1)
+	parallel := measure(8)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("functional fig14-scale AlltoAll/CM: serial %v, 8 workers %v, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 5 {
+		t.Errorf("parallel functional backend speedup %.2fx at 8 workers, want >= 5x", speedup)
+	}
+}

@@ -109,9 +109,28 @@ type CompiledPlan struct {
 
 	// out is the rooted-result slot the schedule's closures write into
 	// during a functional execution; lastOut is what Results returns.
-	// Both are guarded by c.execMu.
+	// rooted is the plan-owned backing store for those results, reused
+	// across runs (rootedBufs). All guarded by c.execMu.
 	out     [][]byte
 	lastOut [][]byte
+	rooted  [][]byte
+}
+
+// rootedBufs returns the plan's cached rooted-result buffers (groups
+// buffers of n bytes each), allocating them on first use, and publishes
+// them as the current run's output. Every run fully overwrites the
+// buffers, so reuse is safe under the Results contract (buffers are
+// valid until the next Run of the same plan). Called from schedule
+// closures during execution — the caller holds c.execMu.
+func (cp *CompiledPlan) rootedBufs(groups, n int) [][]byte {
+	if len(cp.rooted) != groups || (groups > 0 && len(cp.rooted[0]) != n) {
+		cp.rooted = make([][]byte, groups)
+		for g := range cp.rooted {
+			cp.rooted[g] = make([]byte, n)
+		}
+	}
+	cp.out = cp.rooted
+	return cp.rooted
 }
 
 // Primitive returns the plan's collective primitive.

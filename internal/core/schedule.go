@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/dpu"
 	"repro/internal/dram"
 	"repro/internal/elem"
 	"repro/internal/host"
@@ -14,11 +15,23 @@ import (
 //
 // Design contract: a step carries BOTH the declarative description the
 // cost-only backend needs (byte counts, column-transfer counts, charge
-// lists) AND the functional closures that move real bytes. The executor
+// lists) AND the functional work that moves real bytes. The executor
 // applies the declarative charges for every backend, so the two backends
 // charge identical amounts by construction; only bus-burst tallies and
 // DPU-kernel accounting are computed twice (real vs. analytic), and the
 // cross-backend equivalence test in exec_test.go pins them equal.
+//
+// Functional work comes in two parallel-safe shapes. Staged steps
+// (StepBulk) carry a Modulate closure that transforms a whole staging
+// buffer; the lowerings internally fan modulation out per communication
+// group (Comm.groupsDo) — groups partition the PEs, so per-group writes
+// are disjoint. Streaming steps (StepColumnStream) carry a list of
+// streamSegs: each seg is a column-indexed loop whose iterations are
+// mutually write-disjoint, which is what lets the executor shard a seg
+// across the worker pool (internal/par) with byte-identical results at
+// any worker count. Segs within one step execute in order with a barrier
+// between them, preserving read-after-write dependencies across fused
+// collective boundaries.
 
 // ChargeKind classifies one host-side compute/memory charge of a step.
 // Each kind maps to exactly one host.Host charge method.
@@ -83,12 +96,17 @@ type Step interface{ stepName() string }
 // StepRotateBlocks runs the PE-assisted reordering kernel (§ V-A1):
 // every PE's region [Off, Off+N*S) is treated as N blocks of S bytes and
 // left-rotated by Rot(rank) blocks. The cost-only backend reproduces the
-// kernel's MRAM/instruction accounting analytically.
+// kernel's MRAM/instruction accounting analytically. kern caches the
+// built functional kernel (engine.go) so replays — including steps
+// produced by rotation merging in the fusion pipeline — launch without
+// rebuilding the closure.
 type StepRotateBlocks struct {
 	p    *plan
 	Off  int
 	N, S int
 	Rot  func(rank int) int
+
+	kern dpu.Kernel
 }
 
 func (*StepRotateBlocks) stepName() string { return "RotateBlocks" }
@@ -114,22 +132,47 @@ type StepBulk struct {
 	// Modulate consumes the staging buffer (nil when Read is false) and
 	// returns the PE-major buffer to write (ignored when Write is
 	// false). Only the functional backend calls it; nil means identity.
+	// The staging buffer is the host's reusable slab and the returned
+	// buffer is typically the comm's modulation arena (Comm.bulkOut) —
+	// both are fully overwritten by each run, so replays allocate no
+	// fresh buffers.
 	Modulate func(stag []byte) []byte
 }
 
 func (*StepBulk) stepName() string { return "Bulk" }
 
+// streamSeg is one shardable loop of a streaming epoch: cols independent
+// column iterations, each touching every entangled group once per
+// read/write. The functional executor runs body over contiguous
+// sub-ranges on per-shard streaming contexts (par.Do); iterations MUST be
+// mutually write-disjoint — the lowerings guarantee it by construction
+// (distinct iterations address distinct MRAM bursts or distinct host
+// result lanes). setup, if set, runs serially on the executor goroutine
+// before the fan-out (e.g. binding the run's rooted result buffers).
+type streamSeg struct {
+	c     *Comm
+	cols  int
+	setup func()
+	body  func(sc *streamCtx, lo, hi int)
+}
+
+// RunShard implements par.Runner on the comm's per-shard stream contexts.
+func (sg *streamSeg) RunShard(shard, lo, hi int) {
+	sg.body(sg.c.streams[shard], lo, hi)
+}
+
 // StepColumnStream is one streaming transfer epoch of the optimized
 // engine: burst columns move between host registers and every entangled
 // group, with in-register shifts/transposes/reductions. Reads and Writes
 // count column transfers (each touches every entangled group once — one
-// burst per group), which is all the cost-only backend needs to
-// reproduce the bus accounting. Body performs the real data movement and
-// is called by the functional backend only, inside the epoch.
+// burst per group), which is all the cost-only backend needs to reproduce
+// the bus accounting. segs perform the real data movement and are
+// executed by the functional backend only, inside the epoch, in order,
+// each sharded across the worker pool.
 type StepColumnStream struct {
 	Reads, Writes int64
 	Charges       []Charge
-	Body          func()
+	segs          []*streamSeg
 }
 
 func (*StepColumnStream) stepName() string { return "ColumnStream" }
@@ -194,13 +237,14 @@ func (c *Comm) lowerAlltoAll(p *plan, srcOff, dstOff, s int, lvl Level) *Schedul
 			Write: true, WriteOff: dstOff, WritePerPE: m,
 			Charges: []Charge{{modKind, c.numPEBytes(m)}},
 			Modulate: func(stag []byte) []byte {
-				out := make([]byte, len(stag))
-				if pr {
-					// Data is pre-rotated: slot k of rank i holds block
-					// (i+k)%n. The host applies the local phase-B
-					// movement: slot k of rank i goes to slot (n-k)%n of
-					// rank (i+k)%n.
-					for _, grp := range p.groups {
+				out := c.bulkOut(len(stag))
+				c.groupsDo(len(p.groups), func(gi int) {
+					grp := p.groups[gi]
+					if pr {
+						// Data is pre-rotated: slot k of rank i holds block
+						// (i+k)%n. The host applies the local phase-B
+						// movement: slot k of rank i goes to slot (n-k)%n of
+						// rank (i+k)%n.
 						for i, srcPE := range grp {
 							for k := 0; k < n; k++ {
 								j := (i + k) % n
@@ -208,17 +252,15 @@ func (c *Comm) lowerAlltoAll(p *plan, srcOff, dstOff, s int, lvl Level) *Schedul
 								copy(out[grp[j]*m+w*s:grp[j]*m+w*s+s], stag[srcPE*m+k*s:srcPE*m+k*s+s])
 							}
 						}
-					}
-				} else {
-					// Direct semantics: dst[j] block i = src[i] block j.
-					for _, grp := range p.groups {
+					} else {
+						// Direct semantics: dst[j] block i = src[i] block j.
 						for i, srcPE := range grp {
 							for j, dstPE := range grp {
 								copy(out[dstPE*m+i*s:dstPE*m+i*s+s], stag[srcPE*m+j*s:srcPE*m+j*s+s])
 							}
 						}
 					}
-				}
+				})
 				return out
 			},
 		})
@@ -227,7 +269,8 @@ func (c *Comm) lowerAlltoAll(p *plan, srcOff, dstOff, s int, lvl Level) *Schedul
 		}
 	default: // IM or CM
 		cm := lvl == CM
-		cols := int64(n) * int64(s/8)
+		ecols := s / 8
+		cols := int64(n) * int64(ecols)
 		colB := c.columnBytes()
 		charges := []Charge{{ChargeSIMD, cols * colB}}
 		if !cm {
@@ -240,16 +283,19 @@ func (c *Comm) lowerAlltoAll(p *plan, srcOff, dstOff, s int, lvl Level) *Schedul
 		sched.add(&StepColumnStream{
 			Reads: cols, Writes: cols,
 			Charges: charges,
-			Body: func() {
-				for k := 0; k < n; k++ {
+			// Flattened (k, e) loop: every iteration reads burst column
+			// k*s+e and writes column ((n-k)%n)*s+e — distinct columns for
+			// distinct iterations, so the whole loop shards freely.
+			segs: []*streamSeg{{c: c, cols: n * ecols, body: func(sc *streamCtx, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					k := i / ecols
+					e := (i % ecols) * 8
 					w := (n - k) % n
-					for e := 0; e < s; e += 8 {
-						col := c.readColumn(srcOff + k*s + e)
-						col = c.shiftColumn(p, col, k)
-						c.writeColumn(dstOff+w*s+e, col)
-					}
+					sc.readColumn(srcOff+k*s+e, sc.a)
+					sc.shiftColumn(p, sc.b, sc.a, k)
+					sc.writeColumn(dstOff+w*s+e, sc.b)
 				}
-			},
+			}}},
 		})
 		sched.add(&StepRotateBlocks{p: p, Off: dstOff, N: n, S: s, Rot: rotBwd})
 	}
@@ -280,8 +326,9 @@ func (c *Comm) lowerReduceScatter(p *plan, srcOff, dstOff, s int, t elem.Type, o
 			Write: true, WriteOff: dstOff, WritePerPE: s,
 			Charges: []Charge{{redKind, c.numPEBytes(m)}},
 			Modulate: func(stag []byte) []byte {
-				out := make([]byte, len(p.rankOf)*s)
-				for _, grp := range p.groups {
+				out := c.bulkOut(len(p.rankOf) * s)
+				c.groupsDo(len(p.groups), func(gi int) {
+					grp := p.groups[gi]
 					for pIdx, dstPE := range grp {
 						blk := out[dstPE*s : (dstPE+1)*s]
 						elem.Fill(t, blk, op.Identity(t))
@@ -296,7 +343,7 @@ func (c *Comm) lowerReduceScatter(p *plan, srcOff, dstOff, s int, t elem.Type, o
 							elem.ReduceInto(t, op, blk, stag[srcPE*m+slot*s:srcPE*m+slot*s+s])
 						}
 					}
-				}
+				})
 				return out
 			},
 		})
@@ -315,28 +362,34 @@ func (c *Comm) lowerReduceScatter(p *plan, srcOff, dstOff, s int, t elem.Type, o
 		sched.add(&StepColumnStream{
 			Reads: int64(n) * iters, Writes: iters,
 			Charges: charges,
-			Body: func() {
-				nEG := c.hc.sys.Geometry().NumGroups()
-				for e := 0; e < s; e += 8 {
-					acc := identityColumn(t, op, nEG) // host byte order
+			// Per element column e: reduce the n slot bursts into the
+			// shard accumulator, write one burst. Iterations touch
+			// distinct columns — shardable.
+			segs: []*streamSeg{{c: c, cols: s / 8, body: func(sc *streamCtx, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e := i * 8
+					sc.fillIdentity(t, op, sc.ac) // host byte order
 					for k := 0; k < n; k++ {
-						col := c.readColumn(srcOff + k*s + e)
-						col = c.shiftColumn(p, col, k) // lane = destination rank
-						reduceColumnInto(t, op, acc, transposeColumn(col))
+						sc.readColumn(srcOff+k*s+e, sc.a)
+						sc.shiftColumn(p, sc.b, sc.a, k) // lane = destination rank
+						sc.transposeColumn(sc.b)
+						sc.reduceColumnInto(t, op, sc.ac, sc.b)
 					}
-					c.writeColumn(dstOff+e, transposeColumn(acc))
+					sc.transposeColumn(sc.ac)
+					sc.writeColumn(dstOff+e, sc.ac)
 				}
-			},
+			}}},
 		})
 	}
 	sched.add(&StepSync{})
 	return sched
 }
 
-// lowerReduce lowers the rooted Reduce. out receives the per-group host
-// results; the functional backend fills it, the cost-only backend leaves
-// it nil.
-func (c *Comm) lowerReduce(p *plan, srcOff, s int, t elem.Type, op elem.Op, lvl Level, out *[][]byte) *Schedule {
+// lowerReduce lowers the rooted Reduce. The per-group host results land
+// in cp's rooted result buffers (cp.rootedBufs; published via Results);
+// the functional backend fills them, the cost-only backend leaves the
+// results nil.
+func (c *Comm) lowerReduce(p *plan, srcOff, s int, t elem.Type, op elem.Op, lvl Level, cp *CompiledPlan) *Schedule {
 	n := p.n
 	m := n * s
 	sched := &Schedule{Name: "Reduce/" + lvl.String()}
@@ -357,9 +410,9 @@ func (c *Comm) lowerReduce(p *plan, srcOff, s int, t elem.Type, op elem.Op, lvl 
 				{ChargeHostMem, int64(len(p.groups)) * int64(m)}, // result store
 			},
 			Modulate: func(stag []byte) []byte {
-				res := make([][]byte, len(p.groups))
-				for g, grp := range p.groups {
-					res[g] = make([]byte, m)
+				res := cp.rootedBufs(len(p.groups), m)
+				c.groupsDo(len(p.groups), func(g int) {
+					grp := p.groups[g]
 					elem.Fill(t, res[g], op.Identity(t))
 					for i, srcPE := range grp {
 						src := stag[srcPE*m : (srcPE+1)*m]
@@ -373,8 +426,7 @@ func (c *Comm) lowerReduce(p *plan, srcOff, s int, t elem.Type, op elem.Op, lvl 
 							elem.ReduceInto(t, op, res[g], src)
 						}
 					}
-				}
-				*out = res
+				})
 				return nil
 			},
 		})
@@ -390,33 +442,36 @@ func (c *Comm) lowerReduce(p *plan, srcOff, s int, t elem.Type, op elem.Op, lvl 
 			charges = append(charges, Charge{ChargeDT, int64(n) * iters * colB})
 		}
 		charges = append(charges, Charge{ChargeHostMem, int64(len(p.groups)) * int64(m)}) // result store
+		var res [][]byte
 		sched.add(&StepRotateBlocks{p: p, Off: srcOff, N: n, S: s, Rot: rotFwd})
 		sched.add(&StepColumnStream{
 			Reads:   int64(n) * iters,
 			Charges: charges,
-			Body: func() {
-				res := make([][]byte, len(p.groups))
-				for g := range res {
-					res[g] = make([]byte, m)
-				}
-				nEG := c.hc.sys.Geometry().NumGroups()
-				for e := 0; e < s; e += 8 {
-					acc := identityColumn(t, op, nEG)
-					for k := 0; k < n; k++ {
-						col := c.readColumn(srcOff + k*s + e)
-						col = c.shiftColumn(p, col, k)
-						reduceColumnInto(t, op, acc, transposeColumn(col))
-					}
-					// acc lane (rank j) = reduced block j, element column
-					// e: store to the per-group host result buffers.
-					for g, grp := range p.groups {
-						for j, pe := range grp {
-							copy(res[g][j*s+e:j*s+e+8], acc[pe/dram.ChipsPerRank].Lane(pe%dram.ChipsPerRank))
+			segs: []*streamSeg{{
+				c: c, cols: s / 8,
+				setup: func() { res = cp.rootedBufs(len(p.groups), m) },
+				body: func(sc *streamCtx, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						e := i * 8
+						sc.fillIdentity(t, op, sc.ac)
+						for k := 0; k < n; k++ {
+							sc.readColumn(srcOff+k*s+e, sc.a)
+							sc.shiftColumn(p, sc.b, sc.a, k)
+							sc.transposeColumn(sc.b)
+							sc.reduceColumnInto(t, op, sc.ac, sc.b)
+						}
+						// ac lane (rank j) = reduced block j, element column
+						// e: store to the per-group host result buffers —
+						// distinct e bytes per iteration, so shards don't
+						// overlap.
+						for g, grp := range p.groups {
+							for j, pe := range grp {
+								copy(res[g][j*s+e:j*s+e+8], sc.ac.lane(pe))
+							}
 						}
 					}
-				}
-				*out = res
-			},
+				},
+			}},
 		})
 	}
 	sched.add(&StepSync{})
@@ -451,9 +506,9 @@ func (c *Comm) lowerAllReduce(p *plan, srcOff, dstOff, s int, t elem.Type, op el
 				{ChargeSIMD, c.numPEBytes(m)},
 			},
 			Modulate: func(stag []byte) []byte {
-				out := make([]byte, len(stag))
-				for _, grp := range p.groups {
-					red := make([]byte, m)
+				out := c.bulkOut(len(stag))
+				c.groupsDoScratch(len(p.groups), m, func(g int, red []byte) {
+					grp := p.groups[g]
 					elem.Fill(t, red, op.Identity(t))
 					for i, srcPE := range grp {
 						src := stag[srcPE*m : (srcPE+1)*m]
@@ -469,7 +524,7 @@ func (c *Comm) lowerAllReduce(p *plan, srcOff, dstOff, s int, t elem.Type, op el
 					for _, dstPE := range grp {
 						copy(out[dstPE*m:(dstPE+1)*m], red)
 					}
-				}
+				})
 				return out
 			},
 		})
@@ -492,25 +547,26 @@ func (c *Comm) lowerAllReduce(p *plan, srcOff, dstOff, s int, t elem.Type, op el
 		sched.add(&StepColumnStream{
 			Reads: int64(n) * iters, Writes: int64(n) * iters,
 			Charges: charges,
-			Body: func() {
-				nEG := c.hc.sys.Geometry().NumGroups()
-				for e := 0; e < s; e += 8 {
-					acc := identityColumn(t, op, nEG) // host byte order
+			segs: []*streamSeg{{c: c, cols: s / 8, body: func(sc *streamCtx, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e := i * 8
+					sc.fillIdentity(t, op, sc.ac) // host byte order
 					for k := 0; k < n; k++ {
-						col := c.readColumn(srcOff + k*s + e)
-						col = c.shiftColumn(p, col, k)
-						reduceColumnInto(t, op, acc, transposeColumn(col))
+						sc.readColumn(srcOff+k*s+e, sc.a)
+						sc.shiftColumn(p, sc.b, sc.a, k)
+						sc.transposeColumn(sc.b)
+						sc.reduceColumnInto(t, op, sc.ac, sc.b)
 					}
 					// One DT back to PIM domain serves all n outbound
 					// writes, whose shifts are pure redistribution.
-					accPim := transposeColumn(acc)
+					sc.transposeColumn(sc.ac)
 					for k := 0; k < n; k++ {
-						shifted := c.shiftColumn(p, accPim, k)
+						sc.shiftColumn(p, sc.b, sc.ac, k)
 						w := (n - k) % n
-						c.writeColumn(dstOff+w*s+e, shifted)
+						sc.writeColumn(dstOff+w*s+e, sc.b)
 					}
 				}
-			},
+			}}},
 		})
 		sched.add(&StepRotateBlocks{p: p, Off: dstOff, N: n, S: s, Rot: rotBwd})
 	}
@@ -531,31 +587,35 @@ func (c *Comm) lowerAllGather(p *plan, srcOff, dstOff, s int, lvl Level) *Schedu
 		// Conventional path; PE-assisted reordering only removes
 		// per-rank layout bookkeeping here, which is negligible, so
 		// Baseline and PR share the lowering.
-		gatherPEMajor := func(stag []byte) []byte {
-			out := make([]byte, len(p.rankOf)*n*s)
-			for _, grp := range p.groups {
+		gatherPEMajorInto := func(out, stag []byte) {
+			c.groupsDo(len(p.groups), func(gi int) {
+				grp := p.groups[gi]
 				for _, dstPE := range grp {
 					for i, srcPE := range grp {
 						copy(out[dstPE*n*s+i*s:dstPE*n*s+i*s+s], stag[srcPE*s:(srcPE+1)*s])
 					}
 				}
-			}
-			return out
+			})
 		}
 		if len(p.groups) == 1 {
 			// Single group: the gathered buffer is identical for every
 			// PE, so the driver's fast broadcast applies — one domain
-			// transfer total (§ VIII-E).
+			// transfer total (§ VIII-E). The gathered image lives in a
+			// plan-owned buffer (allocated on first run) shared by the
+			// assembly and broadcast steps of this lowering.
 			var out []byte
+			perPE := n * s
 			sched.add(&StepBulk{
 				Read: true, ReadOff: srcOff, ReadPerPE: s,
 				Charges: []Charge{{ChargeLocalMod, int64(n * s)}},
 				Modulate: func(stag []byte) []byte {
-					out = gatherPEMajor(stag)
+					if out == nil {
+						out = make([]byte, len(p.rankOf)*perPE)
+					}
+					gatherPEMajorInto(out, stag)
 					return nil
 				},
 			})
-			perPE := n * s
 			sched.add(&StepHostCompute{
 				Charges: []Charge{
 					{ChargeDT, int64(perPE)}, // DT once, reused for all PEs
@@ -565,15 +625,21 @@ func (c *Comm) lowerAllGather(p *plan, srcOff, dstOff, s int, lvl Level) *Schedu
 			sched.add(&StepColumnStream{
 				Writes:  int64(perPE / 8),
 				Charges: []Charge{{ChargeSIMD, int64(perPE/8) * colB}},
-				Body:    func() { c.broadcastColumns(dstOff, perPE, func(pe, e int) []byte { return out[pe*perPE+e:] }) },
+				segs: []*streamSeg{c.streamBroadcast(dstOff, perPE, func(pe, e int) []byte {
+					return out[pe*perPE+e:]
+				})},
 			})
 		} else {
 			sched.add(&StepBulk{
 				Read: true, ReadOff: srcOff, ReadPerPE: s,
 				Write: true, WriteOff: dstOff, WritePerPE: n * s,
 				// Replication is sequential copying (memcpy class).
-				Charges:  []Charge{{ChargeSIMD, c.numPEBytes(n * s)}},
-				Modulate: gatherPEMajor,
+				Charges: []Charge{{ChargeSIMD, c.numPEBytes(n * s)}},
+				Modulate: func(stag []byte) []byte {
+					out := c.bulkOut(len(p.rankOf) * n * s)
+					gatherPEMajorInto(out, stag)
+					return out
+				},
 			})
 		}
 	default: // IM or CM
@@ -587,16 +653,17 @@ func (c *Comm) lowerAllGather(p *plan, srcOff, dstOff, s int, lvl Level) *Schedu
 		sched.add(&StepColumnStream{
 			Reads: iters, Writes: int64(n) * iters,
 			Charges: charges,
-			Body: func() {
-				for e := 0; e < s; e += 8 {
-					col := c.readColumn(srcOff + e)
+			segs: []*streamSeg{{c: c, cols: s / 8, body: func(sc *streamCtx, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e := i * 8
+					sc.readColumn(srcOff+e, sc.a)
 					for k := 0; k < n; k++ {
-						shifted := c.shiftColumn(p, col, k)
+						sc.shiftColumn(p, sc.b, sc.a, k)
 						w := (n - k) % n
-						c.writeColumn(dstOff+w*s+e, shifted)
+						sc.writeColumn(dstOff+w*s+e, sc.b)
 					}
 				}
-			},
+			}}},
 		})
 		sched.add(&StepRotateBlocks{p: p, Off: dstOff, N: n, S: s, Rot: rotBwd})
 	}
@@ -604,7 +671,7 @@ func (c *Comm) lowerAllGather(p *plan, srcOff, dstOff, s int, lvl Level) *Schedu
 	return sched
 }
 
-func (c *Comm) lowerGather(p *plan, srcOff, s int, lvl Level, out *[][]byte) *Schedule {
+func (c *Comm) lowerGather(p *plan, srcOff, s int, lvl Level, cp *CompiledPlan) *Schedule {
 	n := p.n
 	sched := &Schedule{Name: "Gather/" + lvl.String()}
 	if lvl == Baseline {
@@ -612,41 +679,42 @@ func (c *Comm) lowerGather(p *plan, srcOff, s int, lvl Level, out *[][]byte) *Sc
 			Read: true, ReadOff: srcOff, ReadPerPE: s,
 			Charges: []Charge{{ChargeHostMem, c.numPEBytes(s)}}, // copy out of staging
 			Modulate: func(stag []byte) []byte {
-				res := make([][]byte, len(p.groups))
-				for g, grp := range p.groups {
-					res[g] = make([]byte, n*s)
+				res := cp.rootedBufs(len(p.groups), n*s)
+				c.groupsDo(len(p.groups), func(g int) {
+					grp := p.groups[g]
 					for i, pe := range grp {
 						copy(res[g][i*s:], stag[pe*s:(pe+1)*s])
 					}
-				}
-				*out = res
+				})
 				return nil
 			},
 		})
 	} else { // IM: stream straight into the user buffers
 		iters := int64(s / 8)
 		colB := c.columnBytes()
+		var res [][]byte
 		sched.add(&StepColumnStream{
 			Reads: iters,
 			Charges: []Charge{
 				{ChargeDT, iters * colB},
 				{ChargeHostMem, int64(len(p.groups)) * int64(n*s)},
 			},
-			Body: func() {
-				res := make([][]byte, len(p.groups))
-				for g := range res {
-					res[g] = make([]byte, n*s)
-				}
-				for e := 0; e < s; e += 8 {
-					col := transposeColumn(c.readColumn(srcOff + e))
-					for g, grp := range p.groups {
-						for i, pe := range grp {
-							copy(res[g][i*s+e:i*s+e+8], col[pe/dram.ChipsPerRank].Lane(pe%dram.ChipsPerRank))
+			segs: []*streamSeg{{
+				c: c, cols: s / 8,
+				setup: func() { res = cp.rootedBufs(len(p.groups), n*s) },
+				body: func(sc *streamCtx, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						e := i * 8
+						sc.readColumn(srcOff+e, sc.a)
+						sc.transposeColumn(sc.a)
+						for g, grp := range p.groups {
+							for j, pe := range grp {
+								copy(res[g][j*s+e:j*s+e+8], sc.a.lane(pe))
+							}
 						}
 					}
-				}
-				*out = res
-			},
+				},
+			}},
 		})
 	}
 	sched.add(&StepSync{})
@@ -667,12 +735,13 @@ func (c *Comm) lowerScatter(p *plan, bufs [][]byte, dstOff, s int, lvl Level) *S
 			Write: true, WriteOff: dstOff, WritePerPE: s,
 			Charges: []Charge{{ChargeHostMem, c.numPEBytes(s)}}, // staging assembly
 			Modulate: func([]byte) []byte {
-				stag := make([]byte, len(p.rankOf)*s)
-				for g, grp := range p.groups {
+				stag := c.bulkOut(len(p.rankOf) * s)
+				c.groupsDo(len(p.groups), func(g int) {
+					grp := p.groups[g]
 					for i, pe := range grp {
 						copy(stag[pe*s:(pe+1)*s], bufs[g][i*s:(i+1)*s])
 					}
-				}
+				})
 				return stag
 			},
 		})
@@ -686,11 +755,9 @@ func (c *Comm) lowerScatter(p *plan, bufs [][]byte, dstOff, s int, lvl Level) *S
 				{ChargeDT, iters * colB},
 				{ChargeHostMem, int64(len(p.groups)) * int64(n*s)}, // user-buffer reads
 			},
-			Body: func() {
-				c.broadcastColumns(dstOff, s, func(pe, e int) []byte {
-					return bufs[p.groupOf[pe]][int(p.rankOf[pe])*s+e:]
-				})
-			},
+			segs: []*streamSeg{c.streamBroadcast(dstOff, s, func(pe, e int) []byte {
+				return bufs[p.groupOf[pe]][int(p.rankOf[pe])*s+e:]
+			})},
 		})
 	}
 	sched.add(&StepSync{})
@@ -712,31 +779,32 @@ func (c *Comm) lowerBroadcast(p *plan, bufs [][]byte, dstOff, s int) *Schedule {
 	sched.add(&StepColumnStream{
 		Writes:  iters,
 		Charges: []Charge{{ChargeSIMD, iters * c.columnBytes()}},
-		Body: func() {
-			c.broadcastColumns(dstOff, s, func(pe, e int) []byte {
-				return bufs[p.groupOf[pe]][e:]
-			})
-		},
+		segs: []*streamSeg{c.streamBroadcast(dstOff, s, func(pe, e int) []byte {
+			return bufs[p.groupOf[pe]][e:]
+		})},
 	})
 	sched.add(&StepSync{})
 	return sched
 }
 
-// broadcastColumns streams host-side bytes into every PE's region
-// [dstOff, dstOff+perPE): for each element column it assembles one
-// register per entangled group from lane(pe, e) and writes it in PIM
-// byte order. Shared by the Scatter/Broadcast/single-group-AllGather
+// streamBroadcast builds the seg that streams host-side bytes into every
+// PE's region [dstOff, dstOff+perPE): for each element column it
+// assembles one register per entangled group from lane(pe, e) and writes
+// it in PIM byte order. Iterations touch distinct columns, so the seg
+// shards freely. Shared by the Scatter/Broadcast/single-group-AllGather
 // write paths.
-func (c *Comm) broadcastColumns(dstOff, perPE int, lane func(pe, e int) []byte) {
+func (c *Comm) streamBroadcast(dstOff, perPE int, lane func(pe, e int) []byte) *streamSeg {
 	nEG := c.hc.sys.Geometry().NumGroups()
-	var u vec.Unit
-	for e := 0; e < perPE; e += 8 {
-		for g := 0; g < nEG; g++ {
-			var r vec.Reg
-			for chip := 0; chip < dram.ChipsPerRank; chip++ {
-				r.SetLane(chip, lane(g*dram.ChipsPerRank+chip, e))
+	return &streamSeg{c: c, cols: perPE / 8, body: func(sc *streamCtx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := i * 8
+			for g := 0; g < nEG; g++ {
+				var r vec.Reg
+				for chip := 0; chip < dram.ChipsPerRank; chip++ {
+					r.SetLane(chip, lane(g*dram.ChipsPerRank+chip, e))
+				}
+				sc.sh.WriteBurst(g, dstOff+e, sc.vu.Transpose8x8(r))
 			}
-			c.h.WriteBurst(g, dstOff+e, u.Transpose8x8(r))
 		}
-	}
+	}}
 }

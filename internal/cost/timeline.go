@@ -208,10 +208,13 @@ func (tl *Timeline) place(lane Lane, from, dur Seconds) Seconds {
 		}
 		pos = ivs[i].end
 	}
-	next := make([]interval, 0, len(ivs)+1)
-	next = append(next, ivs[:i]...)
-	next = append(next, interval{pos, pos + dur})
-	next = append(next, ivs[i:]...)
-	tl.busy[lane] = next
+	// Insert in place: grow by one, shift the tail, write the slot. The
+	// backing array is retained across SetFloor pruning, so once a lane's
+	// list reaches its steady-state size this books no allocation —
+	// required by the zero-alloc cached-replay contract of core.
+	ivs = append(ivs, interval{})
+	copy(ivs[i+1:], ivs[i:])
+	ivs[i] = interval{pos, pos + dur}
+	tl.busy[lane] = ivs
 	return pos
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/dram"
+	"repro/internal/par"
 )
 
 // WramBytes is the per-DPU scratchpad size (UPMEM: 64 KiB).
@@ -28,12 +29,25 @@ type Ctx struct {
 
 	mram      []byte
 	wram      []byte
+	scratch   []byte
 	instr     int64
 	mramBytes int64
 }
 
 // Wram returns the PE's scratchpad. Contents are undefined at kernel entry.
 func (c *Ctx) Wram() []byte { return c.wram }
+
+// Scratch returns an n-byte host-side staging slab for kernel-internal
+// pipelines (e.g. the rotate-blocks double buffer). Contents are
+// undefined at kernel entry; the slab is retained with the pooled
+// context, so steady-state kernels allocate nothing. It models WRAM
+// streaming state, not extra MRAM — no traffic is accounted.
+func (c *Ctx) Scratch(n int) []byte {
+	if cap(c.scratch) < n {
+		c.scratch = make([]byte, n)
+	}
+	return c.scratch[:n]
+}
 
 // ReadMram copies len(dst) bytes from MRAM offset off into dst (a WRAM
 // buffer in the hardware model) and accounts the DMA traffic.
@@ -76,8 +90,9 @@ type Engine struct {
 	sys    *dram.System
 	params cost.Params
 
-	mu    sync.Mutex
-	wrams [][]byte // reusable scratchpads
+	mu       sync.Mutex
+	ctxs     []*Ctx         // reusable per-worker contexts (WRAM + scratch)
+	launches []*launchState // reusable launch descriptors
 }
 
 // NewEngine returns an engine for the given system and cost parameters.
@@ -91,21 +106,24 @@ func (e *Engine) System() *dram.System { return e.sys }
 // Params returns the engine's cost parameters.
 func (e *Engine) Params() cost.Params { return e.params }
 
-func (e *Engine) getWram() []byte {
+// getCtx returns a pooled kernel context with its WRAM (and any grown
+// scratch slab) attached; per-PE fields are reset by the launch loop.
+func (e *Engine) getCtx() *Ctx {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if n := len(e.wrams); n > 0 {
-		w := e.wrams[n-1]
-		e.wrams = e.wrams[:n-1]
-		return w
+	if n := len(e.ctxs); n > 0 {
+		c := e.ctxs[n-1]
+		e.ctxs = e.ctxs[:n-1]
+		return c
 	}
-	return make([]byte, WramBytes)
+	return &Ctx{wram: make([]byte, WramBytes)}
 }
 
-func (e *Engine) putWram(w []byte) {
+func (e *Engine) putCtx(c *Ctx) {
+	c.mram = nil
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.wrams = append(e.wrams, w)
+	e.ctxs = append(e.ctxs, c)
 }
 
 // LaunchSpec configures a kernel launch.
@@ -121,10 +139,78 @@ type LaunchSpec struct {
 	// Category is the meter category for PE execution time (PEMod for
 	// reorder kernels, Kernel for application compute).
 	Category cost.Category
+	// Workers is the number of simulator worker shards the per-PE loop
+	// is split across (defaults to GOMAXPROCS if zero; 1 runs the whole
+	// launch inline on the caller). Purely a simulator-throughput knob:
+	// results, accounting and the charged time are byte-identical at any
+	// worker count.
+	Workers int
 }
 
-// Launch runs the kernel on every PE in spec (concurrently, bounded by
-// GOMAXPROCS), then charges meter with the modeled elapsed time: the
+// launchState is one in-flight Launch: the par.Runner that executes a
+// shard of the PE list on a pooled context and records the shard's
+// maximum per-PE time. Recycled via the engine so steady-state launches
+// allocate nothing.
+type launchState struct {
+	e     *Engine
+	pes   []int
+	ranks []int
+	ipc   float64
+	k     Kernel
+	maxs  []cost.Seconds // per-shard maximum per-PE time
+}
+
+// RunShard executes PEs [lo, hi) of the launch on one pooled context.
+func (ls *launchState) RunShard(shard, lo, hi int) {
+	ctx := ls.e.getCtx()
+	var localMax cost.Seconds
+	for i := lo; i < hi; i++ {
+		pe := ls.pes[i]
+		ctx.PE = pe
+		ctx.GroupRank = -1
+		if ls.ranks != nil {
+			ctx.GroupRank = ls.ranks[i]
+		}
+		ctx.mram = ls.e.sys.BankBytes(pe)
+		ctx.instr, ctx.mramBytes = 0, 0
+		ls.k(ctx)
+		if t := ls.e.peTime(ctx.instr, ctx.mramBytes, ls.ipc); t > localMax {
+			localMax = t
+		}
+	}
+	ls.maxs[shard] = localMax
+	ls.e.putCtx(ctx)
+}
+
+func (e *Engine) getLaunch(workers int) *launchState {
+	e.mu.Lock()
+	var ls *launchState
+	if n := len(e.launches); n > 0 {
+		ls = e.launches[n-1]
+		e.launches = e.launches[:n-1]
+	} else {
+		ls = &launchState{e: e}
+	}
+	e.mu.Unlock()
+	if cap(ls.maxs) < workers {
+		ls.maxs = make([]cost.Seconds, workers)
+	}
+	ls.maxs = ls.maxs[:workers]
+	for i := range ls.maxs {
+		ls.maxs[i] = 0
+	}
+	return ls
+}
+
+func (e *Engine) putLaunch(ls *launchState) {
+	ls.pes, ls.ranks, ls.k = nil, nil, nil
+	e.mu.Lock()
+	e.launches = append(e.launches, ls)
+	e.mu.Unlock()
+}
+
+// Launch runs the kernel on every PE in spec (sharded across spec.Workers
+// pool workers), then charges meter with the modeled elapsed time: the
 // maximum per-PE time across PEs (hardware PEs run in parallel) in
 // spec.Category, plus the kernel-launch overhead in Other.
 //
@@ -133,13 +219,17 @@ type LaunchSpec struct {
 // with few tasklets the pipeline stalls, modeled by scaling instruction
 // throughput by Tasklets/SaturatingTasklets.
 //
+// Launch is deterministic at any worker count: each PE's accounted work
+// depends only on the kernel and that PE's MRAM, shard-local maxima are
+// folded in shard order, and float max is exact — so the charged time is
+// bit-identical to a serial launch. Meter additions happen only on the
+// calling goroutine, after every shard has finished.
+//
 // Launch is safe to call concurrently from multiple goroutines on one
 // engine (the Comm's collectives and application kernels share it): the
-// WRAM pool is lock-protected, each launch confines its per-PE times
-// slice to itself (workers' writes are ordered before the final reduce
-// by the WaitGroup), and cost.Meter is internally synchronized. Callers
-// remain responsible for keeping concurrent kernels' MRAM accesses
-// disjoint, as on real hardware.
+// context and launch-descriptor pools are lock-protected and cost.Meter
+// is internally synchronized. Callers remain responsible for keeping
+// concurrent kernels' MRAM accesses disjoint, as on real hardware.
 func (e *Engine) Launch(spec LaunchSpec, meter *cost.Meter, k Kernel) {
 	if len(spec.PEs) == 0 {
 		return
@@ -147,38 +237,20 @@ func (e *Engine) Launch(spec LaunchSpec, meter *cost.Meter, k Kernel) {
 	if spec.GroupRanks != nil && len(spec.GroupRanks) != len(spec.PEs) {
 		panic("dpu: GroupRanks length mismatch")
 	}
-	ipc := spec.ipc()
-
-	times := make([]cost.Seconds, len(spec.PEs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, pe := range spec.PEs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i, pe int) {
-			defer func() { <-sem; wg.Done() }()
-			ctx := &Ctx{
-				PE:        pe,
-				GroupRank: -1,
-				mram:      e.sys.BankBytes(pe),
-				wram:      e.getWram(),
-			}
-			if spec.GroupRanks != nil {
-				ctx.GroupRank = spec.GroupRanks[i]
-			}
-			k(ctx)
-			times[i] = e.peTime(ctx.instr, ctx.mramBytes, ipc)
-			e.putWram(ctx.wram)
-		}(i, pe)
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	wg.Wait()
-
+	ls := e.getLaunch(workers)
+	ls.pes, ls.ranks, ls.ipc, ls.k = spec.PEs, spec.GroupRanks, spec.ipc(), k
+	par.Do(workers, len(spec.PEs), ls)
 	var maxT cost.Seconds
-	for _, t := range times {
+	for _, t := range ls.maxs {
 		if t > maxT {
 			maxT = t
 		}
 	}
+	e.putLaunch(ls)
 	meter.Add(spec.Category, maxT)
 	meter.Add(cost.Other, e.params.KernelLaunch)
 }

@@ -33,6 +33,16 @@
 //     burst-aligned per-tenant windows — the provisioning substrate of
 //     the multi-tenant session layer (core.Tenant, pidcomm.Machine).
 //
+// # Concurrency
+//
+// System holds no locks: MRAM is plain memory. Concurrent access is
+// safe exactly when the bursts touched are disjoint, which is the
+// discipline the parallel functional executor (internal/par, core's
+// worker pool) maintains by construction — workers shard column ranges
+// and PE lists so no two shards ever address the same burst. Anything
+// less disciplined must serialize externally; the race detector enforces
+// this in CI.
+//
 // # Paper map
 //
 //	Figure 1, § II-A  Geometry, the entangled-group striping

@@ -31,6 +31,11 @@ type Scenario struct {
 	Lvl   core.Level
 	Typ   elem.Type
 	Op    elem.Op
+	// Workers is the ExecWorkers setting every comm in the scenario runs
+	// at, so the fuzzer also differential-tests the parallel executor's
+	// shard boundaries against the reference model (the worker count must
+	// never change results).
+	Workers int
 }
 
 // Random draws a scenario. When includeAuto is set, the Auto pseudo-level
@@ -90,13 +95,14 @@ func Random(rng *rand.Rand, includeAuto bool) Scenario {
 		levels = append(levels, core.Auto)
 	}
 	return Scenario{
-		Geo:   geo,
-		Shape: shape,
-		Dims:  string(dims),
-		S:     8 * (1 + rng.Intn(4)),
-		Lvl:   levels[rng.Intn(len(levels))],
-		Typ:   elem.Types()[rng.Intn(4)],
-		Op:    elem.Ops()[rng.Intn(6)],
+		Geo:     geo,
+		Shape:   shape,
+		Dims:    string(dims),
+		S:       8 * (1 + rng.Intn(4)),
+		Lvl:     levels[rng.Intn(len(levels))],
+		Typ:     elem.Types()[rng.Intn(4)],
+		Op:      elem.Ops()[rng.Intn(6)],
+		Workers: 1 + rng.Intn(4),
 	}
 }
 
@@ -113,6 +119,7 @@ func (sc Scenario) Check(rng *rand.Rand) error {
 	}
 	mk := func() (*core.Comm, [][]byte, [][]int, int) {
 		c := core.NewComm(hc, cost.DefaultParams())
+		c.SetExecWorkers(sc.Workers)
 		groups, err := hc.Groups(sc.Dims)
 		if err != nil {
 			panic(err)
@@ -266,6 +273,7 @@ func (sc Scenario) checkFusedSequence(hc *core.Hypercube, rng *rand.Rand) error 
 			return nil, err
 		}
 		c := core.NewComm(h, cost.DefaultParams())
+		c.SetExecWorkers(sc.Workers)
 		c.SetFuse(fuse)
 		return c, nil
 	}

@@ -16,6 +16,15 @@
 //   - Host owns the attached dram.System, the cost parameters, and the
 //     meter. Single-owner state (core.Comm serializes executions on it),
 //     except Stats and Meter, which may be polled concurrently.
+//   - Shards (host.go) are the worker-pool seam: each shard wraps its
+//     own vector unit and burst/channel tallies so executor workers
+//     stream disjoint column ranges concurrently, and MergeShards folds
+//     the tallies back deterministically (shard order, then channel
+//     order) on the executing goroutine before the epoch closes. The
+//     concurrency contract is exactly that — shards touch disjoint
+//     MRAM, all shared counters merge single-threaded — so worker count
+//     never changes any statistic. SetWorkers sizes the sharded bulk
+//     paths (mirrored from core.Comm.SetExecWorkers).
 //   - Transfer epochs (BeginXfer/EndXfer): burst traffic is tallied per
 //     channel and charged at epoch end as the *maximum* per-channel time
 //     — channels transfer in parallel, as on real hardware; without

@@ -2,10 +2,12 @@ package host
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/dram"
+	"repro/internal/par"
 	"repro/internal/vec"
 )
 
@@ -13,6 +15,13 @@ import (
 // single-owner state (core.Comm serializes all executions on it), except
 // for the cumulative transfer statistics and the meter, which may be read
 // concurrently (Stats, Meter) while an execution runs.
+//
+// Inside one execution, bulk transfers and the streaming engine shard
+// their per-group work across worker goroutines (SetWorkers); each worker
+// tallies bus traffic on a private Shard and the owner merges the shard
+// totals deterministically, so the epoch accounting, the cumulative
+// statistics and the charged times are byte-identical at any worker
+// count (see doc.go, "Concurrency contract").
 type Host struct {
 	sys    *dram.System
 	params cost.Params
@@ -20,8 +29,16 @@ type Host struct {
 	vu     vec.Unit
 
 	epochDepth int
-	chanBytes  []int64          // per-channel bytes this epoch
-	rankBytes  map[[2]int]int64 // per-(channel,rank) bytes this epoch
+	chanBytes  []int64 // per-channel bytes this epoch
+
+	// workers is the shard count for internally parallelized bulk
+	// transfers; shards are the reusable per-worker tally contexts and
+	// stag/brun/wrun the reusable staging state of the bulk paths.
+	workers int
+	shards  []*Shard
+	stag    []byte
+	brun    bulkReadRun
+	wrun    bulkWriteRun
 
 	// Cumulative transfer statistics (see stats.go). Updated and read
 	// atomically so Stats() can be polled while collectives execute.
@@ -36,10 +53,24 @@ func New(sys *dram.System, params cost.Params) *Host {
 		params:      params,
 		meter:       cost.NewMeter(),
 		chanBytes:   make([]int64, sys.Geometry().Channels),
-		rankBytes:   make(map[[2]int]int64),
+		workers:     runtime.GOMAXPROCS(0),
 		totalByChan: make([]atomic.Int64, sys.Geometry().Channels),
 	}
 }
+
+// SetWorkers sets the shard count for internally parallelized bulk
+// transfers (BulkRead/BulkWrite); n <= 1 runs them serially. Results and
+// accounting are byte-identical at any count. core.Comm mirrors its
+// ExecWorkers knob here.
+func (h *Host) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	h.workers = n
+}
+
+// Workers returns the configured bulk-transfer shard count.
+func (h *Host) Workers() int { return h.workers }
 
 // System returns the attached memory system.
 func (h *Host) System() *dram.System { return h.sys }
@@ -86,9 +117,6 @@ func (h *Host) EndXfer() {
 	for i := range h.chanBytes {
 		h.chanBytes[i] = 0
 	}
-	for k := range h.rankBytes {
-		delete(h.rankBytes, k)
-	}
 }
 
 func (h *Host) tallyBurst(group int) { h.TallyBursts(group, 1) }
@@ -104,11 +132,90 @@ func (h *Host) TallyBursts(group int, count int64) {
 		panic("host: TallyBursts outside transfer epoch")
 	}
 	bytes := count * dram.BurstBytes
-	ch, rk := h.sys.RankOfGroup(group)
+	ch, _ := h.sys.RankOfGroup(group)
 	h.chanBytes[ch] += bytes
-	h.rankBytes[[2]int{ch, rk}] += bytes
 	h.totalBursts.Add(count)
 	h.totalByChan[ch].Add(bytes)
+}
+
+// ---------------------------------------------------------------------
+// Shards: per-worker tally contexts for parallel execution
+// ---------------------------------------------------------------------
+
+// Shard is one worker's private view of the host during a parallel
+// transfer epoch: burst movement goes straight to the memory system
+// (workers touch disjoint bursts by construction), while bus tallies and
+// vector-unit retirement accumulate shard-locally until the owner calls
+// MergeShards. A Shard must only be used between BeginXfer/EndXfer of
+// the host that issued it, and only by one goroutine at a time.
+type Shard struct {
+	h         *Host
+	vu        vec.Unit
+	bursts    int64
+	chanBytes []int64
+}
+
+// VecUnit returns the shard's private vector unit.
+func (s *Shard) VecUnit() *vec.Unit { return &s.vu }
+
+// TallyBursts is the shard-local form of Host.TallyBursts.
+func (s *Shard) TallyBursts(group int, count int64) {
+	if s.h.epochDepth == 0 {
+		panic("host: shard tally outside transfer epoch")
+	}
+	ch, _ := s.h.sys.RankOfGroup(group)
+	s.chanBytes[ch] += count * dram.BurstBytes
+	s.bursts += count
+}
+
+// ReadBurst is the shard-local form of Host.ReadBurst.
+func (s *Shard) ReadBurst(group, off int) vec.Reg {
+	var r vec.Reg
+	s.h.sys.ReadBurst(group, off, (*[dram.BurstBytes]byte)(&r))
+	s.TallyBursts(group, 1)
+	return r
+}
+
+// WriteBurst is the shard-local form of Host.WriteBurst.
+func (s *Shard) WriteBurst(group, off int, r vec.Reg) {
+	s.h.sys.WriteBurst(group, off, (*[dram.BurstBytes]byte)(&r))
+	s.TallyBursts(group, 1)
+}
+
+// Shards returns k reusable per-worker tally contexts (growing the set
+// on demand). The caller must hold the execution serialized — shards are
+// part of the host's single-owner state.
+func (h *Host) Shards(k int) []*Shard {
+	for len(h.shards) < k {
+		h.shards = append(h.shards, &Shard{
+			h:         h,
+			chanBytes: make([]int64, h.sys.Geometry().Channels),
+		})
+	}
+	return h.shards[:k]
+}
+
+// MergeShards folds every shard's pending tallies into the host's epoch
+// and cumulative accounting and resets them. Deterministic: shards are
+// folded in shard order, channels in channel order, and all tallies are
+// integer sums — so the merged totals (and the PEMem time EndXfer
+// charges from them) are byte-identical at any worker count. Must run
+// inside the transfer epoch the tallies belong to.
+func (h *Host) MergeShards() {
+	for _, s := range h.shards {
+		if s.bursts == 0 {
+			continue
+		}
+		h.totalBursts.Add(s.bursts)
+		s.bursts = 0
+		for ch, b := range s.chanBytes {
+			if b != 0 {
+				h.chanBytes[ch] += b
+				h.totalByChan[ch].Add(b)
+				s.chanBytes[ch] = 0
+			}
+		}
+	}
 }
 
 // ReadBurst reads one 64-byte burst from the entangled group into a vector
@@ -210,6 +317,40 @@ func (h *Host) DomainTransfer(buf []byte) {
 	h.ChargeDT(int64(len(buf)))
 }
 
+// bulkReadRun is the reusable par.Runner of BulkRead: shard workers own
+// contiguous group ranges, so their staging-buffer writes and burst reads
+// are disjoint.
+type bulkReadRun struct {
+	h      *Host
+	groups []int
+	off    int
+	perPE  int
+	buf    []byte
+}
+
+func (br *bulkReadRun) RunShard(shard, lo, hi int) {
+	sh := br.h.shards[shard]
+	for gi := lo; gi < hi; gi++ {
+		g := br.groups[gi]
+		for b := 0; b < br.perPE; b += dram.BankBurstBytes {
+			r := sh.ReadBurst(g, br.off+b)
+			r = sh.vu.Transpose8x8(r) // DT: lane c = PE c's 8 bytes
+			for c := 0; c < dram.ChipsPerRank; c++ {
+				pe := gi*dram.ChipsPerRank + c
+				copy(br.buf[pe*br.perPE+b:pe*br.perPE+b+vec.LaneBytes], r[c*vec.LaneBytes:(c+1)*vec.LaneBytes])
+			}
+		}
+	}
+}
+
+// staging returns the host's reusable staging slab grown to n bytes.
+func (h *Host) staging(n int) []byte {
+	if cap(h.stag) < n {
+		h.stag = make([]byte, n)
+	}
+	return h.stag[:n]
+}
+
 // BulkRead is the conventional (UPMEM-SDK-style) retrieval path used by
 // the baseline design: it reads perPE bytes starting at MRAM offset off
 // from every PE of every listed group, applies the driver's automatic
@@ -217,31 +358,57 @@ func (h *Host) DomainTransfer(buf []byte) {
 // charges bus, DT and host-memory costs. The staging layout is PE-major:
 // the bytes of the i-th PE (groups in the given order, chips in order
 // within each group) occupy buf[i*perPE : (i+1)*perPE].
+//
+// The returned buffer is the host's own staging slab: it stays valid
+// until the next BulkRead on this host. The group loop is sharded across
+// the configured workers (SetWorkers); results and accounting are
+// byte-identical at any worker count.
 func (h *Host) BulkRead(groups []int, off, perPE int) []byte {
 	if perPE%dram.BankBurstBytes != 0 {
 		panic(fmt.Sprintf("host: perPE %d not burst-aligned", perPE))
 	}
-	buf := make([]byte, len(groups)*dram.ChipsPerRank*perPE)
+	buf := h.staging(len(groups) * dram.ChipsPerRank * perPE)
+	h.Shards(h.workers)
 	h.BeginXfer()
-	for gi, g := range groups {
-		for b := 0; b < perPE; b += dram.BankBurstBytes {
-			r := h.ReadBurst(g, off+b)
-			r = h.vu.Transpose8x8(r) // DT: lane c = PE c's 8 bytes
-			for c := 0; c < dram.ChipsPerRank; c++ {
-				pe := gi*dram.ChipsPerRank + c
-				copy(buf[pe*perPE+b:], r.Lane(c))
-			}
-		}
-	}
+	h.brun = bulkReadRun{h: h, groups: groups, off: off, perPE: perPE, buf: buf}
+	par.Do(h.workers, len(groups), &h.brun)
+	h.MergeShards()
 	h.EndXfer()
 	h.ChargeDT(int64(len(buf)))
 	h.ChargeHostMem(int64(len(buf))) // staging store
 	return buf
 }
 
+// bulkWriteRun is the reusable par.Runner of BulkWrite (group ranges are
+// disjoint in both the host buffer and MRAM).
+type bulkWriteRun struct {
+	h      *Host
+	groups []int
+	off    int
+	perPE  int
+	buf    []byte
+}
+
+func (bw *bulkWriteRun) RunShard(shard, lo, hi int) {
+	sh := bw.h.shards[shard]
+	for gi := lo; gi < hi; gi++ {
+		g := bw.groups[gi]
+		for b := 0; b < bw.perPE; b += dram.BankBurstBytes {
+			var r vec.Reg
+			for c := 0; c < dram.ChipsPerRank; c++ {
+				pe := gi*dram.ChipsPerRank + c
+				copy(r[c*vec.LaneBytes:(c+1)*vec.LaneBytes], bw.buf[pe*bw.perPE+b:])
+			}
+			r = sh.vu.Transpose8x8(r) // back to PIM byte order
+			sh.WriteBurst(g, bw.off+b, r)
+		}
+	}
+}
+
 // BulkWrite is the inverse of BulkRead: it scatters a PE-major host buffer
 // back to the PEs' MRAM at offset off, applying domain transfer, and
-// charges host-memory (staging read), DT and bus costs.
+// charges host-memory (staging read), DT and bus costs. The group loop is
+// sharded like BulkRead's.
 func (h *Host) BulkWrite(groups []int, off int, buf []byte) {
 	n := len(groups) * dram.ChipsPerRank
 	if n == 0 {
@@ -256,18 +423,11 @@ func (h *Host) BulkWrite(groups []int, off int, buf []byte) {
 	}
 	h.ChargeHostMem(int64(len(buf))) // staging read
 	h.ChargeDT(int64(len(buf)))
+	h.Shards(h.workers)
 	h.BeginXfer()
-	for gi, g := range groups {
-		for b := 0; b < perPE; b += dram.BankBurstBytes {
-			var r vec.Reg
-			for c := 0; c < dram.ChipsPerRank; c++ {
-				pe := gi*dram.ChipsPerRank + c
-				r.SetLane(c, buf[pe*perPE+b:])
-			}
-			r = h.vu.Transpose8x8(r) // back to PIM byte order
-			h.WriteBurst(g, off+b, r)
-		}
-	}
+	h.wrun = bulkWriteRun{h: h, groups: groups, off: off, perPE: perPE, buf: buf}
+	par.Do(h.workers, len(groups), &h.wrun)
+	h.MergeShards()
 	h.EndXfer()
 }
 

@@ -27,6 +27,7 @@ type machineConfig struct {
 	params   cost.Params
 	costOnly bool
 	fuse     core.FuseLevel
+	workers  int
 }
 
 // MachineOption configures NewMachine.
@@ -55,6 +56,16 @@ func CostOnly() MachineOption {
 // stream back-to-back epochs as one.
 func WithFuse(f FuseLevel) MachineOption {
 	return func(mc *machineConfig) { mc.fuse = f }
+}
+
+// WithExecWorkers sets the functional backend's worker-pool size: how
+// many OS threads each collective's data movement is sharded across
+// (default GOMAXPROCS; n <= 0 keeps the default). Purely a
+// simulator-throughput knob — results, breakdowns, and bus statistics
+// are bit-identical at every setting — and not part of the plan-cache
+// key, so it can also be changed later with Machine.SetExecWorkers.
+func WithExecWorkers(n int) MachineOption {
+	return func(mc *machineConfig) { mc.workers = n }
 }
 
 // NewMachine builds a simulated machine with the given DIMM geometry
@@ -91,8 +102,19 @@ func NewMachine(geo Geometry, shape []int, opts ...MachineOption) (*Machine, err
 		m.cc = core.NewComm(hc, mc.params)
 	}
 	m.cc.SetFuse(mc.fuse)
+	if mc.workers > 0 {
+		m.cc.SetExecWorkers(mc.workers)
+	}
 	return m, nil
 }
+
+// SetExecWorkers resizes the functional backend's worker pool for every
+// session on the machine (0 restores the GOMAXPROCS default). Safe to
+// call between collectives; never changes results.
+func (m *Machine) SetExecWorkers(n int) { m.cc.SetExecWorkers(n) }
+
+// ExecWorkers returns the worker-pool size collectives execute with.
+func (m *Machine) ExecWorkers() int { return m.cc.ExecWorkers() }
 
 // TenantConfig describes one session on a shared machine.
 type TenantConfig struct {

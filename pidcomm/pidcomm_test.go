@@ -3,6 +3,7 @@ package pidcomm_test
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/pidcomm"
@@ -182,5 +183,54 @@ func TestExplicitRegionSizeChecked(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("mismatched Dst.Bytes accepted")
+	}
+}
+
+// The worker-pool knob is a pure throughput setting: it must be
+// reflected by the accessors and leave collective results untouched.
+func TestExecWorkersKnob(t *testing.T) {
+	geo := pidcomm.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14}
+	mach, err := pidcomm.NewMachine(geo, []int{8, 8}, pidcomm.WithExecWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mach.ExecWorkers(); got != 3 {
+		t.Fatalf("ExecWorkers() = %d after WithExecWorkers(3)", got)
+	}
+	comm, err := mach.Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 8 * 16
+	buf := make([]byte, m)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	run := func() []byte {
+		// Refill src every run: the optimized levels consume it.
+		for pe := 0; pe < 64; pe++ {
+			comm.SetPEBuffer(pe, 0, buf)
+		}
+		if _, err := comm.Run(pidcomm.Collective{
+			Prim: pidcomm.AlltoAll, Dims: "10",
+			Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m), Level: pidcomm.CM,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		for pe := 0; pe < 64; pe++ {
+			all = append(all, comm.GetPEBuffer(pe, 2*m, m)...)
+		}
+		return all
+	}
+	at3 := run()
+	mach.SetExecWorkers(1)
+	at1 := run()
+	if !bytes.Equal(at3, at1) {
+		t.Fatal("results differ between worker counts")
+	}
+	mach.SetExecWorkers(0)
+	if got, def := mach.ExecWorkers(), runtime.GOMAXPROCS(0); got != def {
+		t.Fatalf("ExecWorkers() = %d after reset, want GOMAXPROCS = %d", got, def)
 	}
 }
