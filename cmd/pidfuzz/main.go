@@ -9,6 +9,11 @@
 // checker live in internal/fuzz, which also runs a small deterministic
 // slice of this loop as an in-process CI smoke test.
 //
+// Every fourth scenario additionally draws a cluster scenario: 1-4
+// hosts joined by the cluster layer, every global collective diffed
+// against the reference model on global ranks, with a cost-only twin
+// cluster whose breakdowns must match the functional runs bit-for-bit.
+//
 // This is the heavyweight companion of the package tests: run it for as
 // many iterations as you like (it reports the first divergence found).
 //
@@ -28,6 +33,7 @@ func main() {
 	n := flag.Int("n", 100, "number of random scenarios")
 	seed := flag.Int64("seed", 1, "random seed")
 	noAuto := flag.Bool("no-auto", false, "exclude the Auto pseudo-level from the draw pool")
+	noCluster := flag.Bool("no-cluster", false, "skip the interleaved cluster scenarios")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -36,6 +42,13 @@ func main() {
 		if err := sc.Check(rng); err != nil {
 			fmt.Fprintf(os.Stderr, "pidfuzz: scenario %d FAILED: %v\n", i, err)
 			os.Exit(1)
+		}
+		if !*noCluster && i%4 == 0 {
+			csc := fuzz.RandomCluster(rng)
+			if err := csc.Check(rng); err != nil {
+				fmt.Fprintf(os.Stderr, "pidfuzz: cluster scenario %d FAILED: %v\n", i, err)
+				os.Exit(1)
+			}
 		}
 		if (i+1)%25 == 0 {
 			fmt.Printf("%d/%d scenarios ok\n", i+1, *n)

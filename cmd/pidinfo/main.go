@@ -7,6 +7,9 @@
 // charge-trace memory). With -tenants it provisions a representative
 // multi-tenant machine, serves a few requests per tenant and lists every
 // tenant's arena, scheduler weight, quota state and attributed meter.
+// With -cluster it builds a representative cost-only cluster, compiles
+// and replays global collectives through the cluster layer, and prints
+// the per-host plan-cache, fusion and network-lane statistics.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	mram := flag.Int("mram", 1<<20, "per-bank MRAM bytes")
 	plancache := flag.Bool("plancache", false, "run a representative compile/replay workload and print plan-cache statistics")
 	tenants := flag.Bool("tenants", false, "provision a representative multi-tenant machine and list arenas, weights, quotas and per-tenant meters")
+	cluster := flag.Bool("cluster", false, "build a representative cost-only cluster, replay global collectives through the cluster layer and print per-host plan-cache, fusion and network-lane statistics")
 	flag.Parse()
 
 	if *plancache {
@@ -37,6 +41,13 @@ func main() {
 	}
 	if *tenants {
 		if err := printTenants(*mram); err != nil {
+			fmt.Fprintln(os.Stderr, "pidinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cluster {
+		if err := printCluster(*mram); err != nil {
 			fmt.Fprintln(os.Stderr, "pidinfo:", err)
 			os.Exit(1)
 		}
@@ -73,7 +84,9 @@ func main() {
 	fmt.Printf("  domain transfer       %.1f B/cycle\n", p.DTBPC)
 	fmt.Printf("  DPU: MRAM %.0f MB/s, WRAM %.1f GB/s, %d MHz\n", p.DPUMramBW/1e6, p.DPUWramBW/1e9, int(p.DPUInstrHz/1e6))
 	fmt.Printf("  kernel launch         %.0f us, rank-parallel transfers: %v\n", float64(p.KernelLaunch)*1e6, p.RankParallel)
-	fmt.Printf("  network (multi-host)  %.1f Gbps, %.0f us latency\n", p.NetworkBW*8/1e9, float64(p.NetworkLatency)*1e6)
+	fmt.Printf("  network (cluster)     %.1f Gbps x%d NIC (eff %.0f%%), %.0f us latency, %d switch tier(s)\n",
+		p.Net.LinkBW*8/1e9, p.Net.NICsPerHost, p.Net.Efficiency*100,
+		float64(p.Net.LinkLatency)*1e6, p.Net.SwitchTiers)
 }
 
 // printPlanCache compiles and replays a few representative collectives —
@@ -155,6 +168,90 @@ func printPlanCache(mram int) error {
 	fmt.Printf("  saved per replay set  %d PE-bytes, %d PE-instr, %.3f ms simulated\n",
 		fs.PEBytesSaved, fs.PEInstrSaved, float64(fs.CostSaved)*1e3)
 	fmt.Printf("  RS->AA sequence       %v\n", seq.FusionReport())
+	return nil
+}
+
+// printCluster builds a representative cost-only cluster (4 hosts of
+// the paper geometry), compiles a global AllReduce and a global
+// AlltoAll through the cluster layer's whole-cluster session, replays
+// both from their cached ClusterPlans, and prints the per-call costs,
+// the fusion rewrites of the per-host schedules, and the per-host
+// plan-cache and network-lane statistics — the cluster-scale
+// counterpart of -plancache.
+func printCluster(mram int) error {
+	const hosts = 4
+	cl, err := pidcomm.NewCluster(hosts, pidcomm.PaperSystem(mram), []int{32, 32}, pidcomm.CostOnly())
+	if err != nil {
+		return err
+	}
+	session, err := cl.Comm()
+	if err != nil {
+		return err
+	}
+	// The global AlltoAll needs one 8-byte block per global PE and the
+	// AllReduce 8-byte-per-rank alignment: both want m to be a multiple
+	// of 8 * (global PEs), within the three regions MRAM must hold.
+	G := cl.NumPEs()
+	m := 64 << 10
+	if 5*m > mram {
+		m = mram / 5
+	}
+	m -= m % (8 * G)
+	if m == 0 {
+		return fmt.Errorf("-mram %d too small for the cluster demo (need at least %d B/bank)", mram, 5*8*G)
+	}
+	ds := []struct {
+		name string
+		d    pidcomm.ClusterCollective
+	}{
+		{"AllReduce", pidcomm.ClusterCollective{Collective: pidcomm.Collective{
+			Prim: pidcomm.AllReduce, Dims: "11", Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+			Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.IM}}},
+		{"AlltoAll", pidcomm.ClusterCollective{Collective: pidcomm.Collective{
+			Prim: pidcomm.AlltoAll, Dims: "11", Src: pidcomm.Span(0, m), Dst: pidcomm.At(2 * m),
+			Level: pidcomm.CM}}},
+	}
+	const replays = 8
+	fmt.Printf("Cluster: %d hosts x %d PEs = %d global PEs, cost-only, %d KiB/PE payloads\n\n",
+		hosts, cl.PEsPerHost(), G, m>>10)
+	for _, e := range ds {
+		cp, err := session.Compile(e.d)
+		if err != nil {
+			return err
+		}
+		again, err := session.Compile(e.d)
+		if err != nil {
+			return err
+		}
+		if again != cp {
+			return fmt.Errorf("recompiling the %s descriptor missed the cluster plan cache", e.name)
+		}
+		for i := 0; i < replays; i++ {
+			if _, err := cp.Run(); err != nil {
+				return err
+			}
+		}
+		var syncs, epochs int
+		for _, r := range cp.FusionReports() {
+			syncs += r.SyncsElided
+			epochs += r.EpochsCoalesced
+		}
+		bd := cp.Cost()
+		fmt.Printf("global %-10s per run %8.3f ms (network %7.3f ms), 1 compile (recompile hits the cluster cache) + %d replays, fusion: %d syncs elided\n",
+			e.name, float64(bd.Total())*1e3, float64(bd.Get(cost.Network))*1e3, replays, syncs)
+		_ = epochs
+	}
+
+	fmt.Printf("\n%-6s %18s %14s %14s %14s\n", "host", "seq compiles", "cached seqs", "net busy(ms)", "meter(ms)")
+	for h := 0; h < hosts; h++ {
+		mach := cl.Machine(h)
+		st := mach.PlanCacheStats()
+		fmt.Printf("%-6d %18d %14d %14.3f %14.3f\n",
+			h, st.PlanMisses, st.CachedSeqs,
+			float64(mach.NetBusy())*1e3, float64(mach.Breakdown().Total())*1e3)
+	}
+	fmt.Printf("\ncluster breakdown (slowest host per category): %v\n", cl.Breakdown())
+	fmt.Printf("elapsed (overlap-aware makespan, slowest host): %.3f ms\n", float64(cl.Elapsed())*1e3)
 	return nil
 }
 

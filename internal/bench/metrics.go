@@ -48,6 +48,7 @@ var metricExperiments = map[string]func(add func(name string, seconds float64)) 
 	"multitenant": collectMultiTenant,
 	"fusion":      collectFusion,
 	"funcspeed":   collectFuncSpeed,
+	"cluster":     collectCluster,
 }
 
 // MetricExperimentIDs returns the experiment IDs with metric collectors,

@@ -190,15 +190,20 @@ type subQueue struct {
 // Host-input plans (Scatter, Broadcast) read their bound buffers when the
 // plan *executes*, not when it is submitted: do not refill the buffers
 // until the future completes.
-func (cp *CompiledPlan) Submit() *Future { return cp.c.submit(cp) }
+func (cp *CompiledPlan) Submit() *Future { return cp.c.submit(cp, true) }
 
-// submit enqueues a plan execution, starting the worker if idle.
-func (c *Comm) submit(cp *CompiledPlan) *Future {
+// submit enqueues a plan execution, starting the worker if idle. admit
+// selects quota admission here; the cluster layer admits every host's
+// plan up front instead (cluster.go) and passes false, so a quota
+// rejection can never strand the other hosts at a rendezvous barrier.
+func (c *Comm) submit(cp *CompiledPlan, admit bool) *Future {
 	f := &Future{cp: cp, done: make(chan struct{})}
-	if err := cp.owner.admit(cp.tr.total.Total()); err != nil {
-		f.err = err
-		close(f.done)
-		return f
+	if admit {
+		if err := cp.owner.admit(cp.tr.total.Total()); err != nil {
+			f.err = err
+			close(f.done)
+			return f
+		}
 	}
 	c.asyncSlots <- struct{}{} // acquire a queue slot (backpressure)
 	c.asyncMu.Lock()
@@ -429,6 +434,17 @@ func (c *Comm) Elapsed() cost.Seconds {
 	return c.tl.Elapsed()
 }
 
+// LaneBusy returns the cumulative busy time placed on one lane of the
+// comm's elapsed-time timeline — e.g. cost.LaneNet for the network legs
+// of cluster collectives. Unlike Elapsed (the makespan across lanes) it
+// sums that lane's work alone, so pidinfo -cluster can report how much
+// of a host's wall clock the wire accounts for.
+func (c *Comm) LaneBusy(l cost.Lane) cost.Seconds {
+	c.execMu.Lock()
+	defer c.execMu.Unlock()
+	return c.tl.LaneBusy(l)
+}
+
 // ExtendElapsed places b's per-lane time after everything currently on
 // the timeline — a barrier. It accounts work charged outside the
 // collective engine (application kernel launches, host pre/post-
@@ -441,12 +457,15 @@ func (c *Comm) ExtendElapsed(b cost.Breakdown) {
 }
 
 // ---------------------------------------------------------------------
-// Submit entry points (one per primitive): Compile* + Submit.
+// Submit entry points (one per primitive): Compile* + Submit. All are
+// deprecated positional shims — new code should build a Collective
+// descriptor and call Comm.Submit.
 // ---------------------------------------------------------------------
 
 // SubmitAlltoAll compiles (or fetches the cached plan for) an AlltoAll
 // call and submits one asynchronous execution. See Comm.AlltoAll for call
-// semantics and CompiledPlan.Submit for queue semantics.
+// semantics and CompiledPlan.Submit for queue semantics.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitAlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*Future, error) {
 	cp, err := c.CompileAlltoAll(dims, srcOff, dstOff, bytesPerPE, lvl)
 	if err != nil {
@@ -456,7 +475,8 @@ func (c *Comm) SubmitAlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl L
 }
 
 // SubmitReduceScatter compiles a ReduceScatter call and submits one
-// asynchronous execution.
+// asynchronous execution.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitReduceScatter(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*Future, error) {
 	cp, err := c.CompileReduceScatter(dims, srcOff, dstOff, bytesPerPE, t, op, lvl)
 	if err != nil {
@@ -466,7 +486,8 @@ func (c *Comm) SubmitReduceScatter(dims string, srcOff, dstOff, bytesPerPE int, 
 }
 
 // SubmitAllReduce compiles an AllReduce call and submits one asynchronous
-// execution.
+// execution.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitAllReduce(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*Future, error) {
 	cp, err := c.CompileAllReduce(dims, srcOff, dstOff, bytesPerPE, t, op, lvl)
 	if err != nil {
@@ -476,7 +497,8 @@ func (c *Comm) SubmitAllReduce(dims string, srcOff, dstOff, bytesPerPE int, t el
 }
 
 // SubmitAllGather compiles an AllGather call and submits one asynchronous
-// execution.
+// execution.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitAllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*Future, error) {
 	cp, err := c.CompileAllGather(dims, srcOff, dstOff, bytesPerPE, lvl)
 	if err != nil {
@@ -487,7 +509,8 @@ func (c *Comm) SubmitAllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl 
 
 // SubmitScatter compiles a Scatter call bound to bufs and submits one
 // asynchronous execution. The buffers are read when the plan executes:
-// do not refill them until the future completes.
+// do not refill them until the future completes.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitScatter(dims string, bufs [][]byte, dstOff, bytesPerPE int, lvl Level) (*Future, error) {
 	cp, err := c.CompileScatter(dims, bufs, dstOff, bytesPerPE, lvl)
 	if err != nil {
@@ -497,7 +520,8 @@ func (c *Comm) SubmitScatter(dims string, bufs [][]byte, dstOff, bytesPerPE int,
 }
 
 // SubmitGather compiles a rooted Gather and submits one asynchronous
-// execution; the future's Results hold the per-group buffers.
+// execution; the future's Results hold the per-group buffers.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitGather(dims string, srcOff, bytesPerPE int, lvl Level) (*Future, error) {
 	cp, err := c.CompileGather(dims, srcOff, bytesPerPE, lvl)
 	if err != nil {
@@ -507,7 +531,8 @@ func (c *Comm) SubmitGather(dims string, srcOff, bytesPerPE int, lvl Level) (*Fu
 }
 
 // SubmitReduce compiles a rooted Reduce and submits one asynchronous
-// execution; the future's Results hold the per-group buffers.
+// execution; the future's Results hold the per-group buffers.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitReduce(dims string, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*Future, error) {
 	cp, err := c.CompileReduce(dims, srcOff, bytesPerPE, t, op, lvl)
 	if err != nil {
@@ -517,7 +542,8 @@ func (c *Comm) SubmitReduce(dims string, srcOff, bytesPerPE int, t elem.Type, op
 }
 
 // SubmitBroadcast compiles a Broadcast bound to bufs and submits one
-// asynchronous execution. The buffers are read when the plan executes.
+// asynchronous execution. The buffers are read when the plan executes.//
+// Deprecated: build a Collective descriptor and call Comm.Submit.
 func (c *Comm) SubmitBroadcast(dims string, bufs [][]byte, dstOff int, lvl Level) (*Future, error) {
 	cp, err := c.CompileBroadcast(dims, bufs, dstOff, lvl)
 	if err != nil {

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// geoHost is one cluster host's PIM subsystem: 16 PEs, small MRAM.
+var geoHost = dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 14}
+
+// flatGeo is a single-host geometry with the same per-PE MRAM but H
+// hosts' worth of PEs, for differential runs against a flat communicator.
+func flatGeo(hosts int) dram.Geometry {
+	return dram.Geometry{Channels: hosts, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 14}
+}
+
+// testCluster builds a cluster of identical hosts over the given shape.
+func testCluster(t *testing.T, hosts int, geo dram.Geometry, shape []int, costOnly bool) *Cluster {
+	t.Helper()
+	comms := make([]*Comm, hosts)
+	for h := range comms {
+		var sys *dram.System
+		var err error
+		if costOnly {
+			sys, err = dram.NewPhantomSystem(geo)
+		} else {
+			sys, err = dram.NewSystem(geo)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, err := NewHypercube(sys, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if costOnly {
+			comms[h] = NewCostComm(hc, cost.DefaultParams())
+		} else {
+			comms[h] = NewComm(hc, cost.DefaultParams())
+		}
+	}
+	cl, err := NewCluster(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// clusterRanks returns, per host, the host's PEs in rank order for the
+// whole-host communicator, so global rank g = h*P + j maps to PE
+// ranks[h][j].
+func clusterRanks(t *testing.T, cl *Cluster, dims string) [][]int {
+	t.Helper()
+	ranks := make([][]int, cl.NumHosts())
+	for h := range ranks {
+		p, err := cl.Host(h).plan(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks[h] = p.groups[0]
+	}
+	return ranks
+}
+
+// seedGlobal writes in[g] to global rank g's src region on the cluster
+// and on the equivalent flat communicator.
+func seedGlobal(cl *Cluster, ranks [][]int, flat *Comm, flatRank []int, off int, in [][]byte) {
+	P := cl.PEsPerHost()
+	for g, data := range in {
+		cl.Host(g/P).SetPEBuffer(ranks[g/P][g%P], off, data)
+		flat.SetPEBuffer(flatRank[g], off, data)
+	}
+}
+
+// randGlobal builds deterministic per-global-rank input buffers.
+func randGlobal(n, bytesPerPE int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([][]byte, n)
+	for g := range in {
+		in[g] = make([]byte, bytesPerPE)
+		rng.Read(in[g])
+	}
+	return in
+}
+
+// TestClusterMatchesFlatComm is the differential acceptance test: a
+// hierarchical cluster of H hosts × P PEs must produce byte-identical
+// MRAM contents and rooted results to ONE flat communicator of H*P PEs
+// running the same global collective, for every primitive, including a
+// non-power-of-two host count.
+func TestClusterMatchesFlatComm(t *testing.T) {
+	const P = 16
+	const s = 8 // block bytes
+	for _, H := range []int{1, 2, 3, 4} {
+		newPair := func(t *testing.T) (*Cluster, [][]int, *Comm, []int) {
+			cl := testCluster(t, H, geoHost, []int{P}, false)
+			flat := testSystem(t, flatGeo(H), []int{H * P})
+			fp, err := flat.plan("1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cl, clusterRanks(t, cl, "1"), flat, fp.groups[0]
+		}
+		// comparePEs checks n bytes at off on every global rank.
+		comparePEs := func(t *testing.T, cl *Cluster, ranks [][]int, flat *Comm, flatRank []int, off, n int) {
+			t.Helper()
+			for g := 0; g < H*P; g++ {
+				got := cl.Host(g/P).GetPEBuffer(ranks[g/P][g%P], off, n)
+				want := flat.GetPEBuffer(flatRank[g], off, n)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("global rank %d: cluster MRAM differs from flat communicator", g)
+				}
+			}
+		}
+
+		t.Run(fmt.Sprintf("H=%d/AllReduce", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			m := 8 * H * P // both communicators block by rank: 8-byte-aligned blocks
+			in := randGlobal(H*P, m, 101)
+			seedGlobal(cl, ranks, flat, flatRank, 0, in)
+			if _, err := cl.Run(ClusterCollective{Collective: Collective{
+				Prim: AllReduce, Dims: "1", Src: Span(0, m), Dst: At(2 * m),
+				Elem: elem.I32, Op: elem.Sum, Level: IM,
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flat.AllReduce("1", 0, 2*m, m, elem.I32, elem.Sum, IM); err != nil {
+				t.Fatal(err)
+			}
+			comparePEs(t, cl, ranks, flat, flatRank, 2*m, m)
+		})
+
+		t.Run(fmt.Sprintf("H=%d/ReduceScatter", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			m := H * P * s
+			in := randGlobal(H*P, m, 102)
+			seedGlobal(cl, ranks, flat, flatRank, 0, in)
+			if _, err := cl.Run(ClusterCollective{Collective: Collective{
+				Prim: ReduceScatter, Dims: "1", Src: Span(0, m), Dst: At(2 * m),
+				Elem: elem.I32, Op: elem.Sum, Level: IM,
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flat.ReduceScatter("1", 0, 2*m, m, elem.I32, elem.Sum, IM); err != nil {
+				t.Fatal(err)
+			}
+			comparePEs(t, cl, ranks, flat, flatRank, 2*m, s)
+		})
+
+		t.Run(fmt.Sprintf("H=%d/AllGather", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			in := randGlobal(H*P, s, 103)
+			seedGlobal(cl, ranks, flat, flatRank, 0, in)
+			if _, err := cl.Run(ClusterCollective{Collective: Collective{
+				Prim: AllGather, Dims: "1", Src: Span(0, s), Dst: At(1024), Level: IM,
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flat.AllGather("1", 0, 1024, s, IM); err != nil {
+				t.Fatal(err)
+			}
+			comparePEs(t, cl, ranks, flat, flatRank, 1024, H*P*s)
+		})
+
+		t.Run(fmt.Sprintf("H=%d/AlltoAll", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			m := H * P * s
+			in := randGlobal(H*P, m, 104)
+			seedGlobal(cl, ranks, flat, flatRank, 0, in)
+			if _, err := cl.Run(ClusterCollective{Collective: Collective{
+				Prim: AlltoAll, Dims: "1", Src: Span(0, m), Dst: At(2 * m), Level: IM,
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flat.AlltoAll("1", 0, 2*m, m, IM); err != nil {
+				t.Fatal(err)
+			}
+			comparePEs(t, cl, ranks, flat, flatRank, 2*m, m)
+		})
+
+		t.Run(fmt.Sprintf("H=%d/Broadcast", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			payload := randGlobal(1, 48, 105)[0]
+			if _, err := cl.Run(ClusterCollective{Collective: Collective{
+				Prim: Broadcast, Dims: "1", Dst: Span(64, len(payload)), Level: IM,
+				Hosts: [][]byte{payload},
+			}, Root: H - 1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flat.Broadcast("1", [][]byte{payload}, 64, IM); err != nil {
+				t.Fatal(err)
+			}
+			comparePEs(t, cl, ranks, flat, flatRank, 64, len(payload))
+		})
+
+		t.Run(fmt.Sprintf("H=%d/Scatter", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			buf := randGlobal(1, H*P*s, 106)[0]
+			if _, err := cl.Run(ClusterCollective{Collective: Collective{
+				Prim: Scatter, Dims: "1", Dst: Span(256, s), Level: IM,
+				Hosts: [][]byte{buf},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flat.Scatter("1", [][]byte{buf}, 256, s, IM); err != nil {
+				t.Fatal(err)
+			}
+			comparePEs(t, cl, ranks, flat, flatRank, 256, s)
+		})
+
+		t.Run(fmt.Sprintf("H=%d/Gather", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			in := randGlobal(H*P, s, 107)
+			seedGlobal(cl, ranks, flat, flatRank, 0, in)
+			cp, err := cl.Compile(ClusterCollective{Collective: Collective{
+				Prim: Gather, Dims: "1", Src: Span(0, s), Level: IM,
+			}, Root: H / 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cp.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := flat.Gather("1", 0, s, IM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cp.Results(); !bytes.Equal(got, want[0]) {
+				t.Fatal("cluster Gather result differs from flat communicator")
+			}
+		})
+
+		t.Run(fmt.Sprintf("H=%d/Reduce", H), func(t *testing.T) {
+			cl, ranks, flat, flatRank := newPair(t)
+			m := 8 * H * P
+			in := randGlobal(H*P, m, 108)
+			seedGlobal(cl, ranks, flat, flatRank, 0, in)
+			cp, err := cl.Compile(ClusterCollective{Collective: Collective{
+				Prim: Reduce, Dims: "1", Src: Span(0, m),
+				Elem: elem.I16, Op: elem.Sum, Level: IM,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cp.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := flat.Reduce("1", 0, m, elem.I16, elem.Sum, IM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cp.Results(); !bytes.Equal(got, want[0]) {
+				t.Fatal("cluster Reduce result differs from flat communicator")
+			}
+		})
+	}
+}
+
+// A multi-dimensional per-host hypercube works as long as Dims selects
+// the whole host.
+func TestCluster2DHosts(t *testing.T) {
+	const H, P = 3, 16
+	cl := testCluster(t, H, geoHost, []int{4, 4}, false)
+	ranks := clusterRanks(t, cl, "11")
+	m := 8 * P
+	in := randGlobal(H*P, m, 9)
+	for g, data := range in {
+		cl.Host(g/P).SetPEBuffer(ranks[g/P][g%P], 0, data)
+	}
+	if _, err := cl.Run(ClusterCollective{Collective: Collective{
+		Prim: AllReduce, Dims: "11", Src: Span(0, m), Dst: At(2 * m),
+		Elem: elem.I32, Op: elem.Sum, Level: IM,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	want := RefAllReduce(elem.I32, elem.Sum, in)
+	for g := 0; g < H*P; g++ {
+		if !bytes.Equal(cl.Host(g/P).GetPEBuffer(ranks[g/P][g%P], 2*m, m), want[g]) {
+			t.Fatalf("global rank %d mismatch", g)
+		}
+	}
+}
+
+// The Flat baseline must still be correct — it exists so benchmarks can
+// price the naive lowering — while paying strictly more network time
+// than the hierarchical schedule.
+func TestClusterFlatBaselineAllReduce(t *testing.T) {
+	const H, P = 4, 16
+	// Large enough that wire bytes, not per-round latency, dominate: the
+	// flat baseline ships P*m per non-root host where the ring ships
+	// 2(H-1)/H * m.
+	m := 4096
+	run := func(flat bool) (cost.Breakdown, []byte) {
+		cl := testCluster(t, H, geoHost, []int{P}, false)
+		ranks := clusterRanks(t, cl, "1")
+		in := randGlobal(H*P, m, 17)
+		for g, data := range in {
+			cl.Host(g/P).SetPEBuffer(ranks[g/P][g%P], 0, data)
+		}
+		bd, err := cl.Run(ClusterCollective{Collective: Collective{
+			Prim: AllReduce, Dims: "1", Src: Span(0, m), Dst: At(2 * m),
+			Elem: elem.I32, Op: elem.Sum, Level: IM,
+		}, Flat: flat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		for g := 0; g < H*P; g++ {
+			all = append(all, cl.Host(g/P).GetPEBuffer(ranks[g/P][g%P], 2*m, m)...)
+		}
+		return bd, all
+	}
+	hierBD, hierBytes := run(false)
+	flatBD, flatBytes := run(true)
+	if !bytes.Equal(hierBytes, flatBytes) {
+		t.Fatal("flat and hierarchical AllReduce disagree on result bytes")
+	}
+	if flatBD.Get(cost.Network) <= hierBD.Get(cost.Network) {
+		t.Errorf("flat network time %v not above hierarchical %v",
+			flatBD.Get(cost.Network), hierBD.Get(cost.Network))
+	}
+}
+
+// Recompiling an equal descriptor is a cluster-level plan-cache hit
+// (same *ClusterPlan), and the fused per-host schedules must report at
+// least one cross-leg rewrite: the interior syncs between the lowered
+// legs of one cluster collective are elided.
+func TestClusterPlanCacheAndFusion(t *testing.T) {
+	const H, P = 2, 16
+	cl := testCluster(t, H, geoHost, []int{P}, false)
+	m := 8 * P
+	d := ClusterCollective{Collective: Collective{
+		Prim: AllReduce, Dims: "1", Src: Span(0, m), Dst: At(2 * m),
+		Elem: elem.I32, Op: elem.Sum, Level: IM,
+	}}
+	cp1, err := cl.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := cl.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp1 != cp2 {
+		t.Error("recompiling an equal descriptor missed the cluster plan cache")
+	}
+	elided := 0
+	for _, r := range cp1.FusionReports() {
+		elided += r.SyncsElided
+	}
+	if elided < 1 {
+		t.Errorf("fused cluster plan elided %d interior syncs, want >= 1", elided)
+	}
+	// The compiled plan replays: two runs accumulate on the meters and
+	// a third compile still hits.
+	for i := 0; i < 2; i++ {
+		if _, err := cp1.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if before := cl.Host(0).PlanCacheStats(); before.PlanMisses == 0 {
+		t.Error("per-host plan caches never engaged for cluster members")
+	}
+
+	// Functional plans that capture a caller payload are not cached.
+	payload := make([]byte, 64)
+	bd := ClusterCollective{Collective: Collective{
+		Prim: Broadcast, Dims: "1", Dst: Span(0, 64), Level: IM,
+		Hosts: [][]byte{payload},
+	}}
+	bp1, err := cl.Compile(bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp2, err := cl.Compile(bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp1 == bp2 {
+		t.Error("payload-capturing cluster plan was cached")
+	}
+}
+
+// Satellite regression: the legacy cost-only cluster satisfied payload
+// validation with a shared zero-scratch buffer that aliased across call
+// sites. The descriptor form drops the buffer entirely — Hosts stays
+// nil, the size rides on Dst.Bytes — and interleaved calls of different
+// sizes must each price exactly like their functional twins.
+func TestClusterCostOnlyNilHostPayloads(t *testing.T) {
+	const H, P = 3, 16
+	costCl := testCluster(t, H, geoHost, []int{P}, true)
+	funcCl := testCluster(t, H, geoHost, []int{P}, false)
+
+	type call struct {
+		name string
+		d    ClusterCollective
+		n    int // payload bytes the functional twin needs
+	}
+	calls := []call{
+		{"bcast128", ClusterCollective{Collective: Collective{
+			Prim: Broadcast, Dims: "1", Dst: Span(0, 128), Level: IM}, Root: 1}, 128},
+		{"scatter32", ClusterCollective{Collective: Collective{
+			Prim: Scatter, Dims: "1", Dst: Span(512, 32), Level: IM}}, H * P * 32},
+		{"bcast256", ClusterCollective{Collective: Collective{
+			Prim: Broadcast, Dims: "1", Dst: Span(1024, 256), Level: IM}, Root: 2}, 256},
+	}
+	for _, c := range calls {
+		got, err := costCl.Run(c.d)
+		if err != nil {
+			t.Fatalf("%s cost-only: %v", c.name, err)
+		}
+		fd := c.d
+		fd.Hosts = [][]byte{make([]byte, c.n)}
+		want, err := funcCl.Run(fd)
+		if err != nil {
+			t.Fatalf("%s functional: %v", c.name, err)
+		}
+		if want != got {
+			t.Errorf("%s: cost-only breakdown %+v != functional %+v", c.name, got, want)
+		}
+	}
+	if costCl.Functional() {
+		t.Error("cost-only cluster claims to be functional")
+	}
+}
+
+func TestClusterSubmit(t *testing.T) {
+	const H, P = 2, 16
+	cl := testCluster(t, H, geoHost, []int{P}, false)
+	ranks := clusterRanks(t, cl, "1")
+	s := 8
+	in := randGlobal(H*P, s, 21)
+	for g, data := range in {
+		cl.Host(g/P).SetPEBuffer(ranks[g/P][g%P], 0, data)
+	}
+	cp, err := cl.Compile(ClusterCollective{Collective: Collective{
+		Prim: Gather, Dims: "1", Src: Span(0, s), Level: IM,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := cl.Submit(ClusterCollective{Collective: Collective{
+		Prim: Gather, Dims: "1", Src: Span(0, s), Level: IM,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	} else if bd.Get(cost.Network) <= 0 {
+		t.Error("submitted cluster gather charged no network time")
+	}
+	var want []byte
+	for g := 0; g < H*P; g++ {
+		want = append(want, in[g]...)
+	}
+	if got := fut.Results(); !bytes.Equal(got, want) {
+		t.Fatal("submitted cluster gather returned wrong bytes")
+	}
+	// A second submission through the cached plan, drained by Flush.
+	fut2 := cp.Submit()
+	cl.Flush()
+	if !fut2.Done() {
+		t.Error("Flush returned before the submitted cluster plan completed")
+	}
+	if err := fut2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	c := testSystem(t, geoHost, []int{16})
+	if _, err := NewCluster([]*Comm{c, c}); err == nil {
+		t.Error("duplicate host comm accepted")
+	}
+	c2 := testSystem(t, geo64, []int{64})
+	if _, err := NewCluster([]*Comm{c, c2}); err == nil {
+		t.Error("mismatched host PE counts accepted")
+	}
+	phantom, err := dram.NewPhantomSystem(geoHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := NewHypercube(phantom, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCluster([]*Comm{c, NewCostComm(hc, cost.DefaultParams())}); err == nil {
+		t.Error("mixed functional/cost-only backends accepted")
+	}
+
+	cl := testCluster(t, 2, geoHost, []int{4, 4}, false)
+	ar := ClusterCollective{Collective: Collective{
+		Prim: AllReduce, Dims: "10", Src: Span(0, 16), Dst: At(64),
+		Elem: elem.I32, Op: elem.Sum, Level: IM,
+	}}
+	if _, err := cl.Run(ar); err == nil {
+		t.Error("partial-host Dims accepted for a cluster collective")
+	}
+	bad := ClusterCollective{Collective: Collective{
+		Prim: Gather, Dims: "11", Src: Span(0, 16), Level: IM,
+	}, Root: 2}
+	if _, err := cl.Run(bad); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	bad.Root = -1
+	if _, err := cl.Run(bad); err == nil {
+		t.Error("negative root accepted")
+	}
+	flatAA := ClusterCollective{Collective: Collective{
+		Prim: AlltoAll, Dims: "11", Src: Span(0, 2*16*8), Dst: At(1024), Level: IM,
+	}, Flat: true}
+	if _, err := cl.Run(flatAA); err == nil {
+		t.Error("Flat lowering accepted for a non-AllReduce primitive")
+	}
+	noPayload := ClusterCollective{Collective: Collective{
+		Prim: Broadcast, Dims: "11", Dst: Span(0, 64), Level: IM,
+	}}
+	if _, err := cl.Run(noPayload); err == nil {
+		t.Error("functional cluster Broadcast without a payload accepted")
+	}
+	shortScatter := ClusterCollective{Collective: Collective{
+		Prim: Scatter, Dims: "11", Dst: Span(0, 8), Level: IM,
+		Hosts: [][]byte{make([]byte, 3)},
+	}}
+	if _, err := cl.Run(shortScatter); err == nil {
+		t.Error("undersized Scatter payload accepted")
+	}
+}

@@ -503,7 +503,7 @@ func (c *Comm) specScatter(ar arena, d Collective) (planSpec, error) {
 	key := planKey{prim: Scatter, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: eff}
 	var regs planRegions
 	regs.write(dstOff, s)
-	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, hostBufs: true, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerScatter(p, bufs, dstOff, s, eff)
 	}}, nil
 }
@@ -536,7 +536,7 @@ func (c *Comm) specBroadcast(ar arena, d Collective) (planSpec, error) {
 	key := planKey{prim: Broadcast, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: Baseline}
 	var regs planRegions
 	regs.write(dstOff, s)
-	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
+	return planSpec{key: key, regs: regs, hostBufs: true, lower: func(*CompiledPlan) *Schedule {
 		return c.lowerBroadcast(p, bufs, dstOff, s)
 	}}, nil
 }

@@ -65,6 +65,11 @@ func (c *Comm) executeOn(b Backend, h *host.Host, sched *Schedule) {
 				s.Run()
 			}
 			applyCharges(h, s.Charges)
+		case *StepNetTransfer:
+			if s.Run != nil && b.Functional() {
+				s.Run()
+			}
+			h.ChargeNetRounds(s.Rounds, s.Bytes)
 		case *StepSync:
 			h.ChargeSync()
 		}

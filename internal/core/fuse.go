@@ -218,6 +218,10 @@ func stepIsNoop(st Step) bool {
 		return len(s.Charges) == 0 && s.Run == nil
 	case *StepColumnStream:
 		return s.Reads == 0 && s.Writes == 0 && len(s.Charges) == 0 && len(s.segs) == 0
+	case *StepNetTransfer:
+		// A zero-round leg with no functional rendezvous charges nothing
+		// and moves nothing (e.g. the network leg of a 1-host cluster).
+		return s.Rounds <= 0 && s.Run == nil
 	default:
 		return false
 	}

@@ -42,6 +42,11 @@ type planKey struct {
 	op             elem.Op
 	lvl            Level
 	fused          bool
+	// tag disambiguates synthetic plans that share a positional signature
+	// with an ordinary collective but lower differently — the cluster
+	// layer (cluster.go) tags its network-leg and staging members so they
+	// can never be served from (or pollute) the single-host cache.
+	tag string
 }
 
 // planSpec is a validated, Auto-resolved collective ready to lower: the
@@ -52,6 +57,13 @@ type planSpec struct {
 	key   planKey
 	regs  planRegions
 	lower func(cp *CompiledPlan) *Schedule
+	// hostBufs marks a lowering that captures caller-owned host buffers
+	// by reference, which makes the compiled schedule single-use: the
+	// plan cache must not serve it for a later call that binds different
+	// buffers. Set by specScatter/specBroadcast; cluster-internal
+	// broadcast legs reading plan-owned staging leave it false and stay
+	// cacheable.
+	hostBufs bool
 }
 
 // chargeTrace is the precomputed accounting of one schedule: the ordered
@@ -288,7 +300,7 @@ func (c *Comm) compiledPlan(spec planSpec) *CompiledPlan {
 	defer c.compMu.Unlock()
 	key := spec.key
 	key.fused = c.fuse.enabled()
-	if !hostInput(key.prim) {
+	if !spec.hostBufs {
 		if cp, ok := c.compiled[key]; ok {
 			c.cacheSt.PlanHits++
 			c.cacheSt.TraceHits++
@@ -308,7 +320,7 @@ func (c *Comm) compiledPlan(spec planSpec) *CompiledPlan {
 		c.traces[key] = cp.tr
 	}
 	c.finishFusionLocked(cp)
-	if !hostInput(key.prim) {
+	if !spec.hostBufs {
 		c.compiled[key] = cp
 	}
 	return cp
@@ -356,7 +368,7 @@ func (c *Comm) compiledSequence(specs []planSpec) *CompiledPlan {
 	cacheable := true
 	var sb strings.Builder
 	for _, sp := range specs {
-		if hostInput(sp.key.prim) {
+		if sp.hostBufs {
 			cacheable = false
 		}
 		fmt.Fprintf(&sb, "%+v;", sp.key)
@@ -480,32 +492,42 @@ func checkInPlace(prim Primitive, eff Level, inPlace bool) error {
 
 // ---------------------------------------------------------------------
 // Positional compile shims (one per primitive): each builds a Collective
-// descriptor and funnels into Comm.Compile. New code should use the
-// descriptor directly; these exist so iterative internal callers and the
-// paper-figure harness read like the original library.
+// descriptor and funnels into Comm.Compile. All of them are deprecated —
+// new code should build the Collective descriptor directly; they remain
+// only so the paper-figure harness reads like the original library. The
+// last internal layer that used them (internal/multihost) now goes
+// through descriptors via the cluster layer.
 // ---------------------------------------------------------------------
 
 // CompileAlltoAll compiles an AlltoAll call (see Comm.AlltoAll for the
 // call semantics). srcOff == dstOff compiles an in-place AlltoAll, which
 // only the staged levels (Baseline/PR) support.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileAlltoAll(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: AlltoAll, Dims: dims,
 		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Level: lvl})
 }
 
 // CompileReduceScatter compiles a ReduceScatter call.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileReduceScatter(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: ReduceScatter, Dims: dims,
 		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Elem: t, Op: op, Level: lvl})
 }
 
 // CompileAllReduce compiles an AllReduce call.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileAllReduce(dims string, srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: AllReduce, Dims: dims,
 		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Elem: t, Op: op, Level: lvl})
 }
 
 // CompileAllGather compiles an AllGather call.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileAllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: AllGather, Dims: dims,
 		Src: Span(srcOff, bytesPerPE), Dst: At(dstOff), Level: lvl})
@@ -513,6 +535,8 @@ func (c *Comm) CompileAllGather(dims string, srcOff, dstOff, bytesPerPE int, lvl
 
 // CompileGather compiles a rooted Gather; each Run leaves the per-group
 // results in Results.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileGather(dims string, srcOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: Gather, Dims: dims,
 		Src: Span(srcOff, bytesPerPE), Level: lvl})
@@ -520,6 +544,8 @@ func (c *Comm) CompileGather(dims string, srcOff, bytesPerPE int, lvl Level) (*C
 
 // CompileReduce compiles a rooted Reduce; each Run leaves the per-group
 // results in Results.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileReduce(dims string, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: Reduce, Dims: dims,
 		Src: Span(srcOff, bytesPerPE), Elem: t, Op: op, Level: lvl})
@@ -528,6 +554,8 @@ func (c *Comm) CompileReduce(dims string, srcOff, bytesPerPE int, t elem.Type, o
 // CompileScatter compiles a Scatter call bound to bufs: each Run reads
 // the buffers' current contents, so iterative callers refill the same
 // slices between runs. On a cost-only backend bufs may be nil.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileScatter(dims string, bufs [][]byte, dstOff, bytesPerPE int, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: Scatter, Dims: dims,
 		Hosts: bufs, Dst: Span(dstOff, bytesPerPE), Level: lvl})
@@ -536,6 +564,8 @@ func (c *Comm) CompileScatter(dims string, bufs [][]byte, dstOff, bytesPerPE int
 // CompileBroadcast compiles a Broadcast call bound to bufs (one payload
 // per communication group): each Run reads the buffers' current
 // contents.
+//
+// Deprecated: build a Collective descriptor and call Comm.Compile.
 func (c *Comm) CompileBroadcast(dims string, bufs [][]byte, dstOff int, lvl Level) (*CompiledPlan, error) {
 	return c.Compile(Collective{Prim: Broadcast, Dims: dims,
 		Hosts: bufs, Dst: At(dstOff), Level: lvl})

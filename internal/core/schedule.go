@@ -187,6 +187,28 @@ type StepHostCompute struct {
 
 func (*StepHostCompute) stepName() string { return "HostCompute" }
 
+// StepNetTransfer is one inter-host network leg of a hierarchical
+// cluster collective (§ IX-A): Rounds overlapped exchange rounds of
+// Bytes payload each, priced by the parameterized network model
+// (cost.NetParams via host.ChargeNetRounds) and placed on the network
+// lane of the per-host timeline. Run (functional-only, optional) moves
+// the real bytes through the cluster's shared staging — typically a
+// rendezvous barrier with the peer hosts' executors around the exchange.
+// The whole leg is one step, so a hierarchical collective's schedule
+// stays a single plan that compiles, caches, fuses and replays like any
+// other.
+type StepNetTransfer struct {
+	// Rounds is the number of overlapped exchange rounds; Bytes is the
+	// per-round payload every host moves. Rounds 0 with a nil Run is a
+	// no-op (elided by fusion).
+	Rounds int
+	Bytes  int64
+	// Run is executed by the functional backend only.
+	Run func()
+}
+
+func (*StepNetTransfer) stepName() string { return "NetTransfer" }
+
 // StepSync charges the fixed host synchronization/launch overhead that
 // ends every collective.
 type StepSync struct{}

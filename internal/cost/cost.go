@@ -240,6 +240,21 @@ func (b Breakdown) Add(other Breakdown) Breakdown {
 	return out
 }
 
+// Max returns the per-category maximum of b and other. It models
+// perfectly overlapped parallel actors — the cluster layer folds its
+// per-host breakdowns with Max, since the hosts of one collective run
+// concurrently and the slowest determines the elapsed time (the
+// Breakdown counterpart of Meter.MergeMax).
+func (b Breakdown) Max(other Breakdown) Breakdown {
+	out := b
+	for i, v := range other.byCat {
+		if v > out.byCat[i] {
+			out.byCat[i] = v
+		}
+	}
+	return out
+}
+
 // CommTotal returns the time spent on communication categories (everything
 // except application Kernel time).
 func (b Breakdown) CommTotal() Seconds {

@@ -28,12 +28,16 @@
 //     here. A meter can record its additions (SetRecorder), which is how
 //     core captures a compiled plan's charge trace (TraceEntry).
 //   - Timeline (timeline.go) is elapsed-time accounting for overlapped
-//     execution: work is placed on one of three lanes (LaneCPU, LaneBus,
-//     LanePE — the independently-clocked resources of the machine), lanes
-//     run in parallel, and Elapsed is the makespan. The meter sums work;
-//     the timeline answers "when would this finish": serial execution
-//     makes them equal, asynchronous submission of independent plans
-//     makes Elapsed smaller.
+//     execution: work is placed on one of four lanes (LaneCPU, LaneBus,
+//     LanePE, LaneNet — the independently-clocked resources of the
+//     machine), lanes run in parallel, and Elapsed is the makespan. The
+//     meter sums work; the timeline answers "when would this finish":
+//     serial execution makes them equal, asynchronous submission of
+//     independent plans makes Elapsed smaller.
+//   - NetParams (net.go) parameterizes the inter-host network of the
+//     cluster layer: link bandwidth/latency, efficiency, NIC striping,
+//     switch tiers and deterministic skew, combined by RoundTime into
+//     the cost of one overlapped exchange round.
 //
 // # Paper map
 //
@@ -41,5 +45,5 @@
 //	Figure 17     Category breakdowns, Breakdown.String
 //	§ VIII-A      Params / DefaultParams (testbed calibration)
 //	§ IX-B        Params.DSAOffload (DSA what-if)
-//	§ IX-A        Params.NetworkBW / NetworkLatency (multi-host)
+//	§ IX-A        Params.Net (NetParams, multi-host network)
 package cost

@@ -1,0 +1,105 @@
+package cost
+
+// NetParams models the inter-host network of a cluster (§ IX-A): every
+// host drives one or more NICs into a flat link or a small switched
+// fabric. The model is deliberately deterministic — no random jitter —
+// so cluster collectives replay bit-identically: skew is a fixed
+// worst-case bound added to every round, the style of knob scale-out
+// comms configs expose.
+//
+// The time of one overlapped exchange round in which every host moves
+// bytes payload bytes is
+//
+//	LinkLatency + SwitchTiers*SwitchLatency + Skew
+//	    + bytes / (LinkBW * Efficiency * NICsPerHost)
+//
+// (see RoundTime). Pairwise transfers of distinct host pairs overlap, as
+// MPI point-to-points do, so a collective charges RoundTime once per
+// round, not once per pair.
+type NetParams struct {
+	// LinkBW is the raw per-NIC link bandwidth in bytes/second (the
+	// paper controls MPI bandwidth to 10 Gbps Ethernet).
+	LinkBW float64
+
+	// LinkLatency is the base one-way latency of a message on the link.
+	LinkLatency Seconds
+
+	// Efficiency derates LinkBW for protocol overhead (headers, MPI
+	// envelope, pacing); 1 means the full link rate is achieved.
+	Efficiency float64
+
+	// NICsPerHost is the number of network interfaces a host stripes a
+	// round's payload across.
+	NICsPerHost int
+
+	// SwitchTiers is the number of switch hops between two hosts (0
+	// models a flat point-to-point harness); each tier adds
+	// SwitchLatency to every round.
+	SwitchTiers int
+
+	// SwitchLatency is the per-tier store-and-forward latency.
+	SwitchLatency Seconds
+
+	// Skew is a deterministic per-round synchronization slack: the fixed
+	// worst-case arrival spread between hosts entering a round. It is a
+	// constant — never drawn from a distribution — so cost breakdowns
+	// stay bit-reproducible.
+	Skew Seconds
+}
+
+// DefaultNetParams returns the calibrated defaults of the multi-host
+// study: one NIC per host on 10 Gbps Ethernet with 25 us latency, no
+// switch tier, no skew — exactly the hard-coded pair the model replaces,
+// so existing baselines are unchanged.
+func DefaultNetParams() NetParams {
+	return NetParams{
+		LinkBW:        10e9 / 8, // 10 Gbps
+		LinkLatency:   25e-6,
+		Efficiency:    1.0,
+		NICsPerHost:   1,
+		SwitchTiers:   0,
+		SwitchLatency: 5e-6,
+		Skew:          0,
+	}
+}
+
+// GoodputBW returns the effective per-host bandwidth in bytes/second:
+// the raw link rate derated by Efficiency and striped across NICs.
+func (n NetParams) GoodputBW() float64 {
+	return n.LinkBW * n.Efficiency * float64(n.NICsPerHost)
+}
+
+// RoundLatency returns the fixed per-round cost: link latency, switch
+// traversals and the deterministic skew bound.
+func (n NetParams) RoundLatency() Seconds {
+	return n.LinkLatency + Seconds(n.SwitchTiers)*n.SwitchLatency + n.Skew
+}
+
+// RoundTime returns the simulated time of one overlapped exchange round
+// in which every host moves bytes payload bytes.
+func (n NetParams) RoundTime(bytes int64) Seconds {
+	return n.RoundLatency() + Seconds(float64(bytes)/n.GoodputBW())
+}
+
+// Validate reports whether the network parameters are physically
+// meaningful.
+func (n NetParams) Validate() error {
+	checks := []struct {
+		ok   bool
+		what string
+	}{
+		{n.LinkBW > 0, "Net.LinkBW"},
+		{n.LinkLatency >= 0, "Net.LinkLatency"},
+		{n.Efficiency > 0 && n.Efficiency <= 1, "Net.Efficiency"},
+		{n.NICsPerHost > 0, "Net.NICsPerHost"},
+		{n.SwitchTiers >= 0, "Net.SwitchTiers"},
+		{n.SwitchLatency >= 0, "Net.SwitchLatency"},
+		{n.Skew >= 0, "Net.Skew"},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return &ParamError{Field: c.what}
+		}
+	}
+	return nil
+}

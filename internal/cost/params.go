@@ -84,34 +84,33 @@ type Params struct {
 	// core-pipeline throughput).
 	DSAFactor float64
 
-	// NetworkBW and NetworkLatency model the inter-host link of the
-	// multi-host study (10 Gbps Ethernet, § IX-A).
-	NetworkBW      float64
-	NetworkLatency Seconds
+	// Net models the inter-host network of the multi-host study (§ IX-A):
+	// link bandwidth and latency plus efficiency, NIC striping, switch
+	// tiers and deterministic skew (see NetParams).
+	Net NetParams
 }
 
 // DefaultParams returns the calibrated defaults described in DESIGN.md § 4.
 func DefaultParams() Params {
 	return Params{
-		HostClockHz:    3.0e9,
-		ChannelBW:      12.8e9,
-		HostMemBW:      20.0e9,
-		ScalarModBPC:   3.0,
-		LocalModBPC:    9.0,
-		SIMDModBPC:     48.0,
-		ScalarRedBPC:   2.2,
-		LocalRedBPC:    4.5,
-		DTBPC:          16.0,
-		ReduceBPC:      32.0,
-		DPUMramBW:      628e6,
-		DPUWramBW:      2.8e9,
-		DPUInstrHz:     350e6,
-		KernelLaunch:   20e-6,
-		RankParallel:   true,
-		DSAOffload:     false,
-		DSAFactor:      4.0,
-		NetworkBW:      10e9 / 8, // 10 Gbps
-		NetworkLatency: 25e-6,
+		HostClockHz:  3.0e9,
+		ChannelBW:    12.8e9,
+		HostMemBW:    20.0e9,
+		ScalarModBPC: 3.0,
+		LocalModBPC:  9.0,
+		SIMDModBPC:   48.0,
+		ScalarRedBPC: 2.2,
+		LocalRedBPC:  4.5,
+		DTBPC:        16.0,
+		ReduceBPC:    32.0,
+		DPUMramBW:    628e6,
+		DPUWramBW:    2.8e9,
+		DPUInstrHz:   350e6,
+		KernelLaunch: 20e-6,
+		RankParallel: true,
+		DSAOffload:   false,
+		DSAFactor:    4.0,
+		Net:          DefaultNetParams(),
 	}
 }
 
@@ -150,15 +149,13 @@ func (p Params) Validate() error {
 		{p.DPUInstrHz > 0, "DPUInstrHz"},
 		{p.KernelLaunch >= 0, "KernelLaunch"},
 		{p.DSAFactor > 0 || !p.DSAOffload, "DSAFactor"},
-		{p.NetworkBW > 0, "NetworkBW"},
-		{p.NetworkLatency >= 0, "NetworkLatency"},
 	}
 	for _, c := range checks {
 		if !c.ok {
 			return &ParamError{Field: c.what}
 		}
 	}
-	return nil
+	return p.Net.Validate()
 }
 
 // ParamError reports an invalid Params field.

@@ -8,15 +8,18 @@ package cost
 // work is placed on the lane (hardware resource) that performs it, lanes
 // run in parallel, and the elapsed time is the makespan.
 //
-// Three lanes model the three independently-clocked resources of the
+// Four lanes model the independently-clocked resources of the
 // PIM-DIMM system:
 //
 //   - LaneCPU: the host core doing domain transfers, modulation,
 //     reductions and staging-buffer traffic;
 //   - LaneBus: the external memory bus moving bursts between host and
-//     DIMMs (plus the inter-host network of the multi-host study);
+//     DIMMs;
 //   - LanePE: the in-DIMM processing elements running reorder kernels and
-//     application kernels.
+//     application kernels;
+//   - LaneNet: the host's NIC(s) moving inter-host rounds of a cluster
+//     collective, so a submitted cluster plan's network leg can overlap
+//     another plan's bus or PE work.
 //
 // A serial execution occupies its lanes back-to-back; two independent
 // plans may interleave, e.g. plan B's PE-side reordering runs while plan
@@ -37,6 +40,8 @@ const (
 	// LanePE is the in-DIMM PE array: reorder kernels and application
 	// kernels.
 	LanePE
+	// LaneNet is the inter-host network interface of the cluster layer.
+	LaneNet
 
 	// NumLanes is the lane count.
 	NumLanes
@@ -51,18 +56,22 @@ func (l Lane) String() string {
 		return "bus"
 	case LanePE:
 		return "pe"
+	case LaneNet:
+		return "net"
 	default:
 		return "lane?"
 	}
 }
 
 // LaneOf maps a meter category to the hardware resource that spends the
-// time: PEMem and Network occupy the bus, PEMod and Kernel occupy the PE
-// array, everything else occupies the host core.
+// time: PEMem occupies the bus, Network occupies the NIC, PEMod and
+// Kernel occupy the PE array, everything else occupies the host core.
 func LaneOf(c Category) Lane {
 	switch c {
-	case PEMem, Network:
+	case PEMem:
 		return LaneBus
+	case Network:
+		return LaneNet
 	case PEMod, Kernel:
 		return LanePE
 	default:
@@ -119,6 +128,7 @@ type interval struct{ start, end Seconds }
 // core.Comm guards its timeline with the execution lock.
 type Timeline struct {
 	busy  [NumLanes][]interval
+	total [NumLanes]Seconds
 	end   Seconds
 	floor Seconds
 }
@@ -126,6 +136,11 @@ type Timeline struct {
 // Elapsed returns the makespan: the finish time of the latest placed
 // segment.
 func (tl *Timeline) Elapsed() Seconds { return tl.end }
+
+// LaneBusy returns the cumulative time ever placed on a lane — the
+// lane's total work, independent of overlap and of SetFloor pruning.
+// LaneBusy(l)/Elapsed() is the lane's utilization.
+func (tl *Timeline) LaneBusy(l Lane) Seconds { return tl.total[l] }
 
 // Reset empties the timeline.
 func (tl *Timeline) Reset() { *tl = Timeline{} }
@@ -216,5 +231,6 @@ func (tl *Timeline) place(lane Lane, from, dur Seconds) Seconds {
 	copy(ivs[i+1:], ivs[i:])
 	ivs[i] = interval{pos, pos + dur}
 	tl.busy[lane] = ivs
+	tl.total[lane] += dur
 	return pos
 }

@@ -12,7 +12,7 @@ func TestLaneOf(t *testing.T) {
 		HostMem:        LaneCPU,
 		Other:          LaneCPU,
 		PEMem:          LaneBus,
-		Network:        LaneBus,
+		Network:        LaneNet,
 		PEMod:          LanePE,
 		Kernel:         LanePE,
 	}
@@ -28,7 +28,7 @@ func TestSegmentsOfCoalesces(t *testing.T) {
 		{PEMod, 1}, {Other, 2}, {HostMod, 3}, {PEMem, 4}, {Network, 5}, {Kernel, 0}, {Kernel, 6},
 	}
 	segs := SegmentsOf(adds)
-	want := []Segment{{LanePE, 1}, {LaneCPU, 5}, {LaneBus, 9}, {LanePE, 6}}
+	want := []Segment{{LanePE, 1}, {LaneCPU, 5}, {LaneBus, 4}, {LaneNet, 5}, {LanePE, 6}}
 	if len(segs) != len(want) {
 		t.Fatalf("got %v, want %v", segs, want)
 	}

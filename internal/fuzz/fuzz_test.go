@@ -34,3 +34,18 @@ func TestFuzzSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterFuzzSmoke runs a deterministic slice of randomized cluster
+// scenarios: hierarchical collectives over 1-4 hosts diffed against the
+// reference model on global ranks, with a cost-only twin cluster whose
+// breakdowns must match the functional ones bit-for-bit.
+func TestClusterFuzzSmoke(t *testing.T) {
+	const scenarios = 8
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < scenarios; i++ {
+		sc := RandomCluster(rng)
+		if err := sc.Check(rng); err != nil {
+			t.Fatalf("cluster scenario %d: %v", i, err)
+		}
+	}
+}

@@ -301,6 +301,20 @@ func (h *Host) ChargeSync() {
 	h.meter.Add(cost.Other, h.params.KernelLaunch)
 }
 
+// ChargeNetRounds charges rounds overlapped inter-host exchange rounds
+// of bytesPerRound payload each (cost.Network). The per-round time comes
+// from the parameterized network model (Params.Net): pairwise transfers
+// of distinct host pairs overlap, so a round costs one host's traffic
+// over the goodput plus the fixed round latency. The whole transfer is
+// one meter addition, so a plan's charge trace carries one entry per
+// network leg.
+func (h *Host) ChargeNetRounds(rounds int, bytesPerRound int64) {
+	if rounds <= 0 {
+		return
+	}
+	h.meter.Add(cost.Network, cost.Seconds(rounds)*h.params.Net.RoundTime(bytesPerRound))
+}
+
 // DomainTransfer applies the driver's domain transfer in place: each
 // aligned 64-byte block is 8x8 byte-transposed (§ II-B), converting
 // between PIM byte order and host byte order. It charges DT compute.

@@ -1,13 +1,19 @@
-// Package multihost implements the hierarchical multi-host extension of
-// PID-Comm (§ IX-A, Figure 23(b)): several hosts, each driving its own
-// channel(s) of PIM-enabled DIMMs, cooperate through an MPI-like network.
-// Each host first runs a local PID-Comm collective, then the hosts run a
-// global collective over the network, then results are redistributed to
-// the PEs — mirroring typical hierarchical distributed systems.
+// Package multihost is the compatibility surface of the hierarchical
+// multi-host extension of PID-Comm (§ IX-A, Figure 23(b)): several
+// hosts, each driving its own channel(s) of PIM-enabled DIMMs,
+// cooperate through an MPI-like network. It is a thin wrapper over the
+// first-class cluster layer (core.NewCluster / pidcomm.NewCluster),
+// which lowers each global collective into ONE schedule-IR plan per
+// host — intra-host leg, network leg (a StepNetTransfer priced by the
+// parameterized cost.NetParams model), redistribution leg — so cluster
+// collectives compile, cache, fuse and replay exactly like single-host
+// ones. New code should use the cluster layer directly; this package
+// keeps the original positional call surface for the § IX-A study.
 //
-// The network is modeled with latency and bandwidth (the paper controls
-// MPI bandwidth to 10 Gbps high-speed Ethernet); transfers between
-// distinct host pairs overlap, as MPI point-to-points do.
+// The network is modeled with parameterized per-round latency and
+// bandwidth (the paper controls MPI bandwidth to 10 Gbps high-speed
+// Ethernet, the DefaultNetParams); transfers between distinct host
+// pairs overlap, as MPI point-to-points do.
 package multihost
 
 import (
@@ -19,31 +25,15 @@ import (
 	"repro/internal/elem"
 )
 
-// Cluster is a set of hosts, each owning an identical PIM subsystem.
+// Cluster is a set of hosts, each owning an identical PIM subsystem,
+// wrapping a core.Cluster over 1-D hypercubes.
 type Cluster struct {
-	hosts  []*core.Comm
-	params cost.Params
-	// netMeter accrues network time (the critical path across steps).
-	netMeter *cost.Meter
-	// costOnly marks a cluster whose hosts run the cost-only backend:
-	// collectives charge identical costs but move no data and return nil
-	// result buffers.
-	costOnly bool
-	// scratch is a reusable zero buffer handed to size-validated host
-	// payload parameters (Broadcast) in cost-only mode, so sweeps don't
-	// re-allocate O(data) per call.
-	scratch []byte
+	cc *core.Cluster
 }
 
-// zero returns an n-byte all-zero buffer, growing a shared scratch
-// allocation. Cost-only collectives never read or write it; it exists
-// only to satisfy payload-size validation.
-func (cl *Cluster) zero(n int) []byte {
-	if len(cl.scratch) < n {
-		cl.scratch = make([]byte, n)
-	}
-	return cl.scratch[:n]
-}
+// dims selects the single dimension of each host's 1-D hypercube, so
+// every global collective spans the whole host.
+const dims = "1"
 
 // New builds a cluster of numHosts hosts, each with its own system of the
 // given per-host geometry and a 1-D hypercube over its PEs.
@@ -54,7 +44,8 @@ func New(numHosts int, geo dram.Geometry, params cost.Params) (*Cluster, error) 
 // NewCostOnly builds a cluster on the cost-only backend over phantom
 // systems: no MRAM is allocated, no bytes move, and every collective's
 // breakdown matches the functional cluster's bit-for-bit. Rooted results
-// and gathered buffers are nil.
+// and gathered buffers are nil, and the rooted payload parameters may be
+// nil too — cost-only sweeps allocate no per-call staging at all.
 func NewCostOnly(numHosts int, geo dram.Geometry, params cost.Params) (*Cluster, error) {
 	return build(numHosts, geo, params, true)
 }
@@ -63,7 +54,7 @@ func build(numHosts int, geo dram.Geometry, params cost.Params, costOnly bool) (
 	if numHosts <= 0 {
 		return nil, fmt.Errorf("multihost: need at least one host, got %d", numHosts)
 	}
-	cl := &Cluster{params: params, netMeter: cost.NewMeter(), costOnly: costOnly}
+	comms := make([]*core.Comm, numHosts)
 	for i := 0; i < numHosts; i++ {
 		var sys *dram.System
 		var err error
@@ -80,148 +71,161 @@ func build(numHosts int, geo dram.Geometry, params cost.Params, costOnly bool) (
 			return nil, err
 		}
 		if costOnly {
-			cl.hosts = append(cl.hosts, core.NewCostComm(hc, params))
+			comms[i] = core.NewCostComm(hc, params)
 		} else {
-			cl.hosts = append(cl.hosts, core.NewComm(hc, params))
+			comms[i] = core.NewComm(hc, params)
 		}
 	}
-	return cl, nil
+	cc, err := core.NewCluster(comms)
+	if err != nil {
+		return nil, fmt.Errorf("multihost: %w", err)
+	}
+	return &Cluster{cc: cc}, nil
 }
+
+// Cluster returns the underlying first-class cluster layer, for callers
+// migrating to descriptor-based cluster collectives.
+func (cl *Cluster) Cluster() *core.Cluster { return cl.cc }
 
 // Functional reports whether the cluster moves real bytes.
-func (cl *Cluster) Functional() bool { return !cl.costOnly }
+func (cl *Cluster) Functional() bool { return cl.cc.Functional() }
 
 // NumHosts returns the number of hosts.
-func (cl *Cluster) NumHosts() int { return len(cl.hosts) }
+func (cl *Cluster) NumHosts() int { return cl.cc.NumHosts() }
 
 // Host returns host h's communication context.
-func (cl *Cluster) Host(h int) *core.Comm { return cl.hosts[h] }
+func (cl *Cluster) Host(h int) *core.Comm { return cl.cc.Host(h) }
 
 // PEsPerHost returns the PE count per host.
-func (cl *Cluster) PEsPerHost() int {
-	return cl.hosts[0].Hypercube().System().Geometry().NumPEs()
-}
+func (cl *Cluster) PEsPerHost() int { return cl.cc.PEsPerHost() }
 
-// chargeNet charges one network exchange step where every host sends
-// bytesPerHost bytes; pairwise transfers overlap, so elapsed time is one
-// host's traffic over the link bandwidth plus latency.
-func (cl *Cluster) chargeNet(bytesPerHost int64) {
-	cl.netMeter.Add(cost.Network, cl.params.NetworkLatency)
-	cl.netMeter.AddBytes(cost.Network, bytesPerHost, cl.params.NetworkBW)
-}
-
-// Breakdown returns the cluster's cost snapshot: the slowest host's local
-// time (hosts run concurrently) plus the network time.
-func (cl *Cluster) Breakdown() cost.Breakdown {
-	agg := cost.NewMeter()
-	for _, h := range cl.hosts {
-		agg.MergeMax(h.Meter())
-	}
-	agg.Merge(cl.netMeter)
-	return agg.Snapshot()
-}
+// Breakdown returns the cluster's cost snapshot: the slowest host's
+// time per category (hosts run concurrently; each host's meter includes
+// its own network-leg time).
+func (cl *Cluster) Breakdown() cost.Breakdown { return cl.cc.Breakdown() }
 
 // AllReduce performs a global AllReduce over all hosts' PEs: every PE
 // ends with the elementwise reduction of every PE's buffer in the whole
-// cluster. Flow (§ IX-A): local Reduce to each host (1/P of the data
+// cluster. Flow (§ IX-A): local Reduce on each host (1/P of the data
 // crosses the network, P = PEs/host), ring AllReduce among hosts over
 // MPI, local Broadcast.
 func (cl *Cluster) AllReduce(srcOff, dstOff, bytesPerPE int, t elem.Type, op elem.Op, lvl core.Level) (cost.Breakdown, error) {
-	before := cl.Breakdown()
-	dims := "1"
-	partials := make([][]byte, len(cl.hosts))
-	for h, comm := range cl.hosts {
-		bufs, _, err := comm.Reduce(dims, srcOff, bytesPerPE, t, op, lvl)
-		if err != nil {
-			return cost.Breakdown{}, fmt.Errorf("multihost AllReduce host %d: %w", h, err)
-		}
-		if cl.Functional() {
-			partials[h] = bufs[0] // 1-D hypercube: single group
-		}
-	}
-	// Inter-host ring AllReduce on the reduced buffers: 2(H-1) steps each
-	// moving bytesPerPE/H per host.
-	if len(cl.hosts) > 1 {
-		h := len(cl.hosts)
-		steps := 2 * (h - 1)
-		for i := 0; i < steps; i++ {
-			cl.chargeNet(int64(bytesPerPE / h))
-		}
-	}
-	// In cost-only mode the per-host partials are nil; broadcast a
-	// correctly-sized zero payload (never read by the backend).
-	global := cl.zero(bytesPerPE)
-	if cl.Functional() {
-		global = core.RefReduce(t, op, partials)
-	}
-	for h, comm := range cl.hosts {
-		if _, err := comm.Broadcast(dims, [][]byte{global}, dstOff, lvl); err != nil {
-			return cost.Breakdown{}, fmt.Errorf("multihost AllReduce host %d: %w", h, err)
-		}
-	}
-	return cl.Breakdown().Sub(before), nil
+	return cl.run("AllReduce", core.ClusterCollective{Collective: core.Collective{
+		Prim: core.AllReduce, Dims: dims,
+		Src: core.Span(srcOff, bytesPerPE), Dst: core.At(dstOff),
+		Elem: t, Op: op, Level: lvl,
+	}})
 }
 
 // AlltoAll performs a global AlltoAll over all hosts' PEs. Every PE's
 // buffer holds one block per global PE (H*P blocks of blockBytes); block
 // q of global PE p ends as block p of global PE q, where global PE index
-// is host*P + localPE.
-//
-// Flow: the intra-host portion is one local PID-Comm AlltoAll (the
-// contiguous region of blocks destined to the local host); each remote
-// portion is Gathered, exchanged over the network ((H-1)/H of all data),
-// transposed on the receiving host, and Scattered into place.
+// is host*P + localPE. The intra-host portion is one local PID-Comm
+// AlltoAll; the remote portions are packed, exchanged over the network
+// ((H-1)/H of all data) and transposed into place on the receivers.
 func (cl *Cluster) AlltoAll(srcOff, dstOff, blockBytes int, lvl core.Level) (cost.Breakdown, error) {
-	before := cl.Breakdown()
-	H := len(cl.hosts)
-	P := cl.PEsPerHost()
-	dims := "1"
-	hostPart := P * blockBytes // bytes destined to one host, per PE
+	m := cl.cc.NumPEs() * blockBytes
+	return cl.run("AlltoAll", core.ClusterCollective{Collective: core.Collective{
+		Prim: core.AlltoAll, Dims: dims,
+		Src: core.Span(srcOff, m), Dst: core.At(dstOff), Level: lvl,
+	}})
+}
 
-	// Intra-host: local AlltoAll on the region of locally-destined blocks.
-	for h, comm := range cl.hosts {
-		if _, err := comm.AlltoAll(dims, srcOff+h*hostPart, dstOff+h*hostPart, hostPart, lvl); err != nil {
-			return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll host %d: %w", h, err)
-		}
+// ReduceScatter performs a global ReduceScatter over all hosts' PEs:
+// every PE contributes H*P blocks (global-rank order, blockBytes each);
+// block g, reduced elementwise over every PE in the cluster, ends on
+// global PE g (= host g/P, local PE g%P). Per § IX-A data are sent
+// after reduction: only per-host portions of one reduced copy cross the
+// network.
+func (cl *Cluster) ReduceScatter(srcOff, dstOff, blockBytes int, t elem.Type, op elem.Op, lvl core.Level) (cost.Breakdown, error) {
+	m := cl.cc.NumPEs() * blockBytes
+	return cl.run("ReduceScatter", core.ClusterCollective{Collective: core.Collective{
+		Prim: core.ReduceScatter, Dims: dims,
+		Src: core.Span(srcOff, m), Dst: core.At(dstOff),
+		Elem: t, Op: op, Level: lvl,
+	}})
+}
+
+// AllGather performs a global AllGather over all hosts' PEs: every PE
+// contributes bytesPerPE bytes and ends with the concatenation of every
+// PE's buffer in global-rank order (H*P*bytesPerPE bytes at dstOff).
+// Per § IX-A data are sent before duplication: per-host portions cross
+// the network once, the H*P-fold fan-out happens locally after.
+func (cl *Cluster) AllGather(srcOff, dstOff, bytesPerPE int, lvl core.Level) (cost.Breakdown, error) {
+	return cl.run("AllGather", core.ClusterCollective{Collective: core.Collective{
+		Prim: core.AllGather, Dims: dims,
+		Src: core.Span(srcOff, bytesPerPE), Dst: core.At(dstOff), Level: lvl,
+	}})
+}
+
+// Broadcast sends buf from the root host to every PE in the cluster at
+// dstOff. On a cost-only cluster buf supplies only the payload size and
+// its bytes are never read.
+func (cl *Cluster) Broadcast(root int, buf []byte, dstOff int, lvl core.Level) (cost.Breakdown, error) {
+	d := core.ClusterCollective{Collective: core.Collective{
+		Prim: core.Broadcast, Dims: dims,
+		Dst: core.Span(dstOff, len(buf)), Level: lvl,
+	}, Root: root}
+	if cl.Functional() {
+		d.Hosts = [][]byte{buf}
 	}
-	// Cross-host exchange cost: H-1 overlapped rounds in which every host
-	// sends one remote portion (P*hostPart bytes) — the (H-1)/H traffic
-	// scaling of § IX-A.
-	for r := 0; r < H-1; r++ {
-		cl.chargeNet(int64(P * hostPart))
+	return cl.run("Broadcast", d)
+}
+
+// Scatter sends block g of buf to global PE g (host g/P, local g%P);
+// each PE receives blockBytes at dstOff. buf must hold H*P blocks; on a
+// cost-only cluster it may be nil (no bytes are read either way).
+func (cl *Cluster) Scatter(root int, buf []byte, dstOff, blockBytes int, lvl core.Level) (cost.Breakdown, error) {
+	if want := cl.cc.NumPEs() * blockBytes; buf != nil && len(buf) != want {
+		return cost.Breakdown{}, fmt.Errorf("multihost Scatter: buffer %d bytes, want %d", len(buf), want)
 	}
-	// Cross-host data movement: gather each remote portion, exchange,
-	// transpose, scatter. In cost-only mode the gathered payload is nil,
-	// the transpose is skipped (its time is the LocalMod charge below)
-	// and Scatter runs buffer-less.
-	for src := 0; src < H; src++ {
-		for dst := 0; dst < H; dst++ {
-			if src == dst {
-				continue
-			}
-			bufs, _, err := cl.hosts[src].Gather(dims, srcOff+dst*hostPart, hostPart, lvl)
-			if err != nil {
-				return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll gather %d->%d: %w", src, dst, err)
-			}
-			var scatterBufs [][]byte
-			if cl.Functional() {
-				payload := bufs[0] // [src local p][dst local p'] blocks
-				// Receiving host transposes [src p][dst p'] -> [dst p'][src p]
-				// and scatters so block from (src,p) lands at dst slot.
-				re := make([]byte, len(payload))
-				for p := 0; p < P; p++ {
-					for q := 0; q < P; q++ {
-						copy(re[q*P*blockBytes+p*blockBytes:q*P*blockBytes+(p+1)*blockBytes],
-							payload[p*P*blockBytes+q*blockBytes:p*P*blockBytes+(q+1)*blockBytes])
-					}
-				}
-				scatterBufs = [][]byte{re}
-			}
-			cl.hosts[dst].Host().ChargeLocalMod(int64(P) * int64(hostPart))
-			if _, err := cl.hosts[dst].Scatter(dims, scatterBufs, dstOff+src*hostPart, P*blockBytes, lvl); err != nil {
-				return cost.Breakdown{}, fmt.Errorf("multihost AlltoAll scatter %d->%d: %w", src, dst, err)
-			}
-		}
+	d := core.ClusterCollective{Collective: core.Collective{
+		Prim: core.Scatter, Dims: dims,
+		Dst: core.Span(dstOff, blockBytes), Level: lvl,
+	}, Root: root}
+	if cl.Functional() {
+		d.Hosts = [][]byte{buf}
 	}
-	return cl.Breakdown().Sub(before), nil
+	return cl.run("Scatter", d)
+}
+
+// Gather collects bytesPerPE bytes from every PE (global-rank order) to
+// the root host. The returned buffer is nil on a cost-only cluster.
+func (cl *Cluster) Gather(root int, srcOff, bytesPerPE int, lvl core.Level) ([]byte, cost.Breakdown, error) {
+	return cl.runRooted("Gather", core.ClusterCollective{Collective: core.Collective{
+		Prim: core.Gather, Dims: dims,
+		Src: core.Span(srcOff, bytesPerPE), Level: lvl,
+	}, Root: root})
+}
+
+// Reduce returns the elementwise reduction of every PE's bytesPerPE
+// buffer to the root host ("data are sent after being reduced": only one
+// reduced copy per non-root host crosses the network). The returned
+// buffer is nil on a cost-only cluster.
+func (cl *Cluster) Reduce(root int, srcOff, bytesPerPE int, t elem.Type, op elem.Op, lvl core.Level) ([]byte, cost.Breakdown, error) {
+	return cl.runRooted("Reduce", core.ClusterCollective{Collective: core.Collective{
+		Prim: core.Reduce, Dims: dims,
+		Src:  core.Span(srcOff, bytesPerPE),
+		Elem: t, Op: op, Level: lvl,
+	}, Root: root})
+}
+
+func (cl *Cluster) run(name string, d core.ClusterCollective) (cost.Breakdown, error) {
+	bd, err := cl.cc.Run(d)
+	if err != nil {
+		return cost.Breakdown{}, fmt.Errorf("multihost %s: %w", name, err)
+	}
+	return bd, nil
+}
+
+func (cl *Cluster) runRooted(name string, d core.ClusterCollective) ([]byte, cost.Breakdown, error) {
+	cp, err := cl.cc.Compile(d)
+	if err != nil {
+		return nil, cost.Breakdown{}, fmt.Errorf("multihost %s: %w", name, err)
+	}
+	bd, err := cp.Run()
+	if err != nil {
+		return nil, cost.Breakdown{}, fmt.Errorf("multihost %s: %w", name, err)
+	}
+	return cp.Results(), bd, nil
 }

@@ -1,0 +1,225 @@
+package pidcomm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// Cluster is a set of identically-configured Machines cooperating over
+// an MPI-like network (§ IX-A, Figure 23(b)): the cluster-scale serving
+// session. A ClusterCollective descriptor treats the H×P PEs of the
+// whole cluster as one flat communicator; the cluster lowers it — per
+// host — into ONE schedule-IR plan (intra-host legs, a network leg
+// priced by the parameterized NetParams model, redistribution legs), so
+// cluster collectives compile, cache, fuse and replay exactly like
+// single-machine ones.
+//
+// Capacity studies run the whole thing on the cost-only backend
+// (CostOnly option): breakdowns stay bit-identical to the functional
+// cluster while no bytes exist or move, which is what makes sweeps to
+// thousands of hosts cheap (`pidbench -exp cluster`).
+type Cluster struct {
+	machines []*Machine
+	cc       *core.Cluster
+}
+
+// NewCluster builds hosts identically-configured Machines of the given
+// geometry and hypercube shape and joins them into a cluster. All
+// MachineOptions apply to every host (use WithParams to set NetParams
+// alongside the per-host timing model).
+func NewCluster(hosts int, geo Geometry, shape []int, opts ...MachineOption) (*Cluster, error) {
+	if hosts <= 0 {
+		return nil, fmt.Errorf("pidcomm: cluster needs at least one host, got %d", hosts)
+	}
+	machines := make([]*Machine, hosts)
+	comms := make([]*core.Comm, hosts)
+	for h := range machines {
+		m, err := NewMachine(geo, shape, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("pidcomm: cluster host %d: %w", h, err)
+		}
+		machines[h] = m
+		comms[h] = m.cc
+	}
+	cc, err := core.NewCluster(comms)
+	if err != nil {
+		return nil, fmt.Errorf("pidcomm: %w", err)
+	}
+	return &Cluster{machines: machines, cc: cc}, nil
+}
+
+// NumHosts returns the number of hosts.
+func (cl *Cluster) NumHosts() int { return cl.cc.NumHosts() }
+
+// PEsPerHost returns each host's PE count.
+func (cl *Cluster) PEsPerHost() int { return cl.cc.PEsPerHost() }
+
+// NumPEs returns the cluster-wide PE count (hosts × PEs/host).
+func (cl *Cluster) NumPEs() int { return cl.cc.NumPEs() }
+
+// CostOnly reports whether the cluster runs the cost-only backend.
+func (cl *Cluster) CostOnly() bool { return !cl.cc.Functional() }
+
+// Machine returns host h's machine — per-host sessions, plan-cache and
+// fusion statistics, and the per-host timeline all live there.
+func (cl *Cluster) Machine(h int) *Machine { return cl.machines[h] }
+
+// Run compiles (or fetches the cached plans for) d and executes it once
+// across every host, returning the per-category maximum of the hosts'
+// charges — the cluster critical path of the call. Regions are
+// machine-absolute (the whole-MRAM window); use NewTenant for
+// arena-relative sharded sessions.
+func (cl *Cluster) Run(d ClusterCollective) (Breakdown, error) { return cl.cc.Run(d) }
+
+// Compile lowers d into one compiled plan per host, cached under the
+// descriptor: recompiling an equal descriptor is a per-host plan-cache
+// hit, and the returned ClusterPlan replays with Run/Submit.
+func (cl *Cluster) Compile(d ClusterCollective) (*ClusterPlan, error) { return cl.cc.Compile(d) }
+
+// Submit compiles d and enqueues one asynchronous execution on every
+// host's scheduler, returning a ClusterFuture.
+func (cl *Cluster) Submit(d ClusterCollective) (*ClusterFuture, error) { return cl.cc.Submit(d) }
+
+// Breakdown returns the cluster's cumulative cost snapshot: the
+// per-category maximum across the host meters (hosts run concurrently;
+// each host's meter includes its own network-leg time).
+func (cl *Cluster) Breakdown() Breakdown { return cl.cc.Breakdown() }
+
+// Elapsed returns the slowest host's overlap-aware simulated makespan.
+func (cl *Cluster) Elapsed() Seconds { return cl.cc.Elapsed() }
+
+// Flush blocks until every submitted plan has completed on every host.
+func (cl *Cluster) Flush() { cl.cc.Flush() }
+
+// NewTenant carves the same per-PE MRAM arena on every host and returns
+// the cluster-wide session bound to the shards: one tenant per host,
+// each with cfg's weight and quota. Cluster collectives compiled on the
+// session resolve regions against the arena, admit against every
+// shard's quota up front, and meter each host's charges to that host's
+// shard. The per-host shards (Host) remain full single-machine sessions
+// for local collectives and data placement.
+func (cl *Cluster) NewTenant(cfg TenantConfig) (*ClusterComm, error) {
+	shards := make([]*Comm, len(cl.machines))
+	owners := make([]*core.Tenant, len(cl.machines))
+	for h, m := range cl.machines {
+		c, err := m.NewTenant(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("pidcomm: cluster host %d: %w", h, err)
+		}
+		if b0, n0 := shards[0], c; h > 0 {
+			base0, bytes0 := b0.Arena()
+			base, bytes := n0.Arena()
+			if base != base0 || bytes != bytes0 {
+				return nil, fmt.Errorf("pidcomm: tenant %q arena diverges across hosts ([%d,+%d) on host 0, [%d,+%d) on host %d); carve cluster tenants only through Cluster.NewTenant",
+					c.Name(), base0, bytes0, base, bytes, h)
+			}
+		}
+		shards[h] = c
+		owners[h] = c.t
+	}
+	return &ClusterComm{cl: cl, shards: shards, owners: owners}, nil
+}
+
+// Comm returns the whole-cluster convenience session: one tenant named
+// "machine" per host covering all MRAM not yet carved, joined into a
+// ClusterComm. The single-workload path — call it once and never think
+// about tenancy.
+func (cl *Cluster) Comm() (*ClusterComm, error) {
+	free := cl.machines[0].FreeArenaBytes()
+	if free <= 0 {
+		return nil, fmt.Errorf("pidcomm: no MRAM left to bind a whole-cluster session")
+	}
+	return cl.NewTenant(TenantConfig{Name: "machine", ArenaBytes: free})
+}
+
+// ClusterComm is one sharded session on a Cluster: the same tenant
+// carved on every host. Cluster collectives go through Run/Compile/
+// Submit with arena-relative regions; per-host data placement and local
+// collectives go through the host shards.
+type ClusterComm struct {
+	cl     *Cluster
+	shards []*Comm
+	owners []*core.Tenant
+}
+
+// Host returns the session's shard on host h — a full single-machine
+// session (SetPEBuffer/GetPEBuffer, local Run/Compile/Submit, Meter).
+func (c *ClusterComm) Host(h int) *Comm { return c.shards[h] }
+
+// Name returns the session's tenant name.
+func (c *ClusterComm) Name() string { return c.shards[0].Name() }
+
+// Arena returns the session's per-PE MRAM window (identical on every
+// host) as (base, bytes).
+func (c *ClusterComm) Arena() (base, bytes int) { return c.shards[0].Arena() }
+
+// Compile lowers d into one compiled plan per host against the
+// session's arena; see Cluster.Compile.
+func (c *ClusterComm) Compile(d ClusterCollective) (*ClusterPlan, error) {
+	return c.cl.cc.CompileOn(c.owners, d)
+}
+
+// Run compiles (or fetches the cached plans for) d and executes it once
+// across every host, returning the cluster-critical-path breakdown.
+func (c *ClusterComm) Run(d ClusterCollective) (Breakdown, error) {
+	cp, err := c.Compile(d)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return cp.Run()
+}
+
+// Submit compiles d and enqueues one asynchronous execution on every
+// host's weighted-fair scheduler, returning a ClusterFuture.
+func (c *ClusterComm) Submit(d ClusterCollective) (*ClusterFuture, error) {
+	cp, err := c.Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Submit(), nil
+}
+
+// Breakdown returns the session's attributed cost: the per-category
+// maximum across its host shards' meters.
+func (c *ClusterComm) Breakdown() Breakdown {
+	var bd Breakdown
+	for _, s := range c.shards {
+		bd = bd.Max(s.Meter())
+	}
+	return bd
+}
+
+// Flush blocks until every plan submitted on any host has completed.
+func (c *ClusterComm) Flush() { c.cl.Flush() }
+
+// ClusterCollective describes one collective over every PE of a
+// cluster: the embedded Collective on the global communicator (Dims
+// must select every dimension of the per-host hypercube; region sizes
+// are the global call's), Root selecting the root host of the rooted
+// primitives, and Flat requesting the naive non-hierarchical baseline
+// (AllReduce only). On a cost-only cluster, Broadcast/Scatter payloads
+// may be nil — the payload size comes from Dst.Bytes.
+type ClusterCollective = core.ClusterCollective
+
+// ClusterPlan is one cluster collective compiled into one plan per
+// host, ready for repeated Run/Submit; Results returns rooted results,
+// FusionReports the per-host fusion savings, HostPlan the per-host
+// compiled plans.
+type ClusterPlan = core.ClusterPlan
+
+// ClusterFuture is the handle of one submitted cluster execution: one
+// future per host, completing when all hosts have run.
+type ClusterFuture = core.ClusterFuture
+
+// NetParams is the parameterized inter-host network model: per-NIC link
+// bandwidth and latency, goodput efficiency, NICs per host, switch
+// tiers and per-tier latency, and straggler skew. Start from
+// DefaultNetParams and override fields on Params.Net before
+// NewMachine/NewCluster (WithParams).
+type NetParams = cost.NetParams
+
+// DefaultNetParams returns the paper's network operating point: one
+// 10 Gbps NIC per host, 25 µs per-round MPI latency, no switch hops.
+func DefaultNetParams() NetParams { return cost.DefaultNetParams() }

@@ -216,6 +216,11 @@ func (m *Machine) Elapsed() Seconds { return m.cc.Elapsed() }
 // then closes the overlap window (the machine-wide barrier).
 func (m *Machine) Flush() { m.cc.Flush() }
 
+// NetBusy returns the cumulative simulated time this machine's network
+// lane has been busy: the inter-host legs of cluster collectives
+// charged to this host. Zero on a machine that never joined a cluster.
+func (m *Machine) NetBusy() Seconds { return m.cc.LaneBusy(cost.LaneNet) }
+
 // PlanCacheStats returns the machine-wide compiled-plan cache counters
 // and memory accounting.
 func (m *Machine) PlanCacheStats() PlanCacheStats { return m.cc.PlanCacheStats() }
