@@ -160,11 +160,18 @@ func run() int {
 	if *exp == "all" {
 		err = bench.RunAll(o)
 	} else {
-		for i, id := range ids {
+		// Resolve the whole list before running anything: a typo in the
+		// last ID must not waste the earlier experiments' run time.
+		exps := make([]bench.Experiment, 0, len(ids))
+		for _, id := range ids {
 			var e bench.Experiment
 			if e, err = bench.ByID(id); err != nil {
-				break
+				fmt.Fprintln(os.Stderr, "pidbench:", err)
+				return 2
 			}
+			exps = append(exps, e)
+		}
+		for i, e := range exps {
 			if i > 0 {
 				fmt.Println()
 			}

@@ -13,6 +13,11 @@
 // hosts joined by the cluster layer, every global collective diffed
 // against the reference model on global ranks, with a cost-only twin
 // cluster whose breakdowns must match the functional runs bit-for-bit.
+// Interleaved with those, every fourth scenario draws an online-serving
+// scenario: a random tenant mix with random arrivals, deadlines,
+// overload budgets and mid-run churn driven through internal/serve,
+// checked for deterministic replay, future leaks, hazard or arrival
+// violations, and arena re-coalescing after teardown.
 //
 // This is the heavyweight companion of the package tests: run it for as
 // many iterations as you like (it reports the first divergence found).
@@ -34,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	noAuto := flag.Bool("no-auto", false, "exclude the Auto pseudo-level from the draw pool")
 	noCluster := flag.Bool("no-cluster", false, "skip the interleaved cluster scenarios")
+	noServing := flag.Bool("no-serving", false, "skip the interleaved online-serving scenarios")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -47,6 +53,16 @@ func main() {
 			csc := fuzz.RandomCluster(rng)
 			if err := csc.Check(rng); err != nil {
 				fmt.Fprintf(os.Stderr, "pidfuzz: cluster scenario %d FAILED: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+		if !*noServing && i%4 == 2 {
+			ssc, err := fuzz.RandomServing(rng)
+			if err == nil {
+				err = ssc.Check()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pidfuzz: serving scenario %d FAILED: %v\n", i, err)
 				os.Exit(1)
 			}
 		}

@@ -10,6 +10,9 @@
 // With -cluster it builds a representative cost-only cluster, compiles
 // and replays global collectives through the cluster layer, and prints
 // the per-host plan-cache, fusion and network-lane statistics.
+// With -serving it drives the canonical online-serving scenario
+// (internal/serve) under both scheduling policies and prints the
+// per-tenant sojourn percentiles, deadline misses and churn outcome.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dram"
 	"repro/internal/elem"
+	"repro/internal/serve"
 	"repro/pidcomm"
 )
 
@@ -30,6 +34,7 @@ func main() {
 	plancache := flag.Bool("plancache", false, "run a representative compile/replay workload and print plan-cache statistics")
 	tenants := flag.Bool("tenants", false, "provision a representative multi-tenant machine and list arenas, weights, quotas and per-tenant meters")
 	cluster := flag.Bool("cluster", false, "build a representative cost-only cluster, replay global collectives through the cluster layer and print per-host plan-cache, fusion and network-lane statistics")
+	serving := flag.Bool("serving", false, "drive the canonical online-serving scenario under WFQ and EDF and print per-tenant sojourn percentiles, deadline misses and churn outcome")
 	flag.Parse()
 
 	if *plancache {
@@ -48,6 +53,13 @@ func main() {
 	}
 	if *cluster {
 		if err := printCluster(*mram); err != nil {
+			fmt.Fprintln(os.Stderr, "pidinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serving {
+		if err := printServing(); err != nil {
 			fmt.Fprintln(os.Stderr, "pidinfo:", err)
 			os.Exit(1)
 		}
@@ -335,5 +347,52 @@ func printTenants(mram int) error {
 	}
 	fmt.Printf("\nmachine breakdown (sum of tenant meters): %v\n", mach.Breakdown())
 	fmt.Printf("elapsed (overlap-aware makespan):         %.3f ms\n", float64(mach.Elapsed())*1e3)
+	return nil
+}
+
+// printServing drives the canonical chat/feed/batch serving scenario
+// (internal/serve) at the rho=0.9 operating point under both scheduling
+// policies, then once more under EDF with tenant churn, and prints the
+// per-tenant sojourn percentiles — the interactive counterpart of
+// `pidbench -exp serving`.
+func printServing() error {
+	const rho, requests = 0.9, 800
+	fmt.Printf("Online serving: chat/feed/batch mix at rho=%.1f offered load, %d requests, cost-only\n\n", rho, requests)
+	for _, pol := range []pidcomm.SchedPolicy{pidcomm.SchedWFQ, pidcomm.SchedEDF} {
+		cfg, err := serve.Scenario(pol, rho, requests)
+		if err != nil {
+			return err
+		}
+		res, err := serve.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy %s: %.0f req/s, SLO p99 %.4f ms, %d missed, %d shed\n",
+			pol, res.Throughput, float64(res.SLO.P99)*1e3, res.Missed, res.Shed)
+		fmt.Printf("  %-8s %-8s %-8s %10s %12s %12s %8s %6s\n",
+			"tenant", "model", "arrivals", "requests", "p50(ms)", "p99(ms)", "missed", "shed")
+		for i, ts := range res.Tenants {
+			sp := cfg.Tenants[i]
+			fmt.Printf("  %-8s %-8s %-8s %10d %12.4f %12.4f %8d %6d\n",
+				ts.Name, sp.Model, sp.Arrivals, ts.Stats.Count,
+				float64(ts.Stats.P50)*1e3, float64(ts.Stats.P99)*1e3, ts.Stats.Missed, ts.Stats.Shed)
+		}
+		fmt.Println()
+	}
+	cfg, err := serve.Scenario(pidcomm.SchedEDF, rho, requests)
+	if err != nil {
+		return err
+	}
+	cfg.ChurnEvery = 50
+	res, err := serve.Run(cfg)
+	if err != nil {
+		return err
+	}
+	churns := 0
+	for _, ts := range res.Tenants {
+		churns += ts.Churns
+	}
+	fmt.Printf("with tenant churn every 50 completions (edf): %d teardown/recreate cycles, SLO p99 %.4f ms, free list re-coalesced to %v\n",
+		churns, float64(res.SLO.P99)*1e3, res.FreeSpans)
 	return nil
 }

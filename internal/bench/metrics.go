@@ -49,6 +49,7 @@ var metricExperiments = map[string]func(add func(name string, seconds float64)) 
 	"fusion":      collectFusion,
 	"funcspeed":   collectFuncSpeed,
 	"cluster":     collectCluster,
+	"serving":     collectServing,
 }
 
 // MetricExperimentIDs returns the experiment IDs with metric collectors,

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/serve"
+	"repro/pidcomm"
+)
+
+// servingPoints are the offered-load fractions the serving experiment
+// sweeps: below, near and past the knee of the throughput-vs-latency
+// curve (rho > 1 is deliberate overload).
+var servingPoints = []float64{0.6, 0.75, 0.9, 1.05}
+
+// servingRequests sizes a sweep point; Full triples it.
+func servingRequests(full bool) int {
+	if full {
+		return 2400
+	}
+	return 800
+}
+
+// runServingPoint runs the canonical scenario at one (policy, rho)
+// operating point.
+func runServingPoint(pol pidcomm.SchedPolicy, rho float64, n int, mutate func(*serve.Config)) (serve.Result, error) {
+	cfg, err := serve.Scenario(pol, rho, n)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return serve.Run(cfg)
+}
+
+func init() {
+	register("serving", "Online serving: open-loop chat/feed/batch mix, WFQ vs EDF throughput-vs-p99 sweep, churn and overload", func(o Options) error {
+		n := servingRequests(o.Full)
+		ms := func(s pidcomm.Seconds) string { return fmt.Sprintf("%.4f", float64(s)*1e3) }
+		t := newTable("rho", "policy", "req/s", "SLO p50(ms)", "SLO p99(ms)", "SLO p99.9(ms)", "missed", "shed")
+		for _, rho := range servingPoints {
+			for _, pol := range []pidcomm.SchedPolicy{pidcomm.SchedWFQ, pidcomm.SchedEDF} {
+				res, err := runServingPoint(pol, rho, n, nil)
+				if err != nil {
+					return err
+				}
+				t.add(fmt.Sprintf("%.2f", rho), pol.String(), fmt.Sprintf("%.0f", res.Throughput),
+					ms(res.SLO.P50), ms(res.SLO.P99), ms(res.SLO.P999),
+					fmt.Sprintf("%d", res.Missed), fmt.Sprintf("%d", res.Shed))
+			}
+		}
+		t.write(o.W)
+
+		// Variants at the rho=0.9 gate point: tenant churn mid-run, fused
+		// (preemption-point-free) submission, and deliberate overload with
+		// a tight pending budget.
+		fmt.Fprintln(o.W)
+		v := newTable("variant (rho=0.9, edf)", "req/s", "SLO p99(ms)", "chat p99(ms)", "missed", "shed", "churns")
+		churn, err := runServingPoint(pidcomm.SchedEDF, 0.9, n, func(c *serve.Config) { c.ChurnEvery = 50 })
+		if err != nil {
+			return err
+		}
+		fused, err := runServingPoint(pidcomm.SchedEDF, 0.9, n, func(c *serve.Config) { c.Fused = true })
+		if err != nil {
+			return err
+		}
+		overload, err := runServingPoint(pidcomm.SchedEDF, 0.9, n, func(c *serve.Config) {
+			for i := range c.Tenants {
+				c.Tenants[i].Rate *= 4
+				c.Tenants[i].MaxPending = 4
+			}
+			c.Tenants[len(c.Tenants)-1].Shed = pidcomm.ShedOldest
+			c.MaxRequests = 16 * n
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range []struct {
+			name string
+			r    serve.Result
+		}{{"churn every 50", churn}, {"fused requests", fused}, {"4x overload, MaxPending 4", overload}} {
+			churns := 0
+			for _, ts := range e.r.Tenants {
+				churns += ts.Churns
+			}
+			v.add(e.name, fmt.Sprintf("%.0f", e.r.Throughput), ms(e.r.SLO.P99), ms(e.r.Tenants[0].Stats.P99),
+				fmt.Sprintf("%d", e.r.Missed), fmt.Sprintf("%d", e.r.Shed), fmt.Sprintf("%d", churns))
+		}
+		v.write(o.W)
+		return nil
+	})
+}
+
+// collectServing gates the serving tail at the canonical rho=0.9 point.
+// Beyond the usual lower-is-better metric deltas, the collector itself
+// enforces the hard acceptance properties: EDF misses zero deadlines
+// below saturation and holds at least a 1.2x p99 advantage over WFQ.
+func collectServing(add func(string, float64)) error {
+	const n = 800
+	wfq, err := runServingPoint(pidcomm.SchedWFQ, 0.9, n, nil)
+	if err != nil {
+		return err
+	}
+	edf, err := runServingPoint(pidcomm.SchedEDF, 0.9, n, nil)
+	if err != nil {
+		return err
+	}
+	churn, err := runServingPoint(pidcomm.SchedEDF, 0.9, n, func(c *serve.Config) { c.ChurnEvery = 50 })
+	if err != nil {
+		return err
+	}
+	if edf.Missed != 0 {
+		return fmt.Errorf("serving: EDF missed %d deadlines below saturation", edf.Missed)
+	}
+	if edf.Shed != 0 || wfq.Shed != 0 {
+		return fmt.Errorf("serving: unexpected shedding below saturation (wfq %d, edf %d)", wfq.Shed, edf.Shed)
+	}
+	if float64(wfq.SLO.P99) < 1.2*float64(edf.SLO.P99) {
+		return fmt.Errorf("serving: EDF p99 advantage below the 1.2x gate: wfq=%v edf=%v (%.3fx)",
+			wfq.SLO.P99, edf.SLO.P99, float64(wfq.SLO.P99)/float64(edf.SLO.P99))
+	}
+	add("wfq_p99", float64(wfq.SLO.P99))
+	add("edf_p99", float64(edf.SLO.P99))
+	add("edf_p999", float64(edf.SLO.P999))
+	add("edf_churn_p99", float64(churn.SLO.P99))
+	add("makespan", float64(edf.Makespan))
+	return nil
+}

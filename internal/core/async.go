@@ -28,8 +28,100 @@ import (
 
 // MaxPendingPlans bounds the per-Comm submission queue: Submit blocks
 // once this many plans are in flight, providing backpressure to
-// serving-style producers.
+// serving-style producers. Per-tenant bounds (TenantConfig.MaxPending)
+// reject instead of blocking — see ShedPolicy.
 const MaxPendingPlans = 1024
+
+// SchedPolicy selects how the submission worker picks the next queued
+// plan across buckets.
+type SchedPolicy int
+
+const (
+	// SchedWFQ is start-time weighted fair queuing (the default): serve
+	// the backlogged bucket with the smallest virtual time, FIFO within
+	// a bucket. Throughput-fair, deadline-blind.
+	SchedWFQ SchedPolicy = iota
+	// SchedEDF is earliest-deadline-first layered on the WFQ buckets:
+	// among the hazard-free candidates near every bucket's head, pick
+	// the one with the earliest deadline (no deadline sorts last; ties
+	// fall back to submission order). Bucket virtual times still advance
+	// so a later switch back to SchedWFQ resumes fair.
+	SchedEDF
+)
+
+// String names the policy for tables and diagnostics.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedWFQ:
+		return "wfq"
+	case SchedEDF:
+		return "edf"
+	}
+	return fmt.Sprintf("SchedPolicy(%d)", int(p))
+}
+
+// SetSched selects the submission scheduling policy. Safe to call at any
+// time; plans already popped by the worker are unaffected.
+func (c *Comm) SetSched(p SchedPolicy) {
+	c.asyncMu.Lock()
+	c.sched = p
+	c.asyncMu.Unlock()
+}
+
+// Sched returns the current submission scheduling policy.
+func (c *Comm) Sched() SchedPolicy {
+	c.asyncMu.Lock()
+	defer c.asyncMu.Unlock()
+	return c.sched
+}
+
+// SetStepped switches the Comm into stepped serving mode: submissions
+// only enqueue, and the caller drives execution one plan at a time with
+// Step. Stepped mode makes open-loop serving simulations deterministic —
+// a single-threaded driver fully controls the interleaving of arrivals
+// and picks, with no background worker racing it. Flip it only while no
+// submissions are in flight (a worker already running keeps draining);
+// Flush drains a stepped queue synchronously.
+func (c *Comm) SetStepped(on bool) {
+	c.asyncMu.Lock()
+	c.stepped = on
+	c.asyncMu.Unlock()
+}
+
+// Stepped reports whether the Comm is in stepped serving mode.
+func (c *Comm) Stepped() bool {
+	c.asyncMu.Lock()
+	defer c.asyncMu.Unlock()
+	return c.stepped
+}
+
+// Pending returns the number of submitted plans not yet completed
+// (queued or executing).
+func (c *Comm) Pending() int {
+	c.asyncMu.Lock()
+	defer c.asyncMu.Unlock()
+	return c.asyncPending
+}
+
+// Step pops the next plan under the current scheduling policy and
+// executes it synchronously, returning its (completed) future. Returns
+// nil when the queue is empty — or when a background worker owns the
+// queue (non-stepped mode with submissions in flight), since stepping
+// would race it.
+func (c *Comm) Step() *Future {
+	c.asyncMu.Lock()
+	if c.asyncRunning {
+		c.asyncMu.Unlock()
+		return nil
+	}
+	f := c.pickLocked()
+	c.asyncMu.Unlock()
+	if f == nil {
+		return nil
+	}
+	c.runSubmitted(f)
+	return f
+}
 
 // span is one per-PE MRAM byte range [off, off+n) a plan touches. All PEs
 // of a Comm use the same offsets, so one span describes the whole
@@ -91,6 +183,13 @@ type Future struct {
 	// different buckets in submission order. Guarded by asyncMu.
 	seq  uint64
 	done chan struct{}
+
+	// notBefore and deadline are the serving attributes carried from
+	// SubmitOptions: the plan's simulated arrival time (its placement
+	// starts no earlier) and its absolute deadline (0 = none; consulted
+	// by the EDF pick). Immutable after submission.
+	notBefore cost.Seconds
+	deadline  cost.Seconds
 
 	// Set exactly once before done is closed.
 	bd         cost.Breakdown
@@ -155,6 +254,14 @@ func (f *Future) Window() (start, end cost.Seconds) {
 // Plan returns the compiled plan this future executes.
 func (f *Future) Plan() *CompiledPlan { return f.cp }
 
+// Deadline returns the absolute simulated-time deadline the plan was
+// submitted with (0 = none).
+func (f *Future) Deadline() cost.Seconds { return f.deadline }
+
+// NotBefore returns the simulated arrival time the plan was submitted
+// with: its timeline placement starts no earlier.
+func (f *Future) NotBefore() cost.Seconds { return f.notBefore }
+
 // subQueue is one weighted-fair submission bucket: the default queue of
 // a Comm (weight 1) or one tenant's queue. Within a bucket plans execute
 // in FIFO submission order — which is what preserves the hazard ordering
@@ -190,14 +297,31 @@ type subQueue struct {
 // Host-input plans (Scatter, Broadcast) read their bound buffers when the
 // plan *executes*, not when it is submitted: do not refill the buffers
 // until the future completes.
-func (cp *CompiledPlan) Submit() *Future { return cp.c.submit(cp, true) }
+func (cp *CompiledPlan) Submit() *Future { return cp.c.submit(cp, true, SubmitOptions{}) }
+
+// SubmitOptions carries the serving attributes of one submission.
+type SubmitOptions struct {
+	// NotBefore is the plan's simulated arrival time: its timeline
+	// placement starts no earlier, so sojourn time (completion minus
+	// arrival) is measured against the open-loop arrival process rather
+	// than the submission call.
+	NotBefore cost.Seconds
+	// Deadline is the absolute simulated-time deadline (0 = none). The
+	// EDF scheduling policy (SchedEDF) serves earlier deadlines first;
+	// a missed deadline is observable as Window end > Deadline.
+	Deadline cost.Seconds
+}
+
+// SubmitOpts is Submit with explicit serving attributes (arrival time,
+// deadline). See CompiledPlan.Submit for queue semantics.
+func (cp *CompiledPlan) SubmitOpts(o SubmitOptions) *Future { return cp.c.submit(cp, true, o) }
 
 // submit enqueues a plan execution, starting the worker if idle. admit
 // selects quota admission here; the cluster layer admits every host's
 // plan up front instead (cluster.go) and passes false, so a quota
 // rejection can never strand the other hosts at a rendezvous barrier.
-func (c *Comm) submit(cp *CompiledPlan, admit bool) *Future {
-	f := &Future{cp: cp, done: make(chan struct{})}
+func (c *Comm) submit(cp *CompiledPlan, admit bool, o SubmitOptions) *Future {
+	f := &Future{cp: cp, done: make(chan struct{}), notBefore: o.NotBefore, deadline: o.Deadline}
 	if admit {
 		if err := cp.owner.admit(cp.tr.total.Total()); err != nil {
 			f.err = err
@@ -207,6 +331,44 @@ func (c *Comm) submit(cp *CompiledPlan, admit bool) *Future {
 	}
 	c.asyncSlots <- struct{}{} // acquire a queue slot (backpressure)
 	c.asyncMu.Lock()
+	if t := cp.owner; t != nil {
+		// Re-check closure under asyncMu: a Close racing this submission
+		// has either already swept the bucket (we must not re-populate
+		// it) or will sweep the entry we are about to append.
+		if t.isClosed() {
+			c.asyncMu.Unlock()
+			<-c.asyncSlots
+			t.refund(cp.tr.total.Total())
+			f.err = fmt.Errorf("%w: tenant %q", ErrTenantClosed, t.name)
+			close(f.done)
+			return f
+		}
+		// Per-tenant overload admission: beyond MaxPending in-flight
+		// plans, either reject this submission or shed the oldest queued
+		// one, per the tenant's ShedPolicy.
+		if t.maxPending > 0 && t.inflight >= t.maxPending {
+			shed := false
+			if t.shed == ShedOldest && len(t.sq.q) > 0 {
+				victim := t.sq.q[0]
+				t.sq.q[0] = nil
+				t.sq.q = t.sq.q[1:]
+				c.completeDroppedLocked(victim, fmt.Errorf("%w: tenant %q plan shed by newer submission (max %d pending)",
+					ErrOverloaded, t.name, t.maxPending))
+				shed = true
+			}
+			if !shed {
+				inflight := t.inflight
+				c.asyncMu.Unlock()
+				<-c.asyncSlots
+				t.refund(cp.tr.total.Total())
+				f.err = fmt.Errorf("%w: tenant %q has %d plans in flight (max %d)",
+					ErrOverloaded, t.name, inflight, t.maxPending)
+				close(f.done)
+				return f
+			}
+		}
+		t.inflight++
+	}
 	c.seqCounter++
 	f.seq = c.seqCounter
 	q := c.queues[0]
@@ -221,12 +383,29 @@ func (c *Comm) submit(cp *CompiledPlan, admit bool) *Future {
 	}
 	q.q = append(q.q, f)
 	c.asyncPending++
-	if !c.asyncRunning {
+	if !c.asyncRunning && !c.stepped {
 		c.asyncRunning = true
 		go c.asyncLoop()
 	}
 	c.asyncMu.Unlock()
 	return f
+}
+
+// completeDroppedLocked finishes a queued future without executing it
+// (overload shedding, tenant close): it refunds the quota admission,
+// publishes err, and releases the queue bookkeeping. The future's
+// Window stays zero — it never reached the timeline. Callers hold
+// asyncMu and have already removed the future from its bucket.
+func (c *Comm) completeDroppedLocked(f *Future, err error) {
+	if t := f.cp.owner; t != nil {
+		t.refund(f.cp.tr.total.Total())
+		t.inflight--
+	}
+	f.err = err
+	close(f.done)
+	c.asyncPending--
+	c.asyncCond.Broadcast()
+	<-c.asyncSlots // release the victim's queue slot
 }
 
 // pickLocked pops the next future under weighted-fair scheduling: the
@@ -244,6 +423,9 @@ func (c *Comm) submit(cp *CompiledPlan, admit bool) *Future {
 // smallest sequence number is always eligible (nothing earlier is left
 // anywhere), so the scan cannot deadlock.
 func (c *Comm) pickLocked() *Future {
+	if c.sched == SchedEDF {
+		return c.pickEDFLocked()
+	}
 	backlogged := 0
 	for _, q := range c.queues {
 		if len(q.q) > 0 {
@@ -277,6 +459,90 @@ func (c *Comm) pickLocked() *Future {
 		best.vtime += float64(f.cp.tr.total.Total()) / best.weight
 		return f
 	}
+}
+
+// edfLookahead bounds how deep into each bucket the EDF pick scans for
+// candidates. Deep scanning is pointless — a plan can only jump ahead of
+// queue-mates it does not conflict with, and consecutive plans of one
+// tenant usually reuse the same arena regions — so a small window keeps
+// the pick O(buckets x lookahead) under deep backlogs.
+const edfLookahead = 32
+
+// edfLess orders two candidate futures for the EDF pick: earlier
+// deadline first, a deadline beats no deadline, ties fall back to
+// submission order (which keeps the pick deterministic and degrades to
+// global FIFO when nothing carries a deadline).
+func edfLess(a, b *Future) bool {
+	switch {
+	case a.deadline > 0 && b.deadline > 0 && a.deadline != b.deadline:
+		return a.deadline < b.deadline
+	case a.deadline > 0 && b.deadline <= 0:
+		return true
+	case b.deadline > 0 && a.deadline <= 0:
+		return false
+	}
+	return a.seq < b.seq
+}
+
+// pickEDFLocked pops the earliest-deadline hazard-free candidate across
+// all buckets. A candidate is any plan within edfLookahead of its
+// bucket's head that conflicts with no earlier-submitted plan still
+// queued anywhere — so conflicting plans always execute in submission
+// order, exactly like the WFQ pick, and byte-level results are
+// independent of the policy. The globally oldest queued plan is always
+// a candidate (nothing earlier is left to conflict with, and buckets
+// are FIFO so it sits at index 0), hence the pick cannot return nil
+// while work is queued. Bucket virtual times advance exactly as under
+// WFQ: EDF changes who is served next, not what service costs.
+// Callers hold asyncMu.
+func (c *Comm) pickEDFLocked() *Future {
+	var bestQ *subQueue
+	bestIdx := -1
+	for _, q := range c.queues {
+		depth := len(q.q)
+		if depth > edfLookahead {
+			depth = edfLookahead
+		}
+		for i := 0; i < depth; i++ {
+			f := q.q[i]
+			if c.conflictsQueuedEarlierLocked(f) {
+				continue
+			}
+			if bestIdx < 0 || edfLess(f, bestQ.q[bestIdx]) {
+				bestQ, bestIdx = q, i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return nil
+	}
+	f := bestQ.q[bestIdx]
+	copy(bestQ.q[bestIdx:], bestQ.q[bestIdx+1:])
+	bestQ.q[len(bestQ.q)-1] = nil
+	bestQ.q = bestQ.q[:len(bestQ.q)-1]
+	c.vclock = bestQ.vtime
+	bestQ.vtime += float64(f.cp.tr.total.Total()) / bestQ.weight
+	for _, q := range c.queues {
+		q.skip = false
+	}
+	return f
+}
+
+// conflictsQueuedEarlierLocked reports whether any earlier-submitted
+// plan still queued in any bucket (including f's own) carries a data
+// hazard against f — if so, f may not jump ahead. Callers hold asyncMu.
+func (c *Comm) conflictsQueuedEarlierLocked(f *Future) bool {
+	for _, q := range c.queues {
+		for _, o := range q.q {
+			if o.seq >= f.seq {
+				break // buckets are FIFO in seq order: the rest is later
+			}
+			if f.cp.regs.conflicts(o.cp.regs) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // conflictsEarlierLocked reports whether f must wait for an
@@ -321,9 +587,12 @@ func (c *Comm) asyncLoop() {
 // path, so a failing plan can neither complete twice (close of a closed
 // channel panics) nor leak or double-release its queue slot.
 func (c *Comm) runSubmitted(f *Future) {
-	f.bd, f.out, f.start, f.end, f.err = c.execSubmitted(f.cp)
+	f.bd, f.out, f.start, f.end, f.err = c.execSubmitted(f.cp, f.notBefore)
 	close(f.done)
 	c.asyncMu.Lock()
+	if t := f.cp.owner; t != nil {
+		t.inflight--
+	}
 	c.asyncPending--
 	c.asyncCond.Broadcast()
 	c.asyncMu.Unlock()
@@ -335,7 +604,7 @@ func (c *Comm) runSubmitted(f *Future) {
 // backend mid-schedule is converted into the returned error; the plan's
 // timeline window remains booked (its partial charges remain on the
 // meter) and dependents stay ordered after it.
-func (c *Comm) execSubmitted(cp *CompiledPlan) (bd cost.Breakdown, out [][]byte, start, end cost.Seconds, err error) {
+func (c *Comm) execSubmitted(cp *CompiledPlan, notBefore cost.Seconds) (bd cost.Breakdown, out [][]byte, start, end cost.Seconds, err error) {
 	c.execMu.Lock()
 	defer c.execMu.Unlock()
 	defer func() {
@@ -349,6 +618,11 @@ func (c *Comm) execSubmitted(cp *CompiledPlan) (bd cost.Breakdown, out [][]byte,
 	// starts at asyncBase), so dropping them keeps the frontier bounded
 	// by the work in flight even in flows that never call Flush.
 	earliest := c.asyncBase
+	if notBefore > earliest {
+		// Serving submissions start no earlier than their simulated
+		// arrival time (SubmitOptions.NotBefore).
+		earliest = notBefore
+	}
 	live := c.frontier[:0]
 	for _, pl := range c.frontier {
 		if pl.end <= c.asyncBase {
@@ -412,6 +686,16 @@ func (c *Comm) placeSerialLocked(segs []cost.Segment) {
 // directly (SetPEBuffer/GetPEBuffer, application kernels) while
 // submissions may be in flight.
 func (c *Comm) Flush() {
+	// In stepped mode no worker drains the queue, so Flush steps it dry
+	// itself before waiting out anything still executing elsewhere.
+	for {
+		c.asyncMu.Lock()
+		drain := c.stepped && !c.asyncRunning && c.asyncPending > 0
+		c.asyncMu.Unlock()
+		if !drain || c.Step() == nil {
+			break
+		}
+	}
 	c.asyncMu.Lock()
 	for c.asyncPending > 0 {
 		c.asyncCond.Wait()

@@ -1058,7 +1058,7 @@ func (cp *ClusterPlan) Submit() *ClusterFuture {
 	defer cp.cl.execMu.Unlock()
 	cf.fs = make([]*Future, len(cp.plans))
 	for h, hp := range cp.plans {
-		cf.fs[h] = hp.c.submit(hp, false)
+		cf.fs[h] = hp.c.submit(hp, false, SubmitOptions{})
 	}
 	return cf
 }

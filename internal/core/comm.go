@@ -81,6 +81,9 @@ type Comm struct {
 	// submissions at MaxPendingPlans. queues[0] is the default queue of
 	// plans submitted outside any tenant; every tenant appends its own
 	// (async.go, tenant.go).
+	// sched and stepped are the serving knobs: the pick policy
+	// (SchedWFQ/SchedEDF) and stepped mode, where the caller drives
+	// execution via Step instead of a background worker (async.go).
 	asyncMu      sync.Mutex
 	asyncCond    *sync.Cond
 	queues       []*subQueue
@@ -89,11 +92,15 @@ type Comm struct {
 	asyncRunning bool
 	asyncPending int
 	asyncSlots   chan struct{}
+	sched        SchedPolicy
+	stepped      bool
 
-	// tenantMu guards the tenant registry, used to keep arenas disjoint
-	// (tenant.go).
+	// tenantMu guards the tenant registry, used to keep arenas disjoint,
+	// and the retired list of closed tenants, kept so machine-total
+	// accounting still sees their meters (tenant.go).
 	tenantMu sync.Mutex
 	tenants  []*Tenant
+	retired  []*Tenant
 
 	// Parallel-execution state, all guarded by execMu (the knob and the
 	// per-shard contexts are only touched while an execution holds the

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// Edge tests for the serving-side scheduler features: EDF picking,
+// stepped execution, overload shedding and tenant churn.
+
+// servingTenantCfg builds a TenantConfig over the tenantTestComm
+// geometry.
+func servingTenantCfg(name string, base int, maxPending int, shed ShedPolicy) TenantConfig {
+	return TenantConfig{Name: name, Base: base, Bytes: 1 << 12, Weight: 1,
+		MaxPending: maxPending, Shed: shed}
+}
+
+// servingCollective is the unit request of these tests: an AlltoAll
+// over the 16-PE test hypercube, arena-relative.
+var servingCollective = Collective{Prim: AlltoAll, Dims: "1",
+	Src: Span(0, 16*8), Dst: At(2 * 16 * 8), Level: CM}
+
+// The EDF pick order over hazard-free candidates: earliest absolute
+// deadline first, any deadline before none, ties and the deadline-free
+// tail by submission order — across buckets and past bucket heads.
+func TestEDFPickOrder(t *testing.T) {
+	a := &subQueue{weight: 1}
+	b := &subQueue{weight: 1}
+	c := &Comm{queues: []*subQueue{a, b}, sched: SchedEDF}
+	mk := func(seq uint64, deadline float64) *Future {
+		f := fakeFuture(1)
+		f.seq = seq
+		f.deadline = cost.Seconds(deadline)
+		return f
+	}
+	f1, f3 := mk(1, 0), mk(3, 5)
+	f2, f4 := mk(2, 9), mk(4, 1)
+	a.q = []*Future{f1, f3}
+	b.q = []*Future{f2, f4}
+	want := []*Future{f4, f3, f2, f1}
+	for i, w := range want {
+		c.asyncMu.Lock()
+		got := c.pickLocked()
+		c.asyncMu.Unlock()
+		if got != w {
+			t.Fatalf("pick %d: got seq %d, want seq %d", i, got.seq, w.seq)
+		}
+	}
+}
+
+// An urgent plan that conflicts with an earlier queued plan must wait
+// for it: EDF never reorders across a data hazard, even when the
+// earlier plan has no deadline at all.
+func TestEDFHoldsConflictingPlanToSeqOrder(t *testing.T) {
+	a := &subQueue{weight: 1}
+	c := &Comm{queues: []*subQueue{a}, sched: SchedEDF}
+	mk := func(seq uint64, deadline float64, off int) *Future {
+		f := fakeFuture(1)
+		f.seq = seq
+		f.deadline = cost.Seconds(deadline)
+		f.cp.regs.write(off, 64)
+		return f
+	}
+	slow := mk(1, 0, 0)   // no deadline, owns [0,64)
+	urgent := mk(2, 1, 0) // tight deadline, WAW on [0,64)
+	free := mk(3, 5, 512) // later deadline, independent region
+	a.q = []*Future{slow, urgent, free}
+	want := []*Future{free, slow, urgent}
+	for i, w := range want {
+		c.asyncMu.Lock()
+		got := c.pickLocked()
+		c.asyncMu.Unlock()
+		if got != w {
+			t.Fatalf("pick %d: got seq %d, want seq %d", i, got.seq, w.seq)
+		}
+	}
+}
+
+// Stepped mode: submissions queue without a worker, Pending reports the
+// backlog, Step retires exactly one plan per call in scheduling order,
+// and Flush drains the remainder. Step on an idle comm is a no-op.
+func TestSteppedStepAndFlush(t *testing.T) {
+	c := tenantTestComm(t, 1<<13)
+	c.SetStepped(true)
+	if f := c.Step(); f != nil {
+		t.Fatalf("Step on an idle comm returned %v", f)
+	}
+	ta, err := c.NewTenantCfg(servingTenantCfg("a", 0, 0, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*Future
+	for i := 0; i < 3; i++ {
+		f, err := ta.Submit(servingCollective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = append(fs, f)
+	}
+	if got := c.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	first := c.Step()
+	if first != fs[0] {
+		t.Fatalf("Step retired the wrong plan")
+	}
+	if !first.Done() || first.Err() != nil {
+		t.Fatalf("stepped future not complete: %v", first.Err())
+	}
+	if s, e := first.Window(); e <= s {
+		t.Fatalf("stepped future has empty window [%v,%v]", s, e)
+	}
+	if got := c.Pending(); got != 2 {
+		t.Fatalf("Pending after one step = %d, want 2", got)
+	}
+	c.Flush()
+	for i, f := range fs {
+		if !f.Done() || f.Err() != nil {
+			t.Fatalf("future %d not drained by Flush: %v", i, f.Err())
+		}
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending after Flush = %d, want 0", got)
+	}
+}
+
+// A submission rejected by overload admission returns an already
+// completed Future carrying ErrOverloaded and a zero Window — callers
+// never block on a shed request.
+func TestOverloadRejectReturnsCompletedZeroWindow(t *testing.T) {
+	c := tenantTestComm(t, 1<<13)
+	c.SetStepped(true)
+	ta, err := c.NewTenantCfg(servingTenantCfg("a", 0, 1, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := ta.Submit(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected, err := ta.Submit(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rejected.Done() {
+		t.Fatal("rejected future not immediately complete")
+	}
+	if !errors.Is(rejected.Err(), ErrOverloaded) {
+		t.Fatalf("rejected future error = %v, want ErrOverloaded", rejected.Err())
+	}
+	if s, e := rejected.Window(); s != 0 || e != 0 {
+		t.Fatalf("rejected future has a window [%v,%v], want zero", s, e)
+	}
+	c.Flush()
+	if accepted.Err() != nil {
+		t.Fatalf("accepted plan failed: %v", accepted.Err())
+	}
+	if got := ta.Admitted(); got != accepted.Cost().Total() {
+		t.Fatalf("quota ledger %v, want the accepted plan's %v (shed charge not refunded)",
+			got, accepted.Cost().Total())
+	}
+}
+
+// ShedOldest sacrifices the oldest queued plan for the incoming one.
+func TestShedOldestDropsQueuedVictim(t *testing.T) {
+	c := tenantTestComm(t, 1<<13)
+	c.SetStepped(true)
+	ta, err := c.NewTenantCfg(servingTenantCfg("a", 0, 1, ShedOldest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := ta.Submit(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner, err := ta.Submit(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !victim.Done() || !errors.Is(victim.Err(), ErrOverloaded) {
+		t.Fatalf("oldest queued plan not shed: done=%v err=%v", victim.Done(), victim.Err())
+	}
+	c.Flush()
+	if winner.Err() != nil {
+		t.Fatalf("incoming plan failed: %v", winner.Err())
+	}
+}
+
+// Tenant.Close retires the session: queued work drains first, later
+// submissions and runs fail with ErrTenantClosed, a second Close fails
+// the same way, and the tenant moves to the retired list with its meter
+// intact.
+func TestTenantCloseRetires(t *testing.T) {
+	c := tenantTestComm(t, 1<<13)
+	ta, err := c.NewTenantCfg(servingTenantCfg("a", 0, 0, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ta.Submit(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if f.Err() != nil {
+		t.Fatalf("pending plan not drained before close: %v", f.Err())
+	}
+	if !ta.Closed() {
+		t.Fatal("tenant not marked closed")
+	}
+	if err := ta.Close(); !errors.Is(err, ErrTenantClosed) {
+		t.Fatalf("double close error = %v, want ErrTenantClosed", err)
+	}
+	if _, err := ta.Run(servingCollective); !errors.Is(err, ErrTenantClosed) {
+		t.Fatalf("Run after close error = %v, want ErrTenantClosed", err)
+	}
+	fc, err := ta.Submit(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(fc.Err(), ErrTenantClosed) {
+		t.Fatalf("Submit after close future error = %v, want ErrTenantClosed", fc.Err())
+	}
+	for _, live := range c.Tenants() {
+		if live == ta {
+			t.Fatal("closed tenant still listed live")
+		}
+	}
+	retired := c.RetiredTenants()
+	if len(retired) != 1 || retired[0] != ta {
+		t.Fatalf("retired list %v, want [a]", retired)
+	}
+	if retired[0].Meter().Snapshot().Total() == 0 {
+		t.Fatal("retired tenant lost its meter")
+	}
+}
+
+// A successor tenant re-carving a churned tenant's arena compiles fresh
+// plans: Close must evict the retired owner's cached plans (their keys
+// carry absolute offsets, so the successor's signatures collide), and
+// the cache must miss — not adopt the dead tenant's plan.
+func TestTenantCloseEvictsOwnedPlans(t *testing.T) {
+	c := tenantTestComm(t, 1<<13)
+	ta, err := c.NewTenantCfg(servingTenantCfg("a", 0, 0, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ta.Compile(servingCollective); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ta.Compile(servingCollective); err != nil {
+		t.Fatal(err)
+	}
+	st := c.PlanCacheStats()
+	if st.PlanHits != 1 || st.PlanMisses != 1 {
+		t.Fatalf("before close: %d hits / %d misses, want 1/1", st.PlanHits, st.PlanMisses)
+	}
+	if err := ta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := c.NewTenantCfg(servingTenantCfg("b", 0, 0, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := tb.Compile(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = c.PlanCacheStats()
+	if st.PlanMisses != 2 {
+		t.Fatalf("successor adopted the retired tenant's plan (%d misses, want 2)", st.PlanMisses)
+	}
+	if f := cp.Submit(); f.Err() != nil {
+		t.Fatalf("successor plan failed: %v", f.Err())
+	}
+}
+
+// After churn empties and removes a bucket, a successor tenant's fresh
+// bucket must rejoin the weighted-fair scheduler at the current virtual
+// clock — no burst credit accumulated while it did not exist.
+func TestEmptyBucketRejoinsAtVclockAfterChurn(t *testing.T) {
+	c := tenantTestComm(t, 1<<13)
+	ta, err := c.NewTenantCfg(servingTenantCfg("a", 0, 0, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := c.NewTenantCfg(servingTenantCfg("b", 1<<12, 0, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive b's virtual time forward, then churn a (idle the whole
+	// time): the successor at a's base must join at the clock, not at 0.
+	for i := 0; i < 8; i++ {
+		f, err := tb.Submit(servingCollective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Flush()
+	if err := ta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := c.NewTenantCfg(servingTenantCfg("c", 0, 0, ShedReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := tc.Submit(servingCollective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	c.asyncMu.Lock()
+	vb, vc := tb.sq.vtime, tc.sq.vtime
+	c.asyncMu.Unlock()
+	if vc == 0 {
+		t.Errorf("successor bucket kept zero vtime (burst credit); want join at vclock ~%v", vb)
+	}
+}

@@ -29,6 +29,43 @@ import (
 // simulated-time quota cannot cover the next plan.
 var ErrQuotaExceeded = errors.New("core: tenant quota exceeded")
 
+// ErrOverloaded is wrapped by admission errors of a Tenant that already
+// has MaxPending plans in flight — the overload signal of the serving
+// path. Under ShedReject the incoming future carries it; under
+// ShedOldest the dropped (oldest queued) future does.
+var ErrOverloaded = errors.New("core: tenant overloaded")
+
+// ErrTenantClosed is wrapped by admission errors of a closed Tenant and
+// returned by a double Close.
+var ErrTenantClosed = errors.New("core: tenant closed")
+
+// ShedPolicy selects which plan an overloaded tenant sheds when a
+// submission arrives beyond MaxPending in flight.
+type ShedPolicy int
+
+const (
+	// ShedReject rejects the incoming submission (the default): its
+	// future completes immediately with ErrOverloaded and a zero Window.
+	ShedReject ShedPolicy = iota
+	// ShedOldest drops the tenant's oldest still-queued plan in favor of
+	// the incoming one: the victim's future completes with ErrOverloaded
+	// (zero Window), the newcomer is enqueued. If nothing is queued —
+	// everything in flight is already executing — the incoming
+	// submission is rejected as under ShedReject.
+	ShedOldest
+)
+
+// String names the policy for tables and diagnostics.
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedReject:
+		return "reject-newest"
+	case ShedOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("ShedPolicy(%d)", int(p))
+}
+
 // Tenant is one arena-scoped session on a shared Comm. Create tenants
 // with Comm.NewTenant; a Tenant is safe for concurrent use.
 type Tenant struct {
@@ -40,9 +77,41 @@ type Tenant struct {
 	quota  cost.Seconds
 	sq     *subQueue
 
-	// mu guards the admission ledger.
+	// maxPending and shed are the overload-admission knobs (immutable
+	// after creation): beyond maxPending in-flight plans, submissions
+	// shed per the policy. 0 = unlimited.
+	maxPending int
+	shed       ShedPolicy
+
+	// inflight counts the tenant's submitted-but-uncompleted plans
+	// (queued or executing). Guarded by the Comm's asyncMu.
+	inflight int
+
+	// mu guards the admission ledger and the closed flag.
 	mu       sync.Mutex
 	admitted cost.Seconds
+	closed   bool
+}
+
+// TenantConfig parameterizes NewTenantCfg, the full-featured tenant
+// registration; the positional NewTenant covers the common subset.
+type TenantConfig struct {
+	// Name labels the tenant in diagnostics and ownership errors.
+	Name string
+	// Base and Bytes give the tenant's per-PE MRAM arena [Base,
+	// Base+Bytes); both must be dram.BankBurstBytes-aligned and the
+	// window disjoint from every live tenant's arena.
+	Base, Bytes int
+	// Weight is the tenant's weighted-fair scheduler share (0 = 1).
+	Weight float64
+	// Quota, if positive, bounds the total simulated time the tenant
+	// may admit.
+	Quota cost.Seconds
+	// MaxPending, if positive, bounds the tenant's in-flight
+	// submissions; beyond it, submissions shed per Shed.
+	MaxPending int
+	// Shed is the overload policy applied beyond MaxPending.
+	Shed ShedPolicy
 }
 
 // NewTenant registers a tenant session over the per-PE MRAM window
@@ -52,6 +121,14 @@ type Tenant struct {
 // positive, bounds the total simulated time the tenant may admit
 // (enforced against each plan's predicted cost at Run/Submit).
 func (c *Comm) NewTenant(name string, base, bytes int, weight float64, quota cost.Seconds) (*Tenant, error) {
+	return c.NewTenantCfg(TenantConfig{Name: name, Base: base, Bytes: bytes, Weight: weight, Quota: quota})
+}
+
+// NewTenantCfg registers a tenant session with the full serving
+// configuration (overload bounds, shed policy) — see TenantConfig and
+// NewTenant.
+func (c *Comm) NewTenantCfg(cfg TenantConfig) (*Tenant, error) {
+	name, base, bytes, weight, quota := cfg.Name, cfg.Base, cfg.Bytes, cfg.Weight, cfg.Quota
 	if bytes <= 0 || base < 0 || base+bytes > c.hc.sys.MramSize() {
 		return nil, fmt.Errorf("core: tenant %q arena [%d,%d) exceeds MRAM size %d",
 			name, base, base+bytes, c.hc.sys.MramSize())
@@ -69,14 +146,19 @@ func (c *Comm) NewTenant(name string, base, bytes int, weight float64, quota cos
 	if quota < 0 {
 		return nil, fmt.Errorf("core: tenant %q quota %v must be non-negative", name, quota)
 	}
+	if cfg.MaxPending < 0 {
+		return nil, fmt.Errorf("core: tenant %q MaxPending %d must be non-negative", name, cfg.MaxPending)
+	}
 	t := &Tenant{
-		c:      c,
-		name:   name,
-		ar:     arena{base, bytes},
-		meter:  cost.NewMeter(),
-		weight: weight,
-		quota:  quota,
-		sq:     &subQueue{weight: weight},
+		c:          c,
+		name:       name,
+		ar:         arena{base, bytes},
+		meter:      cost.NewMeter(),
+		weight:     weight,
+		quota:      quota,
+		maxPending: cfg.MaxPending,
+		shed:       cfg.Shed,
+		sq:         &subQueue{weight: weight},
 	}
 	c.tenantMu.Lock()
 	for _, o := range c.tenants {
@@ -94,13 +176,99 @@ func (c *Comm) NewTenant(name string, base, bytes int, weight float64, quota cos
 	return t, nil
 }
 
-// Tenants returns the registered tenants in creation order.
+// Tenants returns the live (unclosed) tenants in creation order.
 func (c *Comm) Tenants() []*Tenant {
 	c.tenantMu.Lock()
 	defer c.tenantMu.Unlock()
 	out := make([]*Tenant, len(c.tenants))
 	copy(out, c.tenants)
 	return out
+}
+
+// RetiredTenants returns the closed tenants in closing order. Their
+// meters are retained so machine-total accounting (summing live +
+// retired tenant meters) stays bit-identical across churn.
+func (c *Comm) RetiredTenants() []*Tenant {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	out := make([]*Tenant, len(c.retired))
+	copy(out, c.retired)
+	return out
+}
+
+// Close retires the tenant: it drains the machine, rejects every later
+// admission with ErrTenantClosed, removes the tenant's scheduler bucket
+// and evicts its owned plans from the plan caches — plan keys carry
+// absolute offsets, so a successor tenant reusing the arena would
+// otherwise collide with the retiree's cached plans. The tenant's meter
+// survives on the Comm's retired list (RetiredTenants); the arena
+// window itself is the caller's to reclaim (pidcomm.Machine.CloseTenant
+// returns it to the dram free-list allocator). Returns ErrTenantClosed
+// on a double close.
+func (t *Tenant) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: tenant %q closed twice", ErrTenantClosed, t.name)
+	}
+	t.closed = true
+	t.mu.Unlock()
+	c := t.c
+	c.Flush()
+	c.asyncMu.Lock()
+	for i, q := range c.queues {
+		if q == t.sq {
+			c.queues = append(c.queues[:i], c.queues[i+1:]...)
+			break
+		}
+	}
+	// Sweep stragglers: a Submit that passed admission before the closed
+	// flag was set may have enqueued after the Flush drained. Nothing
+	// will ever pick them from the detached bucket, so complete them
+	// here with ErrTenantClosed.
+	for _, f := range t.sq.q {
+		c.completeDroppedLocked(f, fmt.Errorf("%w: tenant %q", ErrTenantClosed, t.name))
+	}
+	t.sq.q = nil
+	c.asyncMu.Unlock()
+	c.tenantMu.Lock()
+	for i, o := range c.tenants {
+		if o == t {
+			c.tenants = append(c.tenants[:i], c.tenants[i+1:]...)
+			break
+		}
+	}
+	c.retired = append(c.retired, t)
+	c.tenantMu.Unlock()
+	c.evictOwnedPlans(t)
+	return nil
+}
+
+// Closed reports whether the tenant has been closed.
+func (t *Tenant) Closed() bool { return t.isClosed() }
+
+func (t *Tenant) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// evictOwnedPlans drops every cached plan owned by t. Charge traces are
+// keyed by call shape only and stay — a successor tenant at the same
+// base offsets re-compiles the plan but reuses the trace.
+func (c *Comm) evictOwnedPlans(t *Tenant) {
+	c.compMu.Lock()
+	defer c.compMu.Unlock()
+	for k, cp := range c.compiled {
+		if cp.owned && cp.owner == t {
+			delete(c.compiled, k)
+		}
+	}
+	for k, cp := range c.seqPlans {
+		if cp.owned && cp.owner == t {
+			delete(c.seqPlans, k)
+		}
+	}
 }
 
 // Compile compiles d against the tenant's arena: every region must lie
@@ -175,6 +343,20 @@ func (t *Tenant) Weight() float64 { return t.weight }
 // Quota returns the tenant's simulated-time budget (0 = unlimited).
 func (t *Tenant) Quota() cost.Seconds { return t.quota }
 
+// MaxPending returns the tenant's in-flight submission bound
+// (0 = unlimited).
+func (t *Tenant) MaxPending() int { return t.maxPending }
+
+// Shed returns the tenant's overload shed policy.
+func (t *Tenant) Shed() ShedPolicy { return t.shed }
+
+// Pending returns the tenant's submitted-but-uncompleted plan count.
+func (t *Tenant) Pending() int {
+	t.c.asyncMu.Lock()
+	defer t.c.asyncMu.Unlock()
+	return t.inflight
+}
+
 // Admitted returns the predicted simulated time admitted so far — the
 // quantity the quota is enforced against.
 func (t *Tenant) Admitted() cost.Seconds {
@@ -202,12 +384,26 @@ func (t *Tenant) admit(c cost.Seconds) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("%w: tenant %q", ErrTenantClosed, t.name)
+	}
 	if t.quota > 0 && t.admitted+c > t.quota {
 		return fmt.Errorf("%w: tenant %q admitted %.6gs + requested %.6gs exceeds quota %.6gs",
 			ErrQuotaExceeded, t.name, float64(t.admitted), float64(c), float64(t.quota))
 	}
 	t.admitted += c
 	return nil
+}
+
+// refund reverses an admit for a plan that was admitted but never ran
+// (shed under overload, swept by a racing Close).
+func (t *Tenant) refund(c cost.Seconds) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.admitted -= c
+	t.mu.Unlock()
 }
 
 // ownerName labels a plan owner in diagnostics.

@@ -29,9 +29,13 @@
 //     MRAM: topology and size queries work, byte access panics. Combined
 //     with the cost-only backend it makes paper-scale sweeps allocation-
 //     free.
-//   - Arena / CarveArena carve each bank's MRAM into disjoint,
-//     burst-aligned per-tenant windows — the provisioning substrate of
-//     the multi-tenant session layer (core.Tenant, pidcomm.Machine).
+//   - Arena / CarveArena / FreeArena carve each bank's MRAM into
+//     disjoint, burst-aligned per-tenant windows — the provisioning
+//     substrate of the multi-tenant session layer (core.Tenant,
+//     pidcomm.Machine). Allocation is first-fit over a coalescing free
+//     list, so tenant churn (create/teardown at runtime,
+//     Machine.CloseTenant) returns windows to the pool instead of
+//     fragmenting MRAM; FreeSpans and LargestFree expose the pool state.
 //
 // # Concurrency
 //

@@ -79,24 +79,31 @@ type System struct {
 	// phantom marks a geometry-only system.
 	phantom bool
 
-	// carveMu guards carved, the high-water mark of the sequential
-	// arena allocator (CarveArena).
+	// carveMu guards free, the sorted, coalesced list of unallocated
+	// per-bank MRAM spans the arena allocator (CarveArena/FreeArena)
+	// hands windows out of.
 	carveMu sync.Mutex
-	carved  int
+	free    []Arena
 }
 
 // Arena is a per-bank MRAM byte window [Base, Base+Bytes), identical on
 // every PE: the unit of multi-tenant isolation. Arenas are carved
-// sequentially from offset 0 and never reclaimed — tenancy is a
-// provisioning-time decision, like binding DIMM ranks to VMs.
+// first-fit from a coalescing free list, so tenants can come and go at
+// runtime: FreeArena returns a window to the allocator and merges it
+// with adjacent free spans, keeping churn from fragmenting MRAM.
 type Arena struct {
 	Base  int
 	Bytes int
 }
 
-// CarveArena reserves the next bytes of every bank's MRAM (rounded up
-// to BankBurstBytes so arena-relative alignment equals absolute
-// alignment) and returns the carved window. Carving works on phantom
+// End returns the first offset past the arena.
+func (a Arena) End() int { return a.Base + a.Bytes }
+
+// CarveArena reserves a bytes-sized window of every bank's MRAM (rounded
+// up to BankBurstBytes so arena-relative alignment equals absolute
+// alignment) and returns the carved window. Allocation is first-fit over
+// the free list ordered by base offset, so with no intervening frees
+// arenas are carved sequentially from offset 0. Carving works on phantom
 // systems too — only sizes are tracked.
 func (s *System) CarveArena(bytes int) (Arena, error) {
 	if bytes <= 0 {
@@ -107,20 +114,107 @@ func (s *System) CarveArena(bytes int) (Arena, error) {
 	}
 	s.carveMu.Lock()
 	defer s.carveMu.Unlock()
-	if s.carved+bytes > s.geo.MramPerBank {
-		return Arena{}, fmt.Errorf("dram: arena of %d B does not fit: %d of %d B already carved",
-			bytes, s.carved, s.geo.MramPerBank)
+	for i, f := range s.free {
+		if f.Bytes < bytes {
+			continue
+		}
+		a := Arena{Base: f.Base, Bytes: bytes}
+		if f.Bytes == bytes {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+		} else {
+			s.free[i] = Arena{Base: f.Base + bytes, Bytes: f.Bytes - bytes}
+		}
+		return a, nil
 	}
-	a := Arena{Base: s.carved, Bytes: bytes}
-	s.carved += bytes
-	return a, nil
+	return Arena{}, fmt.Errorf("dram: arena of %d B does not fit: %d of %d B carved, largest free span %d B",
+		bytes, s.carvedLocked(), s.geo.MramPerBank, s.largestFreeLocked())
 }
 
-// CarvedBytes returns the per-bank bytes already carved into arenas.
+// FreeArena returns a previously carved window to the allocator,
+// coalescing it with adjacent free spans. The arena must be exactly as
+// carved (aligned, inside MRAM) and must not overlap any free span —
+// double frees and partial frees are rejected.
+func (s *System) FreeArena(a Arena) error {
+	if a.Bytes <= 0 {
+		return fmt.Errorf("dram: free of arena with non-positive size %d", a.Bytes)
+	}
+	if a.Base < 0 || a.Base%BankBurstBytes != 0 || a.Bytes%BankBurstBytes != 0 || a.End() > s.geo.MramPerBank {
+		return fmt.Errorf("dram: free of malformed arena [%d,%d) (mram %d)", a.Base, a.End(), s.geo.MramPerBank)
+	}
+	s.carveMu.Lock()
+	defer s.carveMu.Unlock()
+	// Find the insertion point: first free span at or past the arena.
+	i := 0
+	for i < len(s.free) && s.free[i].Base < a.Base {
+		i++
+	}
+	if i > 0 && s.free[i-1].End() > a.Base {
+		return fmt.Errorf("dram: double free: arena [%d,%d) overlaps free span [%d,%d)",
+			a.Base, a.End(), s.free[i-1].Base, s.free[i-1].End())
+	}
+	if i < len(s.free) && a.End() > s.free[i].Base {
+		return fmt.Errorf("dram: double free: arena [%d,%d) overlaps free span [%d,%d)",
+			a.Base, a.End(), s.free[i].Base, s.free[i].End())
+	}
+	mergePrev := i > 0 && s.free[i-1].End() == a.Base
+	mergeNext := i < len(s.free) && a.End() == s.free[i].Base
+	switch {
+	case mergePrev && mergeNext:
+		s.free[i-1].Bytes += a.Bytes + s.free[i].Bytes
+		s.free = append(s.free[:i], s.free[i+1:]...)
+	case mergePrev:
+		s.free[i-1].Bytes += a.Bytes
+	case mergeNext:
+		s.free[i] = Arena{Base: a.Base, Bytes: a.Bytes + s.free[i].Bytes}
+	default:
+		s.free = append(s.free, Arena{})
+		copy(s.free[i+1:], s.free[i:])
+		s.free[i] = a
+	}
+	return nil
+}
+
+func (s *System) carvedLocked() int {
+	free := 0
+	for _, f := range s.free {
+		free += f.Bytes
+	}
+	return s.geo.MramPerBank - free
+}
+
+func (s *System) largestFreeLocked() int {
+	max := 0
+	for _, f := range s.free {
+		if f.Bytes > max {
+			max = f.Bytes
+		}
+	}
+	return max
+}
+
+// CarvedBytes returns the per-bank bytes currently carved into arenas.
 func (s *System) CarvedBytes() int {
 	s.carveMu.Lock()
 	defer s.carveMu.Unlock()
-	return s.carved
+	return s.carvedLocked()
+}
+
+// LargestFree returns the largest contiguous free span's size — the
+// biggest arena CarveArena can currently satisfy.
+func (s *System) LargestFree() int {
+	s.carveMu.Lock()
+	defer s.carveMu.Unlock()
+	return s.largestFreeLocked()
+}
+
+// FreeSpans returns a copy of the free list, sorted by base offset and
+// maximally coalesced (no two spans are adjacent or overlapping).
+func (s *System) FreeSpans() []Arena {
+	s.carveMu.Lock()
+	defer s.carveMu.Unlock()
+	out := make([]Arena, len(s.free))
+	copy(out, s.free)
+	return out
 }
 
 // NewSystem allocates a system with the given geometry.
@@ -128,7 +222,7 @@ func NewSystem(geo Geometry) (*System, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{geo: geo, mram: make([][]byte, geo.NumPEs())}
+	s := &System{geo: geo, mram: make([][]byte, geo.NumPEs()), free: []Arena{{Base: 0, Bytes: geo.MramPerBank}}}
 	for i := range s.mram {
 		s.mram[i] = make([]byte, geo.MramPerBank)
 	}
@@ -143,7 +237,7 @@ func NewPhantomSystem(geo Geometry) (*System, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{geo: geo, phantom: true}, nil
+	return &System{geo: geo, phantom: true, free: []Arena{{Base: 0, Bytes: geo.MramPerBank}}}, nil
 }
 
 // Phantom reports whether the system backs no MRAM.

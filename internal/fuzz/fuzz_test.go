@@ -35,6 +35,25 @@ func TestFuzzSmoke(t *testing.T) {
 	}
 }
 
+// TestServingFuzzSmoke runs a deterministic slice of randomized
+// online-serving scenarios: random tenant mixes, arrival processes,
+// deadlines, overload budgets and mid-run churn, checked for replay
+// determinism, future leaks, hazard violations and allocator
+// re-coalescing (see ServingScenario).
+func TestServingFuzzSmoke(t *testing.T) {
+	const scenarios = 12
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < scenarios; i++ {
+		sc, err := RandomServing(rng)
+		if err != nil {
+			t.Fatalf("serving scenario %d: draw: %v", i, err)
+		}
+		if err := sc.Check(); err != nil {
+			t.Fatalf("serving scenario %d: %v", i, err)
+		}
+	}
+}
+
 // TestClusterFuzzSmoke runs a deterministic slice of randomized cluster
 // scenarios: hierarchical collectives over 1-4 hosts diffed against the
 // reference model on global ranks, with a cost-only twin cluster whose

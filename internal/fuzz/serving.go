@@ -1,0 +1,144 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/serve"
+	"repro/pidcomm"
+)
+
+// ServingScenario is one randomized online-serving configuration: a
+// random tenant mix (models, arrival processes, rates, SLOs, overload
+// budgets) under a random scheduling policy, with optional tenant churn
+// and fused submission, driven end-to-end through internal/serve.
+//
+// Check pins the serving invariants rather than byte equality: the run
+// must replay bit-identically, resolve every submitted request (no
+// future leaks), never start a request before its arrival, never
+// reorder one tenant's hazard-chained requests, and return every arena
+// to one coalesced free span after the final teardown — even when
+// tenants churn mid-run and requests shed under overload.
+type ServingScenario struct {
+	Cfg serve.Config
+}
+
+// RandomServing draws a serving scenario. Rates are calibrated against
+// the tenants' predicted request costs so the offered load lands in a
+// drawn rho in [0.3, 1.6) — spanning easy, near-knee and overloaded
+// operating points.
+func RandomServing(rng *rand.Rand) (ServingScenario, error) {
+	type machine struct {
+		geo   dram.Geometry
+		shape []int
+	}
+	machines := []machine{
+		{dram.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14}, []int{8, 8}},  // 64 PEs
+		{dram.Geometry{Channels: 2, RanksPerChannel: 1, BanksPerChip: 4, MramPerBank: 1 << 14}, []int{16, 4}}, // 64 PEs
+		{dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 13}, []int{4, 4}},  // 16 PEs
+	}
+	m := machines[rng.Intn(len(machines))]
+
+	nTenants := 1 + rng.Intn(3)
+	cfg := serve.Config{
+		Seed:       rng.Int63(),
+		Policy:     []pidcomm.SchedPolicy{pidcomm.SchedWFQ, pidcomm.SchedEDF}[rng.Intn(2)],
+		Geometry:   m.geo,
+		Shape:      m.shape,
+		BytesPerPE: 256 << rng.Intn(2),
+		Fused:      rng.Intn(4) == 0,
+		Horizon:    1, // placeholder until rates are calibrated
+	}
+	if rng.Intn(2) == 0 {
+		cfg.ChurnEvery = 5 + rng.Intn(20)
+	}
+	for i := 0; i < nTenants; i++ {
+		sp := serve.TenantSpec{
+			Name:     fmt.Sprintf("t%d", i),
+			Model:    serve.Model(rng.Intn(3)),
+			Arrivals: serve.ArrivalKind(rng.Intn(2)),
+			Burst:    2 + rng.Intn(6),
+			Rate:     1, // placeholder
+			Weight:   float64(1 + rng.Intn(3)),
+		}
+		if rng.Intn(2) == 0 {
+			sp.Deadline = cost.Seconds(0.001 * float64(1+rng.Intn(50)))
+		}
+		if rng.Intn(2) == 0 {
+			sp.MaxPending = 2 + rng.Intn(8)
+			sp.Shed = []pidcomm.ShedPolicy{pidcomm.ShedReject, pidcomm.ShedOldest}[rng.Intn(2)]
+		}
+		cfg.Tenants = append(cfg.Tenants, sp)
+	}
+	// Size the machine's MRAM for the arenas the driver will carve (4x
+	// the aligned base payload per tenant, one spare).
+	align := 4 * m.shape[0] * dram.BankBurstBytes
+	base := cfg.BytesPerPE
+	if r := base % align; r != 0 {
+		base += align - r
+	}
+	cfg.Geometry.MramPerBank = (nTenants + 1) * 4 * base
+
+	costs, err := serve.Calibrate(cfg)
+	if err != nil {
+		return ServingScenario{}, err
+	}
+	rho := 0.3 + 1.3*rng.Float64()
+	total := 0.0
+	for i := range cfg.Tenants {
+		cfg.Tenants[i].Rate = rho / float64(nTenants) / float64(costs[i])
+		total += cfg.Tenants[i].Rate
+	}
+	requests := 60 + rng.Intn(140)
+	cfg.Horizon = cost.Seconds(float64(requests) / total)
+	cfg.MaxRequests = 4 * requests
+	return ServingScenario{Cfg: cfg}, nil
+}
+
+// Check runs the scenario twice and verifies the serving invariants.
+func (sc ServingScenario) Check() error {
+	res, err := serve.Run(sc.Cfg)
+	if err != nil {
+		return fmt.Errorf("serving: %v (config %+v)", err, sc.Cfg)
+	}
+	again, err := serve.Run(sc.Cfg)
+	if err != nil {
+		return fmt.Errorf("serving replay: %v", err)
+	}
+	if !reflect.DeepEqual(res.Requests, again.Requests) || res.Breakdown != again.Breakdown {
+		return fmt.Errorf("serving: run is not deterministic under seed %d", sc.Cfg.Seed)
+	}
+	if res.Completed+res.Shed != res.Submitted {
+		return fmt.Errorf("serving: future leak: %d completed + %d shed != %d submitted",
+			res.Completed, res.Shed, res.Submitted)
+	}
+	frontier := make([]cost.Seconds, len(sc.Cfg.Tenants))
+	for i, r := range res.Requests {
+		if r.Shed {
+			if r.Start != 0 || r.End != 0 {
+				return fmt.Errorf("serving: shed request %d carries a window %+v", i, r)
+			}
+			continue
+		}
+		if r.Start < r.Arrival {
+			return fmt.Errorf("serving: request %d ran at %v before its arrival %v", i, r.Start, r.Arrival)
+		}
+		if r.End <= r.Start {
+			return fmt.Errorf("serving: request %d has an empty window [%v,%v]", i, r.Start, r.End)
+		}
+		if r.Start < frontier[r.Tenant] {
+			return fmt.Errorf("serving: request %d violates tenant %d's hazard chain (%v < %v)",
+				i, r.Tenant, r.Start, frontier[r.Tenant])
+		}
+		frontier[r.Tenant] = r.End
+	}
+	if len(res.FreeSpans) != 1 || res.FreeSpans[0].Base != 0 ||
+		res.FreeSpans[0].Bytes != sc.Cfg.Geometry.MramPerBank {
+		return fmt.Errorf("serving: allocator did not re-coalesce after teardown: %v (MRAM %d)",
+			res.FreeSpans, sc.Cfg.Geometry.MramPerBank)
+	}
+	return nil
+}

@@ -1,0 +1,678 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/pidcomm"
+)
+
+// Model selects the request shape a serving tenant emits. Each model is
+// a short pipeline of collectives over the tenant's arena, scaled off
+// the driver's base payload; consecutive requests of one tenant chain
+// on their data hazards (they reuse the same regions), while different
+// tenants' requests overlap freely on the shared timeline.
+type Model int
+
+const (
+	// DLRM is the embedding-exchange pipeline: AlltoAll (CM) feeding a
+	// ReduceScatter (IM) — the paper's headline workload, full payload.
+	DLRM Model = iota
+	// GNN is neighbor aggregation: AllGather (IM) feeding an AllReduce
+	// (IM), at half payload.
+	GNN
+	// MLP is gradient synchronization: one AllReduce (IM) at quarter
+	// payload — the short, latency-sensitive request.
+	MLP
+)
+
+// String names the model for tables.
+func (m Model) String() string {
+	switch m {
+	case DLRM:
+		return "dlrm"
+	case GNN:
+		return "gnn"
+	case MLP:
+		return "mlp"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ArrivalKind selects a tenant's arrival process.
+type ArrivalKind int
+
+const (
+	// Poisson draws i.i.d. exponential inter-arrival times at the
+	// tenant's rate.
+	Poisson ArrivalKind = iota
+	// Bursty draws Poisson burst epochs at rate Rate/Burst, each
+	// releasing a geometrically-sized clump (mean Burst) of simultaneous
+	// requests — same mean rate as Poisson, far heavier tail.
+	Bursty
+)
+
+// String names the arrival process for tables.
+func (k ArrivalKind) String() string {
+	if k == Bursty {
+		return "bursty"
+	}
+	return "poisson"
+}
+
+// TenantSpec configures one serving tenant of the driver.
+type TenantSpec struct {
+	// Name labels the tenant; Model picks its request pipeline.
+	Name  string
+	Model Model
+	// Arrivals and Rate define the open-loop arrival process (mean
+	// requests per simulated second); Burst is the mean clump size for
+	// Bursty (0 = 4).
+	Arrivals ArrivalKind
+	Rate     float64
+	Burst    int
+	// Weight is the tenant's weighted-fair scheduler share (0 = 1).
+	Weight float64
+	// Deadline is the per-request relative SLO (absolute deadline =
+	// arrival + Deadline); 0 = best-effort. The EDF policy schedules
+	// against it, and a completion past it counts as a miss.
+	Deadline cost.Seconds
+	// MaxPending bounds the tenant's in-flight submissions (0 = 64);
+	// beyond it, submissions shed per Shed with ErrOverloaded.
+	MaxPending int
+	Shed       pidcomm.ShedPolicy
+}
+
+// Config parameterizes one serving run.
+type Config struct {
+	// Seed drives every per-tenant arrival PRNG: equal configs with
+	// equal seeds replay bit-identically.
+	Seed int64
+	// Horizon is the arrival window [0, Horizon) in simulated seconds.
+	Horizon cost.Seconds
+	// Tenants are the serving sessions sharing the machine.
+	Tenants []TenantSpec
+	// Policy is the submission scheduling policy (SchedWFQ default).
+	Policy pidcomm.SchedPolicy
+	// BytesPerPE is the base request payload (default 4096); rounded up
+	// so every model's blocks align at the machine's group size.
+	BytesPerPE int
+	// Geometry and Shape size the simulated machine. Zero values give a
+	// machine just big enough for the tenant arenas on the paper's
+	// 1024-PE testbed (shape 32x32). Shape must be two-dimensional.
+	Geometry dram.Geometry
+	Shape    []int
+	// Fused submits each request as one fused CompileSequence plan
+	// instead of per-segment plans. The default (false) keeps the
+	// segment boundaries as preemption points: the scheduler can place
+	// an urgent plan between a long request's segments.
+	Fused bool
+	// ChurnEvery, if positive, retires and recreates a tenant after
+	// every ChurnEvery completed requests of it — runtime tenant churn:
+	// the arena goes back to the free-list allocator and the successor
+	// re-carves (first-fit) from the coalesced pool.
+	ChurnEvery int
+	// MaxRequests caps the total generated arrivals (default 20000);
+	// Run fails rather than truncate, so rates/horizons stay honest.
+	MaxRequests int
+}
+
+// RequestStat is the per-request outcome of a run.
+type RequestStat struct {
+	// Tenant indexes Config.Tenants; Arrival is the request's simulated
+	// arrival time and Deadline its absolute deadline (0 = none).
+	Tenant   int
+	Arrival  cost.Seconds
+	Deadline cost.Seconds
+	// Start is the placement start of the request's first segment, End
+	// the completion time of its last; Sojourn = End - Arrival. All
+	// zero when shed.
+	Start   cost.Seconds
+	End     cost.Seconds
+	Sojourn cost.Seconds
+	// Shed marks a request dropped by overload admission; Missed a
+	// completed request that finished past its deadline.
+	Shed   bool
+	Missed bool
+}
+
+// Percentiles is a sojourn-time summary over one request population.
+type Percentiles struct {
+	Count            int
+	P50, P99, P999   cost.Seconds
+	Mean             cost.Seconds
+	Completed, Shed  int
+	Missed           int
+	DeadlineCarrying int
+}
+
+// TenantStats aggregates one tenant's outcomes.
+type TenantStats struct {
+	Name  string
+	Stats Percentiles
+	// Churns counts teardown/recreate cycles the driver performed.
+	Churns int
+}
+
+// Result is the outcome of one serving run.
+type Result struct {
+	// Submitted counts generated arrivals; Completed/Shed/Missed are
+	// the global outcome counts.
+	Submitted, Completed, Shed, Missed int
+	// Makespan is the machine's final elapsed time; Throughput is
+	// Completed/Makespan in requests per simulated second.
+	Makespan   cost.Seconds
+	Throughput float64
+	// All aggregates every request; SLO only the deadline-carrying ones
+	// (the population the p99 gate pins).
+	All, SLO Percentiles
+	// Tenants are the per-tenant aggregates in Config order.
+	Tenants []TenantStats
+	// Requests are the per-request outcomes in arrival order — the
+	// deterministic replay surface the property tests compare.
+	Requests []RequestStat
+	// Breakdown is the machine-total attributed cost (live + retired
+	// tenant meters).
+	Breakdown pidcomm.Breakdown
+	// FreeSpans is the allocator's free list after every tenant was
+	// closed at the end of the run: a churn-clean run re-coalesces to
+	// one span covering all of MRAM.
+	FreeSpans []dram.Arena
+}
+
+// Percentile returns the nearest-rank p-quantile (0 < p <= 1) of the
+// ascending-sorted xs: the smallest element whose rank covers p of the
+// population. Zero for an empty slice.
+func Percentile(xs []cost.Seconds, p float64) cost.Seconds {
+	if len(xs) == 0 {
+		return 0
+	}
+	r := int(math.Ceil(p * float64(len(xs))))
+	if r < 1 {
+		r = 1
+	}
+	if r > len(xs) {
+		r = len(xs)
+	}
+	return xs[r-1]
+}
+
+// summarize folds a request subset into a Percentiles summary.
+func summarize(reqs []RequestStat, keep func(RequestStat) bool) Percentiles {
+	var s Percentiles
+	var sojourns []cost.Seconds
+	var sum cost.Seconds
+	for _, r := range reqs {
+		if !keep(r) {
+			continue
+		}
+		s.Count++
+		if r.Deadline > 0 {
+			s.DeadlineCarrying++
+		}
+		if r.Shed {
+			s.Shed++
+			continue
+		}
+		s.Completed++
+		if r.Missed {
+			s.Missed++
+		}
+		sojourns = append(sojourns, r.Sojourn)
+		sum += r.Sojourn
+	}
+	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+	s.P50 = Percentile(sojourns, 0.50)
+	s.P99 = Percentile(sojourns, 0.99)
+	s.P999 = Percentile(sojourns, 0.999)
+	if s.Completed > 0 {
+		s.Mean = sum / cost.Seconds(s.Completed)
+	}
+	return s
+}
+
+// arrival is one generated request arrival.
+type arrival struct {
+	t      cost.Seconds
+	tenant int
+}
+
+// genArrivals draws every tenant's arrival process over [0, Horizon)
+// from its own seeded PRNG and merges them in time order (ties by
+// tenant index, so the merge is deterministic).
+func genArrivals(cfg Config) ([]arrival, error) {
+	maxReqs := cfg.MaxRequests
+	if maxReqs <= 0 {
+		maxReqs = 20000
+	}
+	var all []arrival
+	for i, sp := range cfg.Tenants {
+		if sp.Rate <= 0 {
+			return nil, fmt.Errorf("serve: tenant %q rate %v must be positive", sp.Name, sp.Rate)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(i)*7919 + 1))
+		burst := sp.Burst
+		if burst <= 0 {
+			burst = 4
+		}
+		t := cost.Seconds(0)
+		for {
+			switch sp.Arrivals {
+			case Bursty:
+				t += cost.Seconds(rng.ExpFloat64() / (sp.Rate / float64(burst)))
+				if t >= cfg.Horizon {
+					goto next
+				}
+				// Geometric clump with mean burst.
+				k := 1
+				for rng.Float64() > 1.0/float64(burst) {
+					k++
+				}
+				for j := 0; j < k; j++ {
+					all = append(all, arrival{t: t, tenant: i})
+				}
+			default:
+				t += cost.Seconds(rng.ExpFloat64() / sp.Rate)
+				if t >= cfg.Horizon {
+					goto next
+				}
+				all = append(all, arrival{t: t, tenant: i})
+			}
+			if len(all) > maxReqs {
+				return nil, fmt.Errorf("serve: more than %d arrivals over horizon %v — lower the rates or the horizon", maxReqs, cfg.Horizon)
+			}
+		}
+	next:
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].t != all[b].t {
+			return all[a].t < all[b].t
+		}
+		return all[a].tenant < all[b].tenant
+	})
+	return all, nil
+}
+
+// payload returns a model's per-PE payload off the base m.
+func (m Model) payload(base int) int {
+	switch m {
+	case GNN:
+		return base / 2
+	case MLP:
+		return base / 4
+	}
+	return base
+}
+
+// segments returns a model's request pipeline as arena-relative
+// descriptors. n is the machine's group size; m the model payload.
+// Chained segments share regions (RAW), so the scheduler always keeps
+// them in order, and the last segment always finishes last.
+func (m Model) segments(mp, n int) []pidcomm.Collective {
+	switch m {
+	case GNN:
+		s := mp / n
+		return []pidcomm.Collective{
+			{Prim: pidcomm.AllGather, Dims: "10",
+				Src: pidcomm.Span(0, s), Dst: pidcomm.At(s), Level: pidcomm.IM},
+			{Prim: pidcomm.AllReduce, Dims: "10",
+				Src: pidcomm.Span(s, mp), Dst: pidcomm.At(s + mp),
+				Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.IM},
+		}
+	case MLP:
+		return []pidcomm.Collective{
+			{Prim: pidcomm.AllReduce, Dims: "10",
+				Src: pidcomm.Span(0, mp), Dst: pidcomm.At(mp),
+				Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.IM},
+		}
+	}
+	return []pidcomm.Collective{
+		{Prim: pidcomm.AlltoAll, Dims: "10",
+			Src: pidcomm.Span(0, mp), Dst: pidcomm.At(mp), Level: pidcomm.CM},
+		{Prim: pidcomm.ReduceScatter, Dims: "10",
+			Src: pidcomm.Span(mp, mp), Dst: pidcomm.At(2 * mp),
+			Elem: pidcomm.I32, Op: pidcomm.Sum, Level: pidcomm.IM},
+	}
+}
+
+// resolve fills config defaults and derives the machine sizing.
+func (cfg *Config) resolve() (base, arenaBytes, n int, err error) {
+	if len(cfg.Tenants) == 0 {
+		return 0, 0, 0, fmt.Errorf("serve: no tenants configured")
+	}
+	if cfg.Horizon <= 0 {
+		return 0, 0, 0, fmt.Errorf("serve: horizon %v must be positive", cfg.Horizon)
+	}
+	if cfg.Shape == nil {
+		cfg.Shape = []int{32, 32}
+	}
+	if len(cfg.Shape) != 2 {
+		return 0, 0, 0, fmt.Errorf("serve: shape must be two-dimensional, got %v", cfg.Shape)
+	}
+	// Dims "10" selects axis 0, so the collectives run over groups of
+	// the first shape dimension.
+	n = cfg.Shape[0]
+	base = cfg.BytesPerPE
+	if base <= 0 {
+		base = 4096
+	}
+	// Round the base payload up so every model's block size stays
+	// burst-aligned: MLP runs at base/4 over groups of n.
+	align := 4 * n * dram.BankBurstBytes
+	if r := base % align; r != 0 {
+		base += align - r
+	}
+	// The largest per-tenant footprint is DLRM's 3 windows of the full
+	// payload (GNN needs s+2*mp < 3*mp too); one extra payload of slack.
+	arenaBytes = 4 * base
+	return base, arenaBytes, n, nil
+}
+
+// machineFor builds the serving machine: cost-only, stepped, under the
+// configured scheduling policy, with MRAM sized for the tenant arenas.
+func machineFor(cfg *Config, arenaBytes int) (*pidcomm.Machine, error) {
+	geo := cfg.Geometry
+	if geo == (dram.Geometry{}) {
+		geo = pidcomm.PaperSystem((len(cfg.Tenants) + 1) * arenaBytes)
+	}
+	mach, err := pidcomm.NewMachine(geo, cfg.Shape, pidcomm.CostOnly())
+	if err != nil {
+		return nil, err
+	}
+	mach.SetStepped(true)
+	mach.SetSched(cfg.Policy)
+	return mach, nil
+}
+
+// tenantState is the driver's handle on one live tenant session.
+type tenantState struct {
+	comm  *pidcomm.Comm
+	plans []*pidcomm.CompiledPlan
+}
+
+// openTenant creates (or recreates, after churn) one tenant session and
+// precompiles its request plans.
+func openTenant(mach *pidcomm.Machine, cfg *Config, i, base, arenaBytes, n, gen int) (*tenantState, error) {
+	sp := cfg.Tenants[i]
+	maxPending := sp.MaxPending
+	if maxPending <= 0 {
+		maxPending = 64
+	}
+	name := sp.Name
+	if gen > 0 {
+		name = fmt.Sprintf("%s#%d", sp.Name, gen)
+	}
+	comm, err := mach.NewTenant(pidcomm.TenantConfig{
+		Name: name, ArenaBytes: arenaBytes, Weight: sp.Weight,
+		MaxPending: maxPending, Shed: sp.Shed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds := sp.Model.segments(sp.Model.payload(base), n)
+	st := &tenantState{comm: comm}
+	if cfg.Fused && len(ds) > 1 {
+		cp, err := comm.CompileSequence(ds...)
+		if err != nil {
+			return nil, err
+		}
+		st.plans = []*pidcomm.CompiledPlan{cp}
+	} else {
+		for _, d := range ds {
+			cp, err := comm.Compile(d)
+			if err != nil {
+				return nil, err
+			}
+			st.plans = append(st.plans, cp)
+		}
+	}
+	return st, nil
+}
+
+// Calibrate returns each tenant's predicted single-request cost (the
+// sum of its segment plans' predicted charges) on the configured
+// machine — the service demand offered-load sweeps calibrate rates
+// against.
+func Calibrate(cfg Config) ([]cost.Seconds, error) {
+	base, arenaBytes, n, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	mach, err := machineFor(&cfg, arenaBytes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cost.Seconds, len(cfg.Tenants))
+	for i := range cfg.Tenants {
+		st, err := openTenant(mach, &cfg, i, base, arenaBytes, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, cp := range st.plans {
+			out[i] += cp.Cost().Total()
+		}
+	}
+	return out, nil
+}
+
+// Run drives one open-loop serving simulation: it generates every
+// tenant's seeded arrival process, submits each arrival's segment plans
+// with its arrival time and deadline, and steps the machine's scheduler
+// one pick at a time in a single-threaded discrete-event loop — the
+// simulated clock advances to the next arrival when the queue idles and
+// to each placement's start otherwise, so admission order is a pure
+// function of the config and the run replays bit-identically.
+func Run(cfg Config) (Result, error) {
+	base, arenaBytes, n, err := cfg.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	arrivals, err := genArrivals(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	mach, err := machineFor(&cfg, arenaBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	tenants := make([]*tenantState, len(cfg.Tenants))
+	gens := make([]int, len(cfg.Tenants))
+	for i := range cfg.Tenants {
+		if tenants[i], err = openTenant(mach, &cfg, i, base, arenaBytes, n, 0); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Submitted: len(arrivals)}
+	res.Requests = make([]RequestStat, 0, len(arrivals))
+	futures := make([][]*pidcomm.Future, 0, len(arrivals))
+	completedAt := make([]int, len(cfg.Tenants)) // completions seen per tenant
+	churns := make([]int, len(cfg.Tenants))      // churn cycles per tenant
+	processed := 0                               // requests fully accounted in res.Requests[..processed)
+
+	// process sweeps the oldest outstanding requests whose futures have
+	// all completed, folding their outcome into the stats; it returns
+	// the index of a tenant due for churn, if any.
+	process := func() int {
+		churn := -1
+		for processed < len(res.Requests) {
+			r := &res.Requests[processed]
+			done := true
+			for _, f := range futures[processed] {
+				if !f.Done() {
+					done = false
+					break
+				}
+			}
+			if !done {
+				break
+			}
+			shed := false
+			var start, end cost.Seconds
+			for fi, f := range futures[processed] {
+				if f.Err() != nil {
+					shed = true
+					continue
+				}
+				s, e := f.Window()
+				if fi == 0 || s < start {
+					start = s
+				}
+				if e > end {
+					end = e
+				}
+			}
+			if shed {
+				r.Shed = true
+				res.Shed++
+			} else {
+				r.Start = start
+				r.End = end
+				r.Sojourn = end - r.Arrival
+				res.Completed++
+				completedAt[r.Tenant]++
+				if r.Deadline > 0 && end > r.Deadline {
+					r.Missed = true
+					res.Missed++
+				}
+				if cfg.ChurnEvery > 0 && completedAt[r.Tenant]%cfg.ChurnEvery == 0 && churn < 0 {
+					churn = r.Tenant
+				}
+			}
+			futures[processed] = nil
+			processed++
+		}
+		return churn
+	}
+
+	clock := cost.Seconds(0)
+	next := 0
+	for next < len(arrivals) || mach.Pending() > 0 {
+		if mach.Pending() == 0 && next < len(arrivals) && arrivals[next].t > clock {
+			clock = arrivals[next].t
+		}
+		// Admit every arrival at or before the clock.
+		for next < len(arrivals) && arrivals[next].t <= clock {
+			a := arrivals[next]
+			sp := cfg.Tenants[a.tenant]
+			var deadline cost.Seconds
+			if sp.Deadline > 0 {
+				deadline = a.t + sp.Deadline
+			}
+			fs := make([]*pidcomm.Future, 0, len(tenants[a.tenant].plans))
+			rejected := false
+			for _, cp := range tenants[a.tenant].plans {
+				f := cp.SubmitOpts(pidcomm.SubmitOptions{NotBefore: a.t, Deadline: deadline})
+				fs = append(fs, f)
+				if f.Done() && f.Err() != nil {
+					rejected = true
+					break // drop the request's remaining segments
+				}
+			}
+			res.Requests = append(res.Requests, RequestStat{Tenant: a.tenant, Arrival: a.t, Deadline: deadline})
+			futures = append(futures, fs)
+			_ = rejected
+			next++
+		}
+		f := mach.Step()
+		if f == nil {
+			if mach.Pending() > 0 {
+				return Result{}, fmt.Errorf("serve: scheduler stalled with %d plans pending", mach.Pending())
+			}
+			if next < len(arrivals) {
+				clock = arrivals[next].t
+			}
+			continue
+		}
+		if s, _ := f.Window(); s > clock {
+			clock = s
+		}
+		if ti := process(); ti >= 0 {
+			// Churn: retire the tenant (drains the machine) and recreate
+			// it over the re-coalesced arena pool.
+			if err := mach.CloseTenant(tenants[ti].comm); err != nil {
+				return Result{}, err
+			}
+			gens[ti]++
+			churns[ti]++
+			if tenants[ti], err = openTenant(mach, &cfg, ti, base, arenaBytes, n, gens[ti]); err != nil {
+				return Result{}, err
+			}
+			if e := mach.Elapsed(); e > clock {
+				clock = e
+			}
+			process() // the drain may have completed more requests
+		}
+	}
+	mach.Flush()
+	process()
+
+	res.Makespan = mach.Elapsed()
+	if res.Makespan > 0 {
+		res.Throughput = float64(res.Completed) / float64(res.Makespan)
+	}
+	res.All = summarize(res.Requests, func(RequestStat) bool { return true })
+	res.SLO = summarize(res.Requests, func(r RequestStat) bool { return r.Deadline > 0 })
+	res.Tenants = make([]TenantStats, len(cfg.Tenants))
+	for i, sp := range cfg.Tenants {
+		res.Tenants[i] = TenantStats{
+			Name:   sp.Name,
+			Stats:  summarize(res.Requests, func(r RequestStat) bool { return r.Tenant == i }),
+			Churns: churns[i],
+		}
+	}
+	// Tear every tenant down: the arenas must coalesce back into the
+	// free pool (the churn invariant the fuzz scenario pins).
+	for _, st := range tenants {
+		if err := mach.CloseTenant(st.comm); err != nil {
+			return Result{}, err
+		}
+	}
+	res.Breakdown = mach.Breakdown()
+	res.FreeSpans = mach.FreeArenaSpans()
+	return res, nil
+}
+
+// Scenario builds the canonical serving mix the benchmark gate and the
+// property tests pin: a latency-sensitive "chat" tenant (MLP, tight
+// SLO), a "feed" tenant (GNN, bursty arrivals, looser SLO) and a
+// best-effort "batch" tenant (DLRM, no deadline) sharing the paper
+// machine. Rates are calibrated against each tenant's predicted request
+// cost so the offered load is rho (fraction of machine capacity) split
+// 20/20/60 across the tenants, and the SLOs leave room for one
+// non-preemptible batch segment of head-of-line blocking — below
+// saturation an EDF schedule meets every deadline.
+func Scenario(policy pidcomm.SchedPolicy, rho float64, requests int) (Config, error) {
+	cfg := Config{
+		Seed:    42,
+		Policy:  policy,
+		Horizon: 1, // placeholder until rates are known
+		Tenants: []TenantSpec{
+			{Name: "chat", Model: MLP, Arrivals: Poisson, Rate: 1},
+			{Name: "feed", Model: GNN, Arrivals: Bursty, Burst: 6, Rate: 1},
+			{Name: "batch", Model: DLRM, Arrivals: Poisson, Rate: 1},
+		},
+		MaxRequests: requests + requests/2,
+	}
+	costs, err := Calibrate(cfg)
+	if err != nil {
+		return Config{}, err
+	}
+	shares := []float64{0.2, 0.2, 0.6}
+	total := 0.0
+	for i := range cfg.Tenants {
+		cfg.Tenants[i].Rate = rho * shares[i] / float64(costs[i])
+		total += cfg.Tenants[i].Rate
+	}
+	// Tight-but-feasible SLOs: service demand, plus one batch request of
+	// blocking (EDF cannot preempt a placed segment), plus slack for the
+	// tenant's own hazard-serialized backlog (feed's bursts clump).
+	cfg.Tenants[0].Deadline = 6*costs[0] + costs[2]
+	cfg.Tenants[1].Deadline = 40*costs[1] + 2*costs[2]
+	cfg.Horizon = cost.Seconds(float64(requests) / total)
+	return cfg, nil
+}

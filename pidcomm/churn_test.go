@@ -1,0 +1,126 @@
+package pidcomm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/pidcomm"
+)
+
+// TestChurnMeterProperty is the tenant-churn accounting property: over
+// 1000 create/serve/teardown cycles — with a long-lived tenant
+// submitting concurrently the whole time — every churned tenant's meter
+// is bit-identical to a solo run of the same requests on a fresh
+// machine (attributed cost is placement-independent), the machine
+// Breakdown stays bit-identical to the fold of retired-then-live tenant
+// meters, and the allocator returns to its initial fully-coalesced free
+// state. The concurrent background load makes this a race-detector
+// test: churn must not race the submission worker.
+func TestChurnMeterProperty(t *testing.T) {
+	cycles := 1000
+	if testing.Short() {
+		cycles = 100
+	}
+	mach, err := pidcomm.NewMachine(tenantGeo, []int{8, 4}, pidcomm.CostOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const arena = 1 << 12
+	const m = 8 * 8
+
+	// Solo reference: the same two requests, alone on a fresh machine.
+	solo, err := pidcomm.NewMachine(tenantGeo, []int{8, 4}, pidcomm.CostOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := solo.NewTenant(pidcomm.TenantConfig{Name: "solo", ArenaBytes: arena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range workload(m) {
+		if _, err := sc.Run(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := sc.Meter()
+
+	// Background tenant churning the scheduler concurrently throughout.
+	bg, err := mach.NewTenant(pidcomm.TenantConfig{Name: "bg", ArenaBytes: arena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, d := range workload(m) {
+				f, err := bg.Submit(d)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.Err(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	for i := 0; i < cycles; i++ {
+		c, err := mach.NewTenant(pidcomm.TenantConfig{Name: "churn", ArenaBytes: arena})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		for _, d := range workload(m) {
+			f, err := c.Submit(d)
+			if err != nil {
+				t.Fatalf("cycle %d: %v", i, err)
+			}
+			if err := f.Err(); err != nil {
+				t.Fatalf("cycle %d: %v", i, err)
+			}
+		}
+		if got := c.Meter(); got != want {
+			t.Fatalf("cycle %d: meter diverged from solo run:\n got %v\nwant %v", i, got, want)
+		}
+		if err := mach.CloseTenant(c); err != nil {
+			t.Fatalf("cycle %d: close: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The machine total must be the exact fold of retired-then-live
+	// meters — bit-identical, not approximately equal.
+	var fold pidcomm.Breakdown
+	for _, ti := range mach.RetiredTenants() {
+		fold = fold.Add(ti.Meter)
+	}
+	for _, ti := range mach.Tenants() {
+		fold = fold.Add(ti.Meter)
+	}
+	if bd := mach.Breakdown(); bd != fold {
+		t.Fatalf("Breakdown diverged from tenant-meter fold:\n got %v\nfold %v", bd, fold)
+	}
+	if got, n := len(mach.RetiredTenants()), cycles; got != n {
+		t.Fatalf("retired %d tenants, want %d", got, n)
+	}
+
+	// Teardown: with every tenant closed the allocator must re-coalesce
+	// to its initial single free span.
+	if err := mach.CloseTenant(bg); err != nil {
+		t.Fatal(err)
+	}
+	spans := mach.FreeArenaSpans()
+	if len(spans) != 1 || spans[0].Base != 0 || spans[0].Bytes != tenantGeo.MramPerBank {
+		t.Fatalf("allocator did not return to its initial free state: %v", spans)
+	}
+}

@@ -131,19 +131,26 @@ type TenantConfig struct {
 	// may admit; a Run/Submit whose predicted cost would exceed it
 	// fails with ErrQuotaExceeded.
 	Quota Seconds
+	// MaxPending, if positive, bounds the tenant's in-flight
+	// submissions: beyond it, submissions shed per the Shed policy with
+	// ErrOverloaded instead of queuing without bound — the serving
+	// path's admission control.
+	MaxPending int
+	// Shed selects what an overloaded tenant drops: the incoming
+	// submission (ShedReject, the default) or its oldest queued plan
+	// (ShedOldest).
+	Shed ShedPolicy
 }
 
 // NewTenant carves a fresh disjoint MRAM arena of cfg.ArenaBytes per PE
-// and returns the session bound to it. Arenas are carved sequentially
-// and never reclaimed; NewTenant fails when the remaining MRAM cannot
-// fit the request.
+// and returns the session bound to it. Arenas come first-fit from the
+// machine's free-list allocator (CloseTenant returns them); NewTenant
+// fails when no contiguous free window can fit the request.
 func (m *Machine) NewTenant(cfg TenantConfig) (*Comm, error) {
 	name := cfg.Name
 	if name == "" {
 		name = fmt.Sprintf("tenant-%d", len(m.cc.Tenants()))
 	}
-	// Validate everything core will reject before carving: arenas are
-	// never reclaimed, so a failed registration must not consume MRAM.
 	if cfg.Weight < 0 {
 		return nil, fmt.Errorf("pidcomm: tenant %q weight %v must be positive", name, cfg.Weight)
 	}
@@ -154,20 +161,49 @@ func (m *Machine) NewTenant(cfg TenantConfig) (*Comm, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pidcomm: tenant %q: %w", name, err)
 	}
-	t, err := m.cc.NewTenant(name, ar.Base, ar.Bytes, cfg.Weight, cfg.Quota)
+	t, err := m.cc.NewTenantCfg(core.TenantConfig{
+		Name: name, Base: ar.Base, Bytes: ar.Bytes,
+		Weight: cfg.Weight, Quota: cfg.Quota,
+		MaxPending: cfg.MaxPending, Shed: cfg.Shed,
+	})
 	if err != nil {
+		// Return the carved window so a failed registration does not
+		// consume MRAM.
+		if ferr := m.sys.FreeArena(ar); ferr != nil {
+			return nil, fmt.Errorf("pidcomm: %w (and un-carving the arena failed: %v)", err, ferr)
+		}
 		return nil, fmt.Errorf("pidcomm: %w", err)
 	}
-	return &Comm{t: t}, nil
+	return &Comm{t: t, m: m}, nil
+}
+
+// CloseTenant retires a session at runtime — the teardown half of
+// tenant churn. It drains the machine, rejects the session's later
+// Run/Submit calls with ErrTenantClosed, evicts its cached plans, and
+// returns its MRAM arena to the machine's coalescing free-list
+// allocator, where it merges with adjacent free windows and becomes
+// available to future NewTenant calls. The tenant's meter survives
+// (RetiredTenants, Breakdown), so machine-total accounting stays
+// bit-identical across create/teardown cycles. Closing a session twice
+// returns ErrTenantClosed.
+func (m *Machine) CloseTenant(c *Comm) error {
+	base, bytes := c.t.Arena()
+	if err := c.t.Close(); err != nil {
+		return fmt.Errorf("pidcomm: %w", err)
+	}
+	if err := m.sys.FreeArena(dram.Arena{Base: base, Bytes: bytes}); err != nil {
+		return fmt.Errorf("pidcomm: closing tenant %q: %w", c.t.Name(), err)
+	}
+	return nil
 }
 
 // Comm returns a whole-machine session: a tenant named "machine"
-// covering all MRAM not yet carved. It is the single-workload
-// convenience — quickstart-style programs call it once and never think
-// about tenancy — and composes with NewTenant only in the natural
-// order (carve the tenants first; Comm takes the rest).
+// covering the largest contiguous free MRAM window. It is the
+// single-workload convenience — quickstart-style programs call it once
+// and never think about tenancy — and composes with NewTenant only in
+// the natural order (carve the tenants first; Comm takes the rest).
 func (m *Machine) Comm() (*Comm, error) {
-	free := m.sys.MramSize() - m.sys.CarvedBytes()
+	free := m.sys.LargestFree()
 	if free <= 0 {
 		return nil, fmt.Errorf("pidcomm: no MRAM left to bind a whole-machine session")
 	}
@@ -186,25 +222,63 @@ func (m *Machine) NumPEs() int { return m.sys.Geometry().NumPEs() }
 // MramPerBank returns the per-PE MRAM capacity in bytes.
 func (m *Machine) MramPerBank() int { return m.sys.MramSize() }
 
-// FreeArenaBytes returns the per-PE MRAM not yet carved into arenas.
+// FreeArenaBytes returns the total per-PE MRAM not currently carved
+// into arenas. After churn the free bytes may be split across windows:
+// LargestFreeArena bounds the biggest single tenant that still fits.
 func (m *Machine) FreeArenaBytes() int { return m.sys.MramSize() - m.sys.CarvedBytes() }
+
+// LargestFreeArena returns the largest contiguous free MRAM window —
+// the biggest ArenaBytes a NewTenant call can currently satisfy.
+func (m *Machine) LargestFreeArena() int { return m.sys.LargestFree() }
+
+// FreeArenaSpans returns the allocator's free windows as (base, bytes)
+// pairs, sorted by base and maximally coalesced.
+func (m *Machine) FreeArenaSpans() []dram.Arena { return m.sys.FreeSpans() }
 
 // Groups returns the communication groups (PE lists in rank order) the
 // dims selection produces — the cube slices of § IV-B2.
 func (m *Machine) Groups(dims string) ([][]int, error) { return m.hc.Groups(dims) }
 
 // Breakdown returns the machine-wide attributed cost: the per-category
-// sum of every tenant's meter, folded in tenant-creation order. By
-// construction it equals the sum of the per-tenant meters bit for bit;
-// the tenant-isolation tests additionally pin each tenant's meter to a
-// solo run of the same workload.
+// sum of every tenant's meter — live and retired, so closing a tenant
+// never loses its history — folded in retirement-then-creation order.
+// By construction it equals the sum of the per-tenant meters bit for
+// bit; the tenant-isolation tests additionally pin each tenant's meter
+// to a solo run of the same workload, across churn.
 func (m *Machine) Breakdown() Breakdown {
 	var b Breakdown
+	for _, t := range m.cc.RetiredTenants() {
+		b = b.Add(t.Meter().Snapshot())
+	}
 	for _, t := range m.cc.Tenants() {
 		b = b.Add(t.Meter().Snapshot())
 	}
 	return b
 }
+
+// SetSched selects the machine's submission scheduling policy: SchedWFQ
+// (weighted-fair, the default) or SchedEDF (earliest-deadline-first
+// among hazard-free candidates; see SubmitOptions.Deadline). Safe to
+// call between submissions.
+func (m *Machine) SetSched(p SchedPolicy) { m.cc.SetSched(p) }
+
+// Sched returns the machine's submission scheduling policy.
+func (m *Machine) Sched() SchedPolicy { return m.cc.Sched() }
+
+// SetStepped switches the machine into stepped serving mode: Submit
+// only enqueues and the caller drives execution one plan at a time with
+// Step — the deterministic substrate of the open-loop serving driver
+// (internal/serve). Flip it only while nothing is in flight.
+func (m *Machine) SetStepped(on bool) { m.cc.SetStepped(on) }
+
+// Step pops the next queued plan under the scheduling policy and
+// executes it synchronously, returning its completed future (nil when
+// the queue is empty or a background worker owns it). Only meaningful
+// in stepped mode.
+func (m *Machine) Step() *Future { return m.cc.Step() }
+
+// Pending returns the number of submitted plans not yet completed.
+func (m *Machine) Pending() int { return m.cc.Pending() }
 
 // Elapsed returns the overlap-aware simulated elapsed time of
 // everything executed on the machine: serial runs append, submitted
@@ -243,23 +317,47 @@ type TenantInfo struct {
 	// Quota is the simulated-time budget (0 = unlimited); Admitted is
 	// the predicted time admitted against it so far.
 	Quota, Admitted Seconds
+	// MaxPending is the in-flight bound (0 = unlimited); Pending is the
+	// current in-flight count; Shed is the overload policy.
+	MaxPending, Pending int
+	Shed                ShedPolicy
+	// Closed marks a retired tenant (RetiredTenants rows only).
+	Closed bool
 	// Meter is the tenant's attributed cost so far.
 	Meter Breakdown
 }
 
-// Tenants lists every session on the machine in creation order.
+func tenantInfo(t *core.Tenant) TenantInfo {
+	base, bytes := t.Arena()
+	return TenantInfo{
+		Name:      t.Name(),
+		ArenaBase: base, ArenaBytes: bytes,
+		Weight: t.Weight(),
+		Quota:  t.Quota(), Admitted: t.Admitted(),
+		MaxPending: t.MaxPending(), Pending: t.Pending(),
+		Shed:   t.Shed(),
+		Closed: t.Closed(),
+		Meter:  t.Meter().Snapshot(),
+	}
+}
+
+// Tenants lists every live session on the machine in creation order.
 func (m *Machine) Tenants() []TenantInfo {
 	ts := m.cc.Tenants()
 	out := make([]TenantInfo, len(ts))
 	for i, t := range ts {
-		base, bytes := t.Arena()
-		out[i] = TenantInfo{
-			Name:      t.Name(),
-			ArenaBase: base, ArenaBytes: bytes,
-			Weight: t.Weight(),
-			Quota:  t.Quota(), Admitted: t.Admitted(),
-			Meter: t.Meter().Snapshot(),
-		}
+		out[i] = tenantInfo(t)
+	}
+	return out
+}
+
+// RetiredTenants lists the closed sessions in closing order; their
+// arenas are back in the free pool but their meters persist.
+func (m *Machine) RetiredTenants() []TenantInfo {
+	ts := m.cc.RetiredTenants()
+	out := make([]TenantInfo, len(ts))
+	for i, t := range ts {
+		out[i] = tenantInfo(t)
 	}
 	return out
 }
@@ -275,6 +373,7 @@ func (m *Machine) Tenants() []TenantInfo {
 // machine while the elapsed-time timeline overlaps independent plans.
 type Comm struct {
 	t *core.Tenant
+	m *Machine
 }
 
 // Run compiles (or fetches the cached plan for) d and executes one
@@ -316,6 +415,29 @@ func (c *Comm) CompileSequence(ds ...Collective) (*CompiledPlan, error) {
 // independent plans — always including other tenants' plans, whose
 // arenas are disjoint — overlap on the shared elapsed-time timeline.
 func (c *Comm) Submit(d Collective) (*Future, error) { return c.t.Submit(d) }
+
+// SubmitOpts is Submit with explicit serving attributes: a simulated
+// arrival time the placement may not precede (NotBefore) and an
+// absolute deadline the EDF policy schedules against (Deadline). An
+// admission rejection (quota, overload, closed tenant) returns an
+// already-completed Future carrying the error, with a zero Window.
+func (c *Comm) SubmitOpts(d Collective, o SubmitOptions) (*Future, error) {
+	cp, err := c.t.Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	return cp.SubmitOpts(o), nil
+}
+
+// Close retires the session and returns its arena to the machine's
+// free-list allocator (Machine.CloseTenant).
+func (c *Comm) Close() error { return c.m.CloseTenant(c) }
+
+// Closed reports whether the session has been retired.
+func (c *Comm) Closed() bool { return c.t.Closed() }
+
+// Pending returns the session's submitted-but-uncompleted plan count.
+func (c *Comm) Pending() int { return c.t.Pending() }
 
 // AutoLevel returns the concrete level the Auto pseudo-level resolves
 // to for descriptor d (whatever d.Level says).

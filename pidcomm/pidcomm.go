@@ -195,6 +195,40 @@ type PlanCacheStats = core.PlanCacheStats
 // simulated-time quota cannot cover the next plan.
 var ErrQuotaExceeded = core.ErrQuotaExceeded
 
+// ErrOverloaded is wrapped by the error of a Future shed under per-
+// tenant overload admission (TenantConfig.MaxPending + ShedPolicy).
+var ErrOverloaded = core.ErrOverloaded
+
+// ErrTenantClosed is wrapped by Run/Submit errors of a session retired
+// with Machine.CloseTenant, and by a double close.
+var ErrTenantClosed = core.ErrTenantClosed
+
+// SubmitOptions carries the serving attributes of one submission:
+// simulated arrival time (NotBefore) and absolute deadline (Deadline).
+type SubmitOptions = core.SubmitOptions
+
+// SchedPolicy selects how the machine picks the next queued plan
+// (Machine.SetSched).
+type SchedPolicy = core.SchedPolicy
+
+// Re-exported scheduling policies: weighted-fair queuing (default) and
+// earliest-deadline-first over hazard-free candidates.
+const (
+	SchedWFQ = core.SchedWFQ
+	SchedEDF = core.SchedEDF
+)
+
+// ShedPolicy selects what an overloaded tenant drops
+// (TenantConfig.Shed).
+type ShedPolicy = core.ShedPolicy
+
+// Re-exported shed policies: reject the incoming submission, or drop
+// the oldest queued plan in its favor.
+const (
+	ShedReject = core.ShedReject
+	ShedOldest = core.ShedOldest
+)
+
 // MaxPendingPlans bounds a machine's submission queue; Submit blocks
 // once this many plans are in flight.
 const MaxPendingPlans = core.MaxPendingPlans
