@@ -25,13 +25,13 @@ race:
 
 # Fast sanity pass over the evaluation harness on the cost-only backend.
 bench-smoke:
-	$(GO) run ./cmd/pidbench -exp fig14,fusion,cluster -backend=cost
+	$(GO) run ./cmd/pidbench -exp fig14,fusion,cluster,algo -backend=cost
 	$(GO) run ./cmd/pidbench -exp multitenant
 
 # Regenerate the checked-in benchmark baseline (run after an accepted,
 # intentional performance change, and commit the result).
 bench-json:
-	$(GO) run ./cmd/pidbench -exp fig14,async,multitenant,fusion,funcspeed,cluster,serving -backend=cost -json > bench_baseline.json
+	$(GO) run ./cmd/pidbench -exp fig14,async,multitenant,fusion,funcspeed,cluster,serving,algo -backend=cost -json > bench_baseline.json
 
 # The CI benchmark-regression gate: recollect the metrics and fail on
 # any >10% cost/makespan regression against bench_baseline.json.

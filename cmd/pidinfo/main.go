@@ -35,7 +35,16 @@ func main() {
 	tenants := flag.Bool("tenants", false, "provision a representative multi-tenant machine and list arenas, weights, quotas and per-tenant meters")
 	cluster := flag.Bool("cluster", false, "build a representative cost-only cluster, replay global collectives through the cluster layer and print per-host plan-cache, fusion and network-lane statistics")
 	serving := flag.Bool("serving", false, "drive the canonical online-serving scenario under WFQ and EDF and print per-tenant sojourn percentiles, deadline misses and churn outcome")
+	auto := flag.Bool("auto", false, "resolve a representative set of Auto signatures on a cost-only comm and dump the auto-decision cache under both objectives")
 	flag.Parse()
+
+	if *auto {
+		if err := printAuto(*mram); err != nil {
+			fmt.Fprintln(os.Stderr, "pidinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *plancache {
 		if err := printPlanCache(*mram); err != nil {
@@ -99,6 +108,73 @@ func main() {
 	fmt.Printf("  network (cluster)     %.1f Gbps x%d NIC (eff %.0f%%), %.0f us latency, %d switch tier(s)\n",
 		p.Net.LinkBW*8/1e9, p.Net.NICsPerHost, p.Net.Efficiency*100,
 		float64(p.Net.LinkLatency)*1e6, p.Net.SwitchTiers)
+}
+
+// printAuto resolves a representative spread of Auto-level signatures —
+// the four x-axis primitives at a small and a large payload, plus an
+// algorithm-constrained AllReduce — on a cost-only comm over the paper
+// geometry, then dumps the comm's auto-decision cache: one row per
+// signature with the winning (algorithm, level) candidate and its
+// scores under both objectives. The whole table is printed twice, once
+// per objective, because the cache is scored (and cleared) per
+// objective; rows where the two picks differ are where the makespan
+// objective earns its keep.
+func printAuto(mram int) error {
+	sys, err := dram.NewPhantomSystem(dram.PaperGeometry(mram))
+	if err != nil {
+		return err
+	}
+	hc, err := core.NewHypercube(sys, []int{32, 32})
+	if err != nil {
+		return err
+	}
+	comm := core.NewCostComm(hc, cost.DefaultParams())
+	m := 64 << 10
+	if 5*m > mram {
+		m = mram / 5
+		m -= m % 256
+	}
+	if m < 256 {
+		return fmt.Errorf("-mram %d too small for the auto demo", mram)
+	}
+	var sigs []core.Collective
+	for _, sz := range []int{m / 16, m} {
+		for _, prim := range []core.Primitive{core.AlltoAll, core.ReduceScatter, core.AllReduce, core.AllGather} {
+			b := sz
+			if prim == core.AllGather {
+				b = sz / 32 // per-PE contribution; the gathered output is sz
+			}
+			d := core.Collective{Prim: prim, Dims: "10",
+				Src: core.Span(0, b), Dst: core.At(2 * b), Level: core.Auto}
+			if prim == core.ReduceScatter || prim == core.AllReduce {
+				d.Elem, d.Op = elem.I32, elem.Sum
+			}
+			sigs = append(sigs, d)
+		}
+	}
+	sigs = append(sigs, core.Collective{Prim: core.AllReduce, Dims: "10",
+		Src: core.Span(0, m), Dst: core.At(2 * m),
+		Elem: elem.I32, Op: elem.Sum, Level: core.Auto, Algorithm: core.AlgoRing})
+
+	fmt.Printf("Auto-decision cache: 32x32 cost-only comm, %d signatures per objective\n", len(sigs))
+	for _, obj := range []core.AutoObjective{core.AutoMeter, core.AutoMakespan} {
+		comm.SetAutoObjective(obj)
+		for _, d := range sigs {
+			if _, _, err := comm.AutoResolveOf(d); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nobjective %s:\n", obj)
+		fmt.Printf("  %-4s %-6s %10s %-10s %-12s %12s %14s\n",
+			"prim", "dims", "B/PE", "constraint", "pick", "meter(ms)", "makespan(ms)")
+		for _, dec := range comm.AutoDecisions() {
+			fmt.Printf("  %-4v %-6s %10d %-10v %-12s %12.4f %14.4f\n",
+				dec.Prim, dec.Dims, dec.Bytes, dec.Constraint,
+				fmt.Sprintf("(%v, %v)", dec.Algo, dec.Level),
+				float64(dec.Meter)*1e3, float64(dec.Makespan)*1e3)
+		}
+	}
+	return nil
 }
 
 // printPlanCache compiles and replays a few representative collectives —

@@ -7,6 +7,8 @@
 //
 //	pidtrace -prim AA -dims 10 -shape 32,32 -size 65536 -level CM
 //	pidtrace -prim RS -dims 1 -shape 1024 -size 262144 -level Base -elem INT8
+//	pidtrace -prim AR -dims 10 -shape 4,64 -size 65536 -level Base -algo ring
+//	pidtrace -prim AG -dims 10 -shape 4,64 -size 1024 -level Auto
 package main
 
 import (
@@ -27,7 +29,8 @@ func main() {
 	dims := flag.String("dims", "10", "comm-dimensions bitmap (Figure 10)")
 	shape := flag.String("shape", "32,32", "hypercube shape, comma-separated")
 	size := flag.Int("size", 64<<10, "per-PE bytes on the larger side")
-	level := flag.String("level", "CM", "optimization level: Base, PR, IM, CM")
+	level := flag.String("level", "CM", "optimization level: Auto, Base, PR, IM, CM")
+	algo := flag.String("algo", "Auto", "schedule algorithm: Auto, ref, ring, tree, rsag (AllReduce/Broadcast)")
 	elemName := flag.String("elem", "INT32", "element type: INT8 INT16 INT32 INT64")
 	op := flag.String("op", "SUM", "reduction op: SUM MIN MAX OR AND XOR")
 	flag.Parse()
@@ -51,9 +54,13 @@ func main() {
 	if !ok {
 		fatal("unknown primitive %q", *prim)
 	}
-	levels := map[string]core.Level{"Base": core.Baseline, "PR": core.PR, "IM": core.IM, "CM": core.CM}
+	levels := map[string]core.Level{"Auto": core.Auto, "Base": core.Baseline, "PR": core.PR, "IM": core.IM, "CM": core.CM}
 	if spec.Level, ok = levels[*level]; !ok {
 		fatal("unknown level %q", *level)
+	}
+	var err error
+	if spec.Algo, err = core.ParseAlgorithm(*algo); err != nil {
+		fatal("%v", err)
 	}
 	for _, t := range elem.Types() {
 		if t.String() == *elemName {
@@ -70,9 +77,12 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	eff := core.EffectiveLevel(spec.Prim, spec.Level)
-	fmt.Printf("%s on %v dims=%s, %d B/PE, level %v (effective %v)\n",
-		spec.Prim.LongName(), spec.Shape, spec.Dims, spec.RecvPerPE, spec.Level, eff)
+	alg, eff, err := bench.ResolvePrimitive(spec)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s on %v dims=%s, %d B/PE, level %v, algo %v (resolved: %v at %v)\n",
+		spec.Prim.LongName(), spec.Shape, spec.Dims, spec.RecvPerPE, spec.Level, spec.Algo, alg, eff)
 	fmt.Printf("throughput: %.2f GB/s   simulated time: %.3f ms\n\n", thr, float64(bd.Total())*1e3)
 	fmt.Printf("%-16s %12s %7s\n", "category", "time (ms)", "share")
 	for _, c := range cost.Categories() {

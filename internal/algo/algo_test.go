@@ -1,0 +1,374 @@
+package algo_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// The differential suite: every registered algorithm must produce
+// byte-identical results to the reference lowering on the functional
+// backend, across hypercube shapes (including non-power-of-two and
+// strided groups), element types, operators and payload sizes. The
+// registration side effect comes from linking the package under test.
+
+var (
+	geo64 = dram.Geometry{Channels: 1, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 14} // 64 PEs
+	geo24 = dram.Geometry{Channels: 3, RanksPerChannel: 1, BanksPerChip: 1, MramPerBank: 1 << 14} // 24 PEs
+)
+
+type caseSpec struct {
+	name  string
+	geo   dram.Geometry
+	shape []int
+	dims  string
+}
+
+var cases = []caseSpec{
+	{"1D-full", geo64, []int{64}, "1"},
+	{"2D-x", geo64, []int{8, 8}, "10"},
+	{"2D-xy", geo64, []int{8, 8}, "11"},
+	{"2D-subEG-y", geo64, []int{4, 16}, "01"},
+	{"3D-xz", geo64, []int{4, 2, 8}, "101"},
+	{"nonpow2-y", geo24, []int{8, 3}, "01"},
+	{"nonpow2-strided", geo24, []int{4, 6}, "01"},
+}
+
+func newComm(t *testing.T, geo dram.Geometry, shape []int) *core.Comm {
+	t.Helper()
+	sys, err := dram.NewSystem(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := core.NewHypercube(sys, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewComm(hc, cost.DefaultParams())
+}
+
+func fillSrc(c *core.Comm, off, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	numPE := c.Hypercube().System().Geometry().NumPEs()
+	buf := make([]byte, n)
+	for pe := 0; pe < numPE; pe++ {
+		rng.Read(buf)
+		c.SetPEBuffer(pe, off, buf)
+	}
+}
+
+func snapshot(c *core.Comm, off, n int) [][]byte {
+	numPE := c.Hypercube().System().Geometry().NumPEs()
+	out := make([][]byte, numPE)
+	for pe := 0; pe < numPE; pe++ {
+		out[pe] = append([]byte(nil), c.GetPEBuffer(pe, off, n)...)
+	}
+	return out
+}
+
+func alternatives(prim core.Primitive) []core.Algorithm {
+	return core.RegisteredAlgorithms(prim)[1:] // drop AlgoReference
+}
+
+func TestRegistrySeeded(t *testing.T) {
+	want := []core.Algorithm{core.AlgoReference, core.AlgoRing, core.AlgoTree, core.AlgoRabenseifner}
+	got := core.RegisteredAlgorithms(core.AllReduce)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("AllReduce algorithms = %v, want %v", got, want)
+	}
+	wantB := []core.Algorithm{core.AlgoReference, core.AlgoRing, core.AlgoTree}
+	if got := core.RegisteredAlgorithms(core.Broadcast); fmt.Sprint(got) != fmt.Sprint(wantB) {
+		t.Fatalf("Broadcast algorithms = %v, want %v", got, wantB)
+	}
+	for _, a := range append([]core.Algorithm{core.AlgoAuto}, core.Algorithms()...) {
+		back, err := core.ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v", a.String(), back, err)
+		}
+	}
+}
+
+func TestAllReduceAlgosMatchReference(t *testing.T) {
+	combos := []struct {
+		et elem.Type
+		op elem.Op
+	}{{elem.I32, elem.Sum}, {elem.I8, elem.Xor}, {elem.I64, elem.Max}}
+	for _, cs := range cases {
+		for _, cb := range combos {
+			for _, s := range []int{8, 24} {
+				t.Run(fmt.Sprintf("%s/%v-%v/s%d", cs.name, cb.et, cb.op, s), func(t *testing.T) {
+					c := newComm(t, cs.geo, cs.shape)
+					groups, err := c.Hypercube().Groups(cs.dims)
+					if err != nil {
+						t.Fatal(err)
+					}
+					n := len(groups[0])
+					if n < 2 {
+						t.Skip("single-member groups: no alternatives apply")
+					}
+					m := n * s
+					fillSrc(c, 0, m, 7)
+					d := core.Collective{Prim: core.AllReduce, Dims: cs.dims,
+						Src: core.Span(0, m), Dst: core.At(m), Elem: cb.et, Op: cb.op,
+						Level: core.Baseline}
+					if _, err := c.Run(d); err != nil {
+						t.Fatal(err)
+					}
+					want := snapshot(c, m, m)
+					for _, alg := range alternatives(core.AllReduce) {
+						da := d
+						da.Algorithm = alg
+						if _, err := c.Run(da); err != nil {
+							t.Fatalf("%v: %v", alg, err)
+						}
+						got := snapshot(c, m, m)
+						for pe := range got {
+							if !bytes.Equal(got[pe], want[pe]) {
+								t.Fatalf("%v: PE %d differs from reference", alg, pe)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestBroadcastAlgosMatchReference(t *testing.T) {
+	for _, cs := range cases {
+		t.Run(cs.name, func(t *testing.T) {
+			c := newComm(t, cs.geo, cs.shape)
+			groups, err := c.Hypercube().Groups(cs.dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(groups[0]) < 2 {
+				t.Skip("single-member groups: no alternatives apply")
+			}
+			const s = 48
+			rng := rand.New(rand.NewSource(11))
+			bufs := make([][]byte, len(groups))
+			for g := range bufs {
+				bufs[g] = make([]byte, s)
+				rng.Read(bufs[g])
+			}
+			d := core.Collective{Prim: core.Broadcast, Dims: cs.dims,
+				Dst: core.Span(0, s), Hosts: bufs, Level: core.Baseline}
+			if _, err := c.Run(d); err != nil {
+				t.Fatal(err)
+			}
+			want := snapshot(c, 0, s)
+			for _, alg := range alternatives(core.Broadcast) {
+				da := d
+				da.Algorithm = alg
+				if _, err := c.Run(da); err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				got := snapshot(c, 0, s)
+				for pe := range got {
+					if !bytes.Equal(got[pe], want[pe]) {
+						t.Fatalf("%v: PE %d differs from reference", alg, pe)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlgoRejections pins the explicit-request error paths: an algorithm
+// that does not apply at the resolved level, and an algorithm not
+// registered for the primitive.
+func TestAlgoRejections(t *testing.T) {
+	c := newComm(t, geo64, []int{8, 8})
+	d := core.Collective{Prim: core.AllReduce, Dims: "10",
+		Src: core.Span(0, 64), Dst: core.At(64), Elem: elem.I32, Op: elem.Sum}
+	for _, lvl := range []core.Level{core.PR, core.IM} {
+		da := d
+		da.Level, da.Algorithm = lvl, core.AlgoRing
+		if _, err := c.Run(da); err == nil {
+			t.Fatalf("ring at %v: want applicability error", lvl)
+		}
+	}
+	da := d
+	da.Level, da.Algorithm = core.Baseline, core.AlgoRabenseifner
+	da.Prim = core.AlltoAll
+	da.Elem, da.Op = 0, 0
+	if _, err := c.Run(da); err == nil {
+		t.Fatal("rsag AlltoAll: want unregistered-algorithm error")
+	}
+}
+
+// TestAutoSearchesAlgorithms checks the (algorithm x level) search: an
+// Auto-level call with an explicit algorithm constraint resolves to that
+// algorithm at its applicable level, and the full search returns a valid
+// registered candidate.
+func TestAutoSearchesAlgorithms(t *testing.T) {
+	c := newComm(t, geo64, []int{8, 8})
+	d := core.Collective{Prim: core.AllReduce, Dims: "10",
+		Src: core.Span(0, 64), Dst: core.At(64), Elem: elem.I32, Op: elem.Sum,
+		Level: core.Auto, Algorithm: core.AlgoRing}
+	alg, lvl, err := c.AutoResolveOf(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg != core.AlgoRing || lvl != core.Baseline {
+		t.Fatalf("constrained resolve = (%v, %v), want (ring, Base)", alg, lvl)
+	}
+	if _, err := c.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	d.Algorithm = core.AlgoAuto
+	alg, lvl, err = c.AutoResolveOf(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range core.RegisteredAlgorithms(core.AllReduce) {
+		found = found || a == alg
+	}
+	if !found {
+		t.Fatalf("full search picked unregistered algorithm %v at %v", alg, lvl)
+	}
+}
+
+// TestMakespanAutoNeverWorse is the autotuner property test: under the
+// makespan objective, the picked candidate's pipelined dry-placed
+// makespan is never worse than the meter-cheapest pick's makespan (and
+// symmetrically for the meter).
+func TestMakespanAutoNeverWorse(t *testing.T) {
+	sys, err := dram.NewPhantomSystem(dram.Geometry{Channels: 2, RanksPerChannel: 2, BanksPerChip: 4, MramPerBank: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := core.NewHypercube(sys, []int{16, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewCostComm(hc, cost.DefaultParams())
+	find := func(prim core.Primitive, bytes int) core.AutoDecision {
+		t.Helper()
+		for _, dec := range c.AutoDecisions() {
+			if dec.Prim == prim && dec.Bytes == bytes && dec.Constraint == core.AlgoAuto {
+				return dec
+			}
+		}
+		t.Fatalf("no cached decision for %v/%d", prim, bytes)
+		return core.AutoDecision{}
+	}
+	type sig struct {
+		prim core.Primitive
+		m    int
+	}
+	sigs := []sig{}
+	for _, m := range []int{128, 2048, 1 << 15, 1 << 18} {
+		sigs = append(sigs, sig{core.AllReduce, m}, sig{core.ReduceScatter, m}, sig{core.AlltoAll, m})
+	}
+	for _, sg := range sigs {
+		d := core.Collective{Prim: sg.prim, Dims: "10",
+			Src: core.Span(0, sg.m), Dst: core.At(sg.m), Level: core.Auto}
+		if sg.prim != core.AlltoAll {
+			d.Elem, d.Op = elem.I32, elem.Sum
+		}
+		c.SetAutoObjective(core.AutoMeter)
+		if _, _, err := c.AutoResolveOf(d); err != nil {
+			t.Fatal(err)
+		}
+		meterPick := find(sg.prim, sg.m)
+		c.SetAutoObjective(core.AutoMakespan)
+		if _, _, err := c.AutoResolveOf(d); err != nil {
+			t.Fatal(err)
+		}
+		ksPick := find(sg.prim, sg.m)
+		if ksPick.Makespan > meterPick.Makespan {
+			t.Errorf("%v/%d: makespan objective picked (%v,%v) makespan %v, worse than meter pick (%v,%v) makespan %v",
+				sg.prim, sg.m, ksPick.Algo, ksPick.Level, ksPick.Makespan,
+				meterPick.Algo, meterPick.Level, meterPick.Makespan)
+		}
+		if meterPick.Meter > ksPick.Meter {
+			t.Errorf("%v/%d: meter objective picked meter %v, worse than makespan pick's meter %v",
+				sg.prim, sg.m, meterPick.Meter, ksPick.Meter)
+		}
+		c.SetAutoObjective(core.AutoMeter)
+	}
+}
+
+// TestClusterTreeMatchesRing pins the host-level algorithm axis: a
+// functional cluster AllReduce produces identical bytes whether the wire
+// leg is the ring, the tree, or the Auto pick, and the cost-only Auto
+// pick matches the analytic crossover (tree on latency-bound small
+// payloads, ring on bandwidth-bound large ones, for enough hosts).
+func TestClusterTreeMatchesRing(t *testing.T) {
+	const H = 4
+	geo := dram.Geometry{Channels: 1, RanksPerChannel: 1, BanksPerChip: 2, MramPerBank: 1 << 14}
+	build := func() *core.Cluster {
+		comms := make([]*core.Comm, H)
+		for h := range comms {
+			sys, err := dram.NewSystem(geo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hc, err := core.NewHypercube(sys, []int{16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			comms[h] = core.NewComm(hc, cost.DefaultParams())
+		}
+		cl, err := core.NewCluster(comms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	const m = 16 * 8 // H*P blocks of 8 bytes
+	seed := func(cl *core.Cluster) {
+		rng := rand.New(rand.NewSource(3))
+		buf := make([]byte, m)
+		for h := 0; h < H; h++ {
+			for pe := 0; pe < 16; pe++ {
+				rng.Read(buf)
+				cl.Host(h).SetPEBuffer(pe, 0, buf)
+			}
+		}
+	}
+	run := func(alg core.Algorithm) [][]byte {
+		cl := build()
+		seed(cl)
+		d := core.ClusterCollective{Collective: core.Collective{
+			Prim: core.AllReduce, Dims: "1", Src: core.Span(0, m), Dst: core.At(m),
+			Elem: elem.I32, Op: elem.Sum, Level: core.Baseline, Algorithm: alg}}
+		if _, err := cl.Run(d); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		var out [][]byte
+		for h := 0; h < H; h++ {
+			for pe := 0; pe < 16; pe++ {
+				out = append(out, append([]byte(nil), cl.Host(h).GetPEBuffer(pe, m, m)...))
+			}
+		}
+		return out
+	}
+	want := run(core.AlgoRing)
+	for _, alg := range []core.Algorithm{core.AlgoTree, core.AlgoAuto} {
+		got := run(alg)
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("%v: global rank %d differs from ring", alg, i)
+			}
+		}
+	}
+	// Unsupported cluster algorithm errors instead of being ignored.
+	cl := build()
+	seed(cl)
+	d := core.ClusterCollective{Collective: core.Collective{
+		Prim: core.AllReduce, Dims: "1", Src: core.Span(0, m), Dst: core.At(m),
+		Elem: elem.I32, Op: elem.Sum, Level: core.Baseline, Algorithm: core.AlgoRabenseifner}}
+	if _, err := cl.Run(d); err == nil {
+		t.Fatal("cluster rsag: want unsupported-algorithm error")
+	}
+}

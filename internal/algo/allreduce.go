@@ -1,0 +1,211 @@
+package algo
+
+import (
+	"repro/internal/core"
+	"repro/internal/elem"
+)
+
+func init() {
+	core.RegisterAlgorithm(core.AlgoSpec{
+		Algo: core.AlgoRing, Prim: core.AllReduce,
+		Applies: baselineMulti, Lower: lowerRingAllReduce,
+	})
+	core.RegisterAlgorithm(core.AlgoSpec{
+		Algo: core.AlgoTree, Prim: core.AllReduce,
+		Applies: baselineMulti, Lower: lowerTreeAllReduce,
+	})
+	core.RegisterAlgorithm(core.AlgoSpec{
+		Algo: core.AlgoRabenseifner, Prim: core.AllReduce,
+		Applies: baselineMulti, Lower: lowerRsagAllReduce,
+	})
+}
+
+// baselineMulti gates the host-path algorithm shapes: they model
+// conventional (bulk) execution, so they implement the Baseline
+// effective level only, and a single-member group has no wire to shape.
+func baselineMulti(e *core.AlgoEnv) bool {
+	return e.Level() == core.Baseline && e.GroupSize() >= 2
+}
+
+// reduceReplicate computes every group's canonical-rank-order reduction
+// of the per-PE payloads in data (PE-major, m bytes each) and replicates
+// it to each member's slot of out. Identical arithmetic to the reference
+// Baseline modulation — and with integer element types and
+// associative/commutative operators, identical bytes under any schedule
+// that reduces the same members.
+func reduceReplicate(e *core.AlgoEnv, data, out []byte, m int) {
+	t, op := e.Elem(), e.Op()
+	e.EachGroupScratch(m, func(g int, pes []int, red []byte) {
+		elem.Fill(t, red, op.Identity(t))
+		for _, pe := range pes {
+			elem.ReduceInto(t, op, red, data[pe*m:(pe+1)*m])
+		}
+		for _, pe := range pes {
+			copy(out[pe*m:(pe+1)*m], red)
+		}
+	})
+}
+
+// retainStep builds the opening bulk read that snapshots every PE's
+// payload into a plan-owned buffer the wire rounds conceptually pass
+// around (the staging slab is reused by later steps, so a copy is
+// mandatory — and is charged as host-memory traffic).
+func retainStep(e *core.AlgoEnv, srcOff, m int, data *[]byte) *core.StepBulk {
+	return &core.StepBulk{
+		Read: true, ReadOff: srcOff, ReadPerPE: m,
+		Charges: []core.Charge{{Kind: core.ChargeHostMem, Bytes: e.MachineBytes(m)}},
+		Modulate: func(stag []byte) []byte {
+			if *data == nil {
+				*data = make([]byte, len(stag))
+			}
+			copy(*data, stag)
+			return nil
+		},
+	}
+}
+
+// assembleStep builds the closing bulk write that lands the reduced,
+// replicated result at dstOff. The wire rounds already charged the
+// reduction and replication work, so this step carries only the write
+// traffic itself.
+func assembleStep(e *core.AlgoEnv, dstOff, m int, data *[]byte) *core.StepBulk {
+	return &core.StepBulk{
+		Write: true, WriteOff: dstOff, WritePerPE: m,
+		Modulate: func([]byte) []byte {
+			out := e.BulkOut(e.TotalPEs() * m)
+			reduceReplicate(e, *data, out, m)
+			return out
+		},
+	}
+}
+
+// lowerRingAllReduce emulates the ring algorithm on the host: after the
+// snapshot, 2(n-1) staged rounds move one s-byte block per PE around the
+// group ring — n-1 reduce-scatter hops (each PE folds the arriving block
+// into its own) and n-1 allgather hops (pure copies) — then the
+// assembled result is written back. Per-hop wire volume is the
+// bandwidth-optimal m/n.
+func lowerRingAllReduce(e *core.AlgoEnv) *core.Schedule {
+	m, s := e.BytesPerPE(), e.BlockSize()
+	n := e.GroupSize()
+	var data []byte
+	sched := &core.Schedule{Name: "AllReduce/ring"}
+	sched.Steps = append(sched.Steps, retainStep(e, e.SrcOff(), m, &data))
+	for r := 1; r < n; r++ { // reduce-scatter hops
+		sched.Steps = append(sched.Steps, &core.StepHostCompute{Charges: []core.Charge{
+			{Kind: core.ChargeScalarReduce, Bytes: e.MachineBytes(s)},
+			{Kind: core.ChargeHostMem, Bytes: 2 * e.MachineBytes(s)},
+		}})
+	}
+	for r := 1; r < n; r++ { // allgather hops
+		sched.Steps = append(sched.Steps, &core.StepHostCompute{Charges: []core.Charge{
+			{Kind: core.ChargeSIMD, Bytes: e.MachineBytes(s)},
+			{Kind: core.ChargeHostMem, Bytes: 2 * e.MachineBytes(s)},
+		}})
+	}
+	sched.Steps = append(sched.Steps, assembleStep(e, e.DstOff(), m, &data), &core.StepSync{})
+	return sched
+}
+
+// treeSenders returns the per-round sender counts of a binomial tree
+// over n ranks: in reduce round j (pair distance d = 1<<j), every rank r
+// with r mod 2d == d sends its full payload to r-d. The counts sum to
+// n-1; the broadcast-down pass replays them in reverse.
+func treeSenders(n int) []int {
+	var out []int
+	for d := 1; d < n; d <<= 1 {
+		senders := 0
+		for r := 0; r < n; r++ {
+			if r%(2*d) == d {
+				senders++
+			}
+		}
+		out = append(out, senders)
+	}
+	return out
+}
+
+// lowerTreeAllReduce emulates the binomial tree: ceil(log2 n) reduce-up
+// rounds and ceil(log2 n) broadcast-down rounds, each moving the full
+// m-byte payload per participating pair — the fewest rounds any
+// algorithm achieves, at full-payload hop cost.
+func lowerTreeAllReduce(e *core.AlgoEnv) *core.Schedule {
+	m := e.BytesPerPE()
+	rounds := treeSenders(e.GroupSize())
+	groups := int64(e.NumGroups())
+	var data []byte
+	sched := &core.Schedule{Name: "AllReduce/tree"}
+	sched.Steps = append(sched.Steps, retainStep(e, e.SrcOff(), m, &data))
+	for _, senders := range rounds { // reduce up
+		vol := groups * int64(senders) * int64(m)
+		sched.Steps = append(sched.Steps, &core.StepHostCompute{Charges: []core.Charge{
+			{Kind: core.ChargeScalarReduce, Bytes: vol},
+			{Kind: core.ChargeHostMem, Bytes: 2 * vol},
+		}})
+	}
+	for i := len(rounds) - 1; i >= 0; i-- { // broadcast down
+		vol := groups * int64(rounds[i]) * int64(m)
+		sched.Steps = append(sched.Steps, &core.StepHostCompute{Charges: []core.Charge{
+			{Kind: core.ChargeSIMD, Bytes: vol},
+			{Kind: core.ChargeHostMem, Bytes: 2 * vol},
+		}})
+	}
+	sched.Steps = append(sched.Steps, assembleStep(e, e.DstOff(), m, &data), &core.StepSync{})
+	return sched
+}
+
+// lowerRsagAllReduce is the Rabenseifner composition as two machine-wide
+// bulk phases: a ReduceScatter pass that leaves each PE holding its
+// rank's reduced block at dst, a sync barrier, then an AllGather pass
+// that reads the blocks back and assembles the full replicated result.
+// Host reduction shrinks to one block per PE (block-parallel across the
+// group) at the price of one extra bus round trip of one block per PE.
+func lowerRsagAllReduce(e *core.AlgoEnv) *core.Schedule {
+	m, s := e.BytesPerPE(), e.BlockSize()
+	srcOff, dstOff := e.SrcOff(), e.DstOff()
+	t, op := e.Elem(), e.Op()
+	sched := &core.Schedule{Name: "AllReduce/rsag"}
+	sched.Steps = append(sched.Steps,
+		&core.StepBulk{
+			Read: true, ReadOff: srcOff, ReadPerPE: m,
+			Write: true, WriteOff: dstOff, WritePerPE: s,
+			// The whole input is reduced once, same volume as the
+			// reference — just block-sharded across ranks.
+			Charges: []core.Charge{{Kind: core.ChargeScalarReduce, Bytes: e.MachineBytes(m)}},
+			Modulate: func(stag []byte) []byte {
+				out := e.BulkOut(e.TotalPEs() * s)
+				e.EachGroupScratch(s, func(g int, pes []int, red []byte) {
+					for i, pe := range pes {
+						elem.Fill(t, red, op.Identity(t))
+						for _, src := range pes {
+							elem.ReduceInto(t, op, red, stag[src*m+i*s:src*m+(i+1)*s])
+						}
+						copy(out[pe*s:(pe+1)*s], red)
+					}
+				})
+				return out
+			},
+		},
+		&core.StepSync{}, // RS/AG phase barrier
+		&core.StepBulk{
+			Read: true, ReadOff: dstOff, ReadPerPE: s,
+			Write: true, WriteOff: dstOff, WritePerPE: m,
+			// Replication pass over all output, memcpy class — the
+			// reference's second charge.
+			Charges: []core.Charge{{Kind: core.ChargeSIMD, Bytes: e.MachineBytes(m)}},
+			Modulate: func(stag []byte) []byte {
+				out := e.BulkOut(e.TotalPEs() * m)
+				e.EachGroup(func(g int, pes []int) {
+					for _, pe := range pes {
+						for k, src := range pes {
+							copy(out[pe*m+k*s:pe*m+(k+1)*s], stag[src*s:(src+1)*s])
+						}
+					}
+				})
+				return out
+			},
+		},
+		&core.StepSync{},
+	)
+	return sched
+}

@@ -1,0 +1,77 @@
+package algo
+
+import (
+	"repro/internal/core"
+)
+
+func init() {
+	core.RegisterAlgorithm(core.AlgoSpec{
+		Algo: core.AlgoRing, Prim: core.Broadcast,
+		Applies: baselineMulti, Lower: lowerRingBroadcast,
+	})
+	core.RegisterAlgorithm(core.AlgoSpec{
+		Algo: core.AlgoTree, Prim: core.Broadcast,
+		Applies: baselineMulti, Lower: lowerTreeBroadcast,
+	})
+}
+
+// deliverStep builds the closing bulk write of the staged broadcast
+// shapes: every PE's destination gets its group's host payload through
+// the conventional write path (the staged rounds already charged the
+// wire; the payload fan-out into the PE-major buffer is memcpy class).
+func deliverStep(e *core.AlgoEnv, dstOff, s int) *core.StepBulk {
+	return &core.StepBulk{
+		Write: true, WriteOff: dstOff, WritePerPE: s,
+		Charges: []core.Charge{{Kind: core.ChargeSIMD, Bytes: e.MachineBytes(s)}},
+		Modulate: func([]byte) []byte {
+			out := e.BulkOut(e.TotalPEs() * s)
+			e.EachGroup(func(g int, pes []int) {
+				src := e.HostPayload(g)
+				for _, pe := range pes {
+					copy(out[pe*s:(pe+1)*s], src[:s])
+				}
+			})
+			return out
+		},
+	}
+}
+
+// lowerRingBroadcast stages the payload around each group's ring: n-1
+// full-payload hops (each charged as a send plus a receive on the
+// host-memory lane), then conventional delivery. The opposite trade to
+// the driver's native single-DT broadcast — maximal rounds, but each
+// hop engages only one link.
+func lowerRingBroadcast(e *core.AlgoEnv) *core.Schedule {
+	s := e.BytesPerPE()
+	groups := int64(e.NumGroups())
+	sched := &core.Schedule{Name: "Broadcast/ring"}
+	for r := 1; r < e.GroupSize(); r++ {
+		sched.Steps = append(sched.Steps, &core.StepHostCompute{Charges: []core.Charge{
+			{Kind: core.ChargeHostMem, Bytes: 2 * groups * int64(s)},
+		}})
+	}
+	sched.Steps = append(sched.Steps, deliverStep(e, e.DstOff(), s), &core.StepSync{})
+	return sched
+}
+
+// lowerTreeBroadcast stages the payload down a binomial tree:
+// ceil(log2 n) doubling rounds — round j has min(2^j, n-2^j) senders,
+// each forwarding the full payload — then conventional delivery.
+func lowerTreeBroadcast(e *core.AlgoEnv) *core.Schedule {
+	s := e.BytesPerPE()
+	n := e.GroupSize()
+	groups := int64(e.NumGroups())
+	sched := &core.Schedule{Name: "Broadcast/tree"}
+	for have := 1; have < n; have *= 2 {
+		senders := have
+		if n-have < senders {
+			senders = n - have
+		}
+		vol := groups * int64(senders) * int64(s)
+		sched.Steps = append(sched.Steps, &core.StepHostCompute{Charges: []core.Charge{
+			{Kind: core.ChargeHostMem, Bytes: 2 * vol},
+		}})
+	}
+	sched.Steps = append(sched.Steps, deliverStep(e, e.DstOff(), s), &core.StepSync{})
+	return sched
+}

@@ -1,0 +1,30 @@
+// Package algo registers alternative collective lowerings — classic MPI
+// algorithm shapes expressed in the schedule IR — with the core
+// algorithm registry (core.RegisterAlgorithm).
+//
+// Three AllReduce alternatives and two Broadcast alternatives ship:
+//
+//   - ring AllReduce: a host-emulated ring — 2(n-1) staged wire rounds
+//     of one 1/n block per PE (n-1 reduce-scatter hops, n-1 allgather
+//     hops), bandwidth-optimal per-hop volume.
+//   - tree AllReduce: a binomial tree — ceil(log2 n) reduce-up rounds
+//     plus ceil(log2 n) broadcast-down rounds of the full payload,
+//     fewest rounds at full-payload hop cost.
+//   - rsag AllReduce: the Rabenseifner composition — a machine-wide
+//     ReduceScatter bulk phase (each PE keeps its rank's reduced block)
+//     followed by an AllGather bulk phase, trading one extra bus round
+//     trip of one block for block-parallel host reduction.
+//   - ring/tree Broadcast: the same staged wire shapes delivering the
+//     per-group host payload through the conventional bulk path instead
+//     of the driver's native single-DT broadcast.
+//
+// Every lowering is byte-identical to the reference lowering on the
+// functional backend — the registry contract. The element types are
+// integers and the operators associative and commutative, so reduction
+// order cannot change results; the differential suite in this package
+// pins the equivalence across primitives, levels and irregular shapes.
+// The alternatives apply at the Baseline effective level (they model
+// conventional host-path execution); the autotuner skips them at the
+// streaming levels and picks them only when strictly better under the
+// active objective.
+package algo

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+
+	_ "repro/internal/algo" // register the alternative collective lowerings
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dram"
+	"repro/internal/elem"
+)
+
+// This file holds the algorithm-registry experiment (`pidbench -exp
+// algo`): the machine-level AllReduce lowerings (reference staged
+// schedule vs the registered ring / tree / Rabenseifner alternatives)
+// priced per payload size under both Auto objectives, the cluster-scale
+// host-level ring-vs-tree wire algorithms with their latency/bandwidth
+// crossover, and the pinned async point where the makespan objective
+// picks a different candidate than the meter objective and measurably
+// wins on overlapped elapsed time. Everything runs cost-only, so the
+// sweep is deterministic and finishes in CI time.
+
+// The pinned machine for the per-algorithm sweep: the § IX-A host (one
+// four-rank channel, 256 PEs) shaped (4,64) so the communication groups
+// along dims "10" have four members — small enough that ring, tree and
+// Rabenseifner genuinely differ in round structure.
+var algoPinShape = []int{4, 64}
+
+const (
+	algoPinDims  = "10"
+	algoPinPerPE = 64 << 10
+)
+
+// MeasureAlgoAllReduce compiles one Baseline AllReduce of bytesPerPE
+// bytes per PE on the pinned cost-only machine under the given
+// algorithm and returns the plan's meter cost (serial seconds) and its
+// pipelined dry-placed makespan (overlapped seconds at
+// core.AutoPipelineDepth).
+func MeasureAlgoAllReduce(bytesPerPE int, alg core.Algorithm) (meter, makespan cost.Seconds, err error) {
+	n := 1
+	for _, l := range algoPinShape {
+		n *= l
+	}
+	comm, err := newPrimComm(algoPinShape, n, bytesPerPE, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	cp, err := comm.Compile(core.Collective{Prim: core.AllReduce, Dims: algoPinDims,
+		Src: core.Span(0, bytesPerPE), Dst: core.At(2 * bytesPerPE),
+		Elem: elem.I32, Op: elem.Sum, Level: core.Baseline, Algorithm: alg})
+	if err != nil {
+		return 0, 0, err
+	}
+	return cp.Cost().Total(), cp.Makespan(), nil
+}
+
+// MeasureClusterAllReduceAlgo prices one hierarchical global AllReduce
+// of perPE bytes per PE across hosts cost-only hosts with the given
+// host-level wire algorithm (AlgoAuto lets the cluster pick
+// analytically from cost.NetParams).
+func MeasureClusterAllReduceAlgo(hosts, perPE int, params cost.Params, alg core.Algorithm) (cost.Breakdown, error) {
+	geo := clusterHostGeo(perPE)
+	P := geo.NumPEs()
+	m := perPE / (8 * P) * (8 * P)
+	if m == 0 {
+		m = 8 * P
+	}
+	cl, err := clusterOf(hosts, geo, params)
+	if err != nil {
+		return cost.Breakdown{}, err
+	}
+	return cl.Run(core.ClusterCollective{Collective: core.Collective{
+		Prim: core.AllReduce, Dims: "1", Src: core.Span(0, m), Dst: core.At(2 * m),
+		Elem: elem.I32, Op: elem.Sum, Level: core.CM, Algorithm: alg,
+	}})
+}
+
+// The pinned cluster crossover points: at 64 hosts the tree wire
+// algorithm (2*log2(H) rounds of the full payload) beats the ring
+// (2*(H-1) rounds of payload/H) on the latency-bound small payload,
+// and loses on the bandwidth-bound large one. Both sides are gated.
+const (
+	algoClusterSmall = clusterPinPerPE // 16 KiB: latency-bound, tree wins
+	algoClusterLarge = 4 << 20         // 4 MiB: bandwidth-bound, ring wins
+)
+
+// AutoGainResult is the outcome of the pinned objective comparison: the
+// candidate each Auto objective resolves the same signature to, and the
+// measured overlapped elapsed time of a depth-AutoGainDepth async burst
+// executed with that candidate.
+type AutoGainResult struct {
+	MeterAlgo       core.Algorithm
+	MeterLevel      core.Level
+	MeterElapsed    cost.Seconds
+	MakespanAlgo    core.Algorithm
+	MakespanLevel   core.Level
+	MakespanElapsed cost.Seconds
+}
+
+// AutoGainDepth is the number of independent collectives the objective
+// comparison overlaps.
+const AutoGainDepth = 8
+
+// MeasureAutoObjectiveGain measures the pinned point where the makespan
+// objective beats the meter objective: an Auto-level AllGather of
+// 256-byte contributions in four-member groups on the § IX-A host. The
+// meter objective picks the serially-cheapest candidate (Baseline,
+// concentrated on the host lanes); the makespan objective pays a
+// fraction of a percent more serial cost for a lane-balanced +CM
+// schedule that pipelines across AutoGainDepth overlapped instances and
+// finishes earlier on the async queue. Both picks are executed for real
+// (cost-only) and the overlap-aware Comm.Elapsed is reported.
+func MeasureAutoObjectiveGain() (AutoGainResult, error) {
+	const s = 256   // per-PE contribution
+	const m = 4 * s // gathered payload (group size 4)
+	var r AutoGainResult
+	for _, obj := range []core.AutoObjective{core.AutoMeter, core.AutoMakespan} {
+		geo := dram.Geometry{Channels: 1, RanksPerChannel: 4, BanksPerChip: 8, MramPerBank: 1 << 20}
+		c, err := newCommOn(geo, algoPinShape, cost.DefaultParams(), true)
+		if err != nil {
+			return r, err
+		}
+		c.SetAutoObjective(obj)
+		alg, lvl, err := c.AutoResolveOf(core.Collective{Prim: core.AllGather, Dims: algoPinDims,
+			Src: core.Span(0, s), Dst: core.At(2 * s), Level: core.Auto})
+		if err != nil {
+			return r, err
+		}
+		var futs []*core.Future
+		for b := 0; b < AutoGainDepth; b++ {
+			base := b * 4 * m
+			cp, err := c.Compile(core.Collective{Prim: core.AllGather, Dims: algoPinDims,
+				Src: core.Span(base, s), Dst: core.At(base + 2*s), Level: core.Auto})
+			if err != nil {
+				return r, err
+			}
+			futs = append(futs, cp.Submit())
+		}
+		c.Flush()
+		for _, f := range futs {
+			if err := f.Err(); err != nil {
+				return r, err
+			}
+		}
+		if obj == core.AutoMeter {
+			r.MeterAlgo, r.MeterLevel, r.MeterElapsed = alg, lvl, c.Elapsed()
+		} else {
+			r.MakespanAlgo, r.MakespanLevel, r.MakespanElapsed = alg, lvl, c.Elapsed()
+		}
+	}
+	return r, nil
+}
+
+func init() {
+	register("algo", "Algorithm registry: machine-level AllReduce lowerings, cluster ring vs tree, makespan-aware Auto (cost-only)", func(o Options) error {
+		// Per-algorithm machine-level sweep: every registered AllReduce
+		// lowering is byte-identical to the reference, so the only thing
+		// that varies is where the time goes — the meter total (serial)
+		// and the pipelined makespan (overlapped) per payload size.
+		sizes := []int{16 << 10, 64 << 10, 256 << 10}
+		if o.Full {
+			sizes = append(sizes, 1<<20)
+		}
+		t := newTable("Size/PE", "Algo", "Meter(ms)", "Makespan(ms)", "Meter vs ref")
+		for _, size := range sizes {
+			var ref cost.Seconds
+			for _, alg := range core.RegisteredAlgorithms(core.AllReduce) {
+				meter, ks, err := MeasureAlgoAllReduce(size, alg)
+				if err != nil {
+					return err
+				}
+				if alg == core.AlgoReference {
+					ref = meter
+				}
+				t.add(fmt.Sprintf("%dK", size>>10), alg.String(),
+					fmt.Sprintf("%.3f", float64(meter)*1e3),
+					fmt.Sprintf("%.3f", float64(ks)*1e3),
+					fmt.Sprintf("%.2fx", float64(meter)/float64(ref)))
+			}
+		}
+		t.write(o.W)
+
+		// Cluster host-level wire algorithms: ring vs tree across the
+		// latency/bandwidth crossover, with the analytic Auto pick.
+		params := cost.DefaultParams()
+		perPEs := []int{16 << 10, 256 << 10, 1 << 20, 4 << 20}
+		fmt.Fprintln(o.W)
+		t = newTable("Bytes/PE", "Ring(ms)", "Tree(ms)", "Auto(ms)", "Auto pick")
+		for _, perPE := range perPEs {
+			ring, err := MeasureClusterAllReduceAlgo(clusterPinHosts, perPE, params, core.AlgoRing)
+			if err != nil {
+				return err
+			}
+			tree, err := MeasureClusterAllReduceAlgo(clusterPinHosts, perPE, params, core.AlgoTree)
+			if err != nil {
+				return err
+			}
+			auto, err := MeasureClusterAllReduceAlgo(clusterPinHosts, perPE, params, core.AlgoAuto)
+			if err != nil {
+				return err
+			}
+			pick := "ring"
+			if tree.Total() < ring.Total() {
+				pick = "tree"
+			}
+			t.add(fmt.Sprintf("%dK", perPE>>10),
+				fmt.Sprintf("%.3f", float64(ring.Total())*1e3),
+				fmt.Sprintf("%.3f", float64(tree.Total())*1e3),
+				fmt.Sprintf("%.3f", float64(auto.Total())*1e3),
+				pick)
+		}
+		t.write(o.W)
+
+		// The pinned objective comparison: same Auto signature, two
+		// objectives, measured overlapped elapsed time.
+		g, err := MeasureAutoObjectiveGain()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(o.W)
+		t = newTable("Objective", "Pick", "Elapsed(ms)")
+		t.add("meter", fmt.Sprintf("(%v, %v)", g.MeterAlgo, g.MeterLevel),
+			fmt.Sprintf("%.4f", float64(g.MeterElapsed)*1e3))
+		t.add("makespan", fmt.Sprintf("(%v, %v)", g.MakespanAlgo, g.MakespanLevel),
+			fmt.Sprintf("%.4f", float64(g.MakespanElapsed)*1e3))
+		t.write(o.W)
+		fmt.Fprintf(o.W, "\nAllGather %v %s, depth %d async: makespan objective gains %.2fx elapsed\n",
+			algoPinShape, algoPinDims, AutoGainDepth, float64(g.MeterElapsed)/float64(g.MakespanElapsed))
+		return nil
+	})
+}
+
+func collectAlgo(add func(string, float64)) error {
+	for _, alg := range core.RegisteredAlgorithms(core.AllReduce) {
+		meter, ks, err := MeasureAlgoAllReduce(algoPinPerPE, alg)
+		if err != nil {
+			return err
+		}
+		add("allreduce_"+alg.String()+"_meter", float64(meter))
+		add("allreduce_"+alg.String()+"_makespan", float64(ks))
+	}
+	for _, pin := range []struct {
+		name  string
+		perPE int
+	}{{"small", algoClusterSmall}, {"large", algoClusterLarge}} {
+		for _, alg := range []core.Algorithm{core.AlgoRing, core.AlgoTree} {
+			bd, err := MeasureClusterAllReduceAlgo(clusterPinHosts, pin.perPE, cost.DefaultParams(), alg)
+			if err != nil {
+				return err
+			}
+			add("cluster_"+alg.String()+"_"+pin.name, float64(bd.Total()))
+		}
+	}
+	g, err := MeasureAutoObjectiveGain()
+	if err != nil {
+		return err
+	}
+	add("auto_meter_elapsed", float64(g.MeterElapsed))
+	add("auto_makespan_elapsed", float64(g.MakespanElapsed))
+	return nil
+}

@@ -50,6 +50,7 @@ var metricExperiments = map[string]func(add func(name string, seconds float64)) 
 	"funcspeed":   collectFuncSpeed,
 	"cluster":     collectCluster,
 	"serving":     collectServing,
+	"algo":        collectAlgo,
 }
 
 // MetricExperimentIDs returns the experiment IDs with metric collectors,

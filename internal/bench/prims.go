@@ -26,6 +26,9 @@ type PrimSpec struct {
 	// Elem/Op apply to the reducing primitives.
 	Elem elem.Type
 	Op   elem.Op
+	// Algo constrains the schedule algorithm (AllReduce and Broadcast
+	// only; the zero value AlgoAuto keeps the default resolution).
+	Algo core.Algorithm
 	// CostOnly runs on the cost-only backend over a phantom system: the
 	// throughput and breakdown are identical (the cost model is shared
 	// bit-for-bit), but no MRAM is allocated and no data moves.
@@ -88,6 +91,9 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 		return out
 	}
 
+	if spec.Algo != core.AlgoAuto && spec.Prim != core.AllReduce && spec.Prim != core.Broadcast {
+		return 0, cost.Breakdown{}, host.XferStats{}, fmt.Errorf("bench: algorithm %v not supported for %v", spec.Algo, spec.Prim)
+	}
 	var bd cost.Breakdown
 	var fut *core.Future
 	var bytes int64
@@ -110,10 +116,13 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 		bytes = int64(m) * int64(n) // before reduction
 	case core.AllReduce:
 		fill(m)
+		d := core.Collective{Prim: core.AllReduce, Dims: spec.Dims,
+			Src: core.Span(0, m), Dst: core.At(2 * m),
+			Elem: spec.Elem, Op: spec.Op, Level: spec.Level, Algorithm: spec.Algo}
 		if spec.Async {
-			fut, err = comm.SubmitAllReduce(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+			fut, err = comm.Submit(d)
 		} else {
-			bd, err = comm.AllReduce(spec.Dims, 0, 2*m, m, spec.Elem, spec.Op, spec.Level)
+			bd, err = comm.Run(d)
 		}
 		bytes = int64(m) * int64(n)
 	case core.AllGather:
@@ -153,10 +162,12 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 		}
 		bytes = int64(m) * int64(n)
 	case core.Broadcast:
+		d := core.Collective{Prim: core.Broadcast, Dims: spec.Dims,
+			Hosts: hostBufs(m), Dst: core.At(0), Level: spec.Level, Algorithm: spec.Algo}
 		if spec.Async {
-			fut, err = comm.SubmitBroadcast(spec.Dims, hostBufs(m), 0, spec.Level)
+			fut, err = comm.Submit(d)
 		} else {
-			bd, err = comm.Broadcast(spec.Dims, hostBufs(m), 0, spec.Level)
+			bd, err = comm.Run(d)
 		}
 		bytes = int64(m) * int64(n) // received side
 	default:
@@ -169,6 +180,51 @@ func RunPrimitiveWithStats(spec PrimSpec) (float64, cost.Breakdown, host.XferSta
 		return 0, cost.Breakdown{}, host.XferStats{}, err
 	}
 	return gbps(bytes, float64(bd.Total())), bd, comm.Host().Stats(), nil
+}
+
+// ResolvePrimitive reports the (algorithm, level) pair the spec's
+// collective resolves to — the autotuner's pick where spec.Level is
+// core.Auto (or spec.Algo is AlgoAuto under Auto level), the explicit
+// selection mapped to its effective value otherwise. The resolution is
+// backend-independent, so it always runs on a cost-only comm.
+func ResolvePrimitive(spec PrimSpec) (core.Algorithm, core.Level, error) {
+	n := 1
+	for _, l := range spec.Shape {
+		n *= l
+	}
+	if spec.Elem == 0 && spec.Op == 0 {
+		spec.Elem, spec.Op = elem.I32, elem.Sum
+	}
+	comm, err := newPrimComm(spec.Shape, n, spec.RecvPerPE, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	groups, err := comm.Hypercube().Groups(spec.Dims)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := spec.RecvPerPE
+	d := core.Collective{Prim: spec.Prim, Dims: spec.Dims, Level: spec.Level, Algorithm: spec.Algo}
+	switch spec.Prim {
+	case core.AlltoAll:
+		d.Src, d.Dst = core.Span(0, m), core.At(2*m)
+	case core.ReduceScatter, core.AllReduce:
+		d.Src, d.Dst, d.Elem, d.Op = core.Span(0, m), core.At(2*m), spec.Elem, spec.Op
+	case core.AllGather:
+		s := m / len(groups[0])
+		d.Src, d.Dst = core.Span(0, s), core.At(2*s)
+	case core.Scatter:
+		d.Dst = core.Span(0, m)
+	case core.Gather:
+		d.Src = core.Span(0, m)
+	case core.Reduce:
+		d.Src, d.Elem, d.Op = core.Span(0, m), spec.Elem, spec.Op
+	case core.Broadcast:
+		d.Dst = core.Span(0, m)
+	default:
+		return 0, 0, fmt.Errorf("bench: unknown primitive %v", spec.Prim)
+	}
+	return comm.AutoResolveOf(d)
 }
 
 func newPrimComm(shape []int, n, recvPerPE int, costOnly bool) (*core.Comm, error) {

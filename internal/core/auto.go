@@ -3,23 +3,70 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/cost"
 	"repro/internal/elem"
 )
 
-// The level autotuner: a collective called with the Auto pseudo-level is
-// dry-run on the cost-only backend at every distinct effective level,
-// the cheapest level wins, and the decision is cached per call signature
-// (primitive, dims, payload bytes, element type, operator). Because the
-// cost-only backend reproduces the functional breakdowns exactly, the
-// picked level is the one the functional run would have measured as
-// cheapest — at microseconds of dry-run cost instead of a full byte-
-// accurate execution per candidate.
+// The autotuner: a collective called with the Auto pseudo-level (and/or
+// AlgoAuto) is dry-compiled on the cost-only backend at every applicable
+// (algorithm, level) candidate, the best candidate wins, and the
+// decision is cached per call signature (primitive, dims, payload bytes,
+// element type, operator, algorithm constraint). Because the cost-only
+// backend reproduces the functional breakdowns exactly, the picked
+// candidate is the one the functional run would have measured as best —
+// at microseconds of dry-run cost instead of a full byte-accurate
+// execution per candidate.
+//
+// Two objectives are available (SetAutoObjective):
+//
+//   - AutoMeter (default) minimizes the meter total: the sum of all
+//     charges, i.e. the serial execution time of one call.
+//   - AutoMakespan minimizes the pipelined dry-placed makespan: each
+//     candidate's charge trace is placed AutoPipelineDepth times on a
+//     scratch cost.Timeline (all four lanes, every copy free to start at
+//     zero — cost.PipelinedMakespan), modeling the async regime where
+//     independent instances overlap. Under overlap the meter-cheapest
+//     plan is not always the elapsed-time winner: a trace that
+//     concentrates its time on one lane serializes there, while a
+//     lane-balanced trace with a larger sum can finish earlier.
+//
+// Ties go to the earlier candidate in scan order (reference algorithm
+// first, then ascending levels), so Auto's pre-algorithm behavior is
+// preserved exactly: an alternative algorithm is picked only when it is
+// strictly better under the selected objective.
 
-// autoKey identifies one AutoLevel decision. Offsets are excluded (the
-// cost model depends only on shapes and sizes) except for the in-place
-// bit, which changes which levels apply.
+// AutoObjective selects what Comm-level Auto resolution minimizes.
+type AutoObjective int
+
+const (
+	// AutoMeter picks the candidate with the smallest meter total
+	// (serial cost). The default.
+	AutoMeter AutoObjective = iota
+	// AutoMakespan picks the candidate with the smallest pipelined
+	// dry-placed makespan (overlapped elapsed time).
+	AutoMakespan
+)
+
+func (o AutoObjective) String() string {
+	if o == AutoMakespan {
+		return "makespan"
+	}
+	return "meter"
+}
+
+// AutoPipelineDepth is the number of independent trace copies the
+// makespan objective dry-places: deep enough that lane steady-state
+// dominates the pipeline fill, small enough that scoring stays
+// microseconds per candidate.
+const AutoPipelineDepth = 4
+
+// autoKey identifies one Auto decision. Offsets are excluded (the cost
+// model depends only on shapes and sizes) except for the in-place bit,
+// which changes which levels apply. algo is the caller's algorithm
+// constraint: AlgoAuto for the full search, a concrete algorithm when
+// only the level is searched.
 type autoKey struct {
 	prim     Primitive
 	dims     string
@@ -27,6 +74,17 @@ type autoKey struct {
 	elemType elem.Type
 	op       elem.Op
 	inPlace  bool
+	algo     Algorithm
+}
+
+// autoDecision is one cached Auto resolution: the winning candidate and
+// the scores that justified it (both objectives are recorded regardless
+// of which one picked).
+type autoDecision struct {
+	algo     Algorithm
+	lvl      Level
+	meter    cost.Seconds
+	makespan cost.Seconds
 }
 
 // shadowComm returns the comm's cost-only twin (sharing the hypercube
@@ -36,113 +94,221 @@ func (c *Comm) shadowComm() *Comm {
 	if c.shadow == nil {
 		c.shadow = NewCostComm(c.hc, c.h.Params())
 	}
-	// Dry-run with the parent's fusion level so Auto compares levels on
-	// the schedules the real compile will produce.
+	// Dry-run with the parent's fusion level so Auto compares candidates
+	// on the schedules the real compile will produce.
 	c.shadow.SetFuse(c.Fuse())
 	return c.shadow
 }
 
-// autoPick evaluates run at every distinct effective level for the
-// key's primitive on the cost-only shadow and returns the cheapest. Ties
-// go to the lower level. A candidate level whose dry run fails is
-// inapplicable to this signature (e.g. the streaming levels cannot run
-// an in-place AlltoAll) and is skipped; autoPick errors only when no
-// level applies at all.
-func (c *Comm) autoPick(key autoKey, run func(sh *Comm, lvl Level) (cost.Breakdown, error)) (Level, error) {
+// SetAutoObjective configures what Auto resolution minimizes. Cached
+// decisions are dropped on a change — they were scored under the old
+// objective. Plans already compiled keep the candidate they resolved to.
+func (c *Comm) SetAutoObjective(o AutoObjective) {
 	c.autoMu.Lock()
 	defer c.autoMu.Unlock()
-	if lvl, ok := c.autoCache[key]; ok {
-		return lvl, nil
+	if c.autoObj != o {
+		c.autoObj = o
+		c.autoCache = make(map[autoKey]autoDecision)
+	}
+}
+
+// AutoObjective returns the comm's current Auto objective.
+func (c *Comm) AutoObjective() AutoObjective {
+	c.autoMu.Lock()
+	defer c.autoMu.Unlock()
+	return c.autoObj
+}
+
+// autoPick evaluates every candidate (algorithm, level) pair for the key
+// on the cost-only shadow and returns the best under the comm's
+// objective. The algorithm axis is the key's constraint (AlgoAuto means
+// reference plus every registered algorithm); the level axis is every
+// distinct effective level. A candidate whose dry compile fails is
+// inapplicable to this signature (e.g. the streaming levels cannot run
+// an in-place AlltoAll; a registered predicate rejects the level) and is
+// skipped; autoPick errors only when no candidate applies at all.
+func (c *Comm) autoPick(key autoKey, run func(sh *Comm, alg Algorithm, lvl Level) (*CompiledPlan, error)) (autoDecision, error) {
+	c.autoMu.Lock()
+	defer c.autoMu.Unlock()
+	if dec, ok := c.autoCache[key]; ok {
+		return dec, nil
 	}
 	sh := c.shadowComm()
-	best, bestT := Baseline, cost.Seconds(-1)
-	seen := make(map[Level]bool)
+	algs := []Algorithm{key.algo}
+	if key.algo == AlgoAuto {
+		algs = RegisteredAlgorithms(key.prim)
+	}
+	var best autoDecision
+	found := false
 	var fails []error
-	for _, l := range Levels() {
-		eff := EffectiveLevel(key.prim, l)
-		if seen[eff] {
-			continue
-		}
-		seen[eff] = true
-		bd, err := run(sh, eff)
-		if err != nil {
-			fails = append(fails, err)
-			continue
-		}
-		// Strict less on an ascending scan keeps the lowest level on ties.
-		if d := bd.Total(); bestT < 0 || d < bestT {
-			best, bestT = eff, d
+	for _, alg := range algs {
+		seen := make(map[Level]bool)
+		for _, l := range Levels() {
+			eff := EffectiveLevel(key.prim, l)
+			if seen[eff] {
+				continue
+			}
+			seen[eff] = true
+			cp, err := run(sh, alg, eff)
+			if err != nil {
+				fails = append(fails, err)
+				continue
+			}
+			cand := autoDecision{
+				algo:     alg,
+				lvl:      eff,
+				meter:    cp.tr.total.Total(),
+				makespan: cost.PipelinedMakespan(cp.tr.segs, AutoPipelineDepth),
+			}
+			// Strict less on the scan keeps the earliest candidate
+			// (reference algorithm, lowest level) on ties.
+			if !found || c.autoLess(cand, best) {
+				best, found = cand, true
+			}
 		}
 	}
-	if bestT < 0 {
-		return 0, fmt.Errorf("core: no optimization level applies: %w", errors.Join(fails...))
+	if !found {
+		return autoDecision{}, fmt.Errorf("core: no (algorithm, level) candidate applies: %w", errors.Join(fails...))
 	}
 	c.autoCache[key] = best
 	return best, nil
 }
 
+// autoLess orders two candidates under the comm's objective, with the
+// other objective as tie-break. Callers hold autoMu.
+func (c *Comm) autoLess(a, b autoDecision) bool {
+	x, y, tx, ty := a.meter, b.meter, a.makespan, b.makespan
+	if c.autoObj == AutoMakespan {
+		x, y, tx, ty = a.makespan, b.makespan, a.meter, b.meter
+	}
+	if x != y {
+		return x < y
+	}
+	return tx < ty
+}
+
 // AutoLevel returns the optimization level Auto would choose for the
-// given call signature: the level whose cost-only dry run is cheapest.
+// given call signature under the full (algorithm x level) search.
 // bytesPerPE has the same meaning as in the corresponding collective
 // (for AllGather it is the per-PE contribution; for Scatter the per-PE
 // destination size). t and op are ignored for non-reducing primitives.
 // The decision is cached on the Comm, so repeated Auto calls with the
 // same signature resolve in a map lookup.
 func (c *Comm) AutoLevel(prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op) (Level, error) {
-	return c.autoLevel(prim, dims, bytesPerPE, t, op, false)
+	dec, err := c.autoResolve(prim, dims, bytesPerPE, t, op, AlgoAuto, false)
+	if err != nil {
+		return 0, err
+	}
+	return dec.lvl, nil
 }
 
-// autoLevel is AutoLevel plus the in-place bit of the originating call
-// (an in-place AlltoAll restricts the applicable levels).
-func (c *Comm) autoLevel(prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, inPlace bool) (Level, error) {
+// autoResolve resolves an Auto signature to its winning (algorithm,
+// level) decision: the full search for algo == AlgoAuto, the level-only
+// search for a concrete algorithm constraint. inPlace is the in-place
+// bit of the originating call (an in-place AlltoAll restricts the
+// applicable levels).
+func (c *Comm) autoResolve(prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, algo Algorithm, inPlace bool) (autoDecision, error) {
 	if prim == Broadcast {
-		// Single implementation at every level (§ VIII-B).
-		return Baseline, nil
+		// Single level at every optimization setting (§ VIII-B); the
+		// algorithm constraint passes through (AlgoAuto resolves to the
+		// reference driver broadcast — alternatives are opt-in).
+		alg := algo
+		if alg == AlgoAuto {
+			alg = AlgoReference
+		}
+		return autoDecision{algo: alg, lvl: Baseline}, nil
 	}
-	key := autoKey{prim: prim, dims: dims, bytes: bytesPerPE, inPlace: inPlace}
+	key := autoKey{prim: prim, dims: dims, bytes: bytesPerPE, inPlace: inPlace, algo: algo}
 	switch prim {
 	case ReduceScatter, AllReduce, Reduce:
 		key.elemType, key.op = t, op
 	}
-	lvl, err := c.autoPick(key, func(sh *Comm, l Level) (cost.Breakdown, error) {
-		return autoDryRun(sh, prim, dims, bytesPerPE, t, op, l, inPlace)
+	dec, err := c.autoPick(key, func(sh *Comm, alg Algorithm, lvl Level) (*CompiledPlan, error) {
+		return autoDryCompile(sh, prim, dims, bytesPerPE, t, op, alg, lvl, inPlace)
 	})
 	if err != nil {
-		return 0, fmt.Errorf("AutoLevel(%v): %w", prim, err)
+		return autoDecision{}, fmt.Errorf("Auto(%v): %w", prim, err)
 	}
-	return lvl, nil
+	return dec, nil
 }
 
-// autoDryRun invokes one primitive on the cost-only shadow with
+// autoDryCompile compiles one candidate on the cost-only shadow with
 // canonical offsets (source at 0, destination immediately after the
 // source region — or coinciding with it for an in-place signature). The
 // shadow shares the caller's system geometry, so a signature that fits
-// the caller's MRAM fits here too.
-func autoDryRun(sh *Comm, prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, lvl Level, inPlace bool) (cost.Breakdown, error) {
+// the caller's MRAM fits here too. Compilation alone yields the
+// candidate's precomputed per-run cost and lane segments; nothing
+// executes.
+func autoDryCompile(sh *Comm, prim Primitive, dims string, bytesPerPE int, t elem.Type, op elem.Op, alg Algorithm, lvl Level, inPlace bool) (*CompiledPlan, error) {
 	m := bytesPerPE
 	dst := m
 	if inPlace {
 		dst = 0
 	}
-	var bd cost.Breakdown
-	var err error
+	d := Collective{Prim: prim, Dims: dims, Level: lvl, Algorithm: alg}
 	switch prim {
 	case AlltoAll:
-		bd, err = sh.AlltoAll(dims, 0, dst, m, lvl)
-	case ReduceScatter:
-		bd, err = sh.ReduceScatter(dims, 0, m, m, t, op, lvl)
-	case AllReduce:
-		bd, err = sh.AllReduce(dims, 0, m, m, t, op, lvl)
-	case AllGather:
-		bd, err = sh.AllGather(dims, 0, m, m, lvl)
+		d.Src, d.Dst = Span(0, m), At(dst)
+	case ReduceScatter, AllReduce, AllGather:
+		d.Src, d.Dst, d.Elem, d.Op = Span(0, m), At(m), t, op
 	case Scatter:
-		bd, err = sh.Scatter(dims, nil, 0, m, lvl) // nil bufs: cost-only sizes are implied
+		d.Dst = Span(0, m) // nil Hosts: cost-only sizes are implied
 	case Gather:
-		_, bd, err = sh.Gather(dims, 0, m, lvl)
+		d.Src = Span(0, m)
 	case Reduce:
-		_, bd, err = sh.Reduce(dims, 0, m, t, op, lvl)
+		d.Src, d.Elem, d.Op = Span(0, m), t, op
 	default:
-		err = fmt.Errorf("core: no dry run for primitive %v", prim)
+		return nil, fmt.Errorf("core: no dry run for primitive %v", prim)
 	}
-	return bd, err
+	return sh.Compile(d)
+}
+
+// AutoDecision is one row of the Auto decision cache as surfaced by
+// AutoDecisions (cmd/pidinfo -auto renders the table).
+type AutoDecision struct {
+	// The call signature: primitive, dims selection, per-PE payload
+	// bytes, element/op (zero-valued for non-reducing primitives), the
+	// in-place bit, and the caller's algorithm constraint (AlgoAuto for
+	// the full search).
+	Prim       Primitive
+	Dims       string
+	Bytes      int
+	Elem       elem.Type
+	Op         elem.Op
+	InPlace    bool
+	Constraint Algorithm
+	// The winning candidate and its scores under both objectives.
+	Algo     Algorithm
+	Level    Level
+	Meter    cost.Seconds
+	Makespan cost.Seconds
+}
+
+// AutoDecisions returns a snapshot of the comm's cached Auto decisions,
+// sorted by (primitive, dims, bytes, constraint) for stable display.
+func (c *Comm) AutoDecisions() []AutoDecision {
+	c.autoMu.Lock()
+	defer c.autoMu.Unlock()
+	out := make([]AutoDecision, 0, len(c.autoCache))
+	for k, dec := range c.autoCache {
+		out = append(out, AutoDecision{
+			Prim: k.prim, Dims: k.dims, Bytes: k.bytes,
+			Elem: k.elemType, Op: k.op, InPlace: k.inPlace, Constraint: k.algo,
+			Algo: dec.algo, Level: dec.lvl, Meter: dec.meter, Makespan: dec.makespan,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Prim != b.Prim {
+			return a.Prim < b.Prim
+		}
+		if a.Dims != b.Dims {
+			return a.Dims < b.Dims
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes < b.Bytes
+		}
+		return a.Constraint < b.Constraint
+	})
+	return out
 }

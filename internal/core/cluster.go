@@ -65,8 +65,8 @@ type ClusterCollective struct {
 // capture caller payloads are not cached (mirroring the single-host
 // host-input rule).
 func (d ClusterCollective) keyString() string {
-	return fmt.Sprintf("%v|%s|src=%+v|dst=%+v|%v|%v|%v|root=%d|flat=%v|hosts=%t",
-		d.Prim, d.Dims, d.Src, d.Dst, d.Elem, d.Op, d.Level, d.Root, d.Flat, d.Hosts != nil)
+	return fmt.Sprintf("%v|%s|src=%+v|dst=%+v|%v|%v|%v|algo=%v|root=%d|flat=%v|hosts=%t",
+		d.Prim, d.Dims, d.Src, d.Dst, d.Elem, d.Op, d.Level, d.Algorithm, d.Root, d.Flat, d.Hosts != nil)
 }
 
 // barrier is a reusable generation-counting rendezvous for the H host
@@ -369,6 +369,15 @@ func (cl *Cluster) hostSpecs(h int, ar arena, st *clusterState, d ClusterCollect
 		return nil, fmt.Errorf("%s: the flat (non-hierarchical) lowering is only implemented for AllReduce", d.Prim.LongName())
 	}
 	b := &clusterBuild{cl: cl, c: c, h: h, p: p, ar: ar, st: st, d: d}
+	if d.Algorithm != AlgoAuto && !(d.Prim == AllReduce && !d.Flat) {
+		// The algorithm axis at cluster level selects the host-level wire
+		// algorithm, which only the hierarchical AllReduce diversifies so
+		// far. Local legs always resolve their own machine-level
+		// algorithm; an explicit constraint elsewhere would be silently
+		// dropped, so reject it instead.
+		return nil, fmt.Errorf("%s: cluster algorithm %v not supported (only hierarchical AllReduce selects a host algorithm)",
+			d.Prim.LongName(), d.Algorithm)
+	}
 	switch {
 	case d.Flat:
 		err = b.flatAllReduce()
@@ -521,9 +530,32 @@ func (b *clusterBuild) allReduce() error {
 	st := b.st
 	st.ensure(b.cl.functional, m, true, H)
 	merge := func() { copy(st.global, RefReduce(d.Elem, d.Op, st.parts)) }
-	// Ring AllReduce among the hosts: 2(H-1) overlapped rounds of one
+	// Host-level wire algorithm. Ring: 2(H-1) overlapped rounds of one
 	// reduced 1/H portion each (§ IX-A: data are sent after reduction).
-	b.net("ring", 2*(H-1), int64(m/H), b.publishMerge(merge), false)
+	// Tree: the reduced payload climbs and re-descends a binary host tree
+	// in 2*ceil(log2 H) rounds of the full m bytes — fewer, fatter rounds,
+	// so it wins when the per-round latency dominates (small payloads,
+	// many hosts). AlgoAuto prices both legs on the wire model and keeps
+	// the cheaper; an explicit choice pins the leg.
+	alg := d.Algorithm
+	if alg == AlgoAuto {
+		net := b.c.h.Params().Net
+		ringT := cost.Seconds(2*(H-1)) * net.RoundTime(int64(m/H))
+		treeT := cost.Seconds(2*ceilLog2(H)) * net.RoundTime(int64(m))
+		if treeT < ringT {
+			alg = AlgoTree
+		} else {
+			alg = AlgoRing
+		}
+	}
+	switch alg {
+	case AlgoReference, AlgoRing:
+		b.net("ring", 2*(H-1), int64(m/H), b.publishMerge(merge), false)
+	case AlgoTree:
+		b.net("tree", 2*ceilLog2(H), int64(m), b.publishMerge(merge), false)
+	default:
+		return fmt.Errorf("core: cluster AllReduce: unsupported host algorithm %v (want Auto, ref, ring, or tree)", alg)
+	}
 	b.bcastGlobal(d.Dst.Off, m)
 	return nil
 }
@@ -576,7 +608,7 @@ func (b *clusterBuild) reduceScatter() error {
 // scatterGlobal appends the local leg that scatters this host's portion
 // of st.global (P blocks of s starting at part) to its PEs.
 func (b *clusterBuild) scatterGlobal(dstOff, s, part int) error {
-	eff, err := b.c.resolveLevel(Collective{Prim: Scatter, Dims: b.d.Dims, Level: b.d.Level}, s, false)
+	_, eff, err := b.c.resolveAlgoLevel(Collective{Prim: Scatter, Dims: b.d.Dims, Level: b.d.Level}, s, false)
 	if err != nil {
 		return err
 	}

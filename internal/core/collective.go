@@ -77,6 +77,12 @@ type Collective struct {
 	Op   elem.Op
 	// Level selects the optimization level; the zero value is Auto.
 	Level Level
+	// Algorithm selects the lowering algorithm (algorithm.go); the zero
+	// value is AlgoAuto. With an explicit Level, AlgoAuto resolves to
+	// AlgoReference (the built-in lowering); with Level Auto the
+	// autotuner searches (algorithm x level). An explicit algorithm with
+	// Level Auto searches only that algorithm's applicable levels.
+	Algorithm Algorithm
 	// Hosts carries the host-side payloads of Scatter and Broadcast:
 	// one buffer per communication group, in group order. On a
 	// cost-only backend Scatter accepts nil (sizes are implied).
@@ -146,14 +152,44 @@ func (c *Comm) Submit(d Collective) (*Future, error) {
 }
 
 // AutoLevelOf returns the concrete level the Auto pseudo-level resolves
-// to for descriptor d (whatever d.Level says).
+// to for descriptor d (whatever d.Level says), under d's algorithm
+// constraint.
 func (c *Comm) AutoLevelOf(d Collective) (Level, error) {
 	bytesPerPE := d.Src.Bytes
 	if d.Prim == Scatter || d.Prim == Broadcast {
 		bytesPerPE = d.Dst.Bytes
 	}
 	inPlace := d.Prim == AlltoAll && d.Src.Off == d.Dst.Off
-	return c.autoLevel(d.Prim, d.Dims, bytesPerPE, d.Elem, d.Op, inPlace)
+	dec, err := c.autoResolve(d.Prim, d.Dims, bytesPerPE, d.Elem, d.Op, d.Algorithm, inPlace)
+	if err != nil {
+		return 0, err
+	}
+	return dec.lvl, nil
+}
+
+// AutoResolveOf returns the (algorithm, level) pair descriptor d
+// resolves to: the autotuner's pick where either axis is Auto, the
+// explicit value (with AlgoAuto mapped to AlgoReference, and the level
+// mapped to its effective value) where it is not. This is exactly what
+// Compile would resolve d to, without compiling anything.
+func (c *Comm) AutoResolveOf(d Collective) (Algorithm, Level, error) {
+	if d.Level != Auto {
+		alg := d.Algorithm
+		if alg == AlgoAuto {
+			alg = AlgoReference
+		}
+		return alg, EffectiveLevel(d.Prim, d.Level), nil
+	}
+	bytesPerPE := d.Src.Bytes
+	if d.Prim == Scatter || d.Prim == Broadcast {
+		bytesPerPE = d.Dst.Bytes
+	}
+	inPlace := d.Prim == AlltoAll && d.Src.Off == d.Dst.Off
+	dec, err := c.autoResolve(d.Prim, d.Dims, bytesPerPE, d.Elem, d.Op, d.Algorithm, inPlace)
+	if err != nil {
+		return 0, 0, err
+	}
+	return dec.algo, dec.lvl, nil
 }
 
 // compileIn resolves d against the arena and compiles it; owner is the
@@ -254,17 +290,25 @@ func (c *Comm) specIn(ar arena, d Collective) (spec planSpec, err error) {
 	}
 }
 
-// resolveLevel resolves Auto for the descriptor and returns the
-// effective level for its primitive.
-func (c *Comm) resolveLevel(d Collective, bytesPerPE int, inPlace bool) (Level, error) {
-	lvl := d.Level
-	if lvl == Auto {
-		var err error
-		if lvl, err = c.autoLevel(d.Prim, d.Dims, bytesPerPE, d.Elem, d.Op, inPlace); err != nil {
-			return 0, err
+// resolveAlgoLevel resolves the descriptor's (Algorithm, Level) pair to
+// concrete values: an explicit level keeps the pre-algorithm fast path
+// (AlgoAuto maps to AlgoReference — no search, identical plans and
+// costs); Level Auto hands the pair to the autotuner, constrained to
+// d.Algorithm when that is explicit. The returned algorithm still needs
+// a checkAlgo applicability pass once the caller has built the AlgoEnv.
+func (c *Comm) resolveAlgoLevel(d Collective, bytesPerPE int, inPlace bool) (Algorithm, Level, error) {
+	if d.Level != Auto {
+		alg := d.Algorithm
+		if alg == AlgoAuto {
+			alg = AlgoReference
 		}
+		return alg, EffectiveLevel(d.Prim, d.Level), nil
 	}
-	return EffectiveLevel(d.Prim, lvl), nil
+	dec, err := c.autoResolve(d.Prim, d.Dims, bytesPerPE, d.Elem, d.Op, d.Algorithm, inPlace)
+	if err != nil {
+		return 0, 0, err
+	}
+	return dec.algo, dec.lvl, nil
 }
 
 func (c *Comm) specAlltoAll(ar arena, d Collective) (planSpec, error) {
@@ -291,7 +335,7 @@ func (c *Comm) specAlltoAll(ar arena, d Collective) (planSpec, error) {
 	if err != nil {
 		return planSpec{}, err
 	}
-	eff, err := c.resolveLevel(d, m, inPlace)
+	alg, eff, err := c.resolveAlgoLevel(d, m, inPlace)
 	if err != nil {
 		return planSpec{}, err
 	}
@@ -299,12 +343,18 @@ func (c *Comm) specAlltoAll(ar arena, d Collective) (planSpec, error) {
 		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
-	key := planKey{prim: AlltoAll, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, lvl: eff}
+	env := &AlgoEnv{c: c, p: p, prim: AlltoAll, eff: eff, srcOff: srcOff, dstOff: dstOff, m: m, s: s}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: AlltoAll, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, lvl: eff, algo: alg}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	regs.write(dstOff, m)
 	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
-		return c.lowerAlltoAll(p, srcOff, dstOff, s, eff)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerAlltoAll(p, srcOff, dstOff, s, eff)
+		})
 	}}, nil
 }
 
@@ -333,17 +383,23 @@ func (c *Comm) specReduceScatter(ar arena, d Collective) (planSpec, error) {
 	if overlap(d.Src.Off, m, d.Dst.Off, s) {
 		return planSpec{}, fmt.Errorf("core: src and dst regions overlap")
 	}
-	eff, err := c.resolveLevel(d, m, false)
+	alg, eff, err := c.resolveAlgoLevel(d, m, false)
 	if err != nil {
 		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
-	key := planKey{prim: ReduceScatter, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
+	env := &AlgoEnv{c: c, p: p, prim: ReduceScatter, eff: eff, srcOff: srcOff, dstOff: dstOff, m: m, s: s, t: d.Elem, op: d.Op}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: ReduceScatter, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff, algo: alg}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	regs.write(dstOff, s)
 	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
-		return c.lowerReduceScatter(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerReduceScatter(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
+		})
 	}}, nil
 }
 
@@ -373,17 +429,23 @@ func (c *Comm) specAllReduce(ar arena, d Collective) (planSpec, error) {
 	if err != nil {
 		return planSpec{}, err
 	}
-	eff, err := c.resolveLevel(d, m, false)
+	alg, eff, err := c.resolveAlgoLevel(d, m, false)
 	if err != nil {
 		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
-	key := planKey{prim: AllReduce, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
+	env := &AlgoEnv{c: c, p: p, prim: AllReduce, eff: eff, srcOff: srcOff, dstOff: dstOff, m: m, s: s, t: d.Elem, op: d.Op}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: AllReduce, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff, algo: alg}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	regs.write(dstOff, m)
 	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
-		return c.lowerAllReduce(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerAllReduce(p, srcOff, dstOff, s, d.Elem, d.Op, eff)
+		})
 	}}, nil
 }
 
@@ -405,17 +467,23 @@ func (c *Comm) specAllGather(ar arena, d Collective) (planSpec, error) {
 	if overlap(d.Src.Off, s, d.Dst.Off, p.n*s) {
 		return planSpec{}, fmt.Errorf("core: src and dst regions overlap")
 	}
-	eff, err := c.resolveLevel(d, s, false)
+	alg, eff, err := c.resolveAlgoLevel(d, s, false)
 	if err != nil {
 		return planSpec{}, err
 	}
 	srcOff, dstOff := ar.base+d.Src.Off, ar.base+d.Dst.Off
-	key := planKey{prim: AllGather, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: s, lvl: eff}
+	env := &AlgoEnv{c: c, p: p, prim: AllGather, eff: eff, srcOff: srcOff, dstOff: dstOff, m: s, s: s}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: AllGather, dims: d.Dims, srcOff: srcOff, dstOff: dstOff, bytes: s, lvl: eff, algo: alg}
 	var regs planRegions
 	regs.read(srcOff, s)
 	regs.write(dstOff, p.n*s)
 	return planSpec{key: key, regs: regs, lower: func(*CompiledPlan) *Schedule {
-		return c.lowerAllGather(p, srcOff, dstOff, s, eff)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerAllGather(p, srcOff, dstOff, s, eff)
+		})
 	}}, nil
 }
 
@@ -428,16 +496,22 @@ func (c *Comm) specGather(ar arena, d Collective) (planSpec, error) {
 	if err := checkArenaRegion(ar, d.Src.Off, s); err != nil {
 		return planSpec{}, err
 	}
-	eff, err := c.resolveLevel(d, s, false)
+	alg, eff, err := c.resolveAlgoLevel(d, s, false)
 	if err != nil {
 		return planSpec{}, err
 	}
 	srcOff := ar.base + d.Src.Off
-	key := planKey{prim: Gather, dims: d.Dims, srcOff: srcOff, bytes: s, lvl: eff}
+	env := &AlgoEnv{c: c, p: p, prim: Gather, eff: eff, srcOff: srcOff, m: s, s: s}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: Gather, dims: d.Dims, srcOff: srcOff, bytes: s, lvl: eff, algo: alg}
 	var regs planRegions
 	regs.read(srcOff, s)
 	return planSpec{key: key, regs: regs, lower: func(cp *CompiledPlan) *Schedule {
-		return c.lowerGather(p, srcOff, s, eff, cp)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerGather(p, srcOff, s, eff, cp)
+		})
 	}}, nil
 }
 
@@ -457,16 +531,22 @@ func (c *Comm) specReduce(ar arena, d Collective) (planSpec, error) {
 	if err != nil {
 		return planSpec{}, err
 	}
-	eff, err := c.resolveLevel(d, m, false)
+	alg, eff, err := c.resolveAlgoLevel(d, m, false)
 	if err != nil {
 		return planSpec{}, err
 	}
 	srcOff := ar.base + d.Src.Off
-	key := planKey{prim: Reduce, dims: d.Dims, srcOff: srcOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff}
+	env := &AlgoEnv{c: c, p: p, prim: Reduce, eff: eff, srcOff: srcOff, m: m, s: s, t: d.Elem, op: d.Op}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: Reduce, dims: d.Dims, srcOff: srcOff, bytes: m, elemType: d.Elem, op: d.Op, lvl: eff, algo: alg}
 	var regs planRegions
 	regs.srcRegion(srcOff, m, eff >= PR)
 	return planSpec{key: key, regs: regs, lower: func(cp *CompiledPlan) *Schedule {
-		return c.lowerReduce(p, srcOff, s, d.Elem, d.Op, eff, cp)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerReduce(p, srcOff, s, d.Elem, d.Op, eff, cp)
+		})
 	}}, nil
 }
 
@@ -495,16 +575,22 @@ func (c *Comm) specScatter(ar arena, d Collective) (planSpec, error) {
 			}
 		}
 	}
-	eff, err := c.resolveLevel(d, s, false)
+	alg, eff, err := c.resolveAlgoLevel(d, s, false)
 	if err != nil {
 		return planSpec{}, err
 	}
 	dstOff := ar.base + d.Dst.Off
-	key := planKey{prim: Scatter, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: eff}
+	env := &AlgoEnv{c: c, p: p, prim: Scatter, eff: eff, dstOff: dstOff, m: s, s: s, hosts: bufs}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: Scatter, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: eff, algo: alg}
 	var regs planRegions
 	regs.write(dstOff, s)
 	return planSpec{key: key, regs: regs, hostBufs: true, lower: func(*CompiledPlan) *Schedule {
-		return c.lowerScatter(p, bufs, dstOff, s, eff)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerScatter(p, bufs, dstOff, s, eff)
+		})
 	}}, nil
 }
 
@@ -531,12 +617,24 @@ func (c *Comm) specBroadcast(ar arena, d Collective) (planSpec, error) {
 	if err := checkArenaRegion(ar, d.Dst.Off, s); err != nil {
 		return planSpec{}, err
 	}
-	// Broadcast has a single implementation at every level (§ VIII-B).
+	// Broadcast has a single implementation level (§ VIII-B); the
+	// algorithm axis still applies (AlgoAuto resolves to the reference
+	// driver broadcast, alternatives are explicit opt-ins).
+	alg := d.Algorithm
+	if alg == AlgoAuto {
+		alg = AlgoReference
+	}
 	dstOff := ar.base + d.Dst.Off
-	key := planKey{prim: Broadcast, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: Baseline}
+	env := &AlgoEnv{c: c, p: p, prim: Broadcast, eff: Baseline, dstOff: dstOff, m: s, s: s, hosts: bufs}
+	if err := checkAlgo(alg, env); err != nil {
+		return planSpec{}, err
+	}
+	key := planKey{prim: Broadcast, dims: d.Dims, dstOff: dstOff, bytes: s, lvl: Baseline, algo: alg}
 	var regs planRegions
 	regs.write(dstOff, s)
 	return planSpec{key: key, regs: regs, hostBufs: true, lower: func(*CompiledPlan) *Schedule {
-		return c.lowerBroadcast(p, bufs, dstOff, s)
+		return algoLower(alg, env, func() *Schedule {
+			return c.lowerBroadcast(p, bufs, dstOff, s)
+		})
 	}}, nil
 }

@@ -50,10 +50,12 @@ type Comm struct {
 	planMu sync.Mutex
 	plans  map[string]*plan
 
-	// autoMu guards the AutoLevel decision cache and the lazily-created
-	// cost-only shadow comm the dry runs execute on (auto.go).
+	// autoMu guards the Auto decision cache, the objective knob and the
+	// lazily-created cost-only shadow comm the dry runs compile on
+	// (auto.go).
 	autoMu    sync.Mutex
-	autoCache map[autoKey]Level
+	autoCache map[autoKey]autoDecision
+	autoObj   AutoObjective
 	shadow    *Comm
 
 	// compMu guards the compiled-plan, sequence and charge-trace caches
@@ -139,7 +141,7 @@ func NewCommWithBackend(hc *Hypercube, params cost.Params, b Backend) *Comm {
 		eng:        dpu.NewEngine(hc.sys, params),
 		backend:    b,
 		plans:      make(map[string]*plan),
-		autoCache:  make(map[autoKey]Level),
+		autoCache:  make(map[autoKey]autoDecision),
 		compiled:   make(map[planKey]*CompiledPlan),
 		traces:     make(map[planKey]*chargeTrace),
 		seqPlans:   make(map[string]*CompiledPlan),
@@ -272,7 +274,7 @@ func (c *Comm) SetFuse(f FuseLevel) {
 	c.compMu.Unlock()
 	if changed {
 		c.autoMu.Lock()
-		c.autoCache = make(map[autoKey]Level)
+		c.autoCache = make(map[autoKey]autoDecision)
 		c.autoMu.Unlock()
 	}
 }

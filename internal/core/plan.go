@@ -41,7 +41,11 @@ type planKey struct {
 	elemType       elem.Type
 	op             elem.Op
 	lvl            Level
-	fused          bool
+	// algo is the resolved lowering algorithm (never AlgoAuto): two
+	// compilations of one signature through different algorithms are
+	// distinct plans with distinct charge traces.
+	algo  Algorithm
+	fused bool
 	// tag disambiguates synthetic plans that share a positional signature
 	// with an ordinary collective but lower differently — the cluster
 	// layer (cluster.go) tags its network-leg and staging members so they
@@ -152,9 +156,28 @@ func (cp *CompiledPlan) Primitive() Primitive { return cp.key.prim }
 // at (Auto already resolved).
 func (cp *CompiledPlan) Level() Level { return cp.key.lvl }
 
+// Algorithm returns the lowering algorithm the plan was compiled
+// through (Auto already resolved; AlgoReference for the built-in
+// lowering).
+func (cp *CompiledPlan) Algorithm() Algorithm { return cp.key.algo }
+
 // Cost returns the plan's precomputed per-run cost breakdown — what one
 // Run will charge, available without executing anything.
 func (cp *CompiledPlan) Cost() cost.Breakdown { return cp.tr.total }
+
+// LaneSegments returns a copy of the plan's per-run charge trace as
+// timeline segments in charge order — the input to dry placement
+// (cost.PipelinedMakespan, the async scheduler's hazard windows).
+func (cp *CompiledPlan) LaneSegments() []cost.Segment {
+	return append([]cost.Segment(nil), cp.tr.segs...)
+}
+
+// Makespan returns the plan's pipelined dry-placed makespan at the
+// autotuner's pipeline depth — the score the AutoMakespan objective
+// minimizes.
+func (cp *CompiledPlan) Makespan() cost.Seconds {
+	return cost.PipelinedMakespan(cp.tr.segs, AutoPipelineDepth)
+}
 
 // FusionReport returns what the fusion pipeline did to this plan's
 // schedule. For plans compiled with FuseOff the report is zero-valued.

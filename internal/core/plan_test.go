@@ -248,8 +248,8 @@ func TestAutoLevelSkipsInapplicableLevels(t *testing.T) {
 	if !ok {
 		t.Fatal("no cached in-place Auto decision")
 	}
-	if picked >= IM {
-		t.Fatalf("Auto picked inapplicable level %v for an in-place call", picked)
+	if picked.lvl >= IM {
+		t.Fatalf("Auto picked inapplicable level %v for an in-place call", picked.lvl)
 	}
 	for _, grp := range p.groups {
 		want := RefAlltoAll(groupInputs(in, grp), 16)
@@ -278,26 +278,29 @@ func TestAutoPickSkipAndTieRules(t *testing.T) {
 	flat.Add(cost.PEMem, 1)
 	equal := flat.Snapshot()
 
+	fake := func(bd cost.Breakdown) *CompiledPlan {
+		return &CompiledPlan{tr: &chargeTrace{total: bd}}
+	}
 	// All candidates equally cheap: the lowest level wins the tie.
-	lvl, err := c.autoPick(autoKey{prim: AlltoAll, dims: "t1", bytes: 1}, func(_ *Comm, l Level) (cost.Breakdown, error) {
-		return equal, nil
+	dec, err := c.autoPick(autoKey{prim: AlltoAll, dims: "t1", bytes: 1}, func(_ *Comm, _ Algorithm, l Level) (*CompiledPlan, error) {
+		return fake(equal), nil
 	})
-	if err != nil || lvl != Baseline {
-		t.Fatalf("tie: got %v, %v; want Baseline", lvl, err)
+	if err != nil || dec.lvl != Baseline {
+		t.Fatalf("tie: got %v, %v; want Baseline", dec.lvl, err)
 	}
 	// A failing candidate is skipped, even if it would have been first.
-	lvl, err = c.autoPick(autoKey{prim: AlltoAll, dims: "t2", bytes: 1}, func(_ *Comm, l Level) (cost.Breakdown, error) {
+	dec, err = c.autoPick(autoKey{prim: AlltoAll, dims: "t2", bytes: 1}, func(_ *Comm, _ Algorithm, l Level) (*CompiledPlan, error) {
 		if l == Baseline || l == PR {
-			return cost.Breakdown{}, fmt.Errorf("inapplicable at %v", l)
+			return nil, fmt.Errorf("inapplicable at %v", l)
 		}
-		return equal, nil
+		return fake(equal), nil
 	})
-	if err != nil || lvl != IM {
-		t.Fatalf("skip: got %v, %v; want IM", lvl, err)
+	if err != nil || dec.lvl != IM {
+		t.Fatalf("skip: got %v, %v; want IM", dec.lvl, err)
 	}
 	// Every candidate failing aborts with a joined error.
-	if _, err = c.autoPick(autoKey{prim: AlltoAll, dims: "t3", bytes: 1}, func(_ *Comm, l Level) (cost.Breakdown, error) {
-		return cost.Breakdown{}, fmt.Errorf("inapplicable at %v", l)
+	if _, err = c.autoPick(autoKey{prim: AlltoAll, dims: "t3", bytes: 1}, func(_ *Comm, _ Algorithm, l Level) (*CompiledPlan, error) {
+		return nil, fmt.Errorf("inapplicable at %v", l)
 	}); err == nil {
 		t.Fatal("all-fail did not abort")
 	}

@@ -305,10 +305,11 @@ func TestAutoLevelNeverCostlier(t *testing.T) {
 				// check the auto pick against the minimum.
 				fixed := func(lvl Level) cost.Seconds {
 					cc := NewCostComm(c.Hypercube(), cost.DefaultParams())
-					if _, err := autoDryRun(cc, cb.prim, cb.dims, bytesPerPE, cb.et, cb.op, lvl, false); err != nil {
+					cp, err := autoDryCompile(cc, cb.prim, cb.dims, bytesPerPE, cb.et, cb.op, AlgoReference, lvl, false)
+					if err != nil {
 						t.Fatal(err)
 					}
-					return cc.Meter().Total()
+					return cp.Cost().Total()
 				}
 				autoT := fixed(auto)
 				for _, lvl := range Levels() {

@@ -309,6 +309,10 @@ func (t *Tenant) Submit(d Collective) (*Future, error) {
 // AutoLevelOf returns the concrete level Auto resolves to for d.
 func (t *Tenant) AutoLevelOf(d Collective) (Level, error) { return t.c.AutoLevelOf(d) }
 
+// AutoResolveOf returns the (algorithm, level) pair d resolves to —
+// the autotuner's pick where either axis is Auto.
+func (t *Tenant) AutoResolveOf(d Collective) (Algorithm, Level, error) { return t.c.AutoResolveOf(d) }
+
 // SetPEBuffer writes raw bytes into the tenant's arena of a PE's MRAM
 // (no cost), off arena-relative. Like Comm.SetPEBuffer it is a setup
 // helper; call Flush first if submissions may be in flight.

@@ -1,0 +1,33 @@
+package cost
+
+import "testing"
+
+func TestPipelinedMakespan(t *testing.T) {
+	// A single-lane trace cannot pipeline: depth copies serialize on the
+	// lane, so the makespan is depth times the serial time.
+	mono := []Segment{{Lane: LaneCPU, Dur: 3}}
+	if got := PipelinedMakespan(mono, 4); got != 12 {
+		t.Fatalf("single-lane makespan = %v, want 12", got)
+	}
+	// A perfectly balanced two-lane trace pipelines: copy k's CPU segment
+	// overlaps copy k-1's bus segment, so depth copies finish in
+	// (depth+1) stage times, not 2*depth.
+	duo := []Segment{{Lane: LaneCPU, Dur: 3}, {Lane: LaneBus, Dur: 3}}
+	serial := PipelinedMakespan(duo, 1)
+	if serial != 6 {
+		t.Fatalf("solo placement = %v, want 6 (the meter total)", serial)
+	}
+	if got := PipelinedMakespan(duo, 4); got != 15 {
+		t.Fatalf("pipelined makespan = %v, want 15", got)
+	}
+	// The pipelined score ranks a lane-balanced trace ahead of a
+	// meter-cheaper single-lane one — the inversion the makespan
+	// objective exists to catch.
+	cheap := []Segment{{Lane: LaneCPU, Dur: 5}}
+	if PipelinedMakespan(cheap, 4) <= PipelinedMakespan(duo, 4) {
+		t.Fatal("expected the balanced trace to win under pipelining")
+	}
+	if got := PipelinedMakespan(nil, 4); got != 0 {
+		t.Fatalf("empty trace makespan = %v, want 0", got)
+	}
+}

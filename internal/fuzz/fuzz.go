@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	_ "repro/internal/algo" // register the alternative collective lowerings
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dram"
@@ -36,6 +37,11 @@ type Scenario struct {
 	// shard boundaries against the reference model (the worker count must
 	// never change results).
 	Workers int
+	// Algo is the algorithm constraint of the scenario's AllReduce leg:
+	// AlgoAuto, the reference, or one of the registered alternatives
+	// (only drawn when the level and group size permit it), so the
+	// alternative lowerings get randomized differential coverage too.
+	Algo core.Algorithm
 }
 
 // Random draws a scenario. When includeAuto is set, the Auto pseudo-level
@@ -94,15 +100,33 @@ func Random(rng *rand.Rand, includeAuto bool) Scenario {
 	if includeAuto {
 		levels = append(levels, core.Auto)
 	}
+	lvl := levels[rng.Intn(len(levels))]
+
+	// Algorithm constraint for the AllReduce leg: the registered
+	// alternatives implement the Baseline host path over multi-member
+	// groups, so only draw them when the scenario can satisfy that
+	// (explicit Baseline, or Auto where the search lands on it).
+	groupSize := 1
+	for i := range dims {
+		if dims[i] == '1' {
+			groupSize *= shape[i]
+		}
+	}
+	algo := core.AlgoAuto
+	if groupSize >= 2 && (lvl == core.Auto || core.EffectiveLevel(core.AllReduce, lvl) == core.Baseline) {
+		opts := append(core.RegisteredAlgorithms(core.AllReduce), core.AlgoAuto)
+		algo = opts[rng.Intn(len(opts))]
+	}
 	return Scenario{
 		Geo:     geo,
 		Shape:   shape,
 		Dims:    string(dims),
 		S:       8 * (1 + rng.Intn(4)),
-		Lvl:     levels[rng.Intn(len(levels))],
+		Lvl:     lvl,
 		Typ:     elem.Types()[rng.Intn(4)],
 		Op:      elem.Ops()[rng.Intn(6)],
 		Workers: 1 + rng.Intn(4),
+		Algo:    algo,
 	}
 }
 
@@ -168,10 +192,14 @@ func (sc Scenario) Check(rng *rand.Rand) error {
 			}
 		}
 	}
-	// AllReduce.
+	// AllReduce — through the descriptor form so the scenario's algorithm
+	// constraint applies (reference, ring, tree or Rabenseifner must all
+	// match the reference model bytes).
 	c, in, groups, m = mk()
-	if _, err := c.AllReduce(sc.Dims, 0, 2*m, m, sc.Typ, sc.Op, sc.Lvl); err != nil {
-		return fmt.Errorf("AllReduce: %w", err)
+	if _, err := c.Run(core.Collective{Prim: core.AllReduce, Dims: sc.Dims,
+		Src: core.Span(0, m), Dst: core.At(2 * m), Elem: sc.Typ, Op: sc.Op,
+		Level: sc.Lvl, Algorithm: sc.Algo}); err != nil {
+		return fmt.Errorf("AllReduce(%v): %w", sc.Algo, err)
 	}
 	for _, grp := range groups {
 		want := core.RefAllReduce(sc.Typ, sc.Op, sel(in, grp))

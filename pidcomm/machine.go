@@ -256,6 +256,21 @@ func (m *Machine) Breakdown() Breakdown {
 	return b
 }
 
+// SetAutoObjective configures what Auto resolution on this machine
+// minimizes: the meter total (AutoMeter, the default — serial cost) or
+// the pipelined dry-placed makespan (AutoMakespan — overlapped elapsed
+// time, the right objective for async submission bursts). Cached Auto
+// decisions are dropped on a change.
+func (m *Machine) SetAutoObjective(o AutoObjective) { m.cc.SetAutoObjective(o) }
+
+// AutoObjective returns the machine's current Auto objective.
+func (m *Machine) AutoObjective() AutoObjective { return m.cc.AutoObjective() }
+
+// AutoDecisions returns a snapshot of the machine's cached Auto
+// decisions, sorted for stable display (`pidinfo -auto` renders the
+// same table on a representative comm).
+func (m *Machine) AutoDecisions() []AutoDecision { return m.cc.AutoDecisions() }
+
 // SetSched selects the machine's submission scheduling policy: SchedWFQ
 // (weighted-fair, the default) or SchedEDF (earliest-deadline-first
 // among hazard-free candidates; see SubmitOptions.Deadline). Safe to
@@ -442,6 +457,12 @@ func (c *Comm) Pending() int { return c.t.Pending() }
 // AutoLevel returns the concrete level the Auto pseudo-level resolves
 // to for descriptor d (whatever d.Level says).
 func (c *Comm) AutoLevel(d Collective) (Level, error) { return c.t.AutoLevelOf(d) }
+
+// AutoResolve returns the (algorithm, level) pair descriptor d resolves
+// to: the autotuner's pick (under the machine's Auto objective) where
+// either axis is Auto, the explicit selection otherwise. Exactly what
+// Compile would resolve d to, without compiling anything.
+func (c *Comm) AutoResolve(d Collective) (Algorithm, Level, error) { return c.t.AutoResolveOf(d) }
 
 // SetPEBuffer writes raw bytes directly into the session's arena of a
 // PE's MRAM (no cost): test/application setup representing data the PE

@@ -59,6 +59,7 @@
 package pidcomm
 
 import (
+	_ "repro/internal/algo" // register the alternative collective lowerings
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dram"
@@ -95,6 +96,43 @@ const (
 	IM       = core.IM
 	CM       = core.CM
 )
+
+// Algorithm names one schedule-IR producer in the algorithm registry
+// (internal/algo). The zero value AlgoAuto lets the autotuner search the
+// registered algorithms alongside the levels; AlgoReference pins the
+// built-in staged lowering; the named alternatives (ring, tree,
+// Rabenseifner-style reduce-scatter+all-gather) are byte-identical to
+// the reference and differ only in where their simulated time goes.
+type Algorithm = core.Algorithm
+
+// Re-exported algorithm identifiers.
+const (
+	AlgoAuto         = core.AlgoAuto
+	AlgoReference    = core.AlgoReference
+	AlgoRing         = core.AlgoRing
+	AlgoTree         = core.AlgoTree
+	AlgoRabenseifner = core.AlgoRabenseifner
+)
+
+// ParseAlgorithm parses an algorithm name ("Auto", "ref", "ring",
+// "tree", "rsag") as printed by Algorithm.String.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// AutoObjective selects what Auto resolution minimizes
+// (Comm.SetAutoObjective): the meter total (serial cost, the default)
+// or the pipelined dry-placed makespan (overlapped elapsed time — the
+// right objective for async submission bursts).
+type AutoObjective = core.AutoObjective
+
+// Re-exported Auto objectives.
+const (
+	AutoMeter    = core.AutoMeter
+	AutoMakespan = core.AutoMakespan
+)
+
+// AutoDecision is one row of a comm's cached Auto decisions
+// (Comm.AutoDecisions; `pidinfo -auto`).
+type AutoDecision = core.AutoDecision
 
 // Primitive identifies one of the eight collectives.
 type Primitive = core.Primitive
