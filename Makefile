@@ -31,7 +31,7 @@ bench-smoke:
 # Regenerate the checked-in benchmark baseline (run after an accepted,
 # intentional performance change, and commit the result).
 bench-json:
-	$(GO) run ./cmd/pidbench -exp fig14,async,multitenant,fusion,funcspeed,cluster,serving,algo -backend=cost -json > bench_baseline.json
+	$(GO) run ./cmd/pidbench -exp fig14,async,multitenant,fusion,funcspeed,cluster,serving,algo,reorder -backend=cost -json > bench_baseline.json
 
 # The CI benchmark-regression gate: recollect the metrics and fail on
 # any >10% cost/makespan regression against bench_baseline.json.

@@ -7,6 +7,8 @@
 //	pidbench -list
 //	pidbench -exp fig14
 //	pidbench -exp async -backend=cost
+//	pidbench -exp async -sched lookahead
+//	pidbench -exp reorder
 //	pidbench -exp all [-full] [-backend=cost] [-async] [-workers N]
 //	pidbench -exp fig14,async,multitenant,fusion,funcspeed -backend=cost -json
 //	pidbench -compare bench_baseline.json [-threshold 0.10]
@@ -20,7 +22,11 @@
 // measurements through the Submit/Future API (identical tables — the
 // "async" experiment measures the overlap speedup itself). -workers
 // fixes the functional backend's worker-pool size for every experiment
-// comm (0 = GOMAXPROCS). -exp accepts a comma-separated list.
+// comm (0 = GOMAXPROCS). -sched names the submission scheduling policy
+// the "async" experiment's scheduled comm uses (wfq, edf, fifo,
+// lookahead — see `pidinfo -sched`); the "reorder" experiment sweeps
+// all registered policies against an adversarial submission order.
+// -exp accepts a comma-separated list.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run (the heap
 // profile is taken at exit), for digging into the simulator's own
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/pidcomm"
 )
 
 func main() { os.Exit(run()) }
@@ -52,6 +59,7 @@ func run() int {
 	full := flag.Bool("full", false, "use paper-scale payloads (slower, more memory)")
 	backend := flag.String("backend", "functional", "execution backend for primitive experiments: 'functional' (moves real bytes) or 'cost' (cost-only; identical tables, orders of magnitude faster — application experiments always run functionally)")
 	async := flag.Bool("async", false, "route primitive measurements through the Submit/Future async API (identical tables; validates the async path). The 'async' experiment measures the overlap speedup itself")
+	sched := flag.String("sched", "wfq", "submission scheduling policy of the 'async' experiment's scheduled comm, by registry name (see pidinfo -sched); the 'reorder' experiment sweeps all registered policies")
 	workers := flag.Int("workers", 0, "functional-backend worker-pool size for every experiment comm (0 = GOMAXPROCS)")
 	replay := flag.Int("replay", 0, "run the plan-cache replay experiment with N iterations per mode (cold compile-each-call vs cached CompiledPlan replay)")
 	jsonOut := flag.Bool("json", false, "emit the selected experiments' regression metrics as JSON instead of tables (deterministic)")
@@ -72,6 +80,11 @@ func run() int {
 		return 2
 	}
 	bench.SetExecWorkers(*workers)
+	pol, err := pidcomm.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pidbench:", err)
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -154,9 +167,8 @@ func run() int {
 		}
 		return 0
 	}
-	o := bench.Options{W: os.Stdout, Full: *full, CostOnly: costOnly, Async: *async}
+	o := bench.Options{W: os.Stdout, Full: *full, CostOnly: costOnly, Async: *async, Sched: pol}
 	start := time.Now()
-	var err error
 	if *exp == "all" {
 		err = bench.RunAll(o)
 	} else {

@@ -13,6 +13,8 @@
 // With -serving it drives the canonical online-serving scenario
 // (internal/serve) under both scheduling policies and prints the
 // per-tenant sojourn percentiles, deadline misses and churn outcome.
+// With -sched it lists the registered submission scheduling policies
+// (the values WithSched and `pidbench -sched` accept).
 package main
 
 import (
@@ -36,7 +38,13 @@ func main() {
 	cluster := flag.Bool("cluster", false, "build a representative cost-only cluster, replay global collectives through the cluster layer and print per-host plan-cache, fusion and network-lane statistics")
 	serving := flag.Bool("serving", false, "drive the canonical online-serving scenario under WFQ and EDF and print per-tenant sojourn percentiles, deadline misses and churn outcome")
 	auto := flag.Bool("auto", false, "resolve a representative set of Auto signatures on a cost-only comm and dump the auto-decision cache under both objectives")
+	schedList := flag.Bool("sched", false, "list the registered submission scheduling policies (the names WithSched and `pidbench -sched` accept)")
 	flag.Parse()
+
+	if *schedList {
+		printScheds()
+		return
+	}
 
 	if *auto {
 		if err := printAuto(*mram); err != nil {
@@ -108,6 +116,17 @@ func main() {
 	fmt.Printf("  network (cluster)     %.1f Gbps x%d NIC (eff %.0f%%), %.0f us latency, %d switch tier(s)\n",
 		p.Net.LinkBW*8/1e9, p.Net.NICsPerHost, p.Net.Efficiency*100,
 		float64(p.Net.LinkLatency)*1e6, p.Net.SwitchTiers)
+}
+
+// printScheds lists the scheduler registry: one row per registered
+// submission scheduling policy, in value order — the name column is what
+// ParseSchedPolicy (and therefore `pidbench -sched`) accepts.
+func printScheds() {
+	fmt.Println("Registered submission scheduling policies (WithSched / pidbench -sched):")
+	fmt.Printf("  %-5s %-10s %s\n", "value", "name", "description")
+	for _, sp := range core.SchedSpecs() {
+		fmt.Printf("  %-5d %-10s %s\n", int(sp.Policy), sp.Name, sp.Desc)
+	}
 }
 
 // printAuto resolves a representative spread of Auto-level signatures —

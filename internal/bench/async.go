@@ -69,8 +69,18 @@ func asyncPlans(c *core.Comm, m, batches int) ([]*core.CompiledPlan, error) {
 // replayed serially on one comm and submitted asynchronously on another,
 // and the overlap-aware elapsed times are compared. Cost-only backend
 // (the elapsed-time model is backend-independent; the functional
-// equivalence is pinned by the core async tests).
+// equivalence is pinned by the core async tests). The queue runs under
+// the default weighted-fair policy with a live background worker — the
+// configuration the regression baseline pins.
 func MeasureAsyncOverlap(m int, depths []int) ([]AsyncResult, error) {
+	return measureAsync(m, depths, core.SchedWFQ, false)
+}
+
+// measureAsync is MeasureAsyncOverlap under an explicit scheduling
+// policy. With stepped set, the whole pipeline is submitted before the
+// queue drains, so a window-scanning policy (EDF, lookahead) sees the
+// full backlog instead of racing the background worker.
+func measureAsync(m int, depths []int, pol core.SchedPolicy, stepped bool) ([]AsyncResult, error) {
 	var out []AsyncResult
 	for _, batches := range depths {
 		serial, err := asyncComm(m, batches)
@@ -80,6 +90,10 @@ func MeasureAsyncOverlap(m int, depths []int) ([]AsyncResult, error) {
 		async, err := asyncComm(m, batches)
 		if err != nil {
 			return nil, err
+		}
+		async.SetSched(pol)
+		if stepped {
+			async.SetStepped(true)
 		}
 		sp, err := asyncPlans(serial, m, batches)
 		if err != nil {
@@ -115,10 +129,12 @@ func MeasureAsyncOverlap(m int, depths []int) ([]AsyncResult, error) {
 	return out, nil
 }
 
-// RunAsync runs the async-overlap experiment and writes its table.
+// RunAsync runs the async-overlap experiment and writes its table. A
+// non-default Options.Sched reruns the pipeline under that policy in
+// stepped mode (the policy sees the full backlog).
 func RunAsync(o Options) error {
 	size := sizeFor(o, 64<<10, 1<<20)
-	results, err := MeasureAsyncOverlap(size, []int{1, 2, 4, 8})
+	results, err := measureAsync(size, []int{1, 2, 4, 8}, o.Sched, o.Sched != core.SchedWFQ)
 	if err != nil {
 		return err
 	}
@@ -131,7 +147,8 @@ func RunAsync(o Options) error {
 	}
 	t.write(o.W)
 	fmt.Fprintf(o.W, "(DLRM-style AlltoAll/CM + ReduceScatter/IM per batch on disjoint regions,\n"+
-		" 1024 PEs (32x32), %d KiB/PE, cost-only backend; serial replay vs async Submit)\n", size>>10)
+		" 1024 PEs (32x32), %d KiB/PE, cost-only backend, %s policy; serial replay vs async Submit)\n",
+		size>>10, o.Sched)
 	return nil
 }
 

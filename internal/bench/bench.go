@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // Options configures an experiment run.
@@ -26,6 +28,13 @@ type Options struct {
 	// does), validating the async path across the whole suite. The
 	// dedicated "async" experiment measures the overlap itself.
 	Async bool
+	// Sched selects the submission scheduling policy of the async
+	// experiment's scheduled comm (`pidbench -sched`). The zero value is
+	// core.SchedWFQ, the machine default. A non-default policy runs the
+	// pipeline in stepped mode — the whole backlog is submitted before
+	// the drain — so window-scanning policies see every candidate. The
+	// reorder experiment ignores this and sweeps all registered policies.
+	Sched core.SchedPolicy
 }
 
 // Experiment is one reproducible table or figure.

@@ -51,6 +51,7 @@ var metricExperiments = map[string]func(add func(name string, seconds float64)) 
 	"cluster":     collectCluster,
 	"serving":     collectServing,
 	"algo":        collectAlgo,
+	"reorder":     collectReorder,
 }
 
 // MetricExperimentIDs returns the experiment IDs with metric collectors,

@@ -33,7 +33,9 @@ import (
 const MaxPendingPlans = 1024
 
 // SchedPolicy selects how the submission worker picks the next queued
-// plan across buckets.
+// plan across buckets. Every value resolves to a Scheduler through the
+// process-wide registry (sched.go); the constants below name the four
+// built-in policies.
 type SchedPolicy int
 
 const (
@@ -47,21 +49,26 @@ const (
 	// fall back to submission order). Bucket virtual times still advance
 	// so a later switch back to SchedWFQ resumes fair.
 	SchedEDF
+	// SchedFIFO serves the globally oldest queued plan regardless of
+	// bucket — plain submission order, the pre-tenancy behavior.
+	// Fairness- and deadline-blind; useful as the reordering baseline.
+	SchedFIFO
+	// SchedLookahead is the makespan-aware list scheduler: among the
+	// hazard-free candidates within the lookahead window of every
+	// bucket's head, serve the one minimizing the projected makespan of
+	// a dry placement on a private projection timeline — reordering
+	// independent plans so one plan's PE or CPU passes hide under
+	// another's bus epochs. A WFQ virtual-time bound keeps any bucket
+	// from starving; results stay bit-identical to serial execution
+	// (hazard order is a funnel invariant — only who-runs-next changes).
+	SchedLookahead
 )
 
-// String names the policy for tables and diagnostics.
-func (p SchedPolicy) String() string {
-	switch p {
-	case SchedWFQ:
-		return "wfq"
-	case SchedEDF:
-		return "edf"
-	}
-	return fmt.Sprintf("SchedPolicy(%d)", int(p))
-}
-
 // SetSched selects the submission scheduling policy. Safe to call at any
-// time; plans already popped by the worker are unaffected.
+// time; plans already popped by the worker are unaffected, and bucket
+// virtual times advance identically under every policy, so switching
+// back to SchedWFQ resumes fair. A value with no registered Scheduler
+// falls back to SchedWFQ at pick time.
 func (c *Comm) SetSched(p SchedPolicy) {
 	c.asyncMu.Lock()
 	c.sched = p
@@ -73,6 +80,36 @@ func (c *Comm) Sched() SchedPolicy {
 	c.asyncMu.Lock()
 	defer c.asyncMu.Unlock()
 	return c.sched
+}
+
+// SetLookahead configures the candidate window: how deep into each
+// bucket the window-scanning policies (SchedEDF, SchedLookahead)
+// consider hazard-free plans at each pick. The default is
+// DefaultLookahead. k must be in [1, MaxPendingPlans].
+func (c *Comm) SetLookahead(k int) error {
+	if k < 1 || k > MaxPendingPlans {
+		return fmt.Errorf("core: lookahead window %d out of range [1, %d]", k, MaxPendingPlans)
+	}
+	c.asyncMu.Lock()
+	c.lookahead = k
+	c.asyncMu.Unlock()
+	return nil
+}
+
+// Lookahead returns the effective candidate window depth.
+func (c *Comm) Lookahead() int {
+	c.asyncMu.Lock()
+	defer c.asyncMu.Unlock()
+	return c.lookaheadLocked()
+}
+
+// lookaheadLocked resolves the effective candidate window depth.
+// Callers hold asyncMu.
+func (c *Comm) lookaheadLocked() int {
+	if c.lookahead > 0 {
+		return c.lookahead
+	}
+	return DefaultLookahead
 }
 
 // SetStepped switches the Comm into stepped serving mode: submissions
@@ -266,20 +303,17 @@ func (f *Future) NotBefore() cost.Seconds { return f.notBefore }
 // a Comm (weight 1) or one tenant's queue. Within a bucket plans execute
 // in FIFO submission order — which is what preserves the hazard ordering
 // guarantees, since data hazards can only exist within a bucket (tenant
-// arenas are disjoint). Across buckets the worker serves the backlogged
-// bucket with the smallest virtual time: each service advances a
-// bucket's vtime by the plan's predicted cost over the bucket's weight,
-// so over any backlogged interval bucket b receives a
-// weight_b / Σ weights share of the simulated machine (start-time
-// weighted fair queuing). All fields are guarded by the Comm's asyncMu.
+// arenas are disjoint). Across buckets the active scheduling policy
+// picks (sched.go); every service advances the bucket's vtime by the
+// plan's predicted cost over the bucket's weight, so under the default
+// WFQ policy each backlogged bucket b receives a weight_b / Σ weights
+// share of the simulated machine (start-time weighted fair queuing),
+// and the other policies stay fairness-accounted for a later switch
+// back. All fields are guarded by the Comm's asyncMu.
 type subQueue struct {
 	q      []*Future
 	weight float64
 	vtime  float64
-	// skip marks the bucket ineligible for the current pick round: its
-	// head conflicts with an earlier-submitted plan of another bucket.
-	// Cleared on every successful pick.
-	skip bool
 }
 
 // Submit enqueues one replay of the plan on its Comm's submission queue
@@ -408,70 +442,91 @@ func (c *Comm) completeDroppedLocked(f *Future, err error) {
 	<-c.asyncSlots // release the victim's queue slot
 }
 
-// pickLocked pops the next future under weighted-fair scheduling: the
-// head of the backlogged bucket with the smallest virtual time (ties to
-// the earliest-created bucket, so a fresh Comm degenerates to plain
-// FIFO). Returns nil when every bucket is empty. Callers hold asyncMu.
-//
-// Hazard safety across buckets: tenant arenas are disjoint, so plans of
-// two *tenants* can never conflict — but the default bucket (plans
-// submitted on the plain Comm) is not arena-bounded and may conflict
-// with a tenant's footprint. A bucket head that conflicts with an
-// earlier-submitted, still-queued plan of another bucket is skipped
-// this round, so conflicting plans always execute in submission order,
-// exactly as the pre-tenancy FIFO did. The head with the globally
-// smallest sequence number is always eligible (nothing earlier is left
-// anywhere), so the scan cannot deadlock.
-func (c *Comm) pickLocked() *Future {
-	if c.sched == SchedEDF {
-		return c.pickEDFLocked()
-	}
-	backlogged := 0
-	for _, q := range c.queues {
-		if len(q.q) > 0 {
-			backlogged++
+// schedulerLocked resolves the Comm's active Scheduler, (re)instantiating
+// it lazily on the first pick and after every policy change — which also
+// keeps bare Comm literals in tests working with just the policy value
+// set. A policy value with no registered Scheduler falls back to
+// weighted-fair queuing, mirroring the pre-registry behavior of an
+// unknown enum value. Callers hold asyncMu.
+func (c *Comm) schedulerLocked() Scheduler {
+	if c.schedImpl == nil || c.schedImplOf != c.sched {
+		sp, ok := schedSpecOf(c.sched)
+		if !ok {
+			sp, _ = schedSpecOf(SchedWFQ)
 		}
+		c.schedImpl = sp.New()
+		c.schedImplOf = c.sched
 	}
-	if backlogged == 0 {
-		return nil
-	}
-	for {
-		var best *subQueue
-		for _, q := range c.queues {
-			if len(q.q) == 0 || q.skip {
-				continue
-			}
-			if best == nil || q.vtime < best.vtime {
-				best = q
-			}
-		}
-		f := best.q[0]
-		if backlogged > 1 && c.conflictsEarlierLocked(f, best) {
-			best.skip = true // re-examined next round, after the blocker runs
-			continue
-		}
-		for _, q := range c.queues {
-			q.skip = false
-		}
-		best.q[0] = nil
-		best.q = best.q[1:]
-		c.vclock = best.vtime
-		best.vtime += float64(f.cp.tr.total.Total()) / best.weight
-		return f
-	}
+	return c.schedImpl
 }
 
-// edfLookahead bounds how deep into each bucket the EDF pick scans for
-// candidates. Deep scanning is pointless — a plan can only jump ahead of
-// queue-mates it does not conflict with, and consecutive plans of one
-// tenant usually reuse the same arena regions — so a small window keeps
-// the pick O(buckets x lookahead) under deep backlogs.
-const edfLookahead = 32
+// pickLocked pops the next future through the policy funnel: it
+// enumerates the hazard-free plans within the active policy's window of
+// every bucket's head, hands them to the policy's Pick, and performs the
+// bookkeeping every policy shares — removing the pick from its bucket
+// and advancing the weighted-fair virtual clock by the plan's predicted
+// cost over the bucket's weight (service is priced identically under
+// every policy, so a later SetSched switch resumes fair). Returns nil
+// when every bucket is empty. Callers hold asyncMu.
+//
+// Hazard safety is a funnel invariant no policy can break: a plan is a
+// candidate only if no earlier-submitted plan still queued anywhere
+// conflicts with it (conflictsQueuedEarlierLocked), so conflicting plans
+// always execute in submission order and byte-level results are
+// independent of the policy — it only chooses among independent plans.
+// The globally oldest queued plan is always a candidate (nothing earlier
+// is left to conflict with, and buckets are FIFO so it sits at index 0),
+// hence the pick cannot return nil while work is queued.
+func (c *Comm) pickLocked() *Future {
+	s := c.schedulerLocked()
+	win := s.Window(c.lookaheadLocked())
+	if win < 1 {
+		win = 1
+	}
+	cands := c.cands[:0]
+	for _, q := range c.queues {
+		depth := len(q.q)
+		if depth > win {
+			depth = win
+		}
+		for i := 0; i < depth; i++ {
+			f := q.q[i]
+			if c.conflictsQueuedEarlierLocked(f) {
+				continue
+			}
+			cands = append(cands, Candidate{
+				F: f, Head: i == 0,
+				VTime: q.vtime, Weight: q.weight,
+				q: q, idx: i,
+			})
+		}
+	}
+	c.cands = cands // keep the grown backing array for the next pick
+	if len(cands) == 0 {
+		return nil
+	}
+	k := s.Pick(cands)
+	if k < 0 || k >= len(cands) {
+		panic(fmt.Sprintf("core: scheduler %q picked candidate %d of %d", s.Name(), k, len(cands)))
+	}
+	pick := cands[k]
+	q := pick.q
+	copy(q.q[pick.idx:], q.q[pick.idx+1:])
+	q.q[len(q.q)-1] = nil
+	q.q = q.q[:len(q.q)-1]
+	c.vclock = q.vtime
+	q.vtime += float64(pick.F.cp.tr.total.Total()) / q.weight
+	for i := range cands {
+		cands[i] = Candidate{} // drop Future references from the scratch array
+	}
+	return pick.F
+}
 
-// edfLess orders two candidate futures for the EDF pick: earlier
-// deadline first, a deadline beats no deadline, ties fall back to
-// submission order (which keeps the pick deterministic and degrades to
-// global FIFO when nothing carries a deadline).
+// edfLess orders two candidate futures for the deadline-aware picks:
+// earlier deadline first, a deadline beats no deadline, ties fall back
+// to submission order (which keeps the pick deterministic and degrades
+// to global FIFO when nothing carries a deadline). SchedEDF minimizes
+// it outright; SchedLookahead uses it to break equal-makespan ties.
 func edfLess(a, b *Future) bool {
 	switch {
 	case a.deadline > 0 && b.deadline > 0 && a.deadline != b.deadline:
@@ -484,50 +539,6 @@ func edfLess(a, b *Future) bool {
 	return a.seq < b.seq
 }
 
-// pickEDFLocked pops the earliest-deadline hazard-free candidate across
-// all buckets. A candidate is any plan within edfLookahead of its
-// bucket's head that conflicts with no earlier-submitted plan still
-// queued anywhere — so conflicting plans always execute in submission
-// order, exactly like the WFQ pick, and byte-level results are
-// independent of the policy. The globally oldest queued plan is always
-// a candidate (nothing earlier is left to conflict with, and buckets
-// are FIFO so it sits at index 0), hence the pick cannot return nil
-// while work is queued. Bucket virtual times advance exactly as under
-// WFQ: EDF changes who is served next, not what service costs.
-// Callers hold asyncMu.
-func (c *Comm) pickEDFLocked() *Future {
-	var bestQ *subQueue
-	bestIdx := -1
-	for _, q := range c.queues {
-		depth := len(q.q)
-		if depth > edfLookahead {
-			depth = edfLookahead
-		}
-		for i := 0; i < depth; i++ {
-			f := q.q[i]
-			if c.conflictsQueuedEarlierLocked(f) {
-				continue
-			}
-			if bestIdx < 0 || edfLess(f, bestQ.q[bestIdx]) {
-				bestQ, bestIdx = q, i
-			}
-		}
-	}
-	if bestIdx < 0 {
-		return nil
-	}
-	f := bestQ.q[bestIdx]
-	copy(bestQ.q[bestIdx:], bestQ.q[bestIdx+1:])
-	bestQ.q[len(bestQ.q)-1] = nil
-	bestQ.q = bestQ.q[:len(bestQ.q)-1]
-	c.vclock = bestQ.vtime
-	bestQ.vtime += float64(f.cp.tr.total.Total()) / bestQ.weight
-	for _, q := range c.queues {
-		q.skip = false
-	}
-	return f
-}
-
 // conflictsQueuedEarlierLocked reports whether any earlier-submitted
 // plan still queued in any bucket (including f's own) carries a data
 // hazard against f — if so, f may not jump ahead. Callers hold asyncMu.
@@ -538,23 +549,6 @@ func (c *Comm) conflictsQueuedEarlierLocked(f *Future) bool {
 				break // buckets are FIFO in seq order: the rest is later
 			}
 			if f.cp.regs.conflicts(o.cp.regs) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// conflictsEarlierLocked reports whether f must wait for an
-// earlier-submitted plan still queued in a bucket other than own.
-// Callers hold asyncMu.
-func (c *Comm) conflictsEarlierLocked(f *Future, own *subQueue) bool {
-	for _, q := range c.queues {
-		if q == own {
-			continue
-		}
-		for _, o := range q.q {
-			if o.seq < f.seq && f.cp.regs.conflicts(o.cp.regs) {
 				return true
 			}
 		}

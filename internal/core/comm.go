@@ -83,9 +83,14 @@ type Comm struct {
 	// submissions at MaxPendingPlans. queues[0] is the default queue of
 	// plans submitted outside any tenant; every tenant appends its own
 	// (async.go, tenant.go).
-	// sched and stepped are the serving knobs: the pick policy
-	// (SchedWFQ/SchedEDF) and stepped mode, where the caller drives
-	// execution via Step instead of a background worker (async.go).
+	// sched, lookahead and stepped are the serving knobs: the pick
+	// policy (resolved through the Scheduler registry into schedImpl,
+	// lazily and again after every policy change — schedImplOf records
+	// which policy the instance serves), the candidate window depth of
+	// the window-scanning policies (0 = DefaultLookahead), and stepped
+	// mode, where the caller drives execution via Step instead of a
+	// background worker. cands is pickLocked's reusable candidate
+	// scratch (async.go, sched.go).
 	asyncMu      sync.Mutex
 	asyncCond    *sync.Cond
 	queues       []*subQueue
@@ -95,6 +100,10 @@ type Comm struct {
 	asyncPending int
 	asyncSlots   chan struct{}
 	sched        SchedPolicy
+	schedImpl    Scheduler
+	schedImplOf  SchedPolicy
+	lookahead    int
+	cands        []Candidate
 	stepped      bool
 
 	// tenantMu guards the tenant registry, used to keep arenas disjoint,

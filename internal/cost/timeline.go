@@ -145,6 +145,24 @@ func (tl *Timeline) LaneBusy(l Lane) Seconds { return tl.total[l] }
 // Reset empties the timeline.
 func (tl *Timeline) Reset() { *tl = Timeline{} }
 
+// Clone returns an independent deep copy of the timeline: placements on
+// the clone never disturb the original and vice versa. Used for what-if
+// scoring — the lookahead submission scheduler dry-places each candidate
+// plan on a clone of its projection to compare projected makespans. The
+// copy is deep because place() books intervals with an in-place
+// insert-shift that would corrupt a shared backing array.
+func (tl *Timeline) Clone() Timeline {
+	out := *tl
+	for l := range tl.busy {
+		if len(tl.busy[l]) > 0 {
+			out.busy[l] = append([]interval(nil), tl.busy[l]...)
+		} else {
+			out.busy[l] = nil
+		}
+	}
+	return out
+}
+
 // SetFloor declares that no future placement will start before f (a
 // barrier: a serial run or queue flush happened at f). Busy intervals
 // entirely before the floor can never border a usable gap again and are

@@ -101,6 +101,38 @@ func TestTimelinePlaceNeverExceedsSerial(t *testing.T) {
 	}
 }
 
+// Clone must deep-copy the per-lane interval sets: placements on the
+// clone (whose insert-shift mutates the backing arrays) must not leak
+// into the original, and vice versa — the contract the lookahead
+// scheduler's scoring relies on.
+func TestTimelineCloneIsIndependent(t *testing.T) {
+	var tl Timeline
+	tl.Place(0, []Segment{{LanePE, 1}, {LaneBus, 4}, {LanePE, 1}})
+	before := tl.Elapsed()
+
+	cl := tl.Clone()
+	if cl.Elapsed() != before {
+		t.Fatalf("clone elapsed %v, want %v", cl.Elapsed(), before)
+	}
+	// Backfill a gap on the clone: insert-shifts the busy sets.
+	cl.Place(0, []Segment{{LanePE, 1}, {LaneBus, 4}, {LanePE, 1}})
+	cl.Place(0, []Segment{{LaneCPU, 2}, {LaneBus, 1}})
+	if tl.Elapsed() != before {
+		t.Errorf("placing on the clone moved the original: %v, want %v", tl.Elapsed(), before)
+	}
+	after := cl.Elapsed()
+	s, f := tl.Place(0, []Segment{{LaneCPU, 1}, {LaneBus, 2}})
+	if cl.Elapsed() != after {
+		t.Errorf("placing on the original moved the clone: %v, want %v", cl.Elapsed(), after)
+	}
+	// The original still backfills its own gaps as if never cloned: the
+	// CPU lead-in lands at t=0 and the bus segment queues behind the
+	// original's lone bus epoch [1,5).
+	if s != 0 || f != 7 {
+		t.Errorf("original placement [%v,%v), want [0,7)", s, f)
+	}
+}
+
 func TestTimelineEarliestBound(t *testing.T) {
 	var tl Timeline
 	tl.Place(0, []Segment{{LaneBus, 5}})

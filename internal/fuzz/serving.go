@@ -13,8 +13,10 @@ import (
 
 // ServingScenario is one randomized online-serving configuration: a
 // random tenant mix (models, arrival processes, rates, SLOs, overload
-// budgets) under a random scheduling policy, with optional tenant churn
-// and fused submission, driven end-to-end through internal/serve.
+// budgets) under a scheduling policy drawn from the whole registry
+// (WFQ, EDF, FIFO, lookahead) with a randomized candidate window, with
+// optional tenant churn and fused submission, driven end-to-end through
+// internal/serve.
 //
 // Check pins the serving invariants rather than byte equality: the run
 // must replay bit-identically, resolve every submitted request (no
@@ -43,14 +45,20 @@ func RandomServing(rng *rand.Rand) (ServingScenario, error) {
 	m := machines[rng.Intn(len(machines))]
 
 	nTenants := 1 + rng.Intn(3)
+	pols := pidcomm.SchedPolicies()
 	cfg := serve.Config{
 		Seed:       rng.Int63(),
-		Policy:     []pidcomm.SchedPolicy{pidcomm.SchedWFQ, pidcomm.SchedEDF}[rng.Intn(2)],
+		Policy:     pols[rng.Intn(len(pols))],
 		Geometry:   m.geo,
 		Shape:      m.shape,
 		BytesPerPE: 256 << rng.Intn(2),
 		Fused:      rng.Intn(4) == 0,
 		Horizon:    1, // placeholder until rates are calibrated
+	}
+	if rng.Intn(2) == 0 {
+		// Small windows keep the lookahead policy's O(window^2) scoring
+		// cheap and still exercise partial-backlog reordering.
+		cfg.Lookahead = 2 + rng.Intn(7)
 	}
 	if rng.Intn(2) == 0 {
 		cfg.ChurnEvery = 5 + rng.Intn(20)

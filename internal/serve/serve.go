@@ -97,7 +97,12 @@ type Config struct {
 	// Tenants are the serving sessions sharing the machine.
 	Tenants []TenantSpec
 	// Policy is the submission scheduling policy (SchedWFQ default).
+	// SchedLookahead composes with deadlines: equal-makespan picks fall
+	// back to EDF order, so the reordering stays deadline-aware.
 	Policy pidcomm.SchedPolicy
+	// Lookahead overrides the candidate window of the window-scanning
+	// policies (0 = pidcomm.DefaultLookahead).
+	Lookahead int
 	// BytesPerPE is the base request payload (default 4096); rounded up
 	// so every model's blocks align at the machine's group size.
 	BytesPerPE int
@@ -379,13 +384,15 @@ func machineFor(cfg *Config, arenaBytes int) (*pidcomm.Machine, error) {
 	if geo == (dram.Geometry{}) {
 		geo = pidcomm.PaperSystem((len(cfg.Tenants) + 1) * arenaBytes)
 	}
-	mach, err := pidcomm.NewMachine(geo, cfg.Shape, pidcomm.CostOnly())
-	if err != nil {
-		return nil, err
+	opts := []pidcomm.MachineOption{
+		pidcomm.CostOnly(),
+		pidcomm.WithStepped(true),
+		pidcomm.WithSched(cfg.Policy),
 	}
-	mach.SetStepped(true)
-	mach.SetSched(cfg.Policy)
-	return mach, nil
+	if cfg.Lookahead != 0 {
+		opts = append(opts, pidcomm.WithLookahead(cfg.Lookahead))
+	}
+	return pidcomm.NewMachine(geo, cfg.Shape, opts...)
 }
 
 // tenantState is the driver's handle on one live tenant session.

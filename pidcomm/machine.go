@@ -24,10 +24,13 @@ type Machine struct {
 
 // machineConfig collects NewMachine options.
 type machineConfig struct {
-	params   cost.Params
-	costOnly bool
-	fuse     core.FuseLevel
-	workers  int
+	params    cost.Params
+	costOnly  bool
+	fuse      core.FuseLevel
+	workers   int
+	sched     SchedPolicy
+	stepped   bool
+	lookahead int
 }
 
 // MachineOption configures NewMachine.
@@ -68,6 +71,32 @@ func WithExecWorkers(n int) MachineOption {
 	return func(mc *machineConfig) { mc.workers = n }
 }
 
+// WithSched selects the machine's submission scheduling policy at
+// construction: SchedWFQ (weighted-fair, the default), SchedEDF
+// (earliest-deadline-first), SchedFIFO (global submission order) or
+// SchedLookahead (makespan-aware reordering). Use ParseSchedPolicy to
+// map names to values. Machine.SetSched switches the policy later at
+// runtime.
+func WithSched(p SchedPolicy) MachineOption {
+	return func(mc *machineConfig) { mc.sched = p }
+}
+
+// WithStepped builds the machine in stepped serving mode: Submit only
+// enqueues and the caller drives execution one plan at a time with
+// Machine.Step — the deterministic substrate of the open-loop serving
+// driver (internal/serve).
+func WithStepped(on bool) MachineOption {
+	return func(mc *machineConfig) { mc.stepped = on }
+}
+
+// WithLookahead sets the candidate window of the window-scanning
+// scheduling policies (SchedEDF, SchedLookahead): how deep into each
+// bucket hazard-free plans are considered at each pick. Default
+// DefaultLookahead; must be in [1, MaxPendingPlans].
+func WithLookahead(k int) MachineOption {
+	return func(mc *machineConfig) { mc.lookahead = k }
+}
+
 // NewMachine builds a simulated machine with the given DIMM geometry
 // and virtual-hypercube shape (every dimension a power of two except
 // the last; product equal to the PE count).
@@ -104,6 +133,15 @@ func NewMachine(geo Geometry, shape []int, opts ...MachineOption) (*Machine, err
 	m.cc.SetFuse(mc.fuse)
 	if mc.workers > 0 {
 		m.cc.SetExecWorkers(mc.workers)
+	}
+	m.cc.SetSched(mc.sched)
+	if mc.stepped {
+		m.cc.SetStepped(true)
+	}
+	if mc.lookahead != 0 {
+		if err := m.cc.SetLookahead(mc.lookahead); err != nil {
+			return nil, fmt.Errorf("pidcomm: %w", err)
+		}
 	}
 	return m, nil
 }
@@ -271,10 +309,15 @@ func (m *Machine) AutoObjective() AutoObjective { return m.cc.AutoObjective() }
 // same table on a representative comm).
 func (m *Machine) AutoDecisions() []AutoDecision { return m.cc.AutoDecisions() }
 
-// SetSched selects the machine's submission scheduling policy: SchedWFQ
-// (weighted-fair, the default) or SchedEDF (earliest-deadline-first
-// among hazard-free candidates; see SubmitOptions.Deadline). Safe to
-// call between submissions.
+// SetSched switches the machine's submission scheduling policy at
+// runtime: SchedWFQ (weighted-fair, the default), SchedEDF
+// (earliest-deadline-first), SchedFIFO (global submission order) or
+// SchedLookahead (makespan-aware reordering). Safe to call between
+// submissions — bucket virtual times advance identically under every
+// policy, so switching resumes fair.
+//
+// Deprecated: configure the initial policy with the WithSched option at
+// construction; SetSched remains for switching policies at runtime.
 func (m *Machine) SetSched(p SchedPolicy) { m.cc.SetSched(p) }
 
 // Sched returns the machine's submission scheduling policy.
@@ -284,7 +327,19 @@ func (m *Machine) Sched() SchedPolicy { return m.cc.Sched() }
 // only enqueues and the caller drives execution one plan at a time with
 // Step — the deterministic substrate of the open-loop serving driver
 // (internal/serve). Flip it only while nothing is in flight.
+//
+// Deprecated: build stepped machines with the WithStepped option at
+// construction; SetStepped remains for toggling the mode at runtime
+// (only while nothing is in flight).
 func (m *Machine) SetStepped(on bool) { m.cc.SetStepped(on) }
+
+// SetLookahead sets the candidate window of the window-scanning
+// scheduling policies at runtime (see WithLookahead). k must be in
+// [1, MaxPendingPlans].
+func (m *Machine) SetLookahead(k int) error { return m.cc.SetLookahead(k) }
+
+// Lookahead returns the effective candidate window depth.
+func (m *Machine) Lookahead() int { return m.cc.Lookahead() }
 
 // Step pops the next queued plan under the scheduling policy and
 // executes it synchronously, returning its completed future (nil when

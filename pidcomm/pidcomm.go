@@ -246,15 +246,32 @@ var ErrTenantClosed = core.ErrTenantClosed
 type SubmitOptions = core.SubmitOptions
 
 // SchedPolicy selects how the machine picks the next queued plan
-// (Machine.SetSched).
+// (WithSched / Machine.SetSched). Every value resolves through the
+// scheduler registry; ParseSchedPolicy maps names to values.
 type SchedPolicy = core.SchedPolicy
 
-// Re-exported scheduling policies: weighted-fair queuing (default) and
-// earliest-deadline-first over hazard-free candidates.
+// Re-exported scheduling policies: weighted-fair queuing (default),
+// earliest-deadline-first over hazard-free candidates, global
+// submission order, and makespan-aware lookahead reordering.
 const (
-	SchedWFQ = core.SchedWFQ
-	SchedEDF = core.SchedEDF
+	SchedWFQ       = core.SchedWFQ
+	SchedEDF       = core.SchedEDF
+	SchedFIFO      = core.SchedFIFO
+	SchedLookahead = core.SchedLookahead
 )
+
+// ParseSchedPolicy parses a scheduling policy name as printed by
+// SchedPolicy.String ("wfq", "edf", "fifo", "lookahead") — the
+// name-based selection `pidbench -sched` and `pidinfo -sched` use.
+func ParseSchedPolicy(s string) (SchedPolicy, error) { return core.ParseSchedPolicy(s) }
+
+// SchedPolicies returns the registered scheduling policies in value
+// order.
+func SchedPolicies() []SchedPolicy { return core.SchedPolicies() }
+
+// DefaultLookahead is the default candidate window depth of the
+// window-scanning scheduling policies (WithLookahead overrides it).
+const DefaultLookahead = core.DefaultLookahead
 
 // ShedPolicy selects what an overloaded tenant drops
 // (TenantConfig.Shed).
